@@ -1,0 +1,23 @@
+"""Benchmark fixtures: canonical datasets and a hosted toolbox."""
+
+import pytest
+
+from repro.data import arff, synthetic
+
+
+@pytest.fixture(scope="session")
+def breast_cancer():
+    return synthetic.breast_cancer()
+
+
+@pytest.fixture(scope="session")
+def breast_cancer_arff(breast_cancer):
+    return arff.dumps(breast_cancer)
+
+
+@pytest.fixture(scope="session")
+def hosted_toolbox():
+    from repro.services import serve_toolbox
+    host = serve_toolbox()
+    yield host
+    host.stop()

@@ -1,0 +1,62 @@
+"""ABL-ADVISOR — quality of the §3 algorithm-choice support.
+
+The paper asks for "some support in algorithm choice based on the
+characteristics of the problem" without evaluating it.  This bench measures
+the advice empirically: over a family of datasets with different
+characteristics, how often does the advisor's top-3 contain the classifier
+that actually wins a cross-validation shoot-out?"""
+
+from repro.data import synthetic
+from repro.ml import catalogue, evaluation
+from repro.ml.advisor import recommend
+
+CANDIDATES = ["J48", "NaiveBayes", "IB3", "Logistic", "OneR",
+              "RandomForest", "SMO"]
+
+
+def _workloads():
+    return {
+        "breast-cancer": synthetic.breast_cancer(),
+        "numeric-wide-margin": synthetic.numeric_two_class(
+            n=150, separation=3.0, seed=41),
+        "numeric-narrow-margin": synthetic.numeric_two_class(
+            n=150, separation=0.8, seed=42),
+        "three-blobs": synthetic.gaussians(3, 40, 2, labelled=True,
+                                           seed=43),
+        "xor": synthetic.xor_problem(n=160, seed=44),
+        "weather": synthetic.weather_nominal(),
+    }
+
+
+def test_bench_advisor_quality(benchmark):
+    def run():
+        rows = []
+        for name, ds in _workloads().items():
+            advice = [r.algorithm for r in recommend(ds, top=3)]
+            scores = {}
+            for cand in CANDIDATES:
+                k = min(5, ds.num_instances)
+                result = evaluation.cross_validate(
+                    lambda c=cand: catalogue.create(c), ds, k=k)
+                scores[cand] = result.accuracy
+            winner = max(scores, key=scores.get)
+            # hit if the empirical winner (or a scheme within 1% of it)
+            # appears in the advised top-3
+            near_best = {c for c, s in scores.items()
+                         if s >= scores[winner] - 0.01}
+            rows.append((name, advice, winner, scores[winner],
+                         bool(near_best & set(advice))))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    hits = sum(1 for *_, hit in rows if hit)
+    print("\n=== ABL-ADVISOR: advice vs empirical CV winner ===")
+    print(f"{'dataset':<24}{'advised top-3':<38}{'winner':<14}"
+          f"{'acc':>6}  hit")
+    for name, advice, winner, acc, hit in rows:
+        print(f"{name:<24}{', '.join(advice):<38}{winner:<14}"
+              f"{acc:>6.3f}  {'Y' if hit else 'n'}")
+    print(f"hit rate: {hits}/{len(rows)}")
+    # the advice must beat random top-3 selection (3/7 ≈ 0.43) clearly
+    assert hits / len(rows) >= 0.5
+    benchmark.extra_info["hit_rate"] = f"{hits}/{len(rows)}"

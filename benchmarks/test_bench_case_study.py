@@ -1,0 +1,51 @@
+"""CASE-5 — the §5 case study end-to-end: four composed Web Services
+(URL reader → C4.5 classifier → output analyser → visualiser) over HTTP."""
+
+from repro.data import arff
+from repro.workflow import TaskGraph, ToolBox, WorkflowEngine, \
+    import_wsdl_url
+from repro.workflow.model import FunctionTool
+from repro.ws import ServiceProxy
+
+
+def test_bench_case_study_pipeline(benchmark, hosted_toolbox,
+                                   breast_cancer):
+    data_proxy = ServiceProxy.from_wsdl_url(
+        hosted_toolbox.wsdl_url("Data"))
+    url = data_proxy.publishDataset(name="bench-breast-cancer",
+                                    dataset=arff.dumps(breast_cancer))
+
+    box = ToolBox()
+    data_tools = {t.name: t for t in import_wsdl_url(
+        hosted_toolbox.wsdl_url("Data"), box)}
+    j48_tools = {t.name: t for t in import_wsdl_url(
+        hosted_toolbox.wsdl_url("J48"), box)}
+    viz_tools = {t.name: t for t in import_wsdl_url(
+        hosted_toolbox.wsdl_url("TreeVisualizer"), box)}
+
+    g = TaskGraph("case-study")
+    read = g.add(data_tools["Data.readURL"], url=url)
+    classify = g.add(j48_tools["J48.classifyGraph"], attribute="Class")
+    analyse = g.add(FunctionTool(
+        "ExtractGraph", lambda result: result["graph"], ["result"],
+        ["graph"]))
+    plot = g.add(viz_tools["TreeVisualizer.plotTree"], format="svg",
+                 title="Figure 4")
+    g.connect(read, classify, target_index=0)
+    g.connect(classify, analyse)
+    g.connect(analyse, plot, target_index=0)
+
+    engine = WorkflowEngine()
+    result = benchmark(engine.run, g)
+
+    svg = result.output(plot)
+    assert svg.startswith("<svg") and "node-caps" in svg
+    per_task = {name: f"{sec * 1000:.1f} ms"
+                for name, sec in sorted(result.durations.items())}
+    print("\n=== CASE-5: four-service composition ===")
+    print(f"services invoked : Data.readURL -> J48.classifyGraph -> "
+          f"ExtractGraph -> TreeVisualizer.plotTree")
+    print(f"per-task timings : {per_task}")
+    print(f"SVG artefact     : {len(svg)} bytes")
+    benchmark.extra_info["svg_bytes"] = len(svg)
+    data_proxy.close()

@@ -1,0 +1,52 @@
+"""ABL-FAULT — fault-tolerance ablation (§3 category 2): completion and
+overhead of job migration when a fraction of service replicas is dead.
+
+Measures enactment of a J48 classification task against a replica pool of
+three in-process services with 0, 1 and 2 dead replicas; the task must
+complete in every case, paying one failed-attempt overhead per dead replica
+it visits."""
+
+import pytest
+
+from repro.data import arff
+from repro.services import J48Service
+from repro.ws import (InProcessTransport, ServiceContainer, ServiceProxy,
+                      wsdl)
+from repro.ws.service import ServiceDefinition
+from repro.ws.transport import FailingTransport
+from repro.workflow import ReplicatedServiceTool
+
+
+def make_pool(n_dead: int, n_total: int = 3):
+    """Replica proxies; the first *n_dead* have permanently failing
+    transports (dead hosts)."""
+    proxies = []
+    definition = ServiceDefinition.from_class(J48Service, "J48")
+    document = wsdl.generate(definition, "inproc://J48")
+    for i in range(n_total):
+        container = ServiceContainer()
+        container.deploy(J48Service, "J48")
+        transport = InProcessTransport(container)
+        if i < n_dead:
+            transport = FailingTransport(transport, failures=10 ** 9)
+        proxies.append(ServiceProxy.from_wsdl_text(document, transport))
+    return proxies
+
+
+@pytest.mark.parametrize("n_dead", [0, 1, 2])
+def test_bench_fault_migration(benchmark, breast_cancer_arff, n_dead):
+    proxies = make_pool(n_dead)
+    tool = ReplicatedServiceTool("J48.classify", proxies, "classify",
+                                 ["dataset", "attribute"])
+
+    def run():
+        tool.migrations.clear()
+        return tool.run([breast_cancer_arff, "Class"], {})
+
+    [out] = benchmark(run)
+    assert "node-caps" in out
+    assert len(tool.migrations) == n_dead
+    print(f"\n[{n_dead} dead replica(s)] migrations: "
+          f"{len(tool.migrations)}; task completed")
+    benchmark.extra_info["dead_replicas"] = n_dead
+    benchmark.extra_info["migrations"] = len(tool.migrations)

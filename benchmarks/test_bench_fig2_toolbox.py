@@ -1,0 +1,44 @@
+"""FIG-2 — the toolbox component inventory of Figure 2.
+
+Figure 2 shows the architecture: the Triana engine surrounded by the
+data-management library, visualisation tools, WEKA-derived algorithms and
+third-party services.  The executable equivalent enumerates every component:
+toolbox folders + tools, deployed services, registry entries and the
+algorithm catalogue.
+"""
+
+from repro.ml import catalogue
+from repro.services import TOOLBOX
+from repro.workflow import default_toolbox
+
+
+def test_bench_fig2_toolbox_inventory(benchmark, hosted_toolbox):
+    def build():
+        return default_toolbox()
+
+    box = benchmark(build)
+
+    folders = box.tree()
+    assert {"Common", "Data", "Processing", "Visualization",
+            "SignalProc"} <= set(folders)
+    assert len(box) >= 15
+
+    services = hosted_toolbox.container.services()
+    assert set(TOOLBOX) <= set(services)
+    entries = hosted_toolbox.registry.inquire("*")
+    assert len(entries) == len(TOOLBOX) + 1  # + the registry itself
+
+    inventory = catalogue.summary()
+    print("\n=== FIG-2: toolbox component inventory ===")
+    print(box.render_tree())
+    print(f"\nDeployed services ({len(services)}): "
+          + ", ".join(services))
+    print(f"Registry entries: {len(entries)}")
+    print("Algorithm catalogue: "
+          f"{inventory['catalogue_entries']} entries "
+          f"({inventory['classifier_entries']} classifiers, "
+          f"{inventory['clusterer_entries']} clusterers, "
+          f"{inventory['associator_entries']} associators); "
+          f"{inventory['selection_approaches']} attribute-selection "
+          "approaches")
+    benchmark.extra_info.update(inventory)

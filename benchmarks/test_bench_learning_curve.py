@@ -1,0 +1,39 @@
+"""ABL-CURVE — learning curve of the case-study problem: how much
+breast-cancer data does each family need before accuracy saturates?
+
+Context for the paper's data-movement discussion (§1/§3): if accuracy
+saturates early, streaming a prefix beats migrating everything."""
+
+from repro.ml import catalogue
+from repro.ml.evaluation import learning_curve
+
+FRACTIONS = (0.1, 0.25, 0.5, 1.0)
+CLASSIFIERS = ["J48", "NaiveBayes", "OneR"]
+
+
+def test_bench_learning_curves(benchmark, breast_cancer):
+    def run():
+        curves = {}
+        for name in CLASSIFIERS:
+            curves[name] = learning_curve(
+                lambda n=name: catalogue.create(n), breast_cancer,
+                fractions=FRACTIONS, seed=5)
+        return curves
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\n=== ABL-CURVE: breast-cancer learning curves ===")
+    header = f"{'classifier':<14}" + "".join(
+        f"{f:>10.0%}" for f in FRACTIONS)
+    print(header)
+    for name, curve in curves.items():
+        accs = {f: acc for f, _, acc in curve}
+        print(f"{name:<14}" + "".join(
+            f"{accs[f]:>10.3f}" for f in FRACTIONS))
+    # saturating shape: full-data accuracy within a whisker of the best
+    for name, curve in curves.items():
+        accs = [acc for _, _, acc in curve]
+        assert accs[-1] >= max(accs) - 0.08, name
+    benchmark.extra_info["curves"] = {
+        name: [round(acc, 3) for _, _, acc in curve]
+        for name, curve in curves.items()}

@@ -1,0 +1,81 @@
+"""ABL-REMOTE — invocation-path ablation: the same J48 classification
+through (a) a direct library call, (b) SOAP in-process, (c) SOAP over real
+localhost HTTP, (d) SOAP over a simulated 1 Gb/s LAN (the paper's §5.1
+testbed model) and a simulated 10 Mb/s WAN.
+
+The paper's context: remote execution is the point of the toolkit, and §4.5
+shows invocation overheads matter for interactive use."""
+
+import pytest
+
+from repro.ml.classifiers import J48
+from repro.data import arff
+from repro.services import J48Service
+from repro.ws import (InProcessTransport, LAN, ServiceContainer,
+                      SimulatedTransport, SoapRequest, WAN)
+
+
+@pytest.fixture(scope="module")
+def local_container():
+    c = ServiceContainer()
+    c.deploy(J48Service, "J48")
+    return c
+
+
+def test_bench_remote_direct_library(benchmark, breast_cancer):
+    def run():
+        return J48().fit(breast_cancer)
+
+    model = benchmark(run)
+    assert model.root_attribute == "node-caps"
+    benchmark.extra_info["path"] = "direct"
+
+
+def test_bench_remote_soap_inprocess(benchmark, local_container,
+                                     breast_cancer_arff):
+    transport = InProcessTransport(local_container)
+    request = SoapRequest("J48", "classify",
+                          {"dataset": breast_cancer_arff,
+                           "attribute": "Class"})
+
+    response = benchmark(transport.send, request)
+    assert "node-caps" in response.result
+    benchmark.extra_info["path"] = "soap-inprocess"
+
+
+def test_bench_remote_soap_http(benchmark, hosted_toolbox,
+                                breast_cancer_arff):
+    from repro.ws import HttpTransport
+    transport = HttpTransport(hosted_toolbox.endpoint("J48"))
+    request = SoapRequest("J48", "classify",
+                          {"dataset": breast_cancer_arff,
+                           "attribute": "Class"})
+
+    response = benchmark(transport.send, request)
+    assert "node-caps" in response.result
+    transport.close()
+    benchmark.extra_info["path"] = "soap-http-localhost"
+
+
+@pytest.mark.parametrize("model_name,model", [("LAN-1Gbps", LAN),
+                                              ("WAN-10Mbps", WAN)])
+def test_bench_remote_simulated_network(benchmark, local_container,
+                                        breast_cancer_arff, model_name,
+                                        model):
+    request = SoapRequest("J48", "classify",
+                          {"dataset": breast_cancer_arff,
+                           "attribute": "Class"})
+
+    def run():
+        transport = SimulatedTransport(
+            InProcessTransport(local_container), model, real_sleep=True)
+        response = transport.send(request)
+        return transport, response
+
+    transport, response = benchmark(run)
+    assert "node-caps" in response.result
+    print(f"\n[{model_name}] simulated transfer cost: "
+          f"{transport.virtual_seconds * 1000:.2f} ms over "
+          f"{transport.bytes_on_wire} wire bytes")
+    benchmark.extra_info["path"] = model_name
+    benchmark.extra_info["wire_bytes"] = transport.bytes_on_wire

@@ -1,0 +1,111 @@
+"""ABL-STREAM — data-movement ablation: migrate the whole dataset in one
+message vs stream it in chunks, across dataset sizes and network models.
+
+§1: "Data streaming is particularly important when large volumes of data
+cannot be easily migrated to a remote location."  The measurable trade-off:
+streaming pays per-chunk latency but bounds the receiver's working set and
+starts producing results immediately; migration pays a single latency but
+ships one monolithic payload.  The series below prints virtual transfer
+times for both strategies on the simulated LAN and WAN."""
+
+import numpy as np
+
+from repro.data import arff, stream, synthetic
+from repro.ws.transport import LAN, WAN, NetworkModel
+
+
+def _sizes():
+    return [250, 1000, 4000]
+
+
+def _dataset(n):
+    return synthetic.numeric_two_class(n=n, seed=1)
+
+
+def _migrate_time(model: NetworkModel, payload_bytes: int) -> float:
+    return model.transfer_time(payload_bytes)
+
+
+def _stream_time(model: NetworkModel, header_bytes: int,
+                 chunk_bytes: list[int]) -> float:
+    total = model.transfer_time(header_bytes)
+    for nbytes in chunk_bytes:
+        total += model.transfer_time(nbytes)
+    return total
+
+
+def test_bench_streaming_vs_migration(benchmark):
+    def sweep():
+        rows = []
+        for n in _sizes():
+            ds = _dataset(n)
+            payload = arff.dumps(ds).encode()
+            for chunk_size in (25, 100, 400):
+                header, chunks = stream.replay(ds, chunk_size=chunk_size)
+                chunk_bytes = [len(c.encode()) for c in chunks]
+                for name, model in (("LAN", LAN), ("WAN", WAN)):
+                    rows.append({
+                        "n": n,
+                        "chunk_size": chunk_size,
+                        "net": name,
+                        "migrate_ms": _migrate_time(model, len(payload))
+                        * 1000,
+                        "stream_ms": _stream_time(
+                            model, len(header.encode()), chunk_bytes)
+                        * 1000,
+                        "chunks": len(chunks),
+                    })
+        return rows
+
+    rows = benchmark(sweep)
+
+    print("\n=== ABL-STREAM: migrate vs stream (virtual transfer time) ===")
+    print(f"{'n':>6} {'chunk':>6} {'net':<4} {'migrate':>12} "
+          f"{'stream':>12} {'chunks':>7} {'overhead':>9}")
+    for row in rows:
+        ratio = row["stream_ms"] / row["migrate_ms"]
+        print(f"{row['n']:>6} {row['chunk_size']:>6} {row['net']:<4} "
+              f"{row['migrate_ms']:>10.2f}ms {row['stream_ms']:>10.2f}ms "
+              f"{row['chunks']:>7} {ratio:>8.2f}x")
+    # migration is always cheaper in raw transfer time (fewer latencies);
+    # streaming's win is bounded memory + incremental processing, which the
+    # integration tests demonstrate functionally.
+    for row in rows:
+        assert row["stream_ms"] >= row["migrate_ms"]
+    # the streaming overhead is pure per-chunk latency: growing the chunk
+    # size must shrink the stream/migrate ratio towards 1
+    for n in _sizes():
+        for net in ("LAN", "WAN"):
+            ratios = [r["stream_ms"] / r["migrate_ms"] for r in rows
+                      if r["n"] == n and r["net"] == net]
+            assert ratios == sorted(ratios, reverse=True)
+    wan_large = [r for r in rows
+                 if r["net"] == "WAN" and r["chunk_size"] == 400]
+    benchmark.extra_info["wan_overhead_chunk400"] = round(
+        wan_large[-1]["stream_ms"] / wan_large[-1]["migrate_ms"], 2)
+
+
+def test_bench_streaming_incremental_learning(benchmark, breast_cancer):
+    """Wall-time of training NaiveBayesUpdateable over a chunked stream."""
+    from repro.ml.classifiers import NaiveBayesUpdateable
+
+    header, chunks = stream.replay(breast_cancer, chunk_size=50)
+
+    def train_streamed():
+        reader = stream.ChunkedStreamReader(header)
+        clf = NaiveBayesUpdateable()
+        head = reader.header.copy_header()
+        head.set_class("Class")
+        clf.begin(head)
+        seen = 0
+        for chunk in chunks:
+            reader.feed(chunk)
+            ds = reader.dataset()
+            for inst in ds.instances[seen:]:
+                clf.update(inst)
+            seen = len(ds)
+        return clf, seen
+
+    clf, seen = benchmark(train_streamed)
+    assert seen == 286
+    benchmark.extra_info["instances"] = seen

@@ -1,0 +1,61 @@
+"""ABL-SUITE — the classic toolkit-paper accuracy matrix: CV accuracy of
+the main classifier families across a suite of UCI-style relations.
+
+This is the table every second/third-generation toolkit paper shows; it
+doubles as an end-to-end sanity sweep of the algorithm library.  Shape
+assertions encode domain folklore: trees/rules dominate the rule-structured
+MONK's-1; naive Bayes is at home on the noisy LED display; everyone beats
+ZeroR everywhere (except degenerate ties)."""
+
+from repro.data import synthetic
+from repro.ml import catalogue, evaluation
+
+CLASSIFIERS = ["ZeroR", "OneR", "J48", "REPTree", "NaiveBayes", "IB3",
+               "Logistic"]
+
+
+def _suite():
+    return {
+        "breast-cancer": synthetic.breast_cancer(),
+        "led7": synthetic.led7(n=400, noise=0.1, seed=1),
+        "monks1": synthetic.monks1(n=300, seed=1),
+        "weather": synthetic.weather_nominal(),
+        "two-gaussians": synthetic.numeric_two_class(n=200, seed=1),
+    }
+
+
+def test_bench_uci_suite_matrix(benchmark):
+    def run():
+        table = {}
+        for ds_name, ds in _suite().items():
+            row = {}
+            for clf_name in CLASSIFIERS:
+                k = min(5, ds.num_instances)
+                result = evaluation.cross_validate(
+                    lambda c=clf_name: catalogue.create(c), ds, k=k)
+                row[clf_name] = result.accuracy
+            table[ds_name] = row
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\n=== ABL-SUITE: 5-fold CV accuracy matrix ===")
+    header = f"{'dataset':<16}" + "".join(f"{c:>12}" for c in CLASSIFIERS)
+    print(header)
+    for ds_name, row in table.items():
+        print(f"{ds_name:<16}"
+              + "".join(f"{row[c]:>12.3f}" for c in CLASSIFIERS))
+
+    # folklore shape checks
+    for ds_name, row in table.items():
+        best = max(row.values())
+        assert best >= row["ZeroR"], ds_name
+    # MONK's-1 is rule-structured: J48 crushes the linear model
+    assert table["monks1"]["J48"] > table["monks1"]["Logistic"] + 0.05
+    # LED-7 with 10% noise: NaiveBayes lands near the ~74% Bayes-optimal
+    assert 0.55 < table["led7"]["NaiveBayes"] <= 0.85
+    # the separable Gaussians reward the linear model
+    assert table["two-gaussians"]["Logistic"] > 0.9
+    benchmark.extra_info["matrix"] = {
+        ds: {c: round(a, 3) for c, a in row.items()}
+        for ds, row in table.items()}

@@ -1,0 +1,51 @@
+"""Algorithm-advice scenario (§3: "support in algorithm choice based on
+the characteristics of the problem" + "make use of previous experience"):
+characterise a dataset, get ranked recommendations with reasons, run the
+top suggestions through the Classifier service, and record the outcomes so
+the next user's recommendations improve.
+
+Run:  python examples/algorithm_advisor.py
+"""
+
+from repro.data import arff, synthetic
+from repro.services import serve_toolbox
+from repro.ws import ServiceProxy
+
+
+def main() -> None:
+    dataset = synthetic.breast_cancer()
+    payload = arff.dumps(dataset)
+    with serve_toolbox() as host:
+        advisor = ServiceProxy.from_wsdl_url(host.wsdl_url("Advisor"))
+        classifier = ServiceProxy.from_wsdl_url(
+            host.wsdl_url("Classifier"))
+
+        print(advisor.adviseText(dataset=payload, attribute="Class"))
+
+        print("\n=== trying the top 3 recommendations ===")
+        recommendations = advisor.recommend(dataset=payload,
+                                            attribute="Class", top=3)
+        for rec in recommendations:
+            out = classifier.crossValidate(
+                classifier=rec["algorithm"], dataset=payload,
+                attribute="Class", folds=5)
+            print(f"  {rec['algorithm']:<24} 5-fold accuracy "
+                  f"{out['accuracy']:.3f}")
+            advisor.recordExperience(dataset=payload, attribute="Class",
+                                     algorithm=rec["algorithm"],
+                                     score=out["accuracy"])
+
+        print("\n=== recommendations after recording experience ===")
+        for rec in advisor.recommend(dataset=payload, attribute="Class",
+                                     top=3):
+            experience = [r for r in rec["reasons"]
+                          if "past experience" in r]
+            marker = f"  [{experience[0]}]" if experience else ""
+            print(f"  {rec['algorithm']:<24} score {rec['score']}"
+                  f"{marker}")
+        advisor.close()
+        classifier.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Distributed clustering scenario: the Cobweb Web Service (the paper's
+second service family) applied to sensor-style numeric data, with the
+cluster visualiser, plus fault-tolerant migration across two hosts.
+
+Run:  python examples/distributed_clustering.py
+"""
+
+from repro.data import arff, synthetic
+from repro.services import CobwebService, ClustererService, serve_toolbox
+from repro.viz import clusterviz
+from repro.ws import (ServiceContainer, ServiceProxy, SoapHttpServer)
+from repro.workflow import ReplicatedServiceTool
+
+
+def clustering_over_soap() -> None:
+    print("=" * 64)
+    print("1. Cobweb + k-means via the clustering Web Services")
+    print("=" * 64)
+    readings = synthetic.gaussians(n_clusters=3, n_per_cluster=60,
+                                  n_features=2, spread=0.5, seed=21)
+    payload = arff.dumps(readings)
+    with serve_toolbox() as host:
+        cobweb = ServiceProxy.from_wsdl_url(host.wsdl_url("Cobweb"))
+        graph = cobweb.getCobwebGraph(dataset=payload)
+        print(f"Cobweb found {graph['n_clusters']} leaf concepts; "
+              f"concept tree has {len(graph['graph']['nodes'])} nodes")
+
+        clusterer = ServiceProxy.from_wsdl_url(
+            host.wsdl_url("Clusterer"))
+        out = clusterer.cluster(clusterer="SimpleKMeans",
+                                dataset=payload, options={"k": 3})
+        print(out["model_text"])
+        print(clusterviz.cluster_scatter_ascii(
+            readings, out["assignments"], width=56, height=16))
+        cobweb.close()
+        clusterer.close()
+
+
+def migration_across_hosts() -> None:
+    print()
+    print("=" * 64)
+    print("2. Job migration: first clustering host dies mid-campaign")
+    print("=" * 64)
+    readings = arff.dumps(synthetic.gaussians(3, 40, 2, seed=5))
+    servers, proxies = [], []
+    for i in range(2):
+        container = ServiceContainer()
+        container.deploy(CobwebService, "Cobweb")
+        server = SoapHttpServer(container).start()
+        servers.append(server)
+        proxies.append(ServiceProxy.from_wsdl_url(
+            server.wsdl_url("Cobweb")))
+        print(f"replica {i} at {server.base_url}")
+    servers[0].stop()
+    print("replica 0 host stopped (simulated resource failure)")
+    tool = ReplicatedServiceTool("Cobweb.cluster", proxies, "cluster",
+                                 ["dataset"])
+    [text] = tool.run([readings], {})
+    print(f"job migrated {len(tool.migrations)} time(s); "
+          "clustering completed:")
+    print("\n".join(text.splitlines()[:4]))
+    servers[1].stop()
+    for proxy in proxies:
+        proxy.close()
+
+
+if __name__ == "__main__":
+    clustering_over_soap()
+    migration_across_hosts()

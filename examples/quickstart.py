@@ -1,0 +1,52 @@
+"""Quickstart: train and inspect a C4.5 tree, then do the same thing
+through the general Classifier Web Service over real HTTP.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.data import arff, synthetic
+from repro.ml import evaluation
+from repro.ml.classifiers import J48
+from repro.services import serve_toolbox
+from repro.ws import ServiceProxy
+
+
+def local_library() -> None:
+    print("=" * 64)
+    print("1. Local library: J48 on the breast-cancer dataset")
+    print("=" * 64)
+    dataset = synthetic.breast_cancer()
+    model = J48()
+    model.fit(dataset)
+    print(model.to_text())
+    result = evaluation.cross_validate(lambda: J48(), dataset, k=10)
+    print(result.summary())
+
+
+def via_web_service() -> None:
+    print()
+    print("=" * 64)
+    print("2. The same thing through the Classifier Web Service")
+    print("=" * 64)
+    dataset_arff = arff.dumps(synthetic.breast_cancer())
+    with serve_toolbox() as host:
+        print(f"toolkit hosted at {host.server.base_url}")
+        proxy = ServiceProxy.from_wsdl_url(host.wsdl_url("Classifier"))
+        classifiers = proxy.getClassifiers()
+        print(f"getClassifiers -> {len(classifiers)} algorithms, e.g. "
+              + ", ".join(c["name"] for c in classifiers[:6]) + ", ...")
+        options = proxy.getOptions(classifier="J48")
+        print(f"getOptions('J48') -> "
+              + ", ".join(f"{o['name']}={o['default']}" for o in options))
+        out = proxy.classifyInstance(classifier="J48",
+                                     dataset=dataset_arff,
+                                     attribute="Class")
+        print(f"classifyInstance -> training accuracy "
+              f"{out['training_accuracy']:.3f}")
+        print(out["model_text"])
+        proxy.close()
+
+
+if __name__ == "__main__":
+    local_library()
+    via_web_service()

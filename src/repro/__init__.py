@@ -1,0 +1,24 @@
+"""FAEHIM reproduction: Web Services composition for distributed data mining.
+
+This package reimplements, in pure Python + NumPy, the toolkit described in
+*Web Services Composition for Distributed Data Mining* (Shaikh Ali, Rana,
+Taylor - ICPP Workshops 2005): a WEKA-like machine-learning library
+(:mod:`repro.ml`), an ARFF/CSV dataset layer (:mod:`repro.data`), a SOAP/WSDL
+web-services substrate (:mod:`repro.ws`), the data-mining services the paper
+exposes (:mod:`repro.services`), a Triana-like workflow engine
+(:mod:`repro.workflow`) and the visualisation back-ends (:mod:`repro.viz`).
+
+Quickstart::
+
+    from repro.data import synthetic
+    from repro.ml.classifiers import J48
+
+    ds = synthetic.breast_cancer()
+    clf = J48()
+    clf.fit(ds)
+    print(clf.to_text())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["data", "ml", "ws", "services", "workflow", "viz"]

@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the toolkit the standalone-executable face its first-generation
+ancestors had (§2: "tools were provided primarily as standalone executables,
+generally obtaining input from the command line"), but backed by the full
+service catalogue:
+
+* ``serve``       — host the Web-Service toolbox over HTTP
+* ``classify``    — train/evaluate a classifier on an ARFF/CSV file
+* ``cluster``     — cluster a dataset
+* ``associate``   — mine association rules
+* ``summarise``   — Figure-3 statistics of a dataset
+* ``convert``     — CSV ↔ ARFF conversion
+* ``recommend``   — algorithm advice for a dataset
+* ``algorithms``  — list the algorithm catalogue
+* ``run``         — enact a workflow XML file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.data import converters
+from repro.errors import ReproError
+
+
+def _load_dataset(path: str, class_attribute: str | None):
+    text = Path(path).read_text()
+    fmt = "csv" if path.lower().endswith(".csv") else "arff"
+    return converters.parse(text, fmt, class_attribute)
+
+
+def _cmd_serve(args) -> int:
+    from repro.services import serve_toolbox
+    host = serve_toolbox(port=args.port)
+    print(f"toolkit hosted at {host.server.base_url}")
+    print("services:")
+    for name in host.container.services():
+        print(f"  {host.server.wsdl_url(name)}")
+    try:
+        import threading
+        threading.Event().wait(args.duration)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        host.stop()
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    from repro.ml import catalogue, evaluation
+    ds = _load_dataset(args.dataset, args.attribute)
+    clf = catalogue.create(args.classifier)
+    if args.cv:
+        result = evaluation.cross_validate(
+            lambda: catalogue.create(args.classifier), ds, k=args.cv)
+        print(result.full_report())
+    else:
+        clf.fit(ds)
+        print(clf.to_text())
+        print(evaluation.evaluate(clf, ds).summary())
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    from repro.ml import catalogue
+    ds = _load_dataset(args.dataset, None)
+    model = catalogue.create(args.clusterer,
+                             {"k": args.k} if args.k else {})
+    model.fit(ds)
+    print(model.to_text())
+    return 0
+
+
+def _cmd_associate(args) -> int:
+    from repro.ml import catalogue
+    ds = _load_dataset(args.dataset, None)
+    learner = catalogue.create(args.associator, {
+        "min_support": args.min_support,
+        "min_confidence": args.min_confidence})
+    learner.fit(ds)
+    print(learner.rules_text())
+    return 0
+
+
+def _cmd_summarise(args) -> int:
+    from repro.data import summary
+    print(summary.summary_text(_load_dataset(args.dataset, None)))
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    text = Path(args.source).read_text()
+    src = "csv" if args.source.lower().endswith(".csv") else "arff"
+    dst = "csv" if args.target.lower().endswith(".csv") else "arff"
+    Path(args.target).write_text(converters.convert(text, src, dst))
+    print(f"wrote {args.target}")
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    from repro.ml.advisor import advise_text
+    print(advise_text(_load_dataset(args.dataset, args.attribute)))
+    return 0
+
+
+def _cmd_algorithms(args) -> int:
+    from repro.ml import catalogue
+    for entry in catalogue.entries():
+        if args.kind and entry.kind != args.kind:
+            continue
+        print(f"{entry.name:<36} {entry.kind:<11} {entry.description}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.workflow import WorkflowEngine, default_toolbox, xmlio
+    graph = xmlio.loads(Path(args.workflow).read_text(),
+                        default_toolbox())
+    result = WorkflowEngine().run(graph)
+    for sink in graph.sinks():
+        for idx in range(sink.num_outputs):
+            value = result.outputs.get((sink.name, idx))
+            print(f"--- {sink.name}[{idx}] ---")
+            print(value)
+    print(f"(enacted {len(graph)} tasks in "
+          f"{result.wall_seconds:.3f}s)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Web Services composition for distributed data "
+                    "mining (FAEHIM reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("serve", help="host the Web-Service toolbox")
+    p.add_argument("--port", type=int, default=8334)
+    p.add_argument("--duration", type=float, default=3600.0,
+                   help="seconds to serve before exiting")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser("classify", help="train/evaluate a classifier")
+    p.add_argument("dataset")
+    p.add_argument("--classifier", default="J48")
+    p.add_argument("--attribute", required=True,
+                   help="class attribute name")
+    p.add_argument("--cv", type=int, default=0,
+                   help="cross-validation folds (0 = train only)")
+    p.set_defaults(fn=_cmd_classify)
+
+    p = sub.add_parser("cluster", help="cluster a dataset")
+    p.add_argument("dataset")
+    p.add_argument("--clusterer", default="SimpleKMeans")
+    p.add_argument("--k", type=int, default=0)
+    p.set_defaults(fn=_cmd_cluster)
+
+    p = sub.add_parser("associate", help="mine association rules")
+    p.add_argument("dataset")
+    p.add_argument("--associator", default="Apriori")
+    p.add_argument("--min-support", type=float, default=0.2,
+                   dest="min_support")
+    p.add_argument("--min-confidence", type=float, default=0.8,
+                   dest="min_confidence")
+    p.set_defaults(fn=_cmd_associate)
+
+    p = sub.add_parser("summarise", help="Figure-3 dataset statistics")
+    p.add_argument("dataset")
+    p.set_defaults(fn=_cmd_summarise)
+
+    p = sub.add_parser("convert", help="convert between CSV and ARFF")
+    p.add_argument("source")
+    p.add_argument("target")
+    p.set_defaults(fn=_cmd_convert)
+
+    p = sub.add_parser("recommend", help="algorithm advice")
+    p.add_argument("dataset")
+    p.add_argument("--attribute", required=True)
+    p.set_defaults(fn=_cmd_recommend)
+
+    p = sub.add_parser("algorithms", help="list the catalogue")
+    p.add_argument("--kind", choices=("classifier", "clusterer",
+                                      "associator"), default=None)
+    p.set_defaults(fn=_cmd_algorithms)
+
+    p = sub.add_parser("run", help="enact a workflow XML file")
+    p.add_argument("workflow")
+    p.set_defaults(fn=_cmd_run)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

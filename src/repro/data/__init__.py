@@ -1,0 +1,20 @@
+"""Dataset layer: attributes, instances, datasets, ARFF/CSV IO, converters,
+summary statistics, synthetic generators and instance streaming.
+
+Public surface::
+
+    from repro.data import Attribute, Instance, Dataset, arff, csvio
+    from repro.data import converters, summary, synthetic, stream
+"""
+
+from repro.data.attribute import (Attribute, MISSING, NOMINAL, NUMERIC,
+                                  STRING, is_missing)
+from repro.data.dataset import Dataset
+from repro.data.instance import Instance
+from repro.data import arff, converters, csvio, stream, summary, synthetic
+
+__all__ = [
+    "Attribute", "Instance", "Dataset",
+    "MISSING", "NOMINAL", "NUMERIC", "STRING", "is_missing",
+    "arff", "csvio", "converters", "stream", "summary", "synthetic",
+]

@@ -1,0 +1,176 @@
+"""Attribute metadata for the dataset model.
+
+Mirrors the WEKA ``Attribute`` concept the paper's services rely on: an
+attribute is *nominal* (an enumerated set of symbolic values), *numeric*
+(real-valued), or *string* (free text, value-indexed like nominal but
+open-ended).  Internally every cell of a dataset is stored as a ``float``;
+nominal and string cells hold the index of the value in the attribute's value
+table, and missing cells hold ``NaN``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.errors import DataError
+
+#: Sentinel used in user-facing APIs for a missing cell.
+MISSING = float("nan")
+
+NUMERIC = "numeric"
+NOMINAL = "nominal"
+STRING = "string"
+
+_KINDS = (NUMERIC, NOMINAL, STRING)
+
+
+def is_missing(value: float) -> bool:
+    """Return True when *value* encodes a missing cell."""
+    return isinstance(value, float) and math.isnan(value)
+
+
+class Attribute:
+    """A single dataset column: name, kind and (for nominal) value table.
+
+    Parameters
+    ----------
+    name:
+        Column name as it appears in the ARFF header.
+    kind:
+        One of :data:`NUMERIC`, :data:`NOMINAL`, :data:`STRING`.
+    values:
+        For nominal attributes, the ordered enumeration of symbolic values.
+        Ignored for numeric; optional seed vocabulary for string attributes.
+    """
+
+    __slots__ = ("name", "kind", "_values", "_value_index")
+
+    def __init__(self, name: str, kind: str = NUMERIC,
+                 values: Sequence[str] | None = None):
+        if kind not in _KINDS:
+            raise DataError(f"unknown attribute kind {kind!r}")
+        if kind == NOMINAL and not values:
+            raise DataError(f"nominal attribute {name!r} needs values")
+        self.name = str(name)
+        self.kind = kind
+        self._values: list[str] = list(values or [])
+        if len(set(self._values)) != len(self._values):
+            raise DataError(f"attribute {name!r} has duplicate values")
+        self._value_index = {v: i for i, v in enumerate(self._values)}
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def numeric(cls, name: str) -> "Attribute":
+        """A real-valued attribute."""
+        return cls(name, NUMERIC)
+
+    @classmethod
+    def nominal(cls, name: str, values: Iterable[str]) -> "Attribute":
+        """A nominal attribute over an enumerated value set."""
+        return cls(name, NOMINAL, list(values))
+
+    @classmethod
+    def string(cls, name: str) -> "Attribute":
+        """A free-text attribute (value table grows on demand)."""
+        return cls(name, STRING, [])
+
+    # -- predicates --------------------------------------------------------
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind == NUMERIC
+
+    @property
+    def is_nominal(self) -> bool:
+        return self.kind == NOMINAL
+
+    @property
+    def is_string(self) -> bool:
+        return self.kind == STRING
+
+    # -- value table -------------------------------------------------------
+    @property
+    def values(self) -> tuple[str, ...]:
+        """The symbolic value table (empty for numeric attributes)."""
+        return tuple(self._values)
+
+    @property
+    def num_values(self) -> int:
+        return len(self._values)
+
+    def index_of(self, value: str) -> int:
+        """Index of symbolic *value*, raising :class:`DataError` if unknown."""
+        try:
+            return self._value_index[value]
+        except KeyError:
+            raise DataError(
+                f"value {value!r} not in attribute {self.name!r} "
+                f"(known: {self._values})") from None
+
+    def add_value(self, value: str) -> int:
+        """Append *value* to the table (string attributes); return its index."""
+        if self.is_numeric:
+            raise DataError(f"cannot add symbolic value to numeric "
+                            f"attribute {self.name!r}")
+        if value in self._value_index:
+            return self._value_index[value]
+        if self.is_nominal:
+            raise DataError(
+                f"value {value!r} not in closed nominal attribute "
+                f"{self.name!r}")
+        self._values.append(value)
+        idx = len(self._values) - 1
+        self._value_index[value] = idx
+        return idx
+
+    # -- encode/decode -----------------------------------------------------
+    def encode(self, raw: object) -> float:
+        """Encode an external value (str/number/None) to the float cell."""
+        if raw is None:
+            return MISSING
+        if isinstance(raw, float) and math.isnan(raw):
+            return MISSING
+        if isinstance(raw, str) and raw in ("?", ""):
+            return MISSING
+        if self.is_numeric:
+            try:
+                return float(raw)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                raise DataError(
+                    f"cannot coerce {raw!r} for numeric attribute "
+                    f"{self.name!r}") from None
+        text = str(raw)
+        if self.is_nominal:
+            return float(self.index_of(text))
+        return float(self.add_value(text))
+
+    def decode(self, cell: float) -> object:
+        """Decode a float cell to its external value (str/float/None)."""
+        if is_missing(cell):
+            return None
+        if self.is_numeric:
+            return float(cell)
+        idx = int(cell)
+        if not 0 <= idx < len(self._values):
+            raise DataError(
+                f"cell {cell!r} out of range for attribute {self.name!r}")
+        return self._values[idx]
+
+    def copy(self) -> "Attribute":
+        """Deep copy (value table included)."""
+        return Attribute(self.name, self.kind, list(self._values))
+
+    # -- dunder ------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Attribute)
+                and self.name == other.name
+                and self.kind == other.kind
+                and self._values == other._values)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.kind, tuple(self._values)))
+
+    def __repr__(self) -> str:
+        if self.is_nominal:
+            return f"Attribute({self.name!r}, nominal, {self._values!r})"
+        return f"Attribute({self.name!r}, {self.kind})"

@@ -1,0 +1,76 @@
+"""Format converter library (§3: "a library of such converters may be
+necessary").
+
+Converters are registered in a small registry keyed by ``(src, dst)`` format
+names so the workflow layer and the data Web Service can discover them — the
+same role the paper's "data set manipulation tools" folder plays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.data import arff, csvio
+from repro.data.dataset import Dataset
+from repro.errors import DataError
+
+Converter = Callable[[str], str]
+
+_REGISTRY: dict[tuple[str, str], Converter] = {}
+
+
+def register(src: str, dst: str, fn: Converter) -> None:
+    """Register *fn* converting documents from format *src* to *dst*."""
+    _REGISTRY[(src.lower(), dst.lower())] = fn
+
+
+def convert(text: str, src: str, dst: str) -> str:
+    """Convert document *text* between registered formats."""
+    src, dst = src.lower(), dst.lower()
+    if src == dst:
+        return text
+    try:
+        fn = _REGISTRY[(src, dst)]
+    except KeyError:
+        raise DataError(f"no converter registered for {src} -> {dst}; "
+                        f"available: {sorted(_REGISTRY)}") from None
+    return fn(text)
+
+
+def available() -> list[tuple[str, str]]:
+    """All registered ``(src, dst)`` conversion pairs."""
+    return sorted(_REGISTRY)
+
+
+def csv_to_arff(text: str, relation: str = "converted") -> str:
+    """CSV document → ARFF document (schema inferred per :mod:`csvio`)."""
+    return arff.dumps(csvio.loads(text, relation=relation))
+
+
+def arff_to_csv(text: str) -> str:
+    """ARFF document → CSV document (header row from attribute names)."""
+    return csvio.dumps(arff.loads(text))
+
+
+def parse(text: str, fmt: str, class_attribute: str | None = None) -> Dataset:
+    """Parse *text* in format *fmt* ('arff' or 'csv') into a Dataset."""
+    fmt = fmt.lower()
+    if fmt == "arff":
+        return arff.loads(text, class_attribute)
+    if fmt == "csv":
+        return csvio.loads(text, class_attribute=class_attribute)
+    raise DataError(f"unknown data format {fmt!r}")
+
+
+def serialise(dataset: Dataset, fmt: str) -> str:
+    """Serialise *dataset* in format *fmt* ('arff' or 'csv')."""
+    fmt = fmt.lower()
+    if fmt == "arff":
+        return arff.dumps(dataset)
+    if fmt == "csv":
+        return csvio.dumps(dataset)
+    raise DataError(f"unknown data format {fmt!r}")
+
+
+register("csv", "arff", csv_to_arff)
+register("arff", "csv", arff_to_csv)

@@ -1,0 +1,117 @@
+"""CSV reader/writer with schema inference.
+
+The paper calls out "a tool to convert CSV file into ARFF format ... this
+conversion process is particularly useful for using data sets obtained from
+commercial software such as MS-Excel".  The reader infers each column's kind:
+a column whose every non-missing token parses as a number becomes numeric;
+otherwise it becomes nominal over the observed value set (sorted for
+determinism).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Sequence, TextIO
+
+from repro.data.attribute import Attribute
+from repro.data.dataset import Dataset
+from repro.errors import DataError
+
+#: Tokens read as a missing cell.
+MISSING_TOKENS = {"", "?", "NA", "N/A", "null", "None"}
+
+
+def _is_number(token: str) -> bool:
+    try:
+        float(token)
+        return True
+    except ValueError:
+        return False
+
+
+def infer_attributes(header: Sequence[str],
+                     rows: Sequence[Sequence[str]]) -> list[Attribute]:
+    """Infer an attribute per column from raw string *rows*."""
+    n = len(header)
+    attrs: list[Attribute] = []
+    for col in range(n):
+        seen: list[str] = []
+        numeric = True
+        any_value = False
+        for row in rows:
+            tok = row[col].strip()
+            if tok in MISSING_TOKENS:
+                continue
+            any_value = True
+            if not _is_number(tok):
+                numeric = False
+            if tok not in seen:
+                seen.append(tok)
+        if numeric and any_value:
+            attrs.append(Attribute.numeric(header[col]))
+        elif not any_value:
+            # all-missing column: default numeric, matching WEKA's loader
+            attrs.append(Attribute.numeric(header[col]))
+        else:
+            attrs.append(Attribute.nominal(header[col], sorted(seen)))
+    return attrs
+
+
+def load(fp: TextIO, relation: str = "csv",
+         class_attribute: str | None = None,
+         has_header: bool = True) -> Dataset:
+    """Read CSV from *fp* into a :class:`Dataset` with inferred schema."""
+    reader = csv.reader(fp)
+    rows = [row for row in reader if row]
+    if not rows:
+        raise DataError("empty CSV document")
+    if has_header:
+        header, body = rows[0], rows[1:]
+    else:
+        header = [f"attr{i}" for i in range(len(rows[0]))]
+        body = rows
+    width = len(header)
+    for i, row in enumerate(body):
+        if len(row) != width:
+            raise DataError(
+                f"CSV row {i + 1} has {len(row)} fields, expected {width}")
+    attrs = infer_attributes(header, body)
+    ds = Dataset(relation, attrs)
+    for row in body:
+        ds.add_row([None if tok.strip() in MISSING_TOKENS else tok.strip()
+                    for tok in row])
+    if class_attribute is not None:
+        ds.set_class(class_attribute)
+    return ds
+
+
+def loads(text: str, relation: str = "csv",
+          class_attribute: str | None = None,
+          has_header: bool = True) -> Dataset:
+    """Read CSV from a string."""
+    return load(io.StringIO(text), relation, class_attribute, has_header)
+
+
+def dump(dataset: Dataset, fp: TextIO, header: bool = True) -> None:
+    """Write *dataset* as CSV (missing cells become ``?``)."""
+    writer = csv.writer(fp, lineterminator="\n")
+    if header:
+        writer.writerow([a.name for a in dataset.attributes])
+    for inst in dataset:
+        row = []
+        for value in inst.decoded(dataset):
+            if value is None:
+                row.append("?")
+            elif isinstance(value, float) and value == int(value):
+                row.append(str(int(value)))
+            else:
+                row.append(str(value))
+        writer.writerow(row)
+
+
+def dumps(dataset: Dataset, header: bool = True) -> str:
+    """Write *dataset* as a CSV string."""
+    out = io.StringIO()
+    dump(dataset, out, header)
+    return out.getvalue()

@@ -1,0 +1,268 @@
+"""The dataset container (WEKA ``Instances`` analogue).
+
+A :class:`Dataset` is a relation name, an ordered attribute list, a class
+attribute designation and a sequence of :class:`~repro.data.Instance` rows.
+It is the unit every paper service consumes and produces (as ARFF text), and
+the unit the ML library trains on.
+
+For vectorised algorithms the dataset exposes :meth:`to_matrix`, a cached
+``(n_instances, n_attributes)`` float matrix with ``NaN`` for missing cells.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.data.attribute import Attribute
+from repro.data.instance import Instance
+from repro.errors import DataError
+
+
+class Dataset:
+    """An ordered collection of instances sharing one attribute schema."""
+
+    def __init__(self, relation: str, attributes: Sequence[Attribute],
+                 instances: Iterable[Instance] | None = None,
+                 class_index: int | None = None):
+        if not attributes:
+            raise DataError("a dataset needs at least one attribute")
+        names = [a.name for a in attributes]
+        if len(set(names)) != len(names):
+            raise DataError(f"duplicate attribute names in {relation!r}")
+        self.relation = str(relation)
+        self._attributes: list[Attribute] = list(attributes)
+        self._instances: list[Instance] = []
+        self._class_index: int | None = None
+        self._matrix: np.ndarray | None = None
+        if class_index is not None:
+            self.class_index = class_index
+        for inst in instances or ():
+            self.add(inst)
+
+    # -- schema ---------------------------------------------------------------
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return tuple(self._attributes)
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self._attributes)
+
+    def attribute(self, key: int | str) -> Attribute:
+        """Attribute by index or name."""
+        if isinstance(key, str):
+            return self._attributes[self.attribute_index(key)]
+        return self._attributes[key]
+
+    def attribute_index(self, name: str) -> int:
+        """Index of the attribute called *name*."""
+        for i, attr in enumerate(self._attributes):
+            if attr.name == name:
+                return i
+        raise DataError(f"no attribute named {name!r} in {self.relation!r}")
+
+    @property
+    def class_index(self) -> int:
+        if self._class_index is None:
+            raise DataError(
+                f"dataset {self.relation!r} has no class attribute set")
+        return self._class_index
+
+    @class_index.setter
+    def class_index(self, index: int) -> None:
+        if not -len(self._attributes) <= index < len(self._attributes):
+            raise DataError(f"class index {index} out of range")
+        self._class_index = index % len(self._attributes)
+
+    @property
+    def has_class(self) -> bool:
+        return self._class_index is not None
+
+    @property
+    def class_attribute(self) -> Attribute:
+        return self._attributes[self.class_index]
+
+    def set_class(self, name: str) -> None:
+        """Designate the class attribute by name."""
+        self.class_index = self.attribute_index(name)
+
+    @property
+    def num_classes(self) -> int:
+        cls = self.class_attribute
+        if not cls.is_nominal:
+            raise DataError(
+                f"class attribute {cls.name!r} is not nominal")
+        return cls.num_values
+
+    # -- rows -------------------------------------------------------------------
+    @property
+    def instances(self) -> tuple[Instance, ...]:
+        return tuple(self._instances)
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    @property
+    def num_instances(self) -> int:
+        return len(self._instances)
+
+    def __iter__(self) -> Iterator[Instance]:
+        return iter(self._instances)
+
+    def __getitem__(self, index: int) -> Instance:
+        return self._instances[index]
+
+    def add(self, instance: Instance) -> None:
+        """Append a row; its arity must match the schema."""
+        if len(instance) != self.num_attributes:
+            raise DataError(
+                f"instance has {len(instance)} cells, schema has "
+                f"{self.num_attributes} attributes")
+        self._instances.append(instance)
+        self._matrix = None
+
+    def add_row(self, raw: Sequence[object], weight: float = 1.0) -> None:
+        """Append a row of *external* values, encoding each cell."""
+        if len(raw) != self.num_attributes:
+            raise DataError(
+                f"row has {len(raw)} values, schema has "
+                f"{self.num_attributes} attributes")
+        cells = [attr.encode(v) for attr, v in zip(self._attributes, raw)]
+        self.add(Instance(cells, weight))
+
+    def extend(self, rows: Iterable[Instance]) -> None:
+        """Append every instance of *rows*."""
+        for inst in rows:
+            self.add(inst)
+
+    # -- bulk views ----------------------------------------------------------
+    def to_matrix(self) -> np.ndarray:
+        """Cached ``(n, m)`` float matrix of encoded cells (NaN = missing)."""
+        if self._matrix is None:
+            if self._instances:
+                self._matrix = np.vstack(
+                    [inst.values for inst in self._instances])
+            else:
+                self._matrix = np.empty((0, self.num_attributes))
+        return self._matrix
+
+    def weights(self) -> np.ndarray:
+        """Vector of instance weights."""
+        return np.array([inst.weight for inst in self._instances])
+
+    def column(self, key: int | str) -> np.ndarray:
+        """One encoded column as a float vector."""
+        idx = self.attribute_index(key) if isinstance(key, str) else key
+        return self.to_matrix()[:, idx]
+
+    def class_values(self) -> np.ndarray:
+        """Encoded class column."""
+        return self.column(self.class_index)
+
+    def class_counts(self) -> np.ndarray:
+        """Weighted per-class counts (ignores missing-class rows)."""
+        counts = np.zeros(self.num_classes)
+        for inst in self._instances:
+            c = inst.value(self.class_index)
+            if not math.isnan(c):
+                counts[int(c)] += inst.weight
+        return counts
+
+    # -- structural operations --------------------------------------------------
+    def copy_header(self, relation: str | None = None) -> "Dataset":
+        """Empty dataset sharing a deep copy of this schema."""
+        out = Dataset(relation or self.relation,
+                      [a.copy() for a in self._attributes])
+        out._class_index = self._class_index
+        return out
+
+    def copy(self) -> "Dataset":
+        """Deep copy of schema and rows."""
+        out = self.copy_header()
+        out.extend(inst.copy() for inst in self._instances)
+        return out
+
+    def subset(self, indices: Sequence[int]) -> "Dataset":
+        """New dataset with the selected rows (copies)."""
+        out = self.copy_header()
+        out.extend(self._instances[i].copy() for i in indices)
+        return out
+
+    def filter_rows(self, predicate: Callable[[Instance], bool]) -> "Dataset":
+        """New dataset with the rows for which *predicate* holds."""
+        out = self.copy_header()
+        out.extend(inst.copy() for inst in self._instances
+                   if predicate(inst))
+        return out
+
+    def select_attributes(self, indices: Sequence[int]) -> "Dataset":
+        """Project onto the attribute *indices* (class index remapped)."""
+        idx = list(indices)
+        attrs = [self._attributes[i].copy() for i in idx]
+        out = Dataset(self.relation, attrs)
+        if self._class_index is not None and self._class_index in idx:
+            out._class_index = idx.index(self._class_index)
+        for inst in self._instances:
+            out.add(Instance(inst.values[idx].copy(), inst.weight))
+        return out
+
+    def shuffled(self, rng: np.random.Generator | int | None = None
+                 ) -> "Dataset":
+        """Row-shuffled copy using *rng* (Generator, seed, or fresh)."""
+        gen = (rng if isinstance(rng, np.random.Generator)
+               else np.random.default_rng(rng))
+        order = gen.permutation(len(self._instances))
+        return self.subset(list(order))
+
+    def split(self, train_fraction: float,
+              rng: np.random.Generator | int | None = None
+              ) -> tuple["Dataset", "Dataset"]:
+        """Shuffle and split into (train, test) by *train_fraction*."""
+        if not 0.0 < train_fraction < 1.0:
+            raise DataError("train_fraction must be in (0, 1)")
+        shuffled = self.shuffled(rng)
+        cut = int(round(train_fraction * len(shuffled)))
+        cut = min(max(cut, 1), len(shuffled) - 1) if len(shuffled) >= 2 else cut
+        train = self.copy_header()
+        test = self.copy_header()
+        train.extend(shuffled[i].copy() for i in range(cut))
+        test.extend(shuffled[i].copy() for i in range(cut, len(shuffled)))
+        return train, test
+
+    def merge(self, other: "Dataset") -> "Dataset":
+        """Row-union of two datasets with equal schemas."""
+        if [a.name for a in self._attributes] != \
+                [a.name for a in other._attributes]:
+            raise DataError("cannot merge datasets with different schemas")
+        out = self.copy()
+        out.extend(inst.copy() for inst in other)
+        return out
+
+    # -- statistics -----------------------------------------------------------
+    def num_missing(self) -> int:
+        """Total missing cells across all rows."""
+        if not self._instances:
+            return 0
+        return int(np.isnan(self.to_matrix()).sum())
+
+    def value_counts(self, key: int | str) -> dict[str, int]:
+        """Occurrence count of each symbolic value of a nominal attribute."""
+        idx = self.attribute_index(key) if isinstance(key, str) else key
+        attr = self._attributes[idx]
+        if not attr.is_nominal:
+            raise DataError(f"{attr.name!r} is not nominal")
+        col = self.column(idx)
+        out = {v: 0 for v in attr.values}
+        for cell in col:
+            if not math.isnan(cell):
+                out[attr.values[int(cell)]] += 1
+        return out
+
+    def __repr__(self) -> str:
+        cls = (self._attributes[self._class_index].name
+               if self._class_index is not None else None)
+        return (f"Dataset({self.relation!r}, {self.num_instances} x "
+                f"{self.num_attributes}, class={cls!r})")

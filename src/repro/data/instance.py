@@ -1,0 +1,107 @@
+"""A single data row.
+
+An :class:`Instance` owns a dense float vector (one cell per attribute, with
+``NaN`` encoding a missing value) plus a weight, matching the WEKA instance
+model the paper's Web Services exchange in ARFF form.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.data.attribute import is_missing
+from repro.errors import DataError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.data.dataset import Dataset
+
+
+class Instance:
+    """A weighted, dense row of encoded cells.
+
+    Instances are *schema-free*: the interpretation of each cell (numeric
+    value vs nominal index) lives in the owning :class:`~repro.data.Dataset`'s
+    attribute list.  This mirrors WEKA, where ``Instance`` holds doubles and
+    ``Instances`` holds the header.
+    """
+
+    __slots__ = ("_values", "weight")
+
+    def __init__(self, values: Sequence[float] | np.ndarray,
+                 weight: float = 1.0):
+        arr = np.asarray(values, dtype=float)
+        if arr.ndim != 1:
+            raise DataError(f"instance values must be 1-D, got {arr.ndim}-D")
+        self._values = arr
+        if weight < 0:
+            raise DataError(f"instance weight must be >= 0, got {weight}")
+        self.weight = float(weight)
+
+    # -- cell access --------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """The raw encoded cell vector (shared, do not mutate in place)."""
+        return self._values
+
+    def value(self, index: int) -> float:
+        """Raw encoded cell at *index* (NaN when missing)."""
+        return float(self._values[index])
+
+    def set_value(self, index: int, value: float) -> None:
+        """Set the encoded cell at *index*."""
+        self._values[index] = value
+
+    def is_missing(self, index: int) -> bool:
+        """True when the cell at *index* is missing."""
+        return bool(math.isnan(self._values[index]))
+
+    def num_missing(self) -> int:
+        """Number of missing cells in this row."""
+        return int(np.isnan(self._values).sum())
+
+    def __len__(self) -> int:
+        return int(self._values.shape[0])
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(float(v) for v in self._values)
+
+    def copy(self) -> "Instance":
+        """Deep copy."""
+        return Instance(self._values.copy(), self.weight)
+
+    # -- schema-aware helpers ------------------------------------------------
+    def decoded(self, dataset: "Dataset") -> list[object]:
+        """Decode all cells against *dataset*'s attributes."""
+        if len(dataset.attributes) != len(self):
+            raise DataError("instance arity does not match dataset schema")
+        return [attr.decode(cell)
+                for attr, cell in zip(dataset.attributes, self._values)]
+
+    def class_value(self, dataset: "Dataset") -> float:
+        """Raw encoded class cell per *dataset*'s class index."""
+        return self.value(dataset.class_index)
+
+    def class_is_missing(self, dataset: "Dataset") -> bool:
+        """True when the class cell is missing per *dataset*."""
+        return self.is_missing(dataset.class_index)
+
+    # -- dunder ---------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        if self.weight != other.weight:
+            return False
+        a, b = self._values, other._values
+        if a.shape != b.shape:
+            return False
+        both_nan = np.isnan(a) & np.isnan(b)
+        return bool(np.all(both_nan | (a == b)))
+
+    def __repr__(self) -> str:
+        cells = ",".join("?" if is_missing(v) else f"{v:g}"
+                         for v in self._values)
+        w = "" if self.weight == 1.0 else f", weight={self.weight:g}"
+        return f"Instance([{cells}]{w})"

@@ -1,0 +1,145 @@
+"""Instance streaming (§1: "data sets may be read from the local filespace or
+streamed from a remote location provided the algorithm being used has support
+for streaming").
+
+A stream is an iterator of :class:`~repro.data.Instance` rows plus a header
+(schema-only :class:`~repro.data.Dataset`).  Streams can be chunked for
+transport: :class:`ChunkedStreamReader` reassembles a stream from ARFF header
++ CSV-encoded row chunks, which is exactly what the remote streaming service
+ships over SOAP.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.data import arff
+from repro.data.dataset import Dataset
+from repro.data.instance import Instance
+from repro.errors import DataError
+
+
+class InstanceStream:
+    """A pull-based stream of instances sharing one schema."""
+
+    def __init__(self, header: Dataset, rows: Iterable[Instance]):
+        if len(header) != 0:
+            header = header.copy_header()
+        self.header = header
+        self._rows = iter(rows)
+        self._consumed = 0
+
+    @classmethod
+    def from_dataset(cls, dataset: Dataset) -> "InstanceStream":
+        """Stream an in-memory dataset (copies each row)."""
+        return cls(dataset.copy_header(),
+                   (inst.copy() for inst in dataset))
+
+    def __iter__(self) -> Iterator[Instance]:
+        for inst in self._rows:
+            if len(inst) != self.header.num_attributes:
+                raise DataError("streamed instance arity mismatch")
+            self._consumed += 1
+            yield inst
+
+    @property
+    def consumed(self) -> int:
+        """Number of instances pulled so far."""
+        return self._consumed
+
+    def collect(self, limit: int | None = None) -> Dataset:
+        """Materialise up to *limit* instances into a dataset."""
+        out = self.header.copy_header()
+        for i, inst in enumerate(self):
+            if limit is not None and i >= limit:
+                break
+            out.add(inst)
+        return out
+
+    def map(self, fn: Callable[[Instance], Instance]) -> "InstanceStream":
+        """A derived stream applying *fn* to each instance."""
+        return InstanceStream(self.header, (fn(i) for i in self))
+
+    def filter(self, pred: Callable[[Instance], bool]) -> "InstanceStream":
+        """A derived stream keeping instances for which *pred* holds."""
+        return InstanceStream(self.header, (i for i in self if pred(i)))
+
+
+def chunk_rows(dataset: Dataset, chunk_size: int) -> list[str]:
+    """Encode *dataset* rows as CSV chunks of *chunk_size* rows each.
+
+    The header travels separately (see :func:`arff.header_of`); chunks carry
+    only data rows so repeated chunks do not repeat the schema.
+    """
+    if chunk_size < 1:
+        raise DataError("chunk_size must be >= 1")
+    chunks: list[str] = []
+    buf: list[str] = []
+    for inst in dataset:
+        cells = []
+        for value in inst.decoded(dataset):
+            if value is None:
+                cells.append("?")
+            elif isinstance(value, float) and value == int(value):
+                cells.append(str(int(value)))
+            else:
+                cells.append(str(value))
+        buf.append(",".join(cells))
+        if len(buf) == chunk_size:
+            chunks.append("\n".join(buf))
+            buf = []
+    if buf:
+        chunks.append("\n".join(buf))
+    return chunks
+
+
+class ChunkedStreamReader:
+    """Rebuild an :class:`InstanceStream` from a header + row chunks."""
+
+    def __init__(self, header_arff: str):
+        self.header = arff.loads(header_arff)
+        if len(self.header) != 0:
+            raise DataError("stream header must carry no data rows")
+        self._pending: list[Instance] = []
+        self._closed = False
+
+    def feed(self, chunk: str) -> int:
+        """Decode one CSV row chunk; returns the number of rows added."""
+        if self._closed:
+            raise DataError("stream already closed")
+        count = 0
+        for line in chunk.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            fields = [None if f.strip() in ("?", "") else f.strip()
+                      for f in line.split(",")]
+            if len(fields) != self.header.num_attributes:
+                raise DataError(
+                    f"chunk row has {len(fields)} fields, expected "
+                    f"{self.header.num_attributes}")
+            cells = [attr.encode(f)
+                     for attr, f in zip(self.header.attributes, fields)]
+            self._pending.append(Instance(cells))
+            count += 1
+        return count
+
+    def close(self) -> None:
+        """Release underlying resources."""
+        self._closed = True
+
+    def stream(self) -> InstanceStream:
+        """Stream over everything fed so far (after :meth:`close`)."""
+        return InstanceStream(self.header, list(self._pending))
+
+    def dataset(self) -> Dataset:
+        """Materialise everything fed so far."""
+        out = self.header.copy_header()
+        out.extend(self._pending)
+        return out
+
+
+def replay(dataset: Dataset, chunk_size: int = 50
+           ) -> tuple[str, Sequence[str]]:
+    """Split *dataset* into (header ARFF, row chunks) for transport."""
+    return arff.header_of(dataset), chunk_rows(dataset, chunk_size)

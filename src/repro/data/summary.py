@@ -1,0 +1,152 @@
+"""Dataset summary statistics in the layout of the paper's Figure 3.
+
+Figure 3 of the paper prints, for the breast-cancer dataset: instance count,
+attribute count, continuous/int/real/discrete attribute counts, total missing
+values (count and percentage), and one row per attribute with its name, type,
+percentage of int/real/missing cells and number of distinct values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+
+@dataclass(frozen=True)
+class AttributeSummary:
+    """Per-attribute row of the Figure-3 table."""
+
+    index: int
+    name: str
+    type_label: str          # "Enum" | "Real" | "String"
+    percent_nonmissing: int  # percentage of rows with a value
+    missing: int             # count of missing cells
+    distinct: int            # distinct non-missing values observed
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """Whole-dataset header block of the Figure-3 table."""
+
+    relation: str
+    num_instances: int
+    num_attributes: int
+    num_continuous: int
+    num_discrete: int
+    missing_values: int
+    missing_percent: float
+    attributes: tuple[AttributeSummary, ...]
+
+
+def _distinct(col: np.ndarray) -> int:
+    present = col[~np.isnan(col)]
+    return int(np.unique(present).size)
+
+
+def summarise(dataset: Dataset) -> DatasetSummary:
+    """Compute the Figure-3 statistics for *dataset*."""
+    matrix = dataset.to_matrix()
+    rows: list[AttributeSummary] = []
+    n = max(dataset.num_instances, 1)
+    for i, attr in enumerate(dataset.attributes):
+        col = matrix[:, i] if len(dataset) else np.empty(0)
+        missing = int(np.isnan(col).sum()) if col.size else 0
+        if attr.is_nominal:
+            label = "Enum"
+        elif attr.is_numeric:
+            label = "Real"
+        else:
+            label = "String"
+        rows.append(AttributeSummary(
+            index=i + 1,
+            name=attr.name,
+            type_label=label,
+            percent_nonmissing=int(round(100.0 * (n - missing) / n)),
+            missing=missing,
+            distinct=_distinct(col) if col.size else 0,
+        ))
+    total_cells = dataset.num_instances * dataset.num_attributes
+    total_missing = dataset.num_missing()
+    pct = (100.0 * total_missing / total_cells) if total_cells else 0.0
+    num_discrete = sum(1 for a in dataset.attributes
+                       if a.is_nominal or a.is_string)
+    return DatasetSummary(
+        relation=dataset.relation,
+        num_instances=dataset.num_instances,
+        num_attributes=dataset.num_attributes,
+        num_continuous=sum(1 for a in dataset.attributes if a.is_numeric),
+        num_discrete=num_discrete,
+        missing_values=total_missing,
+        missing_percent=pct,
+        attributes=tuple(rows),
+    )
+
+
+def format_figure3(summary: DatasetSummary) -> str:
+    """Render *summary* in the paper's Figure-3 text layout."""
+    pct = summary.missing_percent
+    pct_text = f"{pct:.1f}%" if pct else "0.0%"
+    lines = [
+        f"Num Instances:  {summary.num_instances}",
+        f"Num Attributes: {summary.num_attributes}",
+        f"Num Continuous: {summary.num_continuous}  "
+        f"(Int 0 / Real {summary.num_continuous})",
+        f"Num Discrete:   {summary.num_discrete}",
+        f"Missing values: {summary.missing_values} ({pct_text})",
+        "",
+        f"{'':>2} {'name':<14}{'type':<7}{'nonmiss':>8}"
+        f"{'missing':>9}{'distinct':>9}",
+    ]
+    for row in summary.attributes:
+        miss_pct = ""
+        if summary.num_instances:
+            frac = 100.0 * row.missing / summary.num_instances
+            miss_pct = f" ({frac:.0f}%)" if row.missing else ""
+        lines.append(
+            f"{row.index:>2} {row.name:<14}{row.type_label:<7}"
+            f"{row.percent_nonmissing:>7}%"
+            f"{row.missing:>6}{miss_pct:<4}{row.distinct:>8}")
+    return "\n".join(lines)
+
+
+def summary_text(dataset: Dataset) -> str:
+    """Shortcut: summarise and format in one call."""
+    return format_figure3(summarise(dataset))
+
+
+def _entropy(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    p = counts[counts > 0] / total
+    return float(-(p * np.log2(p)).sum())
+
+
+def class_entropy(dataset: Dataset) -> float:
+    """Entropy (bits) of the class distribution — used by algorithm advice."""
+    return _entropy(dataset.class_counts())
+
+
+def attribute_entropy(dataset: Dataset, key: int | str) -> float:
+    """Entropy (bits) of a nominal attribute's value distribution."""
+    counts = np.array(list(dataset.value_counts(key).values()), dtype=float)
+    return _entropy(counts)
+
+
+def numeric_stats(dataset: Dataset, key: int | str) -> dict[str, float]:
+    """min/max/mean/std of a numeric column, ignoring missing cells."""
+    col = dataset.column(key)
+    present = col[~np.isnan(col)]
+    if present.size == 0:
+        return {"min": math.nan, "max": math.nan,
+                "mean": math.nan, "std": math.nan}
+    return {
+        "min": float(present.min()),
+        "max": float(present.max()),
+        "mean": float(present.mean()),
+        "std": float(present.std()),
+    }

@@ -1,0 +1,442 @@
+"""Synthetic dataset generators.
+
+The paper's case study uses the UCI breast-cancer dataset, which cannot be
+redistributed here (and the evaluation network is offline), so
+:func:`breast_cancer` generates a *statistically equivalent* dataset: it
+matches every number reported in the paper's Figure 3 — 286 instances, a
+201/85 class split, ten nominal attributes with the reported distinct-value
+counts, and exactly 9 missing cells (8 on ``node-caps``, 1 on
+``breast-quad``) — and plants the class structure so that a C4.5 learner
+selects ``node-caps`` at the root of the tree, as in the paper's Figure 4.
+
+Other generators provide the workloads the remaining services need: WEKA's
+classic *weather* relation, Gaussian blobs for clustering, market baskets for
+association rules, numeric two-class problems for numeric classifiers, and
+grid-sampled surfaces for the ``plot3D`` Mathematica-substitute service.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.attribute import Attribute
+from repro.data.dataset import Dataset
+
+# --------------------------------------------------------------------------
+# Breast cancer (Figure 3 / Figure 4)
+# --------------------------------------------------------------------------
+
+_AGE = ("20-29", "30-39", "40-49", "50-59", "60-69", "70-79")
+_MENOPAUSE = ("lt40", "ge40", "premeno")
+_TUMOR_SIZE = ("0-4", "5-9", "10-14", "15-19", "20-24", "25-29",
+               "30-34", "35-39", "40-44", "45-49", "50-54")
+_INV_NODES = ("0-2", "3-5", "6-8", "9-11", "12-14", "15-17", "24-26")
+_NODE_CAPS = ("yes", "no")
+_DEG_MALIG = ("1", "2", "3")
+_BREAST = ("left", "right")
+_BREAST_QUAD = ("left_up", "left_low", "right_up", "right_low", "central")
+_IRRADIAT = ("yes", "no")
+_CLASS = ("no-recurrence-events", "recurrence-events")
+
+
+def breast_cancer_attributes() -> list[Attribute]:
+    """The ten-attribute schema of the paper's case-study dataset."""
+    return [
+        Attribute.nominal("age", _AGE),
+        Attribute.nominal("menopause", _MENOPAUSE),
+        Attribute.nominal("tumor-size", _TUMOR_SIZE),
+        Attribute.nominal("inv-nodes", _INV_NODES),
+        Attribute.nominal("node-caps", _NODE_CAPS),
+        Attribute.nominal("deg-malig", _DEG_MALIG),
+        Attribute.nominal("breast", _BREAST),
+        Attribute.nominal("breast-quad", _BREAST_QUAD),
+        Attribute.nominal("irradiat", _IRRADIAT),
+        Attribute.nominal("Class", _CLASS),
+    ]
+
+
+def _exact_counts(rng: np.random.Generator,
+                  pairs: Sequence[tuple[object, int]]) -> list[object]:
+    """Expand ``(value, count)`` pairs into a shuffled list of values."""
+    out: list[object] = []
+    for value, count in pairs:
+        out.extend([value] * count)
+    rng.shuffle(out)  # type: ignore[arg-type]
+    return out
+
+
+def _conditional(rng: np.random.Generator, values: Sequence[str],
+                 probs: Sequence[float], size: int) -> list[str]:
+    p = np.asarray(probs, dtype=float)
+    p = p / p.sum()
+    idx = rng.choice(len(values), size=size, p=p)
+    return [values[i] for i in idx]
+
+
+def _ensure_all_present(rng: np.random.Generator, column: list[object],
+                        values: Sequence[str]) -> None:
+    """Force every declared value to appear at least once (distinct counts)."""
+    present = {v for v in column if v is not None}
+    missing_values = [v for v in values if v not in present]
+    if not missing_values:
+        return
+    candidates = [i for i, v in enumerate(column) if v is not None]
+    slots = rng.choice(candidates, size=len(missing_values), replace=False)
+    for slot, value in zip(slots, missing_values):
+        column[int(slot)] = value
+
+
+def breast_cancer(seed: int = 0) -> Dataset:
+    """Deterministic synthetic stand-in for the UCI breast-cancer dataset.
+
+    Exact properties (asserted by the test suite and the FIG-3 bench):
+
+    * 286 instances, 10 nominal attributes;
+    * class split 201 ``no-recurrence-events`` / 85 ``recurrence-events``;
+    * exactly 9 missing cells (0.3%): 8 on ``node-caps``, 1 on
+      ``breast-quad``;
+    * distinct value counts 6/3/11/7/2/3/2/5/2/2 matching Figure 3;
+    * ``node-caps`` is the strongest single predictor, so a C4.5 learner
+      places it at the tree root (Figure 4).
+    """
+    rng = np.random.default_rng(seed)
+    n = 286
+
+    # class column: exactly 201 / 85, recurrence indices known up front so
+    # every other column can be drawn conditionally on the class.
+    labels = ([_CLASS[0]] * 201) + ([_CLASS[1]] * 85)
+    rng.shuffle(labels)
+    is_rec = [lab == _CLASS[1] for lab in labels]
+    rec_idx = [i for i in range(n) if is_rec[i]]
+    non_idx = [i for i in range(n) if not is_rec[i]]
+
+    # node-caps: the planted root split.  Counts per class are exact:
+    #   recurrence:      45 yes / 38 no / 2 missing   (85)
+    #   no-recurrence:   11 yes / 184 no / 6 missing  (201)
+    # totals: 56 yes, 222 no, 8 missing; P(rec|yes)=0.80, P(rec|no)=0.17,
+    # which makes node-caps the dominant gain-ratio split (Figure 4 root).
+    node_caps: list[object] = [None] * n
+    rec_vals = _exact_counts(rng, [("yes", 45), ("no", 38), (None, 2)])
+    non_vals = _exact_counts(rng, [("yes", 11), ("no", 184), (None, 6)])
+    for i, v in zip(rec_idx, rec_vals):
+        node_caps[i] = v
+    for i, v in zip(non_idx, non_vals):
+        node_caps[i] = v
+
+    # deg-malig: second-strongest predictor (recurrence skews to grade 3).
+    deg_malig: list[object] = [None] * n
+    rec_vals = _exact_counts(rng, [("1", 5), ("2", 30), ("3", 50)])
+    non_vals = _exact_counts(rng, [("1", 66), ("2", 105), ("3", 30)])
+    for i, v in zip(rec_idx, rec_vals):
+        deg_malig[i] = v
+    for i, v in zip(non_idx, non_vals):
+        deg_malig[i] = v
+
+    # inv-nodes: correlated with node-caps (capsular invasion implies nodes).
+    inv_nodes: list[object] = [None] * n
+    for i in range(n):
+        if node_caps[i] == "yes":
+            probs = (0.25, 0.30, 0.20, 0.10, 0.07, 0.05, 0.03)
+        else:
+            probs = (0.80, 0.10, 0.04, 0.02, 0.02, 0.01, 0.01)
+        inv_nodes[i] = _conditional(rng, _INV_NODES, probs, 1)[0]
+    _ensure_all_present(rng, inv_nodes, _INV_NODES)
+
+    # weakly informative / noise attributes with realistic marginals.
+    age = list(_conditional(rng, _AGE,
+                            (0.02, 0.13, 0.31, 0.34, 0.19, 0.01), n))
+    _ensure_all_present(rng, age, _AGE)
+    menopause = [
+        _conditional(rng, _MENOPAUSE, (0.02, 0.45, 0.53), 1)[0]
+        if a in ("50-59", "60-69", "70-79")
+        else _conditional(rng, _MENOPAUSE, (0.03, 0.07, 0.90), 1)[0]
+        for a in age
+    ]
+    _ensure_all_present(rng, menopause, _MENOPAUSE)
+    tumor_probs_rec = (0.02, 0.03, 0.06, 0.09, 0.17, 0.18,
+                       0.20, 0.09, 0.08, 0.04, 0.04)
+    tumor_probs_non = (0.04, 0.11, 0.11, 0.12, 0.19, 0.15,
+                       0.14, 0.06, 0.05, 0.02, 0.01)
+    tumor_size = [
+        _conditional(rng, _TUMOR_SIZE,
+                     tumor_probs_rec if is_rec[i] else tumor_probs_non, 1)[0]
+        for i in range(n)
+    ]
+    _ensure_all_present(rng, tumor_size, _TUMOR_SIZE)
+    breast = _conditional(rng, _BREAST, (0.53, 0.47), n)
+    breast_quad: list[object] = list(_conditional(
+        rng, _BREAST_QUAD, (0.34, 0.38, 0.12, 0.08, 0.08), n))
+    _ensure_all_present(rng, breast_quad, _BREAST_QUAD)
+    # exactly one missing breast-quad cell (Figure 3 row 8).
+    breast_quad[int(rng.integers(n))] = None
+    irradiat = [
+        _conditional(rng, _IRRADIAT, (0.40, 0.60), 1)[0] if is_rec[i]
+        else _conditional(rng, _IRRADIAT, (0.22, 0.78), 1)[0]
+        for i in range(n)
+    ]
+
+    ds = Dataset("breast-cancer", breast_cancer_attributes())
+    for i in range(n):
+        ds.add_row([age[i], menopause[i], tumor_size[i], inv_nodes[i],
+                    node_caps[i], deg_malig[i], breast[i], breast_quad[i],
+                    irradiat[i], labels[i]])
+    ds.set_class("Class")
+    return ds
+
+
+# --------------------------------------------------------------------------
+# Weather (WEKA's canonical toy relation)
+# --------------------------------------------------------------------------
+
+def weather_nominal() -> Dataset:
+    """WEKA's 14-instance all-nominal *weather* relation."""
+    ds = Dataset("weather.symbolic", [
+        Attribute.nominal("outlook", ("sunny", "overcast", "rainy")),
+        Attribute.nominal("temperature", ("hot", "mild", "cool")),
+        Attribute.nominal("humidity", ("high", "normal")),
+        Attribute.nominal("windy", ("TRUE", "FALSE")),
+        Attribute.nominal("play", ("yes", "no")),
+    ])
+    rows = [
+        ("sunny", "hot", "high", "FALSE", "no"),
+        ("sunny", "hot", "high", "TRUE", "no"),
+        ("overcast", "hot", "high", "FALSE", "yes"),
+        ("rainy", "mild", "high", "FALSE", "yes"),
+        ("rainy", "cool", "normal", "FALSE", "yes"),
+        ("rainy", "cool", "normal", "TRUE", "no"),
+        ("overcast", "cool", "normal", "TRUE", "yes"),
+        ("sunny", "mild", "high", "FALSE", "no"),
+        ("sunny", "cool", "normal", "FALSE", "yes"),
+        ("rainy", "mild", "normal", "FALSE", "yes"),
+        ("sunny", "mild", "normal", "TRUE", "yes"),
+        ("overcast", "mild", "high", "TRUE", "yes"),
+        ("overcast", "hot", "normal", "FALSE", "yes"),
+        ("rainy", "mild", "high", "TRUE", "no"),
+    ]
+    for row in rows:
+        ds.add_row(row)
+    ds.set_class("play")
+    return ds
+
+
+def weather_numeric() -> Dataset:
+    """WEKA's *weather* relation with numeric temperature/humidity."""
+    ds = Dataset("weather.numeric", [
+        Attribute.nominal("outlook", ("sunny", "overcast", "rainy")),
+        Attribute.numeric("temperature"),
+        Attribute.numeric("humidity"),
+        Attribute.nominal("windy", ("TRUE", "FALSE")),
+        Attribute.nominal("play", ("yes", "no")),
+    ])
+    rows = [
+        ("sunny", 85, 85, "FALSE", "no"),
+        ("sunny", 80, 90, "TRUE", "no"),
+        ("overcast", 83, 86, "FALSE", "yes"),
+        ("rainy", 70, 96, "FALSE", "yes"),
+        ("rainy", 68, 80, "FALSE", "yes"),
+        ("rainy", 65, 70, "TRUE", "no"),
+        ("overcast", 64, 65, "TRUE", "yes"),
+        ("sunny", 72, 95, "FALSE", "no"),
+        ("sunny", 69, 70, "FALSE", "yes"),
+        ("rainy", 75, 80, "FALSE", "yes"),
+        ("sunny", 75, 70, "TRUE", "yes"),
+        ("overcast", 72, 90, "TRUE", "yes"),
+        ("overcast", 81, 75, "FALSE", "yes"),
+        ("rainy", 71, 91, "TRUE", "no"),
+    ]
+    for row in rows:
+        ds.add_row(row)
+    ds.set_class("play")
+    return ds
+
+
+# --------------------------------------------------------------------------
+# Numeric workloads
+# --------------------------------------------------------------------------
+
+def gaussians(n_clusters: int = 3, n_per_cluster: int = 50,
+              n_features: int = 2, spread: float = 0.6,
+              seed: int = 0, labelled: bool = False) -> Dataset:
+    """Gaussian blobs for clustering (optionally with a true-cluster class).
+
+    Cluster centres are deterministic and well separated for any dimension:
+    centre *k* sits at distance 6 along axis ``k % n_features``, with the
+    sign alternating on each wrap, so no two centres are closer than 6.
+    """
+    rng = np.random.default_rng(seed)
+    centres = np.zeros((n_clusters, n_features))
+    for k in range(n_clusters):
+        axis = k % n_features
+        sign = 1.0 if (k // n_features) % 2 == 0 else -1.0
+        centres[k, axis] = sign * 6.0 * (1 + k // (2 * n_features))
+    attrs = [Attribute.numeric(f"x{j}") for j in range(n_features)]
+    if labelled:
+        attrs.append(Attribute.nominal(
+            "cluster", tuple(f"c{k}" for k in range(n_clusters))))
+    ds = Dataset("gaussians", attrs)
+    for k in range(n_clusters):
+        points = centres[k] + rng.normal(0.0, spread,
+                                         size=(n_per_cluster, n_features))
+        for p in points:
+            row: list[object] = [float(v) for v in p]
+            if labelled:
+                row.append(f"c{k}")
+            ds.add_row(row)
+    if labelled:
+        ds.set_class("cluster")
+    return ds.shuffled(rng)
+
+
+def numeric_two_class(n: int = 200, n_features: int = 4,
+                      separation: float = 2.0, seed: int = 0) -> Dataset:
+    """Two Gaussian classes in *n_features* dimensions (for numeric learners)."""
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    attrs = [Attribute.numeric(f"f{j}") for j in range(n_features)]
+    attrs.append(Attribute.nominal("class", ("neg", "pos")))
+    ds = Dataset("numeric-two-class", attrs)
+    shift = separation / math.sqrt(n_features)
+    for label, offset, count in (("neg", -shift, half),
+                                 ("pos", +shift, n - half)):
+        pts = rng.normal(offset, 1.0, size=(count, n_features))
+        for p in pts:
+            ds.add_row([*(float(v) for v in p), label])
+    ds.set_class("class")
+    return ds.shuffled(rng)
+
+
+def xor_problem(n: int = 200, noise: float = 0.15, seed: int = 0) -> Dataset:
+    """Noisy 2-D XOR — linearly inseparable, exercises MLP hidden layers."""
+    rng = np.random.default_rng(seed)
+    attrs = [Attribute.numeric("x"), Attribute.numeric("y"),
+             Attribute.nominal("class", ("a", "b"))]
+    ds = Dataset("xor", attrs)
+    for _ in range(n):
+        qx, qy = rng.integers(0, 2), rng.integers(0, 2)
+        x = qx + rng.normal(0, noise)
+        y = qy + rng.normal(0, noise)
+        ds.add_row([float(x), float(y), "a" if qx == qy else "b"])
+    ds.set_class("class")
+    return ds
+
+
+# --------------------------------------------------------------------------
+# Classic UCI-style relations (the repository family the paper draws on)
+# --------------------------------------------------------------------------
+
+_LED_SEGMENTS = {
+    # segment pattern (top, top-left, top-right, middle, bottom-left,
+    # bottom-right, bottom) per displayed digit
+    0: (1, 1, 1, 0, 1, 1, 1), 1: (0, 0, 1, 0, 0, 1, 0),
+    2: (1, 0, 1, 1, 1, 0, 1), 3: (1, 0, 1, 1, 0, 1, 1),
+    4: (0, 1, 1, 1, 0, 1, 0), 5: (1, 1, 0, 1, 0, 1, 1),
+    6: (1, 1, 0, 1, 1, 1, 1), 7: (1, 0, 1, 0, 0, 1, 0),
+    8: (1, 1, 1, 1, 1, 1, 1), 9: (1, 1, 1, 1, 0, 1, 1),
+}
+
+
+def led7(n: int = 500, noise: float = 0.1, seed: int = 0) -> Dataset:
+    """The classic LED-display domain: 7 binary segments, 10 digit
+    classes, each segment flipped with probability *noise* (the UCI
+    generator's standard 10%)."""
+    rng = np.random.default_rng(seed)
+    attrs = [Attribute.nominal(f"segment{i}", ("off", "on"))
+             for i in range(7)]
+    attrs.append(Attribute.nominal("digit",
+                                   tuple(str(d) for d in range(10))))
+    ds = Dataset("led7", attrs)
+    for _ in range(n):
+        digit = int(rng.integers(0, 10))
+        segments = list(_LED_SEGMENTS[digit])
+        for i in range(7):
+            if rng.random() < noise:
+                segments[i] = 1 - segments[i]
+        ds.add_row([("on" if s else "off") for s in segments]
+                   + [str(digit)])
+    ds.set_class("digit")
+    return ds
+
+
+def monks1(n: int = 300, seed: int = 0) -> Dataset:
+    """The MONK's-1 problem: class is 1 iff (a1 = a2) or (a5 = 1).
+
+    A rule-structured relation that separates rule/tree learners from
+    purely statistical ones — the classic toolkit-era comparison domain.
+    """
+    rng = np.random.default_rng(seed)
+    domains = {"a1": 3, "a2": 3, "a3": 2, "a4": 3, "a5": 4, "a6": 2}
+    attrs = [Attribute.nominal(name, tuple(str(v + 1)
+                                           for v in range(size)))
+             for name, size in domains.items()]
+    attrs.append(Attribute.nominal("class", ("0", "1")))
+    ds = Dataset("monks1", attrs)
+    for _ in range(n):
+        row = {name: int(rng.integers(0, size))
+               for name, size in domains.items()}
+        label = "1" if (row["a1"] == row["a2"] or row["a5"] == 0) else "0"
+        ds.add_row([str(row[name] + 1) for name in domains] + [label])
+    ds.set_class("class")
+    return ds
+
+
+# --------------------------------------------------------------------------
+# Market baskets (association rules)
+# --------------------------------------------------------------------------
+
+_BASKET_ITEMS = ("bread", "milk", "butter", "cheese", "beer", "nappies",
+                 "apples", "coffee", "tea", "sugar")
+
+
+def baskets(n: int = 300, seed: int = 0) -> Dataset:
+    """Market-basket transactions as binary nominal attributes.
+
+    Planted associations: ``bread → butter`` and ``beer → nappies`` (a nod to
+    the folklore), plus ``coffee → sugar`` with lower confidence.
+    """
+    rng = np.random.default_rng(seed)
+    attrs = [Attribute.nominal(item, ("f", "t")) for item in _BASKET_ITEMS]
+    ds = Dataset("baskets", attrs)
+    base = {"bread": 0.55, "milk": 0.50, "butter": 0.15, "cheese": 0.25,
+            "beer": 0.30, "nappies": 0.10, "apples": 0.35, "coffee": 0.40,
+            "tea": 0.25, "sugar": 0.20}
+    for _ in range(n):
+        row = {item: rng.random() < p for item, p in base.items()}
+        if row["bread"] and rng.random() < 0.80:
+            row["butter"] = True
+        if row["beer"] and rng.random() < 0.75:
+            row["nappies"] = True
+        if row["coffee"] and rng.random() < 0.60:
+            row["sugar"] = True
+        ds.add_row(["t" if row[item] else "f" for item in _BASKET_ITEMS])
+    return ds
+
+
+# --------------------------------------------------------------------------
+# Surfaces (plot3D service workload)
+# --------------------------------------------------------------------------
+
+def surface3d(fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+              | None = None,
+              n: int = 25, lo: float = -3.0, hi: float = 3.0) -> Dataset:
+    """Grid-sample ``z = f(x, y)`` into a 3-column numeric dataset.
+
+    The default surface is the classic ``sinc`` sombrero the Mathematica
+    ``Plot3D`` documentation uses.
+    """
+    if fn is None:
+        def fn(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+            r = np.sqrt(x * x + y * y)
+            return np.where(r < 1e-12, 1.0, np.sin(r) / np.maximum(r, 1e-12))
+    xs = np.linspace(lo, hi, n)
+    ys = np.linspace(lo, hi, n)
+    gx, gy = np.meshgrid(xs, ys)
+    gz = fn(gx, gy)
+    ds = Dataset("surface3d", [Attribute.numeric("x"),
+                               Attribute.numeric("y"),
+                               Attribute.numeric("z")])
+    for x, y, z in zip(gx.ravel(), gy.ravel(), gz.ravel()):
+        ds.add_row([float(x), float(y), float(z)])
+    return ds

@@ -1,0 +1,66 @@
+"""Exception hierarchy shared across the toolkit.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch toolkit failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all toolkit errors."""
+
+
+class DataError(ReproError):
+    """Malformed dataset, attribute mismatch, or parse failure."""
+
+
+class ArffParseError(DataError):
+    """An ARFF document could not be parsed."""
+
+    def __init__(self, message: str, line_no: int | None = None):
+        self.line_no = line_no
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+class OptionError(ReproError):
+    """An algorithm option was unknown or had an invalid value."""
+
+
+class NotFittedError(ReproError):
+    """A model was used before :meth:`fit` was called."""
+
+
+class ServiceError(ReproError):
+    """A web-service level failure (maps to a SOAP fault)."""
+
+
+class TransportError(ServiceError):
+    """The message could not be delivered to the endpoint."""
+
+
+class WsdlError(ServiceError):
+    """A WSDL document was malformed or inconsistent."""
+
+
+class RegistryError(ServiceError):
+    """UDDI-style registry lookup/publication failure."""
+
+
+class WorkflowError(ReproError):
+    """Workflow graph construction or enactment failure."""
+
+
+class CableError(WorkflowError):
+    """An illegal cable connection between task nodes."""
+
+
+class EnactmentError(WorkflowError):
+    """A task failed during workflow execution."""
+
+    def __init__(self, task_name: str, cause: BaseException):
+        self.task_name = task_name
+        self.cause = cause
+        super().__init__(f"task {task_name!r} failed: {cause!r}")

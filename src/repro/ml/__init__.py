@@ -1,0 +1,25 @@
+"""Machine-learning library (WEKA analogue).
+
+Families: :mod:`~repro.ml.classifiers`, :mod:`~repro.ml.clusterers`,
+:mod:`~repro.ml.associations`, :mod:`~repro.ml.attrsel` (attribute
+search/selection), :mod:`~repro.ml.filters` and
+:mod:`~repro.ml.evaluation`.  The registries in :mod:`~repro.ml.base` plus
+the preset catalogue in :mod:`~repro.ml.catalogue` are what the paper's
+``getClassifiers``/``getOptions`` service operations expose.
+"""
+
+from repro.ml.base import (ASSOCIATORS, CLASSIFIERS, CLUSTERERS,
+                           AssociationLearner, Classifier, Clusterer,
+                           IncrementalClassifier, Registry)
+from repro.ml.options import OptionSpec, parse_option_string, resolve_options
+from repro.ml import (advisor, associations, attrsel, catalogue,
+                      classifiers, clusterers, evaluation, filters)
+
+__all__ = [
+    "Classifier", "IncrementalClassifier", "Clusterer",
+    "AssociationLearner", "Registry",
+    "CLASSIFIERS", "CLUSTERERS", "ASSOCIATORS",
+    "OptionSpec", "resolve_options", "parse_option_string",
+    "classifiers", "clusterers", "associations", "attrsel", "filters",
+    "evaluation", "catalogue", "advisor",
+]

@@ -1,0 +1,272 @@
+"""Algorithm-choice advice (§3, Category 1 requirements).
+
+Two of the paper's knowledge-discovery requirements are implemented here:
+
+* *"Choosing a data mining algorithm ... we should require the toolkit to
+  provide some support in algorithm choice based on the characteristics of
+  the problem being investigated"* — :func:`characterise` extracts dataset
+  meta-features (a small StatLog-style characterisation) and
+  :func:`recommend` applies transparent rules over them, returning ranked
+  suggestions with human-readable reasons.
+
+* *"Utilise users experience: ... The framework should assist the users to
+  make use of previous experience to select the appropriate tool"* —
+  :class:`ExperienceStore` records past (dataset characteristics,
+  algorithm, score) outcomes and biases future recommendations toward
+  algorithms that worked on *similar* datasets (nearest-neighbour over the
+  meta-feature vector).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.summary import class_entropy
+from repro.errors import DataError
+
+
+@dataclass(frozen=True)
+class Characteristics:
+    """StatLog-style dataset meta-features."""
+
+    n_instances: int
+    n_attributes: int
+    n_numeric: int
+    n_nominal: int
+    missing_fraction: float
+    n_classes: int
+    class_entropy: float
+    majority_fraction: float
+    mean_distinct_values: float     # nominal attributes only
+    max_info_gain: float            # best single-attribute signal
+    dimensionality: float           # attributes / instances
+
+    def vector(self) -> np.ndarray:
+        """Numeric embedding used for similarity search."""
+        return np.array([
+            math.log10(max(self.n_instances, 1)),
+            math.log10(max(self.n_attributes, 1)),
+            self.n_numeric / max(self.n_attributes, 1),
+            self.missing_fraction,
+            self.n_classes,
+            self.class_entropy,
+            self.majority_fraction,
+            self.max_info_gain,
+            min(self.dimensionality, 2.0),
+        ])
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (SOAP/JSON-ready)."""
+        return {k: getattr(self, k) for k in (
+            "n_instances", "n_attributes", "n_numeric", "n_nominal",
+            "missing_fraction", "n_classes", "class_entropy",
+            "majority_fraction", "mean_distinct_values", "max_info_gain",
+            "dimensionality")}
+
+
+def characterise(dataset: Dataset) -> Characteristics:
+    """Extract meta-features from a classification dataset."""
+    if not dataset.has_class or not dataset.class_attribute.is_nominal:
+        raise DataError("algorithm advice needs a nominal class attribute")
+    if dataset.num_instances == 0:
+        raise DataError("cannot characterise an empty dataset")
+    n_numeric = sum(1 for i, a in enumerate(dataset.attributes)
+                    if a.is_numeric and i != dataset.class_index)
+    n_nominal = sum(1 for i, a in enumerate(dataset.attributes)
+                    if a.is_nominal and i != dataset.class_index)
+    counts = dataset.class_counts()
+    total_cells = dataset.num_instances * dataset.num_attributes
+    distinct = [a.num_values for i, a in enumerate(dataset.attributes)
+                if a.is_nominal and i != dataset.class_index]
+    from repro.ml.attrsel.evaluators import info_gain
+    gains = [info_gain(dataset, i)
+             for i in range(dataset.num_attributes)
+             if i != dataset.class_index
+             and not dataset.attribute(i).is_string]
+    return Characteristics(
+        n_instances=dataset.num_instances,
+        n_attributes=dataset.num_attributes - 1,
+        n_numeric=n_numeric,
+        n_nominal=n_nominal,
+        missing_fraction=dataset.num_missing() / total_cells,
+        n_classes=dataset.num_classes,
+        class_entropy=class_entropy(dataset),
+        majority_fraction=float(counts.max() / counts.sum()),
+        mean_distinct_values=(sum(distinct) / len(distinct)
+                              if distinct else 0.0),
+        max_info_gain=max(gains) if gains else 0.0,
+        dimensionality=(dataset.num_attributes - 1)
+        / dataset.num_instances,
+    )
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One ranked algorithm suggestion."""
+
+    algorithm: str
+    score: float
+    reasons: tuple[str, ...]
+
+
+def recommend(dataset: Dataset, top: int = 5,
+              experience: "ExperienceStore | None" = None
+              ) -> list[Recommendation]:
+    """Rank catalogue classifiers for *dataset* by transparent rules,
+    optionally biased by recorded experience on similar datasets."""
+    ch = characterise(dataset)
+    scores: dict[str, tuple[float, list[str]]] = {}
+
+    def vote(name: str, weight: float, reason: str) -> None:
+        score, reasons = scores.setdefault(name, (0.0, []))
+        scores[name] = (score + weight, reasons + [reason])
+
+    # baseline plausibility for the family champions
+    for name in ("J48", "NaiveBayes", "IB3", "Logistic", "RandomForest",
+                 "OneR", "SMO", "MultilayerPerceptron", "DecisionTable"):
+        vote(name, 1.0, "general-purpose classifier")
+
+    if ch.max_info_gain > 0.15:
+        vote("OneR", 2.0, "one attribute is highly predictive "
+             f"(info gain {ch.max_info_gain:.2f})")
+        vote("J48", 1.5, "strong single-attribute splits favour trees")
+        vote("DecisionTable", 0.5, "few attributes carry the signal")
+    if ch.n_nominal > 0 and ch.n_numeric == 0:
+        vote("J48", 1.0, "all-nominal data suits tree learners")
+        vote("NaiveBayes", 1.0, "nominal frequencies estimate cleanly")
+        vote("Prism", 0.5, "rule induction applies directly")
+    if ch.n_numeric > 0 and ch.n_nominal == 0:
+        vote("Logistic", 1.0, "all-numeric data suits linear models")
+        vote("SMO", 1.0, "margin methods handle numeric features")
+        vote("IB3", 0.75, "distance is meaningful on numeric data")
+        vote("MultilayerPerceptron", 0.5,
+             "nonlinear numeric boundaries learnable")
+    if ch.missing_fraction > 0.01:
+        vote("J48", 1.0, "C4.5 handles missing values natively")
+        vote("NaiveBayes", 1.0, "missing cells drop out of the product")
+        vote("IB3", -0.5, "missing values degrade distances")
+    if ch.n_instances < 50:
+        vote("NaiveBayes", 1.0, "low variance on tiny datasets")
+        vote("MultilayerPerceptron", -1.5,
+             "too few instances to train a network")
+        vote("RandomForest", -0.5, "bootstraps are tiny")
+    if ch.n_instances > 2000:
+        vote("IB3", -0.5, "lazy prediction is slow on large data")
+        vote("RandomForest", 0.5, "enough data for a forest")
+    if ch.n_classes > 2:
+        vote("NaiveBayes", 0.5, "natively multiclass")
+        vote("J48", 0.5, "natively multiclass")
+    if ch.majority_fraction > 0.85:
+        vote("ZeroR", 1.0, "class is heavily skewed; check the baseline")
+    if ch.dimensionality > 0.25:
+        vote("NaiveBayes", 0.5, "many attributes per instance")
+        vote("AttributeSelectedClassifier", 1.5,
+             "attribute selection likely to help "
+             f"({ch.n_attributes} attributes, "
+             f"{ch.n_instances} instances)")
+
+    if experience is not None:
+        for name, bonus, reason in experience.advice(ch):
+            vote(name, bonus, reason)
+
+    ranked = sorted(scores.items(), key=lambda kv: -kv[1][0])[:top]
+    return [Recommendation(name, round(score, 3), tuple(reasons))
+            for name, (score, reasons) in ranked]
+
+
+@dataclass
+class _ExperienceRecord:
+    vector: list[float]
+    algorithm: str
+    score: float
+    relation: str
+
+
+class ExperienceStore:
+    """Persistent record of past runs, queried by dataset similarity.
+
+    Stored as a JSON-lines file so multiple toolkit sessions can share one
+    store (the paper's "previous experience").
+    """
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path else None
+        self._records: list[_ExperienceRecord] = []
+        if self.path and self.path.exists():
+            for line in self.path.read_text().splitlines():
+                if line.strip():
+                    raw = json.loads(line)
+                    self._records.append(_ExperienceRecord(**raw))
+
+    def record(self, dataset_or_ch, algorithm: str, score: float,
+               relation: str = "") -> None:
+        """Record that *algorithm* achieved *score* (e.g. CV accuracy)."""
+        ch = (dataset_or_ch if isinstance(dataset_or_ch, Characteristics)
+              else characterise(dataset_or_ch))
+        rec = _ExperienceRecord(
+            vector=[float(v) for v in ch.vector()],
+            algorithm=algorithm, score=float(score),
+            relation=relation)
+        self._records.append(rec)
+        if self.path:
+            with self.path.open("a") as fp:
+                fp.write(json.dumps(rec.__dict__) + "\n")
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def similar(self, ch: Characteristics, k: int = 10
+                ) -> list[_ExperienceRecord]:
+        """The k most similar past runs."""
+        if not self._records:
+            return []
+        query = ch.vector()
+        scored = sorted(
+            self._records,
+            key=lambda r: float(np.linalg.norm(
+                np.array(r.vector) - query)))
+        return scored[:k]
+
+    def advice(self, ch: Characteristics
+               ) -> list[tuple[str, float, str]]:
+        """(algorithm, bonus, reason) votes from similar past runs."""
+        neighbours = self.similar(ch)
+        if not neighbours:
+            return []
+        by_algorithm: dict[str, list[float]] = {}
+        for rec in neighbours:
+            by_algorithm.setdefault(rec.algorithm, []).append(rec.score)
+        out = []
+        for name, results in by_algorithm.items():
+            mean = sum(results) / len(results)
+            bonus = 3.0 * (mean - 0.5)  # accuracy above coin-flip
+            out.append((name, bonus,
+                        f"past experience: mean score {mean:.2f} on "
+                        f"{len(results)} similar dataset(s)"))
+        return out
+
+
+def advise_text(dataset: Dataset,
+                experience: ExperienceStore | None = None) -> str:
+    """Human-readable advice report (what the toolkit shows a domain
+    expert who 'is generally not an algorithm expert')."""
+    ch = characterise(dataset)
+    lines = [f"=== Algorithm advice for {dataset.relation!r} ===", ""]
+    lines.append("Dataset characteristics:")
+    for key, value in ch.as_dict().items():
+        shown = f"{value:.3f}" if isinstance(value, float) else str(value)
+        lines.append(f"  {key:<22} {shown}")
+    lines.append("")
+    lines.append("Recommendations:")
+    for i, rec in enumerate(recommend(dataset, experience=experience),
+                            start=1):
+        lines.append(f"  {i}. {rec.algorithm}  (score {rec.score})")
+        for reason in rec.reasons:
+            lines.append(f"       - {reason}")
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Association-rule learners (the paper's third Web Service family)."""
+
+from repro.ml.associations.apriori import Apriori, AssociationRule
+from repro.ml.associations.fpgrowth import FPGrowth
+
+__all__ = ["Apriori", "AssociationRule", "FPGrowth"]

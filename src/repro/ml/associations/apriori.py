@@ -1,0 +1,189 @@
+"""Apriori frequent-itemset mining and association-rule generation.
+
+The third of the paper's three Web Service families ("1 classifiers,
+2 clustering algorithms and 3 association rules").  Items are
+``attribute=value`` pairs over nominal data, exactly like WEKA's Apriori; the
+learner mines frequent itemsets level-wise with candidate pruning and then
+emits rules above a confidence threshold, reporting support, confidence and
+lift.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.errors import DataError
+from repro.ml.base import ASSOCIATORS, AssociationLearner
+from repro.ml.options import BOOL, FLOAT, INT, OptionSpec
+
+Item = tuple[int, int]  # (attribute index, value index)
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """``antecedent -> consequent`` with its quality measures."""
+
+    antecedent: tuple[Item, ...]
+    consequent: tuple[Item, ...]
+    support: float      # fraction of transactions containing both sides
+    confidence: float   # support / support(antecedent)
+    lift: float         # confidence / support(consequent)
+
+    def format(self, dataset: Dataset) -> str:
+        """Render against *dataset*'s attribute vocabulary."""
+        def side(items: tuple[Item, ...]) -> str:
+            return " ".join(
+                f"{dataset.attribute(a).name}="
+                f"{dataset.attribute(a).values[v]}"
+                for a, v in items)
+        return (f"{side(self.antecedent)} ==> {side(self.consequent)}   "
+                f"sup:{self.support:.2f} conf:{self.confidence:.2f} "
+                f"lift:{self.lift:.2f}")
+
+
+@ASSOCIATORS.register("Apriori", "associations", "itemsets")
+class Apriori(AssociationLearner):
+    """Level-wise frequent-itemset mining + rule generation."""
+
+    OPTIONS = (
+        OptionSpec("min_support", FLOAT, 0.2,
+                   "Minimum itemset support (fraction).",
+                   minimum=1e-6, maximum=1.0),
+        OptionSpec("min_confidence", FLOAT, 0.8,
+                   "Minimum rule confidence.", minimum=0.0, maximum=1.0),
+        OptionSpec("max_size", INT, 5, "Maximum itemset size.", minimum=1),
+        OptionSpec("max_rules", INT, 50,
+                   "Keep at most this many rules (best confidence first).",
+                   minimum=1),
+        OptionSpec("class_rules", BOOL, False,
+                   "Mine class-association rules only: the consequent is "
+                   "restricted to the dataset's class attribute (WEKA's "
+                   "-A)."),
+    )
+
+    def fit(self, dataset: Dataset) -> "Apriori":
+        """Fit the model to *dataset*; returns ``self``."""
+        if self.opt("class_rules"):
+            if not dataset.has_class:
+                raise DataError(
+                    "class_rules needs a dataset with a class attribute")
+            self._class_index = dataset.class_index
+        else:
+            self._class_index = None
+        return self._fit_impl(dataset)
+
+    def _fit_impl(self, dataset: Dataset) -> "Apriori":
+        for attr in dataset.attributes:
+            if not attr.is_nominal:
+                raise DataError(
+                    f"Apriori needs nominal attributes; {attr.name!r} "
+                    f"is {attr.kind} (discretise first)")
+        self._dataset_header = dataset.copy_header()
+        matrix = dataset.to_matrix()
+        n = matrix.shape[0]
+        if n == 0:
+            raise DataError("no transactions")
+        min_count = self.opt("min_support") * n
+        # level 1: single items
+        supports: dict[tuple[Item, ...], float] = {}
+        current: list[tuple[Item, ...]] = []
+        covers: dict[tuple[Item, ...], np.ndarray] = {}
+        for a in range(dataset.num_attributes):
+            col = matrix[:, a]
+            for v in range(dataset.attribute(a).num_values):
+                mask = col == v
+                count = int(mask.sum())
+                if count >= min_count:
+                    itemset = ((a, v),)
+                    supports[itemset] = count / n
+                    covers[itemset] = mask
+                    current.append(itemset)
+        current.sort()
+        # level k: join + prune + count
+        for size in range(2, self.opt("max_size") + 1):
+            candidates = self._generate_candidates(current, size)
+            next_level: list[tuple[Item, ...]] = []
+            for cand in candidates:
+                prefix = cand[:-1]
+                last = (cand[-1],)
+                mask = covers[prefix] & covers[last]
+                count = int(mask.sum())
+                if count >= min_count:
+                    supports[cand] = count / n
+                    covers[cand] = mask
+                    next_level.append(cand)
+            if not next_level:
+                break
+            current = sorted(next_level)
+        self.itemsets = supports
+        self.rules = self._generate_rules(supports)
+        return self
+
+    @staticmethod
+    def _generate_candidates(frequent: list[tuple[Item, ...]],
+                             size: int) -> list[tuple[Item, ...]]:
+        """Join step (shared prefix) + prune step (all subsets frequent)."""
+        freq_set = set(frequent)
+        out = []
+        for i, a in enumerate(frequent):
+            for b in frequent[i + 1:]:
+                if a[:-1] != b[:-1]:
+                    break  # sorted order: prefixes diverge from here on
+                if a[-1][0] == b[-1][0]:
+                    continue  # same attribute twice is impossible
+                cand = a + (b[-1],) if a[-1] < b[-1] else b + (a[-1],)
+                if len(cand) != size:
+                    continue
+                if all(tuple(sorted(sub)) in freq_set
+                       for sub in itertools.combinations(cand, size - 1)):
+                    out.append(tuple(sorted(cand)))
+        return sorted(set(out))
+
+    def _generate_rules(self, supports) -> list[AssociationRule]:
+        rules: list[AssociationRule] = []
+        min_conf = self.opt("min_confidence")
+        class_index = getattr(self, "_class_index", None)
+        for itemset, support in supports.items():
+            if len(itemset) < 2:
+                continue
+            for r in range(1, len(itemset)):
+                for antecedent in itertools.combinations(itemset, r):
+                    antecedent = tuple(sorted(antecedent))
+                    consequent = tuple(sorted(set(itemset)
+                                              - set(antecedent)))
+                    if class_index is not None:
+                        # class-association rules: consequent is exactly
+                        # the class item; the class never leads
+                        if len(consequent) != 1 \
+                                or consequent[0][0] != class_index:
+                            continue
+                        if any(a == class_index
+                               for a, _ in antecedent):
+                            continue
+                    ant_support = supports.get(antecedent)
+                    con_support = supports.get(consequent)
+                    if ant_support is None or con_support is None:
+                        continue
+                    confidence = support / ant_support
+                    if confidence >= min_conf:
+                        rules.append(AssociationRule(
+                            antecedent, consequent, support, confidence,
+                            confidence / con_support))
+        rules.sort(key=lambda rule: (-rule.confidence, -rule.support))
+        return rules[:self.opt("max_rules")]
+
+    def rules_text(self) -> str:
+        """Human-readable listing of the mined rules."""
+        if not hasattr(self, "rules"):
+            raise DataError("Apriori is not fitted")
+        lines = [f"Apriori: min_support={self.opt('min_support')} "
+                 f"min_confidence={self.opt('min_confidence')}",
+                 f"Frequent itemsets: {len(self.itemsets)}   "
+                 f"Rules: {len(self.rules)}", ""]
+        for i, rule in enumerate(self.rules, start=1):
+            lines.append(f"{i:3d}. {rule.format(self._dataset_header)}")
+        return "\n".join(lines)

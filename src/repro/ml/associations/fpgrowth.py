@@ -1,0 +1,148 @@
+"""FP-Growth frequent-itemset mining.
+
+A second associator so the Association Web Service offers a genuine choice of
+algorithm; it mines exactly the same itemsets as :class:`Apriori` (a property
+the test suite asserts) but via the FP-tree recursive pattern growth, which is
+dramatically faster on dense data.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.data.dataset import Dataset
+from repro.errors import DataError
+from repro.ml.base import ASSOCIATORS, AssociationLearner
+from repro.ml.associations.apriori import Apriori, AssociationRule, Item
+from repro.ml.options import FLOAT, INT, OptionSpec
+
+
+class _FPNode:
+    __slots__ = ("item", "count", "parent", "children")
+
+    def __init__(self, item: Item | None, parent: "_FPNode | None"):
+        self.item = item
+        self.count = 0.0
+        self.parent = parent
+        self.children: dict[Item, _FPNode] = {}
+
+
+class _FPTree:
+    """FP-tree with header links for conditional-pattern extraction."""
+
+    def __init__(self) -> None:
+        self.root = _FPNode(None, None)
+        self.header: dict[Item, list[_FPNode]] = defaultdict(list)
+
+    def insert(self, items: list[Item], count: float) -> None:
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = _FPNode(item, node)
+                node.children[item] = child
+                self.header[item].append(child)
+            child.count += count
+            node = child
+
+    def prefix_paths(self, item: Item) -> list[tuple[list[Item], float]]:
+        paths = []
+        for node in self.header[item]:
+            path: list[Item] = []
+            cursor = node.parent
+            while cursor is not None and cursor.item is not None:
+                path.append(cursor.item)
+                cursor = cursor.parent
+            if path:
+                paths.append((list(reversed(path)), node.count))
+        return paths
+
+
+@ASSOCIATORS.register("FPGrowth", "associations", "itemsets", "fp-tree")
+class FPGrowth(AssociationLearner):
+    """Pattern-growth itemset mining + the same rule generation as Apriori."""
+
+    OPTIONS = (
+        OptionSpec("min_support", FLOAT, 0.2,
+                   "Minimum itemset support (fraction).",
+                   minimum=1e-6, maximum=1.0),
+        OptionSpec("min_confidence", FLOAT, 0.8,
+                   "Minimum rule confidence.", minimum=0.0, maximum=1.0),
+        OptionSpec("max_size", INT, 5, "Maximum itemset size.", minimum=1),
+        OptionSpec("max_rules", INT, 50,
+                   "Keep at most this many rules.", minimum=1),
+    )
+
+    def fit(self, dataset: Dataset) -> "FPGrowth":
+        """Fit the model to *dataset*; returns ``self``."""
+        for attr in dataset.attributes:
+            if not attr.is_nominal:
+                raise DataError(
+                    f"FPGrowth needs nominal attributes; {attr.name!r} "
+                    f"is {attr.kind}")
+        self._dataset_header = dataset.copy_header()
+        matrix = dataset.to_matrix()
+        n = matrix.shape[0]
+        if n == 0:
+            raise DataError("no transactions")
+        min_count = self.opt("min_support") * n
+        # frequency of single items
+        item_counts: dict[Item, float] = defaultdict(float)
+        transactions: list[list[Item]] = []
+        for row in matrix:
+            txn: list[Item] = []
+            for a, cell in enumerate(row):
+                if cell == cell:  # not NaN
+                    item = (a, int(cell))
+                    txn.append(item)
+                    item_counts[item] += 1.0
+            transactions.append(txn)
+        frequent_items = {i for i, c in item_counts.items()
+                          if c >= min_count}
+        order = {item: (-item_counts[item], item)
+                 for item in frequent_items}
+        tree = _FPTree()
+        for txn in transactions:
+            kept = sorted((i for i in txn if i in frequent_items),
+                          key=lambda i: order[i])
+            if kept:
+                tree.insert(kept, 1.0)
+        supports: dict[tuple[Item, ...], float] = {}
+        self._mine(tree, (), supports, min_count, n)
+        self.itemsets = supports
+        # reuse Apriori's rule generator for identical rule semantics
+        helper = Apriori(min_support=self.opt("min_support"),
+                         min_confidence=self.opt("min_confidence"),
+                         max_size=self.opt("max_size"),
+                         max_rules=self.opt("max_rules"))
+        helper._dataset_header = self._dataset_header
+        self.rules: list[AssociationRule] = helper._generate_rules(supports)
+        return self
+
+    def _mine(self, tree: _FPTree, suffix: tuple[Item, ...],
+              supports: dict, min_count: float, n: int) -> None:
+        if len(suffix) >= self.opt("max_size"):
+            return
+        item_totals = {item: sum(node.count for node in nodes)
+                       for item, nodes in tree.header.items()}
+        for item, total in sorted(item_totals.items()):
+            if total < min_count:
+                continue
+            itemset = tuple(sorted(suffix + (item,)))
+            supports[itemset] = total / n
+            conditional = _FPTree()
+            for path, count in tree.prefix_paths(item):
+                conditional.insert(path, count)
+            self._mine(conditional, itemset, supports, min_count, n)
+
+    def rules_text(self) -> str:
+        """Human-readable listing of the mined rules."""
+        if not hasattr(self, "rules"):
+            raise DataError("FPGrowth is not fitted")
+        lines = [f"FPGrowth: min_support={self.opt('min_support')} "
+                 f"min_confidence={self.opt('min_confidence')}",
+                 f"Frequent itemsets: {len(self.itemsets)}   "
+                 f"Rules: {len(self.rules)}", ""]
+        for i, rule in enumerate(self.rules, start=1):
+            lines.append(f"{i:3d}. {rule.format(self._dataset_header)}")
+        return "\n".join(lines)

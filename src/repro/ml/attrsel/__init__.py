@@ -1,0 +1,27 @@
+"""Attribute search and selection (the paper's "20 different approaches ...
+such as a genetic search operator")."""
+
+from repro.ml.attrsel.evaluators import (CfsSubsetEvaluator,
+                                         ConsistencyEvaluator, RANKERS,
+                                         SUBSET_EVALUATORS, SubsetEvaluator,
+                                         WrapperEvaluator, chi_squared,
+                                         gain_ratio, info_gain,
+                                         one_r_accuracy, relief_f,
+                                         symmetrical_uncertainty)
+from repro.ml.attrsel.searchers import (BestFirst, ExhaustiveSearch,
+                                        GeneticSearch, GreedyStepwise,
+                                        Ranker, RandomSearch, RankSearch,
+                                        Searcher, default_searchers)
+from repro.ml.attrsel.selection import (Approach, approaches,
+                                        rank_attributes, select_attributes)
+
+__all__ = [
+    "Approach", "approaches", "select_attributes", "rank_attributes",
+    "BestFirst", "GreedyStepwise", "GeneticSearch", "RandomSearch",
+    "ExhaustiveSearch", "RankSearch", "Ranker", "Searcher",
+    "default_searchers",
+    "SubsetEvaluator", "CfsSubsetEvaluator", "WrapperEvaluator",
+    "ConsistencyEvaluator", "SUBSET_EVALUATORS", "RANKERS",
+    "info_gain", "gain_ratio", "symmetrical_uncertainty", "chi_squared",
+    "one_r_accuracy", "relief_f",
+]

@@ -1,0 +1,303 @@
+"""Attribute evaluators.
+
+The paper: "Additional capability is made available ... to support attribute
+search and selection within a numeric data set and 20 different approaches are
+provided to achieve this, such as a genetic search operator."  An *approach*
+is a (searcher, evaluator) pairing; this module provides the evaluators —
+both single-attribute rankers (information gain, gain ratio, symmetrical
+uncertainty, chi-squared, ReliefF, OneR accuracy) and subset evaluators (CFS
+correlation-based merit, wrapper accuracy, consistency).
+
+Numeric attributes are handled by equal-frequency binning inside the
+contingency-table evaluators, so "within a numeric data set" holds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.errors import DataError
+from repro.ml.classifiers._tree import entropy
+
+_BINS = 10
+
+
+def _discretised_column(dataset: Dataset, idx: int) -> np.ndarray:
+    """Column as small-int codes; numeric columns equal-frequency binned.
+    Missing cells become code -1."""
+    col = dataset.column(idx)
+    attr = dataset.attribute(idx)
+    out = np.full(col.shape, -1, dtype=int)
+    present = ~np.isnan(col)
+    if attr.is_nominal:
+        out[present] = col[present].astype(int)
+        return out
+    values = col[present]
+    if values.size == 0:
+        return out
+    qs = np.quantile(values, np.linspace(0, 1, _BINS + 1)[1:-1])
+    out[present] = np.searchsorted(qs, values, side="right")
+    return out
+
+
+def _contingency(dataset: Dataset, idx: int) -> np.ndarray:
+    """(values x classes) weighted contingency table, missing rows dropped."""
+    codes = _discretised_column(dataset, idx)
+    y = dataset.class_values()
+    w = dataset.weights()
+    keep = (codes >= 0) & ~np.isnan(y)
+    codes, y, w = codes[keep], y[keep].astype(int), w[keep]
+    if codes.size == 0:
+        return np.zeros((1, dataset.num_classes))
+    table = np.zeros((codes.max() + 1, dataset.num_classes))
+    np.add.at(table, (codes, y), w)
+    return table
+
+
+def info_gain(dataset: Dataset, idx: int) -> float:
+    """Information gain of attribute *idx* w.r.t. the class."""
+    table = _contingency(dataset, idx)
+    class_counts = table.sum(axis=0)
+    branch = [table[v] for v in range(table.shape[0])]
+    total = table.sum()
+    if total <= 0:
+        return 0.0
+    avg = sum(b.sum() / total * entropy(b) for b in branch)
+    return entropy(class_counts) - avg
+
+
+def gain_ratio(dataset: Dataset, idx: int) -> float:
+    """Gain ratio (info gain / split info)."""
+    table = _contingency(dataset, idx)
+    gain = info_gain(dataset, idx)
+    sizes = table.sum(axis=1)
+    si = entropy(sizes)
+    return gain / si if si > 1e-12 else 0.0
+
+
+def symmetrical_uncertainty(dataset: Dataset, idx: int) -> float:
+    """2 * gain / (H(attr) + H(class))."""
+    table = _contingency(dataset, idx)
+    h_attr = entropy(table.sum(axis=1))
+    h_class = entropy(table.sum(axis=0))
+    denom = h_attr + h_class
+    if denom <= 1e-12:
+        return 0.0
+    return 2.0 * info_gain(dataset, idx) / denom
+
+
+def chi_squared(dataset: Dataset, idx: int) -> float:
+    """Pearson chi-squared statistic of the attribute/class table."""
+    table = _contingency(dataset, idx)
+    total = table.sum()
+    if total <= 0:
+        return 0.0
+    row = table.sum(axis=1, keepdims=True)
+    col = table.sum(axis=0, keepdims=True)
+    expected = row @ col / total
+    mask = expected > 0
+    return float((((table - expected) ** 2)[mask] / expected[mask]).sum())
+
+
+def one_r_accuracy(dataset: Dataset, idx: int) -> float:
+    """Training accuracy of the 1R rule on this attribute alone."""
+    table = _contingency(dataset, idx)
+    total = table.sum()
+    if total <= 0:
+        return 0.0
+    return float(table.max(axis=1).sum() / total)
+
+
+def relief_f(dataset: Dataset, idx: int, n_samples: int = 50,
+             k: int = 5, seed: int = 42) -> float:
+    """ReliefF weight of one attribute (sampled hits/misses)."""
+    weights = relief_f_all(dataset, n_samples=n_samples, k=k, seed=seed)
+    return weights[idx]
+
+
+def relief_f_all(dataset: Dataset, n_samples: int = 50, k: int = 5,
+                 seed: int = 42) -> np.ndarray:
+    """ReliefF weights of every attribute (class attribute gets 0)."""
+    from repro.ml.clusterers._distance import MixedDistance
+    metric = MixedDistance().fit(dataset)
+    matrix = metric.normalise(dataset.to_matrix())
+    y = dataset.class_values()
+    keep = ~np.isnan(y)
+    matrix, y = matrix[keep], y[keep].astype(int)
+    n, m = matrix.shape
+    weights = np.zeros(m)
+    if n < 2:
+        return weights
+    rng = np.random.default_rng(seed)
+    samples = rng.choice(n, size=min(n_samples, n), replace=False)
+    dist = metric.pairwise_to(matrix, matrix)
+    cls_idx = dataset.class_index
+    for i in samples:
+        same = np.where((y == y[i]) & (np.arange(n) != i))[0]
+        diff = np.where(y != y[i])[0]
+        if same.size == 0 or diff.size == 0:
+            continue
+        hits = same[np.argsort(dist[i, same])[:k]]
+        misses = diff[np.argsort(dist[i, diff])[:k]]
+        for j in range(m):
+            if j == cls_idx:
+                continue
+            col = matrix[:, j]
+            if math.isnan(col[i]):
+                continue
+            hd = np.abs(col[hits] - col[i])
+            md = np.abs(col[misses] - col[i])
+            if dataset.attribute(j).is_nominal:
+                hd = (hd > 0).astype(float)
+                md = (md > 0).astype(float)
+            weights[j] += float(np.nanmean(md)) - float(np.nanmean(hd))
+    return weights / max(len(samples), 1)
+
+
+RANKERS = {
+    "InfoGain": info_gain,
+    "GainRatio": gain_ratio,
+    "SymmetricalUncertainty": symmetrical_uncertainty,
+    "ChiSquared": chi_squared,
+    "OneRAccuracy": one_r_accuracy,
+    "ReliefF": relief_f,
+}
+
+
+# --------------------------------------------------------------------------
+# subset evaluators
+# --------------------------------------------------------------------------
+
+class SubsetEvaluator:
+    """Score a subset of attribute indices (class excluded); higher wins."""
+
+    name = "abstract"
+
+    def __init__(self, dataset: Dataset):
+        if not dataset.has_class:
+            raise DataError("subset evaluation needs a class attribute")
+        self.dataset = dataset
+        self.candidates = [
+            i for i in range(dataset.num_attributes)
+            if i != dataset.class_index
+            and not dataset.attribute(i).is_string]
+
+    def evaluate(self, subset: Sequence[int]) -> float:
+        """Score an attribute-index subset (higher is better)."""
+        raise NotImplementedError
+
+
+class CfsSubsetEvaluator(SubsetEvaluator):
+    """Hall's correlation-based feature selection merit:
+    ``k*r_cf / sqrt(k + k(k-1) r_ff)`` using symmetrical uncertainty as the
+    correlation measure."""
+
+    name = "CfsSubset"
+
+    def __init__(self, dataset: Dataset):
+        super().__init__(dataset)
+        self._su_class = {i: symmetrical_uncertainty(dataset, i)
+                          for i in self.candidates}
+        self._su_pair: dict[tuple[int, int], float] = {}
+
+    def _pair(self, a: int, b: int) -> float:
+        key = (min(a, b), max(a, b))
+        if key not in self._su_pair:
+            self._su_pair[key] = _su_between(self.dataset, *key)
+        return self._su_pair[key]
+
+    def evaluate(self, subset: Sequence[int]) -> float:
+        """Score an attribute-index subset (higher is better)."""
+        k = len(subset)
+        if k == 0:
+            return 0.0
+        r_cf = sum(self._su_class[i] for i in subset) / k
+        if k == 1:
+            return r_cf
+        pairs = [(a, b) for ai, a in enumerate(subset)
+                 for b in subset[ai + 1:]]
+        r_ff = sum(self._pair(a, b) for a, b in pairs) / len(pairs)
+        return k * r_cf / math.sqrt(k + k * (k - 1) * r_ff)
+
+
+def _su_between(dataset: Dataset, a: int, b: int) -> float:
+    """Symmetrical uncertainty between two attributes."""
+    ca = _discretised_column(dataset, a)
+    cb = _discretised_column(dataset, b)
+    keep = (ca >= 0) & (cb >= 0)
+    ca, cb = ca[keep], cb[keep]
+    if ca.size == 0:
+        return 0.0
+    table = np.zeros((ca.max() + 1, cb.max() + 1))
+    np.add.at(table, (ca, cb), 1.0)
+    h_a = entropy(table.sum(axis=1))
+    h_b = entropy(table.sum(axis=0))
+    total = table.sum()
+    cond = sum(table[v].sum() / total * entropy(table[v])
+               for v in range(table.shape[0]))
+    gain = h_b - cond
+    denom = h_a + h_b
+    return 2.0 * gain / denom if denom > 1e-12 else 0.0
+
+
+class WrapperEvaluator(SubsetEvaluator):
+    """Accuracy of a classifier cross-validated on the projected subset."""
+
+    name = "Wrapper"
+
+    def __init__(self, dataset: Dataset, classifier_name: str = "NaiveBayes",
+                 folds: int = 3, seed: int = 1):
+        super().__init__(dataset)
+        self.classifier_name = classifier_name
+        self.folds = folds
+        self.seed = seed
+
+    def evaluate(self, subset: Sequence[int]) -> float:
+        """Score an attribute-index subset (higher is better)."""
+        if not subset:
+            return 0.0
+        from repro.ml.base import CLASSIFIERS
+        from repro.ml.evaluation import cross_validate
+        projected = self.dataset.select_attributes(
+            list(subset) + [self.dataset.class_index])
+        result = cross_validate(
+            lambda: CLASSIFIERS.create(self.classifier_name),
+            projected, k=min(self.folds, projected.num_instances),
+            seed=self.seed)
+        return result.accuracy
+
+
+class ConsistencyEvaluator(SubsetEvaluator):
+    """Liu & Setiono's consistency rate: 1 - inconsistency of the projected
+    data (identical feature vectors with conflicting classes)."""
+
+    name = "Consistency"
+
+    def evaluate(self, subset: Sequence[int]) -> float:
+        """Score an attribute-index subset (higher is better)."""
+        if not subset:
+            return 0.0
+        codes = {i: _discretised_column(self.dataset, i) for i in subset}
+        y = self.dataset.class_values()
+        keep = ~np.isnan(y)
+        y = y[keep].astype(int)
+        table: dict[tuple, np.ndarray] = {}
+        n_classes = self.dataset.num_classes
+        rows = np.arange(len(keep))[keep]
+        for pos, row in enumerate(rows):
+            key = tuple(int(codes[i][row]) for i in subset)
+            table.setdefault(key, np.zeros(n_classes))[y[pos]] += 1
+        total = sum(c.sum() for c in table.values())
+        inconsistent = sum(c.sum() - c.max() for c in table.values())
+        return 1.0 - inconsistent / total if total else 0.0
+
+
+SUBSET_EVALUATORS = {
+    "CfsSubset": CfsSubsetEvaluator,
+    "Wrapper": WrapperEvaluator,
+    "Consistency": ConsistencyEvaluator,
+}

@@ -1,0 +1,250 @@
+"""Subset-search strategies, including the genetic search the paper names.
+
+Each searcher explores subsets of a dataset's attribute indices, scoring them
+with a :class:`~repro.ml.attrsel.evaluators.SubsetEvaluator`.  Combined with
+the evaluators this yields the "20 different approaches" to attribute
+search/selection advertised in the paper (see
+:func:`repro.ml.attrsel.selection.approaches`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+from repro.ml.attrsel.evaluators import SubsetEvaluator
+
+
+class Searcher:
+    """Search for a high-merit attribute subset."""
+
+    name = "abstract"
+
+    def search(self, evaluator: SubsetEvaluator) -> list[int]:
+        """Run the search; returns the selected attribute indices."""
+        raise NotImplementedError
+
+
+class BestFirst(Searcher):
+    """Forward best-first search with a stale-expansion stopping rule."""
+
+    name = "BestFirst"
+
+    def __init__(self, max_stale: int = 5):
+        self.max_stale = max_stale
+
+    def search(self, evaluator: SubsetEvaluator) -> list[int]:
+        """Run the search; returns the selected attribute indices."""
+        candidates = evaluator.candidates
+        open_list: list[tuple[float, tuple[int, ...]]] = [(0.0, ())]
+        best_score, best = 0.0, ()
+        seen: set[tuple[int, ...]] = {()}
+        stale = 0
+        while open_list and stale < self.max_stale:
+            open_list.sort(key=lambda t: t[0])
+            score, subset = open_list.pop()
+            improved = False
+            for attr in candidates:
+                if attr in subset:
+                    continue
+                child = tuple(sorted(subset + (attr,)))
+                if child in seen:
+                    continue
+                seen.add(child)
+                child_score = evaluator.evaluate(child)
+                open_list.append((child_score, child))
+                if child_score > best_score + 1e-12:
+                    best_score, best = child_score, child
+                    improved = True
+            stale = 0 if improved else stale + 1
+        return sorted(best)
+
+
+class GreedyStepwise(Searcher):
+    """Greedy hill-climbing, forward (grow) or backward (shrink)."""
+
+    name = "GreedyStepwise"
+
+    def __init__(self, backward: bool = False):
+        self.backward = backward
+        if backward:
+            self.name = "GreedyStepwise-backward"
+
+    def search(self, evaluator: SubsetEvaluator) -> list[int]:
+        """Run the search; returns the selected attribute indices."""
+        candidates = evaluator.candidates
+        current = list(candidates) if self.backward else []
+        current_score = evaluator.evaluate(current)
+        while True:
+            best_delta, best_move = 0.0, None
+            moves = (candidates if not self.backward else list(current))
+            for attr in moves:
+                if not self.backward and attr in current:
+                    continue
+                trial = ([a for a in current if a != attr]
+                         if self.backward else sorted(current + [attr]))
+                score = evaluator.evaluate(trial)
+                if score - current_score > best_delta + 1e-12:
+                    best_delta, best_move = score - current_score, trial
+            if best_move is None:
+                return sorted(current)
+            current = best_move
+            current_score += best_delta
+
+
+class GeneticSearch(Searcher):
+    """Goldberg-style simple GA over bit-string subsets — the searcher the
+    paper singles out ("such as a genetic search operator")."""
+
+    name = "GeneticSearch"
+
+    def __init__(self, population: int = 20, generations: int = 20,
+                 crossover: float = 0.6, mutation: float = 0.033,
+                 seed: int = 1):
+        self.population = population
+        self.generations = generations
+        self.crossover = crossover
+        self.mutation = mutation
+        self.seed = seed
+
+    def search(self, evaluator: SubsetEvaluator) -> list[int]:
+        """Run the search; returns the selected attribute indices."""
+        candidates = evaluator.candidates
+        m = len(candidates)
+        rng = np.random.default_rng(self.seed)
+        pop = rng.random((self.population, m)) < 0.5
+
+        def fitness(mask: np.ndarray) -> float:
+            subset = [candidates[i] for i in range(m) if mask[i]]
+            return evaluator.evaluate(subset)
+
+        scores = np.array([fitness(ind) for ind in pop])
+        best_idx = int(scores.argmax())
+        best, best_score = pop[best_idx].copy(), float(scores[best_idx])
+        for _ in range(self.generations):
+            # roulette-wheel selection (with floor to keep probabilities sane)
+            probs = scores - scores.min() + 1e-6
+            probs = probs / probs.sum()
+            parents = rng.choice(self.population,
+                                 size=(self.population, 2), p=probs)
+            children = []
+            for a, b in parents:
+                child = pop[a].copy()
+                if rng.random() < self.crossover:
+                    point = int(rng.integers(1, m)) if m > 1 else 0
+                    child[point:] = pop[b][point:]
+                flip = rng.random(m) < self.mutation
+                child[flip] = ~child[flip]
+                children.append(child)
+            pop = np.array(children)
+            scores = np.array([fitness(ind) for ind in pop])
+            gen_best = int(scores.argmax())
+            if scores[gen_best] > best_score:
+                best, best_score = pop[gen_best].copy(), \
+                    float(scores[gen_best])
+            # elitism: keep the all-time best alive
+            worst = int(scores.argmin())
+            pop[worst] = best
+            scores[worst] = best_score
+        return sorted(candidates[i] for i in range(m) if best[i])
+
+
+class RandomSearch(Searcher):
+    """Uniform random subset probing."""
+
+    name = "RandomSearch"
+
+    def __init__(self, probes: int = 100, seed: int = 1):
+        self.probes = probes
+        self.seed = seed
+
+    def search(self, evaluator: SubsetEvaluator) -> list[int]:
+        """Run the search; returns the selected attribute indices."""
+        candidates = evaluator.candidates
+        rng = np.random.default_rng(self.seed)
+        best_score, best = -1.0, []
+        for _ in range(self.probes):
+            mask = rng.random(len(candidates)) < 0.5
+            subset = [c for c, keep in zip(candidates, mask) if keep]
+            score = evaluator.evaluate(subset)
+            if score > best_score:
+                best_score, best = score, subset
+        return sorted(best)
+
+
+class ExhaustiveSearch(Searcher):
+    """Every subset up to ``max_size`` (small datasets only)."""
+
+    name = "ExhaustiveSearch"
+
+    def __init__(self, max_size: int = 4):
+        self.max_size = max_size
+
+    def search(self, evaluator: SubsetEvaluator) -> list[int]:
+        """Run the search; returns the selected attribute indices."""
+        candidates = evaluator.candidates
+        best_score, best = -1.0, []
+        limit = min(self.max_size, len(candidates))
+        for size in range(1, limit + 1):
+            for subset in itertools.combinations(candidates, size):
+                score = evaluator.evaluate(list(subset))
+                if score > best_score:
+                    best_score, best = score, list(subset)
+        return sorted(best)
+
+
+class RankSearch(Searcher):
+    """Rank attributes with a single-attribute measure, then evaluate the
+    prefixes of the ranking and keep the best one."""
+
+    name = "RankSearch"
+
+    def __init__(self, ranker_name: str = "InfoGain"):
+        self.ranker_name = ranker_name
+        self.name = f"RankSearch({ranker_name})"
+
+    def search(self, evaluator: SubsetEvaluator) -> list[int]:
+        """Run the search; returns the selected attribute indices."""
+        from repro.ml.attrsel.evaluators import RANKERS
+        ranker = RANKERS[self.ranker_name]
+        scored = sorted(
+            ((ranker(evaluator.dataset, i), i)
+             for i in evaluator.candidates), reverse=True)
+        ranking = [i for _, i in scored]
+        best_score, best = -1.0, []
+        for cut in range(1, len(ranking) + 1):
+            subset = sorted(ranking[:cut])
+            score = evaluator.evaluate(subset)
+            if score > best_score:
+                best_score, best = score, subset
+        return best
+
+
+class Ranker(Searcher):
+    """Not a subset search: returns the top-N attributes by a
+    single-attribute measure (WEKA's Ranker)."""
+
+    name = "Ranker"
+
+    def __init__(self, ranker_name: str = "InfoGain", top: int = 5):
+        self.ranker_name = ranker_name
+        self.top = top
+        self.name = f"Ranker({ranker_name})"
+
+    def search(self, evaluator: SubsetEvaluator) -> list[int]:
+        """Run the search; returns the selected attribute indices."""
+        from repro.ml.attrsel.evaluators import RANKERS
+        ranker = RANKERS[self.ranker_name]
+        scored = sorted(
+            ((ranker(evaluator.dataset, i), i)
+             for i in evaluator.candidates), reverse=True)
+        return sorted(i for _, i in scored[:self.top])
+
+
+def default_searchers() -> list[Searcher]:
+    """The searcher inventory used to enumerate selection approaches."""
+    return [BestFirst(), GreedyStepwise(), GreedyStepwise(backward=True),
+            GeneticSearch(), RandomSearch(), ExhaustiveSearch(),
+            RankSearch()]

@@ -1,0 +1,133 @@
+"""Attribute-selection façade: named approaches and one-call selection.
+
+An *approach* is a (searcher, evaluator) pairing.  :func:`approaches`
+enumerates the full catalogue (>= 20 entries, honouring the paper's "20
+different approaches ... such as a genetic search operator");
+:func:`select_attributes` runs one approach end-to-end and returns both the
+chosen attribute names and the projected dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.dataset import Dataset
+from repro.errors import OptionError
+from repro.ml.attrsel.evaluators import (CfsSubsetEvaluator,
+                                         ConsistencyEvaluator, RANKERS,
+                                         SubsetEvaluator, WrapperEvaluator)
+from repro.ml.attrsel.searchers import (BestFirst, ExhaustiveSearch,
+                                        GeneticSearch, GreedyStepwise,
+                                        Ranker, RandomSearch, RankSearch,
+                                        Searcher)
+
+
+@dataclass(frozen=True)
+class Approach:
+    """A named attribute-selection approach."""
+
+    name: str
+    searcher: str
+    evaluator: str
+    description: str
+
+
+def approaches() -> list[Approach]:
+    """The selection-approach catalogue exposed by the attribute-selection
+    Web Service (CAT-75 bench asserts ``len() >= 20``)."""
+    subset_searchers = ["BestFirst", "GreedyStepwise",
+                        "GreedyStepwise-backward", "GeneticSearch",
+                        "RandomSearch", "ExhaustiveSearch", "RankSearch"]
+    subset_evaluators = ["CfsSubset", "Consistency"]
+    out: list[Approach] = []
+    for searcher in subset_searchers:
+        for evaluator in subset_evaluators:
+            out.append(Approach(
+                f"{searcher}+{evaluator}", searcher, evaluator,
+                f"{searcher} search scored by the {evaluator} subset "
+                f"evaluator"))
+    # wrapper approaches are expensive; pair with the cheap searchers only
+    for searcher in ("BestFirst", "GreedyStepwise", "GeneticSearch"):
+        out.append(Approach(
+            f"{searcher}+Wrapper", searcher, "Wrapper",
+            f"{searcher} search scored by wrapped-classifier accuracy"))
+    # ranking approaches: one per single-attribute measure
+    for ranker in RANKERS:
+        out.append(Approach(
+            f"Ranker+{ranker}", f"Ranker({ranker})", ranker,
+            f"Top attributes ranked by {ranker}"))
+    return out
+
+
+def _make_searcher(name: str) -> Searcher:
+    if name == "BestFirst":
+        return BestFirst()
+    if name == "GreedyStepwise":
+        return GreedyStepwise()
+    if name == "GreedyStepwise-backward":
+        return GreedyStepwise(backward=True)
+    if name == "GeneticSearch":
+        return GeneticSearch()
+    if name == "RandomSearch":
+        return RandomSearch()
+    if name == "ExhaustiveSearch":
+        return ExhaustiveSearch()
+    if name == "RankSearch":
+        return RankSearch()
+    if name.startswith("Ranker"):
+        ranker = name[name.find("(") + 1:name.find(")")] \
+            if "(" in name else "InfoGain"
+        return Ranker(ranker)
+    raise OptionError(f"unknown searcher {name!r}")
+
+
+def _make_evaluator(name: str, dataset: Dataset) -> SubsetEvaluator:
+    if name == "CfsSubset":
+        return CfsSubsetEvaluator(dataset)
+    if name == "Consistency":
+        return ConsistencyEvaluator(dataset)
+    if name == "Wrapper":
+        return WrapperEvaluator(dataset)
+    if name in RANKERS:
+        # ranking approaches only need the candidate list; CFS is a cheap
+        # stand-in whose .dataset/.candidates the Ranker searcher uses
+        return CfsSubsetEvaluator(dataset)
+    raise OptionError(f"unknown evaluator {name!r}")
+
+
+def select_attributes(dataset: Dataset, approach: str
+                      ) -> tuple[list[str], Dataset]:
+    """Run a named approach; return (selected names, projected dataset).
+
+    The class attribute is always retained in the projection.
+    """
+    catalogue = {a.name: a for a in approaches()}
+    if approach not in catalogue:
+        raise OptionError(
+            f"unknown approach {approach!r}; known: {sorted(catalogue)}")
+    entry = catalogue[approach]
+    searcher = _make_searcher(entry.searcher)
+    evaluator = _make_evaluator(entry.evaluator, dataset)
+    selected = searcher.search(evaluator)
+    if not selected:
+        selected = list(evaluator.candidates)
+    names = [dataset.attribute(i).name for i in selected]
+    projected = dataset.select_attributes(
+        selected + [dataset.class_index])
+    return names, projected
+
+
+def rank_attributes(dataset: Dataset, measure: str = "InfoGain"
+                    ) -> list[tuple[str, float]]:
+    """All attributes ranked by a single-attribute measure (best first)."""
+    if measure not in RANKERS:
+        raise OptionError(
+            f"unknown measure {measure!r}; known: {sorted(RANKERS)}")
+    fn = RANKERS[measure]
+    scored = []
+    for i in range(dataset.num_attributes):
+        if i == dataset.class_index or dataset.attribute(i).is_string:
+            continue
+        scored.append((dataset.attribute(i).name, float(fn(dataset, i))))
+    scored.sort(key=lambda t: -t[1])
+    return scored

@@ -1,0 +1,277 @@
+"""The algorithm catalogue: every named algorithm configuration the services
+expose.
+
+The paper states the toolkit's services "contain approximately 75 different
+algorithms, primarily classifiers, clustering algorithms and association
+rules".  WEKA 3.4's scheme count included closely related variants (IB1 vs
+IBk, pruned vs unpruned trees, per-kernel SVM entries, ...), so this
+catalogue does the same: each entry is a *named configuration* — a registered
+algorithm class plus a preset option dict that changes its behaviour — and
+the CAT-75 bench counts these entries.  Distinct *implementations* are the
+registry counts (``len(CLASSIFIERS)`` etc.); both numbers are reported in
+EXPERIMENTS.md.
+
+Entries are what ``getClassifiers`` returns over SOAP; ``create(name)``
+instantiates any of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import OptionError
+from repro.ml.base import ASSOCIATORS, CLASSIFIERS, CLUSTERERS
+
+# importing the families populates the registries
+import repro.ml.classifiers   # noqa: F401
+import repro.ml.clusterers    # noqa: F401
+import repro.ml.associations  # noqa: F401
+
+
+@dataclass(frozen=True)
+class AlgorithmEntry:
+    """One named algorithm configuration."""
+
+    name: str           # catalogue name (unique)
+    kind: str           # 'classifier' | 'clusterer' | 'associator'
+    family: str         # grouping shown by the ClassifierSelector tree
+    base: str           # registry name of the implementation
+    options: dict[str, Any] = field(default_factory=dict)
+    description: str = ""
+
+
+def _classifier_entries() -> list[AlgorithmEntry]:
+    e: list[AlgorithmEntry] = []
+
+    def add(name: str, family: str, base: str, options=None, desc=""):
+        e.append(AlgorithmEntry(name, "classifier", family, base,
+                                dict(options or {}), desc))
+
+    # trees
+    add("J48", "trees", "J48", {}, "C4.5 pruned decision tree")
+    add("J48-unpruned", "trees", "J48", {"unpruned": True},
+        "C4.5 without pessimistic pruning")
+    add("J48-infogain", "trees", "J48", {"use_gain_ratio": False},
+        "C4.5 selecting splits by raw information gain")
+    add("J48-m5", "trees", "J48", {"min_obj": 5},
+        "C4.5 with at least 5 instances per branch")
+    add("J48-cf10", "trees", "J48", {"confidence": 0.10},
+        "C4.5 pruned aggressively (CF=0.10)")
+    add("Id3", "trees", "Id3", {}, "Quinlan's ID3 (nominal only)")
+    add("REPTree", "trees", "REPTree", {},
+        "Info-gain tree with reduced-error pruning")
+    add("REPTree-deep", "trees", "REPTree", {"prune_fraction": 0.1},
+        "REPTree with a small prune split")
+    add("DecisionStump", "trees", "DecisionStump", {},
+        "Single-split tree")
+    add("RandomTree", "trees", "RandomTree", {},
+        "Unpruned tree over random attribute subsets")
+    # rules
+    add("ZeroR", "rules", "ZeroR", {}, "Majority-class baseline")
+    add("OneR", "rules", "OneR", {}, "Holte's one-attribute rule")
+    add("OneR-b3", "rules", "OneR", {"min_bucket": 3},
+        "1R with small numeric buckets")
+    add("Prism", "rules", "Prism", {}, "Cendrowska's PRISM rule inducer")
+    add("DecisionTable", "rules", "DecisionTable", {},
+        "Kohavi's decision table")
+    # bayes
+    add("NaiveBayes", "bayes", "NaiveBayes", {},
+        "Gaussian/multinomial naive Bayes")
+    add("NaiveBayesUpdateable", "bayes", "NaiveBayesUpdateable", {},
+        "Streaming naive Bayes")
+    add("NaiveBayes-smooth01", "bayes", "NaiveBayes", {"smoothing": 0.1},
+        "Naive Bayes with light Laplace smoothing")
+    # lazy
+    add("IB1", "lazy", "IBk", {"k": 1}, "1-nearest neighbour")
+    add("IB3", "lazy", "IBk", {"k": 3}, "3-nearest neighbours")
+    add("IB5", "lazy", "IBk", {"k": 5}, "5-nearest neighbours")
+    add("IB10", "lazy", "IBk", {"k": 10}, "10-nearest neighbours")
+    add("IBk-weighted", "lazy", "IBk",
+        {"k": 5, "distance_weighting": True},
+        "5-NN with inverse-distance vote weighting")
+    add("KStar", "lazy", "KStar", {}, "K* entropic instance learner")
+    add("KStar-wide", "lazy", "KStar", {"blend": 0.5},
+        "K* with a wide kernel")
+    # functions
+    add("Logistic", "functions", "Logistic", {},
+        "Ridge multinomial logistic regression")
+    add("Logistic-ridge1", "functions", "Logistic", {"ridge": 1.0},
+        "Strongly regularised logistic regression")
+    add("MultilayerPerceptron", "functions", "MultilayerPerceptron", {},
+        "Backprop network, 8 hidden neurons")
+    add("MultilayerPerceptron-h16", "functions", "MultilayerPerceptron",
+        {"hidden_neurons": 16}, "Backprop network, 16 hidden neurons")
+    add("MultilayerPerceptron-slow", "functions", "MultilayerPerceptron",
+        {"learning_rate": 0.05, "momentum": 0.9},
+        "Backprop with low rate / high momentum")
+    add("SMO", "functions", "SMO", {}, "Linear SVM (C=1)")
+    add("SMO-C10", "functions", "SMO", {"c": 10.0},
+        "Hard-margin-leaning linear SVM")
+    add("SMO-C01", "functions", "SMO", {"c": 0.1},
+        "Heavily regularised linear SVM")
+    add("VotedPerceptron", "functions", "VotedPerceptron", {},
+        "Freund-Schapire voted perceptron")
+    add("SGDClassifier", "functions", "SGDClassifier", {},
+        "Online logistic regression by SGD")
+    # misc
+    add("HyperPipes", "misc", "HyperPipes", {},
+        "Per-class attribute-range pipes")
+    add("VFI", "misc", "VFI", {}, "Voting feature intervals")
+    # meta
+    add("Bagging", "meta", "Bagging", {}, "Bagged J48 (10 bags)")
+    add("Bagging-NaiveBayes", "meta", "Bagging", {"base": "NaiveBayes"},
+        "Bagged naive Bayes")
+    add("Bagging-RandomTree", "meta", "Bagging",
+        {"base": "RandomTree", "iterations": 15}, "Bagged random trees")
+    add("AdaBoostM1", "meta", "AdaBoostM1", {},
+        "Boosted decision stumps (10 rounds)")
+    add("AdaBoostM1-J48", "meta", "AdaBoostM1", {"base": "J48"},
+        "Boosted C4.5 trees")
+    add("RandomForest", "meta", "RandomForest", {},
+        "Random forest (20 trees)")
+    add("RandomForest-50", "meta", "RandomForest", {"trees": 50},
+        "Random forest (50 trees)")
+    add("Vote", "meta", "Vote", {},
+        "Probability-averaged J48 + NaiveBayes + IBk")
+    add("Vote-5", "meta", "Vote",
+        {"members": "J48,NaiveBayes,IBk,Logistic,DecisionStump"},
+        "Five-way probability vote")
+    add("Stacking", "meta", "Stacking", {},
+        "Stacked generalisation with logistic meta learner")
+    add("MultiScheme", "meta", "MultiScheme", {},
+        "CV-selected best of several schemes")
+    add("FilteredClassifier", "meta", "FilteredClassifier", {},
+        "ReplaceMissing then J48")
+    add("FilteredClassifier-Discretize-NB", "meta", "FilteredClassifier",
+        {"filter": "Discretize", "base": "NaiveBayes"},
+        "Discretise then naive Bayes")
+    add("FilteredClassifier-Standardize-IBk", "meta", "FilteredClassifier",
+        {"filter": "Standardize", "base": "IBk", "base_options": "k=3"},
+        "Standardise then 3-NN")
+    add("ClassificationViaClustering", "meta",
+        "ClassificationViaClustering", {},
+        "k-means clusters labelled by majority class")
+    add("ClassificationViaClustering-EM", "meta",
+        "ClassificationViaClustering", {"clusterer": "EM"},
+        "EM clusters labelled by majority class")
+    # wave 2
+    add("ConjunctiveRule", "rules", "ConjunctiveRule", {},
+        "Single greedy AND-rule")
+    add("ConjunctiveRule-long", "rules", "ConjunctiveRule",
+        {"max_conditions": 5}, "AND-rule with up to 5 conditions")
+    add("LWL", "lazy", "LWL", {},
+        "Locally weighted naive Bayes (k=30)")
+    add("LWL-J48", "lazy", "LWL", {"base": "DecisionStump", "k": 40},
+        "Locally weighted decision stumps")
+    add("MultiClassClassifier", "meta", "MultiClassClassifier", {},
+        "One-vs-rest logistic reduction")
+    add("MultiClassClassifier-SMO", "meta", "MultiClassClassifier",
+        {"base": "SMO"}, "One-vs-rest linear SVMs")
+    add("CVParameterSelection", "meta", "CVParameterSelection", {},
+        "CV-tuned J48 min_obj")
+    add("CVParameterSelection-IBk", "meta", "CVParameterSelection",
+        {"base": "IBk", "parameter": "k", "values": "1,3,5,9"},
+        "CV-tuned k for IBk")
+    add("AttributeSelectedClassifier", "meta",
+        "AttributeSelectedClassifier", {},
+        "Genetic-search CFS selection then J48")
+    add("AttributeSelectedClassifier-NB", "meta",
+        "AttributeSelectedClassifier",
+        {"approach": "BestFirst+CfsSubset", "base": "NaiveBayes"},
+        "Best-first CFS selection then naive Bayes")
+    return e
+
+
+def _clusterer_entries() -> list[AlgorithmEntry]:
+    e: list[AlgorithmEntry] = []
+
+    def add(name: str, base: str, options=None, desc=""):
+        e.append(AlgorithmEntry(name, "clusterer", "clusterers", base,
+                                dict(options or {}), desc))
+
+    add("SimpleKMeans", "SimpleKMeans", {}, "Lloyd k-means (k=2)")
+    add("SimpleKMeans-k3", "SimpleKMeans", {"k": 3}, "k-means with k=3")
+    add("SimpleKMeans-k5", "SimpleKMeans", {"k": 5}, "k-means with k=5")
+    add("Cobweb", "Cobweb", {}, "Incremental conceptual clustering")
+    add("Cobweb-coarse", "Cobweb", {"cutoff": 0.05},
+        "Cobweb with a high cutoff (fewer concepts)")
+    add("EM", "EM", {}, "Gaussian/multinomial mixture via EM")
+    add("EM-k3", "EM", {"k": 3}, "Three-component mixture")
+    add("FarthestFirst", "FarthestFirst", {}, "k-centre traversal")
+    add("Hierarchical-single", "Hierarchical", {"linkage": "single"},
+        "Single-linkage agglomerative")
+    add("Hierarchical-complete", "Hierarchical", {"linkage": "complete"},
+        "Complete-linkage agglomerative")
+    add("Hierarchical-average", "Hierarchical", {"linkage": "average"},
+        "UPGMA agglomerative")
+    add("DBSCAN", "DBSCAN", {}, "Density-based clustering")
+    return e
+
+
+def _associator_entries() -> list[AlgorithmEntry]:
+    e: list[AlgorithmEntry] = []
+
+    def add(name: str, base: str, options=None, desc=""):
+        e.append(AlgorithmEntry(name, "associator", "associations", base,
+                                dict(options or {}), desc))
+
+    add("Apriori", "Apriori", {}, "Level-wise frequent itemsets + rules")
+    add("Apriori-low-support", "Apriori", {"min_support": 0.05},
+        "Apriori at 5% support")
+    add("FPGrowth", "FPGrowth", {}, "FP-tree pattern growth + rules")
+    return e
+
+
+def entries() -> list[AlgorithmEntry]:
+    """The full catalogue (classifiers + clusterers + associators)."""
+    return (_classifier_entries() + _clusterer_entries()
+            + _associator_entries())
+
+
+def selection_approach_count() -> int:
+    """Number of attribute search/selection approaches (paper: 20)."""
+    from repro.ml.attrsel import approaches
+    return len(approaches())
+
+
+def names(kind: str | None = None) -> list[str]:
+    """Catalogue names, optionally restricted to one kind."""
+    return [e.name for e in entries() if kind is None or e.kind == kind]
+
+
+def get(name: str) -> AlgorithmEntry:
+    """Look up an entry by name."""
+    for entry in entries():
+        if entry.name == name:
+            return entry
+    raise OptionError(f"unknown catalogue entry {name!r}")
+
+
+def create(name: str, extra_options: dict[str, Any] | None = None):
+    """Instantiate a catalogue entry, merging *extra_options* over the
+    preset."""
+    entry = get(name)
+    options = dict(entry.options)
+    options.update(extra_options or {})
+    registry = {"classifier": CLASSIFIERS, "clusterer": CLUSTERERS,
+                "associator": ASSOCIATORS}[entry.kind]
+    return registry.create(entry.base, options)
+
+
+def summary() -> dict[str, int]:
+    """Inventory counts reported by the CAT-75 bench."""
+    all_entries = entries()
+    return {
+        "catalogue_entries": len(all_entries),
+        "classifier_entries": sum(1 for e in all_entries
+                                  if e.kind == "classifier"),
+        "clusterer_entries": sum(1 for e in all_entries
+                                 if e.kind == "clusterer"),
+        "associator_entries": sum(1 for e in all_entries
+                                  if e.kind == "associator"),
+        "classifier_implementations": len(CLASSIFIERS),
+        "clusterer_implementations": len(CLUSTERERS),
+        "associator_implementations": len(ASSOCIATORS),
+        "selection_approaches": selection_approach_count(),
+    }

@@ -1,0 +1,40 @@
+"""Classifier family.
+
+Importing this package registers every classifier with
+:data:`repro.ml.base.CLASSIFIERS`, which is what the general Classifier Web
+Service's ``getClassifiers`` operation enumerates.
+"""
+
+from repro.ml.classifiers.j48 import J48
+from repro.ml.classifiers.id3 import Id3
+from repro.ml.classifiers.simple import DecisionStump, OneR, ZeroR
+from repro.ml.classifiers.naive_bayes import NaiveBayes, NaiveBayesUpdateable
+from repro.ml.classifiers.ibk import IBk
+from repro.ml.classifiers.logistic import Logistic
+from repro.ml.classifiers.mlp import MultilayerPerceptron
+from repro.ml.classifiers.meta import (AdaBoostM1, Bagging, RandomForest,
+                                       RandomTree, Vote)
+from repro.ml.classifiers.rules import DecisionTable, Prism
+from repro.ml.classifiers.extra import (HyperPipes, KStar, SMO, SGDClassifier,
+                                        VFI, VotedPerceptron)
+from repro.ml.classifiers.meta2 import (ClassificationViaClustering,
+                                        FilteredClassifier, MultiScheme,
+                                        Stacking)
+from repro.ml.classifiers.wave2 import (AttributeSelectedClassifier,
+                                        ConjunctiveRule,
+                                        CVParameterSelection, LWL,
+                                        MultiClassClassifier)
+from repro.ml.classifiers.reptree import REPTree
+
+__all__ = [
+    "J48", "Id3", "DecisionStump", "OneR", "ZeroR",
+    "NaiveBayes", "NaiveBayesUpdateable", "IBk", "Logistic",
+    "MultilayerPerceptron", "AdaBoostM1", "Bagging", "RandomForest",
+    "RandomTree", "Vote", "DecisionTable", "Prism",
+    "HyperPipes", "KStar", "SMO", "SGDClassifier", "VFI", "VotedPerceptron",
+    "ClassificationViaClustering", "FilteredClassifier", "MultiScheme",
+    "Stacking",
+    "ConjunctiveRule", "LWL", "MultiClassClassifier",
+    "CVParameterSelection", "AttributeSelectedClassifier",
+    "REPTree",
+]

@@ -1,0 +1,80 @@
+"""Numeric feature encoding shared by the gradient-based learners
+(Logistic, MultilayerPerceptron).
+
+Nominal attributes are one-hot encoded; numeric attributes are standardised
+with training-set mean/std; missing cells are imputed to the training mean
+(numeric) or contribute an all-zero one-hot block (nominal).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.instance import Instance
+from repro.errors import DataError
+
+
+class FeatureEncoder:
+    """Fit on a training dataset; encode instances to dense float vectors."""
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    def fit(self, dataset: Dataset) -> "FeatureEncoder":
+        self.class_index = dataset.class_index
+        self.attrs = dataset.attributes
+        matrix = dataset.to_matrix()
+        self.numeric_mean: dict[int, float] = {}
+        self.numeric_std: dict[int, float] = {}
+        self.width = 0
+        self.offsets: dict[int, int] = {}
+        for idx, attr in enumerate(self.attrs):
+            if idx == self.class_index or attr.is_string:
+                continue
+            self.offsets[idx] = self.width
+            if attr.is_numeric:
+                col = matrix[:, idx]
+                present = col[~np.isnan(col)]
+                mean = float(present.mean()) if present.size else 0.0
+                std = float(present.std()) if present.size else 1.0
+                self.numeric_mean[idx] = mean
+                self.numeric_std[idx] = std if std > 1e-12 else 1.0
+                self.width += 1
+            else:
+                self.width += attr.num_values
+        if self.width == 0:
+            raise DataError("no usable input attributes to encode")
+        self._fitted = True
+        return self
+
+    def encode_instance(self, instance: Instance) -> np.ndarray:
+        if not self._fitted:
+            raise DataError("FeatureEncoder is not fitted")
+        out = np.zeros(self.width)
+        for idx, offset in self.offsets.items():
+            attr = self.attrs[idx]
+            value = instance.value(idx)
+            if attr.is_numeric:
+                if np.isnan(value):
+                    value = self.numeric_mean[idx]
+                out[offset] = (value - self.numeric_mean[idx]) \
+                    / self.numeric_std[idx]
+            else:
+                if not np.isnan(value):
+                    out[offset + int(value)] = 1.0
+        return out
+
+    def encode_dataset(self, dataset: Dataset
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return ``(X, y, sample_weights)`` dropping missing-class rows."""
+        xs, ys, ws = [], [], []
+        for inst in dataset:
+            if inst.is_missing(self.class_index):
+                continue
+            xs.append(self.encode_instance(inst))
+            ys.append(int(inst.value(self.class_index)))
+            ws.append(inst.weight)
+        if not xs:
+            raise DataError("no labelled instances to encode")
+        return np.vstack(xs), np.array(ys), np.array(ws)

@@ -1,0 +1,232 @@
+"""Shared decision-tree machinery for the tree-based classifiers (ID3, J48,
+DecisionStump, RandomTree).
+
+The node structure doubles as the *graph* the paper's ``classifyGraph``
+operation ships to the TreeVisualizer tool: :func:`tree_graph` flattens a tree
+into nodes + labelled edges, and :func:`render_text` prints WEKA's
+pipe-indented layout.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.instance import Instance
+
+
+def entropy(counts: np.ndarray) -> float:
+    """Shannon entropy (bits) of a count vector."""
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    p = counts[counts > 0] / total
+    # guard against subnormal counts underflowing to exactly 0 in the
+    # division above (0 * log2(0) would be NaN)
+    p = p[p > 0]
+    return float(-(p * np.log2(p)).sum())
+
+
+def split_entropy(branch_counts: list[np.ndarray]) -> float:
+    """Weighted average entropy after a split."""
+    total = sum(float(c.sum()) for c in branch_counts)
+    if total <= 0:
+        return 0.0
+    return sum(float(c.sum()) / total * entropy(c) for c in branch_counts)
+
+
+def info_gain(parent_counts: np.ndarray,
+              branch_counts: list[np.ndarray]) -> float:
+    """Information gain of a split."""
+    return entropy(parent_counts) - split_entropy(branch_counts)
+
+
+def split_info(branch_counts: list[np.ndarray]) -> float:
+    """Intrinsic information of the partition (gain-ratio denominator)."""
+    sizes = np.array([float(c.sum()) for c in branch_counts])
+    return entropy(sizes)
+
+
+@dataclass
+class TreeNode:
+    """One decision-tree node.
+
+    A leaf holds only ``class_counts``.  An internal node holds the split
+    attribute index plus either per-value children (nominal) or a numeric
+    ``threshold`` with exactly two children (``<=`` then ``>``).
+    """
+
+    class_counts: np.ndarray
+    attribute: int = -1
+    threshold: float | None = None
+    children: list["TreeNode"] = field(default_factory=list)
+    branch_values: list[str] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def total_weight(self) -> float:
+        return float(self.class_counts.sum())
+
+    @property
+    def majority_class(self) -> int:
+        return int(np.argmax(self.class_counts))
+
+    def errors(self) -> float:
+        """Training errors if this node were a leaf."""
+        return self.total_weight - float(self.class_counts.max())
+
+    def subtree_errors(self) -> float:
+        """Training errors of the full subtree."""
+        if self.is_leaf:
+            return self.errors()
+        return sum(child.subtree_errors() for child in self.children)
+
+    def num_leaves(self) -> int:
+        if self.is_leaf:
+            return 1
+        return sum(child.num_leaves() for child in self.children)
+
+    def size(self) -> int:
+        """Total node count (WEKA's 'Size of the tree')."""
+        return 1 + sum(child.size() for child in self.children)
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 0
+        return 1 + max(child.depth() for child in self.children)
+
+    def make_leaf(self) -> None:
+        """Collapse this subtree into a leaf (pruning primitive)."""
+        self.children = []
+        self.branch_values = []
+        self.attribute = -1
+        self.threshold = None
+
+    def walk(self) -> Iterator["TreeNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def distribute(node: TreeNode, instance: Instance,
+               n_classes: int) -> np.ndarray:
+    """C4.5 prediction: missing split values fan out over all branches
+    weighted by training mass."""
+    if node.is_leaf:
+        total = node.total_weight
+        if total <= 0:
+            return np.full(n_classes, 1.0 / n_classes)
+        return node.class_counts / total
+    value = instance.value(node.attribute)
+    if math.isnan(value):
+        weights = np.array([max(c.total_weight, 0.0)
+                            for c in node.children])
+        if weights.sum() <= 0:
+            weights = np.ones(len(node.children))
+        weights = weights / weights.sum()
+        out = np.zeros(n_classes)
+        for w, child in zip(weights, node.children):
+            out += w * distribute(child, instance, n_classes)
+        return out
+    if node.threshold is not None:
+        child = node.children[0] if value <= node.threshold \
+            else node.children[1]
+        return distribute(child, instance, n_classes)
+    idx = int(value)
+    if idx >= len(node.children):
+        total = node.total_weight
+        if total <= 0:
+            return np.full(n_classes, 1.0 / n_classes)
+        return node.class_counts / total
+    return distribute(node.children[idx], instance, n_classes)
+
+
+def _branch_label(node: TreeNode, branch: int, header: Dataset) -> str:
+    attr = header.attribute(node.attribute)
+    if node.threshold is not None:
+        op = "<=" if branch == 0 else ">"
+        return f"{attr.name} {op} {node.threshold:g}"
+    return f"{attr.name} = {node.branch_values[branch]}"
+
+
+def render_text(node: TreeNode, header: Dataset) -> str:
+    """WEKA J48-style pipe-indented rendering."""
+    class_values = header.class_attribute.values
+    lines: list[str] = []
+
+    def leaf_suffix(leaf: TreeNode) -> str:
+        label = class_values[leaf.majority_class]
+        total = leaf.total_weight
+        wrong = leaf.errors()
+        if wrong > 0:
+            return f": {label} ({total:g}/{wrong:g})"
+        return f": {label} ({total:g})"
+
+    def rec(n: TreeNode, depth: int) -> None:
+        for branch, child in enumerate(n.children):
+            prefix = "|   " * depth
+            label = _branch_label(n, branch, header)
+            if child.is_leaf:
+                lines.append(prefix + label + leaf_suffix(child))
+            else:
+                lines.append(prefix + label)
+                rec(child, depth + 1)
+
+    if node.is_leaf:
+        lines.append(leaf_suffix(node)[2:])
+    else:
+        rec(node, 0)
+    lines.append("")
+    lines.append(f"Number of Leaves  : {node.num_leaves()}")
+    lines.append(f"Size of the tree  : {node.size()}")
+    return "\n".join(lines)
+
+
+def tree_graph(node: TreeNode, header: Dataset) -> dict:
+    """Flatten a tree into the node/edge payload of ``classifyGraph``."""
+    class_values = header.class_attribute.values
+    nodes: list[dict] = []
+    edges: list[dict] = []
+
+    def rec(n: TreeNode) -> int:
+        nid = len(nodes)
+        if n.is_leaf:
+            label = (f"{class_values[n.majority_class]} "
+                     f"({n.total_weight:g}/{n.errors():g})")
+            nodes.append({"id": nid, "label": label, "leaf": True})
+        else:
+            attr = header.attribute(n.attribute)
+            nodes.append({"id": nid, "label": attr.name, "leaf": False})
+        for branch, child in enumerate(n.children):
+            if n.threshold is not None:
+                edge_label = ("<= " if branch == 0 else "> ") + \
+                    f"{n.threshold:g}"
+            else:
+                edge_label = n.branch_values[branch]
+            cid = rec(child)
+            edges.append({"source": nid, "target": cid,
+                          "label": edge_label})
+        return nid
+
+    rec(node)
+    return {"nodes": nodes, "edges": edges}
+
+
+def graph_to_dot(graph: dict, title: str = "tree") -> str:
+    """Render a tree graph dict as Graphviz dot text (visualiser input)."""
+    lines = [f'digraph "{title}" {{']
+    for n in graph["nodes"]:
+        shape = "box" if n["leaf"] else "ellipse"
+        lines.append(f'  n{n["id"]} [label="{n["label"]}", shape={shape}];')
+    for e in graph["edges"]:
+        lines.append(f'  n{e["source"]} -> n{e["target"]} '
+                     f'[label="{e["label"]}"];')
+    lines.append("}")
+    return "\n".join(lines)

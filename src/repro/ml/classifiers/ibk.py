@@ -1,0 +1,104 @@
+"""IBk — k-nearest-neighbour classification (WEKA's instance-based learner).
+
+Distance is the WEKA mixed-attribute metric: numeric attributes are min-max
+normalised and contribute squared differences; nominal attributes contribute
+0/1 mismatch; a missing cell contributes the worst case (1).  IBk is also
+updateable, so it participates in the streaming scenario alongside
+``NaiveBayesUpdateable``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.instance import Instance
+from repro.errors import DataError
+from repro.ml.base import CLASSIFIERS, IncrementalClassifier
+from repro.ml.options import BOOL, INT, OptionSpec
+
+
+@CLASSIFIERS.register("IBk", "lazy", "knn", "incremental", "streaming")
+class IBk(IncrementalClassifier):
+    """k-NN with optional inverse-distance weighting."""
+
+    OPTIONS = (
+        OptionSpec("k", INT, 1, "Number of neighbours.", minimum=1),
+        OptionSpec("distance_weighting", BOOL, False,
+                   "Weight votes by 1/(distance + eps)."),
+    )
+
+    def _begin(self) -> None:
+        self._rows: list[np.ndarray] = []
+        self._labels: list[int] = []
+        self._weights: list[float] = []
+        header = self.header
+        self._numeric = np.array([
+            attr.is_numeric and i != header.class_index
+            for i, attr in enumerate(header.attributes)])
+        self._nominal = np.array([
+            attr.is_nominal and i != header.class_index
+            for i, attr in enumerate(header.attributes)])
+        m = header.num_attributes
+        self._min = np.full(m, math.inf)
+        self._max = np.full(m, -math.inf)
+
+    def _update(self, instance: Instance) -> None:
+        if instance.is_missing(self.header.class_index):
+            return
+        values = instance.values.copy()
+        self._rows.append(values)
+        self._labels.append(int(instance.value(self.header.class_index)))
+        self._weights.append(instance.weight)
+        numeric_vals = np.where(self._numeric, values, np.nan)
+        with np.errstate(invalid="ignore"):
+            self._min = np.fmin(self._min, numeric_vals)
+            self._max = np.fmax(self._max, numeric_vals)
+
+    def _normalise(self, matrix: np.ndarray) -> np.ndarray:
+        out = matrix.copy()
+        span = self._max - self._min
+        for j in np.where(self._numeric)[0]:
+            if math.isfinite(span[j]) and span[j] > 0:
+                out[:, j] = (out[:, j] - self._min[j]) / span[j]
+            else:
+                out[:, j] = 0.0
+        return out
+
+    def _distances(self, instance: Instance) -> np.ndarray:
+        if not self._rows:
+            raise DataError("IBk has no stored instances")
+        matrix = self._normalise(np.vstack(self._rows))
+        query = self._normalise(instance.values[None, :])[0]
+        diffs = np.zeros(matrix.shape[0])
+        for j in range(matrix.shape[1]):
+            if not (self._numeric[j] or self._nominal[j]):
+                continue
+            col = matrix[:, j]
+            q = query[j]
+            if math.isnan(q):
+                d = np.ones_like(col)
+            elif self._numeric[j]:
+                d = np.where(np.isnan(col), 1.0, np.abs(col - q))
+            else:
+                d = np.where(np.isnan(col), 1.0,
+                             (col != q).astype(float))
+            diffs += d * d
+        return np.sqrt(diffs)
+
+    def _distribution(self, instance: Instance) -> np.ndarray:
+        dists = self._distances(instance)
+        k = min(self.opt("k"), len(dists))
+        nearest = np.argsort(dists, kind="stable")[:k]
+        out = np.zeros(self.header.num_classes)
+        for idx in nearest:
+            vote = self._weights[int(idx)]
+            if self.opt("distance_weighting"):
+                vote /= (dists[int(idx)] + 1e-6)
+            out[self._labels[int(idx)]] += vote
+        return out
+
+    def model_text(self) -> str:
+        return (f"IB{self.opt('k')} instance-based classifier\n"
+                f"Stored instances: {len(self._rows)}")

@@ -1,0 +1,310 @@
+"""Meta / ensemble classifiers: Bagging, AdaBoostM1, RandomForest (over
+RandomTree) and Vote.
+
+These mirror the WEKA meta family the paper's Classifier Web Service lists via
+``getClassifiers``.  Each meta learner takes a ``base`` option naming any
+registered classifier, so compositions like bagged J48 work over the service
+interface with string options alone — no Java-style object plumbing.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.instance import Instance
+from repro.errors import DataError
+from repro.ml.base import CLASSIFIERS, Classifier
+from repro.ml.classifiers._tree import TreeNode, distribute, render_text
+from repro.ml.options import INT, STRING, OptionSpec, parse_option_string
+
+
+def _make_base(name: str, option_string: str) -> Classifier:
+    from repro.ml import base as mlbase
+    options = parse_option_string(option_string) if option_string else {}
+    return mlbase.CLASSIFIERS.create(name, options)
+
+
+def _bootstrap(dataset: Dataset, rng: np.random.Generator) -> Dataset:
+    n = dataset.num_instances
+    idx = rng.integers(0, n, size=n)
+    return dataset.subset([int(i) for i in idx])
+
+
+@CLASSIFIERS.register("Bagging", "meta", "ensemble")
+class Bagging(Classifier):
+    """Bootstrap aggregation over any registered base classifier."""
+
+    OPTIONS = (
+        OptionSpec("base", STRING, "J48", "Base classifier name."),
+        OptionSpec("base_options", STRING, "",
+                   "Base options as 'key=value key=value'."),
+        OptionSpec("iterations", INT, 10, "Ensemble size.", minimum=1),
+        OptionSpec("seed", INT, 1, "Bootstrap seed."),
+    )
+
+    def _fit(self, dataset: Dataset) -> None:
+        rng = np.random.default_rng(self.opt("seed"))
+        self._members: list[Classifier] = []
+        for _ in range(self.opt("iterations")):
+            clf = _make_base(self.opt("base"), self.opt("base_options"))
+            clf.fit(_bootstrap(dataset, rng))
+            self._members.append(clf)
+
+    def _distribution(self, instance: Instance) -> np.ndarray:
+        out = np.zeros(self.header.num_classes)
+        for member in self._members:
+            out += member.distribution(instance)
+        return out
+
+    def model_text(self) -> str:
+        return (f"Bagging of {len(self._members)} x {self.opt('base')}\n"
+                f"First member:\n\n{self._members[0].model_text()}")
+
+
+@CLASSIFIERS.register("AdaBoostM1", "meta", "ensemble", "boosting")
+class AdaBoostM1(Classifier):
+    """Freund & Schapire's AdaBoost.M1 with instance reweighting."""
+
+    OPTIONS = (
+        OptionSpec("base", STRING, "DecisionStump", "Base classifier name."),
+        OptionSpec("base_options", STRING, "",
+                   "Base options as 'key=value key=value'."),
+        OptionSpec("iterations", INT, 10, "Boosting rounds.", minimum=1),
+    )
+
+    def _fit(self, dataset: Dataset) -> None:
+        work = dataset.copy()
+        n = work.num_instances
+        total = sum(inst.weight for inst in work)
+        for inst in work:
+            inst.weight = inst.weight / total * n
+        self._members: list[tuple[Classifier, float]] = []
+        for _ in range(self.opt("iterations")):
+            clf = _make_base(self.opt("base"), self.opt("base_options"))
+            clf.fit(work)
+            wrong = np.array([
+                clf.predict_instance(inst) != int(inst.class_value(work))
+                if not inst.class_is_missing(work) else False
+                for inst in work])
+            weights = np.array([inst.weight for inst in work])
+            err = float(weights[wrong].sum() / weights.sum())
+            if err >= 0.5:
+                if not self._members:
+                    self._members.append((clf, 1.0))
+                break
+            err = max(err, 1e-10)
+            alpha = math.log((1 - err) / err)
+            self._members.append((clf, alpha))
+            if err < 1e-9:
+                break
+            # reweight: mistakes up, correct down; renormalise to n
+            factor = np.where(wrong, (1 - err) / err, 1.0)
+            new_weights = weights * factor
+            new_weights *= n / new_weights.sum()
+            for inst, w in zip(work, new_weights):
+                inst.weight = float(w)
+
+    def _distribution(self, instance: Instance) -> np.ndarray:
+        out = np.zeros(self.header.num_classes)
+        for clf, alpha in self._members:
+            out[clf.predict_instance(instance)] += alpha
+        if out.sum() <= 0:
+            out[:] = 1.0
+        return out
+
+    def model_text(self) -> str:
+        lines = [f"AdaBoostM1 with {len(self._members)} member(s) of "
+                 f"{self.opt('base')}"]
+        for i, (_, alpha) in enumerate(self._members):
+            lines.append(f"  round {i}: weight {alpha:.4f}")
+        return "\n".join(lines)
+
+
+@CLASSIFIERS.register("RandomTree", "tree", "randomised")
+class RandomTree(Classifier):
+    """Unpruned tree choosing among a random attribute subset at each node
+    (the RandomForest building block)."""
+
+    OPTIONS = (
+        OptionSpec("k", INT, 0,
+                   "Attributes sampled per node (0 = sqrt of count).",
+                   minimum=0),
+        OptionSpec("min_obj", INT, 1, "Minimum instances per leaf.",
+                   minimum=1),
+        OptionSpec("seed", INT, 1, "Attribute-sampling seed."),
+    )
+
+    def __init__(self, **options):
+        super().__init__(**options)
+        self.root: TreeNode | None = None
+
+    def _fit(self, dataset: Dataset) -> None:
+        matrix = dataset.to_matrix()
+        y = dataset.class_values()
+        keep = ~np.isnan(y)
+        self._matrix = matrix[keep]
+        self._y = y[keep].astype(int)
+        self._w = dataset.weights()[keep]
+        self._n_classes = dataset.num_classes
+        self._attrs = dataset.attributes
+        self._class_index = dataset.class_index
+        self._rng = np.random.default_rng(self.opt("seed"))
+        usable = [i for i, a in enumerate(self._attrs)
+                  if i != self._class_index and not a.is_string]
+        if not usable:
+            raise DataError("no usable attributes")
+        self._usable = usable
+        k = self.opt("k") or max(1, int(math.sqrt(len(usable))))
+        self._k = min(k, len(usable))
+        rows = np.arange(self._matrix.shape[0])
+        self.root = self._build(rows)
+        del self._matrix, self._y, self._w
+
+    def _counts(self, rows: np.ndarray) -> np.ndarray:
+        counts = np.zeros(self._n_classes)
+        np.add.at(counts, self._y[rows], self._w[rows])
+        return counts
+
+    def _build(self, rows: np.ndarray) -> TreeNode:
+        counts = self._counts(rows)
+        node = TreeNode(class_counts=counts)
+        if (counts.sum() < 2 * self.opt("min_obj")
+                or np.count_nonzero(counts) <= 1):
+            return node
+        pool = self._rng.choice(self._usable, size=self._k, replace=False)
+        from repro.ml.classifiers._tree import entropy
+        parent_entropy = entropy(counts)
+        best_gain, best = 0.0, None
+        for attr_idx in pool:
+            attr = self._attrs[attr_idx]
+            col = self._matrix[rows, attr_idx]
+            present = ~np.isnan(col)
+            if attr.is_nominal:
+                branch = []
+                for v in range(attr.num_values):
+                    branch.append(self._counts(rows[present & (col == v)]))
+                total = sum(float(b.sum()) for b in branch)
+                if total <= 0:
+                    continue
+                avg = sum(float(b.sum()) / total * entropy(b)
+                          for b in branch)
+                gain = parent_entropy - avg
+                if gain > best_gain:
+                    best_gain, best = gain, (int(attr_idx), None)
+            else:
+                values = np.unique(col[present])
+                if values.size < 2:
+                    continue
+                thresholds = (values[:-1] + values[1:]) / 2.0
+                if thresholds.size > 16:
+                    thresholds = self._rng.choice(thresholds, size=16,
+                                                  replace=False)
+                for thr in thresholds:
+                    left = self._counts(rows[present & (col <= thr)])
+                    right = self._counts(rows[present & (col > thr)])
+                    total = float(left.sum() + right.sum())
+                    if total <= 0:
+                        continue
+                    avg = (float(left.sum()) * entropy(left)
+                           + float(right.sum()) * entropy(right)) / total
+                    gain = parent_entropy - avg
+                    if gain > best_gain:
+                        best_gain, best = gain, (int(attr_idx), float(thr))
+        if best is None:
+            return node
+        attr_idx, threshold = best
+        attr = self._attrs[attr_idx]
+        col = self._matrix[rows, attr_idx]
+        present = ~np.isnan(col)
+        node.attribute = attr_idx
+        node.threshold = threshold
+        if threshold is None:
+            node.branch_values = list(attr.values)
+            masks = [present & (col == v) for v in range(attr.num_values)]
+        else:
+            masks = [present & (col <= threshold),
+                     present & (col > threshold)]
+        for mask in masks:
+            sub = rows[mask]
+            if sub.size == 0:
+                node.children.append(TreeNode(class_counts=counts.copy()))
+            else:
+                node.children.append(self._build(sub))
+        return node
+
+    def _distribution(self, instance: Instance) -> np.ndarray:
+        assert self.root is not None
+        return distribute(self.root, instance, self.header.num_classes)
+
+    def model_text(self) -> str:
+        assert self.root is not None
+        return "RandomTree\n----------\n" + render_text(self.root,
+                                                        self.header)
+
+
+@CLASSIFIERS.register("RandomForest", "meta", "ensemble", "tree")
+class RandomForest(Classifier):
+    """Bagged random trees."""
+
+    OPTIONS = (
+        OptionSpec("trees", INT, 20, "Number of trees.", minimum=1),
+        OptionSpec("k", INT, 0,
+                   "Attributes sampled per node (0 = sqrt of count).",
+                   minimum=0),
+        OptionSpec("seed", INT, 1, "Forest seed."),
+    )
+
+    def _fit(self, dataset: Dataset) -> None:
+        rng = np.random.default_rng(self.opt("seed"))
+        self._members = []
+        for i in range(self.opt("trees")):
+            tree = RandomTree(k=self.opt("k"),
+                              seed=int(rng.integers(1, 2 ** 31)))
+            tree.fit(_bootstrap(dataset, rng))
+            self._members.append(tree)
+
+    def _distribution(self, instance: Instance) -> np.ndarray:
+        out = np.zeros(self.header.num_classes)
+        for tree in self._members:
+            out += tree.distribution(instance)
+        return out
+
+    def model_text(self) -> str:
+        sizes = [m.root.size() for m in self._members if m.root]
+        return (f"RandomForest of {len(self._members)} trees\n"
+                f"Tree sizes: min={min(sizes)} max={max(sizes)} "
+                f"mean={sum(sizes) / len(sizes):.1f}")
+
+
+@CLASSIFIERS.register("Vote", "meta", "ensemble")
+class Vote(Classifier):
+    """Average-of-probabilities combination of heterogeneous classifiers."""
+
+    OPTIONS = (
+        OptionSpec("members", STRING, "J48,NaiveBayes,IBk",
+                   "Comma-separated registered classifier names."),
+    )
+
+    def _fit(self, dataset: Dataset) -> None:
+        names = [n.strip() for n in self.opt("members").split(",")
+                 if n.strip()]
+        if not names:
+            raise DataError("Vote needs at least one member")
+        self._members = []
+        for name in names:
+            clf = _make_base(name, "")
+            clf.fit(dataset)
+            self._members.append(clf)
+
+    def _distribution(self, instance: Instance) -> np.ndarray:
+        out = np.zeros(self.header.num_classes)
+        for member in self._members:
+            out += member.distribution(instance)
+        return out
+
+    def model_text(self) -> str:
+        return "Vote over: " + ", ".join(
+            type(m).__name__ for m in self._members)

@@ -1,0 +1,226 @@
+"""Composition meta-classifiers: FilteredClassifier, Stacking, MultiScheme
+and ClassificationViaClustering.
+
+These mirror the WEKA meta schemes that make the Classifier Web Service's
+string-configurable catalogue compose: every sub-component is named by its
+registry string, so remote users can assemble them from `getClassifiers` +
+`getOptions` output alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.attribute import Attribute
+from repro.data.instance import Instance
+from repro.errors import DataError
+from repro.ml.base import CLASSIFIERS, CLUSTERERS, Classifier
+from repro.ml.evaluation import stratified_folds
+from repro.ml.options import INT, STRING, OptionSpec, parse_option_string
+
+
+def _make(name: str, option_string: str) -> Classifier:
+    options = parse_option_string(option_string) if option_string else {}
+    return CLASSIFIERS.create(name, options)
+
+
+_FILTERS = ("ReplaceMissing", "Normalize", "Standardize", "Discretize")
+
+
+@CLASSIFIERS.register("FilteredClassifier", "meta", "filter")
+class FilteredClassifier(Classifier):
+    """Apply a named filter before training/classifying with a base learner."""
+
+    OPTIONS = (
+        OptionSpec("filter", STRING, "ReplaceMissing",
+                   f"Filter name, one of {_FILTERS}."),
+        OptionSpec("base", STRING, "J48", "Base classifier name."),
+        OptionSpec("base_options", STRING, "",
+                   "Base options as 'key=value key=value'."),
+    )
+
+    def _make_filter(self):
+        from repro.ml.filters.core import (Discretize, Normalize,
+                                           ReplaceMissing, Standardize)
+        name = self.opt("filter")
+        table = {"ReplaceMissing": ReplaceMissing, "Normalize": Normalize,
+                 "Standardize": Standardize, "Discretize": Discretize}
+        if name not in table:
+            raise DataError(f"unknown filter {name!r}; known: {_FILTERS}")
+        return table[name]()
+
+    def _fit(self, dataset: Dataset) -> None:
+        self._filter = self._make_filter()
+        filtered = self._filter.fit_apply(dataset)
+        self._base = _make(self.opt("base"), self.opt("base_options"))
+        self._base.fit(filtered)
+        self._filtered_header = filtered.copy_header()
+
+    def _distribution(self, instance: Instance) -> np.ndarray:
+        carrier = self.header.copy_header()
+        carrier.add(instance.copy())
+        filtered = self._filter.apply(carrier)
+        return self._base.distribution(filtered[0])
+
+    def model_text(self) -> str:
+        return (f"FilteredClassifier: {self.opt('filter')} -> "
+                f"{self.opt('base')}\n\n{self._base.model_text()}")
+
+
+@CLASSIFIERS.register("Stacking", "meta", "ensemble")
+class Stacking(Classifier):
+    """Wolpert stacking: level-0 members produce cross-validated class
+    probabilities that train a level-1 meta learner."""
+
+    OPTIONS = (
+        OptionSpec("members", STRING, "J48,NaiveBayes,IBk",
+                   "Comma-separated level-0 classifier names."),
+        OptionSpec("meta", STRING, "Logistic", "Level-1 classifier name."),
+        OptionSpec("folds", INT, 5, "CV folds for level-1 training data.",
+                   minimum=2),
+        OptionSpec("seed", INT, 1, "Fold seed."),
+    )
+
+    def _fit(self, dataset: Dataset) -> None:
+        names = [n.strip() for n in self.opt("members").split(",")
+                 if n.strip()]
+        if not names:
+            raise DataError("Stacking needs at least one member")
+        k = dataset.num_classes
+        n = dataset.num_instances
+        folds = stratified_folds(dataset,
+                                 min(self.opt("folds"), n), self.opt("seed"))
+        meta_X = np.zeros((n, k * len(names)))
+        covered = np.zeros(n, dtype=bool)
+        all_idx = set(range(n))
+        for fold in folds:
+            train_idx = sorted(all_idx - set(fold))
+            if not train_idx or not fold:
+                continue
+            train = dataset.subset(train_idx)
+            for m, name in enumerate(names):
+                clf = _make(name, "")
+                clf.fit(train)
+                for row in fold:
+                    dist = clf.distribution(dataset[row])
+                    meta_X[row, m * k:(m + 1) * k] = dist
+                    covered[row] = True
+        # level-1 training set: probability features + original class
+        attrs = [Attribute.numeric(f"p{m}_{c}")
+                 for m in range(len(names)) for c in range(k)]
+        attrs.append(dataset.class_attribute.copy())
+        meta_train = Dataset("stacking-meta", attrs)
+        meta_train.class_index = len(attrs) - 1
+        for row in range(n):
+            if not covered[row] or dataset[row].class_is_missing(dataset):
+                continue
+            meta_train.add(Instance(
+                np.concatenate([meta_X[row],
+                                [dataset[row].class_value(dataset)]])))
+        self._meta = _make(self.opt("meta"), "")
+        self._meta.fit(meta_train)
+        self._meta_header = meta_train.copy_header()
+        # final level-0 members train on everything
+        self._members = []
+        for name in names:
+            clf = _make(name, "")
+            clf.fit(dataset)
+            self._members.append(clf)
+
+    def _distribution(self, instance: Instance) -> np.ndarray:
+        features = np.concatenate(
+            [m.distribution(instance) for m in self._members] + [[np.nan]])
+        return self._meta.distribution(Instance(features))
+
+    def model_text(self) -> str:
+        return (f"Stacking of {[type(m).__name__ for m in self._members]} "
+                f"with meta learner {type(self._meta).__name__}")
+
+
+@CLASSIFIERS.register("MultiScheme", "meta", "selection")
+class MultiScheme(Classifier):
+    """Train several schemes; keep the one with the best CV accuracy."""
+
+    OPTIONS = (
+        OptionSpec("members", STRING, "J48,NaiveBayes,ZeroR",
+                   "Comma-separated candidate classifier names."),
+        OptionSpec("folds", INT, 5, "Model-selection CV folds.", minimum=2),
+        OptionSpec("seed", INT, 1, "Fold seed."),
+    )
+
+    def _fit(self, dataset: Dataset) -> None:
+        from repro.ml.evaluation import cross_validate
+        names = [n.strip() for n in self.opt("members").split(",")
+                 if n.strip()]
+        if not names:
+            raise DataError("MultiScheme needs at least one member")
+        folds = min(self.opt("folds"), dataset.num_instances)
+        best_acc, best_name = -1.0, names[0]
+        self.cv_scores: dict[str, float] = {}
+        for name in names:
+            result = cross_validate(lambda: _make(name, ""), dataset,
+                                    k=folds, seed=self.opt("seed"))
+            self.cv_scores[name] = result.accuracy
+            if result.accuracy > best_acc:
+                best_acc, best_name = result.accuracy, name
+        self.chosen = best_name
+        self._model = _make(best_name, "")
+        self._model.fit(dataset)
+
+    def _distribution(self, instance: Instance) -> np.ndarray:
+        return self._model.distribution(instance)
+
+    def model_text(self) -> str:
+        lines = [f"MultiScheme chose {self.chosen}"]
+        for name, acc in sorted(self.cv_scores.items()):
+            lines.append(f"  {name}: CV accuracy {acc:.3f}")
+        return "\n".join(lines)
+
+
+@CLASSIFIERS.register("ClassificationViaClustering", "meta", "clustering")
+class ClassificationViaClustering(Classifier):
+    """Fit a clusterer, then label each cluster with its training-majority
+    class."""
+
+    OPTIONS = (
+        OptionSpec("clusterer", STRING, "SimpleKMeans",
+                   "Registered clusterer name."),
+        OptionSpec("clusterer_options", STRING, "",
+                   "Clusterer options as 'key=value'."),
+    )
+
+    def _fit(self, dataset: Dataset) -> None:
+        options = parse_option_string(self.opt("clusterer_options")) \
+            if self.opt("clusterer_options") else {}
+        name = self.opt("clusterer")
+        if name == "SimpleKMeans" and "k" not in options:
+            options["k"] = dataset.num_classes
+        self._clusterer = CLUSTERERS.create(name, options)
+        self._clusterer.fit(dataset)
+        n_clusters = self._clusterer.n_clusters
+        k = dataset.num_classes
+        votes = np.zeros((n_clusters + 1, k))  # +1 for DBSCAN's noise bucket
+        for inst in dataset:
+            if inst.class_is_missing(dataset):
+                continue
+            c = self._clusterer.cluster_instance(inst)
+            votes[c, int(inst.class_value(dataset))] += inst.weight
+        totals = votes.sum(axis=1, keepdims=True)
+        fallback = dataset.class_counts()
+        fallback = fallback / fallback.sum()
+        self._cluster_dist = np.where(totals > 0, votes /
+                                      np.maximum(totals, 1e-12), fallback)
+
+    def _distribution(self, instance: Instance) -> np.ndarray:
+        c = self._clusterer.cluster_instance(instance)
+        return self._cluster_dist[c].copy()
+
+    def model_text(self) -> str:
+        labels = self.header.class_attribute.values
+        lines = [f"ClassificationViaClustering over "
+                 f"{type(self._clusterer).__name__}"]
+        for c in range(self._clusterer.n_clusters):
+            majority = labels[int(np.argmax(self._cluster_dist[c]))]
+            lines.append(f"  cluster {c} -> {majority}")
+        return "\n".join(lines)

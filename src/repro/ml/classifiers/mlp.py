@@ -1,0 +1,109 @@
+"""Multilayer perceptron trained by backpropagation.
+
+The paper singles this algorithm's options out: "in the case of a neural
+network backpropagation algorithm such run-time options include the number of
+neurons in the hidden layer, the momentum and the learning rate" — so those
+are exactly the options this class declares (plus epochs/seed), and they are
+what ``getOptions('MultilayerPerceptron')`` returns over SOAP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.instance import Instance
+from repro.ml.base import CLASSIFIERS, Classifier
+from repro.ml.classifiers._encode import FeatureEncoder
+from repro.ml.options import FLOAT, INT, OptionSpec
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -60, 60)))
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+@CLASSIFIERS.register("MultilayerPerceptron", "functions", "neural-network",
+                      "backpropagation")
+class MultilayerPerceptron(Classifier):
+    """One-hidden-layer sigmoid network with softmax output, trained by
+    mini-batch backpropagation with classical momentum."""
+
+    OPTIONS = (
+        OptionSpec("hidden_neurons", INT, 8,
+                   "Number of neurons in the hidden layer.", minimum=1),
+        OptionSpec("learning_rate", FLOAT, 0.3,
+                   "Backpropagation step size.", minimum=1e-6, maximum=10.0),
+        OptionSpec("momentum", FLOAT, 0.2,
+                   "Fraction of the previous weight update applied again.",
+                   minimum=0.0, maximum=0.99),
+        OptionSpec("epochs", INT, 200, "Training epochs.", minimum=1),
+        OptionSpec("batch_size", INT, 32, "Mini-batch size.", minimum=1),
+        OptionSpec("seed", INT, 1, "Weight-initialisation seed."),
+    )
+
+    def _fit(self, dataset: Dataset) -> None:
+        self._encoder = FeatureEncoder().fit(dataset)
+        X, y, w = self._encoder.encode_dataset(dataset)
+        n, d = X.shape
+        k = dataset.num_classes
+        h = self.opt("hidden_neurons")
+        rng = np.random.default_rng(self.opt("seed"))
+        scale1 = 1.0 / np.sqrt(d)
+        scale2 = 1.0 / np.sqrt(h)
+        W1 = rng.normal(0, scale1, size=(d, h))
+        b1 = np.zeros(h)
+        W2 = rng.normal(0, scale2, size=(h, k))
+        b2 = np.zeros(k)
+        vW1 = np.zeros_like(W1)
+        vb1 = np.zeros_like(b1)
+        vW2 = np.zeros_like(W2)
+        vb2 = np.zeros_like(b2)
+        Y = np.zeros((n, k))
+        Y[np.arange(n), y] = 1.0
+        lr = self.opt("learning_rate")
+        mom = self.opt("momentum")
+        batch = min(self.opt("batch_size"), n)
+        sw = w / w.mean()
+        for _ in range(self.opt("epochs")):
+            order = rng.permutation(n)
+            for start in range(0, n, batch):
+                idx = order[start:start + batch]
+                xb, yb, wb = X[idx], Y[idx], sw[idx][:, None]
+                hidden = _sigmoid(xb @ W1 + b1)
+                probs = _softmax(hidden @ W2 + b2)
+                delta_out = (probs - yb) * wb / len(idx)
+                grad_W2 = hidden.T @ delta_out
+                grad_b2 = delta_out.sum(axis=0)
+                delta_hidden = (delta_out @ W2.T) * hidden * (1 - hidden)
+                grad_W1 = xb.T @ delta_hidden
+                grad_b1 = delta_hidden.sum(axis=0)
+                vW2 = mom * vW2 - lr * grad_W2
+                vb2 = mom * vb2 - lr * grad_b2
+                vW1 = mom * vW1 - lr * grad_W1
+                vb1 = mom * vb1 - lr * grad_b1
+                W2 += vW2
+                b2 += vb2
+                W1 += vW1
+                b1 += vb1
+        self._params = (W1, b1, W2, b2)
+
+    def _distribution(self, instance: Instance) -> np.ndarray:
+        W1, b1, W2, b2 = self._params
+        x = self._encoder.encode_instance(instance)[None, :]
+        hidden = _sigmoid(x @ W1 + b1)
+        return _softmax(hidden @ W2 + b2)[0]
+
+    def model_text(self) -> str:
+        W1, _, W2, _ = self._params
+        return (f"Multilayer perceptron\n"
+                f"Architecture: {W1.shape[0]} -> {W1.shape[1]} -> "
+                f"{W2.shape[1]}\n"
+                f"learning_rate={self.opt('learning_rate')} "
+                f"momentum={self.opt('momentum')} "
+                f"epochs={self.opt('epochs')}")

@@ -1,0 +1,201 @@
+"""REPTree — a fast decision tree with reduced-error pruning.
+
+WEKA's other tree learner: build an information-gain tree on a grow split,
+then prune bottom-up against a held-out *prune split* (reduced-error
+pruning), replacing any subtree whose held-out error is not better than a
+leaf's.  Included both for catalogue parity and as the ablation partner to
+J48's pessimistic (training-data-only) pruning.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.instance import Instance
+from repro.errors import DataError
+from repro.ml.base import CLASSIFIERS, Classifier
+from repro.ml.classifiers._tree import (TreeNode, distribute, entropy,
+                                        render_text, tree_graph)
+from repro.ml.options import FLOAT, INT, OptionSpec
+
+
+@CLASSIFIERS.register("REPTree", "tree", "reduced-error-pruning")
+class REPTree(Classifier):
+    """Information-gain tree pruned by reduced error on a hold-out split."""
+
+    OPTIONS = (
+        OptionSpec("prune_fraction", FLOAT, 0.33,
+                   "Fraction of the data held out for pruning.",
+                   minimum=0.05, maximum=0.5),
+        OptionSpec("min_obj", INT, 2, "Minimum instances per leaf.",
+                   minimum=1),
+        OptionSpec("max_depth", INT, 0, "Depth cap (0 = unlimited).",
+                   minimum=0),
+        OptionSpec("seed", INT, 1, "Grow/prune split seed."),
+    )
+
+    def __init__(self, **options):
+        super().__init__(**options)
+        self.root: TreeNode | None = None
+
+    def _fit(self, dataset: Dataset) -> None:
+        labelled = dataset.filter_rows(
+            lambda inst: not inst.class_is_missing(dataset))
+        if labelled.num_instances == 0:
+            raise DataError("all training instances have a missing class")
+        if labelled.num_instances >= 4:
+            grow, prune = labelled.split(
+                1.0 - self.opt("prune_fraction"), self.opt("seed"))
+        else:
+            grow, prune = labelled, labelled
+        self._matrix = grow.to_matrix()
+        self._y = grow.class_values().astype(int)
+        self._w = grow.weights()
+        self._n_classes = dataset.num_classes
+        self._attrs = dataset.attributes
+        self._class_index = dataset.class_index
+        rows = np.arange(self._matrix.shape[0])
+        self.root = self._build(rows, frozenset({self._class_index}), 0)
+        self._reduced_error_prune(self.root, list(prune))
+        del self._matrix, self._y, self._w
+
+    def _counts(self, rows: np.ndarray) -> np.ndarray:
+        counts = np.zeros(self._n_classes)
+        np.add.at(counts, self._y[rows], self._w[rows])
+        return counts
+
+    def _build(self, rows: np.ndarray, used: frozenset[int],
+               depth: int) -> TreeNode:
+        counts = self._counts(rows)
+        node = TreeNode(class_counts=counts)
+        max_depth = self.opt("max_depth")
+        if (counts.sum() < 2 * self.opt("min_obj")
+                or np.count_nonzero(counts) <= 1
+                or (max_depth and depth >= max_depth)
+                or len(used) >= len(self._attrs)):
+            return node
+        parent_entropy = entropy(counts)
+        best_gain, best = 1e-9, None
+        for idx, attr in enumerate(self._attrs):
+            if idx in used or attr.is_string:
+                continue
+            col = self._matrix[rows, idx]
+            present = ~np.isnan(col)
+            if attr.is_nominal:
+                branch = [self._counts(rows[present & (col == v)])
+                          for v in range(attr.num_values)]
+                total = sum(float(b.sum()) for b in branch)
+                if total <= 0:
+                    continue
+                avg = sum(float(b.sum()) / total * entropy(b)
+                          for b in branch)
+                gain = parent_entropy - avg
+                if gain > best_gain:
+                    best_gain, best = gain, (idx, None)
+            else:
+                values = np.unique(col[present])
+                if values.size < 2:
+                    continue
+                for thr in (values[:-1] + values[1:]) / 2.0:
+                    left = self._counts(rows[present & (col <= thr)])
+                    right = self._counts(rows[present & (col > thr)])
+                    total = float(left.sum() + right.sum())
+                    if total <= 0:
+                        continue
+                    avg = (float(left.sum()) * entropy(left)
+                           + float(right.sum()) * entropy(right)) / total
+                    gain = parent_entropy - avg
+                    if gain > best_gain:
+                        best_gain, best = gain, (idx, float(thr))
+        if best is None:
+            return node
+        attr_idx, threshold = best
+        attr = self._attrs[attr_idx]
+        col = self._matrix[rows, attr_idx]
+        present = ~np.isnan(col)
+        node.attribute = attr_idx
+        node.threshold = threshold
+        if threshold is None:
+            node.branch_values = list(attr.values)
+            masks = [present & (col == v) for v in range(attr.num_values)]
+            child_used = used | {attr_idx}
+        else:
+            masks = [present & (col <= threshold),
+                     present & (col > threshold)]
+            child_used = used
+        for mask in masks:
+            sub = rows[mask]
+            if sub.size == 0:
+                node.children.append(TreeNode(class_counts=counts.copy()))
+            else:
+                node.children.append(
+                    self._build(sub, child_used, depth + 1))
+        return node
+
+    # -- reduced-error pruning -------------------------------------------------
+    def _route(self, node: TreeNode, instances: list[Instance]
+               ) -> list[list[Instance]]:
+        """Split hold-out instances across the node's branches (missing
+        values follow the heaviest branch)."""
+        buckets: list[list[Instance]] = [[] for _ in node.children]
+        heavy = int(np.argmax([c.total_weight for c in node.children]))
+        for inst in instances:
+            value = inst.value(node.attribute)
+            if math.isnan(value):
+                buckets[heavy].append(inst)
+            elif node.threshold is not None:
+                buckets[0 if value <= node.threshold else 1].append(inst)
+            else:
+                idx = int(value)
+                if idx < len(buckets):
+                    buckets[idx].append(inst)
+                else:
+                    buckets[heavy].append(inst)
+        return buckets
+
+    def _holdout_errors(self, node: TreeNode,
+                        instances: list[Instance]) -> float:
+        errors = 0.0
+        for inst in instances:
+            dist = distribute(node, inst, self._n_classes)
+            if int(np.argmax(dist)) != int(inst.value(self._class_index)):
+                errors += inst.weight
+        return errors
+
+    def _leaf_errors(self, node: TreeNode,
+                     instances: list[Instance]) -> float:
+        majority = node.majority_class
+        return sum(inst.weight for inst in instances
+                   if int(inst.value(self._class_index)) != majority)
+
+    def _reduced_error_prune(self, node: TreeNode,
+                             instances: list[Instance]) -> None:
+        if node.is_leaf:
+            return
+        for child, bucket in zip(node.children,
+                                 self._route(node, instances)):
+            self._reduced_error_prune(child, bucket)
+        subtree_errors = self._holdout_errors(node, instances)
+        leaf_errors = self._leaf_errors(node, instances)
+        if leaf_errors <= subtree_errors:
+            node.make_leaf()
+
+    # -- prediction / reporting ---------------------------------------------
+    def _distribution(self, instance: Instance) -> np.ndarray:
+        assert self.root is not None
+        return distribute(self.root, instance, self.header.num_classes)
+
+    def model_text(self) -> str:
+        if self.root is None:
+            return "(not fitted)"
+        return ("REPTree (reduced-error pruning)\n"
+                "-------------------------------\n"
+                + render_text(self.root, self.header))
+
+    def to_graph(self) -> dict:
+        """The model as a node/edge graph dict (visualiser payload)."""
+        assert self.root is not None
+        return tree_graph(self.root, self.header)

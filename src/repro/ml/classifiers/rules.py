@@ -1,0 +1,232 @@
+"""Rule-based classifiers: PRISM and DecisionTable.
+
+Together with OneR/ZeroR these populate the "rules" family that WEKA's
+classifier tree (and therefore the paper's ClassifierSelector tool, which
+shows "the classifiers list ... as a tree according to their types") groups
+separately from trees and functions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.instance import Instance
+from repro.errors import DataError
+from repro.ml.base import CLASSIFIERS, Classifier
+from repro.ml.options import INT, OptionSpec
+
+
+@CLASSIFIERS.register("Prism", "rules", "nominal-only")
+class Prism(Classifier):
+    """Cendrowska's PRISM: per-class rule induction by precision-greedy
+    condition growth (nominal attributes, no missing values)."""
+
+    def _fit(self, dataset: Dataset) -> None:
+        for idx, attr in enumerate(dataset.attributes):
+            if idx != dataset.class_index and not attr.is_nominal:
+                raise DataError(
+                    f"Prism handles nominal attributes only; "
+                    f"{attr.name!r} is {attr.kind}")
+        if np.isnan(dataset.to_matrix()).any():
+            raise DataError("Prism cannot handle missing values")
+        self._rules: list[tuple[list[tuple[int, int]], int]] = []
+        matrix = dataset.to_matrix()
+        y = dataset.class_values().astype(int)
+        self._majority = int(np.argmax(dataset.class_counts()))
+        for cls in range(dataset.num_classes):
+            # classic PRISM: shrink the working set E as rules cover it
+            alive = np.ones(matrix.shape[0], dtype=bool)
+            while (y[alive] == cls).any():
+                rule = self._grow_rule(dataset, matrix, y, cls, alive)
+                if rule is None:
+                    break
+                self._rules.append((rule, cls))
+                covered = self._covered(matrix, rule)
+                if not (covered & alive).any():
+                    break  # no progress; avoid an infinite loop
+                alive &= ~covered
+
+    @staticmethod
+    def _covered(matrix: np.ndarray, rule) -> np.ndarray:
+        mask = np.ones(matrix.shape[0], dtype=bool)
+        for attr_idx, value in rule:
+            mask &= matrix[:, attr_idx] == value
+        return mask
+
+    def _grow_rule(self, dataset: Dataset, matrix: np.ndarray,
+                   y: np.ndarray, cls: int, alive: np.ndarray):
+        rule: list[tuple[int, int]] = []
+        used: set[int] = set()
+        current = alive.copy()
+        while True:
+            covered_y = y[current]
+            if covered_y.size and (covered_y == cls).all():
+                return rule if rule else None
+            best_prec, best_cover, best = -1.0, -1, None
+            for attr_idx, attr in enumerate(dataset.attributes):
+                if attr_idx == dataset.class_index or attr_idx in used:
+                    continue
+                col = matrix[:, attr_idx]
+                for v in range(attr.num_values):
+                    mask = current & (col == v)
+                    total = int(mask.sum())
+                    if total == 0:
+                        continue
+                    pos = int((y[mask] == cls).sum())
+                    prec = pos / total
+                    if prec > best_prec or (prec == best_prec
+                                            and pos > best_cover):
+                        best_prec, best_cover = prec, pos
+                        best = (attr_idx, v, mask)
+            if best is None or best_cover == 0:
+                return rule if rule else None
+            attr_idx, v, mask = best
+            rule.append((attr_idx, v))
+            used.add(attr_idx)
+            current = mask
+            if len(used) >= dataset.num_attributes - 1:
+                return rule if rule else None
+
+    def _distribution(self, instance: Instance) -> np.ndarray:
+        out = np.zeros(self.header.num_classes)
+        for rule, cls in self._rules:
+            if all(not instance.is_missing(a)
+                   and int(instance.value(a)) == v
+                   for a, v in rule):
+                out[cls] = 1.0
+                return out
+        out[self._majority] = 1.0
+        return out
+
+    def model_text(self) -> str:
+        lines = ["Prism rules", "----------"]
+        header = self.header
+        for rule, cls in self._rules:
+            conds = " and ".join(
+                f"{header.attribute(a).name} = "
+                f"{header.attribute(a).values[v]}"
+                for a, v in rule)
+            label = header.class_attribute.values[cls]
+            lines.append(f"If {conds} then {label}")
+        lines.append(f"Otherwise {header.class_attribute.values[self._majority]}")
+        return "\n".join(lines)
+
+
+@CLASSIFIERS.register("DecisionTable", "rules")
+class DecisionTable(Classifier):
+    """Kohavi's decision table with best-first feature-subset search
+    evaluated by leave-one-out majority accuracy."""
+
+    OPTIONS = (
+        OptionSpec("max_subset", INT, 4,
+                   "Maximum attributes in the table key.", minimum=1),
+        OptionSpec("bins", INT, 6,
+                   "Equal-frequency bins for numeric attributes.",
+                   minimum=2),
+    )
+
+    def _numeric_cuts(self, dataset: Dataset) -> dict[int, np.ndarray]:
+        cuts: dict[int, np.ndarray] = {}
+        for j, attr in enumerate(dataset.attributes):
+            if j == dataset.class_index or not attr.is_numeric:
+                continue
+            col = dataset.column(j)
+            present = col[~np.isnan(col)]
+            if present.size == 0:
+                cuts[j] = np.array([])
+                continue
+            qs = np.quantile(present,
+                             np.linspace(0, 1, self.opt("bins") + 1)[1:-1])
+            cuts[j] = np.unique(qs)
+        return cuts
+
+    def _fit(self, dataset: Dataset) -> None:
+        usable = [i for i, a in enumerate(dataset.attributes)
+                  if i != dataset.class_index
+                  and (a.is_nominal or a.is_numeric)]
+        if not usable:
+            raise DataError("DecisionTable needs usable attributes")
+        self._cuts = self._numeric_cuts(dataset)
+        y = dataset.class_values()
+        keep = ~np.isnan(y)
+        matrix = dataset.to_matrix()[keep].copy()
+        # bin numeric columns into integer codes so table keys are discrete
+        for j, cuts in self._cuts.items():
+            col = matrix[:, j]
+            present = ~np.isnan(col)
+            col[present] = np.searchsorted(cuts, col[present],
+                                           side="right")
+            matrix[:, j] = col
+        y = y[keep].astype(int)
+        k = dataset.num_classes
+        best_acc, best_subset = -1.0, None
+        limit = min(self.opt("max_subset"), len(usable))
+        for size in range(1, limit + 1):
+            for subset in itertools.combinations(usable, size):
+                acc = self._loo_accuracy(matrix, y, subset, k)
+                if acc > best_acc:
+                    best_acc, best_subset = acc, subset
+        assert best_subset is not None
+        self._subset = best_subset
+        self._k = k
+        self._table: dict[tuple, np.ndarray] = {}
+        for row, cls in zip(matrix, y):
+            # matrix cells are already discrete codes here
+            if any(math.isnan(row[idx]) for idx in self._subset):
+                continue
+            key = tuple(int(row[idx]) for idx in self._subset)
+            self._table.setdefault(key, np.zeros(k))[cls] += 1
+        counts = np.zeros(k)
+        np.add.at(counts, y, 1.0)
+        self._default = counts / counts.sum()
+        self._train_acc = best_acc
+
+    def _key(self, row: np.ndarray):
+        cells = []
+        for idx in self._subset:
+            v = row[idx]
+            if math.isnan(v):
+                return None
+            if idx in self._cuts:
+                v = float(np.searchsorted(self._cuts[idx], v,
+                                          side="right"))
+            cells.append(int(v))
+        return tuple(cells)
+
+    @staticmethod
+    def _loo_accuracy(matrix: np.ndarray, y: np.ndarray,
+                      subset, k: int) -> float:
+        table: dict[tuple, np.ndarray] = {}
+        keys = []
+        for row in matrix:
+            cells = tuple(-1 if math.isnan(row[i]) else int(row[i])
+                          for i in subset)
+            keys.append(cells)
+        for key, cls in zip(keys, y):
+            table.setdefault(key, np.zeros(k))[cls] += 1
+        correct = 0
+        for key, cls in zip(keys, y):
+            counts = table[key].copy()
+            counts[cls] -= 1  # leave this row out
+            if counts.sum() <= 0:
+                continue
+            if int(np.argmax(counts)) == cls:
+                correct += 1
+        return correct / len(y)
+
+    def _distribution(self, instance: Instance) -> np.ndarray:
+        key = self._key(instance.values)
+        if key is not None and key in self._table:
+            counts = self._table[key]
+            return counts / counts.sum()
+        return self._default.copy()
+
+    def model_text(self) -> str:
+        names = [self.header.attribute(i).name for i in self._subset]
+        return (f"Decision table over {names}\n"
+                f"Rules: {len(self._table)}  "
+                f"LOO accuracy: {self._train_acc:.3f}")

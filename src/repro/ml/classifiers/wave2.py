@@ -1,0 +1,300 @@
+"""Second-wave classifiers completing the WEKA-style catalogue:
+ConjunctiveRule, LWL (locally weighted learning), MultiClassClassifier,
+CVParameterSelection and AttributeSelectedClassifier.
+
+``AttributeSelectedClassifier`` closes the loop with :mod:`repro.ml.attrsel`
+— it is the meta scheme behind the case study's remark that "the attribute
+selection process can also be automated through the use of a genetic search
+service".
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.instance import Instance
+from repro.errors import DataError
+from repro.ml.base import CLASSIFIERS, Classifier
+from repro.ml.classifiers._tree import entropy
+from repro.ml.options import INT, STRING, OptionSpec, \
+    parse_option_string
+
+
+def _make(name: str, option_string: str = "") -> Classifier:
+    options = parse_option_string(option_string) if option_string else {}
+    return CLASSIFIERS.create(name, options)
+
+
+@CLASSIFIERS.register("ConjunctiveRule", "rules")
+class ConjunctiveRule(Classifier):
+    """A single AND-rule grown greedily by information gain; everything the
+    rule misses falls to the training prior of the uncovered set."""
+
+    OPTIONS = (
+        OptionSpec("max_conditions", INT, 3,
+                   "Maximum antecedent length.", minimum=1),
+    )
+
+    def _fit(self, dataset: Dataset) -> None:
+        matrix = dataset.to_matrix()
+        y = dataset.class_values()
+        keep = ~np.isnan(y)
+        matrix, y = matrix[keep], y[keep].astype(int)
+        k = dataset.num_classes
+        covered = np.ones(matrix.shape[0], dtype=bool)
+        self._conditions: list[tuple[int, str, float]] = []
+        used: set[int] = set()
+        for _ in range(self.opt("max_conditions")):
+            parent = np.bincount(y[covered], minlength=k).astype(float)
+            best_gain, best = 1e-9, None
+            for j, attr in enumerate(dataset.attributes):
+                if j == dataset.class_index or j in used or attr.is_string:
+                    continue
+                col = matrix[:, j]
+                if attr.is_nominal:
+                    for v in range(attr.num_values):
+                        mask = covered & (col == v)
+                        gain = self._gain(parent, y, mask, covered, k)
+                        if gain > best_gain:
+                            best_gain, best = gain, (j, "eq", float(v),
+                                                     mask)
+                else:
+                    present = col[covered & ~np.isnan(col)]
+                    if present.size < 2:
+                        continue
+                    for thr in np.quantile(present,
+                                           [0.25, 0.5, 0.75]):
+                        for op in ("le", "gt"):
+                            if op == "le":
+                                mask = covered & (col <= thr)
+                            else:
+                                mask = covered & (col > thr)
+                            gain = self._gain(parent, y, mask, covered, k)
+                            if gain > best_gain:
+                                best_gain, best = gain, (j, op, float(thr),
+                                                         mask)
+            if best is None:
+                break
+            j, op, value, mask = best
+            self._conditions.append((j, op, value))
+            used.add(j)
+            covered = mask
+            if np.unique(y[covered]).size <= 1:
+                break
+        inside = np.bincount(y[covered], minlength=k).astype(float)
+        outside = np.bincount(y[~covered], minlength=k).astype(float)
+        self._inside = (inside + 0.5) / (inside.sum() + 0.5 * k)
+        self._outside = (outside + 0.5) / (outside.sum() + 0.5 * k)
+
+    @staticmethod
+    def _gain(parent, y, mask, covered, k) -> float:
+        if not mask.any():
+            return -1.0
+        inside = np.bincount(y[mask], minlength=k).astype(float)
+        rest = parent - inside
+        total = parent.sum()
+        avg = (inside.sum() * entropy(inside)
+               + rest.sum() * entropy(rest)) / total
+        return entropy(parent) - avg
+
+    def _matches(self, instance: Instance) -> bool:
+        for j, op, value in self._conditions:
+            cell = instance.value(j)
+            if math.isnan(cell):
+                return False
+            if op == "eq" and cell != value:
+                return False
+            if op == "le" and not cell <= value:
+                return False
+            if op == "gt" and not cell > value:
+                return False
+        return True
+
+    def _distribution(self, instance: Instance) -> np.ndarray:
+        return (self._inside if self._matches(instance)
+                else self._outside).copy()
+
+    def model_text(self) -> str:
+        header = self.header
+        parts = []
+        for j, op, value in self._conditions:
+            attr = header.attribute(j)
+            shown = attr.values[int(value)] if attr.is_nominal else \
+                f"{value:g}"
+            symbol = {"eq": "=", "le": "<=", "gt": ">"}[op]
+            parts.append(f"{attr.name} {symbol} {shown}")
+        rule = " and ".join(parts) or "(always)"
+        label = header.class_attribute.values[int(np.argmax(self._inside))]
+        other = header.class_attribute.values[
+            int(np.argmax(self._outside))]
+        return (f"Conjunctive rule\nIF {rule} THEN {label}\n"
+                f"ELSE {other}")
+
+
+@CLASSIFIERS.register("LWL", "lazy", "locally-weighted")
+class LWL(Classifier):
+    """Locally weighted learning: train the base classifier per query on
+    the k nearest neighbours, weighted by a linear distance kernel."""
+
+    OPTIONS = (
+        OptionSpec("base", STRING, "NaiveBayes", "Base classifier name."),
+        OptionSpec("k", INT, 30, "Neighbourhood size.", minimum=2),
+    )
+
+    def _fit(self, dataset: Dataset) -> None:
+        from repro.ml.clusterers._distance import MixedDistance
+        self._metric = MixedDistance().fit(dataset)
+        self._train = dataset.copy()
+        self._matrix = self._metric.normalise(dataset.to_matrix())
+
+    def _distribution(self, instance: Instance) -> np.ndarray:
+        row = self._metric.normalise(instance.values[None, :])
+        dists = self._metric.pairwise_to(row, self._matrix)[0]
+        k = min(self.opt("k"), len(dists))
+        nearest = np.argsort(dists, kind="stable")[:k]
+        bandwidth = max(float(dists[nearest[-1]]), 1e-9)
+        local = self._train.copy_header()
+        for idx in nearest:
+            inst = self._train[int(idx)].copy()
+            inst.weight = max(1.0 - dists[int(idx)] / bandwidth, 1e-3)
+            local.add(inst)
+        try:
+            base = _make(self.opt("base"))
+            base.fit(local)
+            return base.distribution(instance)
+        except DataError:
+            counts = local.class_counts()
+            total = counts.sum()
+            if total <= 0:
+                k_classes = self.header.num_classes
+                return np.full(k_classes, 1.0 / k_classes)
+            return counts / total
+
+    def model_text(self) -> str:
+        return (f"LWL: {self.opt('base')} trained per query on "
+                f"{self.opt('k')} neighbours")
+
+
+@CLASSIFIERS.register("MultiClassClassifier", "meta", "one-vs-rest")
+class MultiClassClassifier(Classifier):
+    """One-vs-rest reduction wrapping any (possibly binary-only) base."""
+
+    OPTIONS = (
+        OptionSpec("base", STRING, "Logistic", "Base classifier name."),
+        OptionSpec("base_options", STRING, "", "Base options."),
+    )
+
+    def _fit(self, dataset: Dataset) -> None:
+        from repro.data.attribute import Attribute
+        k = dataset.num_classes
+        self._machines: list[Classifier] = []
+        for cls in range(k):
+            attrs = [a.copy() if i != dataset.class_index
+                     else Attribute.nominal(a.name, ("rest", "target"))
+                     for i, a in enumerate(dataset.attributes)]
+            binary = Dataset(dataset.relation, attrs,
+                             class_index=dataset.class_index)
+            for inst in dataset:
+                if inst.class_is_missing(dataset):
+                    continue
+                values = inst.values.copy()
+                values[dataset.class_index] = float(
+                    int(inst.class_value(dataset)) == cls)
+                binary.add(Instance(values, inst.weight))
+            clf = _make(self.opt("base"), self.opt("base_options"))
+            clf.fit(binary)
+            self._machines.append(clf)
+
+    def _distribution(self, instance: Instance) -> np.ndarray:
+        scores = np.array([m.distribution(instance)[1]
+                           for m in self._machines])
+        if scores.sum() <= 0:
+            scores[:] = 1.0
+        return scores
+
+    def model_text(self) -> str:
+        return (f"One-vs-rest over {len(self._machines)} x "
+                f"{self.opt('base')}")
+
+
+@CLASSIFIERS.register("CVParameterSelection", "meta", "tuning")
+class CVParameterSelection(Classifier):
+    """Grid-search one integer option of the base classifier by CV
+    accuracy (WEKA's CVParameterSelection, single-parameter form)."""
+
+    OPTIONS = (
+        OptionSpec("base", STRING, "J48", "Base classifier name."),
+        OptionSpec("parameter", STRING, "min_obj", "Option to sweep."),
+        OptionSpec("values", STRING, "2,5,10,20",
+                   "Comma-separated candidate values."),
+        OptionSpec("folds", INT, 3, "CV folds per candidate.", minimum=2),
+    )
+
+    def _fit(self, dataset: Dataset) -> None:
+        from repro.ml.evaluation import cross_validate
+        candidates = [v.strip() for v in self.opt("values").split(",")
+                      if v.strip()]
+        if not candidates:
+            raise DataError("no candidate values to sweep")
+        folds = min(self.opt("folds"), dataset.num_instances)
+        self.scores: dict[str, float] = {}
+        best_acc, best_value = -1.0, candidates[0]
+        for value in candidates:
+            result = cross_validate(
+                lambda v=value: CLASSIFIERS.create(
+                    self.opt("base"), {self.opt("parameter"): v}),
+                dataset, k=folds)
+            self.scores[value] = result.accuracy
+            if result.accuracy > best_acc:
+                best_acc, best_value = result.accuracy, value
+        self.chosen_value = best_value
+        self._model = CLASSIFIERS.create(
+            self.opt("base"), {self.opt("parameter"): best_value})
+        self._model.fit(dataset)
+
+    def _distribution(self, instance: Instance) -> np.ndarray:
+        return self._model.distribution(instance)
+
+    def model_text(self) -> str:
+        lines = [f"CVParameterSelection: {self.opt('base')} "
+                 f"{self.opt('parameter')}={self.chosen_value}"]
+        for value, acc in self.scores.items():
+            lines.append(f"  {self.opt('parameter')}={value}: {acc:.3f}")
+        return "\n".join(lines)
+
+
+@CLASSIFIERS.register("AttributeSelectedClassifier", "meta",
+                      "attribute-selection")
+class AttributeSelectedClassifier(Classifier):
+    """Run an attribute-selection approach, then train the base classifier
+    on the projected data (WEKA's AttributeSelectedClassifier)."""
+
+    OPTIONS = (
+        OptionSpec("approach", STRING, "GeneticSearch+CfsSubset",
+                   "Selection approach name (see attrsel.approaches)."),
+        OptionSpec("base", STRING, "J48", "Base classifier name."),
+        OptionSpec("base_options", STRING, "", "Base options."),
+    )
+
+    def _fit(self, dataset: Dataset) -> None:
+        from repro.ml.attrsel import select_attributes
+        self.selected, projected = select_attributes(
+            dataset, self.opt("approach"))
+        self._indices = [dataset.attribute_index(n) for n in self.selected]
+        self._model = _make(self.opt("base"), self.opt("base_options"))
+        self._model.fit(projected)
+        self._projected_header = projected.copy_header()
+
+    def _distribution(self, instance: Instance) -> np.ndarray:
+        cells = list(instance.values[self._indices])
+        cells.append(instance.value(self.header.class_index))
+        return self._model.distribution(Instance(np.array(cells)))
+
+    def model_text(self) -> str:
+        return (f"AttributeSelectedClassifier "
+                f"({self.opt('approach')} -> {self.opt('base')})\n"
+                f"Selected: {self.selected}\n\n"
+                + self._model.model_text())

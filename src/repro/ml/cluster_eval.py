@@ -1,0 +1,107 @@
+"""Clustering evaluation: silhouette scores and WEKA's classes-to-clusters
+mapping.
+
+The paper's §3 testing requirement covers "the discovered knowledge"
+generally; for clusterers the toolkit-era measures were the silhouette
+coefficient (internal quality) and WEKA's *classes-to-clusters* evaluation
+(map each cluster to its majority class, report the error) — both provided
+here over the same mixed-attribute distance the clusterers use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.errors import DataError
+from repro.ml.base import Clusterer
+from repro.ml.clusterers._distance import MixedDistance
+
+
+def silhouette(dataset: Dataset, assignments: list[int]) -> float:
+    """Mean silhouette coefficient of a clustering (range [-1, 1]).
+
+    Noise/singleton clusters contribute 0 for their members, matching the
+    usual convention.
+    """
+    n = dataset.num_instances
+    if n != len(assignments):
+        raise DataError("assignment length does not match the dataset")
+    if n < 2:
+        raise DataError("need at least two instances")
+    labels = np.asarray(assignments)
+    unique = np.unique(labels)
+    if unique.size < 2:
+        return 0.0
+    metric = MixedDistance().fit(dataset)
+    matrix = metric.normalise(dataset.to_matrix())
+    dist = metric.pairwise_to(matrix, matrix)
+    scores = np.zeros(n)
+    for i in range(n):
+        own = labels == labels[i]
+        own[i] = False
+        if not own.any():
+            scores[i] = 0.0  # singleton cluster
+            continue
+        a = float(dist[i, own].mean())
+        b = np.inf
+        for other in unique:
+            if other == labels[i]:
+                continue
+            members = labels == other
+            if members.any():
+                b = min(b, float(dist[i, members].mean()))
+        if not np.isfinite(b):
+            scores[i] = 0.0
+        else:
+            scores[i] = (b - a) / max(a, b) if max(a, b) > 0 else 0.0
+    return float(scores.mean())
+
+
+def classes_to_clusters(dataset: Dataset, assignments: list[int]
+                        ) -> dict:
+    """WEKA's classes-to-clusters evaluation.
+
+    Each cluster is assigned its majority true class; returns the mapping,
+    the number of correctly 'classified' instances and the error rate.
+    *dataset* must carry a nominal class attribute (which the clusterer
+    itself must not have used).
+    """
+    if not dataset.has_class or not dataset.class_attribute.is_nominal:
+        raise DataError("classes-to-clusters needs a nominal class")
+    if len(assignments) != dataset.num_instances:
+        raise DataError("assignment length does not match the dataset")
+    k_classes = dataset.num_classes
+    clusters = sorted(set(assignments))
+    counts = {c: np.zeros(k_classes) for c in clusters}
+    total = 0
+    for inst, cluster in zip(dataset, assignments):
+        if inst.class_is_missing(dataset):
+            continue
+        counts[cluster][int(inst.class_value(dataset))] += inst.weight
+        total += 1
+    mapping = {}
+    correct = 0.0
+    for cluster, vector in counts.items():
+        majority = int(np.argmax(vector))
+        mapping[cluster] = dataset.class_attribute.values[majority]
+        correct += float(vector[majority])
+    return {
+        "mapping": mapping,
+        "correct": correct,
+        "total": total,
+        "error_rate": 1.0 - (correct / total if total else 0.0),
+    }
+
+
+def evaluate_clusterer(clusterer: Clusterer, dataset: Dataset) -> dict:
+    """One-call clustering report: fit elsewhere, evaluate here."""
+    assignments = clusterer.assign(dataset)
+    out: dict = {
+        "n_clusters": clusterer.n_clusters,
+        "silhouette": silhouette(dataset, assignments),
+    }
+    if dataset.has_class and dataset.class_attribute.is_nominal:
+        out["classes_to_clusters"] = classes_to_clusters(dataset,
+                                                         assignments)
+    return out

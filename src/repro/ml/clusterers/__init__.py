@@ -1,0 +1,9 @@
+"""Clustering family (registered with :data:`repro.ml.base.CLUSTERERS`)."""
+
+from repro.ml.clusterers.kmeans import FarthestFirst, SimpleKMeans
+from repro.ml.clusterers.cobweb import Cobweb
+from repro.ml.clusterers.em import EM
+from repro.ml.clusterers.hierarchical import DBSCAN, Hierarchical
+
+__all__ = ["SimpleKMeans", "FarthestFirst", "Cobweb", "EM",
+           "Hierarchical", "DBSCAN"]

@@ -1,0 +1,89 @@
+"""Mixed-attribute distance support shared by the distance-based clusterers.
+
+Numeric attributes are min-max normalised against the training data; nominal
+attributes contribute 0/1 mismatch; missing cells contribute the worst case
+(1.0).  This is WEKA's ``EuclideanDistance`` behaviour, which its clusterers
+share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.errors import DataError
+
+
+class MixedDistance:
+    """Fit normalisation on a dataset, then measure pairwise distances."""
+
+    def fit(self, dataset: Dataset) -> "MixedDistance":
+        self.class_index = dataset.class_index if dataset.has_class else -1
+        self.numeric = np.array([
+            a.is_numeric and i != self.class_index
+            for i, a in enumerate(dataset.attributes)])
+        self.nominal = np.array([
+            a.is_nominal and i != self.class_index
+            for i, a in enumerate(dataset.attributes)])
+        if not (self.numeric.any() or self.nominal.any()):
+            raise DataError("no usable attributes for distance computation")
+        matrix = dataset.to_matrix()
+        m = matrix.shape[1]
+        self.min = np.full(m, np.nan)
+        self.max = np.full(m, np.nan)
+        for j in np.where(self.numeric)[0]:
+            col = matrix[:, j]
+            present = col[~np.isnan(col)]
+            if present.size:
+                self.min[j] = float(present.min())
+                self.max[j] = float(present.max())
+        self.span = np.where(
+            np.isfinite(self.max - self.min) & (self.max > self.min),
+            self.max - self.min, 1.0)
+        return self
+
+    def normalise(self, matrix: np.ndarray) -> np.ndarray:
+        out = matrix.astype(float).copy()
+        for j in np.where(self.numeric)[0]:
+            if np.isfinite(self.min[j]):
+                out[:, j] = (out[:, j] - self.min[j]) / self.span[j]
+        return out
+
+    def pairwise_to(self, matrix: np.ndarray,
+                    points: np.ndarray) -> np.ndarray:
+        """Distance of every row of *matrix* to every row of *points*,
+        both already normalised. Returns ``(len(matrix), len(points))``."""
+        n, p = matrix.shape[0], points.shape[0]
+        out = np.zeros((n, p))
+        for j in range(matrix.shape[1]):
+            if self.numeric[j]:
+                col = matrix[:, j][:, None]
+                ref = points[:, j][None, :]
+                d = np.abs(col - ref)
+                d = np.where(np.isnan(col) | np.isnan(ref), 1.0, d)
+            elif self.nominal[j]:
+                col = matrix[:, j][:, None]
+                ref = points[:, j][None, :]
+                d = (col != ref).astype(float)
+                d = np.where(np.isnan(col) | np.isnan(ref), 1.0, d)
+            else:
+                continue
+            out += d * d
+        return np.sqrt(out)
+
+    def centroid(self, matrix: np.ndarray) -> np.ndarray:
+        """Cluster centre: numeric mean / nominal mode (normalised space)."""
+        centre = np.zeros(matrix.shape[1])
+        for j in range(matrix.shape[1]):
+            col = matrix[:, j]
+            present = col[~np.isnan(col)]
+            if present.size == 0:
+                centre[j] = np.nan
+            elif self.numeric[j]:
+                centre[j] = float(present.mean())
+            elif self.nominal[j]:
+                values, counts = np.unique(present, return_counts=True)
+                centre[j] = float(values[np.argmax(counts)])
+            else:
+                centre[j] = np.nan
+        return centre

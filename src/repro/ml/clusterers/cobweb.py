@@ -1,0 +1,368 @@
+"""Cobweb/Classit incremental conceptual clustering.
+
+The paper deploys a dedicated Cobweb Web Service whose operations are
+``cluster`` (textual result) and ``getCobwebGraph`` (the concept tree for the
+tree plotter).  This implementation follows Fisher's COBWEB with the CLASSIT
+extension for numeric attributes (Gaussian per-attribute estimates with an
+*acuity* floor), and WEKA's *cutoff* parameter to suppress child creation for
+instances that add too little category utility.
+
+Operators considered on each insert, exactly as in the literature: place in
+the best-scoring child, create a new singleton child, merge the two best
+children, split the best child.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.instance import Instance
+from repro.ml.base import CLUSTERERS, Clusterer
+from repro.ml.options import FLOAT, OptionSpec
+
+_SQRT_PI2 = 2.0 * math.sqrt(math.pi)
+
+
+class _AttrStats:
+    """Per-attribute sufficient statistics for one concept node."""
+
+    def __init__(self, n_values: int):
+        # nominal: n_values > 0 -> counts; numeric: Welford mean/var
+        self.n_values = n_values
+        if n_values:
+            self.counts = np.zeros(n_values)
+        self.weight = 0.0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def add(self, value: float) -> None:
+        if math.isnan(value):
+            return
+        if self.n_values:
+            self.counts[int(value)] += 1.0
+        else:
+            self.weight += 1.0
+            delta = value - self.mean
+            self.mean += delta / self.weight
+            self.m2 += delta * (value - self.mean)
+
+    def merge(self, other: "_AttrStats") -> None:
+        if self.n_values:
+            self.counts += other.counts
+        elif other.weight:
+            total = self.weight + other.weight
+            delta = other.mean - self.mean
+            self.mean += delta * other.weight / total
+            self.m2 += other.m2 + delta * delta * \
+                self.weight * other.weight / total
+            self.weight = total
+
+    def copy(self) -> "_AttrStats":
+        out = _AttrStats(self.n_values)
+        if self.n_values:
+            out.counts = self.counts.copy()
+        out.weight, out.mean, out.m2 = self.weight, self.mean, self.m2
+        return out
+
+    def score(self, acuity: float) -> float:
+        """Expected correct-guess mass: sum_v P(v)^2, or CLASSIT's
+        1/(2*sqrt(pi)*sigma) for numeric attributes."""
+        if self.n_values:
+            total = self.counts.sum()
+            if total <= 0:
+                return 0.0
+            p = self.counts / total
+            return float((p * p).sum())
+        if self.weight <= 0:
+            return 0.0
+        std = math.sqrt(self.m2 / self.weight) if self.weight > 1 else 0.0
+        return 1.0 / (_SQRT_PI2 * max(std, acuity))
+
+
+class CobwebNode:
+    """One concept in the hierarchy."""
+
+    _next_id = 0
+
+    def __init__(self, schema: list[int]):
+        self.schema = schema
+        self.stats = [_AttrStats(v) for v in schema]
+        self.count = 0.0
+        self.children: list["CobwebNode"] = []
+        self.id = CobwebNode._next_id
+        CobwebNode._next_id += 1
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def add_instance(self, values: np.ndarray) -> None:
+        """Update statistics with one instance's values."""
+        self.count += 1.0
+        for stat, value in zip(self.stats, values):
+            stat.add(float(value))
+
+    def absorb(self, other: "CobwebNode") -> None:
+        """Merge another node's statistics into this one."""
+        self.count += other.count
+        for mine, theirs in zip(self.stats, other.stats):
+            mine.merge(theirs)
+
+    def copy_stats(self) -> "CobwebNode":
+        """Copy of this node's statistics (children excluded)."""
+        out = CobwebNode(self.schema)
+        out.count = self.count
+        out.stats = [s.copy() for s in self.stats]
+        return out
+
+    def score(self, acuity: float) -> float:
+        """Expected-correct-guess mass of this concept."""
+        return sum(s.score(acuity) for s in self.stats)
+
+    def category_utility(self, acuity: float) -> float:
+        """CU of this node's child partition."""
+        if not self.children or self.count <= 0:
+            return 0.0
+        parent_score = self.score(acuity)
+        total = 0.0
+        for child in self.children:
+            p = child.count / self.count
+            total += p * (child.score(acuity) - parent_score)
+        return total / len(self.children)
+
+    def leaves(self) -> list["CobwebNode"]:
+        """Leaf concepts of this subtree, left to right."""
+        if self.is_leaf:
+            return [self]
+        out: list[CobwebNode] = []
+        for child in self.children:
+            out.extend(child.leaves())
+        return out
+
+    def depth(self) -> int:
+        """Depth of the subtree below this node."""
+        if self.is_leaf:
+            return 0
+        return 1 + max(c.depth() for c in self.children)
+
+
+@CLUSTERERS.register("Cobweb", "hierarchical", "conceptual", "incremental")
+class Cobweb(Clusterer):
+    """Incremental conceptual clustering over mixed attributes."""
+
+    OPTIONS = (
+        OptionSpec("acuity", FLOAT, 1.0,
+                   "Minimum per-attribute standard deviation (CLASSIT).",
+                   minimum=1e-6),
+        OptionSpec("cutoff", FLOAT, 0.002,
+                   "Minimum category utility for keeping a new child.",
+                   minimum=0.0),
+    )
+
+    def _fit(self, dataset: Dataset) -> None:
+        class_index = dataset.class_index if dataset.has_class else -1
+        self._schema = [
+            attr.num_values if attr.is_nominal else 0
+            for i, attr in enumerate(dataset.attributes)]
+        self._active = [i for i in range(dataset.num_attributes)
+                        if i != class_index
+                        and not dataset.attribute(i).is_string]
+        self.root = CobwebNode([self._schema[i] for i in self._active])
+        for inst in dataset:
+            self._insert(self.root, inst.values[self._active])
+        self._leaves = self.root.leaves()
+        self._leaf_ids = {leaf.id: i for i, leaf in enumerate(self._leaves)}
+
+    # ---------------------------------------------------------------- insert
+    def _insert(self, node: CobwebNode, values: np.ndarray) -> None:
+        node.add_instance(values)
+        self._place(node, values)
+
+    def _place(self, node: CobwebNode, values: np.ndarray) -> None:
+        """Place an instance (already counted into *node*) in its subtree."""
+        acuity = self.opt("acuity")
+        if node.is_leaf:
+            if node.count <= 1.0:
+                return
+            # leaf with prior mass: push the old concept down as a child and
+            # add the new instance as a sibling singleton
+            twin = CobwebNode(node.schema)
+            twin.count = node.count - 1.0
+            twin.stats = self._stats_minus(node, values)
+            singleton = CobwebNode(node.schema)
+            singleton.add_instance(values)
+            node.children = [twin, singleton]
+            if node.category_utility(acuity) < self.opt("cutoff"):
+                node.children = []
+            return
+        best, second = self._best_children(node, values)
+        options: list[tuple[float, str]] = []
+        options.append((self._cu_with_addition(node, best, values), "add"))
+        options.append((self._cu_with_new_child(node, values), "new"))
+        if second is not None and len(node.children) > 2:
+            options.append(
+                (self._cu_with_merge(node, best, second, values), "merge"))
+        if not node.children[best].is_leaf:
+            options.append(
+                (self._cu_with_split(node, best, values), "split"))
+        options.sort(key=lambda t: t[0], reverse=True)
+        cu, action = options[0]
+        if action == "new":
+            if cu < self.opt("cutoff"):
+                # not worth a new concept: absorb into the best child
+                self._insert(node.children[best], values)
+                return
+            child = CobwebNode(node.schema)
+            child.add_instance(values)
+            node.children.append(child)
+        elif action == "merge":
+            assert second is not None
+            merged = CobwebNode(node.schema)
+            merged.absorb(node.children[best])
+            merged.absorb(node.children[second])
+            merged.children = [node.children[best], node.children[second]]
+            node.children = [c for i, c in enumerate(node.children)
+                             if i not in (best, second)]
+            node.children.append(merged)
+            self._insert(merged, values)
+        elif action == "split":
+            target = node.children[best]
+            node.children = [c for i, c in enumerate(node.children)
+                             if i != best] + list(target.children)
+            self._place(node, values)
+        else:
+            self._insert(node.children[best], values)
+
+    @staticmethod
+    def _stat_remove(stat: _AttrStats, value: float) -> None:
+        if math.isnan(value):
+            return
+        if stat.n_values:
+            stat.counts[int(value)] -= 1.0
+        elif stat.weight > 1:
+            old_mean = stat.mean
+            stat.weight -= 1.0
+            stat.mean = (old_mean * (stat.weight + 1) - value) / stat.weight
+            stat.m2 -= (value - old_mean) * (value - stat.mean)
+            stat.m2 = max(stat.m2, 0.0)
+        else:
+            stat.weight = 0.0
+            stat.mean = 0.0
+            stat.m2 = 0.0
+
+    def _stats_minus(self, node: CobwebNode,
+                     values: np.ndarray) -> list[_AttrStats]:
+        stats = [s.copy() for s in node.stats]
+        for stat, value in zip(stats, values):
+            self._stat_remove(stat, float(value))
+        return stats
+
+    def _best_children(self, node: CobwebNode, values: np.ndarray
+                       ) -> tuple[int, int | None]:
+        scores = []
+        for i in range(len(node.children)):
+            scores.append((self._cu_with_addition(node, i, values), i))
+        scores.sort(reverse=True)
+        best = scores[0][1]
+        second = scores[1][1] if len(scores) > 1 else None
+        return best, second
+
+    # CU probes: copy affected children, apply the operation, measure CU.
+    def _probe(self, node: CobwebNode,
+               children: list[CobwebNode]) -> float:
+        ghost = CobwebNode(node.schema)
+        ghost.count = node.count
+        ghost.stats = node.stats
+        ghost.children = children
+        return ghost.category_utility(self.opt("acuity"))
+
+    def _cu_with_addition(self, node: CobwebNode, idx: int,
+                          values: np.ndarray) -> float:
+        children = list(node.children)
+        target = children[idx].copy_stats()
+        target.add_instance(values)
+        children[idx] = target
+        return self._probe(node, children)
+
+    def _cu_with_new_child(self, node: CobwebNode,
+                           values: np.ndarray) -> float:
+        child = CobwebNode(node.schema)
+        child.add_instance(values)
+        return self._probe(node, list(node.children) + [child])
+
+    def _cu_with_merge(self, node: CobwebNode, a: int, b: int,
+                       values: np.ndarray) -> float:
+        merged = CobwebNode(node.schema)
+        merged.absorb(node.children[a])
+        merged.absorb(node.children[b])
+        merged.add_instance(values)
+        children = [c for i, c in enumerate(node.children)
+                    if i not in (a, b)] + [merged]
+        return self._probe(node, children)
+
+    def _cu_with_split(self, node: CobwebNode, idx: int,
+                       values: np.ndarray) -> float:
+        target = node.children[idx]
+        children = [c for i, c in enumerate(node.children) if i != idx]
+        children.extend(target.children)
+        return self._probe(node, children)
+
+    # ----------------------------------------------------------- interface
+    @property
+    def n_clusters(self) -> int:
+        return len(self._leaves)
+
+    def _cluster(self, instance: Instance) -> int:
+        values = instance.values[self._active]
+        node = self.root
+        acuity = self.opt("acuity")
+        while not node.is_leaf:
+            best_score, best_child = -math.inf, node.children[0]
+            for child in node.children:
+                ghost = child.copy_stats()
+                ghost.add_instance(values)
+                score = ghost.score(acuity)
+                if score > best_score:
+                    best_score, best_child = score, child
+            node = best_child
+        return self._leaf_ids[node.id]
+
+    def model_text(self) -> str:
+        """Human-readable model body."""
+        lines = [f"Cobweb tree: {self.n_clusters} leaf concepts, "
+                 f"depth {self.root.depth()}",
+                 f"acuity={self.opt('acuity')} cutoff={self.opt('cutoff')}",
+                 ""]
+
+        def rec(node: CobwebNode, depth: int) -> None:
+            marker = "leaf" if node.is_leaf else "node"
+            lines.append("|   " * depth
+                         + f"{marker} [{node.count:g} instances]")
+            for child in node.children:
+                rec(child, depth + 1)
+
+        rec(self.root, 0)
+        return "\n".join(lines)
+
+    def to_graph(self) -> dict:
+        """Concept-tree payload for ``getCobwebGraph``."""
+        nodes: list[dict] = []
+        edges: list[dict] = []
+
+        def rec(node: CobwebNode) -> int:
+            nid = len(nodes)
+            label = f"{node.count:g}"
+            if node.is_leaf:
+                label = f"cluster {self._leaf_ids[node.id]} ({node.count:g})"
+            nodes.append({"id": nid, "label": label,
+                          "leaf": node.is_leaf})
+            for child in node.children:
+                cid = rec(child)
+                edges.append({"source": nid, "target": cid, "label": ""})
+            return nid
+
+        rec(self.root)
+        return {"nodes": nodes, "edges": edges}

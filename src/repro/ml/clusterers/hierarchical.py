@@ -1,0 +1,163 @@
+"""Agglomerative hierarchical clustering and DBSCAN."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.instance import Instance
+from repro.errors import DataError
+from repro.ml.base import CLUSTERERS, Clusterer
+from repro.ml.clusterers._distance import MixedDistance
+from repro.ml.options import CHOICE, FLOAT, INT, OptionSpec
+
+
+@CLUSTERERS.register("Hierarchical", "hierarchical", "agglomerative")
+class Hierarchical(Clusterer):
+    """Bottom-up agglomerative clustering cut at *k* clusters.
+
+    Linkage options: ``single`` (min), ``complete`` (max), ``average``
+    (unweighted mean, UPGMA) — the classic trio the related-work section's
+    "single hierarchical clustering" tools offered.
+    """
+
+    OPTIONS = (
+        OptionSpec("k", INT, 2, "Number of clusters to cut at.", minimum=1),
+        OptionSpec("linkage", CHOICE, "average",
+                   "Cluster-distance update rule.",
+                   choices=("single", "complete", "average")),
+    )
+
+    def _fit(self, dataset: Dataset) -> None:
+        n = dataset.num_instances
+        k = self.opt("k")
+        if k > n:
+            raise DataError(f"k={k} exceeds {n} instances")
+        self._metric = MixedDistance().fit(dataset)
+        matrix = self._metric.normalise(dataset.to_matrix())
+        dist = self._metric.pairwise_to(matrix, matrix)
+        np.fill_diagonal(dist, np.inf)
+        active = list(range(n))
+        members: dict[int, list[int]] = {i: [i] for i in range(n)}
+        linkage = self.opt("linkage")
+        self.merge_history: list[tuple[int, int, float]] = []
+        while len(active) > k:
+            sub = dist[np.ix_(active, active)]
+            flat = int(np.argmin(sub))
+            i_pos, j_pos = divmod(flat, len(active))
+            if i_pos == j_pos:
+                break
+            a, b = active[i_pos], active[j_pos]
+            self.merge_history.append((a, b, float(sub[i_pos, j_pos])))
+            # merge b into a, updating distances per the linkage rule
+            na, nb = len(members[a]), len(members[b])
+            for other in active:
+                if other in (a, b):
+                    continue
+                da, db = dist[a, other], dist[b, other]
+                if linkage == "single":
+                    d = min(da, db)
+                elif linkage == "complete":
+                    d = max(da, db)
+                else:
+                    d = (na * da + nb * db) / (na + nb)
+                dist[a, other] = dist[other, a] = d
+            members[a].extend(members[b])
+            del members[b]
+            active.remove(b)
+        self._clusters = [sorted(members[c]) for c in active]
+        self._centres = np.vstack([
+            self._metric.centroid(matrix[rows]) for rows in self._clusters])
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self._clusters)
+
+    def _cluster(self, instance: Instance) -> int:
+        row = self._metric.normalise(instance.values[None, :])
+        return int(self._metric.pairwise_to(row, self._centres)[0].argmin())
+
+    def model_text(self) -> str:
+        """Human-readable model body."""
+        lines = [f"Agglomerative ({self.opt('linkage')} linkage), "
+                 f"{self.n_clusters} clusters"]
+        for c, rows in enumerate(self._clusters):
+            lines.append(f"Cluster {c}: {len(rows)} instances")
+        return "\n".join(lines)
+
+
+@CLUSTERERS.register("DBSCAN", "density")
+class DBSCAN(Clusterer):
+    """Density-based clustering; cluster 0..C-1 plus a noise bucket.
+
+    :meth:`cluster_instance` returns ``n_clusters`` for noise points (a
+    dedicated trailing bucket) so downstream tools always receive a valid
+    cluster index.
+    """
+
+    OPTIONS = (
+        OptionSpec("eps", FLOAT, 0.3,
+                   "Neighbourhood radius (normalised space).",
+                   minimum=1e-9),
+        OptionSpec("min_points", INT, 4,
+                   "Minimum neighbours for a core point.", minimum=1),
+    )
+
+    def _fit(self, dataset: Dataset) -> None:
+        self._metric = MixedDistance().fit(dataset)
+        matrix = self._metric.normalise(dataset.to_matrix())
+        n = matrix.shape[0]
+        eps = self.opt("eps")
+        min_pts = self.opt("min_points")
+        dist = self._metric.pairwise_to(matrix, matrix)
+        neighbours = [np.where(dist[i] <= eps)[0] for i in range(n)]
+        labels = np.full(n, -1)
+        cluster = 0
+        for i in range(n):
+            if labels[i] != -1 or len(neighbours[i]) < min_pts:
+                continue
+            # expand a new cluster from core point i
+            labels[i] = cluster
+            frontier = list(neighbours[i])
+            while frontier:
+                j = int(frontier.pop())
+                if labels[j] == -1:
+                    labels[j] = cluster
+                    if len(neighbours[j]) >= min_pts:
+                        frontier.extend(
+                            int(x) for x in neighbours[j]
+                            if labels[x] == -1)
+            cluster += 1
+        self._labels = labels
+        self._n_found = cluster
+        self._matrix = matrix
+        core = [i for i in range(n)
+                if labels[i] >= 0 and len(neighbours[i]) >= min_pts]
+        self._core_rows = matrix[core] if core else np.empty((0,
+                                                              matrix.shape[1]))
+        self._core_labels = labels[core] if core else np.empty(0, dtype=int)
+
+    @property
+    def n_clusters(self) -> int:
+        return self._n_found
+
+    def _cluster(self, instance: Instance) -> int:
+        if self._core_rows.shape[0] == 0:
+            return self._n_found  # everything is noise
+        row = self._metric.normalise(instance.values[None, :])
+        dists = self._metric.pairwise_to(row, self._core_rows)[0]
+        best = int(dists.argmin())
+        if dists[best] <= self.opt("eps"):
+            return int(self._core_labels[best])
+        return self._n_found  # noise bucket
+
+    def model_text(self) -> str:
+        """Human-readable model body."""
+        noise = int((self._labels == -1).sum())
+        lines = [f"DBSCAN eps={self.opt('eps')} "
+                 f"min_points={self.opt('min_points')}",
+                 f"Clusters found: {self._n_found}   Noise: {noise}"]
+        for c in range(self._n_found):
+            lines.append(f"Cluster {c}: {int((self._labels == c).sum())} "
+                         f"instances")
+        return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""SimpleKMeans and FarthestFirst clusterers (WEKA analogues)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.instance import Instance
+from repro.errors import DataError
+from repro.ml.base import CLUSTERERS, Clusterer
+from repro.ml.clusterers._distance import MixedDistance
+from repro.ml.options import CHOICE, INT, OptionSpec
+
+
+@CLUSTERERS.register("SimpleKMeans", "partitional", "kmeans")
+class SimpleKMeans(Clusterer):
+    """Lloyd's k-means with WEKA's mixed-attribute distance (numeric mean /
+    nominal mode centroids)."""
+
+    OPTIONS = (
+        OptionSpec("k", INT, 2, "Number of clusters.", minimum=1),
+        OptionSpec("max_iterations", INT, 100, "Lloyd iteration cap.",
+                   minimum=1),
+        OptionSpec("seed", INT, 10, "Centroid-initialisation seed."),
+        OptionSpec("init", CHOICE, "random",
+                   "Centroid seeding: uniform 'random' or distance-"
+                   "weighted 'kmeans++'.",
+                   choices=("random", "kmeans++")),
+    )
+
+    def _seed_centres(self, matrix: np.ndarray, k: int,
+                      rng: np.random.Generator) -> np.ndarray:
+        if self.opt("init") == "random":
+            idx = rng.choice(matrix.shape[0], size=k, replace=False)
+            return matrix[idx].copy()
+        # k-means++: each next centre drawn proportionally to its squared
+        # distance from the nearest already-chosen centre
+        chosen = [int(rng.integers(matrix.shape[0]))]
+        for _ in range(1, k):
+            d = self._metric.pairwise_to(matrix, matrix[chosen])
+            sq = d.min(axis=1) ** 2
+            total = sq.sum()
+            if total <= 0:
+                remaining = [i for i in range(matrix.shape[0])
+                             if i not in chosen]
+                chosen.append(int(rng.choice(remaining)))
+                continue
+            chosen.append(int(rng.choice(matrix.shape[0], p=sq / total)))
+        return matrix[chosen].copy()
+
+    def _fit(self, dataset: Dataset) -> None:
+        k = self.opt("k")
+        if k > dataset.num_instances:
+            raise DataError(
+                f"k={k} exceeds {dataset.num_instances} instances")
+        self._metric = MixedDistance().fit(dataset)
+        matrix = self._metric.normalise(dataset.to_matrix())
+        rng = np.random.default_rng(self.opt("seed"))
+        centres = self._seed_centres(matrix, k, rng)
+        assignment = np.full(matrix.shape[0], -1)
+        for iteration in range(self.opt("max_iterations")):
+            dists = self._metric.pairwise_to(matrix, centres)
+            new_assignment = dists.argmin(axis=1)
+            if (new_assignment == assignment).all():
+                break
+            assignment = new_assignment
+            for c in range(k):
+                members = matrix[assignment == c]
+                if members.shape[0]:
+                    centres[c] = self._metric.centroid(members)
+        self._centres = centres
+        self._assignment = assignment
+        self._iterations = iteration + 1
+        dists = self._metric.pairwise_to(matrix, centres)
+        self._sse = float((dists.min(axis=1) ** 2).sum())
+
+    @property
+    def n_clusters(self) -> int:
+        return self._centres.shape[0]
+
+    def _cluster(self, instance: Instance) -> int:
+        row = self._metric.normalise(instance.values[None, :])
+        return int(self._metric.pairwise_to(row, self._centres)[0].argmin())
+
+    def model_text(self) -> str:
+        """Human-readable model body."""
+        sizes = np.bincount(self._assignment, minlength=self.n_clusters)
+        lines = [f"kMeans converged after {self._iterations} iterations",
+                 f"Within-cluster SSE (normalised space): {self._sse:.4f}",
+                 ""]
+        for c, size in enumerate(sizes):
+            lines.append(f"Cluster {c}: {size} instances")
+        return "\n".join(lines)
+
+
+@CLUSTERERS.register("FarthestFirst", "partitional")
+class FarthestFirst(Clusterer):
+    """Hochbaum-Shmoys farthest-first traversal (fast k-centre seeding)."""
+
+    OPTIONS = (
+        OptionSpec("k", INT, 2, "Number of clusters.", minimum=1),
+        OptionSpec("seed", INT, 1, "First-centre seed."),
+    )
+
+    def _fit(self, dataset: Dataset) -> None:
+        k = min(self.opt("k"), dataset.num_instances)
+        self._metric = MixedDistance().fit(dataset)
+        matrix = self._metric.normalise(dataset.to_matrix())
+        rng = np.random.default_rng(self.opt("seed"))
+        first = int(rng.integers(matrix.shape[0]))
+        centre_rows = [first]
+        min_dist = self._metric.pairwise_to(
+            matrix, matrix[[first]])[:, 0]
+        while len(centre_rows) < k:
+            nxt = int(min_dist.argmax())
+            centre_rows.append(nxt)
+            d = self._metric.pairwise_to(matrix, matrix[[nxt]])[:, 0]
+            min_dist = np.minimum(min_dist, d)
+        self._centres = matrix[centre_rows].copy()
+
+    @property
+    def n_clusters(self) -> int:
+        return self._centres.shape[0]
+
+    def _cluster(self, instance: Instance) -> int:
+        row = self._metric.normalise(instance.values[None, :])
+        return int(self._metric.pairwise_to(row, self._centres)[0].argmin())
+
+    def model_text(self) -> str:
+        """Human-readable model body."""
+        return f"FarthestFirst with {self.n_clusters} centres"

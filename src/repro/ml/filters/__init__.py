@@ -1,0 +1,8 @@
+"""Dataset pre-processing filters."""
+
+from repro.ml.filters.core import (Discretize, Filter, NominalToBinary,
+                                   Normalize, RemoveAttributes,
+                                   ReplaceMissing, Standardize)
+
+__all__ = ["Filter", "ReplaceMissing", "Normalize", "Standardize",
+           "Discretize", "NominalToBinary", "RemoveAttributes"]

@@ -1,0 +1,266 @@
+"""Dataset filters (pre-processing tools).
+
+WEKA's "data pre-processing" tools appear in the paper's toolbox as "data set
+manipulation tools".  Every filter here follows the same contract: ``fit`` on
+a training dataset, then ``apply`` to that dataset or any other with the same
+schema (so train/test transformations stay consistent).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.attribute import Attribute
+from repro.data.dataset import Dataset
+from repro.data.instance import Instance
+from repro.errors import DataError
+
+
+class Filter:
+    """Base filter: fit on one dataset, apply to schema-compatible ones."""
+
+    def fit(self, dataset: Dataset) -> "Filter":
+        """Fit the model to *dataset*; returns ``self``."""
+        self._fit(dataset)
+        self._input_schema = [(a.name, a.kind) for a in dataset.attributes]
+        return self
+
+    def _fit(self, dataset: Dataset) -> None:
+        raise NotImplementedError
+
+    def apply(self, dataset: Dataset) -> Dataset:
+        """Transform *dataset* using fitted statistics."""
+        if not hasattr(self, "_input_schema"):
+            raise DataError(f"{type(self).__name__} is not fitted")
+        if [(a.name, a.kind) for a in dataset.attributes] != \
+                self._input_schema:
+            raise DataError(
+                f"{type(self).__name__} was fitted on a different schema")
+        return self._apply(dataset)
+
+    def _apply(self, dataset: Dataset) -> Dataset:
+        raise NotImplementedError
+
+    def fit_apply(self, dataset: Dataset) -> Dataset:
+        """Fit on *dataset*, then transform it."""
+        return self.fit(dataset).apply(dataset)
+
+
+class ReplaceMissing(Filter):
+    """Impute missing cells: numeric mean / nominal mode of the fit data."""
+
+    def _fit(self, dataset: Dataset) -> None:
+        matrix = dataset.to_matrix()
+        self._fill = np.zeros(dataset.num_attributes)
+        for j, attr in enumerate(dataset.attributes):
+            col = matrix[:, j]
+            present = col[~np.isnan(col)]
+            if present.size == 0:
+                self._fill[j] = 0.0
+            elif attr.is_numeric:
+                self._fill[j] = float(present.mean())
+            else:
+                values, counts = np.unique(present, return_counts=True)
+                self._fill[j] = float(values[np.argmax(counts)])
+
+    def _apply(self, dataset: Dataset) -> Dataset:
+        out = dataset.copy_header()
+        for inst in dataset:
+            values = inst.values.copy()
+            nan = np.isnan(values)
+            values[nan] = self._fill[nan]
+            out.add(Instance(values, inst.weight))
+        return out
+
+
+class Normalize(Filter):
+    """Min-max scale numeric attributes into [0, 1]."""
+
+    def _fit(self, dataset: Dataset) -> None:
+        matrix = dataset.to_matrix()
+        self._numeric = [j for j, a in enumerate(dataset.attributes)
+                         if a.is_numeric]
+        self._lo = {}
+        self._span = {}
+        for j in self._numeric:
+            col = matrix[:, j]
+            present = col[~np.isnan(col)]
+            lo = float(present.min()) if present.size else 0.0
+            hi = float(present.max()) if present.size else 1.0
+            self._lo[j] = lo
+            self._span[j] = (hi - lo) if hi > lo else 1.0
+
+    def _apply(self, dataset: Dataset) -> Dataset:
+        out = dataset.copy_header()
+        for inst in dataset:
+            values = inst.values.copy()
+            for j in self._numeric:
+                if not math.isnan(values[j]):
+                    values[j] = (values[j] - self._lo[j]) / self._span[j]
+            out.add(Instance(values, inst.weight))
+        return out
+
+
+class Standardize(Filter):
+    """Zero-mean unit-variance scaling of numeric attributes."""
+
+    def _fit(self, dataset: Dataset) -> None:
+        matrix = dataset.to_matrix()
+        self._numeric = [j for j, a in enumerate(dataset.attributes)
+                         if a.is_numeric]
+        self._mean = {}
+        self._std = {}
+        for j in self._numeric:
+            col = matrix[:, j]
+            present = col[~np.isnan(col)]
+            self._mean[j] = float(present.mean()) if present.size else 0.0
+            std = float(present.std()) if present.size else 1.0
+            self._std[j] = std if std > 1e-12 else 1.0
+
+    def _apply(self, dataset: Dataset) -> Dataset:
+        out = dataset.copy_header()
+        for inst in dataset:
+            values = inst.values.copy()
+            for j in self._numeric:
+                if not math.isnan(values[j]):
+                    values[j] = (values[j] - self._mean[j]) / self._std[j]
+            out.add(Instance(values, inst.weight))
+        return out
+
+
+class Discretize(Filter):
+    """Bin numeric attributes into nominal ranges.
+
+    ``strategy='width'`` uses equal-width bins over the fit range;
+    ``'frequency'`` uses training quantiles.  The class attribute is never
+    discretised.
+    """
+
+    def __init__(self, bins: int = 10, strategy: str = "width"):
+        if bins < 2:
+            raise DataError("need at least 2 bins")
+        if strategy not in ("width", "frequency"):
+            raise DataError(f"unknown strategy {strategy!r}")
+        self.bins = bins
+        self.strategy = strategy
+
+    def _fit(self, dataset: Dataset) -> None:
+        matrix = dataset.to_matrix()
+        class_index = dataset.class_index if dataset.has_class else -1
+        self._cuts: dict[int, np.ndarray] = {}
+        for j, attr in enumerate(dataset.attributes):
+            if not attr.is_numeric or j == class_index:
+                continue
+            col = matrix[:, j]
+            present = col[~np.isnan(col)]
+            if present.size == 0:
+                self._cuts[j] = np.array([])
+                continue
+            if self.strategy == "width":
+                lo, hi = float(present.min()), float(present.max())
+                if hi <= lo:
+                    self._cuts[j] = np.array([])
+                else:
+                    self._cuts[j] = np.linspace(lo, hi, self.bins + 1)[1:-1]
+            else:
+                qs = np.quantile(present,
+                                 np.linspace(0, 1, self.bins + 1)[1:-1])
+                self._cuts[j] = np.unique(qs)
+
+    def _apply(self, dataset: Dataset) -> Dataset:
+        attrs = []
+        for j, attr in enumerate(dataset.attributes):
+            if j in self._cuts:
+                n_bins = len(self._cuts[j]) + 1
+                labels = [f"bin{b}" for b in range(n_bins)]
+                attrs.append(Attribute.nominal(attr.name, labels))
+            else:
+                attrs.append(attr.copy())
+        out = Dataset(dataset.relation, attrs)
+        if dataset.has_class:
+            out.class_index = dataset.class_index
+        for inst in dataset:
+            values = inst.values.copy()
+            for j, cuts in self._cuts.items():
+                if not math.isnan(values[j]):
+                    values[j] = float(np.searchsorted(
+                        cuts, values[j], side="right"))
+            out.add(Instance(values, inst.weight))
+        return out
+
+
+class NominalToBinary(Filter):
+    """One-hot expand nominal attributes (class attribute untouched)."""
+
+    def _fit(self, dataset: Dataset) -> None:
+        self._class_index = dataset.class_index if dataset.has_class else -1
+        self._plan: list[tuple[int, Attribute, list[str]]] = []
+        for j, attr in enumerate(dataset.attributes):
+            if attr.is_nominal and j != self._class_index \
+                    and attr.num_values > 2:
+                names = [f"{attr.name}={v}" for v in attr.values]
+                self._plan.append((j, attr, names))
+
+    def _apply(self, dataset: Dataset) -> Dataset:
+        expand = {j: names for j, _, names in self._plan}
+        attrs: list[Attribute] = []
+        mapping: list[tuple[str, int]] = []  # ('copy', j) or ('onehot', j)
+        class_name = (dataset.class_attribute.name
+                      if dataset.has_class else None)
+        for j, attr in enumerate(dataset.attributes):
+            if j in expand:
+                for name in expand[j]:
+                    attrs.append(Attribute.nominal(name, ("f", "t")))
+                    mapping.append(("onehot", j))
+            else:
+                attrs.append(attr.copy())
+                mapping.append(("copy", j))
+        out = Dataset(dataset.relation, attrs)
+        if class_name is not None:
+            out.set_class(class_name)
+        onehot_offset: dict[int, int] = {}
+        pos = 0
+        for kind, j in mapping:
+            if kind == "onehot" and j not in onehot_offset:
+                onehot_offset[j] = pos
+            pos += 1
+        for inst in dataset:
+            cells = np.zeros(len(attrs))
+            pos = 0
+            for kind, j in mapping:
+                if kind == "copy":
+                    cells[pos] = inst.value(j)
+                    pos += 1
+                else:
+                    if pos == onehot_offset[j]:
+                        value = inst.value(j)
+                        width = dataset.attribute(j).num_values
+                        if math.isnan(value):
+                            cells[pos:pos + width] = np.nan
+                        else:
+                            cells[pos + int(value)] = 1.0
+                    pos += 1
+            out.add(Instance(cells, inst.weight))
+        return out
+
+
+class RemoveAttributes(Filter):
+    """Drop attributes by name (the class attribute cannot be dropped)."""
+
+    def __init__(self, names: list[str]):
+        self.names = list(names)
+
+    def _fit(self, dataset: Dataset) -> None:
+        drop = set(self.names)
+        unknown = drop - {a.name for a in dataset.attributes}
+        if unknown:
+            raise DataError(f"unknown attribute(s) {sorted(unknown)}")
+        if dataset.has_class and dataset.class_attribute.name in drop:
+            raise DataError("cannot remove the class attribute")
+        self._keep = [j for j, a in enumerate(dataset.attributes)
+                      if a.name not in drop]
+
+    def _apply(self, dataset: Dataset) -> Dataset:
+        return dataset.select_attributes(self._keep)

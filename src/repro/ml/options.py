@@ -1,0 +1,144 @@
+"""Algorithm option metadata.
+
+The paper's general Classifier Web Service exposes ``getOptions(classifier)``
+returning "a list of the required and optional properties that the user should
+pass".  Every algorithm in this library therefore declares its options as
+:class:`OptionSpec` records, which the service layer serialises verbatim and
+the ``OptionSelector`` workflow tool renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.errors import OptionError
+
+INT = "int"
+FLOAT = "float"
+BOOL = "bool"
+CHOICE = "choice"
+STRING = "string"
+
+_TYPES = (INT, FLOAT, BOOL, CHOICE, STRING)
+
+
+@dataclass(frozen=True)
+class OptionSpec:
+    """One declared algorithm option.
+
+    ``required`` options have no usable default and must be supplied;
+    everything else falls back to ``default``.  ``minimum``/``maximum`` bound
+    numeric options inclusively.
+    """
+
+    name: str
+    type: str
+    default: Any = None
+    description: str = ""
+    choices: tuple[str, ...] = field(default_factory=tuple)
+    required: bool = False
+    minimum: float | None = None
+    maximum: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.type not in _TYPES:
+            raise OptionError(f"unknown option type {self.type!r}")
+        if self.type == CHOICE and not self.choices:
+            raise OptionError(f"choice option {self.name!r} needs choices")
+
+    def validate(self, value: Any) -> Any:
+        """Coerce + validate *value*, returning the canonical form."""
+        if value is None:
+            if self.required:
+                raise OptionError(f"option {self.name!r} is required")
+            return self.default
+        if self.type == INT:
+            try:
+                out: Any = int(value)
+            except (TypeError, ValueError):
+                raise OptionError(
+                    f"option {self.name!r} expects an int, got {value!r}"
+                ) from None
+        elif self.type == FLOAT:
+            try:
+                out = float(value)
+            except (TypeError, ValueError):
+                raise OptionError(
+                    f"option {self.name!r} expects a float, got {value!r}"
+                ) from None
+        elif self.type == BOOL:
+            if isinstance(value, bool):
+                out = value
+            elif isinstance(value, str) and value.lower() in (
+                    "true", "false", "t", "f", "1", "0", "yes", "no"):
+                out = value.lower() in ("true", "t", "1", "yes")
+            elif isinstance(value, (int, float)) and value in (0, 1):
+                out = bool(value)
+            else:
+                raise OptionError(
+                    f"option {self.name!r} expects a bool, got {value!r}")
+        elif self.type == CHOICE:
+            out = str(value)
+            if out not in self.choices:
+                raise OptionError(
+                    f"option {self.name!r} must be one of {self.choices}, "
+                    f"got {value!r}")
+        else:  # STRING
+            out = str(value)
+        if self.type in (INT, FLOAT):
+            if self.minimum is not None and out < self.minimum:
+                raise OptionError(
+                    f"option {self.name!r} must be >= {self.minimum}, "
+                    f"got {out}")
+            if self.maximum is not None and out > self.maximum:
+                raise OptionError(
+                    f"option {self.name!r} must be <= {self.maximum}, "
+                    f"got {out}")
+        return out
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-ready description (shipped by ``getOptions``)."""
+        out: dict[str, Any] = {
+            "name": self.name,
+            "type": self.type,
+            "default": self.default,
+            "description": self.description,
+            "required": self.required,
+        }
+        if self.choices:
+            out["choices"] = list(self.choices)
+        if self.minimum is not None:
+            out["minimum"] = self.minimum
+        if self.maximum is not None:
+            out["maximum"] = self.maximum
+        return out
+
+
+def resolve_options(specs: Sequence[OptionSpec],
+                    supplied: Mapping[str, Any]) -> dict[str, Any]:
+    """Validate *supplied* against *specs*; unknown names are errors.
+
+    Returns the full option dict (defaults filled in).
+    """
+    by_name = {s.name: s for s in specs}
+    unknown = sorted(set(supplied) - set(by_name))
+    if unknown:
+        raise OptionError(
+            f"unknown option(s) {unknown}; known: {sorted(by_name)}")
+    out: dict[str, Any] = {}
+    for spec in specs:
+        out[spec.name] = spec.validate(supplied.get(spec.name))
+    return out
+
+
+def parse_option_string(text: str) -> dict[str, str]:
+    """Parse ``"key=value key2=value2"`` option strings (CLI/service style)."""
+    out: dict[str, str] = {}
+    for token in text.split():
+        if "=" not in token:
+            raise OptionError(
+                f"malformed option token {token!r} (expected key=value)")
+        key, _, value = token.partition("=")
+        out[key] = value
+    return out

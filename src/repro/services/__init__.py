@@ -1,0 +1,28 @@
+"""The data-mining Web Services of the paper: the general Classifier service
+(§4.1), the per-algorithm J48 and Cobweb services, the general Clusterer and
+Association services, attribute selection, data acquisition/conversion/
+streaming, the Mathematica substitute (plot3D) and the GNUPlot substitute."""
+
+from repro.services.advisor_service import AdvisorService
+from repro.services.association_service import AssociationService
+from repro.services.attrsel_service import AttributeSelectionService
+from repro.services.classifier_service import ClassifierService
+from repro.services.clusterer_service import ClustererService, CobwebService
+from repro.services.data_service import DataService
+from repro.services.deploy import (HostedToolbox, TOOLBOX, deploy_toolbox,
+                                   serve_toolbox)
+from repro.services.j48_service import J48Service
+from repro.services.math_service import MathService
+from repro.services.plot_service import PlotService, TreeVisualizerService
+from repro.services.session_service import SessionService
+from repro.services.workspace_service import WorkspaceService
+from repro.services import grid
+
+__all__ = [
+    "grid",
+    "ClassifierService", "J48Service", "ClustererService", "CobwebService",
+    "AssociationService", "AttributeSelectionService", "DataService",
+    "MathService", "PlotService", "TreeVisualizerService",
+    "AdvisorService", "SessionService", "WorkspaceService",
+    "TOOLBOX", "deploy_toolbox", "serve_toolbox", "HostedToolbox",
+]

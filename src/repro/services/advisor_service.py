@@ -1,0 +1,50 @@
+"""Algorithm-advice Web Service (§3: algorithm choice + user experience).
+
+Wraps :mod:`repro.ml.advisor`: dataset characterisation, ranked
+recommendations with reasons, and a shared experience store that other
+users' recorded outcomes feed into — "the framework should assist the users
+to make use of previous experience to select the appropriate tool".
+"""
+
+from __future__ import annotations
+
+from repro.data import arff
+from repro.ml.advisor import (ExperienceStore, advise_text, characterise,
+                              recommend)
+from repro.ws.service import operation
+
+
+class AdvisorService:
+    """Dataset characterisation + algorithm recommendation."""
+
+    def __init__(self, store: ExperienceStore | None = None) -> None:
+        self.store = store or ExperienceStore()
+
+    @operation
+    def characterise(self, dataset: str, attribute: str) -> dict:
+        """Meta-features of an ARFF dataset."""
+        ds = arff.loads(dataset, attribute)
+        return characterise(ds).as_dict()
+
+    @operation
+    def recommend(self, dataset: str, attribute: str,
+                  top: int = 5) -> list:
+        """Ranked algorithm recommendations with reasons."""
+        ds = arff.loads(dataset, attribute)
+        return [{"algorithm": r.algorithm, "score": r.score,
+                 "reasons": list(r.reasons)}
+                for r in recommend(ds, top=top, experience=self.store)]
+
+    @operation
+    def adviseText(self, dataset: str, attribute: str) -> str:  # noqa: N802
+        """The full human-readable advice report."""
+        ds = arff.loads(dataset, attribute)
+        return advise_text(ds, self.store)
+
+    @operation
+    def recordExperience(self, dataset: str, attribute: str,  # noqa: N802
+                         algorithm: str, score: float) -> int:
+        """Record a past outcome; returns the store size."""
+        ds = arff.loads(dataset, attribute)
+        self.store.record(ds, algorithm, score, relation=ds.relation)
+        return len(self.store)

@@ -1,0 +1,70 @@
+"""Association-rules Web Service — the third algorithm family (§1).
+
+Same wrapper pattern as the Classifier/Clusterer services:
+``getAssociators`` / ``getOptions`` / ``associate``.
+"""
+
+from __future__ import annotations
+
+from repro.data import arff
+from repro.ml import catalogue
+from repro.ml.base import ASSOCIATORS
+from repro.ws.service import operation
+
+
+class AssociationService:
+    """General association-rule mining service."""
+
+    @operation
+    def getAssociators(self) -> list:  # noqa: N802
+        """List available association-rule learners."""
+        return [{"name": e.name, "description": e.description}
+                for e in catalogue.entries() if e.kind == "associator"]
+
+    @operation
+    def getOptions(self, associator: str) -> list:  # noqa: N802
+        """Required and optional properties of one associator."""
+        try:
+            entry = catalogue.get(associator)
+            cls = ASSOCIATORS.get(entry.base)
+            preset = entry.options
+        except Exception:
+            cls = ASSOCIATORS.get(associator)
+            preset = {}
+        out = []
+        for spec in cls.describe_options():
+            if spec["name"] in preset:
+                spec = dict(spec)
+                spec["default"] = preset[spec["name"]]
+            out.append(spec)
+        return out
+
+    @operation
+    def associate(self, associator: str, dataset: str,
+                  options: dict = None) -> dict:
+        """Mine rules from a nominal ARFF dataset; returns the rule list
+        both as text and as structured records."""
+        ds = arff.loads(dataset)
+        try:
+            learner = catalogue.create(associator, options or {})
+        except Exception:
+            learner = ASSOCIATORS.create(associator, options or {})
+        learner.fit(ds)
+        rules = [{
+            "antecedent": [[ds.attribute(a).name,
+                            ds.attribute(a).values[v]]
+                           for a, v in rule.antecedent],
+            "consequent": [[ds.attribute(a).name,
+                            ds.attribute(a).values[v]]
+                           for a, v in rule.consequent],
+            "support": rule.support,
+            "confidence": rule.confidence,
+            "lift": rule.lift,
+        } for rule in learner.rules]
+        return {
+            "associator": associator,
+            "num_itemsets": len(learner.itemsets),
+            "num_rules": len(rules),
+            "rules": rules,
+            "rules_text": learner.rules_text(),
+        }

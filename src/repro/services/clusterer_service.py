@@ -1,0 +1,105 @@
+"""Clustering Web Services (§4.1).
+
+Two services, mirroring the paper: a dedicated Cobweb service with the two
+operations the paper lists ("(1) cluster, (2) getCobwebGraph"), and a general
+clusterer wrapper with the same getX/getOptions/run triple as the general
+Classifier Web Service.
+"""
+
+from __future__ import annotations
+
+from repro.data import arff
+from repro.errors import DataError
+from repro.ml import catalogue
+from repro.ml.base import CLUSTERERS
+from repro.ml.clusterers import Cobweb
+from repro.ws.service import operation
+
+
+def _load(dataset_arff: str):
+    return arff.loads(dataset_arff)
+
+
+def _build(clusterer: str, options: dict | None):
+    try:
+        return catalogue.create(clusterer, options or {})
+    except Exception:
+        return CLUSTERERS.create(clusterer, options or {})
+
+
+class CobwebService:
+    """Dedicated Cobweb conceptual-clustering service."""
+
+    @operation
+    def cluster(self, dataset: str, options: dict = None) -> str:
+        """Apply Cobweb to an ARFF dataset; returns the textual clustering
+        description."""
+        ds = _load(dataset)
+        model = Cobweb(**(options or {}))
+        model.fit(ds)
+        return model.to_text()
+
+    @operation
+    def getCobwebGraph(self, dataset: str,  # noqa: N802
+                       options: dict = None) -> dict:
+        """Apply Cobweb; returns the concept hierarchy as a plottable tree
+        graph."""
+        ds = _load(dataset)
+        model = Cobweb(**(options or {}))
+        model.fit(ds)
+        return {"n_clusters": model.n_clusters, "graph": model.to_graph()}
+
+
+class ClustererService:
+    """General clusterer wrapper (getClusterers / getOptions / cluster)."""
+
+    @operation
+    def getClusterers(self) -> list:  # noqa: N802
+        """List available clusterers (name, description)."""
+        return [{"name": e.name, "description": e.description}
+                for e in catalogue.entries() if e.kind == "clusterer"]
+
+    @operation
+    def getOptions(self, clusterer: str) -> list:  # noqa: N802
+        """Required and optional properties of one clusterer."""
+        try:
+            entry = catalogue.get(clusterer)
+            cls = CLUSTERERS.get(entry.base)
+            preset = entry.options
+        except Exception:
+            cls = CLUSTERERS.get(clusterer)
+            preset = {}
+        out = []
+        for spec in cls.describe_options():
+            if spec["name"] in preset:
+                spec = dict(spec)
+                spec["default"] = preset[spec["name"]]
+            out.append(spec)
+        return out
+
+    @operation
+    def cluster(self, clusterer: str, dataset: str,
+                options: dict = None) -> dict:
+        """Fit *clusterer* on the ARFF *dataset*; returns the textual model
+        and per-instance assignments."""
+        ds = _load(dataset)
+        model = _build(clusterer, options)
+        model.fit(ds)
+        return {
+            "clusterer": clusterer,
+            "n_clusters": model.n_clusters,
+            "assignments": model.assign(ds),
+            "model_text": model.to_text(),
+        }
+
+    @operation
+    def clusterGraph(self, clusterer: str, dataset: str,  # noqa: N802
+                     options: dict = None) -> dict:
+        """Fit a hierarchical clusterer; returns its tree graph."""
+        ds = _load(dataset)
+        model = _build(clusterer, options)
+        model.fit(ds)
+        if not hasattr(model, "to_graph"):
+            raise DataError(
+                f"clusterer {clusterer!r} has no graphical form")
+        return {"n_clusters": model.n_clusters, "graph": model.to_graph()}

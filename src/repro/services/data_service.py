@@ -1,0 +1,133 @@
+"""Data Web Service: URL reading, format conversion, summaries, streaming.
+
+Covers the first of the case study's four composed services ("a Web Service
+to read the data file from a URL and convert this into a format suitable for
+analysis", §5.3) and the data-set manipulation tools of §4.3 (CSV ↔ ARFF
+conversion, dataset summaries per Figure 3), plus the serving half of remote
+dataset streaming (§1).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+from repro.data import arff, converters, stream, summary
+from repro.errors import DataError
+from repro.ws.client import fetch_url
+from repro.ws.service import operation
+
+
+class DataService:
+    """Dataset acquisition, conversion and streaming."""
+
+    def __init__(self) -> None:
+        #: datasets registered for URL-less lookup (simulated repositories)
+        self._repository: dict[str, str] = {}
+        self._streams: dict[str, list[str]] = {}
+        self._stream_headers: dict[str, str] = {}
+        self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+
+    # -- acquisition ----------------------------------------------------------
+    @operation
+    def readURL(self, url: str, format: str = "arff") -> str:  # noqa: N802
+        """Fetch a dataset document from a URL (or a ``repo:`` name
+        registered via :meth:`publishDataset`) and convert it to *format*."""
+        if url.startswith("repo:"):
+            name = url[len("repo:"):]
+            with self._lock:
+                text = self._repository.get(name)
+            if text is None:
+                raise DataError(f"no repository dataset named {name!r}")
+            source_format = "arff"
+        else:
+            text = fetch_url(url)
+            source_format = "csv" if url.lower().endswith(".csv") else "arff"
+        return converters.convert(text, source_format, format)
+
+    @operation
+    def publishDataset(self, name: str, dataset: str) -> str:  # noqa: N802
+        """Register an ARFF dataset under ``repo:<name>`` (the stand-in for
+        the UCI repository the paper reads)."""
+        arff.loads(dataset)  # validate before accepting
+        with self._lock:
+            self._repository[name] = dataset
+        return f"repo:{name}"
+
+    # -- conversion (§4.3 data-set manipulation tools) ----------------------
+    @operation
+    def convert(self, document: str, source: str, target: str) -> str:
+        """Convert a dataset document between registered formats
+        (csv ↔ arff)."""
+        return converters.convert(document, source, target)
+
+    @operation
+    def listConversions(self) -> list:  # noqa: N802
+        """All registered (source, target) conversion pairs."""
+        return [list(pair) for pair in converters.available()]
+
+    @operation
+    def summarise(self, dataset: str) -> dict:
+        """Figure-3 style dataset statistics."""
+        ds = arff.loads(dataset)
+        s = summary.summarise(ds)
+        return {
+            "relation": s.relation,
+            "num_instances": s.num_instances,
+            "num_attributes": s.num_attributes,
+            "num_continuous": s.num_continuous,
+            "num_discrete": s.num_discrete,
+            "missing_values": s.missing_values,
+            "missing_percent": s.missing_percent,
+            "attributes": [{
+                "index": a.index, "name": a.name, "type": a.type_label,
+                "missing": a.missing, "distinct": a.distinct,
+            } for a in s.attributes],
+            "text": summary.format_figure3(s),
+        }
+
+    @operation
+    def validate(self, dataset: str) -> dict:
+        """Parse-check an ARFF document; returns shape info or faults."""
+        ds = arff.loads(dataset)
+        return {"relation": ds.relation,
+                "num_instances": ds.num_instances,
+                "num_attributes": ds.num_attributes,
+                "attributes": [a.name for a in ds.attributes]}
+
+    # -- streaming (server side) ----------------------------------------------
+    @operation
+    def openStream(self, dataset: str,  # noqa: N802
+                   chunk_size: int = 50) -> dict:
+        """Prepare a dataset for chunked streaming; returns the stream id,
+        its ARFF header and the number of chunks."""
+        ds = arff.loads(dataset)
+        header, chunks = stream.replay(ds, chunk_size)
+        with self._lock:
+            sid = f"dstream-{next(self._counter)}"
+            self._streams[sid] = list(chunks)
+            self._stream_headers[sid] = header
+        return {"stream": sid, "header": header, "chunks": len(chunks)}
+
+    @operation
+    def readChunk(self, stream_id: str, index: int) -> str:  # noqa: N802
+        """Read one CSV row chunk of an open stream."""
+        with self._lock:
+            chunks = self._streams.get(stream_id)
+        if chunks is None:
+            raise DataError(f"no open stream {stream_id!r}")
+        if not 0 <= index < len(chunks):
+            raise DataError(
+                f"chunk index {index} out of range 0..{len(chunks) - 1}")
+        return chunks[index]
+
+    @operation
+    def closeStream(self, stream_id: str) -> int:  # noqa: N802
+        """Close a stream; returns the number of chunks it served."""
+        with self._lock:
+            chunks = self._streams.pop(stream_id, None)
+            self._stream_headers.pop(stream_id, None)
+        if chunks is None:
+            raise DataError(f"no open stream {stream_id!r}")
+        return len(chunks)

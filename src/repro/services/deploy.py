@@ -1,0 +1,104 @@
+"""Toolkit deployment: host the full service toolbox in one call.
+
+:func:`deploy_toolbox` stands up a :class:`~repro.ws.container
+.ServiceContainer` carrying every data-mining service the paper describes,
+plus the UDDI registry service.  :func:`serve_toolbox` additionally binds an
+HTTP host and publishes each service's WSDL URL into the registry — the
+"hosted at the Welsh e-Science Centre" arrangement of §4.6, on localhost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.services.advisor_service import AdvisorService
+from repro.services.association_service import AssociationService
+from repro.services.attrsel_service import AttributeSelectionService
+from repro.services.classifier_service import ClassifierService
+from repro.services.clusterer_service import ClustererService, CobwebService
+from repro.services.data_service import DataService
+from repro.services.j48_service import J48Service
+from repro.services.math_service import MathService
+from repro.services.plot_service import PlotService, TreeVisualizerService
+from repro.services.session_service import SessionService
+from repro.services.workspace_service import WorkspaceService
+from repro.ws.container import ServiceContainer
+from repro.ws.httpd import SoapHttpServer
+from repro.ws.registry import RegistryService, UDDIRegistry
+
+#: service name -> (implementation class, registry categories)
+TOOLBOX = {
+    "Classifier": (ClassifierService, ("data-mining", "classification")),
+    "J48": (J48Service, ("data-mining", "classification", "trees")),
+    "Clusterer": (ClustererService, ("data-mining", "clustering")),
+    "Cobweb": (CobwebService, ("data-mining", "clustering")),
+    "Association": (AssociationService, ("data-mining", "associations")),
+    "AttributeSelection": (AttributeSelectionService,
+                           ("data-mining", "attribute-selection")),
+    "Data": (DataService, ("data", "conversion", "streaming")),
+    "Math": (MathService, ("visualisation", "mathematica")),
+    "Plot": (PlotService, ("visualisation", "gnuplot")),
+    "TreeVisualizer": (TreeVisualizerService, ("visualisation", "trees")),
+    "Advisor": (AdvisorService, ("data-mining", "advice")),
+    "Session": (SessionService, ("infrastructure", "sessions")),
+    "Workspace": (WorkspaceService, ("infrastructure", "collaboration")),
+}
+
+
+def deploy_toolbox(container: ServiceContainer | None = None,
+                   lifecycle: str = "harness") -> ServiceContainer:
+    """Deploy every toolbox service (plus the registry) into *container*."""
+    container = container or ServiceContainer("faehim")
+    for name, (cls, _) in TOOLBOX.items():
+        container.deploy(cls, name, lifecycle=lifecycle)
+    registry = UDDIRegistry()
+    container.deploy(RegistryService, "Registry",
+                     factory=lambda: RegistryService(registry))
+    return container
+
+
+@dataclass
+class HostedToolbox:
+    """A running toolkit host: container + HTTP server + registry."""
+
+    container: ServiceContainer
+    server: SoapHttpServer
+    registry: UDDIRegistry
+
+    def wsdl_url(self, service: str) -> str:
+        """WSDL URL of *service*."""
+        return self.server.wsdl_url(service)
+
+    def endpoint(self, service: str) -> str:
+        """SOAP endpoint URL of *service*."""
+        return self.server.endpoint(service)
+
+    def stop(self) -> None:
+        """Shut down and release resources."""
+        self.server.stop()
+
+    def __enter__(self) -> "HostedToolbox":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_toolbox(port: int = 0,
+                  lifecycle: str = "harness") -> HostedToolbox:
+    """Host the toolbox over HTTP and publish every service's WSDL URL."""
+    container = ServiceContainer("faehim")
+    registry = UDDIRegistry()
+    for name, (cls, categories) in TOOLBOX.items():
+        container.deploy(cls, name, lifecycle=lifecycle)
+    container.deploy(RegistryService, "Registry",
+                     factory=lambda: RegistryService(registry))
+    server = SoapHttpServer(container, port).start()
+    for name, (cls, categories) in TOOLBOX.items():
+        registry.publish(name, server.wsdl_url(name), categories,
+                         (cls.__doc__ or "").strip().splitlines()[0]
+                         if cls.__doc__ else "")
+    registry.publish("Registry", server.wsdl_url("Registry"),
+                     ("infrastructure",), "UDDI registry service")
+    return HostedToolbox(container=container, server=server,
+                         registry=registry)

@@ -1,0 +1,191 @@
+"""Grid-WEKA-style distributed execution (§2 related work).
+
+The paper positions itself against Grid WEKA, where "execution of the
+following tasks can be distributed across several computers contained
+within an ad-hoc Grid: labelling of test data using a previously built
+classifier, testing a previously built classifier on a dataset, building a
+classifier on a remote machine, and cross-validation."
+
+This module provides that capability over this toolkit's services:
+:func:`distributed_cross_validate` fans the k folds of a stratified
+cross-validation out across a pool of Classifier-service endpoints (each a
+separate container/host), merging the per-fold confusion matrices into one
+:class:`~repro.ml.evaluation.EvaluationResult`.  Dead endpoints are handled
+by migrating their folds to the survivors (§3's fault-tolerance
+requirement applied to grid jobs).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.data import arff
+from repro.data.dataset import Dataset
+from repro.errors import ServiceError, TransportError, WorkflowError
+from repro.ml.evaluation import EvaluationResult, stratified_folds
+
+
+@dataclass
+class FoldOutcome:
+    """Bookkeeping for one dispatch attempt of one fold."""
+
+    fold: int
+    worker: int
+    attempts: int = 1
+    migrated: bool = False
+    completed: bool = True
+
+
+@dataclass
+class GridRunReport:
+    """Result + execution trace of a distributed cross-validation."""
+
+    result: EvaluationResult
+    outcomes: list[FoldOutcome] = field(default_factory=list)
+
+    @property
+    def migrations(self) -> int:
+        return sum(1 for o in self.outcomes if o.migrated)
+
+    def worker_loads(self) -> dict[int, int]:
+        """Completed folds per worker (failed attempts excluded)."""
+        loads: dict[int, int] = {}
+        for outcome in self.outcomes:
+            if outcome.completed:
+                loads[outcome.worker] = loads.get(outcome.worker, 0) + 1
+        return loads
+
+
+def distributed_cross_validate(proxies: Sequence, dataset: Dataset,
+                               classifier: str = "J48",
+                               attribute: str | None = None,
+                               k: int = 10, seed: int = 1,
+                               options: dict | None = None
+                               ) -> GridRunReport:
+    """Cross-validate *classifier* with folds dispatched across *proxies*.
+
+    Each proxy must expose the general Classifier service's ``predict``
+    operation (train on the fold's training split, label its test split).
+    Folds are processed by a pool of worker threads, one per proxy; a fold
+    whose worker fails is re-queued for the remaining workers.
+    """
+    if not proxies:
+        raise WorkflowError("need at least one Classifier endpoint")
+    attribute = attribute or dataset.class_attribute.name
+    folds = stratified_folds(dataset, k, seed)
+    labels = dataset.class_attribute.values
+    total = EvaluationResult(labels)
+    all_indices = set(range(dataset.num_instances))
+
+    # pre-serialise every fold's train/test pair once
+    jobs: list[tuple[int, str, str, Dataset]] = []
+    for fold_no, fold in enumerate(folds):
+        train_idx = sorted(all_indices - set(fold))
+        if not train_idx or not fold:
+            continue
+        train = dataset.subset(train_idx)
+        test = dataset.subset(sorted(fold))
+        jobs.append((fold_no, arff.dumps(train), arff.dumps(test), test))
+
+    queue = list(jobs)
+    queue_lock = threading.Lock()
+    merge_lock = threading.Lock()
+    outcomes: list[FoldOutcome] = []
+    dead_workers: set[int] = set()
+    errors: list[Exception] = []
+
+    def worker(worker_id: int) -> None:
+        proxy = proxies[worker_id]
+        while True:
+            with queue_lock:
+                if not queue:
+                    return
+                job = queue.pop(0)
+            fold_no, train_doc, test_doc, test_ds = job
+            try:
+                out = proxy.call("predict", classifier=classifier,
+                                 train=train_doc, test=test_doc,
+                                 attribute=attribute,
+                                 options=options or {})
+            except (TransportError, ServiceError, OSError) as exc:
+                with queue_lock:
+                    queue.append(job)  # migrate the fold
+                    dead_workers.add(worker_id)
+                    alive = len(proxies) - len(dead_workers)
+                with merge_lock:
+                    outcomes.append(FoldOutcome(fold_no, worker_id,
+                                                migrated=True,
+                                                completed=False))
+                    if alive == 0:
+                        errors.append(exc)
+                return  # this worker is done for
+            fold_result = EvaluationResult(labels)
+            predicted = out["labels"]
+            for inst, label in zip(test_ds, predicted):
+                if inst.class_is_missing(test_ds):
+                    continue
+                actual = int(inst.class_value(test_ds))
+                fold_result.record(
+                    actual, list(labels).index(label), inst.weight)
+            with merge_lock:
+                total.merge(fold_result)
+                outcomes.append(FoldOutcome(fold_no, worker_id))
+
+    threads = [threading.Thread(target=worker, args=(i,),
+                                name=f"grid-worker-{i}")
+               for i in range(len(proxies))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if queue and errors:
+        raise WorkflowError(
+            f"{len(queue)} fold(s) undispatchable: all endpoints died "
+            f"({errors[0]!r})")
+    if queue:
+        # some folds migrated but workers exited; run them on any survivor
+        survivors = [i for i in range(len(proxies))
+                     if i not in dead_workers]
+        if not survivors:
+            raise WorkflowError("all grid endpoints failed")
+        for job in list(queue):
+            queue.remove(job)
+            fold_no, train_doc, test_doc, test_ds = job
+            proxy = proxies[survivors[0]]
+            out = proxy.call("predict", classifier=classifier,
+                             train=train_doc, test=test_doc,
+                             attribute=attribute, options=options or {})
+            fold_result = EvaluationResult(labels)
+            for inst, label in zip(test_ds, out["labels"]):
+                if inst.class_is_missing(test_ds):
+                    continue
+                fold_result.record(int(inst.class_value(test_ds)),
+                                   list(labels).index(label),
+                                   inst.weight)
+            total.merge(fold_result)
+            outcomes.append(FoldOutcome(fold_no, survivors[0],
+                                        attempts=2, migrated=True))
+    return GridRunReport(result=total, outcomes=outcomes)
+
+
+def remote_build(proxy, dataset: Dataset, classifier: str = "J48",
+                 attribute: str | None = None,
+                 options: dict | None = None) -> dict:
+    """Grid WEKA's 'building a classifier on a remote machine'."""
+    attribute = attribute or dataset.class_attribute.name
+    return proxy.call("classifyInstance", classifier=classifier,
+                      dataset=arff.dumps(dataset), attribute=attribute,
+                      options=options or {})
+
+
+def remote_label(proxy, train: Dataset, unlabelled: Dataset,
+                 classifier: str = "J48",
+                 attribute: str | None = None) -> list[str]:
+    """Grid WEKA's 'labelling of test data'."""
+    attribute = attribute or train.class_attribute.name
+    out = proxy.call("predict", classifier=classifier,
+                     train=arff.dumps(train),
+                     test=arff.dumps(unlabelled), attribute=attribute)
+    return out["labels"]

@@ -1,0 +1,100 @@
+"""Mathematica-substitute Web Service (§4.2).
+
+    "An example of these services is the Mathematica Web Service. ... The
+    most important operation in this Web Service is the plot3D operation.
+    This operation is used to plot data points sent as a CSV file in three
+    dimension and return the plotted graph as an image file (PNG format)."
+
+Mathematica/MathLink is proprietary and unavailable offline, so ``plot3D``
+renders through :mod:`repro.viz.plot3d` and returns binary **PPM** bytes (the
+documented PNG substitution).  A couple of numeric operations
+(``statistics``, ``tabulate``) stand in for the broader kernel capability the
+original service proxied.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data import csvio
+from repro.errors import DataError
+from repro.viz.plot3d import plot3d
+from repro.ws.service import operation
+
+
+def _xyz_from_csv(csv_text: str) -> tuple[np.ndarray, np.ndarray,
+                                          np.ndarray]:
+    ds = csvio.loads(csv_text)
+    numeric = [i for i, a in enumerate(ds.attributes) if a.is_numeric]
+    if len(numeric) < 3:
+        raise DataError(
+            "plot3D needs a CSV with at least three numeric columns")
+    x, y, z = (ds.column(numeric[i]) for i in range(3))
+    keep = ~(np.isnan(x) | np.isnan(y) | np.isnan(z))
+    if not keep.any():
+        raise DataError("plot3D got no complete (x, y, z) rows")
+    return x[keep], y[keep], z[keep]
+
+
+class MathService:
+    """Plotting and numeric utility operations."""
+
+    @operation
+    def plot3D(self, points: str, width: int = 480,  # noqa: N802
+               height: int = 360, azimuth: float = 225.0,
+               elevation: float = 30.0) -> bytes:
+        """Render CSV (x, y, z) points as a 3-D surface/point image.
+
+        Returns binary PPM bytes (PNG substitution; see DESIGN.md)."""
+        x, y, z = _xyz_from_csv(points)
+        return plot3d(x, y, z, width=width, height=height,
+                      azimuth=azimuth, elevation=elevation)
+
+    @operation
+    def statistics(self, points: str) -> dict:
+        """Column statistics (count/min/max/mean/std) of a CSV document."""
+        ds = csvio.loads(points)
+        out: dict[str, dict] = {}
+        for i, attr in enumerate(ds.attributes):
+            if not attr.is_numeric:
+                continue
+            col = ds.column(i)
+            present = col[~np.isnan(col)]
+            if present.size == 0:
+                out[attr.name] = {"count": 0}
+                continue
+            out[attr.name] = {
+                "count": int(present.size),
+                "min": float(present.min()),
+                "max": float(present.max()),
+                "mean": float(present.mean()),
+                "std": float(present.std()),
+            }
+        return out
+
+    @operation
+    def tabulate(self, expression: str, lo: float = -1.0, hi: float = 1.0,
+                 steps: int = 21) -> list:
+        """Evaluate a named function over a range (the Mathematica 'Table'
+        stand-in).  *expression* is one of sin, cos, tan, exp, log, sqrt,
+        sinc, abs, square."""
+        table = {
+            "sin": math.sin, "cos": math.cos, "tan": math.tan,
+            "exp": math.exp, "abs": abs,
+            "log": lambda v: math.log(v) if v > 0 else float("nan"),
+            "sqrt": lambda v: math.sqrt(v) if v >= 0 else float("nan"),
+            "sinc": lambda v: 1.0 if abs(v) < 1e-12 else
+                    math.sin(v) / v,
+            "square": lambda v: v * v,
+        }
+        fn = table.get(expression)
+        if fn is None:
+            raise DataError(
+                f"unknown expression {expression!r}; "
+                f"known: {sorted(table)}")
+        if steps < 2:
+            raise DataError("need at least 2 steps")
+        xs = np.linspace(lo, hi, steps)
+        return [[float(x), float(fn(float(x)))] for x in xs]

@@ -1,0 +1,85 @@
+"""GNUPlot-substitute plotting Web Service and the tree-visualiser service.
+
+The paper wraps GNUPlot for general plotting and provides "a tool to
+visualize the classifiers list", a "Tree plotter", an "Image Plotter" and a
+"Cluster Visualize[r]" (§4.3).  This service exposes those as operations:
+ASCII output mirrors GNUPlot's dumb terminal, SVG its graphical terminals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import csvio
+from repro.errors import DataError
+from repro.viz import ascii_plot, treeviz
+from repro.ws.service import operation
+
+
+def _xy_from_csv(points: str) -> tuple[np.ndarray, np.ndarray]:
+    ds = csvio.loads(points)
+    numeric = [i for i, a in enumerate(ds.attributes) if a.is_numeric]
+    if len(numeric) < 2:
+        raise DataError("need a CSV with at least two numeric columns")
+    x = ds.column(numeric[0])
+    y = ds.column(numeric[1])
+    keep = ~(np.isnan(x) | np.isnan(y))
+    if not keep.any():
+        raise DataError("no complete (x, y) rows to plot")
+    return x[keep], y[keep]
+
+
+class PlotService:
+    """2-D plotting (GNUPlot wrapper substitute)."""
+
+    @operation
+    def plotScatter(self, points: str, title: str = "",  # noqa: N802
+                    terminal: str = "dumb") -> str:
+        """Scatter-plot the first two numeric CSV columns.
+
+        ``terminal='dumb'`` returns ASCII (GNUPlot's dumb terminal);
+        ``'svg'`` returns an SVG document."""
+        x, y = _xy_from_csv(points)
+        if terminal == "dumb":
+            return ascii_plot.scatter(list(x), list(y), title=title)
+        if terminal == "svg":
+            return ascii_plot.scatter_svg(list(x), list(y), title=title)
+        raise DataError(f"unknown terminal {terminal!r} "
+                        f"(known: dumb, svg)")
+
+    @operation
+    def plotSeries(self, values: list, title: str = "") -> str:  # noqa: N802
+        """Line-plot a numeric series against its index (ASCII)."""
+        if not values:
+            raise DataError("empty series")
+        return ascii_plot.line_plot([float(v) for v in values],
+                                    title=title)
+
+    @operation
+    def plotHistogram(self, labels: list, counts: list,  # noqa: N802
+                      title: str = "") -> str:
+        """Horizontal bar chart from parallel label/count lists."""
+        if len(labels) != len(counts):
+            raise DataError("labels and counts must have equal length")
+        return ascii_plot.histogram([str(label) for label in labels],
+                                    [float(c) for c in counts],
+                                    title=title)
+
+
+class TreeVisualizerService:
+    """Tree plotting for classifier/clusterer graphs (§4.1: "The graph can
+    then be plotted using an appropriate visualizer; a service to achieve
+    this is also provided")."""
+
+    @operation
+    def plotTree(self, graph: dict, title: str = "tree",  # noqa: N802
+                 format: str = "svg") -> str:
+        """Render a node/edge tree graph as 'svg', 'text' or 'dot'."""
+        if format == "svg":
+            return treeviz.tree_svg(graph, title)
+        if format == "text":
+            return treeviz.tree_text(graph)
+        if format == "dot":
+            return treeviz.tree_dot(graph, title)
+        raise DataError(f"unknown format {format!r} "
+                        f"(known: svg, text, dot)")

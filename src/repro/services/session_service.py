@@ -1,0 +1,136 @@
+"""Session-management Web Service.
+
+The paper's conclusion lists "session management" among the supporting
+services ("a variety of additional services ... for data translation,
+visualisation and session management").  A session keeps datasets and
+trained models *server-side*, so an interactive user ships the dataset once
+and then issues cheap train/classify/evaluate calls against named artefacts
+— the service-level counterpart of the §4.5 in-memory harness.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+from repro.data import arff
+from repro.data.dataset import Dataset
+from repro.errors import DataError
+from repro.ml import catalogue, evaluation
+from repro.ml.base import CLASSIFIERS, Classifier
+from repro.ws.service import operation
+
+
+@dataclass
+class _Session:
+    id: str
+    datasets: dict[str, Dataset] = field(default_factory=dict)
+    models: dict[str, Classifier] = field(default_factory=dict)
+
+
+class SessionService:
+    """Server-side artefact store for interactive mining sessions."""
+
+    def __init__(self) -> None:
+        self._sessions: dict[str, _Session] = {}
+        self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def _session(self, session: str) -> _Session:
+        with self._lock:
+            state = self._sessions.get(session)
+        if state is None:
+            raise DataError(f"no open session {session!r}")
+        return state
+
+    @operation
+    def createSession(self) -> str:  # noqa: N802
+        """Open a new session; returns its id."""
+        with self._lock:
+            sid = f"session-{next(self._counter)}"
+            self._sessions[sid] = _Session(sid)
+        return sid
+
+    @operation
+    def closeSession(self, session: str) -> dict:  # noqa: N802
+        """Close a session, discarding its artefacts; returns a summary."""
+        state = self._session(session)
+        with self._lock:
+            del self._sessions[session]
+        return {"datasets": sorted(state.datasets),
+                "models": sorted(state.models)}
+
+    @operation
+    def putDataset(self, session: str, name: str,  # noqa: N802
+                   dataset: str) -> dict:
+        """Store an ARFF dataset under *name* inside the session."""
+        state = self._session(session)
+        ds = arff.loads(dataset)
+        state.datasets[name] = ds
+        return {"name": name, "num_instances": ds.num_instances,
+                "num_attributes": ds.num_attributes}
+
+    @operation
+    def artifacts(self, session: str) -> dict:
+        """Names of the session's stored datasets and models."""
+        state = self._session(session)
+        return {"datasets": sorted(state.datasets),
+                "models": sorted(state.models)}
+
+    def _dataset(self, state: _Session, name: str) -> Dataset:
+        ds = state.datasets.get(name)
+        if ds is None:
+            raise DataError(f"session has no dataset {name!r} "
+                            f"(stored: {sorted(state.datasets)})")
+        return ds
+
+    def _model(self, state: _Session, name: str) -> Classifier:
+        model = state.models.get(name)
+        if model is None:
+            raise DataError(f"session has no model {name!r} "
+                            f"(stored: {sorted(state.models)})")
+        return model
+
+    @operation
+    def train(self, session: str, model: str, classifier: str,
+              dataset: str, attribute: str, options: dict = None) -> dict:
+        """Train *classifier* on a stored dataset; store it as *model*."""
+        state = self._session(session)
+        ds = self._dataset(state, dataset).copy()
+        ds.set_class(attribute)
+        try:
+            clf = catalogue.create(classifier, options or {})
+        except Exception:
+            clf = CLASSIFIERS.create(classifier, options or {})
+        clf.fit(ds)
+        state.models[model] = clf
+        result = evaluation.evaluate(clf, ds)
+        return {"model": model, "classifier": classifier,
+                "training_accuracy": result.accuracy}
+
+    @operation
+    def classify(self, session: str, model: str, dataset: str) -> list:
+        """Label a stored dataset with a stored model."""
+        state = self._session(session)
+        clf = self._model(state, model)
+        ds = self._dataset(state, dataset)
+        return [clf.predict_label(inst) for inst in ds]
+
+    @operation
+    def evaluate(self, session: str, model: str, dataset: str,
+                 attribute: str) -> dict:
+        """Evaluate a stored model against a stored labelled dataset."""
+        state = self._session(session)
+        clf = self._model(state, model)
+        ds = self._dataset(state, dataset).copy()
+        ds.set_class(attribute)
+        result = evaluation.evaluate(clf, ds)
+        return {"accuracy": result.accuracy, "kappa": result.kappa,
+                "tested": result.total,
+                "report": result.full_report()}
+
+    @operation
+    def modelText(self, session: str, model: str) -> str:  # noqa: N802
+        """Textual form of a stored model."""
+        return self._model(self._session(session), model).to_text()

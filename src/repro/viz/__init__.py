@@ -1,0 +1,13 @@
+"""Visualisation back-ends: ASCII (GNUPlot 'dumb terminal' substitute), SVG,
+PPM raster (PNG substitute), plot3D surface rendering, tree/cluster/attribute
+visualisers."""
+
+from repro.viz import ascii_plot, attrviz, clusterviz, plot3d, ppm, \
+    rocviz, svg, treeviz
+from repro.viz.plot3d import plot3d as render_plot3d
+from repro.viz.ppm import Raster
+from repro.viz.svg import SvgCanvas
+
+__all__ = ["ascii_plot", "attrviz", "clusterviz", "plot3d", "ppm",
+           "rocviz", "svg", "treeviz", "render_plot3d", "Raster",
+           "SvgCanvas"]

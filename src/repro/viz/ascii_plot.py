@@ -1,0 +1,150 @@
+"""GNUPlot-substitute ASCII plotting.
+
+GNUPlot's ``set terminal dumb`` draws charts as character grids; this module
+reproduces that output mode (scatter, line, histogram) so the plotting Web
+Service can return a visualisation that renders anywhere, including inside
+test logs.  The SVG backend (:mod:`repro.viz.svg`) covers the graphical
+terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+_MARKERS = "*+ox#@%&"
+
+
+def _bounds(values: Sequence[float]) -> tuple[float, float]:
+    arr = [v for v in values if math.isfinite(v)]
+    if not arr:
+        raise ReproError("no finite values to plot")
+    lo, hi = min(arr), max(arr)
+    if lo == hi:
+        lo -= 0.5
+        hi += 0.5
+    return lo, hi
+
+
+def scatter(xs: Sequence[float], ys: Sequence[float],
+            width: int = 60, height: int = 20,
+            series: Sequence[int] | None = None,
+            title: str = "") -> str:
+    """Scatter plot on a character grid; *series* selects per-point markers."""
+    if len(xs) != len(ys):
+        raise ReproError("x and y lengths differ")
+    if len(xs) == 0:
+        raise ReproError("nothing to plot")
+    x_lo, x_hi = _bounds(xs)
+    y_lo, y_hi = _bounds(ys)
+    grid = [[" "] * width for _ in range(height)]
+    for i, (x, y) in enumerate(zip(xs, ys)):
+        if not (math.isfinite(x) and math.isfinite(y)):
+            continue
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = height - 1 - int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        marker = _MARKERS[(series[i] if series is not None else 0)
+                          % len(_MARKERS)]
+        grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title.center(width + 10))
+    top_label = f"{y_hi:10.4g} "
+    bot_label = f"{y_lo:10.4g} "
+    pad = " " * 11
+    for r, row_cells in enumerate(grid):
+        label = top_label if r == 0 else (
+            bot_label if r == height - 1 else pad)
+        lines.append(label + "|" + "".join(row_cells))
+    lines.append(pad + "+" + "-" * width)
+    lines.append(pad + f" {x_lo:<.4g}" +
+                 f"{x_hi:>{max(width - len(f'{x_lo:<.4g}'), 1)}.4g}")
+    return "\n".join(lines)
+
+
+def line_plot(ys: Sequence[float], width: int = 60, height: int = 20,
+              title: str = "") -> str:
+    """Line plot of a 1-D series against its index."""
+    xs = list(range(len(ys)))
+    return scatter(xs, ys, width, height, title=title)
+
+
+def histogram(labels: Sequence[str], counts: Sequence[float],
+              width: int = 40, title: str = "") -> str:
+    """Horizontal bar chart (the attribute-visualiser building block)."""
+    if len(labels) != len(counts):
+        raise ReproError("label and count lengths differ")
+    if not labels:
+        raise ReproError("nothing to plot")
+    peak = max(max(counts), 1e-12)
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, count in zip(labels, counts):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"{str(label):>{label_width}} |{bar} {count:g}")
+    return "\n".join(lines)
+
+
+def scatter_svg(xs: Sequence[float], ys: Sequence[float],
+                series: Sequence[int] | None = None,
+                width: int = 640, height: int = 480,
+                title: str = "") -> str:
+    """SVG scatter plot (the 'graphical terminal')."""
+    from repro.viz.svg import SvgCanvas
+    if len(xs) != len(ys) or len(xs) == 0:
+        raise ReproError("need equal, non-empty x/y")
+    palette = ["#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+               "#8c564b", "#e377c2", "#7f7f7f"]
+    x_lo, x_hi = _bounds(xs)
+    y_lo, y_hi = _bounds(ys)
+    margin = 40
+    canvas = SvgCanvas(width, height)
+    canvas.line(margin, height - margin, width - 10, height - margin)
+    canvas.line(margin, height - margin, margin, 10)
+    canvas.text(margin, 20, title or "scatter", size=14)
+    canvas.text(margin - 5, height - margin + 15, f"{x_lo:.3g}",
+                size=10)
+    canvas.text(width - 40, height - margin + 15, f"{x_hi:.3g}", size=10)
+    canvas.text(2, height - margin, f"{y_lo:.3g}", size=10)
+    canvas.text(2, 20, f"{y_hi:.3g}", size=10)
+    for i, (x, y) in enumerate(zip(xs, ys)):
+        if not (math.isfinite(x) and math.isfinite(y)):
+            continue
+        px = margin + (x - x_lo) / (x_hi - x_lo) * (width - margin - 20)
+        py = (height - margin) - (y - y_lo) / (y_hi - y_lo) \
+            * (height - margin - 20)
+        color = palette[(series[i] if series is not None else 0)
+                        % len(palette)]
+        canvas.circle(px, py, 3, fill=color)
+    return canvas.render()
+
+
+def surface_ascii(z: np.ndarray, width: int = 60, height: int = 24,
+                  title: str = "") -> str:
+    """Shade a 2-D height field with density characters (dumb plot3D)."""
+    shades = " .:-=+*#%@"
+    z = np.asarray(z, dtype=float)
+    if z.ndim != 2 or z.size == 0:
+        raise ReproError("surface needs a non-empty 2-D array")
+    lo, hi = float(np.nanmin(z)), float(np.nanmax(z))
+    span = (hi - lo) or 1.0
+    rows = np.linspace(0, z.shape[0] - 1, height).astype(int)
+    cols = np.linspace(0, z.shape[1] - 1, width).astype(int)
+    lines = [title] if title else []
+    for r in rows:
+        line = []
+        for c in cols:
+            v = z[r, c]
+            if math.isnan(v):
+                line.append("?")
+            else:
+                idx = int((v - lo) / span * (len(shades) - 1))
+                line.append(shades[idx])
+        lines.append("".join(line))
+    return "\n".join(lines)

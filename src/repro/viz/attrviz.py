@@ -1,0 +1,55 @@
+"""Attribute visualiser (the toolbox's "tool to visualize the attributes
+embedded in a dataset").
+
+Nominal attributes render as value histograms; numeric ones as binned
+histograms with min/mean/max annotations — the per-attribute view WEKA's
+explorer shows and the paper's processing-tools folder provides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.viz import ascii_plot
+
+
+def attribute_histogram(dataset: Dataset, key: int | str,
+                        bins: int = 10, width: int = 40) -> str:
+    """Histogram text of one attribute."""
+    idx = dataset.attribute_index(key) if isinstance(key, str) else key
+    attr = dataset.attribute(idx)
+    col = dataset.column(idx)
+    missing = int(np.isnan(col).sum())
+    if attr.is_nominal:
+        counts = dataset.value_counts(idx)
+        body = ascii_plot.histogram(
+            list(counts.keys()), list(counts.values()), width=width,
+            title=f"{attr.name} (nominal)")
+    else:
+        present = col[~np.isnan(col)]
+        if present.size == 0:
+            body = f"{attr.name} (numeric): all values missing"
+        else:
+            lo, hi = float(present.min()), float(present.max())
+            edges = np.linspace(lo, hi, bins + 1) if hi > lo else \
+                np.array([lo - 0.5, lo + 0.5])
+            hist, _ = np.histogram(present, bins=edges)
+            labels = [f"[{edges[i]:.3g},{edges[i + 1]:.3g})"
+                      for i in range(len(hist))]
+            body = ascii_plot.histogram(
+                labels, list(hist.astype(float)), width=width,
+                title=(f"{attr.name} (numeric) min={lo:.4g} "
+                       f"mean={float(present.mean()):.4g} max={hi:.4g}"))
+    if missing:
+        body += f"\n(missing: {missing})"
+    return body
+
+
+def dataset_overview(dataset: Dataset, width: int = 40) -> str:
+    """Histograms of every attribute, separated by blank lines."""
+    parts = [f"=== {dataset.relation}: {dataset.num_instances} instances, "
+             f"{dataset.num_attributes} attributes ==="]
+    for i in range(dataset.num_attributes):
+        parts.append(attribute_histogram(dataset, i, width=width))
+    return "\n\n".join(parts)

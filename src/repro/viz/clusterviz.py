@@ -1,0 +1,68 @@
+"""Cluster visualiser (the toolbox's "Cluster Visualize" tool).
+
+Renders a clustered dataset as a 2-D scatter (first two numeric attributes,
+or the two highest-variance ones), one marker/colour per cluster, in ASCII or
+SVG; plus a textual cluster-size table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.errors import ReproError
+from repro.viz import ascii_plot
+
+
+def _pick_axes(dataset: Dataset) -> tuple[int, int]:
+    numeric = [i for i, a in enumerate(dataset.attributes) if a.is_numeric]
+    if len(numeric) < 2:
+        raise ReproError(
+            "cluster visualisation needs two numeric attributes")
+    matrix = dataset.to_matrix()
+    variances = []
+    for i in numeric:
+        col = matrix[:, i]
+        present = col[~np.isnan(col)]
+        variances.append((float(present.var()) if present.size else 0.0, i))
+    variances.sort(reverse=True)
+    return variances[0][1], variances[1][1]
+
+
+def cluster_sizes_text(assignments: list[int]) -> str:
+    """Cluster membership table."""
+    if not assignments:
+        raise ReproError("no cluster assignments")
+    counts = np.bincount(np.asarray(assignments))
+    lines = ["Cluster sizes", "-------------"]
+    for c, count in enumerate(counts):
+        lines.append(f"cluster {c}: {int(count)}")
+    return "\n".join(lines)
+
+
+def cluster_scatter_ascii(dataset: Dataset, assignments: list[int],
+                          width: int = 60, height: int = 20) -> str:
+    """ASCII scatter coloured (markered) by cluster."""
+    ax, ay = _pick_axes(dataset)
+    xs = dataset.column(ax)
+    ys = dataset.column(ay)
+    keep = ~(np.isnan(xs) | np.isnan(ys))
+    title = (f"{dataset.attribute(ax).name} vs "
+             f"{dataset.attribute(ay).name} by cluster")
+    return ascii_plot.scatter(
+        list(xs[keep]), list(ys[keep]),
+        series=[assignments[i] for i in np.where(keep)[0]],
+        width=width, height=height, title=title)
+
+
+def cluster_scatter_svg(dataset: Dataset, assignments: list[int]) -> str:
+    """SVG scatter coloured by cluster."""
+    ax, ay = _pick_axes(dataset)
+    xs = dataset.column(ax)
+    ys = dataset.column(ay)
+    keep = ~(np.isnan(xs) | np.isnan(ys))
+    return ascii_plot.scatter_svg(
+        list(xs[keep]), list(ys[keep]),
+        series=[assignments[i] for i in np.where(keep)[0]],
+        title=(f"{dataset.attribute(ax).name} vs "
+               f"{dataset.attribute(ay).name}"))

@@ -1,0 +1,137 @@
+"""The ``plot3D`` renderer — the Mathematica-substitute back-end.
+
+The paper: "The most important operation in this Web Service is the plot3D
+operation.  This operation is used to plot data points sent as a CSV file in
+three dimension and return the plotted graph as an image file (PNG format)".
+
+This module renders a surface sampled on an (x, y) grid into a raster image
+(binary PPM, the documented PNG substitution) using an isometric projection
+with painter's-algorithm quad fill and height-mapped colouring — visually the
+classic Mathematica ``Plot3D`` output.  Scattered (non-grid) points fall back
+to projected point plotting.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.viz.ppm import Raster
+
+#: Height colour ramp (blue -> cyan -> green -> yellow -> red).
+_RAMP = [(40, 60, 200), (40, 200, 220), (60, 200, 80),
+         (230, 220, 60), (220, 60, 50)]
+
+
+def _ramp_color(t: float) -> tuple[int, int, int]:
+    t = min(max(t, 0.0), 1.0)
+    scaled = t * (len(_RAMP) - 1)
+    i = min(int(scaled), len(_RAMP) - 2)
+    frac = scaled - i
+    a, b = _RAMP[i], _RAMP[i + 1]
+    return tuple(int(round(a[c] + frac * (b[c] - a[c]))) for c in range(3))
+
+
+def _project(x: np.ndarray, y: np.ndarray, z: np.ndarray,
+             azimuth_deg: float = 225.0, elevation_deg: float = 30.0
+             ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Isometric projection to screen (u, v) plus depth for painter order."""
+    az = math.radians(azimuth_deg)
+    el = math.radians(elevation_deg)
+    # rotate about z by azimuth, then tilt by elevation
+    xr = x * math.cos(az) - y * math.sin(az)
+    yr = x * math.sin(az) + y * math.cos(az)
+    u = xr
+    v = yr * math.sin(el) + z * math.cos(el)
+    depth = yr * math.cos(el) - z * math.sin(el)
+    return u, v, depth
+
+
+def _normalise(values: np.ndarray) -> np.ndarray:
+    lo, hi = float(np.nanmin(values)), float(np.nanmax(values))
+    span = (hi - lo) or 1.0
+    return (values - lo) / span
+
+
+def grid_from_points(xs: np.ndarray, ys: np.ndarray, zs: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+    """Recover the (x, y) grid from flat point triples, or None if the
+    points are not a complete grid."""
+    ux = np.unique(xs)
+    uy = np.unique(ys)
+    if ux.size * uy.size != xs.size or ux.size < 2 or uy.size < 2:
+        return None
+    zi = np.full((uy.size, ux.size), np.nan)
+    xi = {v: i for i, v in enumerate(ux)}
+    yi = {v: i for i, v in enumerate(uy)}
+    for x, y, z in zip(xs, ys, zs):
+        zi[yi[y], xi[x]] = z
+    if np.isnan(zi).any():
+        return None
+    gx, gy = np.meshgrid(ux, uy)
+    return gx, gy, zi
+
+
+def plot3d(xs, ys, zs, width: int = 480, height: int = 360,
+           azimuth: float = 225.0, elevation: float = 30.0) -> bytes:
+    """Render (x, y, z) samples to a PPM image (grid surface or points)."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    zs = np.asarray(zs, dtype=float)
+    if not (xs.size and xs.size == ys.size == zs.size):
+        raise ReproError("plot3d needs equal-length non-empty x/y/z")
+    raster = Raster(width, height)
+    grid = grid_from_points(xs, ys, zs)
+    # normalise coordinates so every surface fills the frame similarly
+    nx, ny = _normalise(xs) - 0.5, _normalise(ys) - 0.5
+    nz = _normalise(zs) * 0.6 - 0.3
+    if grid is not None:
+        gx, gy, gz = grid
+        gnx = _normalise(gx) - 0.5
+        gny = _normalise(gy) - 0.5
+        gnz = _normalise(gz) * 0.6 - 0.3
+        gu, gv, gd = _project(gnx, gny, gnz, azimuth, elevation)
+        px, py = _to_screen(gu, gv, width, height)
+        tz = _normalise(gz)
+        # paint quads back-to-front by mean depth
+        quads = []
+        rows, cols = gz.shape
+        for r in range(rows - 1):
+            for c in range(cols - 1):
+                corners = [(r, c), (r, c + 1), (r + 1, c + 1), (r + 1, c)]
+                depth = float(np.mean([gd[i, j] for i, j in corners]))
+                quads.append((depth, corners))
+        quads.sort(key=lambda q: -q[0])  # farthest first
+        for _, corners in quads:
+            pts = [(float(px[i, j]), float(py[i, j])) for i, j in corners]
+            shade = float(np.mean([tz[i, j] for i, j in corners]))
+            color = _ramp_color(shade)
+            raster.fill_triangle(pts[0], pts[1], pts[2], color)
+            raster.fill_triangle(pts[0], pts[2], pts[3], color)
+            # wireframe edges for the Mathematica mesh look
+            edge = tuple(max(ch - 60, 0) for ch in color)
+            for (x0, y0), (x1, y1) in zip(pts, pts[1:] + pts[:1]):
+                raster.line(int(x0), int(y0), int(x1), int(y1), edge)
+    else:
+        u, v, depth = _project(nx, ny, nz, azimuth, elevation)
+        px, py = _to_screen(u, v, width, height)
+        order = np.argsort(-depth)
+        tz = _normalise(zs)
+        for i in order:
+            color = _ramp_color(float(tz[i]))
+            x, y = int(px[i]), int(py[i])
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    raster.set_pixel(x + dx, y + dy, color)
+    return raster.to_ppm()
+
+
+def _to_screen(u: np.ndarray, v: np.ndarray, width: int, height: int
+               ) -> tuple[np.ndarray, np.ndarray]:
+    margin = 0.1
+    un = _normalise(u) * (1 - 2 * margin) + margin
+    vn = _normalise(v) * (1 - 2 * margin) + margin
+    return (un * (width - 1)).astype(int), \
+        ((1 - vn) * (height - 1)).astype(int)

@@ -1,0 +1,118 @@
+"""Raster image output: an RGB pixel buffer serialised as binary PPM (P6).
+
+PPM is the PNG substitution documented in DESIGN.md — a bare-metal raster
+format every image tool reads, producible without compression libraries.
+The :class:`Raster` class offers just enough drawing (pixels, lines, filled
+triangles with z-ordering handled by the caller) for the ``plot3D``
+Mathematica-substitute service.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+Color = tuple[int, int, int]
+
+
+class Raster:
+    """A dense RGB image with simple primitive drawing."""
+
+    def __init__(self, width: int, height: int,
+                 background: Color = (255, 255, 255)):
+        if width < 1 or height < 1:
+            raise ReproError("raster dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.pixels = np.empty((height, width, 3), dtype=np.uint8)
+        self.pixels[:, :] = background
+
+    def set_pixel(self, x: int, y: int, color: Color) -> None:
+        """Paint one pixel (out-of-bounds coordinates are ignored)."""
+        if 0 <= x < self.width and 0 <= y < self.height:
+            self.pixels[y, x] = color
+
+    def line(self, x0: int, y0: int, x1: int, y1: int,
+             color: Color) -> None:
+        """Bresenham line."""
+        dx = abs(x1 - x0)
+        dy = -abs(y1 - y0)
+        sx = 1 if x0 < x1 else -1
+        sy = 1 if y0 < y1 else -1
+        err = dx + dy
+        x, y = x0, y0
+        while True:
+            self.set_pixel(x, y, color)
+            if x == x1 and y == y1:
+                break
+            e2 = 2 * err
+            if e2 >= dy:
+                err += dy
+                x += sx
+            if e2 <= dx:
+                err += dx
+                y += sy
+
+    def fill_triangle(self, p0: tuple[float, float],
+                      p1: tuple[float, float], p2: tuple[float, float],
+                      color: Color) -> None:
+        """Scanline fill of one triangle (no z-buffer; paint back-to-front)."""
+        ys = [p0[1], p1[1], p2[1]]
+        y_min = max(int(np.floor(min(ys))), 0)
+        y_max = min(int(np.ceil(max(ys))), self.height - 1)
+        edges = [(p0, p1), (p1, p2), (p2, p0)]
+        for y in range(y_min, y_max + 1):
+            xs: list[float] = []
+            for (ax, ay), (bx, by) in edges:
+                if ay == by:
+                    continue
+                lo, hi = (ay, by) if ay < by else (by, ay)
+                if not (lo <= y + 0.5 < hi):
+                    continue
+                t = (y + 0.5 - ay) / (by - ay)
+                xs.append(ax + t * (bx - ax))
+            if len(xs) >= 2:
+                x_lo = max(int(np.floor(min(xs))), 0)
+                x_hi = min(int(np.ceil(max(xs))), self.width - 1)
+                if x_hi >= x_lo:
+                    self.pixels[y, x_lo:x_hi + 1] = color
+
+    def to_ppm(self) -> bytes:
+        """Serialise as binary PPM (P6)."""
+        header = f"P6\n{self.width} {self.height}\n255\n".encode("ascii")
+        return header + self.pixels.tobytes()
+
+    def to_ascii(self, width: int = 72, height: int = 28) -> str:
+        """Downsample to a luminance character grid (image preview)."""
+        shades = " .:-=+*#%@"
+        rows = np.linspace(0, self.height - 1, height).astype(int)
+        cols = np.linspace(0, self.width - 1, width).astype(int)
+        sampled = self.pixels[np.ix_(rows, cols)].astype(float)
+        # ITU-R BT.601 luminance, inverted so dark pixels are dense glyphs
+        luma = (0.299 * sampled[:, :, 0] + 0.587 * sampled[:, :, 1]
+                + 0.114 * sampled[:, :, 2]) / 255.0
+        lines = []
+        for row in luma:
+            idx = ((1.0 - row) * (len(shades) - 1)).astype(int)
+            lines.append("".join(shades[i] for i in idx))
+        return "\n".join(lines)
+
+    @classmethod
+    def from_ppm(cls, data: bytes) -> "Raster":
+        """Parse a binary PPM produced by :meth:`to_ppm` (tests use this)."""
+        parts = data.split(b"\n", 3)
+        if len(parts) < 4 or parts[0] != b"P6":
+            raise ReproError("not a P6 PPM document")
+        width, height = (int(v) for v in parts[1].split())
+        if parts[2] != b"255":
+            raise ReproError("unsupported PPM depth")
+        body = parts[3]
+        expected = width * height * 3
+        if len(body) < expected:
+            raise ReproError("truncated PPM body")
+        out = cls(width, height)
+        out.pixels = np.frombuffer(
+            body[:expected], dtype=np.uint8).reshape((height, width, 3)) \
+            .copy()
+        return out

@@ -1,0 +1,63 @@
+"""ROC-curve rendering (ASCII + SVG), completing the knowledge-testing
+visualisation set."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.viz import ascii_plot
+from repro.viz.svg import SvgCanvas
+
+RocPoints = list[tuple[float, float, float]]
+
+
+def roc_ascii(points: RocPoints, width: int = 50, height: int = 20,
+              title: str = "ROC") -> str:
+    """Character-grid ROC curve with the chance diagonal."""
+    if len(points) < 2:
+        raise ReproError("need at least two ROC points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    # overlay the diagonal as series 1
+    diag = [i / (width - 1) for i in range(width)]
+    all_x = xs + diag
+    all_y = ys + diag
+    series = [0] * len(xs) + [1] * len(diag)
+    return ascii_plot.scatter(all_x, all_y, width=width, height=height,
+                              series=series, title=title)
+
+
+def roc_svg(points: RocPoints, auc_value: float | None = None,
+            width: int = 420, height: int = 420,
+            title: str = "ROC curve") -> str:
+    """SVG ROC curve with the chance diagonal and optional AUC label."""
+    if len(points) < 2:
+        raise ReproError("need at least two ROC points")
+    margin = 45
+    canvas = SvgCanvas(width, height)
+    x0, y0 = margin, height - margin
+    x1, y1 = width - 15, 15
+    # axes
+    canvas.line(x0, y0, x1, y0)
+    canvas.line(x0, y0, x0, y1)
+    canvas.text(width // 2, height - 8, "false positive rate",
+                size=11, anchor="middle")
+    canvas.text(12, 12, "tpr", size=11)
+    label = title if auc_value is None else \
+        f"{title}  (AUC = {auc_value:.3f})"
+    canvas.text(margin, 12, label, size=13)
+    # chance diagonal
+    canvas.line(x0, y0, x1, y1, stroke="#bbbbbb")
+
+    def to_px(fx: float, fy: float) -> tuple[float, float]:
+        return (x0 + fx * (x1 - x0), y0 + fy * (y1 - y0))
+
+    prev = to_px(points[0][0], points[0][1])
+    for fx, fy, _ in points[1:]:
+        cur = to_px(fx, fy)
+        canvas.line(prev[0], prev[1], cur[0], cur[1],
+                    stroke="#1f77b4", width=2.0)
+        prev = cur
+    for fx, fy, _ in points:
+        px, py = to_px(fx, fy)
+        canvas.circle(px, py, 2.5, fill="#1f77b4")
+    return canvas.render()

@@ -1,0 +1,72 @@
+"""Minimal SVG document builder.
+
+The paper's visualisation services return image files (PNG from the
+Mathematica service, plots from GNUPlot).  With no imaging libraries offline,
+SVG is the vector output format of this reproduction and
+:mod:`repro.viz.ppm` the raster one; both are plain bytes a browser or image
+viewer renders directly.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SvgCanvas:
+    """Accumulates SVG elements; ``render()`` produces the document."""
+
+    width: int = 640
+    height: int = 480
+    background: str = "#ffffff"
+    _elements: list[str] = field(default_factory=list)
+
+    def line(self, x1: float, y1: float, x2: float, y2: float,
+             stroke: str = "#000000", width: float = 1.0) -> None:
+        """Add a line element."""
+        self._elements.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" '
+            f'y2="{y2:.2f}" stroke="{stroke}" stroke-width="{width}"/>')
+
+    def circle(self, cx: float, cy: float, r: float,
+               fill: str = "#000000", stroke: str = "none") -> None:
+        """Add a circle element."""
+        self._elements.append(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{r:.2f}" '
+            f'fill="{fill}" stroke="{stroke}"/>')
+
+    def rect(self, x: float, y: float, w: float, h: float,
+             fill: str = "#cccccc", stroke: str = "none") -> None:
+        """Add a rectangle element."""
+        self._elements.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" '
+            f'height="{h:.2f}" fill="{fill}" stroke="{stroke}"/>')
+
+    def polygon(self, points: list[tuple[float, float]],
+                fill: str = "#cccccc", stroke: str = "none") -> None:
+        """Add a polygon element."""
+        pts = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self._elements.append(
+            f'<polygon points="{pts}" fill="{fill}" stroke="{stroke}"/>')
+
+    def text(self, x: float, y: float, content: str, size: int = 12,
+             fill: str = "#000000", anchor: str = "start") -> None:
+        """Add a text element."""
+        self._elements.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" '
+            f'fill="{fill}" text-anchor="{anchor}" '
+            f'font-family="monospace">{html.escape(content)}</text>')
+
+    def render(self) -> str:
+        """Produce the SVG document text."""
+        body = "\n".join(self._elements)
+        return (f'<svg xmlns="http://www.w3.org/2000/svg" '
+                f'width="{self.width}" height="{self.height}" '
+                f'viewBox="0 0 {self.width} {self.height}">\n'
+                f'<rect width="100%" height="100%" '
+                f'fill="{self.background}"/>\n{body}\n</svg>\n')
+
+    def render_bytes(self) -> bytes:
+        """Produce the SVG document as UTF-8 bytes."""
+        return self.render().encode("utf-8")

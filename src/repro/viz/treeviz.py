@@ -1,0 +1,134 @@
+"""Decision/concept tree visualisers (the paper's TreeVisualizer tool).
+
+Consumes the node/edge graph dicts produced by ``J48.to_graph()`` and
+``Cobweb.to_graph()`` (the ``classifyGraph`` / ``getCobwebGraph`` payloads)
+and renders them as indented text, Graphviz dot, or a layered SVG drawing.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import ReproError
+from repro.viz.svg import SvgCanvas
+
+
+def _index(graph: dict) -> tuple[dict, dict, int]:
+    nodes = {n["id"]: n for n in graph.get("nodes", [])}
+    if not nodes:
+        raise ReproError("graph has no nodes")
+    children: dict[int, list[dict]] = defaultdict(list)
+    has_parent = set()
+    for edge in graph.get("edges", []):
+        children[edge["source"]].append(edge)
+        has_parent.add(edge["target"])
+    roots = [nid for nid in nodes if nid not in has_parent]
+    if len(roots) != 1:
+        raise ReproError(f"graph must have exactly one root, got {roots}")
+    return nodes, children, roots[0]
+
+
+def tree_text(graph: dict) -> str:
+    """Indented text rendering of a tree graph."""
+    nodes, children, root = _index(graph)
+    lines: list[str] = []
+
+    def rec(nid: int, prefix: str, edge_label: str) -> None:
+        node = nodes[nid]
+        shown = f"{edge_label}: " if edge_label else ""
+        lines.append(prefix + shown + node["label"])
+        for edge in children.get(nid, []):
+            rec(edge["target"], prefix + "    ", edge.get("label", ""))
+
+    rec(root, "", "")
+    return "\n".join(lines)
+
+
+def tree_dot(graph: dict, title: str = "tree") -> str:
+    """Graphviz dot rendering (box leaves, ellipse internals)."""
+    lines = [f'digraph "{title}" {{']
+    for node in graph.get("nodes", []):
+        shape = "box" if node.get("leaf") else "ellipse"
+        label = str(node["label"]).replace('"', r"\"")
+        lines.append(f'  n{node["id"]} [label="{label}", shape={shape}];')
+    for edge in graph.get("edges", []):
+        label = str(edge.get("label", "")).replace('"', r"\"")
+        lines.append(f'  n{edge["source"]} -> n{edge["target"]} '
+                     f'[label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def tree_svg(graph: dict, title: str = "decision tree") -> str:
+    """Layered SVG drawing with subtree-width layout.
+
+    Leaves are boxes, internal nodes ellipses; edge labels sit at edge
+    midpoints — the layout Figure 4 of the paper shows.
+    """
+    nodes, children, root = _index(graph)
+
+    # subtree leaf counts drive x positions
+    widths: dict[int, int] = {}
+
+    def measure(nid: int) -> int:
+        kids = children.get(nid, [])
+        if not kids:
+            widths[nid] = 1
+            return 1
+        total = sum(measure(e["target"]) for e in kids)
+        widths[nid] = total
+        return total
+
+    total_leaves = measure(root)
+
+    depth: dict[int, int] = {}
+
+    def depths(nid: int, d: int) -> None:
+        depth[nid] = d
+        for edge in children.get(nid, []):
+            depths(edge["target"], d + 1)
+
+    depths(root, 0)
+    max_depth = max(depth.values())
+
+    cell_w = 130
+    cell_h = 90
+    width = max(total_leaves * cell_w + 40, 320)
+    height = (max_depth + 1) * cell_h + 60
+    canvas = SvgCanvas(width, height)
+    canvas.text(10, 20, title, size=14)
+
+    positions: dict[int, tuple[float, float]] = {}
+
+    def place(nid: int, x_offset: float) -> None:
+        span = widths[nid] * cell_w
+        x = x_offset + span / 2
+        y = depth[nid] * cell_h + 50
+        positions[nid] = (x, y)
+        cursor = x_offset
+        for edge in children.get(nid, []):
+            place(edge["target"], cursor)
+            cursor += widths[edge["target"]] * cell_w
+
+    place(root, 20.0)
+
+    for nid, (x, y) in positions.items():
+        for edge in children.get(nid, []):
+            cx, cy = positions[edge["target"]]
+            canvas.line(x, y + 14, cx, cy - 14, stroke="#666666")
+            canvas.text((x + cx) / 2, (y + cy) / 2, edge.get("label", ""),
+                        size=10, fill="#333333", anchor="middle")
+    for nid, (x, y) in positions.items():
+        node = nodes[nid]
+        label = str(node["label"])
+        if node.get("leaf"):
+            w = max(8 * len(label) + 10, 50)
+            canvas.rect(x - w / 2, y - 14, w, 28, fill="#e8f0fe",
+                        stroke="#444444")
+        else:
+            w = max(8 * len(label) + 16, 60)
+            canvas.polygon(
+                [(x - w / 2, y), (x, y - 16), (x + w / 2, y), (x, y + 16)],
+                fill="#fef3e2", stroke="#444444")
+        canvas.text(x, y + 4, label, size=11, anchor="middle")
+    return canvas.render()

@@ -1,0 +1,25 @@
+"""Workflow engine (Triana analogue): tools, tasks, cables, toolbox folders,
+WSDL import, the threaded dataflow enactor, group tools (service hierarchy),
+XML + GriPhyN DAX export, pattern operators, fault tolerance with job
+migration, service monitoring and the signal-processing toolbox."""
+
+from repro.workflow.model import (Cable, FunctionTool, GroupTool, Port,
+                                  Task, TaskGraph, Tool, make_tool)
+from repro.workflow.engine import RunResult, WorkflowEngine
+from repro.workflow.toolbox import ToolBox, default_toolbox
+from repro.workflow.monitor import EventBus, ProgressMonitor, TaskEvent
+from repro.workflow.faults import ReplicatedServiceTool, RetryPolicy
+from repro.workflow.wsimport import (WebServiceTool, import_wsdl_text,
+                                     import_wsdl_url)
+from repro.workflow import builtin_tools, dax, patterns, signal_tools, xmlio
+
+__all__ = [
+    "Tool", "FunctionTool", "GroupTool", "Task", "TaskGraph", "Cable",
+    "Port", "make_tool",
+    "WorkflowEngine", "RunResult",
+    "ToolBox", "default_toolbox",
+    "EventBus", "TaskEvent", "ProgressMonitor",
+    "RetryPolicy", "ReplicatedServiceTool",
+    "WebServiceTool", "import_wsdl_url", "import_wsdl_text",
+    "builtin_tools", "signal_tools", "patterns", "xmlio", "dax",
+]

@@ -1,0 +1,214 @@
+"""Pre-defined workspace tools (§4.3's three tool families plus the Common
+folder).
+
+* Common: string input/viewing (the paper's example of the Common folder).
+* Data:   local dataset loading, CSV ↔ ARFF conversion, dataset summary.
+* Processing: ClassifierSelector, OptionSelector, AttributeSelector — the
+  three §4.4 helper tools of the case-study workflow.
+* Visualization: TreeViewer (text or graph), cluster and attribute
+  visualisers.
+
+Each tool is a :class:`~repro.workflow.model.FunctionTool`; ``None`` inputs
+fall back to task parameters so the same tool works cabled or configured.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.data import arff as arff_io
+from repro.data import converters, summary as summary_mod
+from repro.data.dataset import Dataset
+from repro.errors import WorkflowError
+from repro.viz import attrviz, clusterviz, treeviz
+from repro.workflow.model import FunctionTool
+
+
+def _string_input(value: str = "") -> str:
+    """Emit a constant string (the Common folder's input tool)."""
+    return value
+
+
+def _string_viewer(text: Any) -> str:
+    """Pass text through (viewing happens via the run result)."""
+    return "" if text is None else str(text)
+
+
+def _local_dataset(path: str = "", dataset: Any = None,
+                   class_attribute: str = "") -> str:
+    """Load a dataset from the local filespace (or an in-memory Dataset)
+    and emit it as ARFF text — the case study's "local dataset tool"."""
+    if dataset is not None:
+        if isinstance(dataset, Dataset):
+            return arff_io.dumps(dataset)
+        return str(dataset)
+    if not path:
+        raise WorkflowError("LocalDataset needs a path or dataset")
+    with open(path, "r", encoding="utf-8") as fp:
+        text = fp.read()
+    if path.lower().endswith(".csv"):
+        text = converters.csv_to_arff(text)
+    return text
+
+
+def _csv_to_arff(csv_text: str) -> str:
+    """Convert a CSV document to ARFF (schema inferred)."""
+    return converters.csv_to_arff(csv_text)
+
+
+def _arff_to_csv(arff_text: str) -> str:
+    """Convert an ARFF document to CSV."""
+    return converters.arff_to_csv(arff_text)
+
+
+def _dataset_summary(arff_text: str) -> str:
+    """Figure-3 style dataset statistics of an ARFF document."""
+    return summary_mod.summary_text(arff_io.loads(arff_text))
+
+
+def _classifier_selector(classifiers: Any, choice: str = "") -> str:
+    """Pick one classifier from a getClassifiers listing.
+
+    With no explicit *choice*, picks the first entry — headless stand-in
+    for the interactive selector dialog."""
+    if choice:
+        if isinstance(classifiers, list):
+            names = {c["name"] if isinstance(c, dict) else str(c)
+                     for c in classifiers}
+            if choice not in names:
+                raise WorkflowError(
+                    f"classifier {choice!r} not offered by the service")
+        return choice
+    if not classifiers:
+        raise WorkflowError("no classifiers to select from")
+    first = classifiers[0]
+    return first["name"] if isinstance(first, dict) else str(first)
+
+
+def _classifier_tree(classifiers: Any) -> str:
+    """Render a getClassifiers listing as the family-grouped tree the paper's
+    processing tool shows."""
+    if not classifiers:
+        return "(no classifiers)"
+    by_family: dict[str, list[str]] = {}
+    for c in classifiers:
+        family = c.get("family", "other") if isinstance(c, dict) else "other"
+        name = c["name"] if isinstance(c, dict) else str(c)
+        by_family.setdefault(family, []).append(name)
+    lines = []
+    for family in sorted(by_family):
+        lines.append(f"{family}/")
+        for name in sorted(by_family[family]):
+            lines.append(f"    {name}")
+    return "\n".join(lines)
+
+
+def _option_selector(options: Any, overrides: dict | None = None) -> dict:
+    """Build the option dict to pass to classifyInstance: service defaults
+    overlaid with the user's *overrides* (the OptionSelector dialog)."""
+    chosen: dict[str, Any] = {}
+    for spec in options or []:
+        if isinstance(spec, dict) and spec.get("default") is not None:
+            chosen[spec["name"]] = spec["default"]
+    for key, value in (overrides or {}).items():
+        chosen[key] = value
+    return chosen
+
+
+def _attribute_selector(arff_text: str, attribute: str = "") -> str:
+    """Pick the class attribute of a dataset (defaults to the last one,
+    WEKA's convention)."""
+    ds = arff_io.loads(arff_text)
+    if attribute:
+        ds.attribute_index(attribute)  # validates
+        return attribute
+    return ds.attributes[-1].name
+
+
+def _attribute_lister(arff_text: str) -> list:
+    """List attribute names embedded in a dataset."""
+    return [a.name for a in arff_io.loads(arff_text).attributes]
+
+
+def _tree_viewer(result: Any, mode: str = "text") -> str:
+    """Render a classification result: 'text' shows the textual model,
+    'graph'/'svg'/'dot' render the tree graph (§4.4 stage 4)."""
+    if isinstance(result, dict):
+        if mode == "text":
+            return result.get("model_text") or treeviz.tree_text(
+                result["graph"])
+        graph = result.get("graph")
+        if graph is None:
+            raise WorkflowError("result carries no tree graph")
+        if mode in ("graph", "svg"):
+            return treeviz.tree_svg(graph)
+        if mode == "dot":
+            return treeviz.tree_dot(graph)
+        raise WorkflowError(f"unknown TreeViewer mode {mode!r}")
+    return str(result)
+
+
+def _cluster_viewer(arff_text: str, assignments: Any) -> str:
+    """ASCII scatter of a clustered dataset."""
+    ds = arff_io.loads(arff_text)
+    return clusterviz.cluster_scatter_ascii(ds, list(assignments))
+
+
+def _attribute_viewer(arff_text: str, attribute: str = "") -> str:
+    """Histogram view of one attribute (or the whole dataset)."""
+    ds = arff_io.loads(arff_text)
+    if attribute:
+        return attrviz.attribute_histogram(ds, attribute)
+    return attrviz.dataset_overview(ds)
+
+
+def _image_viewer(image: Any, width: int = 72, height: int = 28,
+                  path: str = "") -> str:
+    """Preview image bytes (PPM from plot3D) as ASCII; optionally also
+    save the raw bytes to *path* — the paper's 'Image Plotter' tool."""
+    from repro.viz.ppm import Raster
+    if not isinstance(image, (bytes, bytearray)):
+        raise WorkflowError("ImageViewer needs image bytes")
+    if path:
+        with open(path, "wb") as fp:
+            fp.write(bytes(image))
+    if bytes(image[:2]) == b"P6":
+        return Raster.from_ppm(bytes(image)).to_ascii(width, height)
+    return f"({len(image)} bytes of image data)"
+
+
+def all_tools() -> list[FunctionTool]:
+    """Instantiate the built-in tool set (fresh instances, safe to register
+    in several toolboxes)."""
+    return [
+        FunctionTool("StringInput", _string_input, [], ["text"],
+                     "Common"),
+        FunctionTool("StringViewer", _string_viewer, ["text"], ["text"],
+                     "Common"),
+        FunctionTool("LocalDataset", _local_dataset, [], ["arff"],
+                     "Data"),
+        FunctionTool("CsvToArff", _csv_to_arff, ["csv"], ["arff"],
+                     "Data"),
+        FunctionTool("ArffToCsv", _arff_to_csv, ["arff"], ["csv"],
+                     "Data"),
+        FunctionTool("DatasetSummary", _dataset_summary, ["arff"],
+                     ["summary"], "Data"),
+        FunctionTool("ClassifierSelector", _classifier_selector,
+                     ["classifiers"], ["classifier"], "Processing"),
+        FunctionTool("ClassifierTree", _classifier_tree, ["classifiers"],
+                     ["tree"], "Processing"),
+        FunctionTool("OptionSelector", _option_selector, ["options"],
+                     ["chosen"], "Processing"),
+        FunctionTool("AttributeSelector", _attribute_selector, ["arff"],
+                     ["attribute"], "Processing"),
+        FunctionTool("AttributeLister", _attribute_lister, ["arff"],
+                     ["attributes"], "Processing"),
+        FunctionTool("TreeViewer", _tree_viewer, ["result"], ["view"],
+                     "Visualization"),
+        FunctionTool("ClusterViewer", _cluster_viewer,
+                     ["arff", "assignments"], ["view"], "Visualization"),
+        FunctionTool("AttributeViewer", _attribute_viewer, ["arff"],
+                     ["view"], "Visualization"),
+        FunctionTool("ImageViewer", _image_viewer, ["image"], ["view"],
+                     "Visualization"),
+    ]

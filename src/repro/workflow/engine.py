@@ -1,0 +1,163 @@
+"""The workflow enactor.
+
+Executes a :class:`~repro.workflow.model.TaskGraph` as a dataflow: a task
+fires once every connected input has a value; independent tasks run
+concurrently on a thread pool (the paper's "once a network has been created
+it can be executed").  Execution emits :mod:`~repro.workflow.monitor` events
+so the §3 "service monitoring" requirement — watching jobs progress on
+remote resources — holds for local and service-backed tasks alike.
+
+Fault tolerance (§3 category 2) hooks in per task: a
+:class:`~repro.workflow.faults.RetryPolicy` retries transient failures and
+*migrates* the task to alternate endpoints when its tool publishes
+replicas (see :mod:`repro.workflow.faults`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import EnactmentError, WorkflowError
+from repro.workflow.model import Task, TaskGraph
+from repro.workflow.monitor import EventBus, TaskEvent
+
+
+@dataclass
+class RunResult:
+    """Outputs and timings of one workflow run."""
+
+    graph_name: str
+    outputs: dict[tuple[str, int], Any] = field(default_factory=dict)
+    durations: dict[str, float] = field(default_factory=dict)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    def output(self, task: str | Task, index: int = 0) -> Any:
+        """Value produced at (task, output index)."""
+        name = task if isinstance(task, str) else task.name
+        key = (name, index)
+        if key not in self.outputs:
+            raise WorkflowError(
+                f"run produced no output {index} for task {name!r}")
+        return self.outputs[key]
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class WorkflowEngine:
+    """Threaded dataflow enactor."""
+
+    def __init__(self, max_workers: int = 8,
+                 events: EventBus | None = None,
+                 retry_policy=None):
+        self.max_workers = max_workers
+        self.events = events or EventBus()
+        self.retry_policy = retry_policy
+
+    def run(self, graph: TaskGraph,
+            inputs: dict[tuple[str, int], Any] | None = None) -> RunResult:
+        """Execute *graph*; *inputs* optionally seeds (task, input-index)
+        values for group execution."""
+        graph.validate()
+        order = graph.topological_order()
+        assert order is not None
+        result = RunResult(graph_name=graph.name)
+        result.started_at = time.time()
+        self.events.emit(TaskEvent("workflow", graph.name, "started"))
+
+        # dependency bookkeeping
+        pending: dict[str, set[int]] = {}
+        values: dict[tuple[str, int], Any] = {}
+        seeded = dict(inputs or {})
+        for task in graph.tasks:
+            connected = {c.target_index for c in graph.incoming(task.name)}
+            needed = set(connected)
+            for idx in range(task.num_inputs):
+                if (task.name, idx) in seeded:
+                    needed.discard(idx)
+            pending[task.name] = needed
+
+        lock = threading.Lock()
+        errors: list[EnactmentError] = []
+        done = threading.Event()
+        executor = ThreadPoolExecutor(max_workers=self.max_workers)
+
+        def gather_inputs(task: Task) -> list[Any]:
+            row: list[Any] = [None] * task.num_inputs
+            for idx in range(task.num_inputs):
+                key = (task.name, idx)
+                if key in seeded:
+                    row[idx] = seeded[key]
+                elif key in values:
+                    row[idx] = values[key]
+            return row
+
+        def execute(task: Task) -> None:
+            self.events.emit(TaskEvent("task", task.name, "started"))
+            start = time.perf_counter()
+            try:
+                ins = gather_inputs(task)
+                params = task.effective_parameters()
+                if self.retry_policy is not None:
+                    outs = self.retry_policy.run_task(task, ins, params)
+                else:
+                    outs = task.tool.run(ins, params)
+            except Exception as exc:
+                self.events.emit(TaskEvent("task", task.name, "failed",
+                                           detail=repr(exc)))
+                with lock:
+                    errors.append(EnactmentError(task.name, exc))
+                done.set()
+                return
+            duration = time.perf_counter() - start
+            self.events.emit(TaskEvent("task", task.name, "finished",
+                                       detail=f"{duration:.4f}s"))
+            ready: list[Task] = []
+            with lock:
+                result.durations[task.name] = duration
+                for idx, value in enumerate(outs):
+                    result.outputs[(task.name, idx)] = value
+                for cable in graph.outgoing(task.name):
+                    values[(cable.target, cable.target_index)] = \
+                        outs[cable.source_index]
+                    waiting = pending[cable.target]
+                    waiting.discard(cable.target_index)
+                    if not waiting:
+                        waiting.add(-1)  # mark scheduled
+                        ready.append(graph.task(cable.target))
+            for nxt in ready:
+                executor.submit(execute, nxt)
+            with lock:
+                finished = all(
+                    t.name in result.durations for t in graph.tasks)
+            if finished:
+                done.set()
+
+        # kick off every task whose inputs are already satisfied
+        initial = [graph.task(name) for name in order
+                   if not pending[name]]
+        for task in initial:
+            pending[task.name].add(-1)
+        if not initial and graph.tasks:
+            raise WorkflowError(
+                f"graph {graph.name!r} has no runnable source task")
+        if not graph.tasks:
+            result.finished_at = time.time()
+            return result
+        for task in initial:
+            executor.submit(execute, task)
+        done.wait()
+        executor.shutdown(wait=True)
+        result.finished_at = time.time()
+        if errors:
+            self.events.emit(TaskEvent("workflow", graph.name, "failed",
+                                       detail=str(errors[0])))
+            raise errors[0]
+        self.events.emit(TaskEvent("workflow", graph.name, "finished"))
+        return result

@@ -1,0 +1,100 @@
+"""Fault tolerance: retries and job migration (§3 category 2).
+
+    "The framework must therefore include the ability to complete the task
+    if a fault occurs by moving the job to another resource."
+
+Two pieces implement that:
+
+* :class:`RetryPolicy` — plugged into the engine; retries a failed task up
+  to ``max_retries`` times with optional backoff, emitting ``retried``
+  monitoring events.
+* :class:`ReplicatedServiceTool` — a workflow tool bound to a *pool* of
+  equivalent service endpoints (replicas of the same algorithm on different
+  resources).  On a transport/service failure it migrates the invocation to
+  the next replica, which is exactly the paper's "moving the job to another
+  resource"; the tool records the migration trail for the monitor.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Sequence
+
+from repro.errors import EnactmentError, ServiceError, TransportError, \
+    WorkflowError
+from repro.workflow.model import Task, Tool
+from repro.workflow.monitor import EventBus, TaskEvent
+
+
+class RetryPolicy:
+    """Re-run failing tasks before surfacing the failure."""
+
+    def __init__(self, max_retries: int = 2, backoff_s: float = 0.0,
+                 events: EventBus | None = None,
+                 retry_on: tuple[type[BaseException], ...] = (Exception,)):
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.events = events
+        self.retry_on = retry_on
+
+    def run_task(self, task: Task, inputs: list[Any],
+                 parameters: dict[str, Any]) -> list[Any]:
+        """Run one task with retry semantics."""
+        attempt = 0
+        while True:
+            try:
+                return task.tool.run(inputs, parameters)
+            except self.retry_on as exc:
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise
+                if self.events:
+                    self.events.emit(TaskEvent(
+                        "task", task.name, "retried",
+                        detail=f"attempt {attempt}: {exc!r}"))
+                if self.backoff_s:
+                    time.sleep(self.backoff_s * attempt)
+
+
+class ReplicatedServiceTool(Tool):
+    """A service-operation tool with failover across endpoint replicas.
+
+    *proxies* are service proxies (:class:`~repro.ws.client.ServiceProxy`)
+    for equivalent deployments of the same service.  Inputs map
+    positionally onto the operation's WSDL parameters.
+    """
+
+    def __init__(self, name: str, proxies: Sequence[Any], operation: str,
+                 param_names: Sequence[str], folder: str = "WebServices",
+                 doc: str = "", events: EventBus | None = None):
+        super().__init__(name, list(param_names), ["result"], folder, doc)
+        if not proxies:
+            raise WorkflowError(
+                f"tool {name!r} needs at least one service replica")
+        self.proxies = list(proxies)
+        self.operation = operation
+        self.param_names = list(param_names)
+        self.events = events
+        self.migrations: list[tuple[int, str]] = []
+
+    def run(self, inputs: list[Any], parameters: dict[str, Any]
+            ) -> list[Any]:
+        params = {}
+        for pname, value in zip(self.param_names, inputs):
+            if value is not None:
+                params[pname] = value
+        for pname, value in parameters.items():
+            params.setdefault(pname, value)
+        last_error: Exception | None = None
+        for replica, proxy in enumerate(self.proxies):
+            try:
+                return [proxy.call(self.operation, **params)]
+            except (TransportError, ServiceError, OSError) as exc:
+                last_error = exc
+                self.migrations.append((replica, repr(exc)))
+                if self.events:
+                    self.events.emit(TaskEvent(
+                        "task", self.name, "migrated",
+                        detail=f"replica {replica} failed: {exc!r}"))
+        raise EnactmentError(self.name,
+                             last_error or WorkflowError("no replicas"))

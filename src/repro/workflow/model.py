@@ -1,0 +1,324 @@
+"""The workflow model: tools, tasks, nodes, cables and the task graph.
+
+Faithful to the Triana vocabulary the paper uses (§4): *tools* live in
+toolbox folders; dragging one into the workspace creates a *task*; tasks
+carry *input nodes* (left side) and *output nodes* (right side); a *cable*
+connects an output node to an input node; "once a network has been created
+it can be executed".
+
+A tool's behaviour is a pure function of its connected inputs plus its task
+*parameters* (the dialog settings a Triana user types in), which keeps tasks
+re-runnable and the XML serialisation complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.errors import CableError, WorkflowError
+
+
+@dataclass(frozen=True)
+class Port:
+    """One connection point of a task (direction + index + label)."""
+
+    task: str       # owning task name
+    direction: str  # 'in' | 'out'
+    index: int
+    label: str = ""
+
+
+class Tool:
+    """A reusable unit of work.
+
+    Subclasses (or :func:`make_tool` wrappers) define ``run``.  Input and
+    output names double as port labels and as documentation in the toolbox
+    tree.
+    """
+
+    def __init__(self, name: str, inputs: Sequence[str],
+                 outputs: Sequence[str], folder: str = "Common",
+                 doc: str = "", parameters: dict[str, Any] | None = None):
+        self.name = name
+        self.inputs = list(inputs)
+        self.outputs = list(outputs)
+        self.folder = folder
+        self.doc = doc
+        #: default parameter values; tasks may override per placement
+        self.parameters = dict(parameters or {})
+
+    def run(self, inputs: list[Any], parameters: dict[str, Any]
+            ) -> list[Any]:
+        """Compute outputs from *inputs* (ordered per ``self.inputs``)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return (f"Tool({self.name!r}, in={self.inputs}, "
+                f"out={self.outputs})")
+
+
+class FunctionTool(Tool):
+    """A tool wrapping a plain callable ``fn(*inputs, **parameters)``.
+
+    The callable returns either a tuple matching the declared outputs or a
+    single value (for single-output tools).
+    """
+
+    def __init__(self, name: str, fn: Callable, inputs: Sequence[str],
+                 outputs: Sequence[str], folder: str = "Common",
+                 doc: str = "", parameters: dict[str, Any] | None = None):
+        super().__init__(name, inputs, outputs, folder,
+                         doc or (fn.__doc__ or "").strip(), parameters)
+        self.fn = fn
+
+    def run(self, inputs: list[Any], parameters: dict[str, Any]
+            ) -> list[Any]:
+        result = self.fn(*inputs, **parameters)
+        if len(self.outputs) == 0:
+            return []
+        if len(self.outputs) == 1:
+            return [result]
+        if not isinstance(result, (tuple, list)) or \
+                len(result) != len(self.outputs):
+            raise WorkflowError(
+                f"tool {self.name!r} must return {len(self.outputs)} "
+                f"outputs, got {result!r}")
+        return list(result)
+
+
+def make_tool(name: str, inputs: Sequence[str], outputs: Sequence[str],
+              folder: str = "Common", doc: str = "",
+              parameters: dict[str, Any] | None = None):
+    """Decorator: turn a function into a :class:`FunctionTool`."""
+    def deco(fn: Callable) -> FunctionTool:
+        return FunctionTool(name, fn, inputs, outputs, folder, doc,
+                            parameters)
+    return deco
+
+
+@dataclass
+class Task:
+    """A placed tool instance inside a graph."""
+
+    name: str
+    tool: Tool
+    parameters: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.tool.inputs)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.tool.outputs)
+
+    def effective_parameters(self) -> dict[str, Any]:
+        """Tool defaults overlaid with task parameters."""
+        merged = dict(self.tool.parameters)
+        merged.update(self.parameters)
+        return merged
+
+    def in_port(self, index: int) -> Port:
+        """Input port at *index* (validates the index)."""
+        if not 0 <= index < self.num_inputs:
+            raise CableError(
+                f"task {self.name!r} has no input node {index}")
+        return Port(self.name, "in", index, self.tool.inputs[index])
+
+    def out_port(self, index: int) -> Port:
+        """Output port at *index* (validates the index)."""
+        if not 0 <= index < self.num_outputs:
+            raise CableError(
+                f"task {self.name!r} has no output node {index}")
+        return Port(self.name, "out", index, self.tool.outputs[index])
+
+
+@dataclass(frozen=True)
+class Cable:
+    """A data connection: (source task, output index) → (target task,
+    input index)."""
+
+    source: str
+    source_index: int
+    target: str
+    target_index: int
+
+
+class TaskGraph:
+    """A named set of tasks wired with cables (the workspace contents)."""
+
+    def __init__(self, name: str = "workflow"):
+        self.name = name
+        self._tasks: dict[str, Task] = {}
+        self._cables: list[Cable] = []
+
+    # -- construction ---------------------------------------------------------
+    def add(self, tool: Tool, name: str | None = None,
+            **parameters: Any) -> Task:
+        """Place *tool* as a task; auto-numbered name when omitted."""
+        base = name or tool.name
+        task_name = base
+        counter = 1
+        while task_name in self._tasks:
+            counter += 1
+            task_name = f"{base}-{counter}"
+        task = Task(task_name, tool, parameters)
+        self._tasks[task_name] = task
+        return task
+
+    def connect(self, source: Task | str, target: Task | str,
+                source_index: int = 0, target_index: int = 0) -> Cable:
+        """Drag a cable from *source*'s output node to *target*'s input."""
+        src = self.task(source if isinstance(source, str) else source.name)
+        dst = self.task(target if isinstance(target, str) else target.name)
+        src.out_port(source_index)   # validates index
+        dst.in_port(target_index)
+        if src.name == dst.name:
+            raise CableError(f"cannot cable task {src.name!r} to itself")
+        for cable in self._cables:
+            if cable.target == dst.name and \
+                    cable.target_index == target_index:
+                raise CableError(
+                    f"input {target_index} of task {dst.name!r} is "
+                    f"already connected")
+        cable = Cable(src.name, source_index, dst.name, target_index)
+        self._cables.append(cable)
+        if self._has_cycle():
+            self._cables.remove(cable)
+            raise CableError(
+                f"cable {src.name!r} -> {dst.name!r} would create a cycle "
+                f"(use patterns.loop for iteration)")
+        return cable
+
+    def disconnect(self, cable: Cable) -> None:
+        """Remove a cable from the graph."""
+        try:
+            self._cables.remove(cable)
+        except ValueError:
+            raise CableError(f"cable {cable} is not in the graph") from None
+
+    def remove_task(self, name: str) -> None:
+        """Remove a task and every cable touching it."""
+        if name not in self._tasks:
+            raise WorkflowError(f"no task named {name!r}")
+        del self._tasks[name]
+        self._cables = [c for c in self._cables
+                        if c.source != name and c.target != name]
+
+    # -- inspection -----------------------------------------------------------
+    def task(self, name: str) -> Task:
+        """Task by name (raises WorkflowError when unknown)."""
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise WorkflowError(
+                f"no task named {name!r}; tasks: {sorted(self._tasks)}"
+            ) from None
+
+    @property
+    def tasks(self) -> list[Task]:
+        return list(self._tasks.values())
+
+    @property
+    def cables(self) -> list[Cable]:
+        return list(self._cables)
+
+    def incoming(self, name: str) -> list[Cable]:
+        """Cables arriving at task *name*."""
+        return [c for c in self._cables if c.target == name]
+
+    def outgoing(self, name: str) -> list[Cable]:
+        """Cables leaving task *name*."""
+        return [c for c in self._cables if c.source == name]
+
+    def unconnected_inputs(self, name: str) -> list[int]:
+        """Input indexes of *name* with no cable (fed from parameters)."""
+        connected = {c.target_index for c in self.incoming(name)}
+        return [i for i in range(self.task(name).num_inputs)
+                if i not in connected]
+
+    def sources(self) -> list[Task]:
+        """Tasks with no incoming cables."""
+        return [t for t in self.tasks if not self.incoming(t.name)]
+
+    def sinks(self) -> list[Task]:
+        """Tasks with no outgoing cables."""
+        return [t for t in self.tasks if not self.outgoing(t.name)]
+
+    def _has_cycle(self) -> bool:
+        order = self.topological_order(strict=False)
+        return order is None
+
+    def topological_order(self, strict: bool = True
+                          ) -> list[str] | None:
+        """Kahn topological order; None (or raise) when cyclic."""
+        indegree = {name: 0 for name in self._tasks}
+        for cable in self._cables:
+            indegree[cable.target] += 1
+        queue = sorted(n for n, d in indegree.items() if d == 0)
+        order: list[str] = []
+        while queue:
+            node = queue.pop(0)
+            order.append(node)
+            for cable in self.outgoing(node):
+                indegree[cable.target] -= 1
+                if indegree[cable.target] == 0:
+                    queue.append(cable.target)
+            queue.sort()
+        if len(order) != len(self._tasks):
+            if strict:
+                raise WorkflowError(f"graph {self.name!r} is cyclic")
+            return None
+        return order
+
+    def validate(self) -> None:
+        """Check the graph is executable: acyclic and every connected
+        input's cable endpoints exist (parameters cover the rest)."""
+        self.topological_order(strict=True)
+        for cable in self._cables:
+            self.task(cable.source).out_port(cable.source_index)
+            self.task(cable.target).in_port(cable.target_index)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __repr__(self) -> str:
+        return (f"TaskGraph({self.name!r}, {len(self._tasks)} tasks, "
+                f"{len(self._cables)} cables)")
+
+
+class GroupTool(Tool):
+    """A subgraph packaged as a single tool (the paper's "service hierarchy,
+    i.e. a single service made up of a number of others and made available
+    as a single interface", §2).
+
+    ``input_map``/``output_map`` bind the group's outer ports to inner task
+    ports.
+    """
+
+    def __init__(self, name: str, graph: TaskGraph,
+                 input_map: Sequence[tuple[str, int]],
+                 output_map: Sequence[tuple[str, int]],
+                 folder: str = "Groups", doc: str = ""):
+        super().__init__(name,
+                         [f"{t}.{i}" for t, i in input_map],
+                         [f"{t}.{i}" for t, i in output_map],
+                         folder, doc)
+        graph.validate()
+        for task_name, idx in input_map:
+            graph.task(task_name).in_port(idx)
+        for task_name, idx in output_map:
+            graph.task(task_name).out_port(idx)
+        self.graph = graph
+        self.input_map = list(input_map)
+        self.output_map = list(output_map)
+
+    def run(self, inputs: list[Any], parameters: dict[str, Any]
+            ) -> list[Any]:
+        from repro.workflow.engine import WorkflowEngine
+        engine = WorkflowEngine()
+        injected = {(t, i): v
+                    for (t, i), v in zip(self.input_map, inputs)}
+        results = engine.run(self.graph, inputs=injected)
+        return [results.output(t, i) for t, i in self.output_map]

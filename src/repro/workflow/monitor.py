@@ -1,0 +1,100 @@
+"""Service/job monitoring (§3 category 2: "the framework should allow users
+to monitor the progress of their jobs as they are executed on distributed
+resources").
+
+:class:`EventBus` is the engine's event spine; :class:`ProgressMonitor`
+subscribes and keeps a live per-task status table plus a printable timeline
+("such feedback" the requirement asks for).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class TaskEvent:
+    """One monitoring event."""
+
+    kind: str      # 'task' | 'workflow'
+    name: str
+    status: str    # 'started' | 'finished' | 'failed' | 'retried' | ...
+    detail: str = ""
+    timestamp: float = field(default_factory=time.time)
+
+
+class EventBus:
+    """Thread-safe fan-out of :class:`TaskEvent`."""
+
+    def __init__(self) -> None:
+        self._subscribers: list[Callable[[TaskEvent], None]] = []
+        self._lock = threading.Lock()
+
+    def subscribe(self, fn: Callable[[TaskEvent], None]) -> None:
+        """Register an event callback."""
+        with self._lock:
+            self._subscribers.append(fn)
+
+    def unsubscribe(self, fn: Callable[[TaskEvent], None]) -> None:
+        """Remove a previously registered callback."""
+        with self._lock:
+            if fn in self._subscribers:
+                self._subscribers.remove(fn)
+
+    def emit(self, event: TaskEvent) -> None:
+        """Deliver *event* to every subscriber."""
+        with self._lock:
+            subscribers = list(self._subscribers)
+        for fn in subscribers:
+            fn(event)
+
+
+class ProgressMonitor:
+    """Live task-status table built from engine events."""
+
+    def __init__(self, bus: EventBus):
+        self.events: list[TaskEvent] = []
+        self.status: dict[str, str] = {}
+        self._lock = threading.Lock()
+        bus.subscribe(self._on_event)
+
+    def _on_event(self, event: TaskEvent) -> None:
+        with self._lock:
+            self.events.append(event)
+            if event.kind == "task":
+                self.status[event.name] = event.status
+
+    def running(self) -> list[str]:
+        """Names of tasks currently running."""
+        with self._lock:
+            return sorted(n for n, s in self.status.items()
+                          if s == "started")
+
+    def finished(self) -> list[str]:
+        """Names of tasks that completed."""
+        with self._lock:
+            return sorted(n for n, s in self.status.items()
+                          if s == "finished")
+
+    def failed(self) -> list[str]:
+        """Names of tasks currently in the failed state."""
+        with self._lock:
+            return sorted(n for n, s in self.status.items()
+                          if s == "failed")
+
+    def timeline(self) -> str:
+        """Printable event log."""
+        with self._lock:
+            events = list(self.events)
+        if not events:
+            return "(no events)"
+        t0 = events[0].timestamp
+        lines = []
+        for e in events:
+            detail = f"  [{e.detail}]" if e.detail else ""
+            lines.append(f"{e.timestamp - t0:8.3f}s  {e.kind:<9} "
+                         f"{e.name:<24} {e.status}{detail}")
+        return "\n".join(lines)

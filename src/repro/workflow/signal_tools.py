@@ -1,0 +1,87 @@
+"""Signal-processing toolbox (Triana heritage, §2).
+
+    "Use of the Triana workflow engine also allows us to utilize the Signal
+    Processing toolbox available, with algorithms such as Fast Fourier
+    Transform and various spectral analysis algorithms."
+
+Implemented on NumPy's FFT; tools exchange plain ``list[float]`` series so
+they cable freely with the rest of the workspace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkflowError
+from repro.workflow.model import FunctionTool
+
+
+def _sine(samples: int = 256, frequency: float = 8.0,
+          amplitude: float = 1.0, rate: float = 256.0,
+          noise: float = 0.0, seed: int = 0) -> list:
+    """Generate a sampled sine wave (optionally noisy)."""
+    if samples < 2:
+        raise WorkflowError("need at least 2 samples")
+    t = np.arange(samples) / rate
+    wave = amplitude * np.sin(2 * np.pi * frequency * t)
+    if noise > 0:
+        wave = wave + np.random.default_rng(seed).normal(0, noise, samples)
+    return [float(v) for v in wave]
+
+
+def _fft(series: list) -> list:
+    """FFT magnitudes of a real series (first half of the spectrum)."""
+    if not series:
+        raise WorkflowError("empty series")
+    spectrum = np.abs(np.fft.rfft(np.asarray(series, dtype=float)))
+    return [float(v) for v in spectrum]
+
+
+def _power_spectrum(series: list, rate: float = 256.0) -> dict:
+    """Power spectral density plus the dominant frequency."""
+    if not series:
+        raise WorkflowError("empty series")
+    arr = np.asarray(series, dtype=float)
+    spectrum = np.abs(np.fft.rfft(arr)) ** 2
+    freqs = np.fft.rfftfreq(arr.size, d=1.0 / rate)
+    peak = int(np.argmax(spectrum[1:]) + 1) if spectrum.size > 1 else 0
+    return {"frequencies": [float(f) for f in freqs],
+            "power": [float(p) for p in spectrum],
+            "dominant_frequency": float(freqs[peak])}
+
+
+def _window(series: list, kind: str = "hann") -> list:
+    """Apply a window function before spectral analysis."""
+    arr = np.asarray(series, dtype=float)
+    if kind == "hann":
+        win = np.hanning(arr.size)
+    elif kind == "hamming":
+        win = np.hamming(arr.size)
+    elif kind == "rect":
+        win = np.ones(arr.size)
+    else:
+        raise WorkflowError(f"unknown window {kind!r}")
+    return [float(v) for v in arr * win]
+
+
+def _smooth(series: list, width: int = 5) -> list:
+    """Moving-average smoothing."""
+    arr = np.asarray(series, dtype=float)
+    if width < 1 or width > arr.size:
+        raise WorkflowError("bad smoothing width")
+    kernel = np.ones(width) / width
+    return [float(v) for v in np.convolve(arr, kernel, mode="same")]
+
+
+def all_tools() -> list[FunctionTool]:
+    """Instantiate this module's tool set."""
+    return [
+        FunctionTool("SineGenerator", _sine, [], ["series"], "SignalProc"),
+        FunctionTool("FFT", _fft, ["series"], ["spectrum"], "SignalProc"),
+        FunctionTool("PowerSpectrum", _power_spectrum, ["series"],
+                     ["spectrum"], "SignalProc"),
+        FunctionTool("Window", _window, ["series"], ["series"],
+                     "SignalProc"),
+        FunctionTool("Smooth", _smooth, ["series"], ["series"],
+                     "SignalProc"),
+    ]

@@ -1,0 +1,98 @@
+"""The toolbox: folders of tools the user composes from (Figure 1's left
+pane, Figure 2's component inventory).
+
+    "the user is provided with a collection of pre-defined folders
+    containing tools grouped according to functions.  The tools in the
+    Common folder for example performs tasks such as inputting and viewing
+    strings."
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import WorkflowError
+from repro.workflow.model import Tool
+
+
+class ToolBox:
+    """Folder-organised tool registry."""
+
+    def __init__(self, name: str = "toolbox"):
+        self.name = name
+        self._tools: dict[str, Tool] = {}
+
+    def register(self, tool: Tool) -> Tool:
+        """Register one tool (duplicate names are rejected)."""
+        if tool.name in self._tools:
+            raise WorkflowError(f"tool {tool.name!r} already registered")
+        self._tools[tool.name] = tool
+        return tool
+
+    def register_all(self, tools) -> None:
+        """Register every tool of *tools*."""
+        for tool in tools:
+            self.register(tool)
+
+    def get(self, name: str) -> Tool:
+        """Look up an entry by name."""
+        try:
+            return self._tools[name]
+        except KeyError:
+            raise WorkflowError(
+                f"no tool named {name!r}; folders: {self.folders()}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tools
+
+    def __len__(self) -> int:
+        return len(self._tools)
+
+    def tools(self, folder: str | None = None) -> list[Tool]:
+        """Tools, optionally restricted to one folder."""
+        out = [t for t in self._tools.values()
+               if folder is None or t.folder == folder]
+        return sorted(out, key=lambda t: t.name)
+
+    def folders(self) -> list[str]:
+        """Sorted folder names."""
+        return sorted({t.folder for t in self._tools.values()})
+
+    def search(self, query: str) -> list[Tool]:
+        """Find tools whose name, folder or doc matches *query*
+        (case-insensitive substring — the toolbox search box)."""
+        needle = query.lower()
+        return sorted(
+            (t for t in self._tools.values()
+             if needle in t.name.lower() or needle in t.folder.lower()
+             or needle in t.doc.lower()),
+            key=lambda t: t.name)
+
+    def tree(self) -> dict[str, list[str]]:
+        """Folder → tool-name mapping (the left-pane tree)."""
+        out: dict[str, list[str]] = defaultdict(list)
+        for tool in self._tools.values():
+            out[tool.folder].append(tool.name)
+        return {folder: sorted(names) for folder, names
+                in sorted(out.items())}
+
+    def render_tree(self) -> str:
+        """Printable folder tree, as the composition GUI would show it."""
+        lines = [f"[{self.name}]"]
+        for folder, names in self.tree().items():
+            lines.append(f"+- {folder}/")
+            for name in names:
+                lines.append(f"|  +- {name}")
+        return "\n".join(lines)
+
+
+def default_toolbox() -> ToolBox:
+    """The paper's data-mining workspace toolbox: Common tools, data-set
+    manipulation, processing, visualisation and signal-processing folders
+    (Figure 2)."""
+    from repro.workflow import builtin_tools, signal_tools
+    box = ToolBox("data-mining workspace")
+    box.register_all(builtin_tools.all_tools())
+    box.register_all(signal_tools.all_tools())
+    return box

@@ -1,0 +1,29 @@
+"""Web-services substrate: SOAP messages, WSDL descriptions, the service
+container with the §4.5 lifecycles, HTTP hosting, client proxies, the UDDI
+registry and transport models."""
+
+from repro.ws.soap import (SoapFault, SoapRequest, SoapResponse,
+                           decode_request, decode_response, encode_fault,
+                           encode_request, encode_response)
+from repro.ws.service import OperationInfo, ServiceDefinition, operation
+from repro.ws.container import LIFECYCLES, ServiceContainer, ServiceStats
+from repro.ws.httpd import SoapHttpServer
+from repro.ws.client import HttpTransport, ServiceProxy, fetch_url
+from repro.ws.registry import RegistryEntry, RegistryService, UDDIRegistry
+from repro.ws.transport import (LAN, WAN, FailingTransport,
+                                InProcessTransport, NetworkModel,
+                                SimulatedTransport, Transport)
+from repro.ws import wsdl
+
+__all__ = [
+    "SoapRequest", "SoapResponse", "SoapFault",
+    "encode_request", "decode_request", "encode_response",
+    "decode_response", "encode_fault",
+    "operation", "ServiceDefinition", "OperationInfo",
+    "ServiceContainer", "ServiceStats", "LIFECYCLES",
+    "SoapHttpServer", "ServiceProxy", "HttpTransport", "fetch_url",
+    "UDDIRegistry", "RegistryService", "RegistryEntry",
+    "Transport", "InProcessTransport", "SimulatedTransport",
+    "FailingTransport", "NetworkModel", "LAN", "WAN",
+    "wsdl",
+]

@@ -1,0 +1,152 @@
+"""Client-side service access: HTTP transport and dynamic proxies.
+
+:class:`ServiceProxy` is the client half of the paper's WSDL import: given a
+WSDL document (or a ``?wsdl`` URL) it exposes each operation as a Python
+method, validating parameter names before anything goes on the wire — the
+same early feedback the Triana tools give.
+"""
+
+from __future__ import annotations
+
+import http.client
+from typing import Any
+from urllib.parse import urlparse
+
+from repro.errors import TransportError, WsdlError
+from repro.ws import soap, wsdl
+from repro.ws.soap import SoapRequest, SoapResponse
+from repro.ws.transport import Transport
+
+
+class HttpTransport(Transport):
+    """SOAP POST over a persistent HTTP connection."""
+
+    def __init__(self, endpoint: str, timeout: float = 30.0):
+        self.endpoint = endpoint
+        parsed = urlparse(endpoint)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise TransportError(f"unsupported endpoint {endpoint!r}")
+        self._host = parsed.hostname
+        self._port = parsed.port or 80
+        self._path = parsed.path or "/"
+        self._timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout)
+        return self._conn
+
+    def send(self, request: SoapRequest) -> SoapResponse:
+        """Deliver one SOAP request; returns the SOAP response."""
+        wire = soap.encode_request(request)
+        self.bytes_sent += len(wire)
+        try:
+            conn = self._connection()
+            conn.request("POST", self._path, body=wire, headers={
+                "Content-Type": "text/xml; charset=utf-8",
+                "SOAPAction": f'"{request.operation}"',
+            })
+            http_response = conn.getresponse()
+            body = http_response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            self.close()
+            raise TransportError(
+                f"cannot reach {self.endpoint}: {exc}") from exc
+        self.bytes_received += len(body)
+        return soap.decode_response(body)  # raises SoapFault on faults
+
+    def close(self) -> None:
+        """Release underlying resources."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+
+def fetch_url(url: str, timeout: float = 30.0) -> str:
+    """GET a small text document (WSDL, service index, data file)."""
+    parsed = urlparse(url)
+    if parsed.scheme != "http" or not parsed.hostname:
+        raise TransportError(f"unsupported URL {url!r}")
+    try:
+        conn = http.client.HTTPConnection(
+            parsed.hostname, parsed.port or 80, timeout=timeout)
+        path = parsed.path or "/"
+        if parsed.query:
+            path += "?" + parsed.query
+        conn.request("GET", path)
+        response = conn.getresponse()
+        body = response.read()
+        conn.close()
+    except (OSError, http.client.HTTPException) as exc:
+        raise TransportError(f"cannot fetch {url!r}: {exc}") from exc
+    if response.status != 200:
+        raise TransportError(
+            f"GET {url} returned HTTP {response.status}")
+    return body.decode("utf-8")
+
+
+class ServiceProxy:
+    """Dynamic operation proxy over any :class:`Transport`."""
+
+    def __init__(self, description: wsdl.WsdlDescription,
+                 transport: Transport):
+        self.description = description
+        self.transport = transport
+
+    @classmethod
+    def from_wsdl_url(cls, url: str) -> "ServiceProxy":
+        """Build a proxy by fetching and parsing a ``?wsdl`` URL."""
+        description = wsdl.parse(fetch_url(url))
+        if not description.address:
+            raise WsdlError(f"WSDL at {url} carries no endpoint address")
+        return cls(description, HttpTransport(description.address))
+
+    @classmethod
+    def from_wsdl_text(cls, document: str,
+                       transport: Transport) -> "ServiceProxy":
+        """Build a proxy from WSDL text with an explicit transport."""
+        return cls(wsdl.parse(document), transport)
+
+    def operations(self) -> list[str]:
+        """Sorted operation names offered by the service."""
+        return sorted(self.description.operations)
+
+    def call(self, operation: str, **params: Any) -> Any:
+        """Invoke *operation*; parameter names are checked against WSDL."""
+        info = self.description.operations.get(operation)
+        if info is None:
+            raise WsdlError(
+                f"service {self.description.service!r} has no operation "
+                f"{operation!r}; known: {self.operations()}")
+        declared = {p for p, _ in info.params}
+        unknown = sorted(set(params) - declared)
+        if unknown:
+            raise WsdlError(
+                f"operation {operation!r} got unknown parameter(s) "
+                f"{unknown}; declared: {sorted(declared)}")
+        missing = sorted(set(info.required) - set(params))
+        if missing:
+            raise WsdlError(
+                f"operation {operation!r} missing required parameter(s) "
+                f"{missing}")
+        request = SoapRequest(self.description.service, operation, params)
+        return self.transport.send(request).result
+
+    def __getattr__(self, name: str):
+        if name.startswith("_") or name not in \
+                self.description.operations:
+            raise AttributeError(name)
+
+        def bound(**params: Any) -> Any:
+            return self.call(name, **params)
+
+        bound.__name__ = name
+        return bound
+
+    def close(self) -> None:
+        """Release underlying resources."""
+        self.transport.close()

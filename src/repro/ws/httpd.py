@@ -1,0 +1,127 @@
+"""HTTP hosting of SOAP services (the Tomcat/Axis substitution).
+
+:class:`SoapHttpServer` hosts one :class:`~repro.ws.container
+.ServiceContainer` on a localhost port using a threading HTTP server:
+
+* ``POST /services/<name>``            — SOAP invocation
+* ``GET  /services/<name>?wsdl``       — the service's WSDL document
+* ``GET  /services``                   — plain-text service index
+
+Addresses follow the paper's convention of one endpoint per service, so the
+workflow engine can show "a URL specifying the location of the WSDL document"
+for each imported tool.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlparse
+
+from repro.errors import ServiceError
+from repro.ws import soap, wsdl
+from repro.ws.container import ServiceContainer
+from repro.ws.soap import SoapFault
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "ReproSOAP/1.0"
+    container: ServiceContainer  # injected by the server factory
+    base_url: str
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep test output clean; stats live on the container
+
+    def _send(self, status: int, body: bytes,
+              content_type: str = "text/xml; charset=utf-8") -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _service_name(self) -> str | None:
+        path = urlparse(self.path).path
+        parts = [p for p in path.split("/") if p]
+        if len(parts) == 2 and parts[0] == "services":
+            return parts[1]
+        return None
+
+    def do_GET(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        if parsed.path.rstrip("/") == "/services":
+            body = "\n".join(self.container.services()).encode()
+            self._send(200, body, "text/plain; charset=utf-8")
+            return
+        name = self._service_name()
+        if name is None or "wsdl" not in parsed.query.lower():
+            self._send(404, b"not found", "text/plain")
+            return
+        try:
+            definition = self.container.definition(name)
+        except (ServiceError, SoapFault):
+            self._send(404, f"no service {name!r}".encode(), "text/plain")
+            return
+        address = f"{self.base_url}/services/{name}"
+        self._send(200, wsdl.generate(definition, address).encode())
+
+    def do_POST(self) -> None:  # noqa: N802
+        name = self._service_name()
+        if name is None:
+            self._send(404, b"not found", "text/plain")
+            return
+        length = int(self.headers.get("Content-Length", "0"))
+        payload = self.rfile.read(length)
+        try:
+            request = soap.decode_request(payload)
+            request.service = name  # the URL wins over the envelope
+            response = self.container.invoke(request)
+            self._send(200, soap.encode_response(response))
+        except SoapFault as fault:
+            self._send(500, soap.encode_fault(fault))
+        except ServiceError as exc:
+            self._send(500, soap.encode_fault(
+                SoapFault("soapenv:Server", str(exc))))
+
+
+class SoapHttpServer:
+    """A threaded SOAP-over-HTTP host bound to 127.0.0.1."""
+
+    def __init__(self, container: ServiceContainer, port: int = 0):
+        handler = type("BoundHandler", (_Handler,), {})
+        self._httpd = ThreadingHTTPServer(("127.0.0.1", port), handler)
+        self.port = self._httpd.server_address[1]
+        self.base_url = f"http://127.0.0.1:{self.port}"
+        handler.container = container
+        handler.base_url = self.base_url
+        self.container = container
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "SoapHttpServer":
+        """Start serving in a background thread; returns ``self``."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True,
+            name=f"soap-httpd-{self.port}")
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down and release resources."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread:
+            self._thread.join(timeout=5)
+
+    def endpoint(self, service: str) -> str:
+        """The SOAP endpoint URL of *service*."""
+        return f"{self.base_url}/services/{service}"
+
+    def wsdl_url(self, service: str) -> str:
+        """The WSDL URL of *service*."""
+        return f"{self.endpoint(service)}?wsdl"
+
+    def __enter__(self) -> "SoapHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

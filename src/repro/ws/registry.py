@@ -1,0 +1,114 @@
+"""UDDI-style service registry (publish + inquiry).
+
+The paper publishes its services in a jUDDI registry ("Access to the UDDI
+registry for inquiry is available at ...:8334/juddi/inquiry").  This module
+provides the same two verbs: providers *publish* a service's name, WSDL URL
+and category tags; consumers *inquire* by name pattern and/or category.  The
+registry itself can be deployed as a Web Service
+(:class:`RegistryService`), so discovery happens over SOAP like everything
+else.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import RegistryError
+from repro.ws.service import operation
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One published service."""
+
+    name: str
+    wsdl_url: str
+    categories: tuple[str, ...] = ()
+    description: str = ""
+    published_at: float = 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (SOAP/JSON-ready)."""
+        return {"name": self.name, "wsdl_url": self.wsdl_url,
+                "categories": list(self.categories),
+                "description": self.description,
+                "published_at": self.published_at}
+
+
+class UDDIRegistry:
+    """Thread-safe in-memory registry."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, RegistryEntry] = {}
+        self._lock = threading.Lock()
+
+    def publish(self, name: str, wsdl_url: str,
+                categories: tuple[str, ...] | list[str] = (),
+                description: str = "") -> RegistryEntry:
+        """Publish (or republish) a service."""
+        if not name or not wsdl_url:
+            raise RegistryError("publish needs a name and a WSDL URL")
+        entry = RegistryEntry(name=name, wsdl_url=wsdl_url,
+                              categories=tuple(categories),
+                              description=description,
+                              published_at=time.time())
+        with self._lock:
+            self._entries[name] = entry
+        return entry
+
+    def unpublish(self, name: str) -> None:
+        """Remove a published service from the registry."""
+        with self._lock:
+            if name not in self._entries:
+                raise RegistryError(f"service {name!r} is not published")
+            del self._entries[name]
+
+    def inquire(self, pattern: str = "*",
+                category: str | None = None) -> list[RegistryEntry]:
+        """Find services by glob *pattern* and optional *category*."""
+        with self._lock:
+            entries = list(self._entries.values())
+        out = [e for e in entries if fnmatch.fnmatch(e.name, pattern)]
+        if category is not None:
+            out = [e for e in out if category in e.categories]
+        return sorted(out, key=lambda e: e.name)
+
+    def lookup(self, name: str) -> RegistryEntry:
+        """Exact-name lookup."""
+        with self._lock:
+            entry = self._entries.get(name)
+        if entry is None:
+            raise RegistryError(f"service {name!r} is not published")
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class RegistryService:
+    """The registry exposed as a Web Service (deployable in a container)."""
+
+    registry: UDDIRegistry = field(default_factory=UDDIRegistry)
+
+    @operation
+    def publish(self, name: str, wsdl_url: str, categories: list = None,
+                description: str = "") -> dict:
+        """Publish a service; returns the stored registry entry."""
+        entry = self.registry.publish(name, wsdl_url,
+                                      tuple(categories or ()), description)
+        return entry.as_dict()
+
+    @operation
+    def inquire(self, pattern: str = "*", category: str = "") -> list:
+        """Find published services by glob pattern and optional category."""
+        entries = self.registry.inquire(pattern, category or None)
+        return [e.as_dict() for e in entries]
+
+    @operation
+    def lookup(self, name: str) -> dict:
+        """Exact-name lookup; faults if the service is unknown."""
+        return self.registry.lookup(name).as_dict()

@@ -1,0 +1,111 @@
+"""Service definitions: how a Python class becomes a Web Service.
+
+Methods decorated with :func:`operation` become WSDL operations; their
+annotated parameters become typed message parts.  A
+:class:`ServiceDefinition` introspects the class once and then dispatches
+SOAP requests to instances, validating parameter names against the
+signature — the server-side half of the paper's "Triana creates a tool for
+each operation provided by the service".
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, get_type_hints
+
+from repro.errors import ServiceError
+from repro.ws.soap import SoapFault
+
+_TYPE_NAMES = {str: "xsd:string", int: "xsd:int", float: "xsd:double",
+               bool: "xsd:boolean", bytes: "xsd:base64Binary",
+               dict: "repro:json", list: "repro:json", Any: "repro:json"}
+
+
+def operation(fn: Callable | None = None, *, doc: str | None = None):
+    """Mark a method as a Web Service operation."""
+    def mark(f: Callable) -> Callable:
+        f._ws_operation = True           # type: ignore[attr-defined]
+        f._ws_doc = doc or (f.__doc__ or "").strip()  # type: ignore
+        return f
+    return mark(fn) if fn is not None else mark
+
+
+@dataclass(frozen=True)
+class OperationInfo:
+    """Introspected metadata of one operation."""
+
+    name: str
+    doc: str
+    params: tuple[tuple[str, str], ...]   # (name, xsd type)
+    returns: str
+    required: tuple[str, ...]             # params with no default
+
+
+@dataclass
+class ServiceDefinition:
+    """A named service: implementation class + operation table."""
+
+    name: str
+    cls: type
+    doc: str = ""
+    operations: dict[str, OperationInfo] = field(default_factory=dict)
+
+    @classmethod
+    def from_class(cls, service_cls: type,
+                   name: str | None = None) -> "ServiceDefinition":
+        """Introspect ``@operation`` methods of *service_cls*."""
+        ops: dict[str, OperationInfo] = {}
+        for attr_name, member in inspect.getmembers(
+                service_cls, predicate=inspect.isfunction):
+            if not getattr(member, "_ws_operation", False):
+                continue
+            hints = get_type_hints(member)
+            signature = inspect.signature(member)
+            params = []
+            required = []
+            for pname, param in signature.parameters.items():
+                if pname == "self":
+                    continue
+                ptype = hints.get(pname, str)
+                params.append((pname, _TYPE_NAMES.get(ptype, "repro:json")))
+                if param.default is inspect.Parameter.empty:
+                    required.append(pname)
+            rtype = hints.get("return", str)
+            if rtype is type(None):
+                returns = "xsd:string"
+            else:
+                returns = _TYPE_NAMES.get(rtype, "repro:json")
+            ops[attr_name] = OperationInfo(
+                name=attr_name,
+                doc=getattr(member, "_ws_doc", ""),
+                params=tuple(params),
+                returns=returns,
+                required=tuple(required))
+        if not ops:
+            raise ServiceError(
+                f"{service_cls.__name__} declares no @operation methods")
+        return cls(name=name or service_cls.__name__, cls=service_cls,
+                   doc=(service_cls.__doc__ or "").strip(), operations=ops)
+
+    def dispatch(self, instance: Any, op_name: str,
+                 params: dict[str, Any]) -> Any:
+        """Invoke *op_name* on *instance* with SOAP-decoded *params*."""
+        info = self.operations.get(op_name)
+        if info is None:
+            raise SoapFault("soapenv:Client",
+                            f"service {self.name!r} has no operation "
+                            f"{op_name!r}")
+        declared = {p for p, _ in info.params}
+        unknown = sorted(set(params) - declared)
+        if unknown:
+            raise SoapFault("soapenv:Client",
+                            f"operation {op_name!r} got unknown "
+                            f"parameter(s) {unknown}")
+        missing = sorted(set(info.required) - set(params))
+        if missing:
+            raise SoapFault("soapenv:Client",
+                            f"operation {op_name!r} missing required "
+                            f"parameter(s) {missing}")
+        method = getattr(instance, op_name)
+        return method(**params)

@@ -1,0 +1,235 @@
+"""SOAP 1.1-style message envelopes.
+
+The paper's toolkit speaks SOAP between Triana and every data-mining service
+("interaction between the workflow engine and each Web Service instance is
+supported through pre-defined SOAP messages").  This module implements the
+document shapes those interactions need: request envelopes carrying one
+operation element with typed parameter children, response envelopes carrying
+one ``<operation>Response`` element, and fault envelopes.
+
+Typing uses XML-Schema primitives (``xsd:string``/``int``/``double``/
+``boolean``), ``xsd:base64Binary`` for byte payloads and a toolkit extension
+type ``repro:json`` for structured values (option lists, tree graphs), which
+the 2005 toolkit would have modelled as nested complex types.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ServiceError
+
+ENVELOPE_NS = "http://schemas.xmlsoap.org/soap/envelope/"
+XSD_NS = "http://www.w3.org/2001/XMLSchema"
+XSI_NS = "http://www.w3.org/2001/XMLSchema-instance"
+REPRO_NS = "http://repro.example.org/faehim"
+
+ET.register_namespace("soapenv", ENVELOPE_NS)
+ET.register_namespace("xsd", XSD_NS)
+ET.register_namespace("xsi", XSI_NS)
+ET.register_namespace("repro", REPRO_NS)
+
+
+def _qname(ns: str, local: str) -> str:
+    return f"{{{ns}}}{local}"
+
+
+import re as _re
+
+_NAME_OK = _re.compile(r"^[A-Za-z_][A-Za-z0-9_.-]*$")
+# characters XML 1.0 cannot carry verbatim (plus \r, which parsers
+# normalise to \n) and lone surrogates
+_XML_UNSAFE = _re.compile(
+    "[\x00-\x08\x0b-\x1f\x7f\r\ud800-\udfff]")
+
+
+def _check_name(name: str, what: str) -> str:
+    """Operation/parameter names become XML element names; they originate
+    from Python identifiers, so enforce that shape up front."""
+    if not _NAME_OK.match(name):
+        raise ServiceError(f"invalid {what} name {name!r} "
+                           f"(must be an identifier)")
+    return name
+
+
+def _encode_value(parent: ET.Element, name: str, value: Any) -> None:
+    el = ET.SubElement(parent, name)
+    type_attr = _qname(XSI_NS, "type")
+    import numbers
+    if value is None:
+        el.set(_qname(XSI_NS, "nil"), "true")
+    elif isinstance(value, bool):
+        el.set(type_attr, "xsd:boolean")
+        el.text = "true" if value else "false"
+    elif isinstance(value, numbers.Integral):
+        # covers int and numpy integer scalars alike
+        el.set(type_attr, "xsd:int")
+        el.text = str(int(value))
+    elif isinstance(value, numbers.Real):
+        el.set(type_attr, "xsd:double")
+        el.text = repr(float(value))
+    elif isinstance(value, str):
+        if _XML_UNSAFE.search(value):
+            # XML 1.0 cannot carry control characters, and parsers
+            # normalise \r; ship such strings base64-encoded instead
+            el.set(type_attr, "repro:stringb64")
+            el.text = base64.b64encode(
+                value.encode("utf-8", "surrogatepass")).decode("ascii")
+        else:
+            el.set(type_attr, "xsd:string")
+            el.text = value
+    elif isinstance(value, bytes):
+        el.set(type_attr, "xsd:base64Binary")
+        el.text = base64.b64encode(value).decode("ascii")
+    elif isinstance(value, (dict, list, tuple)):
+        el.set(type_attr, "repro:json")
+        el.text = json.dumps(value)
+    else:
+        raise ServiceError(
+            f"cannot encode value of type {type(value).__name__} "
+            f"for parameter {name!r}")
+
+
+def _decode_value(el: ET.Element) -> Any:
+    if el.get(_qname(XSI_NS, "nil")) == "true":
+        return None
+    type_attr = el.get(_qname(XSI_NS, "type"), "xsd:string")
+    text = el.text or ""
+    if type_attr.endswith("boolean"):
+        return text.strip().lower() == "true"
+    if type_attr.endswith("int"):
+        return int(text)
+    if type_attr.endswith("double"):
+        return float(text)
+    if type_attr.endswith("base64Binary"):
+        return base64.b64decode(text)
+    if type_attr.endswith("stringb64"):
+        return base64.b64decode(text).decode("utf-8", "surrogatepass")
+    if type_attr.endswith("json"):
+        return json.loads(text) if text else None
+    return text
+
+
+@dataclass
+class SoapFault(ServiceError):
+    """A SOAP fault (also raised client-side when a response carries one)."""
+
+    faultcode: str = "soapenv:Server"
+    faultstring: str = "internal error"
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        super().__init__(f"{self.faultcode}: {self.faultstring}")
+
+
+@dataclass
+class SoapRequest:
+    """One operation invocation."""
+
+    service: str
+    operation: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SoapResponse:
+    """The result of one invocation."""
+
+    service: str
+    operation: str
+    result: Any = None
+
+
+def encode_request(request: SoapRequest) -> bytes:
+    """Serialise a SoapRequest as an envelope."""
+    envelope = ET.Element(_qname(ENVELOPE_NS, "Envelope"))
+    body = ET.SubElement(envelope, _qname(ENVELOPE_NS, "Body"))
+    op = ET.SubElement(body, _qname(
+        REPRO_NS, _check_name(request.operation, "operation")))
+    op.set("service", request.service)
+    for name, value in request.params.items():
+        _encode_value(op, _check_name(name, "parameter"), value)
+    return ET.tostring(envelope, encoding="utf-8",
+                       xml_declaration=True)
+
+
+def decode_request(document: bytes) -> SoapRequest:
+    """Parse a request envelope into a SoapRequest."""
+    body = _body_of(document)
+    op = _single_child(body, "request")
+    local = op.tag.rsplit("}", 1)[-1]
+    service = op.get("service", "")
+    params = {child.tag.rsplit("}", 1)[-1]: _decode_value(child)
+              for child in op}
+    return SoapRequest(service=service, operation=local, params=params)
+
+
+def encode_response(response: SoapResponse) -> bytes:
+    """Serialise a SoapResponse as an envelope."""
+    envelope = ET.Element(_qname(ENVELOPE_NS, "Envelope"))
+    body = ET.SubElement(envelope, _qname(ENVELOPE_NS, "Body"))
+    op = ET.SubElement(body,
+                       _qname(REPRO_NS, f"{response.operation}Response"))
+    op.set("service", response.service)
+    _encode_value(op, "return", response.result)
+    return ET.tostring(envelope, encoding="utf-8", xml_declaration=True)
+
+
+def encode_fault(fault: SoapFault) -> bytes:
+    """Serialise a SoapFault as a fault envelope."""
+    envelope = ET.Element(_qname(ENVELOPE_NS, "Envelope"))
+    body = ET.SubElement(envelope, _qname(ENVELOPE_NS, "Body"))
+    el = ET.SubElement(body, _qname(ENVELOPE_NS, "Fault"))
+    code = ET.SubElement(el, "faultcode")
+    code.text = fault.faultcode
+    string = ET.SubElement(el, "faultstring")
+    string.text = fault.faultstring
+    if fault.detail:
+        detail = ET.SubElement(el, "detail")
+        detail.text = fault.detail
+    return ET.tostring(envelope, encoding="utf-8", xml_declaration=True)
+
+
+def decode_response(document: bytes) -> SoapResponse:
+    """Decode a response envelope, raising :class:`SoapFault` on faults."""
+    body = _body_of(document)
+    child = _single_child(body, "response")
+    local = child.tag.rsplit("}", 1)[-1]
+    if local == "Fault":
+        code = child.findtext("faultcode", "soapenv:Server")
+        string = child.findtext("faultstring", "unknown fault")
+        detail = child.findtext("detail", "") or ""
+        raise SoapFault(code, string, detail)
+    if not local.endswith("Response"):
+        raise ServiceError(f"unexpected response element {local!r}")
+    result_el = child.find("return")
+    result = _decode_value(result_el) if result_el is not None else None
+    return SoapResponse(service=child.get("service", ""),
+                        operation=local[:-len("Response")],
+                        result=result)
+
+
+def _body_of(document: bytes) -> ET.Element:
+    try:
+        envelope = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise ServiceError(f"malformed SOAP document: {exc}") from exc
+    if envelope.tag != _qname(ENVELOPE_NS, "Envelope"):
+        raise ServiceError(f"not a SOAP envelope: {envelope.tag}")
+    body = envelope.find(_qname(ENVELOPE_NS, "Body"))
+    if body is None:
+        raise ServiceError("SOAP envelope has no Body")
+    return body
+
+
+def _single_child(body: ET.Element, what: str) -> ET.Element:
+    children = list(body)
+    if len(children) != 1:
+        raise ServiceError(
+            f"SOAP {what} body must carry exactly one element, "
+            f"got {len(children)}")
+    return children[0]

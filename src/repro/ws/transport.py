@@ -1,0 +1,148 @@
+"""Transports: how SOAP bytes travel between client and service.
+
+Three implementations, all sharing one interface (:class:`Transport`):
+
+* :class:`InProcessTransport` — straight into a local
+  :class:`~repro.ws.container.ServiceContainer` (still paying the SOAP
+  encode/decode, like a co-located Axis client).
+* :class:`HttpTransport` — real sockets to an
+  :class:`~repro.ws.httpd.SoapHttpServer` (localhost stands in for the
+  paper's campus network).
+* :class:`SimulatedTransport` — wraps another transport and charges a
+  latency + bandwidth cost per message, either as real ``sleep`` time or as
+  an accumulated *virtual clock*.  This is the substitution for the paper's
+  1 Gb/s testbed network: distribution effects are functions of message
+  count and payload size, which the model captures explicitly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import TransportError
+from repro.ws import soap
+from repro.ws.container import ServiceContainer
+from repro.ws.soap import SoapFault, SoapRequest, SoapResponse
+
+
+class Transport:
+    """Send one SOAP request, receive one SOAP response."""
+
+    def send(self, request: SoapRequest) -> SoapResponse:
+        """Deliver one SOAP request; returns the SOAP response."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any underlying resources (default: none)."""
+
+
+class InProcessTransport(Transport):
+    """Serialise through SOAP but dispatch into a local container."""
+
+    def __init__(self, container: ServiceContainer):
+        self.container = container
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def send(self, request: SoapRequest) -> SoapResponse:
+        """Deliver one SOAP request; returns the SOAP response."""
+        wire = soap.encode_request(request)
+        self.bytes_sent += len(wire)
+        decoded = soap.decode_request(wire)
+        try:
+            response = self.container.invoke(decoded)
+            wire_out = soap.encode_response(response)
+        except SoapFault as fault:
+            wire_out = soap.encode_fault(fault)
+        self.bytes_received += len(wire_out)
+        return soap.decode_response(wire_out)
+
+
+@dataclass
+class NetworkModel:
+    """A latency + bandwidth cost model for one network path.
+
+    ``latency_s`` is charged once per message; payloads additionally take
+    ``len(payload) / bandwidth_bps`` seconds.  The defaults model the
+    paper's testbed: ~1 ms campus RTT and a 1 Gb/s link.
+    """
+
+    latency_s: float = 0.001
+    bandwidth_bps: float = 1e9 / 8  # 1 Gb/s in bytes per second
+
+    def transfer_time(self, n_bytes: int) -> float:
+        """Seconds to move *n_bytes* over this network path."""
+        return self.latency_s + n_bytes / self.bandwidth_bps
+
+
+#: A slow wide-area path (50 ms RTT, 10 Mb/s) for the streaming ablation.
+WAN = NetworkModel(latency_s=0.050, bandwidth_bps=10e6 / 8)
+#: The paper's testbed (§5.1): 1 Gb/s, sub-millisecond campus latency.
+LAN = NetworkModel(latency_s=0.001, bandwidth_bps=1e9 / 8)
+
+
+@dataclass
+class SimulatedTransport(Transport):
+    """Charge a :class:`NetworkModel` cost around an inner transport.
+
+    With ``real_sleep=True`` the cost is spent in ``time.sleep`` (so
+    wall-clock benchmarks see it); otherwise it accumulates in
+    :attr:`virtual_seconds`, which deterministic tests read.
+    """
+
+    inner: Transport
+    model: NetworkModel = field(default_factory=NetworkModel)
+    real_sleep: bool = False
+    virtual_seconds: float = 0.0
+    messages: int = 0
+    bytes_on_wire: int = 0
+
+    def _charge(self, n_bytes: int) -> None:
+        cost = self.model.transfer_time(n_bytes)
+        self.virtual_seconds += cost
+        self.bytes_on_wire += n_bytes
+        self.messages += 1
+        if self.real_sleep:
+            time.sleep(cost)
+
+    def send(self, request: SoapRequest) -> SoapResponse:
+        """Deliver one SOAP request; returns the SOAP response."""
+        wire = soap.encode_request(request)
+        self._charge(len(wire))
+        try:
+            response = self.inner.send(request)
+            wire_out = soap.encode_response(response)
+        except SoapFault as fault:
+            wire_out = soap.encode_fault(fault)
+            self._charge(len(wire_out))
+            raise
+        self._charge(len(wire_out))
+        return response
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+class FailingTransport(Transport):
+    """Test double: fail the first *failures* sends, then delegate.
+
+    Used by the fault-tolerance benches to exercise job migration.
+    """
+
+    def __init__(self, inner: Transport, failures: int = 1):
+        self.inner = inner
+        self.remaining_failures = failures
+        self.attempts = 0
+
+    def send(self, request: SoapRequest) -> SoapResponse:
+        """Deliver one SOAP request; returns the SOAP response."""
+        self.attempts += 1
+        if self.remaining_failures > 0:
+            self.remaining_failures -= 1
+            raise TransportError(
+                f"simulated network failure (attempt {self.attempts})")
+        return self.inner.send(request)
+
+    def close(self) -> None:
+        self.inner.close()

@@ -1,0 +1,51 @@
+"""Shared fixtures: canonical datasets and a hosted toolbox."""
+
+import pytest
+
+from repro.data import synthetic
+
+
+@pytest.fixture(scope="session")
+def breast_cancer():
+    return synthetic.breast_cancer()
+
+
+@pytest.fixture(scope="session")
+def weather():
+    return synthetic.weather_nominal()
+
+
+@pytest.fixture(scope="session")
+def weather_numeric():
+    return synthetic.weather_numeric()
+
+
+@pytest.fixture(scope="session")
+def blobs():
+    return synthetic.gaussians(n_clusters=3, n_per_cluster=40, seed=7)
+
+
+@pytest.fixture(scope="session")
+def blobs_labelled():
+    return synthetic.gaussians(n_clusters=3, n_per_cluster=40,
+                               labelled=True, seed=7)
+
+
+@pytest.fixture(scope="session")
+def baskets():
+    return synthetic.baskets(n=250, seed=3)
+
+
+@pytest.fixture(scope="session")
+def two_class():
+    return synthetic.numeric_two_class(n=160, seed=5)
+
+
+@pytest.fixture(scope="session")
+def hosted_toolbox():
+    """One HTTP-hosted toolbox for the whole session (services are
+    stateless or session-scoped internally)."""
+    from repro.services import serve_toolbox
+    host = serve_toolbox()
+    yield host
+    host.stop()

@@ -1,0 +1,122 @@
+"""Unit tests for the attribute model."""
+
+import math
+
+import pytest
+
+from repro.data.attribute import (Attribute, MISSING, is_missing)
+from repro.errors import DataError
+
+
+class TestConstruction:
+    def test_numeric(self):
+        a = Attribute.numeric("age")
+        assert a.is_numeric and not a.is_nominal and not a.is_string
+        assert a.values == ()
+
+    def test_nominal(self):
+        a = Attribute.nominal("color", ["red", "green"])
+        assert a.is_nominal
+        assert a.values == ("red", "green")
+        assert a.num_values == 2
+
+    def test_string(self):
+        a = Attribute.string("note")
+        assert a.is_string
+        assert a.num_values == 0
+
+    def test_nominal_requires_values(self):
+        with pytest.raises(DataError):
+            Attribute("x", "nominal")
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(DataError):
+            Attribute.nominal("x", ["a", "a"])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DataError):
+            Attribute("x", "fuzzy")
+
+
+class TestValueTable:
+    def test_index_of(self):
+        a = Attribute.nominal("c", ["x", "y", "z"])
+        assert a.index_of("y") == 1
+
+    def test_index_of_unknown(self):
+        a = Attribute.nominal("c", ["x"])
+        with pytest.raises(DataError):
+            a.index_of("nope")
+
+    def test_string_grows(self):
+        a = Attribute.string("s")
+        assert a.add_value("hello") == 0
+        assert a.add_value("world") == 1
+        assert a.add_value("hello") == 0  # idempotent
+        assert a.num_values == 2
+
+    def test_nominal_is_closed(self):
+        a = Attribute.nominal("c", ["x"])
+        with pytest.raises(DataError):
+            a.add_value("new")
+
+    def test_numeric_rejects_add_value(self):
+        with pytest.raises(DataError):
+            Attribute.numeric("n").add_value("v")
+
+
+class TestEncodeDecode:
+    def test_numeric_roundtrip(self):
+        a = Attribute.numeric("n")
+        assert a.decode(a.encode("3.5")) == 3.5
+        assert a.decode(a.encode(42)) == 42.0
+
+    def test_nominal_roundtrip(self):
+        a = Attribute.nominal("c", ["lo", "hi"])
+        assert a.encode("hi") == 1.0
+        assert a.decode(1.0) == "hi"
+
+    def test_missing_encodings(self):
+        a = Attribute.numeric("n")
+        for raw in (None, "?", "", float("nan")):
+            assert math.isnan(a.encode(raw))
+
+    def test_decode_missing(self):
+        a = Attribute.nominal("c", ["x"])
+        assert a.decode(MISSING) is None
+
+    def test_decode_out_of_range(self):
+        a = Attribute.nominal("c", ["x"])
+        with pytest.raises(DataError):
+            a.decode(5.0)
+
+    def test_numeric_bad_coercion(self):
+        with pytest.raises(DataError):
+            Attribute.numeric("n").encode("abc")
+
+    def test_nominal_unknown_value(self):
+        with pytest.raises(DataError):
+            Attribute.nominal("c", ["x"]).encode("y")
+
+    def test_is_missing_helper(self):
+        assert is_missing(float("nan"))
+        assert not is_missing(0.0)
+        assert not is_missing("?")  # only float NaN encodes missing
+
+
+class TestEquality:
+    def test_equal(self):
+        a = Attribute.nominal("c", ["x", "y"])
+        b = Attribute.nominal("c", ["x", "y"])
+        assert a == b and hash(a) == hash(b)
+
+    def test_different_values(self):
+        assert Attribute.nominal("c", ["x"]) != \
+            Attribute.nominal("c", ["y"])
+
+    def test_copy_is_deep(self):
+        a = Attribute.string("s")
+        a.add_value("one")
+        b = a.copy()
+        b.add_value("two")
+        assert a.num_values == 1 and b.num_values == 2

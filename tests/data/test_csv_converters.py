@@ -1,0 +1,98 @@
+"""CSV IO and converter-registry tests."""
+
+import math
+
+import pytest
+
+from repro.data import arff, converters, csvio
+from repro.errors import DataError
+
+CSV = """x,label,note
+1.5,yes,alpha
+2.5,no,beta
+?,yes,alpha
+"""
+
+
+class TestCsvLoad:
+    def test_schema_inference(self):
+        ds = csvio.loads(CSV)
+        assert ds.attribute("x").is_numeric
+        assert ds.attribute("label").is_nominal
+        assert ds.attribute("label").values == ("no", "yes")  # sorted
+        assert ds.attribute("note").is_nominal
+
+    def test_missing_tokens(self):
+        ds = csvio.loads(CSV)
+        assert math.isnan(ds[2].value(0))
+
+    def test_no_header(self):
+        ds = csvio.loads("1,2\n3,4\n", has_header=False)
+        assert [a.name for a in ds.attributes] == ["attr0", "attr1"]
+        assert ds.num_instances == 2
+
+    def test_class_attribute(self):
+        ds = csvio.loads(CSV, class_attribute="label")
+        assert ds.class_attribute.name == "label"
+
+    def test_empty_document(self):
+        with pytest.raises(DataError):
+            csvio.loads("")
+
+    def test_ragged_rows(self):
+        with pytest.raises(DataError):
+            csvio.loads("a,b\n1\n")
+
+    def test_all_missing_column_numeric(self):
+        ds = csvio.loads("a,b\n?,x\n?,y\n")
+        assert ds.attribute("a").is_numeric
+
+    def test_na_tokens(self):
+        ds = csvio.loads("a\nNA\nN/A\nnull\n1\n")
+        assert ds.num_missing() == 3
+
+
+class TestCsvDump:
+    def test_roundtrip(self):
+        ds = csvio.loads(CSV)
+        again = csvio.loads(csvio.dumps(ds))
+        assert again.num_instances == ds.num_instances
+        assert [a.name for a in again.attributes] == \
+            [a.name for a in ds.attributes]
+
+    def test_missing_written_as_question_mark(self):
+        ds = csvio.loads(CSV)
+        assert "?" in csvio.dumps(ds)
+
+
+class TestConverters:
+    def test_csv_to_arff_to_csv(self):
+        doc = converters.csv_to_arff(CSV)
+        ds = arff.loads(doc)
+        assert ds.num_instances == 3
+        back = converters.arff_to_csv(doc)
+        assert csvio.loads(back).num_instances == 3
+
+    def test_convert_registry(self):
+        out = converters.convert(CSV, "csv", "arff")
+        assert out.startswith("@relation")
+
+    def test_identity(self):
+        assert converters.convert(CSV, "csv", "csv") == CSV
+
+    def test_unknown_pair(self):
+        with pytest.raises(DataError):
+            converters.convert(CSV, "csv", "parquet")
+
+    def test_available(self):
+        assert ("csv", "arff") in converters.available()
+        assert ("arff", "csv") in converters.available()
+
+    def test_parse_serialise(self):
+        ds = converters.parse(CSV, "csv")
+        text = converters.serialise(ds, "arff")
+        assert converters.parse(text, "arff").num_instances == 3
+
+    def test_parse_unknown_format(self):
+        with pytest.raises(DataError):
+            converters.parse(CSV, "xml")

@@ -1,0 +1,202 @@
+"""Unit tests for Instance and Dataset."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data import Attribute, Dataset, Instance
+from repro.errors import DataError
+
+
+def small():
+    ds = Dataset("toy", [
+        Attribute.numeric("x"),
+        Attribute.nominal("c", ["a", "b"]),
+    ], class_index=1)
+    ds.add_row([1.0, "a"])
+    ds.add_row([2.0, "b"])
+    ds.add_row([None, "a"])
+    return ds
+
+
+class TestInstance:
+    def test_basic(self):
+        inst = Instance([1.0, 2.0])
+        assert len(inst) == 2
+        assert inst.value(1) == 2.0
+        assert inst.weight == 1.0
+
+    def test_missing(self):
+        inst = Instance([float("nan"), 1.0])
+        assert inst.is_missing(0) and not inst.is_missing(1)
+        assert inst.num_missing() == 1
+
+    def test_weight_validation(self):
+        with pytest.raises(DataError):
+            Instance([1.0], weight=-1)
+
+    def test_equality_with_nan(self):
+        a = Instance([float("nan"), 1.0])
+        b = Instance([float("nan"), 1.0])
+        assert a == b
+
+    def test_inequality(self):
+        assert Instance([1.0]) != Instance([2.0])
+        assert Instance([1.0]) != Instance([1.0], weight=2.0)
+
+    def test_copy_independent(self):
+        a = Instance([1.0])
+        b = a.copy()
+        b.set_value(0, 9.0)
+        assert a.value(0) == 1.0
+
+    def test_2d_rejected(self):
+        with pytest.raises(DataError):
+            Instance(np.zeros((2, 2)))
+
+    def test_decoded(self):
+        ds = small()
+        assert ds[0].decoded(ds) == [1.0, "a"]
+        assert ds[2].decoded(ds) == [None, "a"]
+
+
+class TestDatasetSchema:
+    def test_duplicate_attribute_names(self):
+        with pytest.raises(DataError):
+            Dataset("d", [Attribute.numeric("x"), Attribute.numeric("x")])
+
+    def test_empty_schema(self):
+        with pytest.raises(DataError):
+            Dataset("d", [])
+
+    def test_attribute_lookup(self):
+        ds = small()
+        assert ds.attribute("c").is_nominal
+        assert ds.attribute_index("x") == 0
+        with pytest.raises(DataError):
+            ds.attribute_index("nope")
+
+    def test_class_index(self):
+        ds = small()
+        assert ds.class_index == 1
+        assert ds.class_attribute.name == "c"
+        assert ds.num_classes == 2
+
+    def test_negative_class_index(self):
+        ds = small()
+        ds.class_index = -1
+        assert ds.class_index == 1
+
+    def test_no_class(self):
+        ds = Dataset("d", [Attribute.numeric("x")])
+        assert not ds.has_class
+        with pytest.raises(DataError):
+            _ = ds.class_index
+
+    def test_set_class_by_name(self):
+        ds = small()
+        ds.set_class("c")
+        assert ds.class_index == 1
+
+
+class TestDatasetRows:
+    def test_add_arity_check(self):
+        ds = small()
+        with pytest.raises(DataError):
+            ds.add(Instance([1.0]))
+        with pytest.raises(DataError):
+            ds.add_row([1.0])
+
+    def test_matrix_and_cache_invalidation(self):
+        ds = small()
+        m1 = ds.to_matrix()
+        assert m1.shape == (3, 2)
+        ds.add_row([5.0, "b"])
+        m2 = ds.to_matrix()
+        assert m2.shape == (4, 2)
+
+    def test_column(self):
+        ds = small()
+        col = ds.column("x")
+        assert col[0] == 1.0 and math.isnan(col[2])
+
+    def test_class_counts(self):
+        ds = small()
+        assert list(ds.class_counts()) == [2.0, 1.0]
+
+    def test_value_counts(self):
+        ds = small()
+        assert ds.value_counts("c") == {"a": 2, "b": 1}
+        with pytest.raises(DataError):
+            ds.value_counts("x")
+
+    def test_num_missing(self):
+        assert small().num_missing() == 1
+
+    def test_weights(self):
+        ds = small()
+        ds[0].weight = 2.5
+        assert list(ds.weights()) == [2.5, 1.0, 1.0]
+
+
+class TestDatasetOps:
+    def test_copy_is_deep(self):
+        ds = small()
+        dup = ds.copy()
+        dup[0].set_value(0, 99.0)
+        assert ds[0].value(0) == 1.0
+        assert dup.class_index == ds.class_index
+
+    def test_copy_header(self):
+        header = small().copy_header()
+        assert len(header) == 0
+        assert header.num_attributes == 2
+        assert header.class_index == 1
+
+    def test_subset(self):
+        sub = small().subset([2, 0])
+        assert len(sub) == 2
+        assert math.isnan(sub[0].value(0))
+
+    def test_filter_rows(self):
+        ds = small()
+        out = ds.filter_rows(lambda i: not i.is_missing(0))
+        assert len(out) == 2
+
+    def test_select_attributes_remaps_class(self):
+        ds = small()
+        projected = ds.select_attributes([1])
+        assert projected.num_attributes == 1
+        assert projected.class_index == 0
+
+    def test_select_attributes_drops_class(self):
+        ds = small()
+        projected = ds.select_attributes([0])
+        assert not projected.has_class
+
+    def test_shuffled_deterministic(self):
+        ds = small()
+        a = ds.shuffled(42)
+        b = ds.shuffled(42)
+        assert [i.decoded(a) for i in a] == [i.decoded(b) for i in b]
+
+    def test_split_fractions(self):
+        ds = small()
+        train, test = ds.split(0.66, 1)
+        assert len(train) + len(test) == 3
+        assert len(train) >= 1 and len(test) >= 1
+
+    def test_split_bad_fraction(self):
+        with pytest.raises(DataError):
+            small().split(1.5)
+
+    def test_merge(self):
+        ds = small()
+        merged = ds.merge(ds)
+        assert len(merged) == 6
+
+    def test_merge_schema_mismatch(self):
+        other = Dataset("o", [Attribute.numeric("y")])
+        with pytest.raises(DataError):
+            small().merge(other)

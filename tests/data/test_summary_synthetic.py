@@ -1,0 +1,126 @@
+"""Figure-3 summary statistics and the synthetic generators.
+
+The breast-cancer tests here pin down every number the paper's Figure 3
+reports — this is the reproduction's FIG-3 contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import arff, summary, synthetic
+
+
+class TestBreastCancerFigure3:
+    """Exact Figure-3 statistics."""
+
+    @pytest.fixture(scope="class")
+    def stats(self, breast_cancer):
+        return summary.summarise(breast_cancer)
+
+    def test_instances(self, stats):
+        assert stats.num_instances == 286
+
+    def test_attributes(self, stats):
+        assert stats.num_attributes == 10
+        assert stats.num_continuous == 0
+        assert stats.num_discrete == 10
+
+    def test_missing_total(self, stats):
+        assert stats.missing_values == 9
+        assert stats.missing_percent == pytest.approx(0.3147, abs=1e-3)
+
+    def test_class_split(self, breast_cancer):
+        counts = breast_cancer.value_counts("Class")
+        assert counts["no-recurrence-events"] == 201
+        assert counts["recurrence-events"] == 85
+
+    def test_per_attribute_rows(self, stats):
+        expected = {
+            "age": (0, 6), "menopause": (0, 3), "tumor-size": (0, 11),
+            "inv-nodes": (0, 7), "node-caps": (8, 2), "deg-malig": (0, 3),
+            "breast": (0, 2), "breast-quad": (1, 5), "irradiat": (0, 2),
+            "Class": (0, 2),
+        }
+        for row in stats.attributes:
+            missing, distinct = expected[row.name]
+            assert row.missing == missing, row.name
+            assert row.distinct == distinct, row.name
+            assert row.type_label == "Enum"
+
+    def test_formatted_output(self, stats):
+        text = summary.format_figure3(stats)
+        assert "Num Instances:  286" in text
+        assert "node-caps" in text
+        assert "(0.3%)" in text
+
+    def test_deterministic(self):
+        a = arff.dumps(synthetic.breast_cancer())
+        b = arff.dumps(synthetic.breast_cancer())
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = arff.dumps(synthetic.breast_cancer(seed=0))
+        b = arff.dumps(synthetic.breast_cancer(seed=1))
+        assert a != b
+
+
+class TestSummaryGeneral:
+    def test_numeric_stats(self, weather_numeric):
+        out = summary.numeric_stats(weather_numeric, "temperature")
+        assert out["min"] == 64 and out["max"] == 85
+
+    def test_class_entropy_bounds(self, breast_cancer):
+        h = summary.class_entropy(breast_cancer)
+        assert 0.0 < h < 1.0  # two classes, unbalanced
+
+    def test_attribute_entropy(self, weather):
+        h = summary.attribute_entropy(weather, "outlook")
+        assert 0.0 < h <= np.log2(3) + 1e-9
+
+    def test_empty_dataset_summary(self, weather):
+        empty = weather.copy_header()
+        stats = summary.summarise(empty)
+        assert stats.num_instances == 0
+        assert stats.missing_values == 0
+
+
+class TestGenerators:
+    def test_weather_canonical(self, weather):
+        assert weather.num_instances == 14
+        assert weather.class_attribute.name == "play"
+        assert weather.value_counts("play") == {"yes": 9, "no": 5}
+
+    def test_weather_numeric_kinds(self, weather_numeric):
+        assert weather_numeric.attribute("temperature").is_numeric
+        assert weather_numeric.attribute("outlook").is_nominal
+
+    def test_gaussians_shape(self, blobs):
+        assert blobs.num_instances == 120
+        assert blobs.num_attributes == 2
+
+    def test_gaussians_labelled(self, blobs_labelled):
+        assert blobs_labelled.has_class
+        assert blobs_labelled.num_classes == 3
+
+    def test_two_class_balanced(self, two_class):
+        counts = two_class.value_counts("class")
+        assert abs(counts["pos"] - counts["neg"]) <= 1
+
+    def test_xor_not_linearly_separable_labels(self):
+        ds = synthetic.xor_problem(n=100, seed=2)
+        counts = ds.value_counts("class")
+        assert set(counts) == {"a", "b"}
+        assert min(counts.values()) > 20
+
+    def test_baskets_planted_rule(self, baskets):
+        bread = baskets.column("bread")
+        butter = baskets.column("butter")
+        both = ((bread == 1) & (butter == 1)).sum()
+        assert both / max((bread == 1).sum(), 1) > 0.7
+
+    def test_surface3d_grid(self):
+        ds = synthetic.surface3d(n=10)
+        assert ds.num_instances == 100
+        assert [a.name for a in ds.attributes] == ["x", "y", "z"]
+        z = ds.column("z")
+        assert z.max() <= 1.0 + 1e-9  # sinc peak

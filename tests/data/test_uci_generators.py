@@ -1,0 +1,66 @@
+"""LED-7 and MONK's-1 generator tests."""
+
+import pytest
+
+from repro.data import synthetic
+from repro.ml import evaluation
+from repro.ml.classifiers import J48, NaiveBayes
+
+
+class TestLed7:
+    def test_schema(self):
+        ds = synthetic.led7(n=50)
+        assert ds.num_attributes == 8
+        assert ds.num_classes == 10
+        assert all(a.is_nominal for a in ds.attributes)
+
+    def test_noise_free_is_learnable_perfectly(self):
+        ds = synthetic.led7(n=400, noise=0.0, seed=2)
+        clf = J48(min_obj=1).fit(ds)
+        assert evaluation.evaluate(clf, ds).accuracy == 1.0
+
+    def test_noise_bounds_accuracy(self):
+        ds = synthetic.led7(n=600, noise=0.1, seed=3)
+        result = evaluation.cross_validate(lambda: NaiveBayes(), ds, k=5)
+        # the 10%-noise LED domain has ~74% Bayes-optimal accuracy
+        assert 0.55 < result.accuracy < 0.85
+
+    def test_all_digits_present(self):
+        ds = synthetic.led7(n=400, seed=4)
+        counts = ds.value_counts("digit")
+        assert all(c > 0 for c in counts.values())
+
+    def test_deterministic(self):
+        from repro.data import arff
+        assert arff.dumps(synthetic.led7(n=30, seed=5)) == \
+            arff.dumps(synthetic.led7(n=30, seed=5))
+
+
+class TestMonks1:
+    def test_schema(self):
+        ds = synthetic.monks1(n=50)
+        assert [a.name for a in ds.attributes] == \
+            ["a1", "a2", "a3", "a4", "a5", "a6", "class"]
+        assert ds.attribute("a5").num_values == 4
+
+    def test_rule_holds(self):
+        ds = synthetic.monks1(n=200, seed=6)
+        for inst in ds:
+            decoded = dict(zip([a.name for a in ds.attributes],
+                               inst.decoded(ds)))
+            expected = "1" if (decoded["a1"] == decoded["a2"]
+                               or decoded["a5"] == "1") else "0"
+            assert decoded["class"] == expected
+
+    def test_tree_learner_recovers_rule(self):
+        ds = synthetic.monks1(n=400, seed=7)
+        result = evaluation.cross_validate(lambda: J48(min_obj=1), ds,
+                                           k=5)
+        assert result.accuracy > 0.85
+
+    def test_rule_structure_beats_linear(self):
+        from repro.ml.classifiers import Logistic
+        ds = synthetic.monks1(n=400, seed=8)
+        tree = evaluation.cross_validate(lambda: J48(min_obj=1), ds, k=5)
+        linear = evaluation.cross_validate(lambda: Logistic(), ds, k=5)
+        assert tree.accuracy > linear.accuracy

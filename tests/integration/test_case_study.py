@@ -1,0 +1,141 @@
+"""End-to-end reproduction of the paper's §5 case study and §4.4 workflow.
+
+The case study composes four Web Services: (1) read the data file from a URL
+and convert it, (2) classify with C4.5, (3) analyse the output, (4) visualise
+the decision tree.  The §4.4 flow additionally runs getClassifiers /
+getOptions / classifyInstance through the selector tools.
+"""
+
+import pytest
+
+from repro.data import arff
+from repro.workflow import (TaskGraph, ToolBox, WorkflowEngine,
+                            default_toolbox, import_wsdl_url)
+from repro.ws import ServiceProxy
+
+
+@pytest.fixture(scope="module")
+def published(hosted_toolbox, breast_cancer):
+    """Publish the case-study dataset into the Data service repository."""
+    data = ServiceProxy.from_wsdl_url(hosted_toolbox.wsdl_url("Data"))
+    url = data.publishDataset(name="uci-breast-cancer",
+                              dataset=arff.dumps(breast_cancer))
+    yield url
+    data.close()
+
+
+class TestFourServiceComposition:
+    """§5.3: four Web Services composed with the workflow tool."""
+
+    def test_full_pipeline(self, hosted_toolbox, published):
+        box = ToolBox()
+        data_tools = {t.name: t for t in import_wsdl_url(
+            hosted_toolbox.wsdl_url("Data"), box)}
+        j48_tools = {t.name: t for t in import_wsdl_url(
+            hosted_toolbox.wsdl_url("J48"), box)}
+        viz_tools = {t.name: t for t in import_wsdl_url(
+            hosted_toolbox.wsdl_url("TreeVisualizer"), box)}
+        analysis = default_toolbox()
+
+        g = TaskGraph("case-study")
+        # service 1: read the data file from a URL
+        read = g.add(data_tools["Data.readURL"], url=published)
+        # service 2: perform the classification (C4.5)
+        classify = g.add(j48_tools["J48.classifyGraph"],
+                         attribute="Class")
+        # service 3: analyse the output of the decision tree
+        def extract_graph(result):
+            assert result["root_attribute"] == "node-caps"
+            return result["graph"]
+        from repro.workflow.model import FunctionTool
+        analyse = g.add(FunctionTool("ExtractGraph", extract_graph,
+                                     ["result"], ["graph"]))
+        # service 4: visualise the output
+        plot = g.add(viz_tools["TreeVisualizer.plotTree"],
+                     format="svg", title="Figure 4")
+
+        g.connect(read, classify, target_index=0)   # dataset
+        g.connect(classify, analyse)
+        g.connect(analyse, plot, target_index=0)    # graph
+
+        result = WorkflowEngine().run(g)
+        svg = result.output(plot)
+        assert svg.startswith("<svg")
+        assert "node-caps" in svg
+        assert result.wall_seconds < 30
+
+    def test_dax_export_of_case_study(self, hosted_toolbox, published):
+        from repro.workflow import dax
+        box = ToolBox()
+        tools = {t.name: t for t in import_wsdl_url(
+            hosted_toolbox.wsdl_url("J48"), box)}
+        g = TaskGraph("export-demo")
+        t = g.add(tools["J48.classify"])
+        doc = dax.dumps(g)
+        assert dax.job_count(doc) == 1
+
+
+class TestSection44Flow:
+    """§4.4's numbered stages through the general Classifier service."""
+
+    def test_selector_driven_classification(self, hosted_toolbox,
+                                            breast_cancer):
+        box = default_toolbox()
+        ws = {t.name.split(".")[1]: t for t in import_wsdl_url(
+            hosted_toolbox.wsdl_url("Classifier"), box)}
+
+        g = TaskGraph("figure-1")
+        get_cls = g.add(ws["getClassifiers"])
+        selector = g.add(box.get("ClassifierSelector"), choice="J48")
+        get_opts = g.add(ws["getOptions"])
+        opt_sel = g.add(box.get("OptionSelector"),
+                        overrides={"confidence": 0.25})
+        local = g.add(box.get("LocalDataset"), dataset=breast_cancer)
+        attr_sel = g.add(box.get("AttributeSelector"), attribute="Class")
+        classify = g.add(ws["classifyInstance"])
+        viewer = g.add(box.get("TreeViewer"), mode="text")
+
+        g.connect(get_cls, selector)
+        g.connect(selector, get_opts)
+        g.connect(get_opts, opt_sel)
+        g.connect(selector, classify, target_index=0)
+        g.connect(local, classify, target_index=1)
+        g.connect(attr_sel, classify, target_index=2)
+        g.connect(opt_sel, classify, target_index=3)
+        g.connect(local, attr_sel)
+        g.connect(classify, viewer)
+
+        result = WorkflowEngine().run(g)
+        view = result.output(viewer)
+        assert "node-caps" in view
+        assert "J48" in view
+
+    def test_workflow_xml_roundtrip_with_ws_tools(self, hosted_toolbox,
+                                                  breast_cancer):
+        from repro.workflow import xmlio
+        box = default_toolbox()
+        ws = {t.name.split(".")[1]: t for t in import_wsdl_url(
+            hosted_toolbox.wsdl_url("J48"), box)}
+        g = TaskGraph("persisted")
+        t = g.add(ws["classify"], dataset=arff.dumps(breast_cancer),
+                  attribute="Class")
+        text = xmlio.dumps(g)
+        again = xmlio.loads(text, box)
+        result = WorkflowEngine().run(again)
+        assert "node-caps" in result.output(t.name)
+
+
+class TestGenericClassifiersViaService:
+    """Any catalogue classifier works through the same composed flow."""
+
+    @pytest.mark.parametrize("classifier",
+                             ["NaiveBayes", "IB3", "OneR", "Bagging"])
+    def test_alternatives(self, hosted_toolbox, breast_cancer,
+                          classifier):
+        proxy = ServiceProxy.from_wsdl_url(
+            hosted_toolbox.wsdl_url("Classifier"))
+        out = proxy.classifyInstance(classifier=classifier,
+                                     dataset=arff.dumps(breast_cancer),
+                                     attribute="Class")
+        assert out["training_accuracy"] > 0.5
+        proxy.close()

@@ -1,0 +1,190 @@
+"""Edge-path coverage across modules: empty inputs, degenerate shapes,
+fault paths and helper utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data import Attribute, Dataset, summary, synthetic
+from repro.errors import ReproError, ServiceError, WorkflowError
+from repro.ws import (InProcessTransport, ServiceContainer,
+                      SimulatedTransport, SoapFault, SoapRequest, WAN,
+                      operation, wsdl)
+from repro.ws.service import ServiceDefinition
+from repro.workflow import (FunctionTool, TaskGraph, WorkflowEngine,
+                            patterns)
+from repro.workflow.monitor import EventBus, ProgressMonitor
+
+
+class TestDataEdges:
+    def test_numeric_stats_all_missing(self):
+        ds = Dataset("d", [Attribute.numeric("x")])
+        ds.add_row([None])
+        stats = summary.numeric_stats(ds, "x")
+        assert math.isnan(stats["mean"])
+
+    def test_one_r_missing_value_prediction(self, weather):
+        from repro.ml.classifiers import OneR
+        clf = OneR().fit(weather)
+        inst = weather[0].copy()
+        for j in range(weather.num_attributes - 1):
+            inst.set_value(j, float("nan"))
+        dist = clf.distribution(inst)
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_instance_repr_and_dataset_repr(self, weather):
+        assert "Instance(" in repr(weather[0])
+        assert "weather" in repr(weather)
+
+    def test_attribute_repr(self):
+        assert "nominal" in repr(Attribute.nominal("c", ["a"]))
+        assert "numeric" in repr(Attribute.numeric("x"))
+
+
+class TestWsEdges:
+    def test_wsdl_describe_helper(self):
+        class Tiny:
+            @operation
+            def op(self, x: int) -> int:
+                return x
+
+        definition = ServiceDefinition.from_class(Tiny, "Tiny")
+        desc = wsdl.describe(definition, "http://h/services/Tiny")
+        assert desc.operations["op"].params == (("x", "xsd:int"),)
+        info = wsdl.operation_info_of(desc.operations["op"])
+        assert info.name == "op"
+
+    def test_proxy_getattr_unknown(self):
+        class Tiny:
+            @operation
+            def op(self) -> int:
+                return 1
+
+        container = ServiceContainer()
+        definition = container.deploy(Tiny, "Tiny")
+        from repro.ws import ServiceProxy
+        proxy = ServiceProxy.from_wsdl_text(
+            wsdl.generate(definition, "inproc://Tiny"),
+            InProcessTransport(container))
+        with pytest.raises(AttributeError):
+            proxy.nonexistent
+        assert proxy.op() == 1
+
+    def test_simulated_transport_charges_faults(self):
+        class Boomer:
+            @operation
+            def boom(self) -> str:
+                raise RuntimeError("pow")
+
+        container = ServiceContainer()
+        container.deploy(Boomer, "Boomer")
+        t = SimulatedTransport(InProcessTransport(container), WAN)
+        with pytest.raises(SoapFault):
+            t.send(SoapRequest("Boomer", "boom", {}))
+        assert t.messages == 2  # request + fault response both charged
+
+    def test_service_error_hierarchy(self):
+        assert issubclass(SoapFault, ServiceError)
+        assert issubclass(ServiceError, ReproError)
+
+
+class TestWorkflowEdges:
+    def test_empty_graph_runs(self):
+        result = WorkflowEngine().run(TaskGraph("empty"))
+        assert result.outputs == {}
+
+    def test_all_source_graph(self):
+        g = TaskGraph()
+        tools = [g.add(FunctionTool(f"C{i}", lambda i=i, **kw: i, [],
+                                    ["out"])) for i in range(3)]
+        result = WorkflowEngine().run(g)
+        assert [result.output(t) for t in tools] == [0, 1, 2]
+
+    def test_pipeline_single_tool(self):
+        tool = FunctionTool("One", lambda value=7: value, [], ["out"])
+        g = patterns.pipeline([tool])
+        assert WorkflowEngine().run(g).output(g.tasks[0]) == 7
+
+    def test_pipeline_empty_rejected(self):
+        with pytest.raises(WorkflowError):
+            patterns.pipeline([])
+
+    def test_scatter_splitter_arity_enforced(self):
+        tool = patterns.scatter_tool(2, lambda v: [v])
+        with pytest.raises(WorkflowError):
+            tool.run([1], {})
+
+    def test_inject_arity_enforced(self):
+        g = patterns.pipeline([
+            FunctionTool("Src", lambda value=1: value, [], ["out"]),
+            FunctionTool("Dst", lambda x: x, ["x"], ["out"])])
+        sink_only = FunctionTool("Sink", lambda x: None, ["x"], [])
+        with pytest.raises(WorkflowError):
+            patterns.inject(g, g.cables[0], sink_only)
+
+    def test_monitor_empty_timeline(self):
+        assert ProgressMonitor(EventBus()).timeline() == "(no events)"
+
+    def test_dax_empty_graph(self):
+        from repro.workflow import dax
+        doc = dax.dumps(TaskGraph("empty"))
+        assert dax.job_count(doc) == 0
+
+
+class TestVizEdges:
+    def test_surface_ascii_with_nan(self):
+        z = np.array([[0.0, np.nan], [1.0, 0.5]])
+        out = __import__("repro.viz.ascii_plot",
+                         fromlist=["surface_ascii"]).surface_ascii(z, 8, 4)
+        assert "?" in out
+
+    def test_plot3d_incomplete_grid_falls_back(self):
+        # 3 points cannot form a grid -> point plotting path
+        from repro.viz.plot3d import grid_from_points, plot3d
+        xs = np.array([0.0, 1.0, 2.0])
+        ys = np.array([0.0, 1.0, 0.0])
+        zs = np.array([1.0, 2.0, 3.0])
+        assert grid_from_points(xs, ys, zs) is None
+        img = plot3d(xs, ys, zs, width=40, height=40)
+        assert img.startswith(b"P6")
+
+    def test_raster_degenerate_triangle(self):
+        from repro.viz.ppm import Raster
+        r = Raster(10, 10)
+        r.fill_triangle((2, 2), (2, 2), (2, 2), (0, 0, 0))  # no crash
+
+
+class TestMlEdges:
+    def test_kmeans_k1(self, blobs):
+        from repro.ml.clusterers import SimpleKMeans
+        km = SimpleKMeans(k=1).fit(blobs)
+        assert set(km.assign(blobs)) == {0}
+
+    def test_em_single_component_loglik_finite(self, blobs):
+        from repro.ml.clusterers import EM
+        em = EM(k=1).fit(blobs)
+        assert math.isfinite(em.log_likelihood(blobs))
+
+    def test_apriori_max_size_one(self, baskets):
+        from repro.ml.associations import Apriori
+        mined = Apriori(min_support=0.2, max_size=1).fit(baskets)
+        assert all(len(i) == 1 for i in mined.itemsets)
+        assert mined.rules == []
+
+    def test_weighted_evaluation_in_cv(self, weather):
+        from repro.ml import evaluation
+        from repro.ml.classifiers import ZeroR
+        heavy = weather.copy()
+        heavy[0].weight = 10.0
+        result = evaluation.cross_validate(lambda: ZeroR(), heavy, k=3)
+        assert result.total == pytest.approx(14 + 9)  # 13*1 + 10
+
+    def test_discretize_then_id3(self, two_class):
+        """Discretisation unlocks nominal-only learners on numeric data."""
+        from repro.ml.classifiers import Id3
+        from repro.ml.filters import Discretize
+        nominal = Discretize(bins=4).fit_apply(two_class)
+        clf = Id3().fit(nominal)
+        from repro.ml import evaluation
+        assert evaluation.evaluate(clf, nominal).accuracy > 0.75

@@ -1,0 +1,132 @@
+"""Cross-module property-based tests on generated datasets."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.data import Attribute, Dataset, arff, stream
+from repro.ml.classifiers import J48, NaiveBayes, ZeroR
+from repro.ml.evaluation import evaluate, stratified_folds
+from repro.ml.filters import Discretize, Normalize, ReplaceMissing
+
+
+@st.composite
+def labelled_datasets(draw, min_rows=4, max_rows=30):
+    """Random mixed datasets with a binary class and some missing cells."""
+    n_attrs = draw(st.integers(1, 4))
+    attrs = []
+    for i in range(n_attrs):
+        if draw(st.booleans()):
+            attrs.append(Attribute.numeric(f"a{i}"))
+        else:
+            attrs.append(Attribute.nominal(
+                f"a{i}", [f"v{j}" for j in range(draw(st.integers(2, 3)))]))
+    attrs.append(Attribute.nominal("class", ("n", "p")))
+    ds = Dataset("prop", attrs, class_index=len(attrs) - 1)
+    n_rows = draw(st.integers(min_rows, max_rows))
+    for _ in range(n_rows):
+        row = []
+        for attr in attrs[:-1]:
+            if draw(st.integers(0, 9)) == 0:
+                row.append(None)
+            elif attr.is_numeric:
+                row.append(draw(st.floats(-100, 100, allow_nan=False)))
+            else:
+                row.append(draw(st.sampled_from(list(attr.values))))
+        row.append(draw(st.sampled_from(["n", "p"])))
+        ds.add_row(row)
+    return ds
+
+
+@given(labelled_datasets())
+@settings(max_examples=30, deadline=None)
+def test_replace_missing_removes_all_missing(ds):
+    out = ReplaceMissing().fit_apply(ds)
+    assert out.num_missing() == 0
+    assert out.num_instances == ds.num_instances
+
+
+@given(labelled_datasets())
+@settings(max_examples=30, deadline=None)
+def test_normalize_is_idempotent_on_its_output(ds):
+    first = Normalize().fit_apply(ds)
+    second = Normalize().fit_apply(first)
+    a, b = first.to_matrix(), second.to_matrix()
+    both_nan = np.isnan(a) & np.isnan(b)
+    assert np.all(both_nan | np.isclose(a, b, equal_nan=False,
+                                        atol=1e-12))
+
+
+@given(labelled_datasets())
+@settings(max_examples=30, deadline=None)
+def test_discretize_output_is_all_nominal(ds):
+    out = Discretize(bins=3).fit_apply(ds)
+    for i, attr in enumerate(out.attributes):
+        if i != out.class_index:
+            assert not attr.is_numeric
+
+
+@given(labelled_datasets(min_rows=6))
+@settings(max_examples=25, deadline=None)
+def test_classifier_distributions_always_valid(ds):
+    assume(np.count_nonzero(ds.class_counts()) >= 1)
+    for clf in (ZeroR(), NaiveBayes()):
+        clf.fit(ds)
+        for inst in ds:
+            dist = clf.distribution(inst)
+            assert dist.min() >= -1e-12
+            assert dist.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+@given(labelled_datasets(min_rows=8))
+@settings(max_examples=20, deadline=None)
+def test_j48_never_worse_than_chance_on_training(ds):
+    assume(np.count_nonzero(ds.class_counts()) == 2)
+    clf = J48(min_obj=1).fit(ds)
+    result = evaluate(clf, ds)
+    majority = ds.class_counts().max() / ds.class_counts().sum()
+    assert result.accuracy >= majority - 1e-9
+
+
+@given(labelled_datasets(min_rows=6), st.integers(2, 4))
+@settings(max_examples=25, deadline=None)
+def test_stratified_folds_partition(ds, k):
+    assume(k <= ds.num_instances)
+    folds = stratified_folds(ds, k, seed=0)
+    flat = sorted(i for fold in folds for i in fold)
+    assert flat == list(range(ds.num_instances))
+    sizes = [len(f) for f in folds]
+    assert max(sizes) - min(sizes) <= ds.num_classes + 1
+
+
+@given(labelled_datasets(), st.integers(1, 7))
+@settings(max_examples=25, deadline=None)
+def test_stream_roundtrip_property(ds, chunk_size):
+    header, chunks = stream.replay(ds, chunk_size)
+    reader = stream.ChunkedStreamReader(header)
+    for chunk in chunks:
+        reader.feed(chunk)
+    rebuilt = reader.dataset()
+    assert rebuilt.num_instances == ds.num_instances
+    for a, b in zip(rebuilt, ds):
+        for x, y in zip(a.values, b.values):
+            if math.isnan(y):
+                assert math.isnan(x)
+            else:
+                assert x == pytest.approx(y, rel=1e-9)
+
+
+@given(labelled_datasets())
+@settings(max_examples=20, deadline=None)
+def test_soap_carries_any_arff_document(ds):
+    """Any dataset the toolkit can produce survives SOAP transport."""
+    from repro.ws import soap
+    document = arff.dumps(ds)
+    request = soap.SoapRequest("Data", "validate",
+                               {"dataset": document})
+    again = soap.decode_request(soap.encode_request(request))
+    assert again.params["dataset"] == document
+    reparsed = arff.loads(again.params["dataset"])
+    assert reparsed.num_instances == ds.num_instances

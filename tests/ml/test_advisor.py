@@ -1,0 +1,137 @@
+"""Algorithm-advice tests (§3 requirements: algorithm choice + user
+experience)."""
+
+import pytest
+
+from repro.data import synthetic
+from repro.errors import DataError
+from repro.ml.advisor import (Characteristics, ExperienceStore,
+                              advise_text, characterise, recommend)
+
+
+class TestCharacterise:
+    def test_breast_cancer_features(self, breast_cancer):
+        ch = characterise(breast_cancer)
+        assert ch.n_instances == 286
+        assert ch.n_attributes == 9
+        assert ch.n_numeric == 0 and ch.n_nominal == 9
+        assert ch.n_classes == 2
+        assert ch.majority_fraction == pytest.approx(201 / 286)
+        assert 0 < ch.missing_fraction < 0.01
+        assert ch.max_info_gain > 0.15  # node-caps
+
+    def test_numeric_dataset(self, two_class):
+        ch = characterise(two_class)
+        assert ch.n_numeric == 4 and ch.n_nominal == 0
+
+    def test_requires_class(self, blobs):
+        with pytest.raises(DataError):
+            characterise(blobs)
+
+    def test_empty_rejected(self, weather):
+        with pytest.raises(DataError):
+            characterise(weather.copy_header())
+
+    def test_vector_shape(self, breast_cancer):
+        assert characterise(breast_cancer).vector().shape == (9,)
+
+    def test_as_dict_round(self, weather):
+        d = characterise(weather).as_dict()
+        assert d["n_instances"] == 14
+
+
+class TestRecommend:
+    def test_top_n(self, breast_cancer):
+        recs = recommend(breast_cancer, top=3)
+        assert len(recs) == 3
+        assert recs[0].score >= recs[1].score >= recs[2].score
+
+    def test_reasons_attached(self, breast_cancer):
+        recs = recommend(breast_cancer)
+        assert all(rec.reasons for rec in recs)
+
+    def test_strong_attribute_favours_simple_hypotheses(self,
+                                                        breast_cancer):
+        names = [r.algorithm for r in recommend(breast_cancer, top=4)]
+        assert "OneR" in names or "J48" in names
+
+    def test_numeric_data_favours_linear(self, two_class):
+        names = [r.algorithm for r in recommend(two_class, top=5)]
+        assert "Logistic" in names or "SMO" in names
+
+    def test_tiny_dataset_penalises_networks(self, weather):
+        recs = {r.algorithm: r.score for r in recommend(weather, top=20)}
+        if "MultilayerPerceptron" in recs and "NaiveBayes" in recs:
+            assert recs["NaiveBayes"] > recs["MultilayerPerceptron"]
+
+    def test_advice_text_renders(self, breast_cancer):
+        text = advise_text(breast_cancer)
+        assert "Recommendations" in text and "node-caps" not in text
+        assert "n_instances" in text
+
+
+class TestExperienceStore:
+    def test_record_and_similarity(self, breast_cancer, two_class):
+        store = ExperienceStore()
+        store.record(breast_cancer, "J48", 0.82)
+        store.record(breast_cancer, "ZeroR", 0.70)
+        store.record(two_class, "Logistic", 0.97)
+        assert len(store) == 3
+        neighbours = store.similar(characterise(breast_cancer), k=2)
+        assert {n.algorithm for n in neighbours} == {"J48", "ZeroR"}
+
+    def test_experience_biases_recommendation(self, breast_cancer):
+        store = ExperienceStore()
+        # record a fake stellar history for an otherwise mid-ranked scheme
+        for _ in range(5):
+            store.record(breast_cancer, "DecisionTable", 0.99)
+        plain = {r.algorithm: r.score for r in
+                 recommend(breast_cancer, top=20)}
+        biased = {r.algorithm: r.score for r in
+                  recommend(breast_cancer, top=20, experience=store)}
+        assert biased["DecisionTable"] > plain["DecisionTable"]
+
+    def test_negative_experience_penalises(self, breast_cancer):
+        store = ExperienceStore()
+        store.record(breast_cancer, "IB3", 0.2)  # below coin flip
+        plain = {r.algorithm: r.score for r in
+                 recommend(breast_cancer, top=20)}
+        biased = {r.algorithm: r.score for r in
+                  recommend(breast_cancer, top=20, experience=store)}
+        assert biased["IB3"] < plain["IB3"]
+
+    def test_persistence(self, tmp_path, breast_cancer):
+        path = tmp_path / "experience.jsonl"
+        store = ExperienceStore(path)
+        store.record(breast_cancer, "J48", 0.82)
+        reloaded = ExperienceStore(path)
+        assert len(reloaded) == 1
+        assert reloaded.similar(characterise(breast_cancer))[0] \
+            .algorithm == "J48"
+
+    def test_empty_store_no_advice(self, breast_cancer):
+        assert ExperienceStore().advice(characterise(breast_cancer)) == []
+
+
+class TestAdvisorService:
+    def test_over_http(self, hosted_toolbox, breast_cancer):
+        from repro.data import arff
+        from repro.ws import ServiceProxy
+        proxy = ServiceProxy.from_wsdl_url(
+            hosted_toolbox.wsdl_url("Advisor"))
+        payload = arff.dumps(breast_cancer)
+        ch = proxy.characterise(dataset=payload, attribute="Class")
+        assert ch["n_instances"] == 286
+        recs = proxy.recommend(dataset=payload, attribute="Class", top=3)
+        assert len(recs) == 3 and recs[0]["reasons"]
+        n = proxy.recordExperience(dataset=payload, attribute="Class",
+                                   algorithm="J48", score=0.82)
+        assert n == 1
+        recs2 = proxy.recommend(dataset=payload, attribute="Class",
+                                top=10)
+        j48 = next(r for r in recs2 if r["algorithm"] == "J48")
+        assert any("past experience" in reason
+                   for reason in j48["reasons"])
+        text = proxy.adviseText(dataset=payload, attribute="Class")
+        assert "Recommendations" in text
+        proxy.close()

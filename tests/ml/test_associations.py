@@ -1,0 +1,146 @@
+"""Association-rule tests: Apriori semantics, FP-Growth equivalence,
+support monotonicity properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import numpy as np
+
+from repro.data import Attribute, Dataset, synthetic
+from repro.errors import DataError
+from repro.ml.associations import Apriori, FPGrowth
+
+
+@pytest.fixture(scope="module")
+def mined(baskets):
+    return Apriori(min_support=0.1, min_confidence=0.7,
+                   max_rules=10000).fit(baskets)
+
+
+class TestApriori:
+    def test_planted_rule_found(self, mined, baskets):
+        bread = baskets.attribute_index("bread")
+        butter = baskets.attribute_index("butter")
+        t_bread = baskets.attribute("bread").index_of("t")
+        t_butter = baskets.attribute("butter").index_of("t")
+        found = any(
+            ((bread, t_bread),) == rule.antecedent
+            and ((butter, t_butter),) == rule.consequent
+            for rule in mined.rules)
+        assert found, "bread=t ==> butter=t should be mined"
+
+    def test_supports_are_fractions(self, mined):
+        for itemset, support in mined.itemsets.items():
+            assert 0 < support <= 1.0
+
+    def test_support_antimonotone(self, mined):
+        """Every subset of a frequent itemset is frequent with >= support."""
+        for itemset, support in mined.itemsets.items():
+            if len(itemset) < 2:
+                continue
+            for drop in range(len(itemset)):
+                subset = tuple(v for i, v in enumerate(itemset)
+                               if i != drop)
+                assert subset in mined.itemsets
+                assert mined.itemsets[subset] >= support - 1e-12
+
+    def test_confidence_definition(self, mined):
+        for rule in mined.rules:
+            ant = mined.itemsets[rule.antecedent]
+            both = mined.itemsets.get(
+                tuple(sorted(rule.antecedent + rule.consequent)))
+            assert both is not None
+            assert rule.confidence == pytest.approx(both / ant)
+
+    def test_confidence_threshold_respected(self, mined):
+        assert all(rule.confidence >= 0.7 for rule in mined.rules)
+
+    def test_lift_definition(self, mined):
+        for rule in mined.rules:
+            con = mined.itemsets[rule.consequent]
+            assert rule.lift == pytest.approx(rule.confidence / con)
+
+    def test_max_rules_cap(self, baskets):
+        capped = Apriori(min_support=0.05, min_confidence=0.3,
+                         max_rules=5).fit(baskets)
+        assert len(capped.rules) == 5
+
+    def test_max_size_cap(self, baskets):
+        small = Apriori(min_support=0.05, max_size=2).fit(baskets)
+        assert max(len(i) for i in small.itemsets) <= 2
+
+    def test_rules_text(self, mined, baskets):
+        text = mined.rules_text()
+        assert "==>" in text and "conf:" in text
+
+    def test_numeric_attribute_rejected(self, two_class):
+        with pytest.raises(DataError):
+            Apriori().fit(two_class)
+
+    def test_empty_dataset_rejected(self, baskets):
+        with pytest.raises(DataError):
+            Apriori().fit(baskets.copy_header())
+
+    def test_higher_support_fewer_itemsets(self, baskets):
+        low = Apriori(min_support=0.05).fit(baskets)
+        high = Apriori(min_support=0.4).fit(baskets)
+        assert len(high.itemsets) < len(low.itemsets)
+        assert set(high.itemsets) <= set(low.itemsets)
+
+
+class TestFPGrowthEquivalence:
+    def test_same_itemsets_as_apriori(self, baskets):
+        a = Apriori(min_support=0.15, max_size=4).fit(baskets)
+        f = FPGrowth(min_support=0.15, max_size=4).fit(baskets)
+        assert set(a.itemsets) == set(f.itemsets)
+        for itemset in a.itemsets:
+            assert a.itemsets[itemset] == pytest.approx(
+                f.itemsets[itemset])
+
+    def test_same_rules(self, baskets):
+        a = Apriori(min_support=0.15, min_confidence=0.6,
+                    max_rules=10 ** 6).fit(baskets)
+        f = FPGrowth(min_support=0.15, min_confidence=0.6,
+                     max_rules=10 ** 6).fit(baskets)
+        a_rules = {(r.antecedent, r.consequent) for r in a.rules}
+        f_rules = {(r.antecedent, r.consequent) for r in f.rules}
+        assert a_rules == f_rules
+
+
+@st.composite
+def transaction_datasets(draw):
+    n_items = draw(st.integers(2, 5))
+    n_rows = draw(st.integers(5, 40))
+    attrs = [Attribute.nominal(f"i{j}", ("f", "t"))
+             for j in range(n_items)]
+    ds = Dataset("txns", attrs)
+    for _ in range(n_rows):
+        ds.add_row([draw(st.sampled_from(["f", "t"]))
+                    for _ in range(n_items)])
+    return ds
+
+
+@given(transaction_datasets(),
+       st.sampled_from([0.1, 0.25, 0.5]))
+@settings(max_examples=25, deadline=None)
+def test_property_apriori_fpgrowth_agree(ds, min_support):
+    """Property: both miners find identical itemsets with equal supports."""
+    a = Apriori(min_support=min_support, max_size=4).fit(ds)
+    f = FPGrowth(min_support=min_support, max_size=4).fit(ds)
+    assert set(a.itemsets) == set(f.itemsets)
+    for k, v in a.itemsets.items():
+        assert f.itemsets[k] == pytest.approx(v)
+
+
+@given(transaction_datasets())
+@settings(max_examples=20, deadline=None)
+def test_property_supports_match_bruteforce(ds):
+    """Property: mined supports equal brute-force counting."""
+    mined = Apriori(min_support=0.2, max_size=3).fit(ds)
+    matrix = ds.to_matrix()
+    n = matrix.shape[0]
+    for itemset, support in mined.itemsets.items():
+        mask = np.ones(n, dtype=bool)
+        for attr, value in itemset:
+            mask &= matrix[:, attr] == value
+        assert support == pytest.approx(mask.sum() / n)

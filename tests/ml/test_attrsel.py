@@ -1,0 +1,153 @@
+"""Attribute search & selection tests — the '20 approaches' subsystem."""
+
+import pytest
+
+from repro.data import synthetic
+from repro.errors import OptionError
+from repro.ml.attrsel import (BestFirst, CfsSubsetEvaluator,
+                              ConsistencyEvaluator, GeneticSearch,
+                              GreedyStepwise, RANKERS, Ranker, RandomSearch,
+                              approaches, rank_attributes,
+                              select_attributes)
+from repro.ml.attrsel.evaluators import (chi_squared, gain_ratio, info_gain,
+                                         one_r_accuracy, relief_f_all,
+                                         symmetrical_uncertainty)
+
+
+class TestCatalogue:
+    def test_at_least_twenty_approaches(self):
+        # the paper: "20 different approaches are provided"
+        assert len(approaches()) >= 20
+
+    def test_genetic_search_present(self):
+        names = {a.name for a in approaches()}
+        assert any("GeneticSearch" in n for n in names)
+
+    def test_unique_names(self):
+        names = [a.name for a in approaches()]
+        assert len(names) == len(set(names))
+
+
+class TestRankers:
+    @pytest.mark.parametrize("measure", sorted(RANKERS))
+    def test_node_caps_ranks_high(self, breast_cancer, measure):
+        """Every measure should place the planted predictor in the top 3."""
+        ranking = rank_attributes(breast_cancer, measure)
+        top3 = [name for name, _ in ranking[:3]]
+        assert "node-caps" in top3, f"{measure}: {ranking[:3]}"
+
+    def test_info_gain_nonnegative(self, breast_cancer):
+        for i in range(breast_cancer.num_attributes):
+            if i == breast_cancer.class_index:
+                continue
+            assert info_gain(breast_cancer, i) >= -1e-12
+
+    def test_gain_ratio_bounded(self, breast_cancer):
+        for i in range(breast_cancer.num_attributes - 1):
+            assert gain_ratio(breast_cancer, i) <= 1.0 + 1e-9
+
+    def test_symmetrical_uncertainty_bounds(self, breast_cancer):
+        for i in range(breast_cancer.num_attributes - 1):
+            su = symmetrical_uncertainty(breast_cancer, i)
+            assert -1e-12 <= su <= 1.0 + 1e-9
+
+    def test_chi_squared_nonnegative(self, breast_cancer):
+        assert chi_squared(breast_cancer, 0) >= 0
+
+    def test_one_r_accuracy_bounds(self, breast_cancer):
+        acc = one_r_accuracy(
+            breast_cancer, breast_cancer.attribute_index("node-caps"))
+        assert 0.5 < acc <= 1.0
+
+    def test_numeric_attributes_binned(self, two_class):
+        ranking = rank_attributes(two_class, "InfoGain")
+        assert len(ranking) == 4
+        assert all(score >= 0 for _, score in ranking)
+
+    def test_relief_f_prefers_informative(self, two_class):
+        weights = relief_f_all(two_class, n_samples=60, seed=1)
+        class_idx = two_class.class_index
+        informative = [w for i, w in enumerate(weights) if i != class_idx]
+        assert max(informative) > 0
+
+    def test_unknown_measure(self, breast_cancer):
+        with pytest.raises(OptionError):
+            rank_attributes(breast_cancer, "Magic")
+
+
+class TestSearchers:
+    @pytest.fixture(scope="class")
+    def evaluator(self, breast_cancer):
+        return CfsSubsetEvaluator(breast_cancer)
+
+    def test_best_first_finds_planted(self, evaluator, breast_cancer):
+        subset = BestFirst().search(evaluator)
+        names = {breast_cancer.attribute(i).name for i in subset}
+        assert "node-caps" in names
+
+    def test_greedy_forward(self, evaluator, breast_cancer):
+        subset = GreedyStepwise().search(evaluator)
+        names = {breast_cancer.attribute(i).name for i in subset}
+        assert "node-caps" in names
+
+    def test_genetic_search_deterministic(self, evaluator):
+        a = GeneticSearch(seed=5, generations=5).search(evaluator)
+        b = GeneticSearch(seed=5, generations=5).search(evaluator)
+        assert a == b
+
+    def test_genetic_beats_random_floor(self, evaluator):
+        genetic = GeneticSearch(generations=10, seed=1).search(evaluator)
+        assert evaluator.evaluate(genetic) > 0
+
+    def test_random_search(self, evaluator):
+        subset = RandomSearch(probes=30, seed=2).search(evaluator)
+        assert evaluator.evaluate(subset) > 0
+
+    def test_ranker_top_n(self, breast_cancer):
+        evaluator = CfsSubsetEvaluator(breast_cancer)
+        subset = Ranker("InfoGain", top=3).search(evaluator)
+        assert len(subset) == 3
+
+
+class TestSubsetEvaluators:
+    def test_cfs_prefers_predictive_subset(self, breast_cancer):
+        ev = CfsSubsetEvaluator(breast_cancer)
+        node_caps = breast_cancer.attribute_index("node-caps")
+        breast = breast_cancer.attribute_index("breast")
+        assert ev.evaluate([node_caps]) > ev.evaluate([breast])
+
+    def test_cfs_empty_subset(self, breast_cancer):
+        assert CfsSubsetEvaluator(breast_cancer).evaluate([]) == 0.0
+
+    def test_consistency_monotone(self, breast_cancer):
+        ev = ConsistencyEvaluator(breast_cancer)
+        full = ev.evaluate(ev.candidates)
+        single = ev.evaluate(ev.candidates[:1])
+        assert full >= single - 1e-12
+
+    def test_consistency_bounds(self, weather):
+        ev = ConsistencyEvaluator(weather)
+        assert 0 <= ev.evaluate(ev.candidates) <= 1.0
+
+
+class TestSelectAttributes:
+    def test_genetic_cfs_selects_planted(self, breast_cancer):
+        names, projected = select_attributes(
+            breast_cancer, "GeneticSearch+CfsSubset")
+        assert "node-caps" in names
+        assert projected.class_attribute.name == "Class"
+        assert projected.num_attributes == len(names) + 1
+
+    def test_ranker_approach(self, breast_cancer):
+        names, projected = select_attributes(breast_cancer,
+                                             "Ranker+InfoGain")
+        assert 1 <= len(names) <= 9
+
+    def test_unknown_approach(self, breast_cancer):
+        with pytest.raises(OptionError):
+            select_attributes(breast_cancer, "Oracle+Magic")
+
+    def test_projection_preserves_instances(self, breast_cancer):
+        _, projected = select_attributes(breast_cancer,
+                                         "BestFirst+CfsSubset")
+        assert projected.num_instances == 286

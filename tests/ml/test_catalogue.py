@@ -1,0 +1,63 @@
+"""Algorithm-catalogue tests (CAT-75 support)."""
+
+import pytest
+
+from repro.errors import OptionError
+from repro.ml import catalogue
+from repro.ml.base import Classifier, Clusterer
+
+
+class TestEntries:
+    def test_unique_names(self):
+        names = [e.name for e in catalogue.entries()]
+        assert len(names) == len(set(names))
+
+    def test_every_entry_instantiable(self):
+        for entry in catalogue.entries():
+            obj = catalogue.create(entry.name)
+            assert obj is not None
+
+    def test_classifier_entries_are_classifiers(self):
+        for entry in catalogue.entries():
+            if entry.kind == "classifier":
+                assert isinstance(catalogue.create(entry.name), Classifier)
+
+    def test_clusterer_entries_are_clusterers(self):
+        for entry in catalogue.entries():
+            if entry.kind == "clusterer":
+                assert isinstance(catalogue.create(entry.name), Clusterer)
+
+    def test_presets_apply(self):
+        j48 = catalogue.create("J48-unpruned")
+        assert j48.opt("unpruned") is True
+        ib5 = catalogue.create("IB5")
+        assert ib5.opt("k") == 5
+
+    def test_extra_options_override_presets(self):
+        clf = catalogue.create("J48-m5", {"min_obj": 9})
+        assert clf.opt("min_obj") == 9
+
+    def test_get_unknown(self):
+        with pytest.raises(OptionError):
+            catalogue.get("NotARealAlgorithm")
+
+    def test_names_by_kind(self):
+        assert "Cobweb" in catalogue.names("clusterer")
+        assert "Apriori" in catalogue.names("associator")
+        assert "J48" in catalogue.names("classifier")
+
+
+class TestPaperClaims:
+    def test_three_families_present(self):
+        s = catalogue.summary()
+        assert s["classifier_entries"] > 0
+        assert s["clusterer_entries"] > 0
+        assert s["associator_entries"] > 0
+
+    def test_approximately_75_algorithms(self):
+        # §1: "approximately 75 different algorithms, primarily
+        # classifiers, clustering algorithms and association rules"
+        assert catalogue.summary()["catalogue_entries"] >= 75
+
+    def test_twenty_selection_approaches(self):
+        assert catalogue.summary()["selection_approaches"] >= 20

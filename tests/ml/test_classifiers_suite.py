@@ -1,0 +1,197 @@
+"""Cross-cutting behaviour of every registered classifier, plus targeted
+tests for the simple/bayes/lazy/function families."""
+
+import numpy as np
+import pytest
+
+from repro.data import Attribute, Dataset, synthetic
+from repro.errors import DataError
+from repro.ml import CLASSIFIERS, evaluation
+from repro.ml.classifiers import (IBk, Id3, Logistic, MultilayerPerceptron,
+                                  NaiveBayes, NaiveBayesUpdateable, OneR,
+                                  Prism, ZeroR)
+
+NOMINAL_ONLY = {"Id3", "Prism"}
+
+
+@pytest.mark.parametrize("name", CLASSIFIERS.names())
+def test_every_classifier_full_protocol(name, weather, weather_numeric):
+    """fit → distribution → predict → to_text works for every classifier,
+    and every distribution is a valid probability vector."""
+    ds = weather if name in NOMINAL_ONLY else weather_numeric
+    clf = CLASSIFIERS.create(name)
+    clf.fit(ds)
+    for inst in ds:
+        dist = clf.distribution(inst)
+        assert dist.shape == (2,)
+        assert dist.min() >= -1e-12
+        assert dist.sum() == pytest.approx(1.0, abs=1e-9)
+    text = clf.to_text()
+    assert isinstance(text, str) and len(text) > 10
+    labels = {clf.predict_label(inst) for inst in ds}
+    assert labels <= {"yes", "no"}
+
+
+@pytest.mark.parametrize("name", sorted(set(CLASSIFIERS.names())
+                                        - NOMINAL_ONLY
+                                        - {"ZeroR"}))
+def test_every_classifier_beats_chance_on_separable_data(name):
+    """On a well-separated two-class problem every non-trivial classifier
+    should clearly beat the 50% floor out of sample."""
+    train = synthetic.numeric_two_class(n=160, separation=4.0, seed=11)
+    test = synthetic.numeric_two_class(n=80, separation=4.0, seed=12)
+    clf = CLASSIFIERS.create(name)
+    clf.fit(train)
+    acc = evaluation.evaluate(clf, test).accuracy
+    assert acc > 0.75, f"{name} reached only {acc:.2f}"
+
+
+class TestZeroROneR:
+    def test_zero_r_majority(self, weather):
+        clf = ZeroR().fit(weather)
+        assert all(label == "yes" for label in
+                   (clf.predict_label(i) for i in weather))
+
+    def test_one_r_picks_outlook(self, weather):
+        clf = OneR().fit(weather)
+        # outlook is the canonical 1R attribute for weather (10/14 correct)
+        assert "outlook" in clf.model_text()
+
+    def test_one_r_numeric_buckets(self, weather_numeric):
+        clf = OneR(min_bucket=3).fit(weather_numeric)
+        acc = evaluation.evaluate(clf, weather_numeric).accuracy
+        assert acc >= 0.6
+
+
+class TestId3Prism:
+    def test_id3_perfect_on_weather(self, weather):
+        clf = Id3().fit(weather)
+        assert evaluation.evaluate(clf, weather).accuracy == 1.0
+
+    def test_id3_rejects_numeric(self, weather_numeric):
+        with pytest.raises(DataError):
+            Id3().fit(weather_numeric)
+
+    def test_id3_rejects_missing(self, breast_cancer):
+        with pytest.raises(DataError):
+            Id3().fit(breast_cancer)
+
+    def test_prism_rules_cover_weather(self, weather):
+        clf = Prism().fit(weather)
+        assert evaluation.evaluate(clf, weather).accuracy >= 0.9
+        assert "If " in clf.model_text()
+
+    def test_prism_rejects_numeric(self, weather_numeric):
+        with pytest.raises(DataError):
+            Prism().fit(weather_numeric)
+
+
+class TestNaiveBayes:
+    def test_batch_equals_streaming(self, weather):
+        batch = NaiveBayes().fit(weather)
+        inc = NaiveBayesUpdateable()
+        inc.begin(weather)
+        for inst in weather:
+            inc.update(inst)
+        for inst in weather:
+            assert batch.distribution(inst) == pytest.approx(
+                inc.distribution(inst))
+
+    def test_gaussian_estimates(self, weather_numeric):
+        clf = NaiveBayes().fit(weather_numeric)
+        text = clf.model_text()
+        assert "N(mu=" in text
+
+    def test_streaming_requires_begin(self):
+        clf = NaiveBayesUpdateable()
+        from repro.errors import NotFittedError
+        with pytest.raises(NotFittedError):
+            clf.update(None)
+
+    def test_missing_attribute_skipped(self, breast_cancer):
+        clf = NaiveBayes().fit(breast_cancer)
+        # instance with a missing cell still classifiable
+        idx = breast_cancer.attribute_index("node-caps")
+        inst = breast_cancer[0].copy()
+        inst.set_value(idx, float("nan"))
+        assert clf.distribution(inst).sum() == pytest.approx(1.0)
+
+    def test_smoothing_prevents_zero_probability(self, weather):
+        clf = NaiveBayes(smoothing=1.0).fit(weather)
+        for inst in weather:
+            assert (clf.distribution(inst) > 0).all()
+
+
+class TestIBk:
+    def test_ib1_memorises_training(self, two_class):
+        clf = IBk(k=1).fit(two_class)
+        assert evaluation.evaluate(clf, two_class).accuracy == 1.0
+
+    def test_k_larger_than_dataset(self, weather_numeric):
+        clf = IBk(k=100).fit(weather_numeric)
+        # k clipped to dataset size -> majority vote
+        assert clf.predict_label(weather_numeric[0]) == "yes"
+
+    def test_distance_weighting_prefers_close(self, two_class):
+        clf = IBk(k=5, distance_weighting=True).fit(two_class)
+        assert evaluation.evaluate(clf, two_class).accuracy > 0.9
+
+    def test_incremental_update(self, weather_numeric):
+        clf = IBk(k=1)
+        clf.begin(weather_numeric)
+        for inst in weather_numeric:
+            clf.update(inst)
+        assert evaluation.evaluate(clf, weather_numeric).accuracy == 1.0
+
+    def test_mixed_attributes_and_missing(self, breast_cancer):
+        clf = IBk(k=3).fit(breast_cancer)
+        acc = evaluation.evaluate(clf, breast_cancer).accuracy
+        assert acc > 0.7
+
+
+class TestGradientLearners:
+    def test_logistic_separable(self):
+        ds = synthetic.numeric_two_class(n=200, separation=5.0, seed=3)
+        clf = Logistic().fit(ds)
+        assert evaluation.evaluate(clf, ds).accuracy > 0.95
+
+    def test_logistic_on_nominal_data(self, weather):
+        clf = Logistic().fit(weather)  # one-hot path
+        assert evaluation.evaluate(clf, weather).accuracy > 0.7
+
+    def test_mlp_solves_xor(self):
+        ds = synthetic.xor_problem(n=240, noise=0.08, seed=4)
+        clf = MultilayerPerceptron(hidden_neurons=8, epochs=400,
+                                   learning_rate=0.5, seed=2)
+        clf.fit(ds)
+        acc = evaluation.evaluate(clf, ds).accuracy
+        assert acc > 0.9, f"XOR accuracy {acc:.2f}"
+
+    def test_mlp_paper_options_exposed(self):
+        names = {s["name"] for s in
+                 MultilayerPerceptron.describe_options()}
+        # §4.4: "number of neurons in the hidden layer, the momentum and
+        # the learning rate"
+        assert {"hidden_neurons", "momentum", "learning_rate"} <= names
+
+    def test_mlp_deterministic_given_seed(self, two_class):
+        a = MultilayerPerceptron(seed=7, epochs=20).fit(two_class)
+        b = MultilayerPerceptron(seed=7, epochs=20).fit(two_class)
+        inst = two_class[0]
+        assert a.distribution(inst) == pytest.approx(b.distribution(inst))
+
+
+class TestEdgeCases:
+    def test_single_attribute_dataset(self):
+        ds = Dataset("d", [Attribute.nominal("c", ["a", "b"])],
+                     class_index=0)
+        ds.add_row(["a"])
+        ds.add_row(["b"])
+        clf = ZeroR().fit(ds)
+        assert clf.distribution(ds[0]).sum() == pytest.approx(1.0)
+
+    def test_three_class_problem(self):
+        ds = synthetic.gaussians(3, 30, 2, labelled=True, seed=9)
+        clf = NaiveBayes().fit(ds)
+        assert evaluation.evaluate(clf, ds).accuracy > 0.9
+        assert clf.distribution(ds[0]).shape == (3,)

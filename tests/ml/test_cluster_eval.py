@@ -1,0 +1,85 @@
+"""Cluster-evaluation tests (silhouette, classes-to-clusters)."""
+
+import pytest
+
+from repro.data import synthetic
+from repro.errors import DataError
+from repro.ml.cluster_eval import (classes_to_clusters, evaluate_clusterer,
+                                   silhouette)
+from repro.ml.clusterers import SimpleKMeans
+
+
+@pytest.fixture(scope="module")
+def separated():
+    return synthetic.gaussians(3, 40, 2, spread=0.3, labelled=True,
+                               seed=23)
+
+
+class TestSilhouette:
+    def test_good_clustering_scores_high(self, separated):
+        features = separated.select_attributes([0, 1])
+        km = SimpleKMeans(k=3, seed=1).fit(features)
+        score = silhouette(features, km.assign(features))
+        assert score > 0.6
+
+    def test_random_assignment_scores_low(self, separated):
+        import numpy as np
+        features = separated.select_attributes([0, 1])
+        rng = np.random.default_rng(0)
+        random_labels = [int(v) for v in rng.integers(0, 3,
+                                                      len(features))]
+        good = SimpleKMeans(k=3, seed=1).fit(features)
+        assert silhouette(features, random_labels) < \
+            silhouette(features, good.assign(features))
+
+    def test_single_cluster_is_zero(self, separated):
+        features = separated.select_attributes([0, 1])
+        assert silhouette(features, [0] * len(features)) == 0.0
+
+    def test_singletons_handled(self, separated):
+        features = separated.select_attributes([0, 1])
+        labels = [0] * len(features)
+        labels[0] = 1  # one singleton cluster
+        score = silhouette(features, labels)
+        assert -1.0 <= score <= 1.0
+
+    def test_length_mismatch(self, separated):
+        with pytest.raises(DataError):
+            silhouette(separated, [0])
+
+    def test_k_sweep_peaks_at_true_k(self, separated):
+        features = separated.select_attributes([0, 1])
+        scores = {}
+        for k in (2, 3, 5):
+            km = SimpleKMeans(k=k, seed=1).fit(features)
+            scores[k] = silhouette(features, km.assign(features))
+        assert scores[3] == max(scores.values())
+
+
+class TestClassesToClusters:
+    def test_perfect_recovery(self, separated):
+        features = separated.select_attributes([0, 1])
+        km = SimpleKMeans(k=3, seed=1).fit(features)
+        out = classes_to_clusters(separated, km.assign(features))
+        assert out["error_rate"] < 0.05
+        assert out["total"] == len(separated)
+        assert len(out["mapping"]) == 3
+
+    def test_requires_class(self, blobs):
+        with pytest.raises(DataError):
+            classes_to_clusters(blobs, [0] * len(blobs))
+
+    def test_evaluate_clusterer_report(self, separated):
+        features = separated.select_attributes([0, 1])
+        km = SimpleKMeans(k=3, seed=1).fit(features)
+        # evaluate against the labelled dataset: same rows + class column
+        report = evaluate_clusterer(km, features)
+        assert report["n_clusters"] == 3
+        assert "silhouette" in report
+
+    def test_breast_cancer_clusters_vs_class(self, breast_cancer):
+        km = SimpleKMeans(k=2, seed=1).fit(breast_cancer)
+        out = classes_to_clusters(breast_cancer,
+                                  km.assign(breast_cancer))
+        # clustering is unsupervised; it should still beat random (50%)
+        assert out["error_rate"] < 0.5

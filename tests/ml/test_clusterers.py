@@ -1,0 +1,184 @@
+"""Clusterer tests: recovery of planted structure plus API contracts."""
+
+import numpy as np
+import pytest
+
+from repro.data import Attribute, Dataset, synthetic
+from repro.errors import DataError, NotFittedError
+from repro.ml import CLUSTERERS
+from repro.ml.clusterers import (Cobweb, DBSCAN, EM, FarthestFirst,
+                                 Hierarchical, SimpleKMeans)
+
+
+def purity(assignments, truth, n_clusters):
+    """Fraction of points in their cluster's majority true class."""
+    total = 0
+    for c in range(n_clusters + 1):
+        members = [truth[i] for i, a in enumerate(assignments) if a == c]
+        if members:
+            total += max(members.count(v) for v in set(members))
+    return total / len(assignments)
+
+
+@pytest.fixture(scope="module")
+def planted():
+    ds = synthetic.gaussians(3, 50, 2, spread=0.4, labelled=True, seed=13)
+    truth = [int(i.value(ds.class_index)) for i in ds]
+    features = ds.select_attributes([0, 1])
+    return features, truth
+
+
+@pytest.mark.parametrize("name", CLUSTERERS.names())
+def test_every_clusterer_protocol(name, blobs):
+    c = CLUSTERERS.create(name, {"k": 3} if name in
+                          ("SimpleKMeans", "EM", "Hierarchical",
+                           "FarthestFirst") else {})
+    c.fit(blobs)
+    assert c.n_clusters >= 1
+    assignments = c.assign(blobs)
+    assert len(assignments) == len(blobs)
+    assert all(isinstance(a, int) for a in assignments)
+    assert len(c.to_text()) > 10
+
+
+class TestKMeans:
+    def test_recovers_planted_clusters(self, planted):
+        features, truth = planted
+        km = SimpleKMeans(k=3, seed=2).fit(features)
+        assert purity(km.assign(features), truth, 3) > 0.95
+
+    def test_k_validation(self, blobs):
+        with pytest.raises(DataError):
+            SimpleKMeans(k=99999).fit(blobs)
+
+    def test_sse_decreases_with_k(self, blobs):
+        sse = []
+        for k in (1, 2, 4):
+            km = SimpleKMeans(k=k, seed=1).fit(blobs)
+            sse.append(km._sse)
+        assert sse[0] >= sse[1] >= sse[2]
+
+    def test_assign_new_instance(self, blobs):
+        km = SimpleKMeans(k=2).fit(blobs)
+        assert 0 <= km.cluster_instance(blobs[0]) < 2
+
+    def test_not_fitted(self, blobs):
+        with pytest.raises(NotFittedError):
+            SimpleKMeans().cluster_instance(blobs[0])
+
+    def test_nominal_attributes_supported(self, breast_cancer):
+        km = SimpleKMeans(k=2, seed=1).fit(breast_cancer)
+        assert km.n_clusters == 2
+
+
+class TestFarthestFirst:
+    def test_centres_are_spread(self, planted):
+        features, truth = planted
+        ff = FarthestFirst(k=3, seed=1).fit(features)
+        assert purity(ff.assign(features), truth, 3) > 0.9
+
+
+class TestHierarchical:
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average"])
+    def test_linkages_recover_blobs(self, planted, linkage):
+        features, truth = planted
+        h = Hierarchical(k=3, linkage=linkage).fit(features)
+        assert h.n_clusters == 3
+        assert purity(h.assign(features), truth, 3) > 0.9
+
+    def test_merge_history_length(self, blobs):
+        h = Hierarchical(k=2).fit(blobs)
+        assert len(h.merge_history) == len(blobs) - 2
+
+    def test_k_too_large(self, blobs):
+        with pytest.raises(DataError):
+            Hierarchical(k=len(blobs) + 1).fit(blobs)
+
+
+class TestDBSCAN:
+    def test_finds_dense_clusters(self, planted):
+        features, truth = planted
+        db = DBSCAN(eps=0.08, min_points=4).fit(features)
+        assert db.n_clusters >= 2
+
+    def test_noise_bucket(self, planted):
+        features, _ = planted
+        db = DBSCAN(eps=0.05, min_points=3).fit(features)
+        # an outlier far away lands in the noise bucket n_clusters
+        outlier = features[0].copy()
+        outlier.set_value(0, 1e6)
+        outlier.set_value(1, 1e6)
+        assert db.cluster_instance(outlier) == db.n_clusters
+
+    def test_everything_noise_when_eps_tiny(self, blobs):
+        db = DBSCAN(eps=1e-9, min_points=5).fit(blobs)
+        assert db.n_clusters == 0
+
+
+class TestEM:
+    def test_loglik_improves_vs_one_component(self, planted):
+        features, _ = planted
+        one = EM(k=1, seed=1).fit(features)
+        three = EM(k=3, seed=1).fit(features)
+        assert three.log_likelihood(features) > one.log_likelihood(features)
+
+    def test_recovers_blobs(self, planted):
+        features, truth = planted
+        em = EM(k=3, seed=4).fit(features)
+        assert purity(em.assign(features), truth, 3) > 0.9
+
+    def test_mixed_attributes(self, breast_cancer):
+        em = EM(k=2, seed=1).fit(breast_cancer)
+        assert em.n_clusters == 2
+
+    def test_k_too_large(self, blobs):
+        with pytest.raises(DataError):
+            EM(k=10 ** 6).fit(blobs)
+
+
+class TestCobweb:
+    def test_clusters_nominal_weather(self, weather):
+        cw = Cobweb().fit(weather)
+        assert cw.n_clusters >= 2
+        assignments = cw.assign(weather)
+        assert len(set(assignments)) == cw.n_clusters or \
+            len(set(assignments)) >= 1
+
+    def test_numeric_classit_path(self, blobs):
+        cw = Cobweb(acuity=0.5).fit(blobs)
+        assert cw.n_clusters >= 2
+
+    def test_graph_is_tree(self, blobs):
+        cw = Cobweb().fit(blobs)
+        graph = cw.to_graph()
+        assert len(graph["edges"]) == len(graph["nodes"]) - 1
+
+    def test_cutoff_reduces_concepts(self, blobs):
+        fine = Cobweb(cutoff=0.0).fit(blobs)
+        coarse = Cobweb(cutoff=0.3).fit(blobs)
+        assert coarse.n_clusters <= fine.n_clusters
+
+    def test_counts_conserved(self, blobs):
+        cw = Cobweb().fit(blobs)
+        assert cw.root.count == len(blobs)
+        leaf_total = sum(leaf.count for leaf in cw.root.leaves())
+        assert leaf_total == pytest.approx(len(blobs))
+
+    def test_separated_blobs_recovered(self):
+        ds = synthetic.gaussians(2, 40, 2, spread=0.2, seed=3)
+        cw = Cobweb(acuity=0.3).fit(ds)
+        assignments = cw.assign(ds)
+        # at least two leaf concepts and a dominant split
+        assert len(set(assignments)) >= 2
+
+
+class TestEdge:
+    def test_empty_dataset(self, blobs):
+        with pytest.raises(DataError):
+            SimpleKMeans().fit(blobs.copy_header())
+
+    def test_string_only_attributes_rejected(self):
+        ds = Dataset("s", [Attribute.string("note")])
+        ds.add_row(["hello"])
+        with pytest.raises(DataError):
+            SimpleKMeans(k=1).fit(ds)

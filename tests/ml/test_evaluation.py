@@ -1,0 +1,138 @@
+"""Evaluation machinery tests: confusion matrices, kappa, stratified CV."""
+
+import numpy as np
+import pytest
+
+from repro.data import Attribute, Dataset
+from repro.errors import DataError
+from repro.ml import evaluation
+from repro.ml.classifiers import J48, ZeroR
+from repro.ml.evaluation import (EvaluationResult, cross_validate, evaluate,
+                                 stratified_folds, train_test_evaluate)
+
+
+def result_with(pairs, labels=("a", "b")):
+    r = EvaluationResult(tuple(labels))
+    for actual, predicted in pairs:
+        r.record(actual, predicted)
+    return r
+
+
+class TestEvaluationResult:
+    def test_accuracy(self):
+        r = result_with([(0, 0), (0, 0), (1, 1), (1, 0)])
+        assert r.accuracy == 0.75
+        assert r.error_rate == 0.25
+
+    def test_confusion_layout(self):
+        r = result_with([(0, 1), (1, 0)])
+        assert r.confusion[0, 1] == 1
+        assert r.confusion[1, 0] == 1
+
+    def test_kappa_perfect(self):
+        r = result_with([(0, 0), (1, 1)])
+        assert r.kappa == pytest.approx(1.0)
+
+    def test_kappa_chance(self):
+        # predictions independent of truth -> kappa ~ 0
+        r = result_with([(0, 0), (0, 1), (1, 0), (1, 1)])
+        assert r.kappa == pytest.approx(0.0, abs=1e-9)
+
+    def test_precision_recall_f1(self):
+        r = result_with([(0, 0), (0, 0), (0, 1), (1, 0), (1, 1)])
+        assert r.precision(0) == pytest.approx(2 / 3)
+        assert r.recall(0) == pytest.approx(2 / 3)
+        assert r.f1(0) == pytest.approx(2 / 3)
+
+    def test_zero_denominators(self):
+        r = result_with([(0, 0)])
+        assert r.precision(1) == 0.0
+        assert r.recall(1) == 0.0
+        assert r.f1(1) == 0.0
+
+    def test_merge(self):
+        a = result_with([(0, 0)])
+        b = result_with([(1, 1)])
+        a.merge(b)
+        assert a.total == 2 and a.accuracy == 1.0
+
+    def test_merge_label_mismatch(self):
+        a = result_with([(0, 0)])
+        b = EvaluationResult(("x", "y"))
+        with pytest.raises(DataError):
+            a.merge(b)
+
+    def test_weighted_records(self):
+        r = EvaluationResult(("a", "b"))
+        r.record(0, 0, weight=3.0)
+        r.record(1, 0, weight=1.0)
+        assert r.accuracy == 0.75
+
+    def test_reports_render(self):
+        r = result_with([(0, 0), (1, 0)])
+        assert "Correctly Classified" in r.summary()
+        assert "classified as" in r.confusion_text()
+        assert "Precision" in r.detailed_text()
+        assert len(r.full_report()) > 100
+
+
+class TestEvaluate:
+    def test_skips_missing_class(self, weather):
+        clf = ZeroR().fit(weather)
+        test = weather.copy()
+        test[0].set_value(test.class_index, float("nan"))
+        r = evaluate(clf, test)
+        assert r.total == 13
+
+    def test_train_test_evaluate(self, breast_cancer):
+        r = train_test_evaluate(J48(), breast_cancer, 0.66, seed=2)
+        assert r.total == pytest.approx(286 * 0.34, abs=2)
+        assert r.accuracy > 0.6
+
+
+class TestStratifiedFolds:
+    def test_partition_property(self, breast_cancer):
+        folds = stratified_folds(breast_cancer, 10, seed=3)
+        flat = sorted(i for fold in folds for i in fold)
+        assert flat == list(range(286))
+
+    def test_stratification(self, breast_cancer):
+        folds = stratified_folds(breast_cancer, 10, seed=3)
+        for fold in folds:
+            sub = breast_cancer.subset(fold)
+            counts = sub.value_counts("Class")
+            frac = counts["recurrence-events"] / len(sub)
+            assert 0.15 < frac < 0.45  # global fraction is 0.297
+
+    def test_too_many_folds(self, weather):
+        with pytest.raises(DataError):
+            stratified_folds(weather, 100)
+
+    def test_minimum_two_folds(self, weather):
+        with pytest.raises(DataError):
+            stratified_folds(weather, 1)
+
+    def test_deterministic(self, weather):
+        assert stratified_folds(weather, 3, 7) == \
+            stratified_folds(weather, 3, 7)
+
+
+class TestCrossValidate:
+    def test_total_covers_everything(self, breast_cancer):
+        r = cross_validate(lambda: ZeroR(), breast_cancer, k=10)
+        assert r.total == 286
+
+    def test_zero_r_matches_prior(self, breast_cancer):
+        r = cross_validate(lambda: ZeroR(), breast_cancer, k=10)
+        assert r.accuracy == pytest.approx(201 / 286, abs=0.01)
+
+    def test_fresh_model_per_fold(self, weather):
+        fitted = []
+
+        def factory():
+            clf = ZeroR()
+            fitted.append(clf)
+            return clf
+
+        cross_validate(factory, weather, k=3)
+        assert len(fitted) == 3

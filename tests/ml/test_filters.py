@@ -1,0 +1,166 @@
+"""Filter tests: fit/apply contract and each transformation's semantics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data import Attribute, Dataset, synthetic
+from repro.errors import DataError
+from repro.ml.filters import (Discretize, NominalToBinary, Normalize,
+                              RemoveAttributes, ReplaceMissing, Standardize)
+
+
+class TestContract:
+    def test_apply_before_fit(self, weather_numeric):
+        with pytest.raises(DataError):
+            Normalize().apply(weather_numeric)
+
+    def test_schema_mismatch(self, weather, weather_numeric):
+        f = Normalize().fit(weather_numeric)
+        with pytest.raises(DataError):
+            f.apply(weather)
+
+    def test_fit_apply_shortcut(self, weather_numeric):
+        out = Normalize().fit_apply(weather_numeric)
+        assert out.num_instances == weather_numeric.num_instances
+
+
+class TestReplaceMissing:
+    def test_no_missing_after(self, breast_cancer):
+        out = ReplaceMissing().fit_apply(breast_cancer)
+        assert out.num_missing() == 0
+        assert out.num_instances == 286
+
+    def test_mode_imputation(self, breast_cancer):
+        out = ReplaceMissing().fit_apply(breast_cancer)
+        # node-caps mode is 'no'; the 8 missing become 'no'
+        assert out.value_counts("node-caps")["no"] == 222 + 8
+
+    def test_mean_imputation(self):
+        ds = Dataset("d", [Attribute.numeric("x")])
+        ds.add_row([1.0])
+        ds.add_row([3.0])
+        ds.add_row([None])
+        out = ReplaceMissing().fit_apply(ds)
+        assert out[2].value(0) == pytest.approx(2.0)
+
+    def test_train_statistics_applied_to_test(self):
+        train = Dataset("d", [Attribute.numeric("x")])
+        train.add_row([10.0])
+        train.add_row([20.0])
+        test = train.copy_header()
+        test.add_row([None])
+        f = ReplaceMissing().fit(train)
+        assert f.apply(test)[0].value(0) == pytest.approx(15.0)
+
+
+class TestScaling:
+    def test_normalize_range(self, weather_numeric):
+        out = Normalize().fit_apply(weather_numeric)
+        col = out.column("temperature")
+        assert col.min() == pytest.approx(0.0)
+        assert col.max() == pytest.approx(1.0)
+
+    def test_normalize_leaves_nominal(self, weather_numeric):
+        out = Normalize().fit_apply(weather_numeric)
+        assert out.value_counts("outlook") == \
+            weather_numeric.value_counts("outlook")
+
+    def test_standardize_moments(self, weather_numeric):
+        out = Standardize().fit_apply(weather_numeric)
+        col = out.column("humidity")
+        assert float(col.mean()) == pytest.approx(0.0, abs=1e-9)
+        assert float(col.std()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_missing_preserved(self):
+        ds = Dataset("d", [Attribute.numeric("x")])
+        ds.add_row([1.0])
+        ds.add_row([None])
+        out = Normalize().fit_apply(ds)
+        assert math.isnan(out[1].value(0))
+
+
+class TestDiscretize:
+    def test_width_bins(self, two_class):
+        out = Discretize(bins=4, strategy="width").fit_apply(two_class)
+        for j in range(4):
+            assert out.attribute(j).is_nominal
+            assert out.attribute(j).num_values == 4
+        # class untouched
+        assert out.class_attribute.is_nominal
+
+    def test_frequency_bins_balanced(self):
+        ds = Dataset("d", [Attribute.numeric("x"),
+                           Attribute.nominal("c", ["a", "b"])],
+                     class_index=1)
+        for i in range(100):
+            ds.add_row([float(i), "a"])
+        out = Discretize(bins=4, strategy="frequency").fit_apply(ds)
+        counts = out.value_counts("x")
+        assert max(counts.values()) - min(counts.values()) <= 2
+
+    def test_bad_parameters(self):
+        with pytest.raises(DataError):
+            Discretize(bins=1)
+        with pytest.raises(DataError):
+            Discretize(strategy="entropy")
+
+    def test_constant_column(self):
+        ds = Dataset("d", [Attribute.numeric("x")])
+        ds.add_row([5.0])
+        ds.add_row([5.0])
+        out = Discretize(bins=3).fit_apply(ds)
+        assert out.attribute("x").num_values == 1
+
+
+class TestNominalToBinary:
+    def test_expansion(self, weather):
+        out = NominalToBinary().fit_apply(weather)
+        names = [a.name for a in out.attributes]
+        assert "outlook=sunny" in names
+        assert "outlook=rainy" in names
+        # binary attributes stay as-is
+        assert "humidity" in names
+        assert out.class_attribute.name == "play"
+
+    def test_one_hot_semantics(self, weather):
+        out = NominalToBinary().fit_apply(weather)
+        idx = [i for i, a in enumerate(out.attributes)
+               if a.name.startswith("outlook=")]
+        row = out[0]
+        hot = [row.value(i) for i in idx]
+        assert sum(hot) == 1.0
+
+    def test_instances_preserved(self, weather):
+        out = NominalToBinary().fit_apply(weather)
+        assert out.num_instances == 14
+
+
+class TestRemoveAttributes:
+    def test_remove(self, weather):
+        out = RemoveAttributes(["windy"]).fit_apply(weather)
+        assert out.num_attributes == 4
+        assert out.class_attribute.name == "play"
+
+    def test_cannot_remove_class(self, weather):
+        with pytest.raises(DataError):
+            RemoveAttributes(["play"]).fit(weather)
+
+    def test_unknown_attribute(self, weather):
+        with pytest.raises(DataError):
+            RemoveAttributes(["nope"]).fit(weather)
+
+
+class TestPipelineComposition:
+    def test_filters_chain(self, breast_cancer):
+        step1 = ReplaceMissing().fit_apply(breast_cancer)
+        step2 = NominalToBinary().fit_apply(step1)
+        assert step2.num_missing() == 0
+        assert step2.num_attributes > breast_cancer.num_attributes
+
+    def test_discretize_then_apriori(self, two_class):
+        nominal = Discretize(bins=3).fit_apply(two_class)
+        from repro.ml.associations import Apriori
+        mined = Apriori(min_support=0.1, min_confidence=0.5).fit(nominal)
+        assert len(mined.itemsets) > 0

@@ -1,0 +1,201 @@
+"""J48 / C4.5 tests: canonical trees, pruning, missing values, options."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import Attribute, Dataset, synthetic
+from repro.errors import DataError, NotFittedError
+from repro.ml.classifiers import J48
+from repro.ml.classifiers.j48 import _probit, added_errors
+from repro.ml import evaluation
+
+
+class TestCanonicalWeather:
+    """The weather relation produces the textbook C4.5 tree."""
+
+    @pytest.fixture(scope="class")
+    def model(self, weather):
+        return J48(min_obj=1, unpruned=True).fit(weather)
+
+    def test_root_is_outlook(self, model):
+        assert model.root_attribute == "outlook"
+
+    def test_tree_shape(self, model):
+        assert model.root.num_leaves() == 5
+        assert model.root.size() == 8
+
+    def test_training_accuracy_perfect(self, model, weather):
+        assert evaluation.evaluate(model, weather).accuracy == 1.0
+
+    def test_text_output_contains_branches(self, model):
+        text = model.to_text()
+        assert "outlook = overcast: yes" in text
+        assert "Number of Leaves" in text
+
+    def test_numeric_weather_threshold(self, weather_numeric):
+        model = J48(min_obj=1, unpruned=True).fit(weather_numeric)
+        assert model.root_attribute == "outlook"
+        assert "humidity <= 77.5" in model.to_text()
+
+
+class TestBreastCancerFigure4:
+    """FIG-4 contract: node-caps at the root."""
+
+    @pytest.fixture(scope="class")
+    def model(self, breast_cancer):
+        return J48().fit(breast_cancer)
+
+    def test_root_attribute(self, model):
+        assert model.root_attribute == "node-caps"
+
+    def test_deg_malig_below_root(self, model, breast_cancer):
+        yes_child = model.root.children[0]
+        assert not yes_child.is_leaf
+        assert breast_cancer.attribute(yes_child.attribute).name \
+            == "deg-malig"
+
+    def test_graph_export(self, model):
+        graph = model.to_graph()
+        assert graph["nodes"][0]["label"] == "node-caps"
+        assert len(graph["edges"]) == len(graph["nodes"]) - 1
+
+    def test_dot_export(self, model):
+        dot = model.to_dot()
+        assert dot.startswith("digraph") and "node-caps" in dot
+
+    def test_cv_accuracy_beats_baseline(self, breast_cancer):
+        result = evaluation.cross_validate(lambda: J48(), breast_cancer,
+                                           k=10, seed=1)
+        # ZeroR floor is 201/286 = 0.703
+        assert result.accuracy > 0.72
+        assert result.kappa > 0.3
+
+
+class TestPruning:
+    def test_pruned_not_larger(self, breast_cancer):
+        pruned = J48().fit(breast_cancer)
+        unpruned = J48(unpruned=True).fit(breast_cancer)
+        assert pruned.root.size() <= unpruned.root.size()
+
+    def test_confidence_monotone(self, breast_cancer):
+        aggressive = J48(confidence=0.01).fit(breast_cancer)
+        lenient = J48(confidence=0.5).fit(breast_cancer)
+        assert aggressive.root.size() <= lenient.root.size()
+
+    def test_added_errors_monotone_in_confidence(self):
+        # smaller CF -> more pessimism -> more added errors
+        assert added_errors(10, 0, 0.05) > added_errors(10, 0, 0.5) > 0
+
+    def test_added_errors_positive(self):
+        assert added_errors(14, 5, 0.25) > 0
+
+    def test_added_errors_saturated(self):
+        assert added_errors(10, 10, 0.25) == 0.0
+
+    def test_added_errors_bad_cf(self):
+        with pytest.raises(DataError):
+            added_errors(10, 1, 0.9)
+
+    def test_probit_symmetry(self):
+        assert _probit(0.5) == pytest.approx(0.0, abs=1e-9)
+        assert _probit(0.975) == pytest.approx(1.959964, abs=1e-4)
+        assert _probit(0.025) == pytest.approx(-1.959964, abs=1e-4)
+
+    def test_probit_domain(self):
+        with pytest.raises(ValueError):
+            _probit(0.0)
+
+
+class TestMissingValues:
+    def test_training_with_missing_split_attribute(self, breast_cancer):
+        # breast-cancer has 8 missing node-caps cells; training must cope
+        model = J48().fit(breast_cancer)
+        assert model.root_attribute == "node-caps"
+
+    def test_prediction_with_missing_value(self, breast_cancer):
+        model = J48().fit(breast_cancer)
+        inst = breast_cancer[0].copy()
+        inst.set_value(breast_cancer.attribute_index("node-caps"),
+                       float("nan"))
+        dist = model.distribution(inst)
+        assert dist.shape == (2,)
+        assert dist.sum() == pytest.approx(1.0)
+        assert (dist > 0).all()  # fanned across both branches
+
+    def test_all_missing_class_rejected(self):
+        ds = Dataset("d", [Attribute.numeric("x"),
+                           Attribute.nominal("c", ["a", "b"])],
+                     class_index=1)
+        ds.add_row([1.0, None])
+        with pytest.raises(DataError):
+            J48().fit(ds)
+
+
+class TestApiContracts:
+    def test_not_fitted(self):
+        model = J48()
+        with pytest.raises(NotFittedError):
+            model.to_text()
+
+    def test_requires_class(self, weather):
+        ds = weather.copy()
+        ds._class_index = None
+        with pytest.raises(DataError):
+            J48().fit(ds)
+
+    def test_numeric_class_rejected(self):
+        ds = Dataset("d", [Attribute.nominal("a", ["x", "y"]),
+                           Attribute.numeric("target")], class_index=1)
+        ds.add_row(["x", 1.0])
+        with pytest.raises(DataError):
+            J48().fit(ds)
+
+    def test_empty_dataset_rejected(self, weather):
+        with pytest.raises(DataError):
+            J48().fit(weather.copy_header())
+
+    def test_single_class_leaf(self):
+        ds = Dataset("d", [Attribute.numeric("x"),
+                           Attribute.nominal("c", ["a", "b"])],
+                     class_index=1)
+        for i in range(6):
+            ds.add_row([float(i), "a"])
+        model = J48().fit(ds)
+        assert model.root.is_leaf
+        assert model.predict_label(ds[0]) == "a"
+
+    def test_min_obj_effect(self, breast_cancer):
+        small = J48(min_obj=40, unpruned=True).fit(breast_cancer)
+        large = J48(min_obj=2, unpruned=True).fit(breast_cancer)
+        assert small.root.size() <= large.root.size()
+
+    def test_infogain_mode_runs(self, weather):
+        model = J48(use_gain_ratio=False, min_obj=1,
+                    unpruned=True).fit(weather)
+        assert model.root is not None
+
+    def test_weighted_instances_respected(self, weather):
+        heavy = weather.copy()
+        # massively upweight the 'no' rows: majority must flip at leaves
+        for inst in heavy:
+            if inst.value(heavy.class_index) == 1:  # 'no'
+                inst.weight = 50.0
+        model = J48(min_obj=1).fit(heavy)
+        counts = model.root.class_counts
+        assert counts[1] > counts[0]
+
+
+@given(st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_distribution_is_probability_vector(seed):
+    """Property: predictions are valid distributions on random data."""
+    ds = synthetic.numeric_two_class(n=40, seed=seed)
+    model = J48(min_obj=2).fit(ds)
+    for inst in list(ds)[:10]:
+        dist = model.distribution(inst)
+        assert dist.min() >= 0
+        assert dist.sum() == pytest.approx(1.0, abs=1e-9)
+        assert not np.isnan(dist).any()

@@ -1,0 +1,64 @@
+"""k-means++ seeding and class-association rule tests."""
+
+import pytest
+
+from repro.data import synthetic
+from repro.errors import DataError
+from repro.ml.associations import Apriori
+from repro.ml.clusterers import SimpleKMeans
+
+
+class TestKMeansPlusPlus:
+    def test_recovers_blobs(self):
+        ds = synthetic.gaussians(4, 40, 2, spread=0.3, seed=31)
+        km = SimpleKMeans(k=4, init="kmeans++", seed=2).fit(ds)
+        sizes = sorted(
+            sum(1 for a in km.assign(ds) if a == c)
+            for c in range(4))
+        # every planted blob gets its own centre (no empty clusters)
+        assert sizes[0] > 20
+
+    def test_not_worse_than_random_seeding(self):
+        ds = synthetic.gaussians(5, 30, 2, spread=0.4, seed=33)
+        random_sse = SimpleKMeans(k=5, init="random", seed=7).fit(ds)._sse
+        pp_sse = SimpleKMeans(k=5, init="kmeans++", seed=7).fit(ds)._sse
+        assert pp_sse <= random_sse * 1.5
+
+    def test_deterministic(self, blobs):
+        a = SimpleKMeans(k=3, init="kmeans++", seed=5).fit(blobs)
+        b = SimpleKMeans(k=3, init="kmeans++", seed=5).fit(blobs)
+        assert a.assign(blobs) == b.assign(blobs)
+
+    def test_bad_init_rejected(self):
+        from repro.errors import OptionError
+        with pytest.raises(OptionError):
+            SimpleKMeans(init="fancy")
+
+
+class TestClassAssociationRules:
+    def test_consequents_are_class_only(self, breast_cancer):
+        mined = Apriori(min_support=0.1, min_confidence=0.6,
+                        class_rules=True, max_rules=200).fit(breast_cancer)
+        class_idx = breast_cancer.class_index
+        assert mined.rules, "should find class rules"
+        for rule in mined.rules:
+            assert len(rule.consequent) == 1
+            assert rule.consequent[0][0] == class_idx
+            assert all(a != class_idx for a, _ in rule.antecedent)
+
+    def test_planted_rule_surfaces(self, breast_cancer):
+        mined = Apriori(min_support=0.05, min_confidence=0.6,
+                        class_rules=True, max_rules=500).fit(breast_cancer)
+        node_caps = breast_cancer.attribute_index("node-caps")
+        # some rule should lead with node-caps (the dominant predictor)
+        assert any(any(a == node_caps for a, _ in rule.antecedent)
+                   for rule in mined.rules)
+
+    def test_requires_class(self, baskets):
+        with pytest.raises(DataError):
+            Apriori(class_rules=True).fit(baskets)
+
+    def test_off_by_default(self, baskets):
+        mined = Apriori(min_support=0.2, min_confidence=0.7).fit(baskets)
+        # without the flag, multi-item consequents appear as usual
+        assert mined.rules

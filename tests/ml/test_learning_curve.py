@@ -1,0 +1,44 @@
+"""Learning-curve utility tests."""
+
+import pytest
+
+from repro.data import synthetic
+from repro.errors import DataError
+from repro.ml.classifiers import NaiveBayes, ZeroR
+from repro.ml.evaluation import learning_curve
+
+
+class TestLearningCurve:
+    def test_shape(self, breast_cancer):
+        curve = learning_curve(lambda: NaiveBayes(), breast_cancer,
+                               fractions=(0.2, 0.6, 1.0))
+        assert len(curve) == 3
+        fractions = [f for f, _, _ in curve]
+        sizes = [n for _, n, _ in curve]
+        assert fractions == [0.2, 0.6, 1.0]
+        assert sizes == sorted(sizes)
+        assert all(0.0 <= acc <= 1.0 for _, _, acc in curve)
+
+    def test_more_data_helps_on_learnable_problem(self):
+        ds = synthetic.numeric_two_class(n=400, separation=1.5, seed=2)
+        curve = learning_curve(lambda: NaiveBayes(), ds,
+                               fractions=(0.05, 1.0), seed=3)
+        assert curve[-1][2] >= curve[0][2] - 0.05
+
+    def test_zero_r_is_flat(self, breast_cancer):
+        curve = learning_curve(lambda: ZeroR(), breast_cancer,
+                               fractions=(0.3, 1.0), seed=1)
+        assert curve[0][2] == pytest.approx(curve[1][2], abs=0.02)
+
+    def test_bad_parameters(self, breast_cancer):
+        with pytest.raises(DataError):
+            learning_curve(lambda: ZeroR(), breast_cancer,
+                           test_fraction=1.5)
+        with pytest.raises(DataError):
+            learning_curve(lambda: ZeroR(), breast_cancer,
+                           fractions=(0.0,))
+
+    def test_deterministic(self, breast_cancer):
+        a = learning_curve(lambda: NaiveBayes(), breast_cancer, seed=9)
+        b = learning_curve(lambda: NaiveBayes(), breast_cancer, seed=9)
+        assert a == b

@@ -1,0 +1,125 @@
+"""Meta-classifier tests (ensembles + composition schemes)."""
+
+import pytest
+
+from repro.data import synthetic
+from repro.errors import DataError, OptionError
+from repro.ml import evaluation
+from repro.ml.classifiers import (AdaBoostM1, Bagging,
+                                  ClassificationViaClustering,
+                                  FilteredClassifier, MultiScheme,
+                                  RandomForest, RandomTree, Stacking, Vote)
+
+
+class TestBagging:
+    def test_improves_on_unstable_base(self):
+        train = synthetic.numeric_two_class(n=120, separation=1.2, seed=21)
+        test = synthetic.numeric_two_class(n=200, separation=1.2, seed=22)
+        single = RandomTree(seed=1).fit(train)
+        bagged = Bagging(base="RandomTree", iterations=15).fit(train)
+        acc_single = evaluation.evaluate(single, test).accuracy
+        acc_bagged = evaluation.evaluate(bagged, test).accuracy
+        assert acc_bagged >= acc_single - 0.02
+
+    def test_deterministic_given_seed(self, two_class):
+        a = Bagging(seed=3, iterations=3).fit(two_class)
+        b = Bagging(seed=3, iterations=3).fit(two_class)
+        inst = two_class[0]
+        assert a.distribution(inst) == pytest.approx(b.distribution(inst))
+
+    def test_base_options_forwarded(self, two_class):
+        clf = Bagging(base="J48", base_options="min_obj=5",
+                      iterations=2).fit(two_class)
+        assert clf._members[0].opt("min_obj") == 5
+
+    def test_bad_base_options_rejected(self, two_class):
+        with pytest.raises(OptionError):
+            Bagging(base="J48", base_options="nope").fit(two_class)
+
+
+class TestAdaBoost:
+    def test_boosting_beats_single_stump(self, breast_cancer):
+        from repro.ml.classifiers import DecisionStump
+        stump = DecisionStump().fit(breast_cancer)
+        boosted = AdaBoostM1(iterations=15).fit(breast_cancer)
+        assert evaluation.evaluate(boosted, breast_cancer).accuracy > \
+            evaluation.evaluate(stump, breast_cancer).accuracy
+
+    def test_member_weights_positive(self, two_class):
+        clf = AdaBoostM1(iterations=5).fit(two_class)
+        assert all(alpha > 0 for _, alpha in clf._members)
+
+    def test_early_stop_on_perfect_base(self, two_class):
+        # J48 memorises the separable set -> err ~ 0 -> stops early
+        clf = AdaBoostM1(base="IBk", iterations=10).fit(two_class)
+        assert len(clf._members) <= 10
+
+
+class TestRandomForest:
+    def test_accuracy(self):
+        train = synthetic.numeric_two_class(n=150, separation=2.0, seed=31)
+        test = synthetic.numeric_two_class(n=100, separation=2.0, seed=32)
+        forest = RandomForest(trees=15).fit(train)
+        assert evaluation.evaluate(forest, test).accuracy > 0.85
+
+    def test_model_text(self, two_class):
+        forest = RandomForest(trees=3).fit(two_class)
+        assert "RandomForest of 3 trees" in forest.model_text()
+
+    def test_random_tree_respects_k(self, breast_cancer):
+        tree = RandomTree(k=1, seed=5).fit(breast_cancer)
+        assert tree.root is not None
+
+
+class TestVoteStacking:
+    def test_vote_members(self, weather_numeric):
+        clf = Vote(members="J48,NaiveBayes").fit(weather_numeric)
+        assert len(clf._members) == 2
+        assert evaluation.evaluate(clf, weather_numeric).accuracy > 0.7
+
+    def test_vote_empty_members(self, weather_numeric):
+        with pytest.raises(DataError):
+            Vote(members=" , ").fit(weather_numeric)
+
+    def test_stacking_runs_and_predicts(self, two_class):
+        clf = Stacking(members="DecisionStump,NaiveBayes", meta="Logistic",
+                       folds=3).fit(two_class)
+        acc = evaluation.evaluate(clf, two_class).accuracy
+        assert acc > 0.8
+
+    def test_multischeme_picks_best(self, two_class):
+        clf = MultiScheme(members="ZeroR,NaiveBayes", folds=3)
+        clf.fit(two_class)
+        assert clf.chosen == "NaiveBayes"
+        assert clf.cv_scores["NaiveBayes"] > clf.cv_scores["ZeroR"]
+
+
+class TestFilteredAndViaClustering:
+    def test_filtered_discretize_naive_bayes(self, two_class):
+        clf = FilteredClassifier(filter="Discretize",
+                                 base="NaiveBayes").fit(two_class)
+        assert evaluation.evaluate(clf, two_class).accuracy > 0.8
+
+    def test_filtered_replace_missing_enables_id3(self, breast_cancer):
+        clf = FilteredClassifier(filter="ReplaceMissing",
+                                 base="Id3").fit(breast_cancer)
+        assert evaluation.evaluate(clf, breast_cancer).accuracy > 0.7
+
+    def test_filtered_unknown_filter(self, two_class):
+        with pytest.raises(DataError):
+            FilteredClassifier(filter="Quantize").fit(two_class)
+
+    @pytest.fixture(scope="class")
+    def separated(self):
+        return synthetic.gaussians(3, 40, 2, spread=0.3, labelled=True,
+                                   seed=13)
+
+    def test_via_clustering(self, separated):
+        clf = ClassificationViaClustering().fit(separated)
+        acc = evaluation.evaluate(clf, separated).accuracy
+        assert acc > 0.9  # well-separated blobs
+
+    def test_via_clustering_em(self, separated):
+        clf = ClassificationViaClustering(
+            clusterer="EM", clusterer_options="k=3").fit(separated)
+        assert evaluation.evaluate(clf, separated).accuracy > 0.8

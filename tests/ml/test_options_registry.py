@@ -1,0 +1,113 @@
+"""Option metadata and registry tests."""
+
+import pytest
+
+from repro.errors import OptionError
+from repro.ml.base import CLASSIFIERS, CLUSTERERS, Registry
+from repro.ml.options import (BOOL, CHOICE, FLOAT, INT, OptionSpec,
+                              parse_option_string, resolve_options)
+
+
+class TestOptionSpec:
+    def test_int_coercion(self):
+        spec = OptionSpec("k", INT, 1)
+        assert spec.validate("5") == 5
+        assert spec.validate(None) == 1
+
+    def test_int_rejects_garbage(self):
+        with pytest.raises(OptionError):
+            OptionSpec("k", INT).validate("five")
+
+    def test_float_bounds(self):
+        spec = OptionSpec("c", FLOAT, 0.25, minimum=0.0, maximum=0.5)
+        assert spec.validate(0.3) == 0.3
+        with pytest.raises(OptionError):
+            spec.validate(0.9)
+        with pytest.raises(OptionError):
+            spec.validate(-0.1)
+
+    def test_bool_forms(self):
+        spec = OptionSpec("b", BOOL, False)
+        for truthy in (True, "true", "T", "1", "yes", 1):
+            assert spec.validate(truthy) is True
+        for falsy in (False, "false", "0", "no", 0):
+            assert spec.validate(falsy) is False
+        with pytest.raises(OptionError):
+            spec.validate("maybe")
+
+    def test_choice(self):
+        spec = OptionSpec("link", CHOICE, "a", choices=("a", "b"))
+        assert spec.validate("b") == "b"
+        with pytest.raises(OptionError):
+            spec.validate("c")
+
+    def test_choice_requires_choices(self):
+        with pytest.raises(OptionError):
+            OptionSpec("x", CHOICE)
+
+    def test_required(self):
+        spec = OptionSpec("x", INT, required=True)
+        with pytest.raises(OptionError):
+            spec.validate(None)
+
+    def test_unknown_type(self):
+        with pytest.raises(OptionError):
+            OptionSpec("x", "complex")
+
+    def test_describe(self):
+        spec = OptionSpec("k", INT, 1, "neighbours", minimum=1)
+        d = spec.describe()
+        assert d["name"] == "k" and d["minimum"] == 1
+        assert "choices" not in d
+
+
+class TestResolve:
+    SPECS = (OptionSpec("a", INT, 1), OptionSpec("b", FLOAT, 0.5))
+
+    def test_defaults_filled(self):
+        assert resolve_options(self.SPECS, {}) == {"a": 1, "b": 0.5}
+
+    def test_override(self):
+        assert resolve_options(self.SPECS, {"a": 9})["a"] == 9
+
+    def test_unknown_rejected(self):
+        with pytest.raises(OptionError):
+            resolve_options(self.SPECS, {"zzz": 1})
+
+    def test_parse_option_string(self):
+        assert parse_option_string("k=3 c=0.1") == {"k": "3", "c": "0.1"}
+        assert parse_option_string("") == {}
+        with pytest.raises(OptionError):
+            parse_option_string("novalue")
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert "J48" in CLASSIFIERS
+        assert "Cobweb" in CLUSTERERS
+
+    def test_create_with_options(self):
+        clf = CLASSIFIERS.create("J48", {"min_obj": 5})
+        assert clf.opt("min_obj") == 5
+
+    def test_unknown_name(self):
+        with pytest.raises(OptionError):
+            CLASSIFIERS.create("NotAThing")
+
+    def test_duplicate_registration(self):
+        reg = Registry("thing")
+
+        @reg.register("X")
+        class X:  # noqa: N801
+            pass
+
+        with pytest.raises(OptionError):
+            reg.register("X")(X)
+
+    def test_tags(self):
+        assert "tree" in CLASSIFIERS.tags("J48")
+
+    def test_describe_options_payload(self):
+        specs = CLASSIFIERS.get("J48").describe_options()
+        names = {s["name"] for s in specs}
+        assert {"confidence", "min_obj", "unpruned"} <= names

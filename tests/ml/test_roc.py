@@ -1,0 +1,72 @@
+"""ROC curve and AUC tests."""
+
+import pytest
+
+from repro.data import Attribute, Dataset, synthetic
+from repro.errors import DataError
+from repro.ml.classifiers import J48, Logistic, ZeroR
+from repro.ml.evaluation import auc, roc_points
+
+
+class TestRocPoints:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        train = synthetic.numeric_two_class(n=200, separation=3.0, seed=6)
+        test = synthetic.numeric_two_class(n=150, separation=3.0, seed=7)
+        return Logistic().fit(train), test
+
+    def test_endpoints(self, fitted):
+        clf, test = fitted
+        points = roc_points(clf, test)
+        assert points[0][:2] == (0.0, 0.0)
+        assert points[-1][:2] == (1.0, 1.0)
+
+    def test_monotone(self, fitted):
+        clf, test = fitted
+        points = roc_points(clf, test)
+        fprs = [p[0] for p in points]
+        tprs = [p[1] for p in points]
+        assert fprs == sorted(fprs)
+        assert tprs == sorted(tprs)
+
+    def test_thresholds_descend(self, fitted):
+        clf, test = fitted
+        thresholds = [p[2] for p in roc_points(clf, test)]
+        assert thresholds == sorted(thresholds, reverse=True)
+
+    def test_good_model_high_auc(self, fitted):
+        clf, test = fitted
+        assert auc(clf, test) > 0.95
+
+    def test_zero_r_auc_is_half(self):
+        ds = synthetic.numeric_two_class(n=100, seed=8)
+        clf = ZeroR().fit(ds)
+        # constant scores -> one diagonal step -> AUC 0.5
+        assert auc(clf, ds) == pytest.approx(0.5)
+
+    def test_auc_bounded(self, breast_cancer):
+        clf = J48().fit(breast_cancer)
+        value = auc(clf, breast_cancer, positive_class=1)
+        assert 0.5 < value <= 1.0
+
+    def test_positive_class_symmetry(self, fitted):
+        clf, test = fitted
+        a = auc(clf, test, positive_class=1)
+        b = auc(clf, test, positive_class=0)
+        # for a two-class scorer p0 = 1 - p1, the two AUCs coincide
+        assert a == pytest.approx(b, abs=1e-9)
+
+    def test_single_class_test_set_rejected(self):
+        ds = Dataset("d", [Attribute.numeric("x"),
+                           Attribute.nominal("c", ["a", "b"])],
+                     class_index=1)
+        for i in range(5):
+            ds.add_row([float(i), "a"])
+        clf = ZeroR().fit(ds)
+        with pytest.raises(DataError):
+            roc_points(clf, ds)
+
+    def test_empty_test_set_rejected(self, breast_cancer):
+        clf = ZeroR().fit(breast_cancer)
+        with pytest.raises(DataError):
+            roc_points(clf, breast_cancer.copy_header())

@@ -1,0 +1,158 @@
+"""Targeted tests for the wave-2 and 'extra' classifier families."""
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic
+from repro.errors import DataError
+from repro.ml import evaluation
+from repro.ml.classifiers import (AttributeSelectedClassifier,
+                                  ConjunctiveRule, CVParameterSelection,
+                                  HyperPipes, KStar, LWL,
+                                  MultiClassClassifier, SMO, SGDClassifier,
+                                  VFI, VotedPerceptron)
+
+
+class TestConjunctiveRule:
+    def test_learns_planted_rule(self, breast_cancer):
+        clf = ConjunctiveRule().fit(breast_cancer)
+        text = clf.model_text()
+        assert "IF" in text and "THEN" in text
+        # node-caps is the strongest single condition
+        assert "node-caps" in text
+        acc = evaluation.evaluate(clf, breast_cancer).accuracy
+        assert acc > 0.7
+
+    def test_max_conditions_respected(self, breast_cancer):
+        clf = ConjunctiveRule(max_conditions=1).fit(breast_cancer)
+        assert len(clf._conditions) <= 1
+
+    def test_numeric_conditions(self, two_class):
+        clf = ConjunctiveRule().fit(two_class)
+        assert evaluation.evaluate(clf, two_class).accuracy > 0.7
+        assert any(op in ("le", "gt") for _, op, _ in clf._conditions)
+
+    def test_missing_value_fails_rule(self, breast_cancer):
+        clf = ConjunctiveRule().fit(breast_cancer)
+        inst = breast_cancer[0].copy()
+        for j, _, _ in clf._conditions:
+            inst.set_value(j, float("nan"))
+        # falls to the outside distribution, still a valid probability
+        assert clf.distribution(inst).sum() == pytest.approx(1.0)
+
+
+class TestLWL:
+    def test_locally_weighted_beats_global_on_clusters(self):
+        # three well-separated blobs: local models are near-perfect
+        ds = synthetic.gaussians(3, 40, 2, spread=0.4, labelled=True,
+                                 seed=17)
+        clf = LWL(k=20).fit(ds)
+        assert evaluation.evaluate(clf, ds).accuracy > 0.95
+
+    def test_base_configurable(self, two_class):
+        clf = LWL(base="DecisionStump", k=25).fit(two_class)
+        assert evaluation.evaluate(clf, two_class).accuracy > 0.8
+
+    def test_neighbourhood_weighting(self, two_class):
+        clf = LWL(k=10).fit(two_class)
+        dist = clf.distribution(two_class[0])
+        assert dist.sum() == pytest.approx(1.0)
+
+
+class TestMultiClass:
+    def test_one_vs_rest_on_three_classes(self):
+        ds = synthetic.gaussians(3, 40, 2, labelled=True, seed=19)
+        clf = MultiClassClassifier(base="Logistic").fit(ds)
+        assert evaluation.evaluate(clf, ds).accuracy > 0.9
+        assert len(clf._machines) == 3
+
+    def test_binary_problem_works_too(self, two_class):
+        clf = MultiClassClassifier(base="SMO").fit(two_class)
+        assert evaluation.evaluate(clf, two_class).accuracy > 0.8
+
+
+class TestCVParameterSelection:
+    def test_sweeps_and_selects(self, breast_cancer):
+        clf = CVParameterSelection(base="J48", parameter="min_obj",
+                                   values="2,30", folds=3)
+        clf.fit(breast_cancer)
+        assert clf.chosen_value in ("2", "30")
+        assert set(clf.scores) == {"2", "30"}
+        assert "min_obj" in clf.model_text()
+
+    def test_empty_values_rejected(self, breast_cancer):
+        with pytest.raises(DataError):
+            CVParameterSelection(values=" , ").fit(breast_cancer)
+
+    def test_chosen_is_argmax(self, breast_cancer):
+        clf = CVParameterSelection(base="IBk", parameter="k",
+                                   values="1,5", folds=3)
+        clf.fit(breast_cancer)
+        assert clf.scores[clf.chosen_value] == max(clf.scores.values())
+
+
+class TestAttributeSelected:
+    def test_selection_feeds_base(self, breast_cancer):
+        clf = AttributeSelectedClassifier(
+            approach="BestFirst+CfsSubset", base="NaiveBayes")
+        clf.fit(breast_cancer)
+        assert "node-caps" in clf.selected
+        assert evaluation.evaluate(clf, breast_cancer).accuracy > 0.7
+
+    def test_genetic_default(self, breast_cancer):
+        clf = AttributeSelectedClassifier().fit(breast_cancer)
+        assert "GeneticSearch" in clf.model_text()
+        assert len(clf.selected) < 9  # actually selects a subset
+
+
+class TestHyperPipesVFI:
+    def test_hyperpipes_ranges(self, two_class):
+        clf = HyperPipes().fit(two_class)
+        assert evaluation.evaluate(clf, two_class).accuracy > 0.6
+
+    def test_hyperpipes_missing_fits_everything(self, breast_cancer):
+        clf = HyperPipes().fit(breast_cancer)
+        inst = breast_cancer[0].copy()
+        for j in range(breast_cancer.num_attributes - 1):
+            inst.set_value(j, float("nan"))
+        dist = clf.distribution(inst)
+        # an all-missing instance fits every pipe equally
+        assert dist[0] == pytest.approx(dist[1])
+
+    def test_vfi_votes(self, breast_cancer):
+        clf = VFI().fit(breast_cancer)
+        assert evaluation.evaluate(clf, breast_cancer).accuracy > 0.6
+
+    def test_vfi_bins_numeric(self, two_class):
+        clf = VFI(bins=5).fit(two_class)
+        assert evaluation.evaluate(clf, two_class).accuracy > 0.75
+
+
+class TestInstanceAndMarginLearners:
+    def test_kstar_kernel_width(self, two_class):
+        narrow = KStar(blend=0.05).fit(two_class)
+        wide = KStar(blend=2.0).fit(two_class)
+        assert evaluation.evaluate(narrow, two_class).accuracy >= \
+            evaluation.evaluate(wide, two_class).accuracy
+
+    def test_voted_perceptron_stores_machines(self, two_class):
+        clf = VotedPerceptron(epochs=3).fit(two_class)
+        assert len(clf._machines) == 2
+        assert evaluation.evaluate(clf, two_class).accuracy > 0.85
+
+    def test_smo_c_controls_regularisation(self):
+        train = synthetic.numeric_two_class(n=120, separation=2.0, seed=9)
+        strong = SMO(c=10.0).fit(train)
+        weak = SMO(c=0.001).fit(train)
+        n_strong = np.linalg.norm(strong._W)
+        n_weak = np.linalg.norm(weak._W)
+        assert n_strong > n_weak  # lower C -> heavier shrinkage
+
+    def test_sgd_matches_batch_logistic_direction(self, two_class):
+        from repro.ml.classifiers import Logistic
+        sgd = SGDClassifier(epochs=40).fit(two_class)
+        batch = Logistic().fit(two_class)
+        agree = sum(
+            sgd.predict_instance(i) == batch.predict_instance(i)
+            for i in two_class)
+        assert agree / len(two_class) > 0.9

@@ -1,0 +1,42 @@
+"""CLI `serve` command test (short-lived host)."""
+
+from repro.cli import main
+from repro.ws.client import fetch_url
+
+
+def test_cli_serve_hosts_toolbox(capsys):
+    # port 0 -> ephemeral; duration short so the test returns quickly
+    code = main(["serve", "--port", "0", "--duration", "0.3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "toolkit hosted at http://127.0.0.1:" in out
+    assert "Classifier?wsdl" in out
+
+
+def test_cli_serve_is_reachable_while_up(capsys):
+    import threading
+
+    result = {}
+
+    def probe():
+        # wait for the banner, then hit the service index
+        import time
+        for _ in range(50):
+            captured = capsys.readouterr()
+            result.setdefault("out", "")
+            result["out"] += captured.out
+            if "toolkit hosted at" in result["out"]:
+                base = [line for line in result["out"].splitlines()
+                        if "toolkit hosted at" in line][0].split()[-1]
+                try:
+                    result["index"] = fetch_url(base + "/services")
+                    return
+                except Exception:
+                    pass
+            time.sleep(0.05)
+
+    t = threading.Thread(target=probe)
+    t.start()
+    main(["serve", "--port", "0", "--duration", "1.5"])
+    t.join(timeout=5)
+    assert "J48" in result.get("index", "")

@@ -1,0 +1,103 @@
+"""Grid-WEKA-style distributed cross-validation tests."""
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.ml import evaluation
+from repro.ml.classifiers import J48
+from repro.services import ClassifierService
+from repro.services.grid import (distributed_cross_validate, remote_build,
+                                 remote_label)
+from repro.ws import (InProcessTransport, ServiceContainer, ServiceProxy,
+                      wsdl)
+from repro.ws.service import ServiceDefinition
+from repro.ws.transport import FailingTransport
+
+
+def make_endpoints(n: int, dead: int = 0):
+    """In-process Classifier endpoints; the first *dead* have failing
+    transports."""
+    definition = ServiceDefinition.from_class(ClassifierService,
+                                              "Classifier")
+    document = wsdl.generate(definition, "inproc://Classifier")
+    proxies = []
+    for i in range(n):
+        container = ServiceContainer()
+        container.deploy(ClassifierService, "Classifier")
+        transport = InProcessTransport(container)
+        if i < dead:
+            transport = FailingTransport(transport, failures=10 ** 9)
+        proxies.append(ServiceProxy.from_wsdl_text(document, transport))
+    return proxies
+
+
+class TestDistributedCV:
+    def test_matches_local_cv_total(self, breast_cancer):
+        report = distributed_cross_validate(
+            make_endpoints(3), breast_cancer, classifier="J48", k=6,
+            seed=1)
+        assert report.result.total == 286
+        assert report.migrations == 0
+        # accuracy close to the locally computed CV (same folds, same
+        # algorithm -> identical predictions)
+        local = evaluation.cross_validate(lambda: J48(), breast_cancer,
+                                          k=6, seed=1)
+        assert report.result.accuracy == pytest.approx(local.accuracy)
+
+    def test_work_spread_across_workers(self, breast_cancer):
+        report = distributed_cross_validate(
+            make_endpoints(3), breast_cancer, classifier="ZeroR", k=9)
+        loads = report.worker_loads()
+        assert sum(loads.values()) == 9
+        assert len(loads) >= 2  # more than one worker did something
+
+    def test_single_endpoint_works(self, breast_cancer):
+        report = distributed_cross_validate(
+            make_endpoints(1), breast_cancer, classifier="OneR", k=4)
+        assert report.result.total == 286
+
+    def test_fold_migration_on_dead_worker(self, breast_cancer):
+        report = distributed_cross_validate(
+            make_endpoints(3, dead=1), breast_cancer, classifier="ZeroR",
+            k=6)
+        assert report.result.total == 286
+        assert report.migrations >= 1
+        assert 0 not in report.worker_loads()  # the dead worker did none
+
+    def test_all_endpoints_dead(self, breast_cancer):
+        with pytest.raises(WorkflowError):
+            distributed_cross_validate(
+                make_endpoints(2, dead=2), breast_cancer, k=4)
+
+    def test_no_endpoints(self, breast_cancer):
+        with pytest.raises(WorkflowError):
+            distributed_cross_validate([], breast_cancer)
+
+    def test_options_forwarded(self, breast_cancer):
+        report = distributed_cross_validate(
+            make_endpoints(2), breast_cancer, classifier="J48", k=4,
+            options={"min_obj": 20})
+        assert report.result.total == 286
+
+
+class TestGridWekaTasks:
+    def test_remote_build(self, breast_cancer):
+        [proxy] = make_endpoints(1)
+        out = remote_build(proxy, breast_cancer, classifier="J48")
+        assert "node-caps" in out["model_text"]
+
+    def test_remote_label(self, breast_cancer):
+        [proxy] = make_endpoints(1)
+        train, test = breast_cancer.split(0.7, 2)
+        labels = remote_label(proxy, train, test, classifier="NaiveBayes")
+        assert len(labels) == len(test)
+        assert set(labels) <= {"no-recurrence-events",
+                               "recurrence-events"}
+
+    def test_over_real_http(self, hosted_toolbox, breast_cancer):
+        proxy = ServiceProxy.from_wsdl_url(
+            hosted_toolbox.wsdl_url("Classifier"))
+        report = distributed_cross_validate([proxy], breast_cancer,
+                                            classifier="OneR", k=3)
+        assert report.result.total == 286
+        proxy.close()

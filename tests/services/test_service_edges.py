@@ -1,0 +1,109 @@
+"""Remaining service edge paths: graphical clustering, plot validation,
+math-service guards and data-service faults."""
+
+import pytest
+
+from repro.data import arff, csvio, synthetic
+from repro.ws import ServiceProxy, SoapFault
+
+
+@pytest.fixture(scope="module")
+def get_proxy(hosted_toolbox):
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            cache[name] = ServiceProxy.from_wsdl_url(
+                hosted_toolbox.wsdl_url(name))
+        return cache[name]
+
+    yield get
+    for proxy in cache.values():
+        proxy.close()
+
+
+class TestClustererGraphs:
+    def test_cluster_graph_hierarchy(self, get_proxy, blobs):
+        out = get_proxy("Clusterer").clusterGraph(
+            clusterer="Cobweb", dataset=arff.dumps(blobs))
+        assert out["n_clusters"] >= 1
+        assert out["graph"]["nodes"]
+
+    def test_cluster_graph_unsupported(self, get_proxy, blobs):
+        with pytest.raises(SoapFault):
+            get_proxy("Clusterer").clusterGraph(
+                clusterer="SimpleKMeans", dataset=arff.dumps(blobs))
+
+    def test_clusterer_options_endpoint(self, get_proxy):
+        options = get_proxy("Clusterer").getOptions(
+            clusterer="SimpleKMeans-k3")
+        k = next(o for o in options if o["name"] == "k")
+        assert k["default"] == 3
+
+
+class TestPlotServiceEdges:
+    def test_unknown_terminal(self, get_proxy):
+        with pytest.raises(SoapFault):
+            get_proxy("Plot").plotScatter(points="x,y\n1,2\n",
+                                          terminal="postscript")
+
+    def test_non_numeric_csv_rejected(self, get_proxy):
+        with pytest.raises(SoapFault):
+            get_proxy("Plot").plotScatter(points="a,b\nx,y\n")
+
+    def test_empty_series(self, get_proxy):
+        with pytest.raises(SoapFault):
+            get_proxy("Plot").plotSeries(values=[])
+
+    def test_histogram_length_mismatch(self, get_proxy):
+        with pytest.raises(SoapFault):
+            get_proxy("Plot").plotHistogram(labels=["a"], counts=[1, 2])
+
+    def test_tree_visualizer_unknown_format(self, get_proxy):
+        graph = {"nodes": [{"id": 0, "label": "x", "leaf": True}],
+                 "edges": []}
+        with pytest.raises(SoapFault):
+            get_proxy("TreeVisualizer").plotTree(graph=graph,
+                                                 format="jpeg")
+
+
+class TestMathServiceEdges:
+    def test_plot3d_needs_three_columns(self, get_proxy):
+        with pytest.raises(SoapFault):
+            get_proxy("Math").plot3D(points="x,y\n1,2\n3,4\n")
+
+    def test_plot3d_all_missing_rows(self, get_proxy):
+        with pytest.raises(SoapFault):
+            get_proxy("Math").plot3D(points="x,y,z\n?,?,?\n")
+
+    def test_statistics_ignores_nominal_columns(self, get_proxy):
+        stats = get_proxy("Math").statistics(
+            points="x,label\n1,a\n2,b\n")
+        assert "x" in stats and "label" not in stats
+
+    def test_tabulate_step_validation(self, get_proxy):
+        with pytest.raises(SoapFault):
+            get_proxy("Math").tabulate(expression="sin", steps=1)
+
+
+class TestDataServiceEdges:
+    def test_invalid_arff_fails_publish(self, get_proxy):
+        with pytest.raises(SoapFault):
+            get_proxy("Data").publishDataset(name="bad",
+                                             dataset="not arff")
+
+    def test_chunk_out_of_range(self, get_proxy, weather):
+        data = get_proxy("Data")
+        opened = data.openStream(dataset=arff.dumps(weather),
+                                 chunk_size=5)
+        with pytest.raises(SoapFault):
+            data.readChunk(stream_id=opened["stream"], index=99)
+        data.closeStream(stream_id=opened["stream"])
+
+    def test_close_unknown_stream(self, get_proxy):
+        with pytest.raises(SoapFault):
+            get_proxy("Data").closeStream(stream_id="never-opened")
+
+    def test_validate_bad_document(self, get_proxy):
+        with pytest.raises(SoapFault):
+            get_proxy("Data").validate(dataset="@relation only-header")

@@ -1,0 +1,95 @@
+"""Session-management service tests (interactive artefact store)."""
+
+import pytest
+
+from repro.data import arff
+from repro.ws import ServiceProxy, SoapFault
+
+
+@pytest.fixture(scope="module")
+def session_proxy(hosted_toolbox):
+    proxy = ServiceProxy.from_wsdl_url(hosted_toolbox.wsdl_url("Session"))
+    yield proxy
+    proxy.close()
+
+
+class TestSessionLifecycle:
+    def test_full_interactive_flow(self, session_proxy, breast_cancer):
+        sid = session_proxy.createSession()
+        train, test = breast_cancer.split(0.7, 3)
+        info = session_proxy.putDataset(session=sid, name="train",
+                                        dataset=arff.dumps(train))
+        assert info["num_instances"] == len(train)
+        session_proxy.putDataset(session=sid, name="test",
+                                 dataset=arff.dumps(test))
+
+        trained = session_proxy.train(session=sid, model="m1",
+                                      classifier="J48", dataset="train",
+                                      attribute="Class")
+        assert trained["training_accuracy"] > 0.7
+
+        labels = session_proxy.classify(session=sid, model="m1",
+                                        dataset="test")
+        assert len(labels) == len(test)
+
+        metrics = session_proxy.evaluate(session=sid, model="m1",
+                                         dataset="test",
+                                         attribute="Class")
+        assert 0.5 < metrics["accuracy"] <= 1.0
+        assert "Confusion Matrix" in metrics["report"]
+
+        text = session_proxy.modelText(session=sid, model="m1")
+        assert "J48" in text
+
+        art = session_proxy.artifacts(session=sid)
+        assert art == {"datasets": ["test", "train"], "models": ["m1"]}
+
+        closed = session_proxy.closeSession(session=sid)
+        assert closed["models"] == ["m1"]
+
+    def test_unknown_session(self, session_proxy):
+        with pytest.raises(SoapFault):
+            session_proxy.artifacts(session="nope")
+
+    def test_unknown_artifacts(self, session_proxy, breast_cancer):
+        sid = session_proxy.createSession()
+        session_proxy.putDataset(session=sid, name="d",
+                                 dataset=arff.dumps(breast_cancer))
+        with pytest.raises(SoapFault):
+            session_proxy.train(session=sid, model="m",
+                                classifier="J48", dataset="ghost",
+                                attribute="Class")
+        with pytest.raises(SoapFault):
+            session_proxy.classify(session=sid, model="ghost",
+                                   dataset="d")
+        session_proxy.closeSession(session=sid)
+
+    def test_closed_session_is_gone(self, session_proxy):
+        sid = session_proxy.createSession()
+        session_proxy.closeSession(session=sid)
+        with pytest.raises(SoapFault):
+            session_proxy.closeSession(session=sid)
+
+    def test_sessions_are_isolated(self, session_proxy, weather):
+        a = session_proxy.createSession()
+        b = session_proxy.createSession()
+        session_proxy.putDataset(session=a, name="w",
+                                 dataset=arff.dumps(weather))
+        assert session_proxy.artifacts(session=b)["datasets"] == []
+        session_proxy.closeSession(session=a)
+        session_proxy.closeSession(session=b)
+
+    def test_dataset_shipped_once_then_reused(self, session_proxy,
+                                              breast_cancer):
+        """The point of sessions: N cheap calls after one upload."""
+        sid = session_proxy.createSession()
+        session_proxy.putDataset(session=sid, name="d",
+                                 dataset=arff.dumps(breast_cancer))
+        for i, clf in enumerate(("J48", "NaiveBayes", "OneR")):
+            out = session_proxy.train(session=sid, model=f"m{i}",
+                                      classifier=clf, dataset="d",
+                                      attribute="Class")
+            assert out["training_accuracy"] > 0.6
+        art = session_proxy.artifacts(session=sid)
+        assert len(art["models"]) == 3
+        session_proxy.closeSession(session=sid)

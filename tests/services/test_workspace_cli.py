@@ -1,0 +1,160 @@
+"""Collaborative workspace service + CLI tests."""
+
+import pytest
+
+from repro.data import arff, synthetic
+from repro.ws import ServiceProxy, SoapFault
+
+
+@pytest.fixture(scope="module")
+def workspace(hosted_toolbox):
+    proxy = ServiceProxy.from_wsdl_url(
+        hosted_toolbox.wsdl_url("Workspace"))
+    yield proxy
+    proxy.close()
+
+
+def simple_workflow_xml() -> str:
+    from repro.workflow import TaskGraph, default_toolbox, xmlio
+    box = default_toolbox()
+    g = TaskGraph("shared-demo")
+    src = g.add(box.get("StringInput"), value="shared hello")
+    view = g.add(box.get("StringViewer"))
+    g.connect(src, view)
+    return xmlio.dumps(g)
+
+
+class TestWorkspace:
+    def test_publish_fetch_run(self, workspace):
+        doc = simple_workflow_xml()
+        out = workspace.publish(name="demo", document=doc, author="alice",
+                                comment="first cut")
+        assert out["version"] == 1
+        listing = workspace.list()
+        assert any(w["name"] == "demo" for w in listing)
+        fetched = workspace.fetch(name="demo")
+        # the second participant rebinds and enacts the shared workflow
+        from repro.workflow import WorkflowEngine, default_toolbox, xmlio
+        graph = xmlio.loads(fetched["document"], default_toolbox())
+        result = WorkflowEngine().run(graph)
+        assert result.output("StringViewer") == "shared hello"
+
+    def test_versioning(self, workspace):
+        doc = simple_workflow_xml()
+        workspace.publish(name="versioned", document=doc, author="alice")
+        out = workspace.publish(name="versioned", document=doc,
+                                author="bob", comment="tweak")
+        assert out["version"] == 2
+        history = workspace.history(name="versioned")
+        assert [h["author"] for h in history] == ["alice", "bob"]
+        v1 = workspace.fetch(name="versioned", version=1)
+        assert v1["author"] == "alice"
+        with pytest.raises(SoapFault):
+            workspace.fetch(name="versioned", version=9)
+
+    def test_annotations(self, workspace):
+        workspace.publish(name="noted", document=simple_workflow_xml(),
+                          author="alice")
+        n = workspace.annotate(name="noted", author="bob",
+                               text="swap J48 for NaiveBayes?")
+        assert n == 1
+        notes = workspace.annotations(name="noted")
+        assert notes[0]["author"] == "bob"
+
+    def test_rejects_garbage_document(self, workspace):
+        with pytest.raises(SoapFault):
+            workspace.publish(name="bad", document="not xml",
+                              author="eve")
+        with pytest.raises(SoapFault):
+            workspace.publish(name="bad", document="<html/>",
+                              author="eve")
+
+    def test_unknown_workflow(self, workspace):
+        with pytest.raises(SoapFault):
+            workspace.fetch(name="ghost")
+
+
+class TestCli:
+    @pytest.fixture(scope="class")
+    def dataset_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "bc.arff"
+        path.write_text(arff.dumps(synthetic.breast_cancer()))
+        return str(path)
+
+    def run_cli(self, capsys, *argv):
+        from repro.cli import main
+        code = main(list(argv))
+        return code, capsys.readouterr().out
+
+    def test_summarise(self, capsys, dataset_file):
+        code, out = self.run_cli(capsys, "summarise", dataset_file)
+        assert code == 0
+        assert "Num Instances:  286" in out
+
+    def test_classify_train(self, capsys, dataset_file):
+        code, out = self.run_cli(capsys, "classify", dataset_file,
+                                 "--attribute", "Class")
+        assert code == 0
+        assert "node-caps" in out
+
+    def test_classify_cv(self, capsys, dataset_file):
+        code, out = self.run_cli(capsys, "classify", dataset_file,
+                                 "--attribute", "Class",
+                                 "--classifier", "OneR", "--cv", "3")
+        assert code == 0
+        assert "Correctly Classified" in out
+
+    def test_cluster(self, capsys, tmp_path):
+        path = tmp_path / "blobs.arff"
+        path.write_text(arff.dumps(synthetic.gaussians(2, 20, 2)))
+        code, out = self.run_cli(capsys, "cluster", str(path), "--k", "2")
+        assert code == 0
+        assert "Cluster 0" in out
+
+    def test_associate(self, capsys, tmp_path):
+        path = tmp_path / "baskets.arff"
+        path.write_text(arff.dumps(synthetic.baskets(150)))
+        code, out = self.run_cli(capsys, "associate", str(path),
+                                 "--min-support", "0.1",
+                                 "--min-confidence", "0.6")
+        assert code == 0
+        assert "==>" in out
+
+    def test_convert_roundtrip(self, capsys, dataset_file, tmp_path):
+        csv = tmp_path / "bc.csv"
+        back = tmp_path / "bc2.arff"
+        assert self.run_cli(capsys, "convert", dataset_file,
+                            str(csv))[0] == 0
+        assert self.run_cli(capsys, "convert", str(csv),
+                            str(back))[0] == 0
+        assert arff.loads(back.read_text()).num_instances == 286
+
+    def test_recommend(self, capsys, dataset_file):
+        code, out = self.run_cli(capsys, "recommend", dataset_file,
+                                 "--attribute", "Class")
+        assert code == 0
+        assert "Recommendations" in out
+
+    def test_algorithms_listing(self, capsys):
+        code, out = self.run_cli(capsys, "algorithms", "--kind",
+                                 "clusterer")
+        assert code == 0
+        assert "Cobweb" in out and "J48" not in out
+
+    def test_run_workflow(self, capsys, tmp_path):
+        path = tmp_path / "wf.xml"
+        path.write_text(simple_workflow_xml())
+        code, out = self.run_cli(capsys, "run", str(path))
+        assert code == 0
+        assert "shared hello" in out
+
+    def test_error_path(self, capsys):
+        from repro.cli import main
+        code = main(["summarise", "/nonexistent/file.arff"])
+        assert code == 2
+
+    def test_bad_classifier_errors_cleanly(self, capsys, dataset_file):
+        from repro.cli import main
+        code = main(["classify", dataset_file, "--attribute", "Class",
+                     "--classifier", "Zorp"])
+        assert code == 2

@@ -1,0 +1,202 @@
+"""Visualisation back-end tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic
+from repro.errors import ReproError
+from repro.viz import ascii_plot, attrviz, clusterviz, render_plot3d, \
+    treeviz
+from repro.viz.ppm import Raster
+from repro.viz.svg import SvgCanvas
+
+
+class TestSvgCanvas:
+    def test_document_shape(self):
+        c = SvgCanvas(100, 50)
+        c.line(0, 0, 10, 10)
+        c.circle(5, 5, 2)
+        c.rect(1, 1, 3, 3)
+        c.text(2, 2, "hi & <bye>")
+        doc = c.render()
+        assert doc.startswith("<svg")
+        assert doc.rstrip().endswith("</svg>")
+        assert "&amp;" in doc and "&lt;bye&gt;" in doc
+
+    def test_polygon(self):
+        c = SvgCanvas()
+        c.polygon([(0, 0), (1, 0), (0, 1)])
+        assert "<polygon" in c.render()
+
+
+class TestRaster:
+    def test_ppm_roundtrip(self):
+        r = Raster(8, 4, background=(10, 20, 30))
+        r.set_pixel(3, 2, (255, 0, 0))
+        again = Raster.from_ppm(r.to_ppm())
+        assert again.width == 8 and again.height == 4
+        assert tuple(again.pixels[2, 3]) == (255, 0, 0)
+        assert tuple(again.pixels[0, 0]) == (10, 20, 30)
+
+    def test_out_of_bounds_ignored(self):
+        r = Raster(4, 4)
+        r.set_pixel(-1, 0, (0, 0, 0))
+        r.set_pixel(9, 9, (0, 0, 0))  # no exception
+
+    def test_line_endpoints(self):
+        r = Raster(10, 10)
+        r.line(0, 0, 9, 9, (0, 0, 0))
+        assert tuple(r.pixels[0, 0]) == (0, 0, 0)
+        assert tuple(r.pixels[9, 9]) == (0, 0, 0)
+
+    def test_fill_triangle(self):
+        r = Raster(20, 20)
+        r.fill_triangle((2, 2), (17, 2), (2, 17), (1, 2, 3))
+        assert tuple(r.pixels[3, 3]) == (1, 2, 3)
+        assert tuple(r.pixels[18, 18]) == (255, 255, 255)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ReproError):
+            Raster(0, 5)
+
+    def test_from_ppm_garbage(self):
+        with pytest.raises(ReproError):
+            Raster.from_ppm(b"PNG????")
+
+
+class TestAsciiPlots:
+    def test_scatter_contains_markers(self):
+        out = ascii_plot.scatter([0, 1, 2], [0, 1, 4], width=20,
+                                 height=8, title="t")
+        assert "*" in out and "t" in out
+
+    def test_scatter_series_markers(self):
+        out = ascii_plot.scatter([0, 1], [0, 1], series=[0, 1],
+                                 width=10, height=5)
+        assert "*" in out and "+" in out
+
+    def test_scatter_validation(self):
+        with pytest.raises(ReproError):
+            ascii_plot.scatter([1], [1, 2])
+        with pytest.raises(ReproError):
+            ascii_plot.scatter([], [])
+
+    def test_histogram_scaling(self):
+        out = ascii_plot.histogram(["x", "y"], [1, 10], width=10)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 1
+
+    def test_line_plot(self):
+        out = ascii_plot.line_plot([0, 1, 2, 3])
+        assert "|" in out
+
+    def test_surface_ascii(self):
+        z = np.outer(np.linspace(0, 1, 10), np.linspace(0, 1, 10))
+        out = ascii_plot.surface_ascii(z, width=20, height=10)
+        assert "@" in out and " " in out
+
+    def test_scatter_svg(self):
+        doc = ascii_plot.scatter_svg([1, 2, 3], [1, 4, 9],
+                                     series=[0, 1, 2])
+        assert doc.startswith("<svg") and "circle" in doc
+
+    def test_constant_values_plot(self):
+        # degenerate bounds must not divide by zero
+        out = ascii_plot.scatter([1, 1], [2, 2], width=10, height=5)
+        assert "*" in out
+
+
+class TestPlot3d:
+    def test_grid_surface(self):
+        surf = synthetic.surface3d(n=12)
+        img = render_plot3d(surf.column("x"), surf.column("y"),
+                            surf.column("z"), width=120, height=90)
+        raster = Raster.from_ppm(img)
+        assert raster.width == 120
+        # something was painted (not all white)
+        assert not (raster.pixels == 255).all()
+        # several distinct ramp colours present
+        colors = {tuple(raster.pixels[y, x])
+                  for y in range(0, 90, 5) for x in range(0, 120, 5)}
+        assert len(colors) > 5
+
+    def test_scattered_points_fallback(self):
+        rng = np.random.default_rng(0)
+        xs, ys, zs = rng.random(50), rng.random(50), rng.random(50)
+        img = render_plot3d(xs, ys, zs, width=60, height=60)
+        raster = Raster.from_ppm(img)
+        assert not (raster.pixels == 255).all()
+
+    def test_input_validation(self):
+        with pytest.raises(ReproError):
+            render_plot3d([1], [1, 2], [1, 2])
+        with pytest.raises(ReproError):
+            render_plot3d([], [], [])
+
+
+class TestTreeViz:
+    @pytest.fixture(scope="class")
+    def graph(self, breast_cancer):
+        from repro.ml.classifiers import J48
+        return J48().fit(breast_cancer).to_graph()
+
+    def test_text(self, graph):
+        text = treeviz.tree_text(graph)
+        assert text.startswith("node-caps")
+        assert "yes:" in text or "yes" in text
+
+    def test_dot(self, graph):
+        dot = treeviz.tree_dot(graph)
+        assert "shape=box" in dot and "shape=ellipse" in dot
+
+    def test_svg_layout(self, graph):
+        svg = treeviz.tree_svg(graph, "Figure 4")
+        assert svg.startswith("<svg")
+        assert "Figure 4" in svg
+        assert svg.count("<polygon") >= 2  # internal nodes are diamonds
+
+    def test_rejects_forest(self):
+        graph = {"nodes": [{"id": 0, "label": "a", "leaf": True},
+                           {"id": 1, "label": "b", "leaf": True}],
+                 "edges": []}
+        with pytest.raises(ReproError):
+            treeviz.tree_text(graph)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            treeviz.tree_svg({"nodes": [], "edges": []})
+
+
+class TestClusterAttrViz:
+    def test_cluster_scatter(self, blobs):
+        from repro.ml.clusterers import SimpleKMeans
+        km = SimpleKMeans(k=3).fit(blobs)
+        out = clusterviz.cluster_scatter_ascii(blobs, km.assign(blobs))
+        assert "|" in out
+
+    def test_cluster_svg(self, blobs):
+        from repro.ml.clusterers import SimpleKMeans
+        km = SimpleKMeans(k=2).fit(blobs)
+        doc = clusterviz.cluster_scatter_svg(blobs, km.assign(blobs))
+        assert doc.startswith("<svg")
+
+    def test_cluster_sizes(self):
+        out = clusterviz.cluster_sizes_text([0, 0, 1, 2, 2, 2])
+        assert "cluster 2: 3" in out
+
+    def test_cluster_needs_numeric(self, weather):
+        with pytest.raises(ReproError):
+            clusterviz.cluster_scatter_ascii(weather, [0] * 14)
+
+    def test_attribute_histogram_nominal(self, breast_cancer):
+        out = attrviz.attribute_histogram(breast_cancer, "node-caps")
+        assert "yes" in out and "missing: 8" in out
+
+    def test_attribute_histogram_numeric(self, weather_numeric):
+        out = attrviz.attribute_histogram(weather_numeric, "humidity")
+        assert "numeric" in out and "#" in out
+
+    def test_dataset_overview(self, weather):
+        out = attrviz.dataset_overview(weather)
+        assert out.count("nominal") == 5

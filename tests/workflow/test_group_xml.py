@@ -1,0 +1,72 @@
+"""Hierarchical-workflow XML round trips (GroupTool persistence)."""
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.workflow import (FunctionTool, GroupTool, TaskGraph, ToolBox,
+                            WorkflowEngine, xmlio)
+
+DOUBLE = FunctionTool("Double", lambda x: 2 * x, ["x"], ["out"])
+INC = FunctionTool("Inc", lambda x: x + 1, ["x"], ["out"])
+
+
+@pytest.fixture()
+def box():
+    b = ToolBox()
+    b.register(DOUBLE)
+    b.register(INC)
+    b.register(FunctionTool("Const", lambda value=1: value, [], ["out"]))
+    return b
+
+
+def make_group(box) -> GroupTool:
+    inner = TaskGraph("inner")
+    d = inner.add(box.get("Double"), name="d")
+    i = inner.add(box.get("Inc"), name="i")
+    inner.connect(d, i)
+    return GroupTool("DoubleThenInc", inner,
+                     input_map=[("d", 0)], output_map=[("i", 0)])
+
+
+class TestGroupXml:
+    def test_roundtrip_preserves_hierarchy(self, box):
+        g = TaskGraph("outer")
+        src = g.add(box.get("Const"), value=5)
+        grp = g.add(make_group(box), name="group")
+        g.connect(src, grp)
+
+        text = xmlio.dumps(g)
+        assert "<group>" in text
+        assert "inputMap" in text and "outputMap" in text
+
+        again = xmlio.loads(text, box)
+        assert isinstance(again.task("group").tool, GroupTool)
+        result = WorkflowEngine().run(again)
+        assert result.output("group") == 11  # (5*2)+1
+
+    def test_nested_group_roundtrip(self, box):
+        level1 = make_group(box)
+        mid = TaskGraph("mid")
+        mid.add(level1, name="g1")
+        level2 = GroupTool("Wrapped", mid, [("g1", 0)], [("g1", 0)])
+        outer = TaskGraph("outer")
+        src = outer.add(box.get("Const"), value=3)
+        t = outer.add(level2, name="wrapped")
+        outer.connect(src, t)
+
+        again = xmlio.loads(xmlio.dumps(outer), box)
+        result = WorkflowEngine().run(again)
+        assert result.output("wrapped") == 7  # (3*2)+1
+
+    def test_group_missing_subgraph_rejected(self, box):
+        text = ('<taskgraph name="w">'
+                '<task name="g" tool="G"><group/></task>'
+                '</taskgraph>')
+        with pytest.raises(WorkflowError):
+            xmlio.loads(text, box)
+
+    def test_group_parameters_survive(self, box):
+        g = TaskGraph("outer")
+        grp = g.add(make_group(box), name="group", note=["a", 1])
+        again = xmlio.loads(xmlio.dumps(g), box)
+        assert again.task("group").parameters["note"] == ["a", 1]

@@ -1,0 +1,68 @@
+"""ImageViewer tool tests: plot3D output previewed in a workflow."""
+
+import pytest
+
+from repro.data import csvio, synthetic
+from repro.errors import WorkflowError
+from repro.viz.plot3d import plot3d
+from repro.viz.ppm import Raster
+from repro.workflow import TaskGraph, WorkflowEngine, default_toolbox
+
+
+class TestAsciiPreview:
+    def test_raster_to_ascii_shape(self):
+        r = Raster(100, 60)
+        out = r.to_ascii(width=40, height=12)
+        lines = out.splitlines()
+        assert len(lines) == 12
+        assert all(len(line) == 40 for line in lines)
+
+    def test_dark_pixels_are_dense(self):
+        r = Raster(10, 10, background=(255, 255, 255))
+        for x in range(10):
+            for y in range(5):
+                r.set_pixel(x, y, (0, 0, 0))
+        out = r.to_ascii(width=10, height=10)
+        top, bottom = out.splitlines()[0], out.splitlines()[-1]
+        assert "@" in top and "@" not in bottom
+
+
+class TestImageViewerTool:
+    @pytest.fixture(scope="class")
+    def box(self):
+        return default_toolbox()
+
+    def test_preview_of_plot3d_output(self, box, tmp_path):
+        surf = synthetic.surface3d(n=12)
+        image = plot3d(surf.column("x"), surf.column("y"),
+                       surf.column("z"), width=80, height=60)
+        path = tmp_path / "surface.ppm"
+        [view] = box.get("ImageViewer").run(
+            [image], {"width": 40, "height": 16, "path": str(path)})
+        assert len(view.splitlines()) == 16
+        assert path.read_bytes() == image
+
+    def test_non_bytes_rejected(self, box):
+        with pytest.raises(WorkflowError):
+            box.get("ImageViewer").run(["not image"], {})
+
+    def test_unknown_format_reported(self, box):
+        [view] = box.get("ImageViewer").run([b"\x89PNGxxxx"], {})
+        assert "bytes of image data" in view
+
+    def test_math_service_to_image_viewer_workflow(self, box,
+                                                   hosted_toolbox):
+        """plot3D → ImageViewer composed end to end (Figure-2's
+        visualisation path)."""
+        from repro.workflow import import_wsdl_url
+        math_tools = {t.name: t for t in import_wsdl_url(
+            hosted_toolbox.wsdl_url("Math"))}
+        surf = synthetic.surface3d(n=10)
+        g = TaskGraph("plot-and-view")
+        plot = g.add(math_tools["Math.plot3D"],
+                     points=csvio.dumps(surf), width=60, height=45)
+        view = g.add(box.get("ImageViewer"), width=30, height=12)
+        g.connect(plot, view)
+        result = WorkflowEngine().run(g)
+        preview = result.output(view)
+        assert len(preview.splitlines()) == 12

@@ -1,0 +1,275 @@
+"""Toolbox, built-in tools, patterns, XML/DAX export, signal tools."""
+
+import pytest
+
+from repro.data import arff
+from repro.errors import WorkflowError
+from repro.workflow import (FunctionTool, TaskGraph, ToolBox,
+                            WorkflowEngine, default_toolbox, dax, patterns,
+                            xmlio)
+
+DOUBLE = FunctionTool("Double", lambda x: 2 * x, ["x"], ["out"])
+INC = FunctionTool("Inc", lambda x: x + 1, ["x"], ["out"])
+
+
+class TestToolBox:
+    def test_default_folders(self):
+        box = default_toolbox()
+        assert {"Common", "Data", "Processing", "Visualization",
+                "SignalProc"} <= set(box.folders())
+        assert len(box) >= 15
+
+    def test_tree_rendering(self):
+        box = default_toolbox()
+        tree = box.render_tree()
+        assert "+- Common/" in tree
+        assert "StringInput" in tree
+
+    def test_duplicate_registration(self):
+        box = ToolBox()
+        box.register(DOUBLE)
+        with pytest.raises(WorkflowError):
+            box.register(DOUBLE)
+
+    def test_get_unknown(self):
+        with pytest.raises(WorkflowError):
+            ToolBox().get("ghost")
+
+    def test_tools_by_folder(self):
+        box = default_toolbox()
+        names = [t.name for t in box.tools("SignalProc")]
+        assert "FFT" in names
+
+    def test_search(self):
+        box = default_toolbox()
+        hits = [t.name for t in box.search("viewer")]
+        assert "StringViewer" in hits and "TreeViewer" in hits
+        assert [t.name for t in box.search("signalproc")]  # by folder
+        assert box.search("zzz-no-such-tool") == []
+
+
+class TestBuiltinTools:
+    @pytest.fixture(scope="class")
+    def box(self):
+        return default_toolbox()
+
+    def run_tool(self, tool, inputs, **params):
+        return tool.run(inputs, params)
+
+    def test_string_tools(self, box):
+        out = self.run_tool(box.get("StringInput"), [], value="hi")
+        assert out == ["hi"]
+        assert self.run_tool(box.get("StringViewer"), ["x"]) == ["x"]
+
+    def test_local_dataset_from_object(self, box, weather):
+        [text] = self.run_tool(box.get("LocalDataset"), [],
+                               dataset=weather)
+        assert arff.loads(text).num_instances == 14
+
+    def test_local_dataset_from_file(self, box, weather, tmp_path):
+        path = tmp_path / "w.arff"
+        path.write_text(arff.dumps(weather))
+        [text] = self.run_tool(box.get("LocalDataset"), [],
+                               path=str(path))
+        assert "@relation" in text
+
+    def test_local_dataset_csv_file(self, box, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text("a,b\n1,x\n2,y\n")
+        [text] = self.run_tool(box.get("LocalDataset"), [],
+                               path=str(path))
+        assert text.startswith("@relation")
+
+    def test_local_dataset_needs_source(self, box):
+        with pytest.raises(WorkflowError):
+            self.run_tool(box.get("LocalDataset"), [])
+
+    def test_converters(self, box, weather):
+        text = arff.dumps(weather)
+        [csv] = self.run_tool(box.get("ArffToCsv"), [text])
+        [back] = self.run_tool(box.get("CsvToArff"), [csv])
+        assert arff.loads(back).num_instances == 14
+
+    def test_dataset_summary(self, box, breast_cancer):
+        [out] = self.run_tool(box.get("DatasetSummary"),
+                              [arff.dumps(breast_cancer)])
+        assert "286" in out
+
+    def test_classifier_selector(self, box):
+        listing = [{"name": "J48", "family": "trees"},
+                   {"name": "NaiveBayes", "family": "bayes"}]
+        assert self.run_tool(box.get("ClassifierSelector"),
+                             [listing]) == ["J48"]
+        assert self.run_tool(box.get("ClassifierSelector"), [listing],
+                             choice="NaiveBayes") == ["NaiveBayes"]
+        with pytest.raises(WorkflowError):
+            self.run_tool(box.get("ClassifierSelector"), [listing],
+                          choice="Zorp")
+
+    def test_classifier_tree(self, box):
+        listing = [{"name": "J48", "family": "trees"},
+                   {"name": "ZeroR", "family": "rules"}]
+        [tree] = self.run_tool(box.get("ClassifierTree"), [listing])
+        assert "trees/" in tree and "J48" in tree
+
+    def test_option_selector(self, box):
+        options = [{"name": "k", "default": 1},
+                   {"name": "flag", "default": None}]
+        [chosen] = self.run_tool(box.get("OptionSelector"), [options],
+                                 overrides={"k": 5})
+        assert chosen == {"k": 5}
+
+    def test_attribute_selector(self, box, weather):
+        text = arff.dumps(weather)
+        assert self.run_tool(box.get("AttributeSelector"),
+                             [text]) == ["play"]
+        assert self.run_tool(box.get("AttributeSelector"), [text],
+                             attribute="windy") == ["windy"]
+
+    def test_attribute_lister(self, box, weather):
+        [names] = self.run_tool(box.get("AttributeLister"),
+                                [arff.dumps(weather)])
+        assert names[0] == "outlook"
+
+    def test_tree_viewer_modes(self, box):
+        result = {"model_text": "the tree",
+                  "graph": {"nodes": [{"id": 0, "label": "root",
+                                       "leaf": True}], "edges": []}}
+        assert self.run_tool(box.get("TreeViewer"),
+                             [result]) == ["the tree"]
+        [svg] = self.run_tool(box.get("TreeViewer"), [result],
+                              mode="svg")
+        assert svg.startswith("<svg")
+
+    def test_attribute_viewer(self, box, breast_cancer):
+        [view] = self.run_tool(box.get("AttributeViewer"),
+                               [arff.dumps(breast_cancer)],
+                               attribute="node-caps")
+        assert "node-caps" in view
+
+
+class TestSignalTools:
+    def test_fft_finds_dominant_frequency(self):
+        from repro.workflow import signal_tools
+        tools = {t.name: t for t in signal_tools.all_tools()}
+        [series] = tools["SineGenerator"].run(
+            [], {"samples": 256, "frequency": 16.0, "rate": 256.0})
+        [spec] = tools["PowerSpectrum"].run([series], {"rate": 256.0})
+        assert spec["dominant_frequency"] == pytest.approx(16.0, abs=1.0)
+
+    def test_fft_pipeline_in_graph(self):
+        from repro.workflow import signal_tools
+        tools = {t.name: t for t in signal_tools.all_tools()}
+        g = TaskGraph("spectral")
+        gen = g.add(tools["SineGenerator"], frequency=8.0)
+        win = g.add(tools["Window"])
+        fft = g.add(tools["FFT"])
+        g.connect(gen, win)
+        g.connect(win, fft)
+        result = WorkflowEngine().run(g)
+        assert len(result.output(fft)) == 129  # 256/2 + 1
+
+    def test_smooth_preserves_length(self):
+        from repro.workflow import signal_tools
+        tools = {t.name: t for t in signal_tools.all_tools()}
+        [out] = tools["Smooth"].run([[1.0] * 20], {"width": 5})
+        assert len(out) == 20
+
+
+class TestPatterns:
+    def test_pipeline(self):
+        g = patterns.pipeline([
+            FunctionTool("Src", lambda value=1: value, [], ["out"]),
+            DOUBLE, INC])
+        result = WorkflowEngine().run(g)
+        assert result.output(g.sinks()[0]) == 3
+
+    def test_farm(self):
+        scatter = patterns.scatter_tool(3, lambda v: [v, v + 1, v + 2])
+        gather = patterns.gather_tool(3, sum)
+        g = patterns.farm(DOUBLE, 3, scatter, gather)
+        result = WorkflowEngine().run(g, inputs={("scatter", 0): 10})
+        assert result.output("gather") == (10 + 11 + 12) * 2
+
+    def test_star(self):
+        centre = patterns.scatter_tool(2, lambda v: [v, v * 10],
+                                       name="Centre")
+        g = patterns.star(centre, [DOUBLE, INC])
+        result = WorkflowEngine().run(g, inputs={("centre", 0): 2})
+        assert result.output("satellite-0") == 4
+        assert result.output("satellite-1") == 21
+
+    def test_replace_operator(self):
+        g = patterns.pipeline([
+            FunctionTool("Src", lambda value=3: value, [], ["out"]),
+            DOUBLE])
+        target = g.sinks()[0]
+        patterns.replace(g, target.name, INC)
+        assert WorkflowEngine().run(g).output(target) == 4
+
+    def test_inject_operator(self):
+        g = patterns.pipeline([
+            FunctionTool("Src", lambda value=3: value, [], ["out"]),
+            DOUBLE])
+        cable = g.cables[0]
+        patterns.inject(g, cable, INC)
+        # src -> inc -> double: (3+1)*2
+        assert WorkflowEngine().run(g).output(g.sinks()[0]) == 8
+
+    def test_repeat_operator(self):
+        g = TaskGraph()
+        src = g.add(FunctionTool("Src", lambda value=0: value, [],
+                                 ["out"]))
+        last = patterns.repeat(g, INC, 4, src)
+        assert WorkflowEngine().run(g).output(last) == 4
+
+    def test_loop_operator(self):
+        looped = patterns.loop(INC, condition=lambda v: v < 10)
+        g = TaskGraph()
+        t = g.add(looped)
+        result = WorkflowEngine().run(g, inputs={(t.name, 0): 0})
+        assert result.output(t) == 10
+
+    def test_loop_bound(self):
+        looped = patterns.loop(INC, condition=lambda v: True,
+                               max_iterations=5)
+        with pytest.raises(WorkflowError):
+            looped.run([0], {})
+
+    def test_farm_arity_validation(self):
+        scatter = patterns.scatter_tool(2, lambda v: [v, v])
+        gather = patterns.gather_tool(2, sum)
+        with pytest.raises(WorkflowError):
+            patterns.farm(DOUBLE, 3, scatter, gather)
+
+
+class TestXmlAndDax:
+    def make_graph(self, box):
+        g = TaskGraph("demo")
+        src = g.add(box.get("StringInput"), value="hello")
+        view = g.add(box.get("StringViewer"))
+        g.connect(src, view)
+        return g
+
+    def test_xml_roundtrip(self):
+        box = default_toolbox()
+        g = self.make_graph(box)
+        text = xmlio.dumps(g)
+        again = xmlio.loads(text, box)
+        assert len(again) == 2
+        assert len(again.cables) == 1
+        assert again.task("StringInput").parameters["value"] == "hello"
+        result = WorkflowEngine().run(again)
+        assert result.output("StringViewer") == "hello"
+
+    def test_xml_rejects_garbage(self):
+        with pytest.raises(WorkflowError):
+            xmlio.loads("<html/>", default_toolbox())
+
+    def test_dax_export(self):
+        box = default_toolbox()
+        g = self.make_graph(box)
+        doc = dax.dumps(g)
+        assert dax.job_count(doc) == 2
+        assert "<child" in doc and "<parent" in doc
+        assert 'name="adag"' not in doc  # adag is the element, not attr

@@ -1,0 +1,196 @@
+"""WSDL import into the toolbox, fault tolerance and monitoring."""
+
+import pytest
+
+from repro.data import arff
+from repro.errors import EnactmentError, TransportError
+from repro.ws import (InProcessTransport, ServiceContainer, ServiceProxy,
+                      operation, wsdl)
+from repro.ws.service import ServiceDefinition
+from repro.workflow import (EventBus, ProgressMonitor,
+                            ReplicatedServiceTool, RetryPolicy, TaskGraph,
+                            ToolBox, WorkflowEngine, import_wsdl_text,
+                            import_wsdl_url)
+from repro.workflow.model import FunctionTool, Task
+
+
+class Flaky:
+    """Fails a configurable number of times, then answers."""
+
+    def __init__(self) -> None:
+        self.failures_left = 0
+
+    @operation
+    def answer(self, question: str) -> str:
+        if self.failures_left > 0:
+            self.failures_left -= 1
+            raise RuntimeError("transient")
+        return f"42 ({question})"
+
+
+class TestWsImport:
+    def test_import_creates_tool_per_operation(self, hosted_toolbox):
+        box = ToolBox()
+        tools = import_wsdl_url(hosted_toolbox.wsdl_url("J48"), box)
+        names = {t.name for t in tools}
+        assert names == {"J48.classify", "J48.classifyGraph",
+                         "J48.classifyDot"}
+        assert all(t.is_web_service for t in tools)
+        assert all(t.name in box for t in tools)
+
+    def test_tooltip_shows_wsdl_and_types(self, hosted_toolbox):
+        tools = import_wsdl_url(hosted_toolbox.wsdl_url("J48"))
+        classify = next(t for t in tools if t.name.endswith(".classify"))
+        tip = classify.tooltip()
+        assert "?wsdl" in tip and "dataset: xsd:string" in tip
+
+    def test_imported_tool_runs_in_graph(self, hosted_toolbox,
+                                         breast_cancer):
+        tools = import_wsdl_url(hosted_toolbox.wsdl_url("J48"))
+        classify = next(t for t in tools if t.name.endswith(".classify"))
+        g = TaskGraph()
+        t = g.add(classify, dataset=arff.dumps(breast_cancer),
+                  attribute="Class")
+        result = WorkflowEngine().run(g)
+        assert "node-caps" in result.output(t)
+
+    def test_import_from_text_with_transport(self, breast_cancer):
+        container = ServiceContainer()
+        from repro.services import J48Service
+        definition = container.deploy(J48Service, "J48")
+        document = wsdl.generate(definition, "inproc://J48")
+        tools = import_wsdl_text(document,
+                                 InProcessTransport(container))
+        classify = next(t for t in tools if t.name.endswith(".classify"))
+        [out] = classify.run([arff.dumps(breast_cancer), "Class", None],
+                             {})
+        assert "node-caps" in out
+
+
+class TestRetryPolicy:
+    def make_task(self, failures):
+        state = {"left": failures}
+
+        def work(**kw):
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise RuntimeError("flaky")
+            return "ok"
+
+        tool = FunctionTool("Work", work, [], ["out"])
+        return Task("work", tool)
+
+    def test_retries_then_succeeds(self):
+        policy = RetryPolicy(max_retries=2)
+        assert policy.run_task(self.make_task(2), [], {}) == ["ok"]
+
+    def test_exhausted_retries_raise(self):
+        policy = RetryPolicy(max_retries=1)
+        with pytest.raises(RuntimeError):
+            policy.run_task(self.make_task(5), [], {})
+
+    def test_retry_events_emitted(self):
+        bus = EventBus()
+        events = []
+        bus.subscribe(events.append)
+        policy = RetryPolicy(max_retries=3, events=bus)
+        policy.run_task(self.make_task(2), [], {})
+        assert sum(1 for e in events if e.status == "retried") == 2
+
+    def test_engine_with_retry_policy(self):
+        state = {"left": 1}
+
+        def work(**kw):
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise RuntimeError("flaky")
+            return "done"
+
+        g = TaskGraph()
+        t = g.add(FunctionTool("W", work, [], ["out"]))
+        engine = WorkflowEngine(retry_policy=RetryPolicy(max_retries=2))
+        assert engine.run(g).output(t) == "done"
+
+
+class TestJobMigration:
+    """§3: 'complete the task if a fault occurs by moving the job to
+    another resource'."""
+
+    def make_replicas(self, n_dead: int, n_total: int = 3):
+        proxies = []
+        definition = ServiceDefinition.from_class(Flaky, "Flaky")
+        for i in range(n_total):
+            container = ServiceContainer()
+            instance = Flaky()
+            if i < n_dead:
+                instance.failures_left = 10 ** 6  # permanently broken
+            container.deploy(Flaky, "Flaky", factory=lambda s=instance: s)
+            document = wsdl.generate(definition, f"inproc://r{i}")
+            proxies.append(ServiceProxy.from_wsdl_text(
+                document, InProcessTransport(container)))
+        return proxies
+
+    def test_migrates_past_dead_replicas(self):
+        bus = EventBus()
+        events = []
+        bus.subscribe(events.append)
+        tool = ReplicatedServiceTool(
+            "FlakyAnswer", self.make_replicas(2), "answer",
+            ["question"], events=bus)
+        [out] = tool.run(["why"], {})
+        assert out.startswith("42")
+        assert len(tool.migrations) == 2
+        assert sum(1 for e in events if e.status == "migrated") == 2
+
+    def test_all_replicas_dead(self):
+        tool = ReplicatedServiceTool(
+            "FlakyAnswer", self.make_replicas(3), "answer", ["question"])
+        with pytest.raises(EnactmentError):
+            tool.run(["why"], {})
+
+    def test_first_replica_healthy_no_migration(self):
+        tool = ReplicatedServiceTool(
+            "FlakyAnswer", self.make_replicas(0), "answer", ["question"])
+        [out] = tool.run(["why"], {})
+        assert out.startswith("42")
+        assert tool.migrations == []
+
+    def test_needs_at_least_one_replica(self):
+        from repro.errors import WorkflowError
+        with pytest.raises(WorkflowError):
+            ReplicatedServiceTool("X", [], "answer", ["question"])
+
+
+class TestMonitoring:
+    def test_monitor_tracks_lifecycle(self):
+        bus = EventBus()
+        monitor = ProgressMonitor(bus)
+        g = TaskGraph()
+        t1 = g.add(FunctionTool("A", lambda **kw: 1, [], ["out"]),
+                   name="a")
+        t2 = g.add(FunctionTool("B", lambda x: x, ["x"], ["out"]),
+                   name="b")
+        g.connect(t1, t2)
+        WorkflowEngine(events=bus).run(g)
+        assert monitor.finished() == ["a", "b"]
+        timeline = monitor.timeline()
+        assert "started" in timeline and "finished" in timeline
+
+    def test_monitor_records_failure(self):
+        bus = EventBus()
+        monitor = ProgressMonitor(bus)
+        g = TaskGraph()
+        g.add(FunctionTool("Bad", lambda **kw: 1 / 0, [], ["out"]),
+              name="bad")
+        with pytest.raises(EnactmentError):
+            WorkflowEngine(events=bus).run(g)
+        assert monitor.failed() == ["bad"]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        events = []
+        bus.subscribe(events.append)
+        bus.unsubscribe(events.append)
+        from repro.workflow.monitor import TaskEvent
+        bus.emit(TaskEvent("task", "x", "started"))
+        assert events == []

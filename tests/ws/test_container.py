@@ -1,0 +1,125 @@
+"""Container tests: deployment, dispatch, and the §4.5 lifecycles."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.ws.container import ServiceContainer
+from repro.ws.service import operation
+from repro.ws.soap import SoapFault, SoapRequest
+
+
+class Counter:
+    """Stateful service: increments an in-object counter."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    @operation
+    def bump(self) -> int:
+        """Increment and return the counter."""
+        self.count += 1
+        return self.count
+
+    @operation
+    def crash(self) -> str:
+        raise RuntimeError("deliberate")
+
+
+class TestDeployment:
+    def test_deploy_and_call(self, tmp_path):
+        c = ServiceContainer(state_dir=tmp_path)
+        c.deploy(Counter, "Counter")
+        assert c.call("Counter", "bump") == 1
+        assert c.services() == ["Counter"]
+
+    def test_duplicate_deploy(self, tmp_path):
+        c = ServiceContainer(state_dir=tmp_path)
+        c.deploy(Counter)
+        with pytest.raises(ServiceError):
+            c.deploy(Counter)
+
+    def test_unknown_lifecycle(self, tmp_path):
+        c = ServiceContainer(state_dir=tmp_path)
+        with pytest.raises(ServiceError):
+            c.deploy(Counter, lifecycle="magic")
+
+    def test_undeploy(self, tmp_path):
+        c = ServiceContainer(state_dir=tmp_path)
+        c.deploy(Counter, "C")
+        c.undeploy("C")
+        assert c.services() == []
+        with pytest.raises(ServiceError):
+            c.undeploy("C")
+
+    def test_unknown_service_fault(self, tmp_path):
+        c = ServiceContainer(state_dir=tmp_path)
+        with pytest.raises(SoapFault):
+            c.invoke(SoapRequest("Nope", "op", {}))
+
+    def test_factory(self, tmp_path):
+        c = ServiceContainer(state_dir=tmp_path)
+        shared = Counter()
+        shared.count = 100
+        c.deploy(Counter, "C", factory=lambda: shared)
+        assert c.call("C", "bump") == 101
+
+
+class TestLifecycles:
+    def test_harness_keeps_state(self, tmp_path):
+        c = ServiceContainer(state_dir=tmp_path)
+        c.deploy(Counter, "C", lifecycle="harness")
+        assert [c.call("C", "bump") for _ in range(3)] == [1, 2, 3]
+        assert c.stats("C").serialize_seconds == 0.0
+
+    def test_serialize_keeps_state_via_disk(self, tmp_path):
+        c = ServiceContainer(state_dir=tmp_path)
+        c.deploy(Counter, "C", lifecycle="serialize")
+        assert [c.call("C", "bump") for _ in range(3)] == [1, 2, 3]
+        stats = c.stats("C")
+        assert stats.serialize_seconds > 0.0
+        assert stats.serialized_bytes > 0
+        assert (tmp_path / "C.pkl").exists()
+
+    def test_serialize_costs_more_than_harness(self, tmp_path):
+        fast = ServiceContainer(state_dir=tmp_path / "fast")
+        slow = ServiceContainer(state_dir=tmp_path / "slow")
+        fast.deploy(Counter, "C", lifecycle="harness")
+        slow.deploy(Counter, "C", lifecycle="serialize")
+        for _ in range(5):
+            fast.call("C", "bump")
+            slow.call("C", "bump")
+        assert slow.stats("C").serialize_seconds > \
+            fast.stats("C").serialize_seconds
+
+    def test_reset_clears_state(self, tmp_path):
+        c = ServiceContainer(state_dir=tmp_path)
+        c.deploy(Counter, "C", lifecycle="serialize")
+        c.call("C", "bump")
+        c.reset("C")
+        assert not (tmp_path / "C.pkl").exists()
+        assert c.call("C", "bump") == 1  # fresh instance
+
+    def test_lifecycle_introspection(self, tmp_path):
+        c = ServiceContainer(state_dir=tmp_path)
+        c.deploy(Counter, "C", lifecycle="serialize")
+        assert c.lifecycle("C") == "serialize"
+
+
+class TestFaults:
+    def test_application_error_becomes_fault(self, tmp_path):
+        c = ServiceContainer(state_dir=tmp_path)
+        c.deploy(Counter, "C")
+        with pytest.raises(SoapFault) as err:
+            c.call("C", "crash")
+        assert "deliberate" in err.value.faultstring
+        assert c.stats("C").faults == 1
+
+    def test_stats_count_invocations(self, tmp_path):
+        c = ServiceContainer(state_dir=tmp_path)
+        c.deploy(Counter, "C")
+        c.call("C", "bump")
+        c.call("C", "bump")
+        stats = c.stats("C")
+        assert stats.invocations == 2
+        assert stats.dispatch_seconds > 0
+        assert stats.as_dict()["invocations"] == 2

@@ -1,0 +1,137 @@
+"""Failure injection: hostile/malformed traffic against the HTTP host and
+concurrent access to shared containers."""
+
+import http.client
+import threading
+
+import pytest
+
+from repro.ws import ServiceContainer, SoapHttpServer, SoapRequest
+from repro.ws.service import operation
+
+
+class Slowish:
+    """Service with shared mutable state to stress thread safety."""
+
+    def __init__(self) -> None:
+        self.total = 0
+        self._lock = threading.Lock()
+
+    @operation
+    def accumulate(self, amount: int) -> int:
+        with self._lock:
+            self.total += amount
+            return self.total
+
+
+@pytest.fixture(scope="module")
+def server():
+    container = ServiceContainer()
+    container.deploy(Slowish, "Slowish")
+    with SoapHttpServer(container) as srv:
+        yield srv
+
+
+def raw_post(server, path, body: bytes, content_type="text/xml"):
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=5)
+    conn.request("POST", path, body=body,
+                 headers={"Content-Type": content_type})
+    response = conn.getresponse()
+    data = response.read()
+    conn.close()
+    return response.status, data
+
+
+class TestHostileTraffic:
+    def test_garbage_body_returns_soap_fault(self, server):
+        status, body = raw_post(server, "/services/Slowish",
+                                b"\x00\xff not xml")
+        assert status == 500
+        assert b"Fault" in body
+
+    def test_empty_body(self, server):
+        status, body = raw_post(server, "/services/Slowish", b"")
+        assert status == 500
+        assert b"Fault" in body
+
+    def test_valid_xml_wrong_root(self, server):
+        status, body = raw_post(server, "/services/Slowish",
+                                b"<html><body/></html>")
+        assert status == 500
+
+    def test_post_to_unknown_path(self, server):
+        status, _ = raw_post(server, "/other/thing", b"<x/>")
+        assert status == 404
+
+    def test_get_unknown_service_wsdl(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=5)
+        conn.request("GET", "/services/Ghost?wsdl")
+        assert conn.getresponse().status == 404
+        conn.close()
+
+    def test_envelope_with_multiple_body_children(self, server):
+        doc = (b'<?xml version="1.0"?>'
+               b'<soapenv:Envelope xmlns:soapenv='
+               b'"http://schemas.xmlsoap.org/soap/envelope/">'
+               b'<soapenv:Body><a/><b/></soapenv:Body>'
+               b'</soapenv:Envelope>')
+        status, body = raw_post(server, "/services/Slowish", doc)
+        assert status == 500
+        assert b"exactly one element" in body
+
+    def test_server_survives_hostile_burst(self, server):
+        for payload in (b"<", b"{}", b"\xff" * 100, b"<x>" * 50):
+            raw_post(server, "/services/Slowish", payload)
+        # still serves good requests afterwards
+        from repro.ws import ServiceProxy
+        proxy = ServiceProxy.from_wsdl_url(server.wsdl_url("Slowish"))
+        assert isinstance(proxy.accumulate(amount=0), int)
+        proxy.close()
+
+
+class TestConcurrency:
+    def test_concurrent_invocations_are_serialised_per_service(self,
+                                                               server):
+        """The container locks per deployment: concurrent accumulates must
+        not lose updates."""
+        from repro.ws import HttpTransport
+        n_threads, n_calls = 8, 20
+        errors: list[Exception] = []
+
+        def hammer():
+            transport = HttpTransport(server.endpoint("Slowish"))
+            try:
+                for _ in range(n_calls):
+                    transport.send(SoapRequest("Slowish", "accumulate",
+                                               {"amount": 1}))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+            finally:
+                transport.close()
+
+        before = server.container.call("Slowish", "accumulate", amount=0)
+        threads = [threading.Thread(target=hammer)
+                   for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        after = server.container.call("Slowish", "accumulate", amount=0)
+        assert after - before == n_threads * n_calls
+
+    def test_concurrent_wsdl_fetches(self, server):
+        from repro.ws.client import fetch_url
+        results = []
+
+        def fetch():
+            results.append(fetch_url(server.wsdl_url("Slowish")))
+
+        threads = [threading.Thread(target=fetch) for _ in range(10)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 10
+        assert all("Slowish" in r for r in results)

@@ -1,0 +1,160 @@
+"""HTTP hosting, client proxies, registry and transports."""
+
+import pytest
+
+from repro.errors import RegistryError, TransportError, WsdlError
+from repro.ws import soap
+from repro.ws.client import HttpTransport, ServiceProxy, fetch_url
+from repro.ws.container import ServiceContainer
+from repro.ws.httpd import SoapHttpServer
+from repro.ws.registry import RegistryService, UDDIRegistry
+from repro.ws.service import operation
+from repro.ws.soap import SoapFault, SoapRequest
+from repro.ws.transport import (FailingTransport, InProcessTransport, LAN,
+                                NetworkModel, SimulatedTransport, WAN)
+
+
+class Greeter:
+    """Greets people."""
+
+    @operation
+    def greet(self, name: str, excited: bool = False) -> str:
+        """Compose a greeting."""
+        return f"hello {name}" + ("!" if excited else "")
+
+
+@pytest.fixture(scope="module")
+def server():
+    container = ServiceContainer()
+    container.deploy(Greeter, "Greeter")
+    with SoapHttpServer(container) as srv:
+        yield srv
+
+
+class TestHttp:
+    def test_wsdl_endpoint(self, server):
+        text = fetch_url(server.wsdl_url("Greeter"))
+        assert "Greeter" in text and "greet" in text
+
+    def test_service_index(self, server):
+        assert fetch_url(server.base_url + "/services") == "Greeter"
+
+    def test_unknown_service_404(self, server):
+        with pytest.raises(TransportError):
+            fetch_url(server.wsdl_url("Nothing"))
+
+    def test_invoke_via_proxy(self, server):
+        proxy = ServiceProxy.from_wsdl_url(server.wsdl_url("Greeter"))
+        assert proxy.greet(name="ada") == "hello ada"
+        assert proxy.call("greet", name="bob", excited=True) == \
+            "hello bob!"
+        proxy.close()
+
+    def test_proxy_validates_params(self, server):
+        proxy = ServiceProxy.from_wsdl_url(server.wsdl_url("Greeter"))
+        with pytest.raises(WsdlError):
+            proxy.call("greet", wrong="x")
+        with pytest.raises(WsdlError):
+            proxy.call("greet")  # missing required
+        with pytest.raises(WsdlError):
+            proxy.call("unknownOp")
+        proxy.close()
+
+    def test_fault_propagates_over_http(self, server):
+        transport = HttpTransport(server.endpoint("Greeter"))
+        with pytest.raises(SoapFault):
+            transport.send(SoapRequest("Greeter", "nope", {}))
+        transport.close()
+
+    def test_unreachable_endpoint(self):
+        transport = HttpTransport("http://127.0.0.1:1/services/X",
+                                  timeout=0.3)
+        with pytest.raises(TransportError):
+            transport.send(SoapRequest("X", "op", {}))
+
+    def test_byte_accounting(self, server):
+        transport = HttpTransport(server.endpoint("Greeter"))
+        transport.send(SoapRequest("Greeter", "greet", {"name": "x"}))
+        assert transport.bytes_sent > 0
+        assert transport.bytes_received > 0
+        transport.close()
+
+
+class TestRegistry:
+    def test_publish_inquire_lookup(self):
+        reg = UDDIRegistry()
+        reg.publish("J48", "http://host/services/J48?wsdl",
+                    ("data-mining", "trees"))
+        reg.publish("Plot", "http://host/services/Plot?wsdl",
+                    ("visualisation",))
+        assert len(reg) == 2
+        assert [e.name for e in reg.inquire("J*")] == ["J48"]
+        assert [e.name for e in reg.inquire(category="visualisation")] \
+            == ["Plot"]
+        assert reg.lookup("J48").wsdl_url.endswith("J48?wsdl")
+
+    def test_republish_overwrites(self):
+        reg = UDDIRegistry()
+        reg.publish("S", "http://a")
+        reg.publish("S", "http://b")
+        assert reg.lookup("S").wsdl_url == "http://b"
+        assert len(reg) == 1
+
+    def test_unpublish(self):
+        reg = UDDIRegistry()
+        reg.publish("S", "http://a")
+        reg.unpublish("S")
+        with pytest.raises(RegistryError):
+            reg.lookup("S")
+        with pytest.raises(RegistryError):
+            reg.unpublish("S")
+
+    def test_publish_validation(self):
+        with pytest.raises(RegistryError):
+            UDDIRegistry().publish("", "http://a")
+
+    def test_registry_as_service(self):
+        container = ServiceContainer()
+        container.deploy(RegistryService, "Registry")
+        entry = container.call("Registry", "publish", name="X",
+                               wsdl_url="http://x", categories=["c"])
+        assert entry["name"] == "X"
+        found = container.call("Registry", "inquire", pattern="X")
+        assert len(found) == 1
+
+
+class TestTransports:
+    def test_in_process(self):
+        container = ServiceContainer()
+        container.deploy(Greeter, "Greeter")
+        t = InProcessTransport(container)
+        resp = t.send(SoapRequest("Greeter", "greet", {"name": "z"}))
+        assert resp.result == "hello z"
+        assert t.bytes_sent > 0
+
+    def test_simulated_costs(self):
+        container = ServiceContainer()
+        container.deploy(Greeter, "Greeter")
+        t = SimulatedTransport(InProcessTransport(container), WAN)
+        t.send(SoapRequest("Greeter", "greet", {"name": "y" * 1000}))
+        assert t.messages == 2  # request + response
+        assert t.virtual_seconds > 2 * WAN.latency_s
+        assert t.bytes_on_wire > 1000
+
+    def test_lan_faster_than_wan(self):
+        assert LAN.transfer_time(10 ** 6) < WAN.transfer_time(10 ** 6)
+
+    def test_network_model_math(self):
+        model = NetworkModel(latency_s=0.01, bandwidth_bps=1000)
+        assert model.transfer_time(500) == pytest.approx(0.51)
+
+    def test_failing_transport(self):
+        container = ServiceContainer()
+        container.deploy(Greeter, "Greeter")
+        t = FailingTransport(InProcessTransport(container), failures=2)
+        for _ in range(2):
+            with pytest.raises(TransportError):
+                t.send(SoapRequest("Greeter", "greet", {"name": "a"}))
+        resp = t.send(SoapRequest("Greeter", "greet", {"name": "a"}))
+        assert resp.result == "hello a"
+        assert t.attempts == 3

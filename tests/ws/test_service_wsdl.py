@@ -1,0 +1,117 @@
+"""Service definition introspection and WSDL generation/parsing."""
+
+import pytest
+
+from repro.errors import ServiceError, WsdlError
+from repro.ws import wsdl
+from repro.ws.service import ServiceDefinition, operation
+from repro.ws.soap import SoapFault
+
+
+class Calculator:
+    """A tiny calculator service."""
+
+    @operation
+    def add(self, a: int, b: int = 0) -> int:
+        """Add two integers."""
+        return a + b
+
+    @operation(doc="multiply override doc")
+    def mul(self, a: float, b: float) -> float:
+        return a * b
+
+    @operation
+    def describe(self, payload: dict) -> dict:
+        return {"echo": payload}
+
+    def helper(self) -> None:
+        """Not an operation."""
+
+
+class TestDefinition:
+    @pytest.fixture(scope="class")
+    def definition(self):
+        return ServiceDefinition.from_class(Calculator, "Calc")
+
+    def test_operations_discovered(self, definition):
+        assert set(definition.operations) == {"add", "mul", "describe"}
+
+    def test_helper_excluded(self, definition):
+        assert "helper" not in definition.operations
+
+    def test_param_types(self, definition):
+        add = definition.operations["add"]
+        assert add.params == (("a", "xsd:int"), ("b", "xsd:int"))
+        assert add.required == ("a",)
+        assert add.returns == "xsd:int"
+
+    def test_doc_capture(self, definition):
+        assert definition.operations["add"].doc == "Add two integers."
+        assert definition.operations["mul"].doc == "multiply override doc"
+
+    def test_json_types(self, definition):
+        describe = definition.operations["describe"]
+        assert describe.params == (("payload", "repro:json"),)
+        assert describe.returns == "repro:json"
+
+    def test_dispatch(self, definition):
+        assert definition.dispatch(Calculator(), "add",
+                                   {"a": 2, "b": 3}) == 5
+
+    def test_dispatch_defaults(self, definition):
+        assert definition.dispatch(Calculator(), "add", {"a": 2}) == 2
+
+    def test_dispatch_unknown_operation(self, definition):
+        with pytest.raises(SoapFault):
+            definition.dispatch(Calculator(), "pow", {})
+
+    def test_dispatch_unknown_param(self, definition):
+        with pytest.raises(SoapFault):
+            definition.dispatch(Calculator(), "add", {"a": 1, "z": 2})
+
+    def test_dispatch_missing_required(self, definition):
+        with pytest.raises(SoapFault):
+            definition.dispatch(Calculator(), "add", {"b": 1})
+
+    def test_class_without_operations(self):
+        class Empty:
+            pass
+
+        with pytest.raises(ServiceError):
+            ServiceDefinition.from_class(Empty)
+
+
+class TestWsdl:
+    @pytest.fixture(scope="class")
+    def document(self):
+        definition = ServiceDefinition.from_class(Calculator, "Calc")
+        return wsdl.generate(definition, "http://127.0.0.1:9/services/Calc")
+
+    def test_parse_roundtrip(self, document):
+        desc = wsdl.parse(document)
+        assert desc.service == "Calc"
+        assert desc.address == "http://127.0.0.1:9/services/Calc"
+        assert set(desc.operations) == {"add", "mul", "describe"}
+
+    def test_parameter_fidelity(self, document):
+        desc = wsdl.parse(document)
+        add = desc.operations["add"]
+        assert add.params == (("a", "xsd:int"), ("b", "xsd:int"))
+        assert add.required == ("a",)
+        assert add.doc == "Add two integers."
+
+    def test_service_doc_preserved(self, document):
+        assert "calculator" in wsdl.parse(document).doc.lower()
+
+    def test_malformed(self):
+        with pytest.raises(WsdlError):
+            wsdl.parse("not xml at all <")
+
+    def test_wrong_root(self):
+        with pytest.raises(WsdlError):
+            wsdl.parse("<html/>")
+
+    def test_no_porttype(self):
+        with pytest.raises(WsdlError):
+            wsdl.parse('<wsdl:definitions '
+                       'xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/"/>')

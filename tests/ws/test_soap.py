@@ -1,0 +1,98 @@
+"""SOAP envelope tests including a hypothesis round-trip property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ServiceError
+from repro.ws import soap
+from repro.ws.soap import (SoapFault, SoapRequest, SoapResponse,
+                           decode_request, decode_response, encode_fault,
+                           encode_request, encode_response)
+
+
+class TestRequests:
+    def test_roundtrip_basic(self):
+        req = SoapRequest("Echo", "classify",
+                          {"dataset": "@relation r", "folds": 10,
+                           "ratio": 0.5, "flag": True, "nothing": None})
+        again = decode_request(encode_request(req))
+        assert again.service == "Echo"
+        assert again.operation == "classify"
+        assert again.params == req.params
+
+    def test_bytes_payload(self):
+        req = SoapRequest("Img", "plot", {"data": b"\x00\x01\xff"})
+        again = decode_request(encode_request(req))
+        assert again.params["data"] == b"\x00\x01\xff"
+
+    def test_json_payload(self):
+        value = {"list": [1, 2.5, "x"], "nested": {"k": True}}
+        req = SoapRequest("S", "op", {"payload": value})
+        assert decode_request(encode_request(req)).params["payload"] \
+            == value
+
+    def test_unencodable_value(self):
+        with pytest.raises(ServiceError):
+            encode_request(SoapRequest("S", "op", {"x": object()}))
+
+    def test_malformed_document(self):
+        with pytest.raises(ServiceError):
+            decode_request(b"this is not xml")
+
+    def test_not_an_envelope(self):
+        with pytest.raises(ServiceError):
+            decode_request(b"<other/>")
+
+    def test_xml_special_chars(self):
+        req = SoapRequest("S", "op", {"text": "<a> & 'b' \"c\""})
+        assert decode_request(encode_request(req)).params["text"] \
+            == "<a> & 'b' \"c\""
+
+
+class TestResponses:
+    def test_roundtrip(self):
+        resp = SoapResponse("S", "op", {"out": [1, 2]})
+        again = decode_response(encode_response(resp))
+        assert again.operation == "op"
+        assert again.result == {"out": [1, 2]}
+
+    def test_none_result(self):
+        resp = SoapResponse("S", "op", None)
+        assert decode_response(encode_response(resp)).result is None
+
+    def test_fault_raises(self):
+        wire = encode_fault(SoapFault("soapenv:Server", "boom", "detail"))
+        with pytest.raises(SoapFault) as err:
+            decode_response(wire)
+        assert err.value.faultstring == "boom"
+        assert err.value.detail == "detail"
+
+    def test_fault_is_service_error(self):
+        assert issubclass(SoapFault, ServiceError)
+
+
+_values = st.one_of(
+    st.text(max_size=40),
+    st.integers(-2 ** 31, 2 ** 31),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.booleans(),
+    st.none(),
+    st.binary(max_size=64),
+    st.lists(st.integers(-100, 100), max_size=5),
+    st.dictionaries(st.text(
+        alphabet=st.characters(whitelist_categories=("Ll",)),
+        min_size=1, max_size=6), st.integers(0, 9), max_size=4),
+)
+
+# operation and parameter names originate from Python identifiers
+_names = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,11}", fullmatch=True)
+
+
+@given(st.dictionaries(_names, _values, max_size=6), _names, _names)
+@settings(max_examples=60, deadline=None)
+def test_property_request_roundtrip(params, service, operation):
+    """Property: any encodable parameter dict survives the wire."""
+    req = SoapRequest(service, operation, params)
+    again = decode_request(encode_request(req))
+    assert again.operation == operation
+    assert again.params == params
