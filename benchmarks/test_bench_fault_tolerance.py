@@ -8,7 +8,6 @@ it visits."""
 
 import pytest
 
-from repro.data import arff
 from repro.services import J48Service
 from repro.ws import (InProcessTransport, ServiceContainer, ServiceProxy,
                       wsdl)

@@ -9,7 +9,6 @@ shows invocation overheads matter for interactive use."""
 import pytest
 
 from repro.ml.classifiers import J48
-from repro.data import arff
 from repro.services import J48Service
 from repro.ws import (InProcessTransport, LAN, ServiceContainer,
                       SimulatedTransport, SoapRequest, WAN)

@@ -8,7 +8,6 @@ starts producing results immediately; migration pays a single latency but
 ships one monolithic payload.  The series below prints virtual transfer
 times for both strategies on the simulated LAN and WAN."""
 
-import numpy as np
 
 from repro.data import arff, stream, synthetic
 from repro.ws.transport import LAN, WAN, NetworkModel

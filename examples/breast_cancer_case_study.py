@@ -13,7 +13,7 @@ from pathlib import Path
 from repro.data import arff, summary, synthetic
 from repro.services import serve_toolbox
 from repro.workflow import (TaskGraph, ToolBox, WorkflowEngine,
-                            default_toolbox, import_wsdl_url)
+                            import_wsdl_url)
 from repro.workflow.model import FunctionTool
 from repro.ws import ServiceProxy
 

@@ -6,7 +6,7 @@ Run:  python examples/distributed_clustering.py
 """
 
 from repro.data import arff, synthetic
-from repro.services import CobwebService, ClustererService, serve_toolbox
+from repro.services import CobwebService, serve_toolbox
 from repro.viz import clusterviz
 from repro.ws import (ServiceContainer, ServiceProxy, SoapHttpServer)
 from repro.workflow import ReplicatedServiceTool

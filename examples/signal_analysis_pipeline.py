@@ -9,7 +9,6 @@ Writes spectrum_surface.ppm next to this script.
 
 from pathlib import Path
 
-import numpy as np
 
 from repro.data import csvio, synthetic
 from repro.services import serve_toolbox

@@ -1,0 +1,57 @@
+"""Observability demo: one trace across a service-backed workflow.
+
+Hosts the toolbox over HTTP, imports the J48 service's WSDL into the
+workspace, enacts a two-task workflow (summarise + classify, both remote
+SOAP calls), then prints the span-tree timeline and the metrics table.
+The client-side ``soap:`` spans and the server-side ``http:``/``dispatch:``
+spans share one trace id — the end-to-end §3 monitoring picture.
+
+Run:  python examples/traced_pipeline.py
+
+The run writes ``.faehim-trace.json``; inspect it afterwards with
+``repro trace`` and ``repro metrics --json``.
+"""
+
+from repro import obs
+from repro.data import arff, synthetic
+from repro.services import serve_toolbox
+from repro.workflow import (TaskGraph, WorkflowEngine, import_wsdl_url)
+from repro.workflow.model import FunctionTool
+
+
+def main() -> None:
+    obs.enable_tracing()
+    dataset_arff = arff.dumps(synthetic.breast_cancer())
+    with serve_toolbox() as host:
+        print(f"toolkit hosted at {host.server.base_url}")
+        j48_tools = import_wsdl_url(host.wsdl_url("J48"))
+        data_tools = import_wsdl_url(host.wsdl_url("Data"))
+        classify = next(t for t in j48_tools
+                        if t.name.endswith(".classify"))
+        summarise = next(t for t in data_tools
+                         if t.name.endswith(".summarise"))
+
+        g = TaskGraph("traced-pipeline")
+        src = g.add(FunctionTool("Dataset", lambda: dataset_arff,
+                                 [], ["arff"]))
+        stats = g.add(summarise, name="summarise")
+        tree = g.add(classify, name="classify")
+        g.connect(src, stats, target_index=0)
+        g.connect(src, tree, target_index=0)
+        tree.parameters["attribute"] = "Class"
+
+        result = WorkflowEngine().run(g)
+        print(f"\nworkflow trace id: {result.trace_id}")
+        print(f"summary head: {str(result.output(stats))[:72]!r}")
+
+    print("\n=== span tree " + "=" * 50)
+    print(obs.render_span_tree(obs.get_tracer().collector.spans()))
+    print("\n=== metrics " + "=" * 52)
+    print(obs.render_metrics())
+    path = obs.write_snapshot(".faehim-trace.json")
+    print(f"\nsnapshot written to {path} — try: repro trace, "
+          f"repro metrics --json")
+
+
+if __name__ == "__main__":
+    main()

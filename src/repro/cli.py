@@ -13,7 +13,9 @@ service catalogue:
 * ``convert``     — CSV ↔ ARFF conversion
 * ``recommend``   — algorithm advice for a dataset
 * ``algorithms``  — list the algorithm catalogue
-* ``run``         — enact a workflow XML file
+* ``run``         — enact a workflow XML file (``--trace`` records spans)
+* ``trace``       — render the span-tree timeline of a traced run
+* ``metrics``     — render per-operation counters and latency quantiles
 """
 
 from __future__ import annotations
@@ -116,7 +118,11 @@ def _cmd_algorithms(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    from repro import obs
     from repro.workflow import WorkflowEngine, default_toolbox, xmlio
+    obs.maybe_enable_tracing_from_env()
+    if args.trace:
+        obs.enable_tracing()
     graph = xmlio.loads(Path(args.workflow).read_text(),
                         default_toolbox())
     result = WorkflowEngine().run(graph)
@@ -127,6 +133,55 @@ def _cmd_run(args) -> int:
             print(value)
     print(f"(enacted {len(graph)} tasks in "
           f"{result.wall_seconds:.3f}s)")
+    if obs.tracing_enabled():
+        print()
+        print(obs.render_span_tree(obs.get_tracer().collector.spans()))
+        path = obs.write_snapshot(args.trace_out)
+        print(f"\n(trace snapshot written to {path}; inspect with "
+              f"'repro trace' / 'repro metrics')")
+    return 0
+
+
+def _load_obs_snapshot(path: str):
+    from repro import obs
+    target = Path(path)
+    if not target.exists():
+        raise ReproError(
+            f"no trace snapshot at {path!r} — run a workflow with "
+            f"'repro run --trace <workflow.xml>' (or FAEHIM_TRACE=1) "
+            f"first")
+    try:
+        return obs.load_snapshot(target)
+    except ValueError as exc:
+        raise ReproError(
+            f"{path!r} is not a trace snapshot (invalid JSON: {exc})")
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro import obs
+    data = _load_obs_snapshot(args.snapshot)
+    if args.json:
+        print(json.dumps(data.get("spans", []), indent=2))
+    else:
+        print(obs.render_span_tree(data.get("spans", [])))
+        dropped = data.get("dropped_spans", 0)
+        if dropped:
+            print(f"({dropped} span(s) dropped at collector capacity)")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    import json
+
+    from repro import obs
+    data = _load_obs_snapshot(args.snapshot)
+    metrics = data.get("metrics", {})
+    if args.json:
+        print(json.dumps(metrics, indent=2))
+    else:
+        print(obs.render_metrics(metrics))
     return 0
 
 
@@ -189,7 +244,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="enact a workflow XML file")
     p.add_argument("workflow")
+    p.add_argument("--trace", action="store_true",
+                   help="record spans/metrics, print the span tree and "
+                        "write a snapshot (also: FAEHIM_TRACE=1)")
+    p.add_argument("--trace-out", default=".faehim-trace.json",
+                   dest="trace_out",
+                   help="snapshot path (default: .faehim-trace.json)")
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("trace",
+                       help="render the span tree of a traced run")
+    p.add_argument("snapshot", nargs="?", default=".faehim-trace.json")
+    p.add_argument("--json", action="store_true",
+                   help="emit raw span records as JSON")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser("metrics",
+                       help="render call counts and latency quantiles")
+    p.add_argument("snapshot", nargs="?", default=".faehim-trace.json")
+    p.add_argument("--json", action="store_true",
+                   help="emit the metrics snapshot as JSON")
+    p.set_defaults(fn=_cmd_metrics)
     return parser
 
 

@@ -10,7 +10,6 @@ search/selection advertised in the paper (see
 from __future__ import annotations
 
 import itertools
-from typing import Sequence
 
 import numpy as np
 

@@ -1,0 +1,32 @@
+"""Observability spine: request-scoped tracing + metrics (§3 monitoring).
+
+One import point for the instruments the WS stack, the services and the
+workflow engine share:
+
+* :mod:`repro.obs.trace` — spans with trace/span ids, context propagation
+  over the SOAP ``<repro:TraceContext>`` header, the global tracer.
+* :mod:`repro.obs.metrics` — counters + latency/byte histograms with
+  p50/p95/p99, the global registry.
+* :mod:`repro.obs.render` — the ``repro trace``/``repro metrics`` tree and
+  table renderers plus JSON snapshot IO.
+"""
+
+from repro.obs.metrics import (Counter, Histogram, MetricsRegistry,
+                               format_series, get_metrics, reset_metrics)
+from repro.obs.render import (DEFAULT_SNAPSHOT, load_snapshot,
+                              render_metrics, render_span_tree, snapshot,
+                              write_snapshot)
+from repro.obs.trace import (NOOP_SPAN, TRACE_ENV_VAR, Span, SpanCollector,
+                             SpanContext, Tracer, enable_tracing,
+                             get_tracer, maybe_enable_tracing_from_env,
+                             reset_tracing, tracing_enabled)
+
+__all__ = [
+    "Counter", "Histogram", "MetricsRegistry", "format_series",
+    "get_metrics", "reset_metrics",
+    "Span", "SpanCollector", "SpanContext", "Tracer", "NOOP_SPAN",
+    "TRACE_ENV_VAR", "enable_tracing", "tracing_enabled", "reset_tracing",
+    "get_tracer", "maybe_enable_tracing_from_env",
+    "DEFAULT_SNAPSHOT", "render_span_tree", "render_metrics", "snapshot",
+    "write_snapshot", "load_snapshot",
+]

@@ -1,0 +1,182 @@
+"""Metrics: counters and latency/byte histograms for every hop.
+
+The paper's §3 monitoring requirement asks that "users ... monitor the
+progress of their jobs as they are executed on distributed resources"; the
+§4.5/§5 overhead analysis additionally needs per-operation accounting
+(message counts, payload bytes, invocation latency).  This module is the
+numeric half of the observability spine: a process-global
+:class:`MetricsRegistry` holding named, labelled :class:`Counter` and
+:class:`Histogram` instruments that the WS transports, the service
+container, the per-operation dispatcher and the workflow engine all feed.
+
+Everything is thread-safe (transports and the engine call in from pool and
+HTTP handler threads) and cheap enough to stay always-on; tests reset the
+global registry between cases via the ``tests/conftest.py`` fixture.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any, Iterable
+
+#: Histograms keep at most this many observations; beyond it they switch to
+#: reservoir sampling so long-running servers stay bounded in memory.
+RESERVOIR_SIZE = 8192
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_series(name: str, labels: LabelKey) -> str:
+    """Render one series id, prometheus-style: ``name{k=v,...}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing (float-friendly) counter."""
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Observation store with nearest-rank percentiles.
+
+    Keeps every observation up to :data:`RESERVOIR_SIZE`, then degrades to
+    uniform reservoir sampling (seeded, so runs stay reproducible).  The
+    count and sum always remain exact.
+    """
+
+    def __init__(self) -> None:
+        self._values: list[float] = []
+        self.count = 0
+        self.sum = 0.0
+        self._lock = threading.Lock()
+        self._rng = random.Random(0)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if len(self._values) < RESERVOIR_SIZE:
+                self._values.append(value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < RESERVOIR_SIZE:
+                    self._values[slot] = value
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile *p* (0..100) of the observations."""
+        with self._lock:
+            values = sorted(self._values)
+        if not values:
+            return 0.0
+        rank = max(1, -(-len(values) * p // 100))  # ceil without math
+        return values[min(len(values), int(rank)) - 1]
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """count/sum/mean plus the p50/p95/p99 quantiles."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named, labelled instruments behind one lock.
+
+    ``registry.counter("ws.transport.bytes_sent", transport="http")``
+    returns the same :class:`Counter` on every call with the same name and
+    labels, so instrumentation sites never need registration ceremony.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, LabelKey], Counter] = {}
+        self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter for (*name*, *labels*), created on first use."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = self._counters[key] = Counter()
+        return instrument
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        """The histogram for (*name*, *labels*), created on first use."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._histograms.get(key)
+            if instrument is None:
+                instrument = self._histograms[key] = Histogram()
+        return instrument
+
+    def clear(self) -> None:
+        """Drop every instrument (tests call this between cases)."""
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+
+    def counters(self) -> Iterable[tuple[str, LabelKey, Counter]]:
+        """All registered counters as (name, labels, instrument) rows."""
+        with self._lock:
+            items = list(self._counters.items())
+        return [(name, labels, c) for (name, labels), c in items]
+
+    def histograms(self) -> Iterable[tuple[str, LabelKey, Histogram]]:
+        """All registered histograms as (name, labels, instrument) rows."""
+        with self._lock:
+            items = list(self._histograms.items())
+        return [(name, labels, h) for (name, labels), h in items]
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready view: series id -> value / quantile summary."""
+        return {
+            "counters": {format_series(name, labels): counter.value
+                         for name, labels, counter in self.counters()},
+            "histograms": {format_series(name, labels): hist.summary()
+                           for name, labels, hist in self.histograms()},
+        }
+
+
+_registry = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _registry
+
+
+def reset_metrics() -> None:
+    """Clear the global registry (test isolation)."""
+    _registry.clear()

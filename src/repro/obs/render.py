@@ -1,0 +1,137 @@
+"""User-facing surfaces: span-tree timelines, metrics tables, snapshots.
+
+This is the "such feedback" half of the §3 monitoring requirement — the
+renderers behind ``repro trace`` and ``repro metrics``.  Spans are rendered
+as an indented tree per trace (children nested under parents, offsets
+relative to the trace root) and metrics as fixed-width tables with
+p50/p95/p99 columns.  :func:`snapshot`/:func:`write_snapshot`/
+:func:`load_snapshot` move both through one JSON document so a traced run
+can be inspected after the process exits (and by machines).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import Span, get_tracer
+
+#: Default snapshot path written by ``repro run --trace``.
+DEFAULT_SNAPSHOT = ".faehim-trace.json"
+
+
+def _as_dicts(spans: list[Span] | list[dict[str, Any]]) -> list[dict]:
+    return [s.to_dict() if isinstance(s, Span) else dict(s)
+            for s in spans]
+
+
+def render_span_tree(spans: list[Span] | list[dict[str, Any]]) -> str:
+    """Render spans as one indented timeline tree per trace."""
+    records = _as_dicts(spans)
+    if not records:
+        return "(no spans recorded — enable tracing with --trace or " \
+               "FAEHIM_TRACE=1)"
+    by_id = {r["span_id"]: r for r in records}
+    children: dict[str, list[dict]] = {}
+    roots: list[dict] = []
+    for r in records:
+        parent = r.get("parent_id", "")
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(r)
+        else:
+            roots.append(r)
+    for kids in children.values():
+        kids.sort(key=lambda r: r["started_at"])
+    roots.sort(key=lambda r: r["started_at"])
+
+    lines: list[str] = []
+
+    def emit(record: dict, depth: int, t0: float) -> None:
+        offset_ms = (record["started_at"] - t0) * 1000.0
+        duration_ms = max(
+            0.0, record["ended_at"] - record["started_at"]) * 1000.0
+        status = "" if record.get("status", "ok") == "ok" else \
+            f"  !{record['status']}"
+        attrs = record.get("attributes") or {}
+        noted = ", ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+        noted = f"  [{noted}]" if noted else ""
+        indent = "  " * depth
+        lines.append(f"{offset_ms:10.2f}ms {duration_ms:9.2f}ms  "
+                     f"{indent}{record['name']}{status}{noted}")
+        for child in children.get(record["span_id"], []):
+            emit(child, depth + 1, t0)
+
+    seen_traces: set[str] = set()
+    for root in roots:
+        trace_id = root.get("trace_id", "")
+        if trace_id not in seen_traces:
+            seen_traces.add(trace_id)
+            lines.append(f"trace {trace_id}")
+            lines.append(f"{'offset':>12} {'duration':>10}  span")
+        emit(root, 1, root["started_at"])
+    return "\n".join(lines)
+
+
+def _fmt_value(name: str, value: float) -> str:
+    if name.split("{", 1)[0].endswith("seconds"):
+        return f"{value * 1000.0:.2f}ms"
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def render_metrics(metrics: dict[str, Any] | None = None) -> str:
+    """Render a metrics snapshot (default: the live global registry)."""
+    data = metrics if metrics is not None else get_metrics().snapshot()
+    counters: dict[str, float] = data.get("counters", {})
+    histograms: dict[str, dict] = data.get("histograms", {})
+    if not counters and not histograms:
+        return "(no metrics recorded)"
+    lines: list[str] = []
+    if counters:
+        width = max(len(n) for n in counters)
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  "
+                         f"{_fmt_value(name, counters[name])}")
+    if histograms:
+        if lines:
+            lines.append("")
+        width = max(len(n) for n in histograms)
+        lines.append("histograms:")
+        header = (f"  {'series':<{width}}  {'count':>7} {'mean':>10} "
+                  f"{'p50':>10} {'p95':>10} {'p99':>10}")
+        lines.append(header)
+        for name in sorted(histograms):
+            h = histograms[name]
+            lines.append(
+                f"  {name:<{width}}  {int(h['count']):>7} "
+                f"{_fmt_value(name, h['mean']):>10} "
+                f"{_fmt_value(name, h['p50']):>10} "
+                f"{_fmt_value(name, h['p95']):>10} "
+                f"{_fmt_value(name, h['p99']):>10}")
+    return "\n".join(lines)
+
+
+def snapshot() -> dict[str, Any]:
+    """One JSON-ready document holding collected spans + all metrics."""
+    tracer = get_tracer()
+    return {
+        "spans": [s.to_dict() for s in tracer.collector.spans()],
+        "dropped_spans": tracer.collector.dropped,
+        "metrics": get_metrics().snapshot(),
+    }
+
+
+def write_snapshot(path: str | Path) -> Path:
+    """Write :func:`snapshot` to *path*; returns the path written."""
+    target = Path(path)
+    target.write_text(json.dumps(snapshot(), indent=2, default=str))
+    return target
+
+
+def load_snapshot(path: str | Path) -> dict[str, Any]:
+    """Load a snapshot document written by :func:`write_snapshot`."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,262 @@
+"""Request-scoped tracing across the SOAP stack and the workflow engine.
+
+The monitoring the paper asks for in §3 ("the framework should allow users
+to monitor the progress of their jobs as they are executed on distributed
+resources") needs more than per-task events once invocations hop machines:
+a single workflow run fans out into client SOAP calls, wire transfers and
+server-side dispatches, and only a shared *trace id* ties those pieces back
+into one picture.  This module provides that spine:
+
+* :class:`Span` — one timed operation with a trace id, span id, parent
+  span id, free-form attributes and an ok/error status.
+* :class:`Tracer` — creates spans as context managers, maintains the
+  current span per thread-of-control (``contextvars``), and records
+  finished spans into a thread-safe :class:`SpanCollector`.
+* :class:`SpanContext` — the (trace id, span id) pair that travels inside
+  the SOAP ``<repro:TraceContext>`` header so server-side spans join the
+  client's trace (see :mod:`repro.ws.soap`).
+
+Tracing is opt-in (:func:`enable_tracing`, or the ``FAEHIM_TRACE=1``
+environment hook honoured by ``deploy.py``/``grid.py``); when disabled,
+instrumentation sites get a shared no-op span and pay almost nothing.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+#: Environment variable that switches tracing on (``1``/``true``/``yes``).
+TRACE_ENV_VAR = "FAEHIM_TRACE"
+
+#: The collector refuses to grow past this many finished spans; further
+#: spans are counted in :attr:`SpanCollector.dropped` instead of stored.
+COLLECTOR_CAPACITY = 20000
+
+
+def new_id(n_hex: int = 16) -> str:
+    """A fresh random hex id (16 hex chars for spans, 32 for traces)."""
+    value = uuid.uuid4().hex
+    while len(value) < n_hex:
+        value += uuid.uuid4().hex
+    return value[:n_hex]
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagated identity of a span: enough to parent a remote child."""
+
+    trace_id: str
+    span_id: str
+
+
+@dataclass
+class Span:
+    """One timed operation inside a trace."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str = ""
+    started_at: float = 0.0
+    ended_at: float = 0.0
+    status: str = "ok"
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach one key/value annotation to the span."""
+        self.attributes[key] = value
+
+    def context(self) -> SpanContext:
+        """The propagatable (trace id, span id) pair."""
+        return SpanContext(self.trace_id, self.span_id)
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.ended_at - self.started_at)
+
+    @property
+    def recording(self) -> bool:
+        return True
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (snapshot files, ``repro trace --json``)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "started_at": self.started_at,
+            "ended_at": self.ended_at,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output."""
+        return cls(name=data["name"], trace_id=data["trace_id"],
+                   span_id=data["span_id"],
+                   parent_id=data.get("parent_id", ""),
+                   started_at=data.get("started_at", 0.0),
+                   ended_at=data.get("ended_at", 0.0),
+                   status=data.get("status", "ok"),
+                   attributes=dict(data.get("attributes", {})))
+
+
+class _NoopSpan:
+    """Stand-in handed out while tracing is disabled."""
+
+    name = ""
+    trace_id = ""
+    span_id = ""
+    parent_id = ""
+    status = "ok"
+    attributes: dict[str, Any] = {}
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def context(self) -> SpanContext:
+        return SpanContext("", "")
+
+    @property
+    def recording(self) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class SpanCollector:
+    """Thread-safe store of finished spans (bounded, oldest-first)."""
+
+    def __init__(self, capacity: int = COLLECTOR_CAPACITY):
+        self.capacity = capacity
+        self.dropped = 0
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+
+    def record(self, span: Span) -> None:
+        """File one finished span."""
+        with self._lock:
+            if len(self._spans) >= self.capacity:
+                self.dropped += 1
+                return
+            self._spans.append(span)
+
+    def spans(self) -> list[Span]:
+        """Snapshot of the collected spans, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        """Discard everything collected so far."""
+        with self._lock:
+            self._spans.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+_current_span: contextvars.ContextVar[Span | None] = \
+    contextvars.ContextVar("repro_current_span", default=None)
+
+
+class Tracer:
+    """Creates spans, tracks the active one, records them when they end."""
+
+    def __init__(self, collector: SpanCollector | None = None,
+                 enabled: bool = False):
+        self.collector = collector or SpanCollector()
+        self.enabled = enabled
+
+    def current_span(self) -> Span | None:
+        """The span active on this thread-of-control, if any."""
+        return _current_span.get()
+
+    def current_context(self) -> SpanContext | None:
+        """Propagatable context of the active span, if any."""
+        span = _current_span.get()
+        return span.context() if span is not None else None
+
+    @contextlib.contextmanager
+    def span(self, name: str,
+             attributes: dict[str, Any] | None = None,
+             parent: Span | SpanContext | None = None) -> Iterator[Any]:
+        """Open one span around a block.
+
+        Parentage: an explicit *parent* (a local :class:`Span` or a
+        propagated :class:`SpanContext`) wins; otherwise the thread's
+        current span; otherwise the span roots a fresh trace.  On
+        exceptions the span is marked ``status="error"`` and re-raises.
+        """
+        if not self.enabled:
+            yield NOOP_SPAN
+            return
+        if parent is None:
+            parent = _current_span.get()
+        if parent is not None and not parent.trace_id:
+            parent = None  # no-op spans and empty contexts don't parent
+        if parent is None:
+            trace_id, parent_id = new_id(32), ""
+        else:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        span = Span(name=name, trace_id=trace_id, span_id=new_id(),
+                    parent_id=parent_id, started_at=time.time(),
+                    attributes=dict(attributes or {}))
+        token = _current_span.set(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.attributes.setdefault("error", repr(exc))
+            raise
+        finally:
+            span.ended_at = time.time()
+            _current_span.reset(token)
+            self.collector.record(span)
+
+
+_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer."""
+    return _tracer
+
+
+def enable_tracing(enabled: bool = True) -> None:
+    """Switch span recording on (or off with ``enabled=False``)."""
+    _tracer.enabled = enabled
+
+
+def tracing_enabled() -> bool:
+    """Whether the global tracer records spans."""
+    return _tracer.enabled
+
+
+def reset_tracing() -> None:
+    """Disable tracing and drop collected spans (test isolation)."""
+    _tracer.enabled = False
+    _tracer.collector.clear()
+
+
+def maybe_enable_tracing_from_env() -> bool:
+    """Honour the opt-in ``FAEHIM_TRACE`` environment hook.
+
+    Returns whether tracing is enabled afterwards; never *disables* a
+    tracer something already switched on programmatically.
+    """
+    flag = os.environ.get(TRACE_ENV_VAR, "").strip().lower()
+    if flag in {"1", "true", "yes", "on"}:
+        _tracer.enabled = True
+    return _tracer.enabled

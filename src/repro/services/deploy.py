@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import maybe_enable_tracing_from_env
 from repro.services.advisor_service import AdvisorService
 from repro.services.association_service import AssociationService
 from repro.services.attrsel_service import AttributeSelectionService
@@ -48,6 +49,7 @@ TOOLBOX = {
 def deploy_toolbox(container: ServiceContainer | None = None,
                    lifecycle: str = "harness") -> ServiceContainer:
     """Deploy every toolbox service (plus the registry) into *container*."""
+    maybe_enable_tracing_from_env()  # opt-in FAEHIM_TRACE=1 hook
     container = container or ServiceContainer("faehim")
     for name, (cls, _) in TOOLBOX.items():
         container.deploy(cls, name, lifecycle=lifecycle)
@@ -87,6 +89,7 @@ class HostedToolbox:
 def serve_toolbox(port: int = 0,
                   lifecycle: str = "harness") -> HostedToolbox:
     """Host the toolbox over HTTP and publish every service's WSDL URL."""
+    maybe_enable_tracing_from_env()  # opt-in FAEHIM_TRACE=1 hook
     container = ServiceContainer("faehim")
     registry = UDDIRegistry()
     for name, (cls, categories) in TOOLBOX.items():

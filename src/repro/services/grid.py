@@ -25,6 +25,8 @@ from repro.data import arff
 from repro.data.dataset import Dataset
 from repro.errors import ServiceError, TransportError, WorkflowError
 from repro.ml.evaluation import EvaluationResult, stratified_folds
+from repro.obs import (get_metrics, get_tracer,
+                       maybe_enable_tracing_from_env)
 
 
 @dataclass
@@ -71,6 +73,7 @@ def distributed_cross_validate(proxies: Sequence, dataset: Dataset,
     Folds are processed by a pool of worker threads, one per proxy; a fold
     whose worker fails is re-queued for the remaining workers.
     """
+    maybe_enable_tracing_from_env()  # opt-in FAEHIM_TRACE=1 hook
     if not proxies:
         raise WorkflowError("need at least one Classifier endpoint")
     attribute = attribute or dataset.class_attribute.name
@@ -95,6 +98,21 @@ def distributed_cross_validate(proxies: Sequence, dataset: Dataset,
     outcomes: list[FoldOutcome] = []
     dead_workers: set[int] = set()
     errors: list[Exception] = []
+    tracer = get_tracer()
+    grid_span = None  # rebound to the root span once dispatch begins
+
+    def dispatch_fold(proxy, worker_id: int, fold_no: int,
+                      train_doc: str, test_doc: str) -> dict:
+        # worker threads don't inherit the caller's contextvars, so the
+        # per-fold span is parented on the grid root span explicitly
+        with tracer.span(f"grid:fold{fold_no}",
+                         {"worker": worker_id, "fold": fold_no},
+                         parent=grid_span):
+            out = proxy.call("predict", classifier=classifier,
+                             train=train_doc, test=test_doc,
+                             attribute=attribute, options=options or {})
+        get_metrics().counter("grid.folds", worker=worker_id).inc()
+        return out
 
     def worker(worker_id: int) -> None:
         proxy = proxies[worker_id]
@@ -105,10 +123,8 @@ def distributed_cross_validate(proxies: Sequence, dataset: Dataset,
                 job = queue.pop(0)
             fold_no, train_doc, test_doc, test_ds = job
             try:
-                out = proxy.call("predict", classifier=classifier,
-                                 train=train_doc, test=test_doc,
-                                 attribute=attribute,
-                                 options=options or {})
+                out = dispatch_fold(proxy, worker_id, fold_no,
+                                    train_doc, test_doc)
             except (TransportError, ServiceError, OSError) as exc:
                 with queue_lock:
                     queue.append(job)  # migrate the fold
@@ -133,41 +149,48 @@ def distributed_cross_validate(proxies: Sequence, dataset: Dataset,
                 total.merge(fold_result)
                 outcomes.append(FoldOutcome(fold_no, worker_id))
 
-    threads = [threading.Thread(target=worker, args=(i,),
-                                name=f"grid-worker-{i}")
-               for i in range(len(proxies))]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
-    if queue and errors:
-        raise WorkflowError(
-            f"{len(queue)} fold(s) undispatchable: all endpoints died "
-            f"({errors[0]!r})")
-    if queue:
-        # some folds migrated but workers exited; run them on any survivor
-        survivors = [i for i in range(len(proxies))
-                     if i not in dead_workers]
-        if not survivors:
-            raise WorkflowError("all grid endpoints failed")
-        for job in list(queue):
-            queue.remove(job)
-            fold_no, train_doc, test_doc, test_ds = job
-            proxy = proxies[survivors[0]]
-            out = proxy.call("predict", classifier=classifier,
-                             train=train_doc, test=test_doc,
-                             attribute=attribute, options=options or {})
-            fold_result = EvaluationResult(labels)
-            for inst, label in zip(test_ds, out["labels"]):
-                if inst.class_is_missing(test_ds):
-                    continue
-                fold_result.record(int(inst.class_value(test_ds)),
-                                   list(labels).index(label),
-                                   inst.weight)
-            total.merge(fold_result)
-            outcomes.append(FoldOutcome(fold_no, survivors[0],
-                                        attempts=2, migrated=True))
-    return GridRunReport(result=total, outcomes=outcomes)
+    with tracer.span("grid:cross_validate",
+                     {"classifier": classifier, "k": k,
+                      "endpoints": len(proxies)}) as root_span:
+        if root_span.recording:
+            grid_span = root_span
+        threads = [threading.Thread(target=worker, args=(i,),
+                                    name=f"grid-worker-{i}")
+                   for i in range(len(proxies))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if queue and errors:
+            raise WorkflowError(
+                f"{len(queue)} fold(s) undispatchable: all endpoints "
+                f"died ({errors[0]!r})")
+        if queue:
+            # some folds migrated but workers exited; run them on any
+            # survivor
+            survivors = [i for i in range(len(proxies))
+                         if i not in dead_workers]
+            if not survivors:
+                raise WorkflowError("all grid endpoints failed")
+            for job in list(queue):
+                queue.remove(job)
+                fold_no, train_doc, test_doc, test_ds = job
+                proxy = proxies[survivors[0]]
+                out = dispatch_fold(proxy, survivors[0], fold_no,
+                                    train_doc, test_doc)
+                fold_result = EvaluationResult(labels)
+                for inst, label in zip(test_ds, out["labels"]):
+                    if inst.class_is_missing(test_ds):
+                        continue
+                    fold_result.record(int(inst.class_value(test_ds)),
+                                       list(labels).index(label),
+                                       inst.weight)
+                total.merge(fold_result)
+                outcomes.append(FoldOutcome(fold_no, survivors[0],
+                                            attempts=2, migrated=True))
+        root_span.set_attribute("migrations",
+                                sum(1 for o in outcomes if o.migrated))
+        return GridRunReport(result=total, outcomes=outcomes)
 
 
 def remote_build(proxy, dataset: Dataset, classifier: str = "J48",

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import EnactmentError, WorkflowError
+from repro.obs import get_metrics, get_tracer
 from repro.workflow.model import Task, TaskGraph
 from repro.workflow.monitor import EventBus, TaskEvent
 
@@ -35,6 +36,7 @@ class RunResult:
     durations: dict[str, float] = field(default_factory=dict)
     started_at: float = 0.0
     finished_at: float = 0.0
+    trace_id: str = ""  # set when tracing is enabled
 
     def output(self, task: str | Task, index: int = 0) -> Any:
         """Value produced at (task, output index)."""
@@ -64,10 +66,21 @@ class WorkflowEngine:
             inputs: dict[tuple[str, int], Any] | None = None) -> RunResult:
         """Execute *graph*; *inputs* optionally seeds (task, input-index)
         values for group execution."""
+        # one root span per run; every task span (and, transitively, every
+        # SOAP client/transport/server span a service-backed task incurs)
+        # shares its trace id, giving the §3 monitor one coherent tree
+        with get_tracer().span(f"workflow:{graph.name}") as wf_span:
+            wf_span.set_attribute("tasks", len(graph.tasks))
+            return self._run(graph, inputs, wf_span)
+
+    def _run(self, graph: TaskGraph,
+             inputs: dict[tuple[str, int], Any] | None,
+             wf_span: Any) -> RunResult:
         graph.validate()
         order = graph.topological_order()
         assert order is not None
-        result = RunResult(graph_name=graph.name)
+        result = RunResult(graph_name=graph.name,
+                           trace_id=wf_span.trace_id)
         result.started_at = time.time()
         self.events.emit(TaskEvent("workflow", graph.name, "started"))
 
@@ -101,21 +114,32 @@ class WorkflowEngine:
         def execute(task: Task) -> None:
             self.events.emit(TaskEvent("task", task.name, "started"))
             start = time.perf_counter()
+            tracer = get_tracer()
             try:
-                ins = gather_inputs(task)
-                params = task.effective_parameters()
-                if self.retry_policy is not None:
-                    outs = self.retry_policy.run_task(task, ins, params)
-                else:
-                    outs = task.tool.run(ins, params)
+                # parent the task span on the run's root span explicitly:
+                # pool threads don't inherit the runner's contextvars
+                with tracer.span(f"task:{task.name}",
+                                 parent=wf_span) as task_span:
+                    task_span.set_attribute("tool", task.tool.name)
+                    ins = gather_inputs(task)
+                    params = task.effective_parameters()
+                    if self.retry_policy is not None:
+                        outs = self.retry_policy.run_task(
+                            task, ins, params)
+                    else:
+                        outs = task.tool.run(ins, params)
             except Exception as exc:
                 self.events.emit(TaskEvent("task", task.name, "failed",
                                            detail=repr(exc)))
+                get_metrics().counter("workflow.task.failures",
+                                      graph=graph.name).inc()
                 with lock:
                     errors.append(EnactmentError(task.name, exc))
                 done.set()
                 return
             duration = time.perf_counter() - start
+            get_metrics().histogram("workflow.task.seconds",
+                                    task=task.name).observe(duration)
             self.events.emit(TaskEvent("task", task.name, "finished",
                                        detail=f"{duration:.4f}s"))
             ready: list[Task] = []
@@ -155,6 +179,10 @@ class WorkflowEngine:
         done.wait()
         executor.shutdown(wait=True)
         result.finished_at = time.time()
+        metrics = get_metrics()
+        metrics.counter("workflow.runs", graph=graph.name).inc()
+        metrics.histogram("workflow.run.seconds",
+                          graph=graph.name).observe(result.wall_seconds)
         if errors:
             self.events.emit(TaskEvent("workflow", graph.name, "failed",
                                        detail=str(errors[0])))

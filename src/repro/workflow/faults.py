@@ -22,8 +22,15 @@ from typing import Any, Sequence
 
 from repro.errors import EnactmentError, ServiceError, TransportError, \
     WorkflowError
+from repro.obs import get_metrics
 from repro.workflow.model import Task, Tool
 from repro.workflow.monitor import EventBus, TaskEvent
+
+#: Failures worth re-running: delivery problems and service-side errors.
+#: Programming errors in tools (TypeError, KeyError, ...) are *not* here —
+#: retrying those only repeats the bug with backoff.
+TRANSIENT_ERRORS: tuple[type[BaseException], ...] = (TransportError,
+                                                     ServiceError)
 
 
 class RetryPolicy:
@@ -31,7 +38,8 @@ class RetryPolicy:
 
     def __init__(self, max_retries: int = 2, backoff_s: float = 0.0,
                  events: EventBus | None = None,
-                 retry_on: tuple[type[BaseException], ...] = (Exception,)):
+                 retry_on: tuple[type[BaseException], ...]
+                 = TRANSIENT_ERRORS):
         self.max_retries = max_retries
         self.backoff_s = backoff_s
         self.events = events
@@ -48,6 +56,8 @@ class RetryPolicy:
                 attempt += 1
                 if attempt > self.max_retries:
                     raise
+                get_metrics().counter("workflow.retries",
+                                      task=task.name).inc()
                 if self.events:
                     self.events.emit(TaskEvent(
                         "task", task.name, "retried",
@@ -92,6 +102,8 @@ class ReplicatedServiceTool(Tool):
             except (TransportError, ServiceError, OSError) as exc:
                 last_error = exc
                 self.migrations.append((replica, repr(exc)))
+                get_metrics().counter("workflow.migrations",
+                                      tool=self.name).inc()
                 if self.events:
                     self.events.emit(TaskEvent(
                         "task", self.name, "migrated",

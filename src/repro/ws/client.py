@@ -9,13 +9,16 @@ same early feedback the Triana tools give.
 from __future__ import annotations
 
 import http.client
+import time
 from typing import Any
 from urllib.parse import urlparse
 
 from repro.errors import TransportError, WsdlError
+from repro.obs import get_metrics, get_tracer
 from repro.ws import soap, wsdl
 from repro.ws.soap import SoapRequest, SoapResponse
-from repro.ws.transport import Transport
+from repro.ws.transport import (Transport, record_transport_metrics,
+                                stamp_trace_context)
 
 
 class HttpTransport(Transport):
@@ -42,22 +45,33 @@ class HttpTransport(Transport):
 
     def send(self, request: SoapRequest) -> SoapResponse:
         """Deliver one SOAP request; returns the SOAP response."""
-        wire = soap.encode_request(request)
-        self.bytes_sent += len(wire)
-        try:
-            conn = self._connection()
-            conn.request("POST", self._path, body=wire, headers={
-                "Content-Type": "text/xml; charset=utf-8",
-                "SOAPAction": f'"{request.operation}"',
-            })
-            http_response = conn.getresponse()
-            body = http_response.read()
-        except (OSError, http.client.HTTPException) as exc:
-            self.close()
-            raise TransportError(
-                f"cannot reach {self.endpoint}: {exc}") from exc
-        self.bytes_received += len(body)
-        return soap.decode_response(body)  # raises SoapFault on faults
+        start = time.perf_counter()
+        with get_tracer().span("send:http",
+                               {"endpoint": self.endpoint}) as span:
+            stamp_trace_context(request, span)
+            wire = soap.encode_request(request)
+            self.bytes_sent += len(wire)
+            try:
+                conn = self._connection()
+                conn.request("POST", self._path, body=wire, headers={
+                    "Content-Type": "text/xml; charset=utf-8",
+                    "SOAPAction": f'"{request.operation}"',
+                })
+                http_response = conn.getresponse()
+                body = http_response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                self.close()
+                get_metrics().counter("ws.transport.errors",
+                                      transport="http").inc()
+                raise TransportError(
+                    f"cannot reach {self.endpoint}: {exc}") from exc
+            self.bytes_received += len(body)
+            span.set_attribute("bytes_sent", len(wire))
+            span.set_attribute("bytes_received", len(body))
+            span.set_attribute("http_status", http_response.status)
+            record_transport_metrics("http", time.perf_counter() - start,
+                                     len(wire), len(body))
+            return soap.decode_response(body)  # raises SoapFault on faults
 
     def close(self) -> None:
         """Release underlying resources."""
@@ -133,8 +147,22 @@ class ServiceProxy:
             raise WsdlError(
                 f"operation {operation!r} missing required parameter(s) "
                 f"{missing}")
-        request = SoapRequest(self.description.service, operation, params)
-        return self.transport.send(request).result
+        service = self.description.service
+        request = SoapRequest(service, operation, params)
+        start = time.perf_counter()
+        with get_tracer().span(f"soap:{service}.{operation}") as span:
+            # client-side injection: the proxy's span becomes the parent
+            # of every server-side span for this invocation
+            stamp_trace_context(request, span)
+            try:
+                return self.transport.send(request).result
+            finally:
+                elapsed = time.perf_counter() - start
+                metrics = get_metrics()
+                metrics.counter("ws.client.calls", service=service,
+                                operation=operation).inc()
+                metrics.histogram("ws.client.seconds", service=service,
+                                  operation=operation).observe(elapsed)
 
     def __getattr__(self, name: str):
         if name.startswith("_") or name not in \

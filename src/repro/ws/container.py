@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro.errors import ServiceError
+from repro.obs import SpanContext, get_metrics, get_tracer
 from repro.ws.service import ServiceDefinition
 from repro.ws.soap import SoapFault, SoapRequest, SoapResponse
 
@@ -138,26 +139,49 @@ class ServiceContainer:
     # -- invocation ----------------------------------------------------------
     def invoke(self, request: SoapRequest) -> SoapResponse:
         """Dispatch one request through the deployment's lifecycle."""
-        dep = self._deployment(request.service)
-        with dep.lock:
-            dep.stats.invocations += 1
-            instance = self._acquire(dep)
-            start = time.perf_counter()
-            try:
-                result = dep.definition.dispatch(
-                    instance, request.operation, request.params)
-            except SoapFault:
-                dep.stats.faults += 1
-                raise
-            except Exception as exc:
-                dep.stats.faults += 1
-                raise SoapFault("soapenv:Server", str(exc),
-                                detail=type(exc).__name__) from exc
-            finally:
-                dep.stats.dispatch_seconds += time.perf_counter() - start
-                self._release(dep, instance)
+        tracer = get_tracer()
+        # server-side span: join the client's trace when the request
+        # carries a <repro:TraceContext> header and no local span (an
+        # HTTP handler or in-process transport span) is already active
+        parent = tracer.current_span()
+        if parent is None and request.trace_id:
+            parent = SpanContext(request.trace_id, request.parent_span_id)
+        name = f"dispatch:{request.service}.{request.operation}"
+        with tracer.span(name, {"container": self.name},
+                         parent=parent) as span:
+            dep = self._deployment(request.service)
+            span.set_attribute("lifecycle", dep.lifecycle)
+            with dep.lock:
+                dep.stats.invocations += 1
+                instance = self._acquire(dep)
+                start = time.perf_counter()
+                try:
+                    result = dep.definition.dispatch(
+                        instance, request.operation, request.params)
+                except SoapFault:
+                    dep.stats.faults += 1
+                    self._count_fault(request)
+                    raise
+                except Exception as exc:
+                    dep.stats.faults += 1
+                    self._count_fault(request)
+                    raise SoapFault("soapenv:Server", str(exc),
+                                    detail=type(exc).__name__) from exc
+                finally:
+                    elapsed = time.perf_counter() - start
+                    dep.stats.dispatch_seconds += elapsed
+                    get_metrics().histogram(
+                        "ws.server.dispatch.seconds",
+                        service=request.service,
+                        operation=request.operation).observe(elapsed)
+                    self._release(dep, instance)
         return SoapResponse(service=request.service,
                             operation=request.operation, result=result)
+
+    @staticmethod
+    def _count_fault(request: SoapRequest) -> None:
+        get_metrics().counter("ws.server.faults", service=request.service,
+                              operation=request.operation).inc()
 
     def call(self, service: str, operation: str, **params: Any) -> Any:
         """Convenience in-process invocation."""

@@ -15,10 +15,12 @@ for each imported tool.
 from __future__ import annotations
 
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlparse
 
 from repro.errors import ServiceError
+from repro.obs import SpanContext, get_metrics, get_tracer
 from repro.ws import soap, wsdl
 from repro.ws.container import ServiceContainer
 from repro.ws.soap import SoapFault
@@ -72,16 +74,38 @@ class _Handler(BaseHTTPRequestHandler):
             return
         length = int(self.headers.get("Content-Length", "0"))
         payload = self.rfile.read(length)
+        start = time.perf_counter()
+        status = 200
+        tracer = get_tracer()
         try:
             request = soap.decode_request(payload)
             request.service = name  # the URL wins over the envelope
-            response = self.container.invoke(request)
-            self._send(200, soap.encode_response(response))
+            # tag the handler span with the trace context the SOAP
+            # header carried, so server-side spans join the client trace
+            parent = SpanContext(request.trace_id,
+                                 request.parent_span_id) \
+                if request.trace_id else None
+            with tracer.span(f"http:POST /services/{name}",
+                             {"request_bytes": len(payload)},
+                             parent=parent) as span:
+                response = self.container.invoke(request)
+                body = soap.encode_response(response)
+                span.set_attribute("response_bytes", len(body))
+                span.set_attribute("http_status", status)
+            self._send(200, body)
         except SoapFault as fault:
+            status = 500
             self._send(500, soap.encode_fault(fault))
         except ServiceError as exc:
+            status = 500
             self._send(500, soap.encode_fault(
                 SoapFault("soapenv:Server", str(exc))))
+        finally:
+            metrics = get_metrics()
+            metrics.counter("ws.http.requests", service=name,
+                            status=status).inc()
+            metrics.histogram("ws.http.seconds", service=name).observe(
+                time.perf_counter() - start)
 
 
 class SoapHttpServer:

@@ -11,10 +11,12 @@ each operation provided by the service".
 from __future__ import annotations
 
 import inspect
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, get_type_hints
 
 from repro.errors import ServiceError
+from repro.obs import get_metrics, get_tracer
 from repro.ws.soap import SoapFault
 
 _TYPE_NAMES = {str: "xsd:string", int: "xsd:int", float: "xsd:double",
@@ -108,4 +110,15 @@ class ServiceDefinition:
                             f"operation {op_name!r} missing required "
                             f"parameter(s) {missing}")
         method = getattr(instance, op_name)
-        return method(**params)
+        # per-operation accounting: every services/* operation reports
+        # its own span + latency series, nested under the dispatch span
+        start = time.perf_counter()
+        with get_tracer().span(f"op:{self.name}.{op_name}") as span:
+            span.set_attribute("params", len(params))
+            try:
+                return method(**params)
+            finally:
+                get_metrics().histogram(
+                    "ws.operation.seconds", service=self.name,
+                    operation=op_name).observe(
+                        time.perf_counter() - start)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import base64
 import json
+import re as _re
 import xml.etree.ElementTree as ET
 from dataclasses import dataclass, field
 from typing import Any
@@ -37,8 +38,6 @@ ET.register_namespace("repro", REPRO_NS)
 def _qname(ns: str, local: str) -> str:
     return f"{{{ns}}}{local}"
 
-
-import re as _re
 
 _NAME_OK = _re.compile(r"^[A-Za-z_][A-Za-z0-9_.-]*$")
 # characters XML 1.0 cannot carry verbatim (plus \r, which parsers
@@ -128,11 +127,18 @@ class SoapFault(ServiceError):
 
 @dataclass
 class SoapRequest:
-    """One operation invocation."""
+    """One operation invocation.
+
+    ``trace_id``/``parent_span_id`` carry the observability trace context
+    (see :mod:`repro.obs`); when set they travel in a SOAP header element
+    ``<repro:TraceContext>`` so server-side spans join the client's trace.
+    """
 
     service: str
     operation: str
     params: dict[str, Any] = field(default_factory=dict)
+    trace_id: str = ""
+    parent_span_id: str = ""
 
 
 @dataclass
@@ -144,9 +150,18 @@ class SoapResponse:
     result: Any = None
 
 
+_TRACE_ID_OK = _re.compile(r"^[0-9a-f]{1,64}$")
+
+
 def encode_request(request: SoapRequest) -> bytes:
     """Serialise a SoapRequest as an envelope."""
     envelope = ET.Element(_qname(ENVELOPE_NS, "Envelope"))
+    if request.trace_id:
+        header = ET.SubElement(envelope, _qname(ENVELOPE_NS, "Header"))
+        ctx = ET.SubElement(header, _qname(REPRO_NS, "TraceContext"))
+        ctx.set("traceId", request.trace_id)
+        if request.parent_span_id:
+            ctx.set("parentSpanId", request.parent_span_id)
     body = ET.SubElement(envelope, _qname(ENVELOPE_NS, "Body"))
     op = ET.SubElement(body, _qname(
         REPRO_NS, _check_name(request.operation, "operation")))
@@ -159,13 +174,37 @@ def encode_request(request: SoapRequest) -> bytes:
 
 def decode_request(document: bytes) -> SoapRequest:
     """Parse a request envelope into a SoapRequest."""
-    body = _body_of(document)
+    envelope = _envelope_of(document)
+    body = _body_in(envelope)
     op = _single_child(body, "request")
     local = op.tag.rsplit("}", 1)[-1]
     service = op.get("service", "")
     params = {child.tag.rsplit("}", 1)[-1]: _decode_value(child)
               for child in op}
-    return SoapRequest(service=service, operation=local, params=params)
+    trace_id, parent_span_id = _decode_trace_header(envelope)
+    return SoapRequest(service=service, operation=local, params=params,
+                       trace_id=trace_id, parent_span_id=parent_span_id)
+
+
+def _decode_trace_header(envelope: ET.Element) -> tuple[str, str]:
+    """Extract (trace id, parent span id) from the envelope header.
+
+    Ill-formed ids are dropped rather than faulted: trace context is
+    advisory metadata and must never break an invocation.
+    """
+    header = envelope.find(_qname(ENVELOPE_NS, "Header"))
+    if header is None:
+        return "", ""
+    ctx = header.find(_qname(REPRO_NS, "TraceContext"))
+    if ctx is None:
+        return "", ""
+    trace_id = ctx.get("traceId", "")
+    parent = ctx.get("parentSpanId", "")
+    if not _TRACE_ID_OK.match(trace_id):
+        return "", ""
+    if parent and not _TRACE_ID_OK.match(parent):
+        parent = ""
+    return trace_id, parent
 
 
 def encode_response(response: SoapResponse) -> bytes:
@@ -214,12 +253,20 @@ def decode_response(document: bytes) -> SoapResponse:
 
 
 def _body_of(document: bytes) -> ET.Element:
+    return _body_in(_envelope_of(document))
+
+
+def _envelope_of(document: bytes) -> ET.Element:
     try:
         envelope = ET.fromstring(document)
     except ET.ParseError as exc:
         raise ServiceError(f"malformed SOAP document: {exc}") from exc
     if envelope.tag != _qname(ENVELOPE_NS, "Envelope"):
         raise ServiceError(f"not a SOAP envelope: {envelope.tag}")
+    return envelope
+
+
+def _body_in(envelope: ET.Element) -> ET.Element:
     body = envelope.find(_qname(ENVELOPE_NS, "Body"))
     if body is None:
         raise ServiceError("SOAP envelope has no Body")

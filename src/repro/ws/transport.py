@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import TransportError
+from repro.obs import get_metrics, get_tracer
 from repro.ws import soap
 from repro.ws.container import ServiceContainer
 from repro.ws.soap import SoapFault, SoapRequest, SoapResponse
@@ -37,6 +38,31 @@ class Transport:
         """Release any underlying resources (default: none)."""
 
 
+def stamp_trace_context(request: SoapRequest, span) -> None:
+    """Inject *span*'s trace context into an unstamped request.
+
+    A request already carrying a trace id keeps it (the outermost hop —
+    usually the client proxy — wins), so wrapped transports don't
+    overwrite the caller's context.
+    """
+    if span.recording and not request.trace_id:
+        request.trace_id = span.trace_id
+        request.parent_span_id = span.span_id
+
+
+def record_transport_metrics(transport: str, seconds: float,
+                             bytes_sent: int, bytes_received: int) -> None:
+    """File one send's latency + byte counts under the global registry."""
+    metrics = get_metrics()
+    metrics.histogram("ws.transport.seconds",
+                      transport=transport).observe(seconds)
+    metrics.counter("ws.transport.messages", transport=transport).inc()
+    metrics.counter("ws.transport.bytes_sent",
+                    transport=transport).inc(bytes_sent)
+    metrics.counter("ws.transport.bytes_received",
+                    transport=transport).inc(bytes_received)
+
+
 class InProcessTransport(Transport):
     """Serialise through SOAP but dispatch into a local container."""
 
@@ -47,16 +73,24 @@ class InProcessTransport(Transport):
 
     def send(self, request: SoapRequest) -> SoapResponse:
         """Deliver one SOAP request; returns the SOAP response."""
-        wire = soap.encode_request(request)
-        self.bytes_sent += len(wire)
-        decoded = soap.decode_request(wire)
-        try:
-            response = self.container.invoke(decoded)
-            wire_out = soap.encode_response(response)
-        except SoapFault as fault:
-            wire_out = soap.encode_fault(fault)
-        self.bytes_received += len(wire_out)
-        return soap.decode_response(wire_out)
+        start = time.perf_counter()
+        with get_tracer().span("send:inprocess") as span:
+            stamp_trace_context(request, span)
+            wire = soap.encode_request(request)
+            self.bytes_sent += len(wire)
+            decoded = soap.decode_request(wire)
+            try:
+                response = self.container.invoke(decoded)
+                wire_out = soap.encode_response(response)
+            except SoapFault as fault:
+                wire_out = soap.encode_fault(fault)
+            self.bytes_received += len(wire_out)
+            span.set_attribute("bytes_sent", len(wire))
+            span.set_attribute("bytes_received", len(wire_out))
+            record_transport_metrics(
+                "inprocess", time.perf_counter() - start,
+                len(wire), len(wire_out))
+            return soap.decode_response(wire_out)
 
 
 @dataclass
@@ -108,17 +142,35 @@ class SimulatedTransport(Transport):
 
     def send(self, request: SoapRequest) -> SoapResponse:
         """Deliver one SOAP request; returns the SOAP response."""
-        wire = soap.encode_request(request)
-        self._charge(len(wire))
-        try:
-            response = self.inner.send(request)
-            wire_out = soap.encode_response(response)
-        except SoapFault as fault:
-            wire_out = soap.encode_fault(fault)
-            self._charge(len(wire_out))
-            raise
-        self._charge(len(wire_out))
-        return response
+        start = time.perf_counter()
+        cost_before = self.virtual_seconds
+        bytes_before = self.bytes_on_wire
+        with get_tracer().span("send:simulated") as span:
+            stamp_trace_context(request, span)
+            wire = soap.encode_request(request)
+            try:
+                self._charge(len(wire))
+                try:
+                    response = self.inner.send(request)
+                    wire_out = soap.encode_response(response)
+                except SoapFault as fault:
+                    wire_out = soap.encode_fault(fault)
+                    self._charge(len(wire_out))
+                    raise
+                self._charge(len(wire_out))
+                return response
+            finally:
+                # the paper-model network cost this message pair incurred
+                charged = self.virtual_seconds - cost_before
+                wire_bytes = self.bytes_on_wire - bytes_before
+                span.set_attribute("charge_seconds", round(charged, 6))
+                span.set_attribute("wire_bytes", wire_bytes)
+                span.set_attribute("latency_s", self.model.latency_s)
+                record_transport_metrics(
+                    "simulated", time.perf_counter() - start,
+                    len(wire), wire_bytes - len(wire))
+                get_metrics().counter(
+                    "ws.transport.simulated_cost_seconds").inc(charged)
 
     def close(self) -> None:
         self.inner.close()

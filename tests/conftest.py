@@ -5,6 +5,18 @@ import pytest
 from repro.data import synthetic
 
 
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    """Keep the suite order-independent: every test starts and ends with
+    an empty global metrics registry and a disabled, empty tracer."""
+    from repro import obs
+    obs.reset_metrics()
+    obs.reset_tracing()
+    yield
+    obs.reset_metrics()
+    obs.reset_tracing()
+
+
 @pytest.fixture(scope="session")
 def breast_cancer():
     return synthetic.breast_cancer()

@@ -1,6 +1,5 @@
 """LED-7 and MONK's-1 generator tests."""
 
-import pytest
 
 from repro.data import synthetic
 from repro.ml import evaluation

@@ -6,7 +6,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.data import Attribute, Dataset, summary, synthetic
+from repro.data import Attribute, Dataset, summary
 from repro.errors import ReproError, ServiceError, WorkflowError
 from repro.ws import (InProcessTransport, ServiceContainer,
                       SimulatedTransport, SoapFault, SoapRequest, WAN,

@@ -3,7 +3,7 @@ fault-tolerant migration across real HTTP replicas."""
 
 import pytest
 
-from repro.data import arff, stream, synthetic
+from repro.data import arff, stream
 from repro.services import J48Service, deploy_toolbox
 from repro.ws import (InProcessTransport, ServiceContainer, ServiceProxy,
                       SimulatedTransport, SoapHttpServer, SoapRequest, WAN,

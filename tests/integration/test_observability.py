@@ -1,0 +1,116 @@
+"""Acceptance scenario for the observability spine: a service-backed
+workflow run under tracing yields one coherent span tree (client SOAP spans
+and server dispatch spans share trace ids), and the metrics surfaces report
+per-operation counts and latency quantiles — including through the
+``repro run --trace`` / ``repro trace`` / ``repro metrics`` CLI."""
+
+import json
+
+import pytest
+
+from repro import cli, obs
+from repro.data import arff, synthetic
+from repro.workflow import TaskGraph, ToolBox, WorkflowEngine, \
+    import_wsdl_url
+from repro.workflow.model import FunctionTool
+
+
+@pytest.fixture()
+def traced_run(hosted_toolbox):
+    """Run a service-backed workflow with tracing on."""
+    obs.enable_tracing()
+    box = ToolBox()
+    tools = {t.name: t for t in import_wsdl_url(
+        hosted_toolbox.wsdl_url("Data"), box)}
+    graph = TaskGraph("obs-accept")
+    src = graph.add(FunctionTool(
+        "Dataset", lambda: arff.dumps(synthetic.weather_nominal()),
+        [], ["dataset"]))
+    summarise = graph.add(tools["Data.summarise"])
+    graph.connect(src, summarise, target_index=0)
+    result = WorkflowEngine().run(graph)
+    assert result.output(summarise)["num_instances"] == 14
+    return result
+
+
+class TestSpanTree:
+    def test_workflow_and_service_spans_share_one_trace(self, traced_run):
+        spans = obs.get_tracer().collector.spans()
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span.name, span)
+        wf = by_name["workflow:obs-accept"]
+        assert traced_run.trace_id == wf.trace_id
+        # client side, wire hop, server side: all in the workflow's trace
+        for name in ("task:Dataset", "task:Data.summarise",
+                     "soap:Data.summarise", "send:http",
+                     "http:POST /services/Data",
+                     "dispatch:Data.summarise", "op:Data.summarise"):
+            assert by_name[name].trace_id == wf.trace_id, name
+
+    def test_rendered_tree_nests_server_under_client(self, traced_run):
+        text = obs.render_span_tree(obs.get_tracer().collector.spans())
+        assert text.count("trace ") == 1  # one coherent trace, one header
+        lines = text.splitlines()
+        soap_line = next(ln for ln in lines
+                         if "soap:Data.summarise" in ln)
+        dispatch = next(ln for ln in lines
+                        if "dispatch:Data.summarise" in ln)
+        assert dispatch.index("dispatch:") > soap_line.index("soap:")
+
+
+class TestMetricsSurfaces:
+    def test_per_operation_counts_and_quantiles(self, traced_run):
+        snap = obs.get_metrics().snapshot()
+        calls = snap["counters"]["ws.client.calls{operation=summarise,"
+                                 "service=Data}"]
+        assert calls == 1.0
+        lat = snap["histograms"]["ws.client.seconds{operation=summarise,"
+                                 "service=Data}"]
+        assert lat["count"] == 1
+        assert 0.0 < lat["p50"] <= lat["p95"] <= lat["p99"]
+        dispatch = snap["histograms"]["ws.server.dispatch.seconds"
+                                      "{operation=summarise,service=Data}"]
+        assert dispatch["count"] == 1
+        assert snap["histograms"][
+            "workflow.run.seconds{graph=obs-accept}"]["count"] == 1
+
+
+class TestCli:
+    def test_run_trace_metrics_commands(self, tmp_path, capsys):
+        from repro.workflow import default_toolbox, xmlio
+        workflow_xml = tmp_path / "wf.xml"
+        box = default_toolbox()
+        g = TaskGraph("cli-obs")
+        src = g.add(box.get("StringInput"), value="hello")
+        g.connect(src, g.add(box.get("StringViewer")))
+        workflow_xml.write_text(xmlio.dumps(g))
+        snap_path = tmp_path / "trace.json"
+
+        assert cli.main(["run", "--trace",
+                         "--trace-out", str(snap_path),
+                         str(workflow_xml)]) == 0
+        out = capsys.readouterr().out
+        assert "workflow:cli-obs" in out and "task:StringInput" in out
+        assert snap_path.exists()
+
+        assert cli.main(["trace", str(snap_path)]) == 0
+        assert "workflow:cli-obs" in capsys.readouterr().out
+
+        assert cli.main(["metrics", "--json", str(snap_path)]) == 0
+        metrics = json.loads(capsys.readouterr().out)
+        runs = metrics["counters"]["workflow.runs{graph=cli-obs}"]
+        assert runs == 1.0
+        tasks = metrics["histograms"][
+            "workflow.task.seconds{task=StringInput}"]
+        assert tasks["count"] == 1 and "p95" in tasks
+
+    def test_missing_snapshot_is_helpful(self, tmp_path, capsys):
+        assert cli.main(["metrics", str(tmp_path / "nope.json")]) != 0
+        assert "repro run --trace" in capsys.readouterr().err
+
+    def test_corrupt_snapshot_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json {")
+        assert cli.main(["trace", str(bad)]) != 0
+        assert "not a trace snapshot" in capsys.readouterr().err

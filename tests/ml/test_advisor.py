@@ -3,10 +3,9 @@ experience)."""
 
 import pytest
 
-from repro.data import synthetic
 from repro.errors import DataError
-from repro.ml.advisor import (Characteristics, ExperienceStore,
-                              advise_text, characterise, recommend)
+from repro.ml.advisor import (ExperienceStore, advise_text, characterise,
+                              recommend)
 
 
 class TestCharacterise:

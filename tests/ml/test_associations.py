@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 import numpy as np
 
-from repro.data import Attribute, Dataset, synthetic
+from repro.data import Attribute, Dataset
 from repro.errors import DataError
 from repro.ml.associations import Apriori, FPGrowth
 

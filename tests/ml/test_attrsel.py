@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.data import synthetic
 from repro.errors import OptionError
 from repro.ml.attrsel import (BestFirst, CfsSubsetEvaluator,
                               ConsistencyEvaluator, GeneticSearch,

@@ -1,7 +1,6 @@
 """Cross-cutting behaviour of every registered classifier, plus targeted
 tests for the simple/bayes/lazy/function families."""
 
-import numpy as np
 import pytest
 
 from repro.data import Attribute, Dataset, synthetic

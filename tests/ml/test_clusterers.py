@@ -1,6 +1,5 @@
 """Clusterer tests: recovery of planted structure plus API contracts."""
 
-import numpy as np
 import pytest
 
 from repro.data import Attribute, Dataset, synthetic

@@ -1,9 +1,7 @@
 """Evaluation machinery tests: confusion matrices, kappa, stratified CV."""
 
-import numpy as np
 import pytest
 
-from repro.data import Attribute, Dataset
 from repro.errors import DataError
 from repro.ml import evaluation
 from repro.ml.classifiers import J48, ZeroR

@@ -2,10 +2,9 @@
 
 import math
 
-import numpy as np
 import pytest
 
-from repro.data import Attribute, Dataset, synthetic
+from repro.data import Attribute, Dataset
 from repro.errors import DataError
 from repro.ml.filters import (Discretize, NominalToBinary, Normalize,
                               RemoveAttributes, ReplaceMissing, Standardize)

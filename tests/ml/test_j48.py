@@ -1,6 +1,5 @@
 """J48 / C4.5 tests: canonical trees, pruning, missing values, options."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,0 +1,109 @@
+"""Unit tests for the metrics half of the observability spine."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (RESERVOIR_SIZE, Counter, Histogram,
+                               MetricsRegistry, format_series, get_metrics,
+                               reset_metrics)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_monotonic(self):
+        c = Counter()
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_thread_safety(self):
+        c = Counter()
+
+        def worker():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram()
+        assert h.count == 0 and h.sum == 0.0 and h.mean == 0.0
+        assert h.percentile(50) == 0.0
+
+    def test_nearest_rank_percentiles(self):
+        h = Histogram()
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.percentile(50) == 50.0
+        assert h.percentile(95) == 95.0
+        assert h.percentile(99) == 99.0
+        assert h.percentile(100) == 100.0
+
+    def test_summary_shape(self):
+        h = Histogram()
+        h.observe(2.0)
+        h.observe(4.0)
+        s = h.summary()
+        assert s["count"] == 2 and s["sum"] == 6.0 and s["mean"] == 3.0
+        assert set(s) == {"count", "sum", "mean", "p50", "p95", "p99"}
+
+    def test_reservoir_bounds_memory_but_not_count(self):
+        h = Histogram()
+        n = RESERVOIR_SIZE + 500
+        for v in range(n):
+            h.observe(float(v))
+        assert h.count == n
+        assert h.sum == sum(range(n))
+        assert len(h._values) == RESERVOIR_SIZE
+
+
+class TestRegistry:
+    def test_same_series_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("calls", service="J48")
+        b = reg.counter("calls", service="J48")
+        other = reg.counter("calls", service="Data")
+        assert a is b and a is not other
+
+    def test_label_order_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.histogram("lat", op="x", svc="y")
+        b = reg.histogram("lat", svc="y", op="x")
+        assert a is b
+
+    def test_snapshot_series_ids(self):
+        reg = MetricsRegistry()
+        reg.counter("n", k="v").inc(3)
+        reg.histogram("t.seconds").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"n{k=v}": 3.0}
+        assert snap["histograms"]["t.seconds"]["count"] == 1
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc()
+        reg.clear()
+        assert reg.snapshot() == {"counters": {}, "histograms": {}}
+
+    def test_global_registry_reset(self):
+        get_metrics().counter("stray").inc()
+        reset_metrics()
+        assert get_metrics().snapshot()["counters"] == {}
+
+
+def test_format_series():
+    assert format_series("plain", ()) == "plain"
+    assert format_series("n", (("a", "1"), ("b", "2"))) == "n{a=1,b=2}"

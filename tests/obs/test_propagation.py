@@ -1,0 +1,135 @@
+"""Trace-context propagation: SOAP header round trips and the end-to-end
+client → HTTP → server span join (the acceptance scenario)."""
+
+import pytest
+
+from repro import obs
+from repro.ws import soap
+from repro.ws.client import HttpTransport, ServiceProxy
+from repro.ws.container import ServiceContainer
+from repro.ws.httpd import SoapHttpServer
+from repro.ws.service import operation
+from repro.ws.soap import SoapRequest
+from repro.ws.transport import (InProcessTransport, NetworkModel,
+                                SimulatedTransport)
+
+
+class Echo:
+    """Echoes text."""
+
+    @operation
+    def shout(self, text: str) -> str:
+        """Upper-case the text."""
+        return text.upper()
+
+
+@pytest.fixture()
+def server():
+    container = ServiceContainer()
+    container.deploy(Echo, "Echo")
+    with SoapHttpServer(container) as srv:
+        yield srv
+
+
+def spans_by_name():
+    return {s.name: s for s in obs.get_tracer().collector.spans()}
+
+
+class TestSoapHeaderRoundTrip:
+    def test_header_carried(self):
+        req = SoapRequest("Echo", "shout", {"text": "hi"},
+                          trace_id="ab" * 16, parent_span_id="cd" * 8)
+        wire = soap.encode_request(req)
+        assert b"TraceContext" in wire
+        decoded = soap.decode_request(wire)
+        assert decoded.trace_id == "ab" * 16
+        assert decoded.parent_span_id == "cd" * 8
+        assert decoded.params == {"text": "hi"}
+
+    def test_no_header_when_unset(self):
+        wire = soap.encode_request(SoapRequest("Echo", "shout",
+                                               {"text": "hi"}))
+        assert b"TraceContext" not in wire
+        decoded = soap.decode_request(wire)
+        assert decoded.trace_id == "" and decoded.parent_span_id == ""
+
+    def test_malformed_ids_dropped_not_fatal(self):
+        trace_id = "ab" * 16
+        wire = soap.encode_request(
+            SoapRequest("Echo", "shout", {"text": "hi"},
+                        trace_id=trace_id, parent_span_id="cd" * 8))
+        # corrupt the trace id in-flight: still a valid envelope, but the
+        # id no longer matches the hex grammar -> advisory context dropped
+        mangled = wire.replace(trace_id.encode(), b"NOT-HEX!")
+        decoded = soap.decode_request(mangled)
+        assert decoded.trace_id == ""
+        assert decoded.params == {"text": "hi"}
+
+
+class TestEndToEndJoin:
+    def test_client_trace_reaches_server_over_http(self, server):
+        """The tentpole acceptance path: one trace id spans the client
+        proxy call, the wire hop, the HTTP handler and the dispatch."""
+        obs.enable_tracing()
+        proxy = ServiceProxy.from_wsdl_url(server.wsdl_url("Echo"))
+        assert proxy.shout(text="hi") == "HI"
+        proxy.close()
+
+        spans = spans_by_name()
+        client = spans["soap:Echo.shout"]
+        send = spans["send:http"]
+        handler = spans["http:POST /services/Echo"]
+        dispatch = spans["dispatch:Echo.shout"]
+        op = spans["op:Echo.shout"]
+        # one coherent trace across both sides of the socket
+        assert {send.trace_id, handler.trace_id, dispatch.trace_id,
+                op.trace_id} == {client.trace_id}
+        # the handler runs on the server thread, so its parent is the
+        # propagated client-side context, not a local span
+        assert handler.parent_id == client.span_id
+        assert dispatch.parent_id == handler.span_id
+        assert op.parent_id == dispatch.span_id
+
+    def test_inprocess_dispatch_joins_too(self):
+        obs.enable_tracing()
+        container = ServiceContainer()
+        container.deploy(Echo, "Echo")
+        transport = InProcessTransport(container)
+        response = transport.send(SoapRequest("Echo", "shout",
+                                              {"text": "ok"}))
+        assert response.result == "OK"
+        spans = spans_by_name()
+        assert spans["dispatch:Echo.shout"].trace_id == \
+            spans["send:inprocess"].trace_id
+
+    def test_untraced_call_stays_clean(self, server):
+        """With tracing off, nothing is recorded and nothing propagates."""
+        transport = HttpTransport(server.endpoint("Echo"))
+        request = SoapRequest("Echo", "shout", {"text": "quiet"})
+        assert transport.send(request).result == "QUIET"
+        transport.close()
+        assert request.trace_id == ""
+        assert len(obs.get_tracer().collector) == 0
+
+
+class TestSimulatedTransportCharges:
+    def test_charges_recorded_as_span_attributes(self):
+        obs.enable_tracing()
+        container = ServiceContainer()
+        container.deploy(Echo, "Echo")
+        model = NetworkModel(latency_s=0.25, bandwidth_bps=1e6)
+        transport = SimulatedTransport(InProcessTransport(container),
+                                       model=model)
+        transport.send(SoapRequest("Echo", "shout", {"text": "hi"}))
+
+        span = spans_by_name()["send:simulated"]
+        # request + response both charged: two messages of latency plus
+        # the byte transfer time, mirroring transport.virtual_seconds
+        assert span.attributes["charge_seconds"] == pytest.approx(
+            transport.virtual_seconds, abs=1e-6)
+        assert span.attributes["wire_bytes"] == transport.bytes_on_wire
+        assert span.attributes["latency_s"] == 0.25
+        assert transport.virtual_seconds >= 0.5  # 2 x latency, no sleep
+        counters = obs.get_metrics().snapshot()["counters"]
+        assert counters["ws.transport.simulated_cost_seconds"] == \
+            pytest.approx(transport.virtual_seconds, abs=1e-6)

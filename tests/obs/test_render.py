@@ -1,0 +1,73 @@
+"""Renderers and snapshot IO for ``repro trace`` / ``repro metrics``."""
+
+from repro import obs
+from repro.obs.trace import Span
+
+
+def make_trace():
+    tracer = obs.get_tracer()
+    obs.enable_tracing()
+    with tracer.span("workflow:demo") as wf:
+        with tracer.span("task:read", {"bytes": 42}):
+            pass
+        with tracer.span("task:classify"):
+            pass
+    return wf
+
+
+class TestSpanTree:
+    def test_empty(self):
+        text = obs.render_span_tree([])
+        assert "no spans" in text
+
+    def test_tree_nesting_and_attrs(self):
+        make_trace()
+        text = obs.render_span_tree(obs.get_tracer().collector.spans())
+        assert "workflow:demo" in text
+        assert "task:read" in text and "[bytes=42]" in text
+        # children indent one level deeper than the root
+        wf_line = next(ln for ln in text.splitlines()
+                       if "workflow:demo" in ln)
+        task_line = next(ln for ln in text.splitlines()
+                         if "task:read" in ln)
+        assert task_line.index("task:read") > wf_line.index("workflow:demo")
+
+    def test_accepts_dicts(self):
+        wf = make_trace()
+        dicts = [s.to_dict() for s in obs.get_tracer().collector.spans()]
+        text = obs.render_span_tree(dicts)
+        assert f"trace {wf.trace_id}" in text
+
+    def test_error_status_flagged(self):
+        span = Span(name="bad", trace_id="t" * 32, span_id="s" * 16,
+                    status="error")
+        assert "!error" in obs.render_span_tree([span])
+
+
+class TestMetricsTable:
+    def test_empty(self):
+        assert "no metrics" in obs.render_metrics({})
+
+    def test_tables(self):
+        reg = obs.get_metrics()
+        reg.counter("ws.client.calls", op="J48.classify").inc(3)
+        reg.histogram("ws.client.seconds", op="J48.classify").observe(0.2)
+        text = obs.render_metrics()
+        assert "counters:" in text and "histograms:" in text
+        assert "ws.client.calls{op=J48.classify}" in text
+        assert "200.00ms" in text  # *seconds series rendered as ms
+
+
+class TestSnapshot:
+    def test_round_trip(self, tmp_path):
+        wf = make_trace()
+        obs.get_metrics().counter("n").inc(2)
+        path = obs.write_snapshot(tmp_path / "snap.json")
+        data = obs.load_snapshot(path)
+        assert data["dropped_spans"] == 0
+        assert data["metrics"]["counters"]["n"] == 2.0
+        names = {s["name"] for s in data["spans"]}
+        assert names == {"workflow:demo", "task:read", "task:classify"}
+        assert all(s["trace_id"] == wf.trace_id for s in data["spans"])
+        # the loaded document renders the same way the live registry does
+        assert "workflow:demo" in obs.render_span_tree(data["spans"])

@@ -1,0 +1,138 @@
+"""Unit tests for spans, the tracer and the span collector."""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import (NOOP_SPAN, TRACE_ENV_VAR, Span, SpanCollector,
+                             SpanContext, Tracer, enable_tracing, get_tracer,
+                             maybe_enable_tracing_from_env, new_id,
+                             tracing_enabled)
+
+
+class TestIds:
+    def test_lengths(self):
+        assert len(new_id()) == 16
+        assert len(new_id(32)) == 32
+
+    def test_hex_and_unique(self):
+        ids = {new_id(32) for _ in range(50)}
+        assert len(ids) == 50
+        assert all(int(i, 16) >= 0 for i in ids)
+
+
+class TestTracer:
+    def test_disabled_hands_out_noop(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x") as span:
+            assert span is NOOP_SPAN
+            assert not span.recording
+        assert len(tracer.collector) == 0
+
+    def test_nesting_via_contextvar(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            assert tracer.current_span() is outer
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        assert tracer.current_span() is None
+        names = [s.name for s in tracer.collector.spans()]
+        assert names == ["inner", "outer"]  # completion order
+
+    def test_explicit_parent_span_wins(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b", parent=a) as b:
+            assert b.trace_id == a.trace_id
+            assert b.parent_id == a.span_id
+
+    def test_remote_parent_context(self):
+        tracer = Tracer(enabled=True)
+        ctx = SpanContext(trace_id="ab" * 16, span_id="cd" * 8)
+        with tracer.span("server", parent=ctx) as span:
+            assert span.trace_id == ctx.trace_id
+            assert span.parent_id == ctx.span_id
+
+    def test_noop_parent_roots_fresh_trace(self):
+        # the engine passes parent=wf_span even when wf_span is the no-op
+        tracer = Tracer(enabled=True)
+        with tracer.span("task", parent=NOOP_SPAN) as span:
+            assert span.trace_id and span.parent_id == ""
+
+    def test_error_status_and_reraise(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("kapow")
+        (span,) = tracer.collector.spans()
+        assert span.status == "error"
+        assert "kapow" in span.attributes["error"]
+
+    def test_attributes_and_duration(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("op", {"preset": 1}) as span:
+            span.set_attribute("extra", "yes")
+        (done,) = tracer.collector.spans()
+        assert done.attributes == {"preset": 1, "extra": "yes"}
+        assert done.duration_s >= 0.0
+
+    def test_threads_do_not_inherit_current_span(self):
+        tracer = Tracer(enabled=True)
+        seen = {}
+
+        def worker():
+            seen["current"] = tracer.current_span()
+
+        with tracer.span("outer"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["current"] is None  # hence the explicit parent= calls
+
+
+class TestCollector:
+    def test_capacity_drops_excess(self):
+        collector = SpanCollector(capacity=3)
+        for i in range(5):
+            collector.record(Span(name=f"s{i}", trace_id="t",
+                                  span_id=str(i)))
+        assert len(collector) == 3
+        assert collector.dropped == 2
+        collector.clear()
+        assert len(collector) == 0 and collector.dropped == 0
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        span = Span(name="x", trace_id="t" * 32, span_id="s" * 16,
+                    parent_id="p" * 16, started_at=1.0, ended_at=2.0,
+                    status="error", attributes={"k": "v"})
+        assert Span.from_dict(span.to_dict()) == span
+
+
+class TestGlobals:
+    def test_enable_disable(self):
+        assert not tracing_enabled()  # conftest fixture resets
+        enable_tracing()
+        assert tracing_enabled()
+        with get_tracer().span("visible") as span:
+            assert span.recording
+        enable_tracing(False)
+        assert not tracing_enabled()
+
+    def test_env_hook_opt_in(self, monkeypatch):
+        monkeypatch.setenv(TRACE_ENV_VAR, "1")
+        assert maybe_enable_tracing_from_env()
+        assert tracing_enabled()
+
+    def test_env_hook_never_disables(self, monkeypatch):
+        enable_tracing()
+        monkeypatch.setenv(TRACE_ENV_VAR, "0")
+        assert maybe_enable_tracing_from_env()
+        assert tracing_enabled()
+
+    def test_env_hook_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(TRACE_ENV_VAR, raising=False)
+        assert not maybe_enable_tracing_from_env()

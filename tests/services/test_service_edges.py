@@ -3,7 +3,7 @@ math-service guards and data-service faults."""
 
 import pytest
 
-from repro.data import arff, csvio, synthetic
+from repro.data import arff
 from repro.ws import ServiceProxy, SoapFault
 
 

@@ -1,6 +1,5 @@
 """Service-layer tests over real HTTP (one hosted toolbox per session)."""
 
-import numpy as np
 import pytest
 
 from repro.data import arff, csvio, synthetic

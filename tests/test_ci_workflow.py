@@ -1,0 +1,77 @@
+"""Sanity checks on the GitHub Actions pipeline definition.
+
+Keeps ``.github/workflows/ci.yml`` honest without needing a runner: it must
+parse as YAML and keep the three jobs (matrix tests, lint, benchmark smoke
+with artifact upload) the repo's CI contract promises.
+"""
+
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+CI_PATH = Path(__file__).resolve().parents[1] / ".github" / "workflows" \
+    / "ci.yml"
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    return yaml.safe_load(CI_PATH.read_text())
+
+
+def test_parses_and_triggers(workflow):
+    assert workflow["name"] == "CI"
+    # PyYAML reads the bare `on:` key as boolean True
+    triggers = workflow.get("on", workflow.get(True))
+    assert "pull_request" in triggers
+    assert triggers["push"]["branches"] == ["main"]
+
+
+def test_expected_jobs_present(workflow):
+    assert set(workflow["jobs"]) == {"test", "lint", "bench-smoke"}
+
+
+def test_matrix_covers_supported_pythons(workflow):
+    matrix = workflow["jobs"]["test"]["strategy"]["matrix"]
+    assert matrix["python-version"] == ["3.10", "3.12"]
+
+
+def steps_text(job):
+    return " ".join(str(step.get("run", "")) + str(step.get("uses", ""))
+                    for step in job["steps"])
+
+
+def test_tier1_suite_runs_in_matrix_job(workflow):
+    text = steps_text(workflow["jobs"]["test"])
+    assert "PYTHONPATH=src python -m pytest -x -q" in text
+
+
+def test_lint_job_compiles_and_ruffs(workflow):
+    text = steps_text(workflow["jobs"]["lint"])
+    assert "compileall" in text
+    assert "ruff check" in text
+
+
+def test_bench_smoke_uploads_artifact(workflow):
+    job = workflow["jobs"]["bench-smoke"]
+    text = steps_text(job)
+    assert "benchmarks/test_bench_remote_overhead.py" in text
+    assert "--benchmark-json" in text
+    upload = next(step for step in job["steps"]
+                  if "upload-artifact" in step.get("uses", ""))
+    assert upload["with"]["name"] == "bench-remote-overhead"
+    assert upload["with"]["if-no-files-found"] == "error"
+
+
+def test_no_install_beyond_whitelisted_tools(workflow):
+    """CI may only pip-install what the project declares (plus ruff and
+    the bench plugin) — mirrors the repo's no-new-dependency policy."""
+    allowed = {"numpy", "pytest", "hypothesis", "pytest-benchmark", "ruff"}
+    for job in workflow["jobs"].values():
+        for step in job["steps"]:
+            run = step.get("run", "")
+            if "pip install" not in run:
+                continue
+            pkgs = run.split("pip install", 1)[1].split()
+            assert set(pkgs) <= allowed, pkgs

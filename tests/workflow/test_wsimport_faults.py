@@ -68,13 +68,13 @@ class TestWsImport:
 
 
 class TestRetryPolicy:
-    def make_task(self, failures):
+    def make_task(self, failures, exc_type=TransportError):
         state = {"left": failures}
 
         def work(**kw):
             if state["left"] > 0:
                 state["left"] -= 1
-                raise RuntimeError("flaky")
+                raise exc_type("flaky")
             return "ok"
 
         tool = FunctionTool("Work", work, [], ["out"])
@@ -86,8 +86,28 @@ class TestRetryPolicy:
 
     def test_exhausted_retries_raise(self):
         policy = RetryPolicy(max_retries=1)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(TransportError):
             policy.run_task(self.make_task(5), [], {})
+
+    def test_programming_errors_fail_fast(self):
+        # the default retry_on covers transient transport/service errors
+        # only: a bug in a tool must not be retried with backoff
+        attempts = {"n": 0}
+
+        def buggy(**kw):
+            attempts["n"] += 1
+            raise TypeError("programming error")
+
+        task = Task("buggy", FunctionTool("Buggy", buggy, [], ["out"]))
+        policy = RetryPolicy(max_retries=5)
+        with pytest.raises(TypeError):
+            policy.run_task(task, [], {})
+        assert attempts["n"] == 1
+
+    def test_retry_on_opt_in_still_supported(self):
+        policy = RetryPolicy(max_retries=3, retry_on=(RuntimeError,))
+        task = self.make_task(2, exc_type=RuntimeError)
+        assert policy.run_task(task, [], {}) == ["ok"]
 
     def test_retry_events_emitted(self):
         bus = EventBus()
@@ -103,7 +123,7 @@ class TestRetryPolicy:
         def work(**kw):
             if state["left"] > 0:
                 state["left"] -= 1
-                raise RuntimeError("flaky")
+                raise TransportError("flaky")
             return "done"
 
         g = TaskGraph()
