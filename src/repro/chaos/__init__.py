@@ -1,0 +1,75 @@
+"""Chaos harness: deterministic fault injection across the SOAP stack.
+
+The paper's §3 fault-tolerance requirement ("retry, migrate to alternate
+endpoints, monitor jobs on remote resources") needs an adversary to prove
+itself against.  This package is that adversary — *seeded*, so every
+drill is a regression test:
+
+* :mod:`repro.chaos.plan` — the ``drop=0.3,delay=50ms``-style spec
+  grammar, scoping fault plans to endpoints/tasks by glob.
+* :mod:`repro.chaos.controller` — per-target deterministic decisions
+  (drop, delay±jitter, corrupt-envelope, error-N-times-then-succeed,
+  blackhole) with an injection log for reproducible summaries.
+* :mod:`repro.chaos.transport` — :class:`ChaosTransport`, installable
+  around any :class:`~repro.ws.transport.Transport`.
+
+A process-wide controller can be installed (``repro run --chaos <spec>``
+or ``FAEHIM_CHAOS=<spec>``); the workflow engine perturbs every task
+attempt through it, turning any workflow into a chaos drill.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.clock import SYSTEM_CLOCK, Clock
+from repro.chaos.controller import ChaosController
+from repro.chaos.plan import (DEFAULT_BLACKHOLE_S, ChaosPlan,
+                              ChaosSpecError, FaultRule, parse_chaos_spec,
+                              parse_duration)
+from repro.chaos.transport import ChaosTransport
+
+#: Environment hooks: a spec in FAEHIM_CHAOS arms the harness globally.
+CHAOS_ENV_VAR = "FAEHIM_CHAOS"
+CHAOS_SEED_ENV_VAR = "FAEHIM_CHAOS_SEED"
+
+_active: ChaosController | None = None
+
+
+def install(plan: ChaosController | ChaosPlan | str, seed: int = 0,
+            clock: Clock = SYSTEM_CLOCK) -> ChaosController:
+    """Arm the process-wide chaos controller and return it."""
+    global _active
+    _active = plan if isinstance(plan, ChaosController) else \
+        ChaosController(plan, seed=seed, clock=clock)
+    return _active
+
+
+def active() -> ChaosController | None:
+    """The armed controller, or ``None`` when chaos is off."""
+    return _active
+
+
+def uninstall() -> None:
+    """Disarm the process-wide controller (tests call this)."""
+    global _active
+    _active = None
+
+
+def maybe_install_from_env() -> ChaosController | None:
+    """Arm from ``FAEHIM_CHAOS``/``FAEHIM_CHAOS_SEED`` if set and not
+    already armed; returns the active controller either way."""
+    if _active is None:
+        spec = os.environ.get(CHAOS_ENV_VAR, "").strip()
+        if spec:
+            install(spec,
+                    seed=int(os.environ.get(CHAOS_SEED_ENV_VAR, "0")))
+    return _active
+
+
+__all__ = [
+    "ChaosController", "ChaosPlan", "ChaosSpecError", "ChaosTransport",
+    "FaultRule", "parse_chaos_spec", "parse_duration",
+    "DEFAULT_BLACKHOLE_S", "CHAOS_ENV_VAR", "CHAOS_SEED_ENV_VAR",
+    "install", "active", "uninstall", "maybe_install_from_env",
+]

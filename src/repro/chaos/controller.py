@@ -1,0 +1,148 @@
+"""Deterministic fault injection: the decision engine behind the harness.
+
+A :class:`ChaosController` owns a parsed :class:`~repro.chaos.plan
+.ChaosPlan` and decides, per *target* and per *attempt*, which fault (if
+any) to inject.  Determinism is the whole point — a chaos run must be a
+regression test, not a dice roll:
+
+* every target gets its **own** RNG stream, seeded from
+  ``sha512(f"{seed}|{target}")`` (via :class:`random.Random` string
+  seeding), so thread interleaving between targets cannot change any
+  target's fault sequence;
+* per-target attempt counters make ``error=N`` ("fail the first N
+  attempts, then succeed") exact rather than probabilistic;
+* all draws for one attempt happen under the target's lock, in a fixed
+  order.
+
+Same plan + same seed + same per-target call sequence ⇒ byte-identical
+injection history, which :meth:`ChaosController.summary` renders for the
+CLI's reproducible outcome block.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+
+from repro.clock import SYSTEM_CLOCK, Clock
+from repro.errors import TransportError
+from repro.obs import get_metrics
+from repro.chaos.plan import ChaosPlan, FaultRule, parse_chaos_spec
+from repro.ws.deadline import current_deadline
+
+
+@dataclass
+class _TargetState:
+    rng: random.Random
+    attempts: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class ChaosController:
+    """Seeded, thread-safe fault decisions for any number of targets."""
+
+    def __init__(self, plan: ChaosPlan | str, seed: int = 0,
+                 clock: Clock = SYSTEM_CLOCK):
+        if isinstance(plan, str):
+            plan = parse_chaos_spec(plan)
+        self.plan = plan
+        self.seed = seed
+        self.clock = clock
+        self._states: dict[str, _TargetState] = {}
+        self._lock = threading.Lock()
+        self._injections: list[tuple[str, str]] = []
+
+    def _state(self, target: str) -> _TargetState:
+        with self._lock:
+            state = self._states.get(target)
+            if state is None:
+                # string seeding hashes with sha512 — stable across
+                # processes regardless of PYTHONHASHSEED
+                state = _TargetState(
+                    rng=random.Random(f"{self.seed}|{target}"))
+                self._states[target] = state
+            return state
+
+    def _record(self, target: str, kind: str) -> None:
+        with self._lock:
+            self._injections.append((target, kind))
+        get_metrics().counter("chaos.injected", kind=kind,
+                              target=target).inc()
+
+    # -- decision points -------------------------------------------------
+    def perturb(self, target: str) -> None:
+        """Apply pre-send faults for one attempt at *target*.
+
+        May sleep (``delay``/``blackhole``) on the controller's clock and
+        may raise :class:`TransportError` (``error``/``blackhole``/
+        ``drop``).  Called once per attempt, *inside* any retry loop, so
+        retries face fresh rolls of the dice.
+        """
+        rule = self.plan.match(target)
+        if rule is None:
+            return
+        state = self._state(target)
+        with state.lock:
+            attempt = state.attempts
+            state.attempts += 1
+            inject_error = attempt < rule.error_times
+            inject_drop = (not inject_error and rule.drop > 0 and
+                           state.rng.random() < rule.drop)
+            delay = rule.delay_s
+            if rule.jitter_s:
+                delay += state.rng.random() * rule.jitter_s
+        if inject_error:
+            self._record(target, "error")
+            raise TransportError(
+                f"chaos: injected error at {target} "
+                f"(attempt {attempt + 1}/{rule.error_times})")
+        if rule.blackhole_s is not None:
+            self._blackhole(target, rule)
+        if inject_drop:
+            self._record(target, "drop")
+            raise TransportError(f"chaos: dropped send to {target}")
+        if delay > 0:
+            self._record(target, "delay")
+            self.clock.sleep(delay)
+
+    def _blackhole(self, target: str, rule: FaultRule) -> None:
+        # consume the lesser of the blackhole timeout and whatever
+        # remains of the caller's budget — exactly what waiting on a
+        # silent endpoint costs
+        assert rule.blackhole_s is not None
+        budget = rule.blackhole_s
+        deadline = current_deadline()
+        if deadline is not None:
+            budget = min(budget, max(deadline.remaining(), 0.0))
+        self._record(target, "blackhole")
+        self.clock.sleep(budget)
+        raise TransportError(
+            f"chaos: {target} blackholed (gave up after {budget:.3f}s)")
+
+    def should_corrupt(self, target: str) -> bool:
+        """Roll the response-corruption die for *target*."""
+        rule = self.plan.match(target)
+        if rule is None or rule.corrupt <= 0:
+            return False
+        state = self._state(target)
+        with state.lock:
+            corrupt = state.rng.random() < rule.corrupt
+        if corrupt:
+            self._record(target, "corrupt")
+        return corrupt
+
+    # -- reporting -------------------------------------------------------
+    def injections(self) -> list[tuple[str, str]]:
+        """Every (target, kind) injected so far, in injection order."""
+        with self._lock:
+            return list(self._injections)
+
+    def summary(self) -> dict[str, dict[str, int]]:
+        """Deterministic per-target fault counts: target → kind → n."""
+        table: dict[str, dict[str, int]] = {}
+        for target, kind in self.injections():
+            kinds = table.setdefault(target, {})
+            kinds[kind] = kinds.get(kind, 0) + 1
+        return {t: dict(sorted(kinds.items()))
+                for t, kinds in sorted(table.items())}

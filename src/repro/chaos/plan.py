@@ -1,0 +1,151 @@
+"""The chaos spec grammar: which faults hit which targets.
+
+A *spec* is a compact string (CLI flag ``repro run --chaos <spec>`` or the
+``FAEHIM_CHAOS`` environment variable) describing per-target fault plans::
+
+    spec        := scoped-plan (";" scoped-plan)*
+    scoped-plan := [pattern ":"] fault ("," fault)*
+    fault       := "drop=" PROB            probability of dropping a send
+                 | "delay=" DUR ["~" DUR]  fixed latency (+ uniform jitter)
+                 | "corrupt=" PROB         probability of mangling the
+                                           response envelope
+                 | "error=" N              fail the first N attempts, then
+                                           succeed
+                 | "blackhole" ["=" DUR]   never answer: consume DUR (or
+                                           the remaining deadline, if
+                                           tighter) then time out
+    pattern     := fnmatch glob against the target id (default "*")
+    DUR         := float with optional "ms"/"s" unit (default seconds)
+
+Targets are endpoint URLs for transports (e.g.
+``http://127.0.0.1:8334/services/J48``) and ``task:<name>`` for workflow
+tasks.  The **first** matching scoped plan wins, so write specific
+patterns before a catch-all: ``task:train:error=2;*:delay=20ms``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+
+from repro.errors import ReproError
+
+
+class ChaosSpecError(ReproError):
+    """A chaos spec string could not be parsed."""
+
+
+#: Default timeout charged by ``blackhole`` when no duration is given.
+DEFAULT_BLACKHOLE_S = 30.0
+
+_DURATION = re.compile(r"^([0-9]*\.?[0-9]+)(ms|s)?$")
+
+
+def parse_duration(text: str) -> float:
+    """``"50ms"`` → 0.05, ``"2"``/``"2s"`` → 2.0."""
+    m = _DURATION.match(text.strip())
+    if not m:
+        raise ChaosSpecError(f"malformed duration {text!r} "
+                             f"(want e.g. '50ms' or '1.5s')")
+    value = float(m.group(1))
+    return value / 1000.0 if m.group(2) == "ms" else value
+
+
+def _parse_probability(text: str, key: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise ChaosSpecError(f"{key} wants a probability, got {text!r}")
+    if not 0.0 <= value <= 1.0:
+        raise ChaosSpecError(f"{key}={value} outside [0, 1]")
+    return value
+
+
+@dataclass
+class FaultRule:
+    """One scoped plan: the faults applied to targets matching *pattern*."""
+
+    pattern: str = "*"
+    drop: float = 0.0
+    delay_s: float = 0.0
+    jitter_s: float = 0.0
+    corrupt: float = 0.0
+    error_times: int = 0
+    blackhole_s: float | None = None
+
+    def matches(self, target: str) -> bool:
+        """True when *target* falls under this rule's glob pattern."""
+        return fnmatchcase(target, self.pattern)
+
+
+@dataclass
+class ChaosPlan:
+    """An ordered list of :class:`FaultRule`; first match wins."""
+
+    rules: list[FaultRule]
+    spec: str = ""
+
+    def match(self, target: str) -> FaultRule | None:
+        """The rule governing *target*, or ``None`` (leave it alone)."""
+        for rule in self.rules:
+            if rule.matches(target):
+                return rule
+        return None
+
+
+def _parse_fault(rule: FaultRule, clause: str) -> None:
+    key, sep, value = clause.partition("=")
+    key = key.strip()
+    value = value.strip()
+    if key == "drop":
+        rule.drop = _parse_probability(value, key)
+    elif key == "corrupt":
+        rule.corrupt = _parse_probability(value, key)
+    elif key == "delay":
+        base, tilde, jitter = value.partition("~")
+        rule.delay_s = parse_duration(base)
+        rule.jitter_s = parse_duration(jitter) if tilde else 0.0
+    elif key == "error":
+        try:
+            rule.error_times = int(value)
+        except ValueError:
+            raise ChaosSpecError(f"error wants an int, got {value!r}")
+        if rule.error_times < 0:
+            raise ChaosSpecError("error wants a count >= 0")
+    elif key == "blackhole":
+        rule.blackhole_s = parse_duration(value) if sep else \
+            DEFAULT_BLACKHOLE_S
+    else:
+        raise ChaosSpecError(
+            f"unknown fault {key!r} (known: drop, delay, corrupt, "
+            f"error, blackhole)")
+
+
+def parse_chaos_spec(spec: str) -> ChaosPlan:
+    """Parse a chaos spec string into a :class:`ChaosPlan`."""
+    rules: list[FaultRule] = []
+    for segment in spec.split(";"):
+        segment = segment.strip()
+        if not segment:
+            continue
+        # a scope prefix is anything before a ":" that is not part of a
+        # fault clause ("=" binds tighter than ":", so "task:*:drop=1"
+        # scopes to "task:*"); URLs like http://... contain ":" too, so
+        # split on the last ":" that precedes the first "="
+        head, sep, tail = segment.rpartition(":")
+        if sep and "=" not in head and not head.endswith("http") and \
+                not head.endswith("https"):
+            rule = FaultRule(pattern=head.strip() or "*")
+            body = tail
+        else:
+            rule = FaultRule()
+            body = segment
+        for clause in body.split(","):
+            clause = clause.strip()
+            if clause:
+                _parse_fault(rule, clause)
+        rules.append(rule)
+    if not rules:
+        raise ChaosSpecError(f"empty chaos spec {spec!r}")
+    return ChaosPlan(rules=rules, spec=spec)

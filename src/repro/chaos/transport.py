@@ -1,0 +1,41 @@
+"""ChaosTransport: fault injection around any :class:`Transport`.
+
+Wraps an inner transport and consults a
+:class:`~repro.chaos.controller.ChaosController` on every send, so the
+same seeded fault plan can hit an in-process container, the simulated
+network, or a real HTTP connection — whatever the test or drill targets.
+Response corruption mangles the *actual* encoded envelope and re-decodes
+it, so the SOAP layer's malformed-document handling is exercised for
+real rather than simulated with a synthetic exception.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.controller import ChaosController
+from repro.ws import soap
+from repro.ws.soap import SoapRequest, SoapResponse
+from repro.ws.transport import Transport
+
+
+class ChaosTransport(Transport):
+    """Inject plan-driven faults ahead of (and behind) an inner send."""
+
+    def __init__(self, inner: Transport, controller: ChaosController,
+                 endpoint: str = "endpoint"):
+        self.inner = inner
+        self.controller = controller
+        self.endpoint = endpoint
+
+    def send(self, request: SoapRequest) -> SoapResponse:
+        """Deliver one SOAP request; returns the SOAP response."""
+        self.controller.perturb(self.endpoint)
+        response = self.inner.send(request)
+        if self.controller.should_corrupt(self.endpoint):
+            # truncate the real envelope so the decoder sees genuinely
+            # malformed bytes (raises ServiceError, a transient fault)
+            wire = soap.encode_response(response)
+            return soap.decode_response(wire[:max(1, len(wire) - 16)])
+        return response
+
+    def close(self) -> None:
+        self.inner.close()

@@ -13,7 +13,9 @@ service catalogue:
 * ``convert``     — CSV ↔ ARFF conversion
 * ``recommend``   — algorithm advice for a dataset
 * ``algorithms``  — list the algorithm catalogue
-* ``run``         — enact a workflow XML file (``--trace`` records spans)
+* ``run``         — enact a workflow XML file (``--trace`` records spans;
+  ``--chaos``/``--seed`` arm the deterministic fault harness;
+  ``--deadline`` bounds the run end to end)
 * ``trace``       — render the span-tree timeline of a traced run
 * ``metrics``     — render per-operation counters and latency quantiles
 """
@@ -25,7 +27,7 @@ import sys
 from pathlib import Path
 
 from repro.data import converters
-from repro.errors import ReproError
+from repro.errors import DeadlineExceeded, ReproError
 
 
 def _load_dataset(path: str, class_attribute: str | None):
@@ -118,21 +120,41 @@ def _cmd_algorithms(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from repro import obs
-    from repro.workflow import WorkflowEngine, default_toolbox, xmlio
+    from repro import chaos, obs
+    from repro.workflow import (RetryPolicy, WorkflowEngine,
+                                default_toolbox, xmlio)
     obs.maybe_enable_tracing_from_env()
     if args.trace:
         obs.enable_tracing()
+    controller = chaos.maybe_install_from_env()
+    if args.chaos:
+        controller = chaos.install(args.chaos, seed=args.seed)
     graph = xmlio.loads(Path(args.workflow).read_text(),
                         default_toolbox())
-    result = WorkflowEngine().run(graph)
+    retries = args.retries if args.retries is not None else \
+        (5 if controller is not None else 0)
+    engine = WorkflowEngine(
+        retry_policy=RetryPolicy(max_retries=retries) if retries else
+        None,
+        allow_partial=args.allow_partial or controller is not None)
+    result = engine.run(graph, deadline_s=args.deadline)
     for sink in graph.sinks():
         for idx in range(sink.num_outputs):
-            value = result.outputs.get((sink.name, idx))
             print(f"--- {sink.name}[{idx}] ---")
-            print(value)
+            if sink.name in result.failed:
+                print(f"(task failed: {result.failed[sink.name]})")
+            elif sink.name in result.skipped:
+                print("(task skipped: upstream failure)")
+            else:
+                print(result.outputs.get((sink.name, idx)))
     print(f"(enacted {len(graph)} tasks in "
           f"{result.wall_seconds:.3f}s)")
+    if controller is not None:
+        print()
+        print(_chaos_outcome(graph, result, controller))
+        path = obs.write_snapshot(args.trace_out)
+        print(f"(chaos metrics snapshot written to {path}; inspect "
+              f"with 'repro metrics')")
     if obs.tracing_enabled():
         print()
         print(obs.render_span_tree(obs.get_tracer().collector.spans()))
@@ -140,6 +162,34 @@ def _cmd_run(args) -> int:
         print(f"\n(trace snapshot written to {path}; inspect with "
               f"'repro trace' / 'repro metrics')")
     return 0
+
+
+def _chaos_outcome(graph, result, controller) -> str:
+    """The seeded chaos drill's outcome block.
+
+    Everything here is deterministic for a fixed (workflow, spec, seed)
+    triple — no timings, no ids — so two runs of the same drill must
+    produce byte-identical blocks; CI diffs them.
+    """
+    lines = ["=== chaos outcome ==="]
+    lines.append(f"workflow: {result.graph_name}")
+    lines.append(f"chaos: {controller.plan.spec or '(programmatic)'} "
+                 f"(seed {controller.seed})")
+    summary = controller.summary()
+    lines.append("injected:" if summary else "injected: (nothing)")
+    for target, kinds in summary.items():
+        shots = ", ".join(f"{kind}x{n}" for kind, n in kinds.items())
+        lines.append(f"  {target}: {shots}")
+    n_ok = len(result.durations)
+    lines.append(f"tasks: {n_ok} ok, {len(result.failed)} failed, "
+                 f"{len(result.skipped)} skipped")
+    for name in sorted(result.failed):
+        lines.append(f"  failed {name}: {result.failed[name]}")
+    for name in sorted(result.skipped):
+        lines.append(f"  skipped {name}")
+    lines.append(f"degraded: {'yes' if result.degraded else 'no'}")
+    lines.append("=== end chaos outcome ===")
+    return "\n".join(lines)
 
 
 def _load_obs_snapshot(path: str):
@@ -250,6 +300,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", default=".faehim-trace.json",
                    dest="trace_out",
                    help="snapshot path (default: .faehim-trace.json)")
+    p.add_argument("--chaos", default=None, metavar="SPEC",
+                   help="arm the chaos harness, e.g. "
+                        "'drop=0.3,delay=50ms' (also: FAEHIM_CHAOS); "
+                        "implies retries + graceful degradation")
+    p.add_argument("--seed", type=int, default=0,
+                   help="chaos RNG seed (default 0); same spec + seed "
+                        "reproduces the same faults")
+    p.add_argument("--deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="time budget for the whole run, propagated to "
+                        "every task and nested service call")
+    p.add_argument("--retries", type=int, default=None,
+                   help="per-task retries for transient failures "
+                        "(default: 0, or 5 when --chaos is armed)")
+    p.add_argument("--allow-partial", action="store_true",
+                   dest="allow_partial",
+                   help="complete degraded instead of aborting when a "
+                        "task permanently fails")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("trace",
@@ -274,6 +342,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
+    except DeadlineExceeded as exc:
+        print(f"error: DeadlineExceeded: {exc}", file=sys.stderr)
+        return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -1,0 +1,71 @@
+"""Injectable time source shared by the resilience primitives.
+
+Deadlines (:mod:`repro.ws.deadline`), retry backoff
+(:mod:`repro.workflow.faults`), circuit-breaker cooldowns
+(:mod:`repro.ws.breaker`) and the chaos harness (:mod:`repro.chaos`) all
+need *time* — but tests of those behaviours must not wall-sleep.  A
+:class:`Clock` bundles ``monotonic()`` + ``sleep()`` behind one interface:
+production code uses the process-wide :data:`SYSTEM_CLOCK`, tests pass a
+:class:`FakeClock` whose ``sleep`` merely advances a counter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Clock:
+    """A monotonic time source with a matching sleep."""
+
+    def monotonic(self) -> float:
+        """Seconds on a monotonically increasing clock."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Block for *seconds* (no-op for non-positive values)."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real thing: ``time.monotonic`` + ``time.sleep``."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class FakeClock(Clock):
+    """A virtual clock for tests: sleeping advances it instantly.
+
+    Thread-safe, since retry/breaker/chaos code sleeps from worker
+    threads.  ``advance()`` lets a test move time forward explicitly
+    (e.g. past a breaker cooldown) without any code path sleeping.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+        self._lock = threading.Lock()
+        self.sleeps: list[float] = []
+
+    def monotonic(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        with self._lock:
+            self.sleeps.append(seconds)
+            if seconds > 0:
+                self._now += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward without recording a sleep."""
+        with self._lock:
+            self._now += seconds
+
+
+#: Shared default used wherever a clock is injectable.
+SYSTEM_CLOCK = SystemClock()

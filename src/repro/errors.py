@@ -41,6 +41,24 @@ class TransportError(ServiceError):
     """The message could not be delivered to the endpoint."""
 
 
+class CircuitOpenError(TransportError):
+    """A circuit breaker is open: the call failed fast without a send.
+
+    Subclasses :class:`TransportError` so retry/migration machinery treats
+    an open circuit exactly like an unreachable endpoint — migrate, don't
+    wait.
+    """
+
+
+class DeadlineExceeded(ReproError):
+    """A call's time budget ran out (client-side or propagated fault).
+
+    Deliberately *not* a :class:`ServiceError`: retrying a call whose
+    deadline has already expired only burns more of nothing, so the
+    default transient-error retry set must not cover it.
+    """
+
+
 class WsdlError(ServiceError):
     """A WSDL document was malformed or inconsistent."""
 

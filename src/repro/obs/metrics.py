@@ -58,6 +58,28 @@ class Counter:
         return self._value
 
 
+class Gauge:
+    """A value that can go up and down (breaker states, queue depths)."""
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Set the gauge to *value*."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (may be negative) to the gauge."""
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
 class Histogram:
     """Observation store with nearest-rank percentiles.
 
@@ -120,6 +142,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._counters: dict[tuple[str, LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
         self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
         self._lock = threading.Lock()
 
@@ -130,6 +153,15 @@ class MetricsRegistry:
             instrument = self._counters.get(key)
             if instrument is None:
                 instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """The gauge for (*name*, *labels*), created on first use."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = self._gauges[key] = Gauge()
         return instrument
 
     def histogram(self, name: str, **labels: Any) -> Histogram:
@@ -145,6 +177,7 @@ class MetricsRegistry:
         """Drop every instrument (tests call this between cases)."""
         with self._lock:
             self._counters.clear()
+            self._gauges.clear()
             self._histograms.clear()
 
     def counters(self) -> Iterable[tuple[str, LabelKey, Counter]]:
@@ -152,6 +185,12 @@ class MetricsRegistry:
         with self._lock:
             items = list(self._counters.items())
         return [(name, labels, c) for (name, labels), c in items]
+
+    def gauges(self) -> Iterable[tuple[str, LabelKey, Gauge]]:
+        """All registered gauges as (name, labels, instrument) rows."""
+        with self._lock:
+            items = list(self._gauges.items())
+        return [(name, labels, g) for (name, labels), g in items]
 
     def histograms(self) -> Iterable[tuple[str, LabelKey, Histogram]]:
         """All registered histograms as (name, labels, instrument) rows."""
@@ -164,6 +203,8 @@ class MetricsRegistry:
         return {
             "counters": {format_series(name, labels): counter.value
                          for name, labels, counter in self.counters()},
+            "gauges": {format_series(name, labels): gauge.value
+                       for name, labels, gauge in self.gauges()},
             "histograms": {format_series(name, labels): hist.summary()
                            for name, labels, hist in self.histograms()},
         }

@@ -86,8 +86,9 @@ def render_metrics(metrics: dict[str, Any] | None = None) -> str:
     """Render a metrics snapshot (default: the live global registry)."""
     data = metrics if metrics is not None else get_metrics().snapshot()
     counters: dict[str, float] = data.get("counters", {})
+    gauges: dict[str, float] = data.get("gauges", {})
     histograms: dict[str, dict] = data.get("histograms", {})
-    if not counters and not histograms:
+    if not counters and not gauges and not histograms:
         return "(no metrics recorded)"
     lines: list[str] = []
     if counters:
@@ -96,6 +97,14 @@ def render_metrics(metrics: dict[str, Any] | None = None) -> str:
         for name in sorted(counters):
             lines.append(f"  {name:<{width}}  "
                          f"{_fmt_value(name, counters[name])}")
+    if gauges:
+        if lines:
+            lines.append("")
+        width = max(len(n) for n in gauges)
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<{width}}  "
+                         f"{_fmt_value(name, gauges[name])}")
     if histograms:
         if lines:
             lines.append("")

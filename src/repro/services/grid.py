@@ -27,6 +27,7 @@ from repro.errors import ServiceError, TransportError, WorkflowError
 from repro.ml.evaluation import EvaluationResult, stratified_folds
 from repro.obs import (get_metrics, get_tracer,
                        maybe_enable_tracing_from_env)
+from repro.ws.deadline import current_deadline
 
 
 @dataclass
@@ -100,6 +101,10 @@ def distributed_cross_validate(proxies: Sequence, dataset: Dataset,
     errors: list[Exception] = []
     tracer = get_tracer()
     grid_span = None  # rebound to the root span once dispatch begins
+    # captured here because worker threads don't inherit contextvars;
+    # an expired budget stops workers taking new folds, and the
+    # post-join check below fails the run fast instead of re-dispatching
+    deadline = current_deadline()
 
     def dispatch_fold(proxy, worker_id: int, fold_no: int,
                       train_doc: str, test_doc: str) -> dict:
@@ -117,6 +122,8 @@ def distributed_cross_validate(proxies: Sequence, dataset: Dataset,
     def worker(worker_id: int) -> None:
         proxy = proxies[worker_id]
         while True:
+            if deadline is not None and deadline.expired:
+                return  # stop taking folds; the join-side check raises
             with queue_lock:
                 if not queue:
                     return
@@ -161,6 +168,8 @@ def distributed_cross_validate(proxies: Sequence, dataset: Dataset,
             t.start()
         for t in threads:
             t.join()
+        if queue and deadline is not None:
+            deadline.check("grid cross-validation")
         if queue and errors:
             raise WorkflowError(
                 f"{len(queue)} fold(s) undispatchable: all endpoints "

@@ -10,7 +10,22 @@ remote resources — holds for local and service-backed tasks alike.
 Fault tolerance (§3 category 2) hooks in per task: a
 :class:`~repro.workflow.faults.RetryPolicy` retries transient failures and
 *migrates* the task to alternate endpoints when its tool publishes
-replicas (see :mod:`repro.workflow.faults`).
+replicas (see :mod:`repro.workflow.faults`).  Three resilience layers
+complete the picture:
+
+* **deadline propagation** — ``run(..., deadline_s=...)`` bounds the whole
+  enactment; every task (and, through the ambient deadline scope, every
+  SOAP call a task makes) inherits the shrinking budget, and an expired
+  budget fails the run fast with :class:`~repro.errors.DeadlineExceeded`
+  instead of hanging.
+* **graceful degradation** — with ``allow_partial=True`` a permanently
+  failed task no longer aborts the run: its downstream tasks are marked
+  *skipped* and the run completes with ``RunResult.degraded`` set, so a
+  mostly-healthy workflow still delivers the outputs it could compute.
+* **chaos interception** — when a process-wide
+  :class:`~repro.chaos.ChaosController` is armed, every task *attempt*
+  is perturbed through it (inside the retry loop), turning any workflow
+  into a seeded chaos drill.
 """
 
 from __future__ import annotations
@@ -21,8 +36,11 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import EnactmentError, WorkflowError
+from repro import chaos
+from repro.clock import SYSTEM_CLOCK, Clock
+from repro.errors import DeadlineExceeded, EnactmentError, WorkflowError
 from repro.obs import get_metrics, get_tracer
+from repro.ws.deadline import Deadline, deadline_scope
 from repro.workflow.model import Task, TaskGraph
 from repro.workflow.monitor import EventBus, TaskEvent
 
@@ -37,6 +55,8 @@ class RunResult:
     started_at: float = 0.0
     finished_at: float = 0.0
     trace_id: str = ""  # set when tracing is enabled
+    failed: dict[str, str] = field(default_factory=dict)
+    skipped: list[str] = field(default_factory=list)
 
     def output(self, task: str | Task, index: int = 0) -> Any:
         """Value produced at (task, output index)."""
@@ -48,6 +68,11 @@ class RunResult:
         return self.outputs[key]
 
     @property
+    def degraded(self) -> bool:
+        """True when the run completed without some of its tasks."""
+        return bool(self.failed or self.skipped)
+
+    @property
     def wall_seconds(self) -> float:
         return self.finished_at - self.started_at
 
@@ -57,26 +82,34 @@ class WorkflowEngine:
 
     def __init__(self, max_workers: int = 8,
                  events: EventBus | None = None,
-                 retry_policy=None):
+                 retry_policy=None, allow_partial: bool = False,
+                 clock: Clock = SYSTEM_CLOCK):
         self.max_workers = max_workers
         self.events = events or EventBus()
         self.retry_policy = retry_policy
+        self.allow_partial = allow_partial
+        self.clock = clock
 
     def run(self, graph: TaskGraph,
-            inputs: dict[tuple[str, int], Any] | None = None) -> RunResult:
+            inputs: dict[tuple[str, int], Any] | None = None,
+            deadline_s: float | None = None) -> RunResult:
         """Execute *graph*; *inputs* optionally seeds (task, input-index)
-        values for group execution."""
+        values for group execution; *deadline_s* bounds the whole run
+        (tightened by any ambient deadline already in scope)."""
         # one root span per run; every task span (and, transitively, every
         # SOAP client/transport/server span a service-backed task incurs)
         # shares its trace id, giving the §3 monitor one coherent tree
         with get_tracer().span(f"workflow:{graph.name}") as wf_span:
             wf_span.set_attribute("tasks", len(graph.tasks))
-            return self._run(graph, inputs, wf_span)
+            with deadline_scope(deadline_s, self.clock) as deadline:
+                return self._run(graph, inputs, wf_span, deadline)
 
     def _run(self, graph: TaskGraph,
              inputs: dict[tuple[str, int], Any] | None,
-             wf_span: Any) -> RunResult:
+             wf_span: Any, deadline: Deadline | None) -> RunResult:
         graph.validate()
+        if deadline is not None:
+            deadline.check(f"workflow {graph.name!r}")
         order = graph.topological_order()
         assert order is not None
         result = RunResult(graph_name=graph.name,
@@ -97,9 +130,10 @@ class WorkflowEngine:
             pending[task.name] = needed
 
         lock = threading.Lock()
-        errors: list[EnactmentError] = []
+        errors: list[Exception] = []
         done = threading.Event()
         executor = ThreadPoolExecutor(max_workers=self.max_workers)
+        controller = chaos.active()
 
         def gather_inputs(task: Task) -> list[Any]:
             row: list[Any] = [None] * task.num_inputs
@@ -111,31 +145,91 @@ class WorkflowEngine:
                     row[idx] = values[key]
             return row
 
+        def settled_count() -> int:
+            # caller holds the lock
+            return (len(result.durations) + len(result.failed)
+                    + len(result.skipped))
+
+        def skip_downstream(name: str) -> list[str]:
+            """Mark every task depending (transitively) on *name* as
+            skipped; such tasks are waiting on an input that will never
+            arrive, so none of them can have been scheduled.  Caller
+            holds the lock; returns the newly skipped names."""
+            newly: list[str] = []
+            frontier = [name]
+            dead = set(result.failed) | set(result.skipped)
+            while frontier:
+                for cable in graph.outgoing(frontier.pop()):
+                    target = cable.target
+                    if target in dead or target in result.durations:
+                        continue
+                    dead.add(target)
+                    result.skipped.append(target)
+                    newly.append(target)
+                    frontier.append(target)
+            return newly
+
+        def fail_task(task: Task, exc: Exception) -> None:
+            self.events.emit(TaskEvent("task", task.name, "failed",
+                                       detail=repr(exc)))
+            get_metrics().counter("workflow.task.failures",
+                                  graph=graph.name).inc()
+            # an expired budget is never degradable: the user asked for
+            # an answer in bounded time and must learn — fast — that
+            # there isn't one
+            fatal = not self.allow_partial or \
+                isinstance(exc, DeadlineExceeded)
+            skipped_now: list[str] = []
+            with lock:
+                if fatal:
+                    if isinstance(exc, DeadlineExceeded):
+                        errors.append(exc)
+                    else:
+                        errors.append(EnactmentError(task.name, exc))
+                    done.set()
+                    return
+                result.failed[task.name] = repr(exc)
+                skipped_now = skip_downstream(task.name)
+                finished = settled_count() == len(graph.tasks)
+            for name in skipped_now:
+                self.events.emit(TaskEvent(
+                    "task", name, "skipped",
+                    detail=f"upstream task {task.name!r} failed"))
+                get_metrics().counter("workflow.task.skipped",
+                                      graph=graph.name).inc()
+            if finished:
+                done.set()
+
         def execute(task: Task) -> None:
             self.events.emit(TaskEvent("task", task.name, "started"))
             start = time.perf_counter()
             tracer = get_tracer()
             try:
                 # parent the task span on the run's root span explicitly:
-                # pool threads don't inherit the runner's contextvars
+                # pool threads don't inherit the runner's contextvars —
+                # the same goes for the deadline scope reinstalled below
                 with tracer.span(f"task:{task.name}",
-                                 parent=wf_span) as task_span:
+                                 parent=wf_span) as task_span, \
+                        deadline_scope(deadline):
                     task_span.set_attribute("tool", task.tool.name)
+                    if deadline is not None:
+                        deadline.check(f"task {task.name!r}")
                     ins = gather_inputs(task)
                     params = task.effective_parameters()
+                    runner = None
+                    if controller is not None:
+                        def runner(i, p, _t=task):
+                            controller.perturb(f"task:{_t.name}")
+                            return _t.tool.run(i, p)
                     if self.retry_policy is not None:
                         outs = self.retry_policy.run_task(
-                            task, ins, params)
+                            task, ins, params, runner=runner)
+                    elif runner is not None:
+                        outs = runner(ins, params)
                     else:
                         outs = task.tool.run(ins, params)
             except Exception as exc:
-                self.events.emit(TaskEvent("task", task.name, "failed",
-                                           detail=repr(exc)))
-                get_metrics().counter("workflow.task.failures",
-                                      graph=graph.name).inc()
-                with lock:
-                    errors.append(EnactmentError(task.name, exc))
-                done.set()
+                fail_task(task, exc)
                 return
             duration = time.perf_counter() - start
             get_metrics().histogram("workflow.task.seconds",
@@ -155,11 +249,9 @@ class WorkflowEngine:
                     if not waiting:
                         waiting.add(-1)  # mark scheduled
                         ready.append(graph.task(cable.target))
+                finished = settled_count() == len(graph.tasks)
             for nxt in ready:
                 executor.submit(execute, nxt)
-            with lock:
-                finished = all(
-                    t.name in result.durations for t in graph.tasks)
             if finished:
                 done.set()
 
@@ -187,5 +279,13 @@ class WorkflowEngine:
             self.events.emit(TaskEvent("workflow", graph.name, "failed",
                                        detail=str(errors[0])))
             raise errors[0]
+        if result.degraded:
+            wf_span.set_attribute("degraded", True)
+            metrics.counter("workflow.degraded_runs",
+                            graph=graph.name).inc()
+            self.events.emit(TaskEvent(
+                "workflow", graph.name, "degraded",
+                detail=f"{len(result.failed)} failed, "
+                       f"{len(result.skipped)} skipped"))
         self.events.emit(TaskEvent("workflow", graph.name, "finished"))
         return result

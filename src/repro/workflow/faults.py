@@ -7,28 +7,38 @@ Two pieces implement that:
 
 * :class:`RetryPolicy` — plugged into the engine; retries a failed task up
   to ``max_retries`` times with optional backoff, emitting ``retried``
-  monitoring events.
+  monitoring events.  Backoff sleeps go through an injectable
+  :class:`~repro.clock.Clock`, so retry tests run on a fake clock instead
+  of wall-sleeping, and a retry never outlives the ambient deadline (see
+  :mod:`repro.ws.deadline`).
 * :class:`ReplicatedServiceTool` — a workflow tool bound to a *pool* of
   equivalent service endpoints (replicas of the same algorithm on different
   resources).  On a transport/service failure it migrates the invocation to
   the next replica, which is exactly the paper's "moving the job to another
-  resource"; the tool records the migration trail for the monitor.
+  resource"; the tool records the migration trail for the monitor.  With
+  per-replica circuit breakers attached, replicas whose circuit is open
+  are skipped outright — migration happens immediately instead of paying
+  another doomed send.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
-from repro.errors import EnactmentError, ServiceError, TransportError, \
-    WorkflowError
+from repro.clock import SYSTEM_CLOCK, Clock
+from repro.errors import (CircuitOpenError, DeadlineExceeded,
+                          EnactmentError, ServiceError, TransportError,
+                          WorkflowError)
 from repro.obs import get_metrics
+from repro.ws.breaker import CircuitBreaker
+from repro.ws.deadline import current_deadline
 from repro.workflow.model import Task, Tool
 from repro.workflow.monitor import EventBus, TaskEvent
 
 #: Failures worth re-running: delivery problems and service-side errors.
 #: Programming errors in tools (TypeError, KeyError, ...) are *not* here —
-#: retrying those only repeats the bug with backoff.
+#: retrying those only repeats the bug with backoff.  Neither is
+#: :class:`DeadlineExceeded`: a spent budget cannot be retried back.
 TRANSIENT_ERRORS: tuple[type[BaseException], ...] = (TransportError,
                                                      ServiceError)
 
@@ -39,23 +49,40 @@ class RetryPolicy:
     def __init__(self, max_retries: int = 2, backoff_s: float = 0.0,
                  events: EventBus | None = None,
                  retry_on: tuple[type[BaseException], ...]
-                 = TRANSIENT_ERRORS):
+                 = TRANSIENT_ERRORS,
+                 clock: Clock = SYSTEM_CLOCK):
         self.max_retries = max_retries
         self.backoff_s = backoff_s
         self.events = events
         self.retry_on = retry_on
+        self.clock = clock
 
     def run_task(self, task: Task, inputs: list[Any],
-                 parameters: dict[str, Any]) -> list[Any]:
-        """Run one task with retry semantics."""
+                 parameters: dict[str, Any],
+                 runner: Callable[[list[Any], dict[str, Any]], list[Any]]
+                 | None = None) -> list[Any]:
+        """Run one task with retry semantics.
+
+        *runner* overrides how an attempt executes (the engine uses it to
+        route attempts through the chaos harness); each retry re-invokes
+        it, so injected faults hit every attempt independently.
+        """
+        run = runner if runner is not None else task.tool.run
         attempt = 0
         while True:
             try:
-                return task.tool.run(inputs, parameters)
+                return run(inputs, parameters)
             except self.retry_on as exc:
                 attempt += 1
                 if attempt > self.max_retries:
                     raise
+                deadline = current_deadline()
+                if deadline is not None and deadline.expired:
+                    # no budget left to retry in: surface the expiry
+                    # instead of spinning through doomed attempts
+                    raise DeadlineExceeded(
+                        f"task {task.name!r} failed with the budget "
+                        f"spent (attempt {attempt}: {exc!r})") from exc
                 get_metrics().counter("workflow.retries",
                                       task=task.name).inc()
                 if self.events:
@@ -63,7 +90,18 @@ class RetryPolicy:
                         "task", task.name, "retried",
                         detail=f"attempt {attempt}: {exc!r}"))
                 if self.backoff_s:
-                    time.sleep(self.backoff_s * attempt)
+                    pause = self.backoff_s * attempt
+                    deadline = current_deadline()
+                    if deadline is not None and \
+                            deadline.remaining() <= pause:
+                        # backing off past the budget guarantees failure;
+                        # surface it now instead of sleeping into it
+                        raise DeadlineExceeded(
+                            f"task {task.name!r}: {pause:.3f}s backoff "
+                            f"exceeds the remaining "
+                            f"{max(deadline.remaining(), 0.0):.3f}s "
+                            f"budget") from exc
+                    self.clock.sleep(pause)
 
 
 class ReplicatedServiceTool(Tool):
@@ -71,12 +109,16 @@ class ReplicatedServiceTool(Tool):
 
     *proxies* are service proxies (:class:`~repro.ws.client.ServiceProxy`)
     for equivalent deployments of the same service.  Inputs map
-    positionally onto the operation's WSDL parameters.
+    positionally onto the operation's WSDL parameters.  *breakers*
+    (optional, one per replica) let the tool skip replicas whose circuit
+    is open — the §3 migration happens immediately, without paying a
+    send against a presumed-dead resource.
     """
 
     def __init__(self, name: str, proxies: Sequence[Any], operation: str,
                  param_names: Sequence[str], folder: str = "WebServices",
-                 doc: str = "", events: EventBus | None = None):
+                 doc: str = "", events: EventBus | None = None,
+                 breakers: Sequence[CircuitBreaker] | None = None):
         super().__init__(name, list(param_names), ["result"], folder, doc)
         if not proxies:
             raise WorkflowError(
@@ -85,7 +127,21 @@ class ReplicatedServiceTool(Tool):
         self.operation = operation
         self.param_names = list(param_names)
         self.events = events
+        if breakers is not None and len(breakers) != len(self.proxies):
+            raise WorkflowError(
+                f"tool {name!r}: {len(breakers)} breaker(s) for "
+                f"{len(self.proxies)} replica(s)")
+        self.breakers = list(breakers) if breakers is not None else None
         self.migrations: list[tuple[int, str]] = []
+
+    def _migrate(self, replica: int, why: str) -> None:
+        self.migrations.append((replica, why))
+        get_metrics().counter("workflow.migrations",
+                              tool=self.name).inc()
+        if self.events:
+            self.events.emit(TaskEvent("task", self.name, "migrated",
+                                       detail=f"replica {replica}: "
+                                              f"{why}"))
 
     def run(self, inputs: list[Any], parameters: dict[str, Any]
             ) -> list[Any]:
@@ -96,17 +152,32 @@ class ReplicatedServiceTool(Tool):
         for pname, value in parameters.items():
             params.setdefault(pname, value)
         last_error: Exception | None = None
+        all_open = self.breakers is not None
         for replica, proxy in enumerate(self.proxies):
+            breaker = self.breakers[replica] if self.breakers else None
+            if breaker is not None and not breaker.allow():
+                self._migrate(replica, "circuit open, skipped")
+                continue
+            all_open = False
             try:
-                return [proxy.call(self.operation, **params)]
-            except (TransportError, ServiceError, OSError) as exc:
+                result = [proxy.call(self.operation, **params)]
+            except (TransportError, OSError) as exc:
+                if breaker is not None:
+                    breaker.record_failure()
                 last_error = exc
-                self.migrations.append((replica, repr(exc)))
-                get_metrics().counter("workflow.migrations",
-                                      tool=self.name).inc()
-                if self.events:
-                    self.events.emit(TaskEvent(
-                        "task", self.name, "migrated",
-                        detail=f"replica {replica} failed: {exc!r}"))
+                self._migrate(replica, f"failed: {exc!r}")
+            except ServiceError as exc:
+                # the replica answered with a fault: alive but unhelpful
+                if breaker is not None:
+                    breaker.record_success()
+                last_error = exc
+                self._migrate(replica, f"failed: {exc!r}")
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                return result
+        if all_open and last_error is None:
+            last_error = CircuitOpenError(
+                f"tool {self.name!r}: every replica's circuit is open")
         raise EnactmentError(self.name,
                              last_error or WorkflowError("no replicas"))

@@ -2,9 +2,11 @@
 container with the §4.5 lifecycles, HTTP hosting, client proxies, the UDDI
 registry and transport models."""
 
-from repro.ws.soap import (SoapFault, SoapRequest, SoapResponse,
-                           decode_request, decode_response, encode_fault,
-                           encode_request, encode_response)
+from repro.ws.soap import (DEADLINE_FAULTCODE, SoapFault, SoapRequest,
+                           SoapResponse, decode_request, decode_response,
+                           encode_fault, encode_request, encode_response)
+from repro.ws.deadline import Deadline, current_deadline, deadline_scope
+from repro.ws.breaker import CircuitBreaker
 from repro.ws.service import OperationInfo, ServiceDefinition, operation
 from repro.ws.container import LIFECYCLES, ServiceContainer, ServiceStats
 from repro.ws.httpd import SoapHttpServer
@@ -12,7 +14,8 @@ from repro.ws.client import HttpTransport, ServiceProxy, fetch_url
 from repro.ws.registry import RegistryEntry, RegistryService, UDDIRegistry
 from repro.ws.transport import (LAN, WAN, FailingTransport,
                                 InProcessTransport, NetworkModel,
-                                SimulatedTransport, Transport)
+                                SimulatedTransport, Transport,
+                                apply_deadline)
 from repro.ws import wsdl
 
 __all__ = [
@@ -25,5 +28,7 @@ __all__ = [
     "UDDIRegistry", "RegistryService", "RegistryEntry",
     "Transport", "InProcessTransport", "SimulatedTransport",
     "FailingTransport", "NetworkModel", "LAN", "WAN",
+    "Deadline", "deadline_scope", "current_deadline", "apply_deadline",
+    "DEADLINE_FAULTCODE", "CircuitBreaker",
     "wsdl",
 ]

@@ -13,11 +13,14 @@ import time
 from typing import Any
 from urllib.parse import urlparse
 
-from repro.errors import TransportError, WsdlError
+from repro.errors import DeadlineExceeded, TransportError, WsdlError
 from repro.obs import get_metrics, get_tracer
 from repro.ws import soap, wsdl
+from repro.ws.breaker import CircuitBreaker
+from repro.ws.deadline import current_deadline
 from repro.ws.soap import SoapRequest, SoapResponse
-from repro.ws.transport import (Transport, record_transport_metrics,
+from repro.ws.transport import (Transport, apply_deadline,
+                                record_transport_metrics,
                                 stamp_trace_context)
 
 
@@ -49,10 +52,20 @@ class HttpTransport(Transport):
         with get_tracer().span("send:http",
                                {"endpoint": self.endpoint}) as span:
             stamp_trace_context(request, span)
+            apply_deadline(request)
             wire = soap.encode_request(request)
             self.bytes_sent += len(wire)
             try:
                 conn = self._connection()
+                # never wait on the socket longer than the call's
+                # remaining budget allows
+                effective = self._timeout
+                if request.deadline_s is not None:
+                    effective = min(effective, max(request.deadline_s,
+                                                   1e-3))
+                conn.timeout = effective
+                if conn.sock is not None:
+                    conn.sock.settimeout(effective)
                 conn.request("POST", self._path, body=wire, headers={
                     "Content-Type": "text/xml; charset=utf-8",
                     "SOAPAction": f'"{request.operation}"',
@@ -63,6 +76,13 @@ class HttpTransport(Transport):
                 self.close()
                 get_metrics().counter("ws.transport.errors",
                                       transport="http").inc()
+                if isinstance(exc, TimeoutError) and \
+                        request.deadline_s is not None and \
+                        request.deadline_s < self._timeout:
+                    raise DeadlineExceeded(
+                        f"{self.endpoint} did not answer within the "
+                        f"remaining {request.deadline_s:.3f}s budget"
+                    ) from exc
                 raise TransportError(
                     f"cannot reach {self.endpoint}: {exc}") from exc
             self.bytes_received += len(body)
@@ -104,26 +124,40 @@ def fetch_url(url: str, timeout: float = 30.0) -> str:
 
 
 class ServiceProxy:
-    """Dynamic operation proxy over any :class:`Transport`."""
+    """Dynamic operation proxy over any :class:`Transport`.
+
+    An optional per-endpoint :class:`~repro.ws.breaker.CircuitBreaker`
+    makes the proxy fail fast
+    (:class:`~repro.errors.CircuitOpenError`) while its endpoint is
+    presumed dead, instead of paying a full transport timeout per call.
+    Only delivery failures (:class:`TransportError`/``OSError``) count
+    against the breaker — a SOAP fault proves the endpoint is alive.
+    """
 
     def __init__(self, description: wsdl.WsdlDescription,
-                 transport: Transport):
+                 transport: Transport,
+                 breaker: CircuitBreaker | None = None):
         self.description = description
         self.transport = transport
+        self.breaker = breaker
 
     @classmethod
-    def from_wsdl_url(cls, url: str) -> "ServiceProxy":
+    def from_wsdl_url(cls, url: str,
+                      breaker: CircuitBreaker | None = None
+                      ) -> "ServiceProxy":
         """Build a proxy by fetching and parsing a ``?wsdl`` URL."""
         description = wsdl.parse(fetch_url(url))
         if not description.address:
             raise WsdlError(f"WSDL at {url} carries no endpoint address")
-        return cls(description, HttpTransport(description.address))
+        return cls(description, HttpTransport(description.address),
+                   breaker=breaker)
 
     @classmethod
-    def from_wsdl_text(cls, document: str,
-                       transport: Transport) -> "ServiceProxy":
+    def from_wsdl_text(cls, document: str, transport: Transport,
+                       breaker: CircuitBreaker | None = None
+                       ) -> "ServiceProxy":
         """Build a proxy from WSDL text with an explicit transport."""
-        return cls(wsdl.parse(document), transport)
+        return cls(wsdl.parse(document), transport, breaker=breaker)
 
     def operations(self) -> list[str]:
         """Sorted operation names offered by the service."""
@@ -149,13 +183,35 @@ class ServiceProxy:
                 f"{missing}")
         service = self.description.service
         request = SoapRequest(service, operation, params)
+        deadline = current_deadline()
+        if deadline is not None:
+            # fail fast before building any wire bytes
+            deadline.check(f"{service}.{operation}")
+            request.deadline_s = deadline.remaining()
+        if self.breaker is not None:
+            self.breaker.ensure_closed(f"{service}.{operation}")
         start = time.perf_counter()
         with get_tracer().span(f"soap:{service}.{operation}") as span:
             # client-side injection: the proxy's span becomes the parent
             # of every server-side span for this invocation
             stamp_trace_context(request, span)
             try:
-                return self.transport.send(request).result
+                result = self.transport.send(request).result
+            except (TransportError, OSError):
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                raise
+            except DeadlineExceeded:
+                raise  # a spent budget says nothing about endpoint health
+            except Exception:
+                # the endpoint answered (a fault is still an answer)
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                raise
+            else:
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                return result
             finally:
                 elapsed = time.perf_counter() - start
                 metrics = get_metrics()

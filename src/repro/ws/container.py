@@ -33,10 +33,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
-from repro.errors import ServiceError
+from repro.errors import DeadlineExceeded, ServiceError
 from repro.obs import SpanContext, get_metrics, get_tracer
+from repro.ws.deadline import deadline_scope
 from repro.ws.service import ServiceDefinition
-from repro.ws.soap import SoapFault, SoapRequest, SoapResponse
+from repro.ws.soap import (DEADLINE_FAULTCODE, SoapFault, SoapRequest,
+                           SoapResponse)
 
 LIFECYCLES = ("harness", "serialize")
 
@@ -151,30 +153,54 @@ class ServiceContainer:
                          parent=parent) as span:
             dep = self._deployment(request.service)
             span.set_attribute("lifecycle", dep.lifecycle)
-            with dep.lock:
-                dep.stats.invocations += 1
-                instance = self._acquire(dep)
-                start = time.perf_counter()
-                try:
-                    result = dep.definition.dispatch(
-                        instance, request.operation, request.params)
-                except SoapFault:
-                    dep.stats.faults += 1
+            # re-anchor the caller's remaining budget on this host's
+            # clock; every call the service itself makes inherits it
+            with deadline_scope(request.deadline_s) as deadline:
+                if deadline is not None and deadline.expired:
                     self._count_fault(request)
-                    raise
-                except Exception as exc:
-                    dep.stats.faults += 1
-                    self._count_fault(request)
-                    raise SoapFault("soapenv:Server", str(exc),
-                                    detail=type(exc).__name__) from exc
-                finally:
-                    elapsed = time.perf_counter() - start
-                    dep.stats.dispatch_seconds += elapsed
-                    get_metrics().histogram(
-                        "ws.server.dispatch.seconds",
-                        service=request.service,
-                        operation=request.operation).observe(elapsed)
-                    self._release(dep, instance)
+                    get_metrics().counter(
+                        "ws.server.deadline_rejections",
+                        service=request.service).inc()
+                    raise SoapFault(
+                        DEADLINE_FAULTCODE,
+                        f"time budget exhausted before dispatching "
+                        f"{request.service}.{request.operation}")
+                return self._dispatch_locked(dep, request)
+
+    def _dispatch_locked(self, dep: _Deployment,
+                         request: SoapRequest) -> SoapResponse:
+        with dep.lock:
+            dep.stats.invocations += 1
+            instance = self._acquire(dep)
+            start = time.perf_counter()
+            try:
+                result = dep.definition.dispatch(
+                    instance, request.operation, request.params)
+            except SoapFault:
+                dep.stats.faults += 1
+                self._count_fault(request)
+                raise
+            except DeadlineExceeded as exc:
+                # a nested call ran out of budget mid-dispatch; surface
+                # it under the dedicated fault code so the caller's
+                # client resurfaces DeadlineExceeded, not a retriable
+                # server fault
+                dep.stats.faults += 1
+                self._count_fault(request)
+                raise SoapFault(DEADLINE_FAULTCODE, str(exc)) from exc
+            except Exception as exc:
+                dep.stats.faults += 1
+                self._count_fault(request)
+                raise SoapFault("soapenv:Server", str(exc),
+                                detail=type(exc).__name__) from exc
+            finally:
+                elapsed = time.perf_counter() - start
+                dep.stats.dispatch_seconds += elapsed
+                get_metrics().histogram(
+                    "ws.server.dispatch.seconds",
+                    service=request.service,
+                    operation=request.operation).observe(elapsed)
+                self._release(dep, instance)
         return SoapResponse(service=request.service,
                             operation=request.operation, result=result)
 

@@ -1,0 +1,85 @@
+"""Deadline propagation: one time budget bounds a whole call tree.
+
+The paper's §3 monitoring requirement implies a user waiting on a result;
+a production stack additionally needs the *waiting itself* bounded — a
+workflow-level budget must limit every nested SOAP call it triggers, and a
+call that cannot finish in time must fail fast rather than hang.
+
+A :class:`Deadline` is an absolute expiry on an injectable
+:class:`~repro.clock.Clock`.  The *current* deadline travels in a
+contextvar: :func:`deadline_scope` installs one for a block (nesting takes
+the tighter of parent and child — a child can never extend its parent's
+budget), :func:`current_deadline` reads it, and the SOAP layer carries the
+remaining budget across hops in a ``<repro:Deadline remainingMs=".."/>``
+header (see :mod:`repro.ws.soap`).  Each hop re-anchors the remaining
+milliseconds on its own clock, so budgets decrement across machines
+without any clock synchronisation.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+from repro.clock import SYSTEM_CLOCK, Clock
+from repro.errors import DeadlineExceeded
+
+_current: ContextVar["Deadline | None"] = ContextVar(
+    "repro_deadline", default=None)
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute expiry instant on a specific clock."""
+
+    expires_at: float
+    clock: Clock = field(default=SYSTEM_CLOCK, repr=False)
+
+    @classmethod
+    def after(cls, seconds: float,
+              clock: Clock = SYSTEM_CLOCK) -> "Deadline":
+        """A deadline *seconds* from now on *clock*."""
+        return cls(clock.monotonic() + seconds, clock)
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.expires_at - self.clock.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self, what: str = "call") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        remaining = self.remaining()
+        if remaining <= 0:
+            raise DeadlineExceeded(
+                f"deadline exceeded before {what} "
+                f"(over budget by {-remaining:.3f}s)")
+
+
+def current_deadline() -> Deadline | None:
+    """The deadline governing the current context, if any."""
+    return _current.get()
+
+
+@contextlib.contextmanager
+def deadline_scope(deadline: Deadline | float | None,
+                   clock: Clock = SYSTEM_CLOCK):
+    """Install *deadline* (a :class:`Deadline` or seconds-from-now) for
+    the block.  Nested scopes keep whichever expiry is tighter."""
+    if deadline is None:
+        yield current_deadline()
+        return
+    if not isinstance(deadline, Deadline):
+        deadline = Deadline.after(float(deadline), clock)
+    outer = _current.get()
+    if outer is not None and outer.clock is deadline.clock and \
+            outer.expires_at <= deadline.expires_at:
+        deadline = outer  # parent is already tighter
+    token = _current.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _current.reset(token)

@@ -19,11 +19,11 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlparse
 
-from repro.errors import ServiceError
+from repro.errors import DeadlineExceeded, ServiceError
 from repro.obs import SpanContext, get_metrics, get_tracer
 from repro.ws import soap, wsdl
 from repro.ws.container import ServiceContainer
-from repro.ws.soap import SoapFault
+from repro.ws.soap import DEADLINE_FAULTCODE, SoapFault
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -80,6 +80,14 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             request = soap.decode_request(payload)
             request.service = name  # the URL wins over the envelope
+            if request.deadline_s is not None and request.deadline_s <= 0:
+                # budget already spent: reject before dispatch so a
+                # hammered server sheds doomed work at the front door
+                get_metrics().counter("ws.http.deadline_rejections",
+                                      service=name).inc()
+                raise DeadlineExceeded(
+                    f"time budget exhausted before dispatching "
+                    f"POST /services/{name}")
             # tag the handler span with the trace context the SOAP
             # header carried, so server-side spans join the client trace
             parent = SpanContext(request.trace_id,
@@ -96,6 +104,10 @@ class _Handler(BaseHTTPRequestHandler):
         except SoapFault as fault:
             status = 500
             self._send(500, soap.encode_fault(fault))
+        except DeadlineExceeded as exc:
+            status = 500
+            self._send(500, soap.encode_fault(
+                SoapFault(DEADLINE_FAULTCODE, str(exc))))
         except ServiceError as exc:
             status = 500
             self._send(500, soap.encode_fault(

@@ -22,7 +22,11 @@ import xml.etree.ElementTree as ET
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import ServiceError
+from repro.errors import DeadlineExceeded, ServiceError
+
+#: Fault code carried by a SOAP fault caused by an expired time budget;
+#: :func:`decode_response` resurfaces it as :class:`DeadlineExceeded`.
+DEADLINE_FAULTCODE = "repro:DeadlineExceeded"
 
 ENVELOPE_NS = "http://schemas.xmlsoap.org/soap/envelope/"
 XSD_NS = "http://www.w3.org/2001/XMLSchema"
@@ -132,6 +136,11 @@ class SoapRequest:
     ``trace_id``/``parent_span_id`` carry the observability trace context
     (see :mod:`repro.obs`); when set they travel in a SOAP header element
     ``<repro:TraceContext>`` so server-side spans join the client's trace.
+
+    ``deadline_s`` is the remaining time budget at send time (see
+    :mod:`repro.ws.deadline`); when set it travels in a
+    ``<repro:Deadline remainingMs="..."/>`` header so the callee — and
+    every call *it* makes — stays bounded by the caller's budget.
     """
 
     service: str
@@ -139,6 +148,7 @@ class SoapRequest:
     params: dict[str, Any] = field(default_factory=dict)
     trace_id: str = ""
     parent_span_id: str = ""
+    deadline_s: float | None = None
 
 
 @dataclass
@@ -156,12 +166,17 @@ _TRACE_ID_OK = _re.compile(r"^[0-9a-f]{1,64}$")
 def encode_request(request: SoapRequest) -> bytes:
     """Serialise a SoapRequest as an envelope."""
     envelope = ET.Element(_qname(ENVELOPE_NS, "Envelope"))
-    if request.trace_id:
+    if request.trace_id or request.deadline_s is not None:
         header = ET.SubElement(envelope, _qname(ENVELOPE_NS, "Header"))
-        ctx = ET.SubElement(header, _qname(REPRO_NS, "TraceContext"))
-        ctx.set("traceId", request.trace_id)
-        if request.parent_span_id:
-            ctx.set("parentSpanId", request.parent_span_id)
+        if request.trace_id:
+            ctx = ET.SubElement(header, _qname(REPRO_NS, "TraceContext"))
+            ctx.set("traceId", request.trace_id)
+            if request.parent_span_id:
+                ctx.set("parentSpanId", request.parent_span_id)
+        if request.deadline_s is not None:
+            dl = ET.SubElement(header, _qname(REPRO_NS, "Deadline"))
+            dl.set("remainingMs",
+                   f"{max(0.0, request.deadline_s) * 1000.0:.3f}")
     body = ET.SubElement(envelope, _qname(ENVELOPE_NS, "Body"))
     op = ET.SubElement(body, _qname(
         REPRO_NS, _check_name(request.operation, "operation")))
@@ -183,7 +198,8 @@ def decode_request(document: bytes) -> SoapRequest:
               for child in op}
     trace_id, parent_span_id = _decode_trace_header(envelope)
     return SoapRequest(service=service, operation=local, params=params,
-                       trace_id=trace_id, parent_span_id=parent_span_id)
+                       trace_id=trace_id, parent_span_id=parent_span_id,
+                       deadline_s=_decode_deadline_header(envelope))
 
 
 def _decode_trace_header(envelope: ET.Element) -> tuple[str, str]:
@@ -205,6 +221,28 @@ def _decode_trace_header(envelope: ET.Element) -> tuple[str, str]:
     if parent and not _TRACE_ID_OK.match(parent):
         parent = ""
     return trace_id, parent
+
+
+def _decode_deadline_header(envelope: ET.Element) -> float | None:
+    """Extract the remaining-budget header as seconds, if present.
+
+    A malformed value is dropped (treated as "no deadline") rather than
+    faulted: a broken header must not take down an otherwise valid call,
+    and the caller still has its own client-side expiry.
+    """
+    header = envelope.find(_qname(ENVELOPE_NS, "Header"))
+    if header is None:
+        return None
+    dl = header.find(_qname(REPRO_NS, "Deadline"))
+    if dl is None:
+        return None
+    try:
+        remaining_ms = float(dl.get("remainingMs", ""))
+    except ValueError:
+        return None
+    if remaining_ms < 0:
+        remaining_ms = 0.0
+    return remaining_ms / 1000.0
 
 
 def encode_response(response: SoapResponse) -> bytes:
@@ -242,6 +280,10 @@ def decode_response(document: bytes) -> SoapResponse:
         code = child.findtext("faultcode", "soapenv:Server")
         string = child.findtext("faultstring", "unknown fault")
         detail = child.findtext("detail", "") or ""
+        if code == DEADLINE_FAULTCODE:
+            # resurface as the dedicated (non-retriable) exception so
+            # clients do not burn retries on an already-spent budget
+            raise DeadlineExceeded(string)
         raise SoapFault(code, string, detail)
     if not local.endswith("Response"):
         raise ServiceError(f"unexpected response element {local!r}")

@@ -24,6 +24,7 @@ from repro.errors import TransportError
 from repro.obs import get_metrics, get_tracer
 from repro.ws import soap
 from repro.ws.container import ServiceContainer
+from repro.ws.deadline import current_deadline
 from repro.ws.soap import SoapFault, SoapRequest, SoapResponse
 
 
@@ -48,6 +49,22 @@ def stamp_trace_context(request: SoapRequest, span) -> None:
     if span.recording and not request.trace_id:
         request.trace_id = span.trace_id
         request.parent_span_id = span.span_id
+
+
+def apply_deadline(request: SoapRequest) -> None:
+    """Enforce + propagate the ambient deadline on an outgoing request.
+
+    Fails fast (:class:`~repro.errors.DeadlineExceeded`) when the budget
+    is already spent, and stamps the remaining seconds onto an unstamped
+    request so every hop below this one inherits the (shrinking) budget.
+    An explicit ``deadline_s`` set by the caller wins.
+    """
+    deadline = current_deadline()
+    if deadline is None:
+        return
+    deadline.check(f"send {request.service}.{request.operation}")
+    if request.deadline_s is None:
+        request.deadline_s = deadline.remaining()
 
 
 def record_transport_metrics(transport: str, seconds: float,
@@ -76,6 +93,7 @@ class InProcessTransport(Transport):
         start = time.perf_counter()
         with get_tracer().span("send:inprocess") as span:
             stamp_trace_context(request, span)
+            apply_deadline(request)
             wire = soap.encode_request(request)
             self.bytes_sent += len(wire)
             decoded = soap.decode_request(wire)
@@ -147,6 +165,7 @@ class SimulatedTransport(Transport):
         bytes_before = self.bytes_on_wire
         with get_tracer().span("send:simulated") as span:
             stamp_trace_context(request, span)
+            apply_deadline(request)
             wire = soap.encode_request(request)
             try:
                 self._charge(len(wire))

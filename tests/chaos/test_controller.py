@@ -1,0 +1,176 @@
+"""ChaosController: deterministic fault decisions per target."""
+
+import pytest
+
+from repro import chaos
+from repro.chaos import ChaosController, ChaosTransport
+from repro.clock import FakeClock
+from repro.errors import ServiceError, TransportError
+from repro.obs import get_metrics
+from repro.ws import (InProcessTransport, ServiceContainer, ServiceProxy,
+                      wsdl)
+from repro.ws.deadline import deadline_scope
+from repro.ws.service import operation
+
+
+class Echo:
+    @operation
+    def shout(self, text: str) -> str:
+        return text.upper()
+
+
+def echo_proxy(transport_wrap=None):
+    """An Echo service proxy over in-process SOAP, optionally wrapped."""
+    container = ServiceContainer()
+    definition = container.deploy(Echo, "Echo")
+    transport = InProcessTransport(container)
+    if transport_wrap is not None:
+        transport = transport_wrap(transport)
+    document = wsdl.generate(definition, "inproc://Echo")
+    return ServiceProxy.from_wsdl_text(document, transport)
+
+
+class TestErrorInjection:
+    def test_error_n_is_exact_not_probabilistic(self):
+        controller = ChaosController("error=2", seed=1)
+        for _ in range(2):
+            with pytest.raises(TransportError):
+                controller.perturb("task:t")
+        # attempts 3..10 all pass: the fault is count-based
+        for _ in range(8):
+            controller.perturb("task:t")
+        assert controller.summary() == {"task:t": {"error": 2}}
+
+    def test_error_counters_are_per_target(self):
+        controller = ChaosController("error=1", seed=1)
+        for target in ("task:a", "task:b"):
+            with pytest.raises(TransportError):
+                controller.perturb(target)
+        controller.perturb("task:a")  # second attempt passes
+        assert controller.summary() == {"task:a": {"error": 1},
+                                        "task:b": {"error": 1}}
+
+
+class TestDeterminism:
+    def drive(self, seed):
+        controller = ChaosController("drop=0.5,delay=10ms~10ms",
+                                     seed=seed, clock=FakeClock())
+        for target in ("task:a", "task:b") * 20:
+            try:
+                controller.perturb(target)
+            except TransportError:
+                pass
+        return controller.injections()
+
+    def test_same_seed_same_injection_history(self):
+        assert self.drive(7) == self.drive(7)
+
+    def test_different_seed_differs(self):
+        assert self.drive(7) != self.drive(8)
+
+    def test_interleaving_cannot_change_a_targets_stream(self):
+        # target streams are independent: B's draws don't consume A's
+        solo = ChaosController("drop=0.5", seed=3)
+        mixed = ChaosController("drop=0.5", seed=3)
+        solo_hist = []
+        for _ in range(10):
+            try:
+                solo.perturb("task:a")
+                solo_hist.append("ok")
+            except TransportError:
+                solo_hist.append("drop")
+        mixed_hist = []
+        for _ in range(10):
+            try:
+                mixed.perturb("task:b")
+            except TransportError:
+                pass
+            try:
+                mixed.perturb("task:a")
+                mixed_hist.append("ok")
+            except TransportError:
+                mixed_hist.append("drop")
+        assert mixed_hist == solo_hist
+
+
+class TestDelayAndBlackhole:
+    def test_delay_sleeps_on_the_controllers_clock(self):
+        clock = FakeClock()
+        controller = ChaosController("delay=25ms", seed=0, clock=clock)
+        controller.perturb("task:t")
+        assert clock.sleeps == [pytest.approx(0.025)]
+        assert controller.summary() == {"task:t": {"delay": 1}}
+
+    def test_blackhole_consumes_its_timeout_then_fails(self):
+        clock = FakeClock()
+        controller = ChaosController("blackhole=100ms", seed=0,
+                                     clock=clock)
+        with pytest.raises(TransportError):
+            controller.perturb("task:t")
+        assert clock.sleeps == [pytest.approx(0.1)]
+
+    def test_blackhole_bounded_by_remaining_deadline(self):
+        clock = FakeClock()
+        controller = ChaosController("blackhole=100ms", seed=0,
+                                     clock=clock)
+        with deadline_scope(0.04, clock):
+            with pytest.raises(TransportError):
+                controller.perturb("task:t")
+        # waited only the 40ms budget, not the full 100ms timeout
+        assert clock.sleeps == [pytest.approx(0.04)]
+
+    def test_injections_feed_metrics(self):
+        controller = ChaosController("delay=1ms", seed=0,
+                                     clock=FakeClock())
+        controller.perturb("task:t")
+        controller.perturb("task:t")
+        value = get_metrics().counter("chaos.injected", kind="delay",
+                                      target="task:t").value
+        assert value == 2
+
+
+class TestChaosTransport:
+    def test_untargeted_endpoint_passes_through(self):
+        controller = ChaosController("task:only:drop=1", seed=0)
+        proxy = echo_proxy(lambda t: ChaosTransport(t, controller,
+                                                    endpoint="inproc"))
+        assert proxy.shout(text="hi") == "HI"
+        assert controller.injections() == []
+
+    def test_corrupt_mangles_the_real_envelope(self):
+        controller = ChaosController("corrupt=1", seed=0)
+        proxy = echo_proxy(lambda t: ChaosTransport(t, controller,
+                                                    endpoint="inproc"))
+        with pytest.raises(ServiceError):
+            proxy.shout(text="hi")
+        assert controller.summary() == {"inproc": {"corrupt": 1}}
+
+    def test_error_then_succeed_through_transport(self):
+        controller = ChaosController("error=1", seed=0)
+        proxy = echo_proxy(lambda t: ChaosTransport(t, controller,
+                                                    endpoint="inproc"))
+        with pytest.raises(TransportError):
+            proxy.shout(text="hi")
+        assert proxy.shout(text="hi") == "HI"
+
+
+class TestGlobalInstall:
+    def test_install_active_uninstall(self):
+        assert chaos.active() is None
+        controller = chaos.install("delay=1ms", seed=4)
+        assert chaos.active() is controller
+        chaos.uninstall()
+        assert chaos.active() is None
+
+    def test_install_from_env(self, monkeypatch):
+        monkeypatch.setenv(chaos.CHAOS_ENV_VAR, "drop=0.1")
+        monkeypatch.setenv(chaos.CHAOS_SEED_ENV_VAR, "9")
+        controller = chaos.maybe_install_from_env()
+        assert controller is not None
+        assert controller.seed == 9
+        assert controller.plan.rules[0].drop == pytest.approx(0.1)
+
+    def test_env_does_not_override_explicit_install(self, monkeypatch):
+        explicit = chaos.install("delay=1ms", seed=1)
+        monkeypatch.setenv(chaos.CHAOS_ENV_VAR, "drop=1")
+        assert chaos.maybe_install_from_env() is explicit

@@ -1,0 +1,150 @@
+"""Deadline propagation: scopes, SOAP header carriage, server honouring."""
+
+import pytest
+
+from repro.clock import FakeClock
+from repro.errors import DeadlineExceeded
+from repro.ws import (DEADLINE_FAULTCODE, Deadline, InProcessTransport,
+                      ServiceContainer, ServiceProxy, SoapRequest,
+                      current_deadline, deadline_scope, wsdl)
+from repro.ws import soap
+from repro.ws.service import operation
+from repro.ws.soap import SoapFault, SoapResponse
+
+
+class Echo:
+    @operation
+    def shout(self, text: str) -> str:
+        return text.upper()
+
+
+class Nested:
+    """Calls another service from inside its own operation."""
+
+    def __init__(self) -> None:
+        self.proxy = None  # wired up by the fixture
+
+    @operation
+    def relay(self, text: str) -> str:
+        return self.proxy.call("shout", text=text)
+
+
+class TestDeadlineObject:
+    def test_remaining_and_expiry_on_fake_clock(self):
+        clock = FakeClock()
+        deadline = Deadline.after(2.0, clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        assert not deadline.expired
+        clock.advance(2.5)
+        assert deadline.remaining() == pytest.approx(-0.5)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded):
+            deadline.check("the thing")
+
+    def test_scope_installs_and_restores(self):
+        assert current_deadline() is None
+        with deadline_scope(5.0) as deadline:
+            assert current_deadline() is deadline
+        assert current_deadline() is None
+
+    def test_nested_scope_keeps_the_tighter_budget(self):
+        clock = FakeClock()
+        with deadline_scope(1.0, clock) as outer:
+            with deadline_scope(60.0, clock) as inner:
+                assert inner is outer  # child cannot extend the parent
+            with deadline_scope(0.5, clock) as tighter:
+                assert tighter is not outer
+                assert tighter.remaining() < outer.remaining()
+
+    def test_none_scope_is_transparent(self):
+        with deadline_scope(3.0) as outer:
+            with deadline_scope(None) as inner:
+                assert inner is outer
+
+
+class TestHeaderCarriage:
+    def test_round_trip(self):
+        wire = soap.encode_request(
+            SoapRequest("Echo", "shout", {"text": "x"}, deadline_s=0.25))
+        assert b"Deadline" in wire and b"250.000" in wire
+        decoded = soap.decode_request(wire)
+        assert decoded.deadline_s == pytest.approx(0.25)
+
+    def test_absent_when_unset(self):
+        wire = soap.encode_request(SoapRequest("Echo", "shout",
+                                               {"text": "x"}))
+        assert b"Deadline" not in wire
+        assert soap.decode_request(wire).deadline_s is None
+
+    def test_negative_budget_clamped_to_zero_on_the_wire(self):
+        wire = soap.encode_request(
+            SoapRequest("Echo", "shout", {"text": "x"}, deadline_s=-1.0))
+        assert soap.decode_request(wire).deadline_s == 0.0
+
+    def test_malformed_header_is_dropped_not_faulted(self):
+        wire = soap.encode_request(
+            SoapRequest("Echo", "shout", {"text": "x"}, deadline_s=1.0))
+        mangled = wire.replace(b'remainingMs="1000.000"',
+                               b'remainingMs="soon"')
+        assert mangled != wire
+        assert soap.decode_request(mangled).deadline_s is None
+
+    def test_deadline_fault_decodes_as_deadline_exceeded(self):
+        fault = SoapFault(DEADLINE_FAULTCODE, "budget spent")
+        wire = soap.encode_fault(fault)
+        with pytest.raises(DeadlineExceeded, match="budget spent"):
+            soap.decode_response(wire)
+
+
+def echo_stack():
+    container = ServiceContainer()
+    definition = container.deploy(Echo, "Echo")
+    document = wsdl.generate(definition, "inproc://Echo")
+    return container, ServiceProxy.from_wsdl_text(
+        document, InProcessTransport(container))
+
+
+class TestEnforcement:
+    def test_client_fails_fast_when_budget_spent(self):
+        clock = FakeClock()
+        _, proxy = echo_stack()
+        calls_before = proxy.transport.bytes_sent
+        with deadline_scope(1.0, clock):
+            clock.advance(2.0)
+            with pytest.raises(DeadlineExceeded):
+                proxy.shout(text="hi")
+        assert proxy.transport.bytes_sent == calls_before  # no wire bytes
+
+    def test_container_rejects_an_expired_request(self):
+        container, _ = echo_stack()
+        request = SoapRequest("Echo", "shout", {"text": "hi"},
+                              deadline_s=0.0)
+        with pytest.raises(SoapFault) as exc_info:
+            container.invoke(request)
+        assert exc_info.value.faultcode == DEADLINE_FAULTCODE
+
+    def test_in_budget_call_succeeds_and_stamps_the_request(self):
+        _, proxy = echo_stack()
+        with deadline_scope(30.0):
+            assert proxy.shout(text="hi") == "HI"
+        # the envelope that crossed the wire carried the budget header
+        assert proxy.transport.bytes_sent > 0
+
+    def test_budget_propagates_to_nested_calls(self):
+        # Nested.relay invokes Echo.shout through its own proxy: an
+        # expired budget must fail the *inner* call too, even though the
+        # outer dispatch began in time
+        container = ServiceContainer()
+        clock = FakeClock()
+        echo_def = container.deploy(Echo, "Echo")
+        nested = Nested()
+        nested_def = container.deploy(Nested, "Nested",
+                                      factory=lambda: nested)
+        nested.proxy = ServiceProxy.from_wsdl_text(
+            wsdl.generate(echo_def, "inproc://Echo"),
+            InProcessTransport(container))
+        proxy = ServiceProxy.from_wsdl_text(
+            wsdl.generate(nested_def, "inproc://Nested"),
+            InProcessTransport(container))
+        with deadline_scope(30.0, clock):
+            assert proxy.relay(text="hi") == "HI"

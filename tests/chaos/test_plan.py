@@ -1,0 +1,89 @@
+"""The chaos spec grammar: parsing, scoping, first-match-wins."""
+
+import pytest
+
+from repro.chaos import (DEFAULT_BLACKHOLE_S, ChaosSpecError,
+                         parse_chaos_spec, parse_duration)
+
+
+class TestDurations:
+    def test_milliseconds(self):
+        assert parse_duration("50ms") == pytest.approx(0.05)
+
+    def test_bare_number_is_seconds(self):
+        assert parse_duration("2") == pytest.approx(2.0)
+
+    def test_seconds_suffix(self):
+        assert parse_duration("1.5s") == pytest.approx(1.5)
+
+    def test_fractional_without_leading_zero(self):
+        assert parse_duration(".25") == pytest.approx(0.25)
+
+    @pytest.mark.parametrize("bad", ["", "ms", "5m", "1.2.3", "-1s"])
+    def test_malformed(self, bad):
+        with pytest.raises(ChaosSpecError):
+            parse_duration(bad)
+
+
+class TestSpecParsing:
+    def test_unscoped_faults_apply_everywhere(self):
+        plan = parse_chaos_spec("drop=0.3,delay=50ms")
+        assert len(plan.rules) == 1
+        rule = plan.rules[0]
+        assert rule.pattern == "*"
+        assert rule.drop == pytest.approx(0.3)
+        assert rule.delay_s == pytest.approx(0.05)
+        assert rule.jitter_s == 0.0
+        assert plan.match("task:anything") is rule
+        assert plan.match("http://host:1/services/S") is rule
+
+    def test_scoped_plan_before_catch_all(self):
+        plan = parse_chaos_spec("task:train:error=2;*:delay=20ms")
+        assert [r.pattern for r in plan.rules] == ["task:train", "*"]
+        assert plan.match("task:train").error_times == 2
+        assert plan.match("task:other").delay_s == pytest.approx(0.02)
+
+    def test_url_pattern_keeps_scheme_colons(self):
+        plan = parse_chaos_spec("http://127.0.0.1:*/services/J48:drop=1")
+        rule = plan.rules[0]
+        assert rule.pattern == "http://127.0.0.1:*/services/J48"
+        assert rule.drop == 1.0
+        assert plan.match("http://127.0.0.1:8334/services/J48") is rule
+        assert plan.match("http://127.0.0.1:8334/services/KMeans") is None
+
+    def test_delay_with_jitter(self):
+        rule = parse_chaos_spec("delay=10ms~5ms").rules[0]
+        assert rule.delay_s == pytest.approx(0.010)
+        assert rule.jitter_s == pytest.approx(0.005)
+
+    def test_blackhole_defaults(self):
+        assert parse_chaos_spec("blackhole").rules[0].blackhole_s == \
+            DEFAULT_BLACKHOLE_S
+        assert parse_chaos_spec("blackhole=100ms").rules[0].blackhole_s \
+            == pytest.approx(0.1)
+
+    def test_first_matching_rule_wins(self):
+        plan = parse_chaos_spec("task:a:drop=1;task:*:drop=0.5")
+        assert plan.match("task:a").drop == 1.0
+        assert plan.match("task:b").drop == 0.5
+
+    def test_spec_string_preserved(self):
+        spec = "task:x:error=1;*:delay=1ms"
+        assert parse_chaos_spec(spec).spec == spec
+
+
+class TestSpecErrors:
+    @pytest.mark.parametrize("bad", [
+        "",                # nothing to do
+        ";;",              # only empty segments
+        "unknown=1",       # no such fault
+        "drop=1.5",        # probability out of range
+        "drop=x",          # not a number
+        "corrupt=-0.1",    # negative probability
+        "error=-1",        # negative count
+        "error=two",       # not an int
+        "delay=5m",        # bad unit
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(ChaosSpecError):
+            parse_chaos_spec(bad)

@@ -1,0 +1,325 @@
+"""Seed-pinned chaos drills: end-to-end resilience regression scenarios.
+
+Every scenario fixes its chaos seed and asserts both the *outcome* (the
+workflow completed / failed in the expected way) and the *telemetry* (the
+metrics and spans the resilience machinery must emit), so a regression in
+either the fault injection or the recovery path fails loudly.
+"""
+
+import pytest
+
+from repro import chaos
+from repro.chaos import ChaosController, ChaosTransport
+from repro.clock import FakeClock
+from repro.errors import (CircuitOpenError, DeadlineExceeded,
+                          TransportError)
+from repro.obs import enable_tracing, get_metrics, get_tracer
+from repro.ws import (InProcessTransport, ServiceContainer, ServiceProxy,
+                      wsdl)
+from repro.ws.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.ws.service import operation
+from repro.workflow import (EventBus, ReplicatedServiceTool, RetryPolicy,
+                            TaskGraph, WorkflowEngine, import_wsdl_text)
+from repro.workflow.model import FunctionTool
+
+
+class Echo:
+    @operation
+    def shout(self, text: str) -> str:
+        return text.upper()
+
+
+def echo_container():
+    container = ServiceContainer()
+    definition = container.deploy(Echo, "Echo")
+    return container, definition
+
+
+def echo_proxy(endpoint, controller, breaker=None):
+    container, definition = echo_container()
+    transport = ChaosTransport(InProcessTransport(container), controller,
+                               endpoint=endpoint)
+    return ServiceProxy.from_wsdl_text(
+        wsdl.generate(definition, endpoint), transport, breaker=breaker)
+
+
+class TestFlakyTransportWithRetry:
+    """error=N through ChaosTransport; RetryPolicy rides it out."""
+
+    def test_task_succeeds_after_two_injected_errors(self):
+        container, definition = echo_container()
+        controller = ChaosController("error=2", seed=11)
+        transport = ChaosTransport(InProcessTransport(container),
+                                   controller,
+                                   endpoint="inproc://Echo")
+        tools = import_wsdl_text(
+            wsdl.generate(definition, "inproc://Echo"), transport)
+        shout = next(t for t in tools if t.name.endswith(".shout"))
+        g = TaskGraph()
+        task = g.add(shout, text="hi")
+        clock = FakeClock()
+        engine = WorkflowEngine(retry_policy=RetryPolicy(
+            max_retries=3, backoff_s=0.01, clock=clock))
+        result = engine.run(g)
+        assert result.output(task) == "HI"
+        assert not result.degraded
+        # exactly the two planned faults were injected and retried away
+        assert controller.summary() == {"inproc://Echo": {"error": 2}}
+        assert get_metrics().counter("workflow.retries",
+                                     task=task.name).value == 2
+        # backoff ran on the fake clock with a linear schedule
+        assert clock.sleeps == [pytest.approx(0.01), pytest.approx(0.02)]
+
+    def test_retries_exhausted_surfaces_the_chaos_fault(self):
+        controller = ChaosController("error=99", seed=11)
+        proxy = echo_proxy("inproc://Echo", controller)
+        policy = RetryPolicy(max_retries=2, clock=FakeClock())
+        tool = ReplicatedServiceTool("Shout", [proxy], "shout", ["text"])
+        g = TaskGraph()
+        g.add(tool, text="hi")
+        engine = WorkflowEngine(retry_policy=policy)
+        with pytest.raises(Exception) as exc_info:
+            engine.run(g)
+        assert "chaos: injected error" in str(exc_info.value)
+
+
+class TestBreakerTripAndRecovery:
+    """Repeated chaos errors trip the breaker; cooldown + probes heal it."""
+
+    def test_full_cycle(self):
+        clock = FakeClock()
+        controller = ChaosController("error=4", seed=2, clock=clock)
+        breaker = CircuitBreaker("inproc://Echo", failure_threshold=2,
+                                 cooldown_s=5.0, clock=clock)
+        proxy = echo_proxy("inproc://Echo", controller, breaker=breaker)
+
+        for _ in range(2):  # two delivery failures trip the breaker
+            with pytest.raises(TransportError):
+                proxy.shout(text="hi")
+        assert breaker.state == OPEN
+
+        # while open: fail fast, without touching the transport
+        injected_before = len(controller.injections())
+        with pytest.raises(CircuitOpenError):
+            proxy.shout(text="hi")
+        assert len(controller.injections()) == injected_before
+
+        # cooldown → half-open; the probes meet the two remaining
+        # planned faults, each re-opening the circuit
+        for _ in range(2):
+            clock.advance(5.1)
+            assert breaker.state == HALF_OPEN
+            with pytest.raises(TransportError):
+                proxy.shout(text="hi")
+            assert breaker.state == OPEN
+
+        # faults exhausted: the next probe succeeds and closes the circuit
+        clock.advance(5.1)
+        assert proxy.shout(text="hi") == "HI"
+        assert breaker.state == CLOSED
+        assert proxy.shout(text="hi") == "HI"
+
+        metrics = get_metrics()
+        assert metrics.counter("ws.breaker.transitions",
+                               endpoint="inproc://Echo",
+                               to=OPEN).value == 3
+        assert metrics.counter("ws.breaker.transitions",
+                               endpoint="inproc://Echo",
+                               to=CLOSED).value == 1
+        assert metrics.counter("ws.breaker.fast_failures",
+                               endpoint="inproc://Echo").value == 1
+        assert metrics.gauge("ws.breaker.state",
+                             endpoint="inproc://Echo").value == 0
+
+
+class TestDeadlineExpiryMidWorkflow:
+    """A run whose budget dies between tasks fails fast, not slow."""
+
+    def test_second_task_fails_fast(self):
+        clock = FakeClock()
+        ran = []
+
+        def slow():
+            clock.advance(2.0)  # task a consumes double the budget
+            ran.append("a")
+            return "a-out"
+
+        def never(x):
+            ran.append("b")  # must not execute
+            return x
+
+        g = TaskGraph()
+        a = g.add(FunctionTool("A", slow, [], ["out"]), name="a")
+        b = g.add(FunctionTool("B", never, ["x"], ["out"]), name="b")
+        g.connect(a, b)
+        bus = EventBus()
+        events = []
+        bus.subscribe(events.append)
+        engine = WorkflowEngine(events=bus, clock=clock)
+        with pytest.raises(DeadlineExceeded):
+            engine.run(g, deadline_s=1.0)
+        assert ran == ["a"]
+        statuses = {(e.name, e.status) for e in events}
+        assert ("b", "failed") in statuses
+        assert ("b", "started") in statuses  # scheduled, then cut off
+        workflow_failed = [e for e in events
+                           if e.kind == "workflow" and
+                           e.status == "failed"]
+        assert workflow_failed
+
+    def test_even_allow_partial_cannot_degrade_past_a_deadline(self):
+        clock = FakeClock()
+        g = TaskGraph()
+        a = g.add(FunctionTool("A", lambda: clock.advance(9) or "x",
+                               [], ["out"]), name="a")
+        b = g.add(FunctionTool("B", lambda x: x, ["x"], ["out"]),
+                  name="b")
+        g.connect(a, b)
+        engine = WorkflowEngine(allow_partial=True, clock=clock)
+        with pytest.raises(DeadlineExceeded):
+            engine.run(g, deadline_s=1.0)
+
+
+class TestReplicaMigrationUnderBlackhole:
+    """A blackholed replica trips its breaker; work migrates and the
+    next run skips the dead replica without paying the timeout again."""
+
+    def make_tool(self, clock, bus):
+        controller = ChaosController("inproc://r0:blackhole=50ms",
+                                     seed=5, clock=clock)
+        proxies = [echo_proxy("inproc://r0", controller),
+                   echo_proxy("inproc://r1", controller)]
+        breakers = [CircuitBreaker(f"inproc://r{i}", failure_threshold=1,
+                                   cooldown_s=60.0, clock=clock)
+                    for i in range(2)]
+        tool = ReplicatedServiceTool("Shout", proxies, "shout", ["text"],
+                                     events=bus, breakers=breakers)
+        return tool, controller, breakers
+
+    def test_migration_then_breaker_guarded_skip(self):
+        clock = FakeClock()
+        bus = EventBus()
+        events = []
+        bus.subscribe(events.append)
+        tool, controller, breakers = self.make_tool(clock, bus)
+
+        # run 1: replica 0 blackholes (consuming its 50ms timeout on the
+        # fake clock), the call migrates to replica 1 and succeeds
+        assert tool.run(["hi"], {}) == ["HI"]
+        assert controller.summary() == {"inproc://r0": {"blackhole": 1}}
+        assert pytest.approx(0.05) in clock.sleeps
+        assert breakers[0].state == OPEN
+        assert [r for r, _ in tool.migrations] == [0]
+
+        # run 2: the open circuit skips replica 0 outright — no second
+        # blackhole wait is paid
+        assert tool.run(["hi"], {}) == ["HI"]
+        assert controller.summary() == {"inproc://r0": {"blackhole": 1}}
+        skip = [(r, why) for r, why in tool.migrations
+                if "circuit open" in why]
+        assert skip == [(0, "circuit open, skipped")]
+        assert get_metrics().counter("workflow.migrations",
+                                     tool="Shout").value == 2
+        migrated = [e for e in events if e.status == "migrated"]
+        assert len(migrated) == 2
+
+    def test_every_circuit_open_fails_fast(self):
+        clock = FakeClock()
+        controller = ChaosController("blackhole=50ms", seed=5,
+                                     clock=clock)
+        proxies = [echo_proxy("inproc://r0", controller)]
+        breaker = CircuitBreaker("inproc://r0", failure_threshold=1,
+                                 cooldown_s=60.0, clock=clock)
+        tool = ReplicatedServiceTool("Shout", proxies, "shout", ["text"],
+                                     breakers=[breaker])
+        with pytest.raises(Exception):
+            tool.run(["hi"], {})  # trips the only breaker
+        with pytest.raises(Exception) as exc_info:
+            tool.run(["hi"], {})  # nothing left to try
+        assert isinstance(exc_info.value.__cause__, CircuitOpenError) or \
+            "circuit" in str(exc_info.value)
+
+
+class TestEngineChaosDeterminism:
+    """The globally armed controller makes any workflow a seeded drill."""
+
+    def run_once(self, seed):
+        controller = chaos.install("task:*:drop=0.4,delay=1ms",
+                                   seed=seed, clock=FakeClock())
+        g = TaskGraph()
+        a = g.add(FunctionTool("A", lambda: 1, [], ["out"]), name="a")
+        b = g.add(FunctionTool("B", lambda x: x + 1, ["x"], ["out"]),
+                  name="b")
+        c = g.add(FunctionTool("C", lambda x: x * 2, ["x"], ["out"]),
+                  name="c")
+        g.connect(a, b)
+        g.connect(a, c)
+        engine = WorkflowEngine(
+            retry_policy=RetryPolicy(max_retries=6, clock=FakeClock()),
+            allow_partial=True)
+        result = engine.run(g)
+        summary = controller.summary()
+        chaos.uninstall()
+        return (summary, sorted(result.durations), result.failed,
+                sorted(result.skipped))
+
+    def test_same_seed_byte_identical_outcome(self):
+        assert self.run_once(7) == self.run_once(7)
+
+    def test_chaos_faults_hit_every_retry_attempt(self):
+        chaos.install("task:a:error=2", seed=0)
+        g = TaskGraph()
+        a = g.add(FunctionTool("A", lambda: "ok", [], ["out"]),
+                  name="a")
+        engine = WorkflowEngine(retry_policy=RetryPolicy(
+            max_retries=3, clock=FakeClock()))
+        result = engine.run(g)
+        assert result.output(a) == "ok"
+        assert chaos.active().summary() == {"task:a": {"error": 2}}
+
+
+class TestDegradedRunTelemetry:
+    """allow_partial + a doomed task: skipped propagation, metrics, spans."""
+
+    def build(self):
+        g = TaskGraph()
+        a = g.add(FunctionTool("A", lambda: "x", [], ["out"]), name="a")
+        bad = g.add(FunctionTool("Bad", lambda x: x, ["x"], ["out"]),
+                    name="bad")
+        down = g.add(FunctionTool("Down", lambda x: x, ["x"], ["out"]),
+                     name="down")
+        g.connect(a, bad)
+        g.connect(bad, down)
+        return g
+
+    def test_degraded_run_with_spans(self):
+        enable_tracing(True)
+        chaos.install("task:bad:error=99", seed=3)
+        bus = EventBus()
+        events = []
+        bus.subscribe(events.append)
+        engine = WorkflowEngine(events=bus, allow_partial=True,
+                                retry_policy=RetryPolicy(
+                                    max_retries=1, clock=FakeClock()))
+        result = engine.run(self.build())
+        assert result.degraded
+        assert set(result.failed) == {"bad"}
+        assert result.skipped == ["down"]
+        assert result.output("a") == "x"
+        metrics = get_metrics()
+        assert metrics.counter("workflow.degraded_runs",
+                               graph=result.graph_name).value == 1
+        assert metrics.counter("workflow.task.skipped",
+                               graph=result.graph_name).value == 1
+        statuses = {(e.name, e.status) for e in events}
+        assert ("bad", "failed") in statuses
+        assert ("down", "skipped") in statuses
+        assert (result.graph_name, "degraded") in statuses
+        # the run's spans share one trace, and the root records the
+        # degradation for the monitor
+        spans = get_tracer().collector.spans()
+        by_name = {s.name: s for s in spans}
+        root = by_name[f"workflow:{result.graph_name}"]
+        assert root.attributes.get("degraded") is True
+        assert by_name["task:a"].trace_id == root.trace_id
+        assert result.trace_id == root.trace_id

@@ -8,13 +8,16 @@ from repro.data import synthetic
 @pytest.fixture(autouse=True)
 def _reset_observability():
     """Keep the suite order-independent: every test starts and ends with
-    an empty global metrics registry and a disabled, empty tracer."""
-    from repro import obs
+    an empty global metrics registry, a disabled, empty tracer, and a
+    disarmed chaos controller."""
+    from repro import chaos, obs
     obs.reset_metrics()
     obs.reset_tracing()
+    chaos.uninstall()
     yield
     obs.reset_metrics()
     obs.reset_tracing()
+    chaos.uninstall()
 
 
 @pytest.fixture(scope="session")

@@ -96,7 +96,8 @@ class TestRegistry:
         reg = MetricsRegistry()
         reg.counter("n").inc()
         reg.clear()
-        assert reg.snapshot() == {"counters": {}, "histograms": {}}
+        assert reg.snapshot() == {"counters": {}, "gauges": {},
+                                  "histograms": {}}
 
     def test_global_registry_reset(self):
         get_metrics().counter("stray").inc()

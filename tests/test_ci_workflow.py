@@ -29,7 +29,8 @@ def test_parses_and_triggers(workflow):
 
 
 def test_expected_jobs_present(workflow):
-    assert set(workflow["jobs"]) == {"test", "lint", "bench-smoke"}
+    assert set(workflow["jobs"]) == {"test", "lint", "chaos",
+                                     "bench-smoke"}
 
 
 def test_matrix_covers_supported_pythons(workflow):
@@ -61,6 +62,22 @@ def test_bench_smoke_uploads_artifact(workflow):
     upload = next(step for step in job["steps"]
                   if "upload-artifact" in step.get("uses", ""))
     assert upload["with"]["name"] == "bench-remote-overhead"
+    assert upload["with"]["if-no-files-found"] == "error"
+
+
+def test_chaos_job_is_seeded_and_uploads_snapshot(workflow):
+    job = workflow["jobs"]["chaos"]
+    text = steps_text(job)
+    assert "tests/chaos" in text
+    # the acceptance drill: same spec + seed twice, outcome blocks diffed
+    assert "--chaos 'drop=0.3,delay=50ms' --seed 7" in text
+    assert "diff -u outcome1.txt outcome2.txt" in text
+    # and an exhausted budget must fail fast with DeadlineExceeded
+    assert "--deadline" in text
+    assert "DeadlineExceeded" in text
+    upload = next(step for step in job["steps"]
+                  if "upload-artifact" in step.get("uses", ""))
+    assert upload["with"]["name"] == "chaos-metrics"
     assert upload["with"]["if-no-files-found"] == "error"
 
 

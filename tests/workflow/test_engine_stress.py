@@ -1,0 +1,137 @@
+"""Concurrency stress: wide fan-outs across worker-pool sizes.
+
+The enactor must neither deadlock nor drop outputs whatever the ratio of
+ready tasks to pool threads, and the monitoring event stream must stay
+well-formed (exactly one started/finished pair per task, in order).
+"""
+
+import threading
+
+import pytest
+
+from repro import chaos
+from repro.clock import FakeClock
+from repro.workflow import (EventBus, RetryPolicy, TaskGraph,
+                            WorkflowEngine)
+from repro.workflow.model import FunctionTool
+
+FAN_OUT = 40
+
+
+def fan_out_graph(width=FAN_OUT):
+    """source → *width* parallel squarers → one sink summing them all."""
+    g = TaskGraph()
+    source = g.add(FunctionTool("Source", lambda: list(range(width)),
+                                [], ["out"]), name="source")
+    sink_tool = FunctionTool("Sink", lambda *xs: sum(xs),
+                             [f"i{k}" for k in range(width)], ["out"])
+    sink = g.add(sink_tool, name="sink")
+    for k in range(width):
+        mid = g.add(FunctionTool("Square", lambda xs, _k=k: xs[_k] ** 2,
+                                 ["xs"], ["out"]), name=f"mid{k}")
+        g.connect(source, mid)
+        g.connect(mid, sink, target_index=k)
+    return g, source, sink
+
+
+def run_bounded(engine, graph, timeout_s=60.0):
+    """Run in a worker thread so a deadlock fails the test, not CI."""
+    box = {}
+
+    def target():
+        try:
+            box["result"] = engine.run(graph)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            box["error"] = exc
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(timeout_s)
+    assert not thread.is_alive(), "engine deadlocked (run did not finish)"
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
+
+
+class TestFanOutSweep:
+    @pytest.mark.parametrize("max_workers", [1, 2, 7, 32])
+    def test_no_deadlock_no_dropped_outputs(self, max_workers):
+        g, _, sink = fan_out_graph()
+        bus = EventBus()
+        events = []
+        bus.subscribe(events.append)
+        engine = WorkflowEngine(max_workers=max_workers, events=bus)
+        result = run_bounded(engine, g)
+
+        expected = sum(k ** 2 for k in range(FAN_OUT))
+        assert result.output(sink) == expected
+        # every task settled exactly once, nothing dropped or duplicated
+        assert len(result.durations) == len(g.tasks) == FAN_OUT + 2
+        for k in range(FAN_OUT):
+            assert result.output(f"mid{k}") == k ** 2
+        assert not result.degraded
+
+        # the event stream is monotone per task: one started, one
+        # finished, in that order
+        per_task = {}
+        for event in events:
+            if event.kind == "task":
+                per_task.setdefault(event.name, []).append(event.status)
+        assert set(per_task) == {t.name for t in g.tasks}
+        for name, statuses in per_task.items():
+            assert statuses == ["started", "finished"], name
+        workflow_events = [e.status for e in events
+                           if e.kind == "workflow"]
+        assert workflow_events == ["started", "finished"]
+
+    def test_pool_smaller_than_width_with_retries(self):
+        # transient failures across a wide frontier on a tiny pool: the
+        # retry path must not wedge the executor either
+        lock = threading.Lock()
+        failures_left = {"n": 10}
+
+        def flaky(xs, _k):
+            from repro.errors import TransportError
+            with lock:
+                if failures_left["n"] > 0:
+                    failures_left["n"] -= 1
+                    raise TransportError("transient")
+            return xs[_k]
+
+        g = TaskGraph()
+        source = g.add(FunctionTool("Source",
+                                    lambda: list(range(FAN_OUT)),
+                                    [], ["out"]), name="source")
+        sink = g.add(FunctionTool("Sink", lambda *xs: sum(xs),
+                                  [f"i{k}" for k in range(FAN_OUT)],
+                                  ["out"]), name="sink")
+        for k in range(FAN_OUT):
+            mid = g.add(FunctionTool(
+                "Mid", lambda xs, _k=k: flaky(xs, _k), ["xs"], ["out"]),
+                name=f"mid{k}")
+            g.connect(source, mid)
+            g.connect(mid, sink, target_index=k)
+        engine = WorkflowEngine(
+            max_workers=2,
+            retry_policy=RetryPolicy(max_retries=12, clock=FakeClock()))
+        result = run_bounded(engine, g)
+        assert result.output(sink) == sum(range(FAN_OUT))
+
+    def test_chaos_drill_on_wide_graph_is_deterministic(self):
+        def drill():
+            chaos.install("task:mid*:drop=0.3", seed=13,
+                          clock=FakeClock())
+            g, _, sink = fan_out_graph()
+            engine = WorkflowEngine(
+                max_workers=16,
+                retry_policy=RetryPolicy(max_retries=20,
+                                         clock=FakeClock()))
+            result = run_bounded(engine, g)
+            summary = chaos.active().summary()
+            chaos.uninstall()
+            return result.output(sink), summary
+
+        first, second = drill(), drill()
+        assert first == second
+        assert first[0] == sum(k ** 2 for k in range(FAN_OUT))
+        assert any("drop" in kinds for kinds in first[1].values())

@@ -2,8 +2,11 @@
 
 import pytest
 
+from repro.clock import FakeClock
 from repro.data import arff
-from repro.errors import EnactmentError, TransportError
+from repro.errors import (DeadlineExceeded, EnactmentError,
+                          TransportError)
+from repro.ws.deadline import deadline_scope
 from repro.ws import (InProcessTransport, ServiceContainer, ServiceProxy,
                       operation, wsdl)
 from repro.ws.service import ServiceDefinition
@@ -81,13 +84,55 @@ class TestRetryPolicy:
         return Task("work", tool)
 
     def test_retries_then_succeeds(self):
-        policy = RetryPolicy(max_retries=2)
+        policy = RetryPolicy(max_retries=2, clock=FakeClock())
         assert policy.run_task(self.make_task(2), [], {}) == ["ok"]
 
     def test_exhausted_retries_raise(self):
-        policy = RetryPolicy(max_retries=1)
+        policy = RetryPolicy(max_retries=1, clock=FakeClock())
         with pytest.raises(TransportError):
             policy.run_task(self.make_task(5), [], {})
+
+    def test_backoff_schedule_is_linear_on_the_injected_clock(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_retries=3, backoff_s=0.5, clock=clock)
+        assert policy.run_task(self.make_task(3), [], {}) == ["ok"]
+        # attempt n backs off n * backoff_s; no wall-clock sleeping
+        assert clock.sleeps == [pytest.approx(0.5), pytest.approx(1.0),
+                                pytest.approx(1.5)]
+
+    def test_no_backoff_never_touches_the_clock(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_retries=2, clock=clock)
+        policy.run_task(self.make_task(2), [], {})
+        assert clock.sleeps == []
+
+    def test_backoff_never_sleeps_past_the_deadline(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_retries=5, backoff_s=2.0, clock=clock)
+        with deadline_scope(3.0, clock):
+            with pytest.raises(DeadlineExceeded):
+                # first backoff (2s) fits the 3s budget; the second (4s)
+                # cannot, so the policy surfaces the expiry instead of
+                # sleeping into it
+                policy.run_task(self.make_task(5), [], {})
+        assert clock.sleeps == [pytest.approx(2.0)]
+
+    def test_expired_budget_stops_retries_immediately(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_retries=5, clock=clock)
+        attempts = {"n": 0}
+
+        def work(**kw):
+            attempts["n"] += 1
+            clock.advance(10.0)  # the attempt itself burns the budget
+            raise TransportError("slow failure")
+
+        from repro.workflow.model import FunctionTool, Task
+        task = Task("slow", FunctionTool("Slow", work, [], ["out"]))
+        with deadline_scope(5.0, clock):
+            with pytest.raises(DeadlineExceeded):
+                policy.run_task(task, [], {})
+        assert attempts["n"] == 1  # no doomed retry attempts
 
     def test_programming_errors_fail_fast(self):
         # the default retry_on covers transient transport/service errors
@@ -99,13 +144,14 @@ class TestRetryPolicy:
             raise TypeError("programming error")
 
         task = Task("buggy", FunctionTool("Buggy", buggy, [], ["out"]))
-        policy = RetryPolicy(max_retries=5)
+        policy = RetryPolicy(max_retries=5, clock=FakeClock())
         with pytest.raises(TypeError):
             policy.run_task(task, [], {})
         assert attempts["n"] == 1
 
     def test_retry_on_opt_in_still_supported(self):
-        policy = RetryPolicy(max_retries=3, retry_on=(RuntimeError,))
+        policy = RetryPolicy(max_retries=3, retry_on=(RuntimeError,),
+                             clock=FakeClock())
         task = self.make_task(2, exc_type=RuntimeError)
         assert policy.run_task(task, [], {}) == ["ok"]
 
@@ -113,7 +159,8 @@ class TestRetryPolicy:
         bus = EventBus()
         events = []
         bus.subscribe(events.append)
-        policy = RetryPolicy(max_retries=3, events=bus)
+        policy = RetryPolicy(max_retries=3, events=bus,
+                             clock=FakeClock())
         policy.run_task(self.make_task(2), [], {})
         assert sum(1 for e in events if e.status == "retried") == 2
 
@@ -128,7 +175,8 @@ class TestRetryPolicy:
 
         g = TaskGraph()
         t = g.add(FunctionTool("W", work, [], ["out"]))
-        engine = WorkflowEngine(retry_policy=RetryPolicy(max_retries=2))
+        engine = WorkflowEngine(retry_policy=RetryPolicy(
+            max_retries=2, clock=FakeClock()))
         assert engine.run(g).output(t) == "done"
 
 
