@@ -11,10 +11,19 @@ real rather than simulated with a synthetic exception.
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.chaos.controller import ChaosController
-from repro.ws import soap
+from repro.ws import payload, soap
+from repro.ws.payload import PayloadRef
 from repro.ws.soap import SoapRequest, SoapResponse
 from repro.ws.transport import Transport
+
+
+def _mangle_digest(digest: str) -> str:
+    """Deterministically flip the digest's first hex character."""
+    first = "0" if digest[:1] != "0" else "1"
+    return first + digest[1:]
 
 
 class ChaosTransport(Transport):
@@ -29,6 +38,20 @@ class ChaosTransport(Transport):
     def send(self, request: SoapRequest) -> SoapResponse:
         """Deliver one SOAP request; returns the SOAP response."""
         self.controller.perturb(self.endpoint)
+        # corrupt a by-reference parameter in flight: the receiver sees
+        # a digest its store cannot hold, raising PayloadMissError (a
+        # transient TransportError handled by fallbacks/retries).  The
+        # extra die is only rolled when refs are present — and consumes
+        # the send's one corruption opportunity — so plans over ref-free
+        # traffic keep their exact fault sequences.
+        if payload.refs_in(request) and \
+                self.controller.should_corrupt(self.endpoint):
+            request = dataclasses.replace(request, params={
+                name: dataclasses.replace(
+                    value, digest=_mangle_digest(value.digest))
+                if isinstance(value, PayloadRef) else value
+                for name, value in request.params.items()})
+            return self.inner.send(request)
         response = self.inner.send(request)
         if self.controller.should_corrupt(self.endpoint):
             # truncate the real envelope so the decoder sees genuinely

@@ -126,6 +126,11 @@ def _cmd_run(args) -> int:
     obs.maybe_enable_tracing_from_env()
     if args.trace:
         obs.enable_tracing()
+    if args.no_payload_cache:
+        from repro.data import cache as datacache
+        from repro.ws import payload
+        payload.set_enabled(False)
+        datacache.set_enabled(False)
     controller = chaos.maybe_install_from_env()
     if args.chaos:
         controller = chaos.install(args.chaos, seed=args.seed)
@@ -318,6 +323,11 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="allow_partial",
                    help="complete degraded instead of aborting when a "
                         "task permanently fails")
+    p.add_argument("--no-payload-cache", action="store_true",
+                   dest="no_payload_cache",
+                   help="disable the data-plane fast path (by-reference "
+                        "payloads, wire compression, parse/result "
+                        "memoisation); also: FAEHIM_NO_FASTPATH=1")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("trace",

@@ -16,6 +16,7 @@ from __future__ import annotations
 import io
 from typing import Iterator, TextIO
 
+from repro.data import cache
 from repro.data.attribute import Attribute
 from repro.data.dataset import Dataset
 from repro.errors import ArffParseError
@@ -146,8 +147,14 @@ def loads(text: str, class_attribute: str | None = None) -> Dataset:
         Optional attribute name to designate as the class.  When omitted, no
         class is set (callers such as ``classifyInstance`` pass the class
         attribute name separately, exactly as the paper's service does).
+
+    Results are memoised by content digest (see
+    :func:`repro.data.cache.memo_parse`): parsing the same document
+    twice costs one parse plus a dataset copy.
     """
-    return load(io.StringIO(text), class_attribute)
+    return cache.memo_parse(
+        "arff", text, lambda: load(io.StringIO(text), class_attribute),
+        class_attribute=class_attribute)
 
 
 def load(fp: TextIO, class_attribute: str | None = None) -> Dataset:

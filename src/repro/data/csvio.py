@@ -14,6 +14,7 @@ import csv
 import io
 from typing import Sequence, TextIO
 
+from repro.data import cache
 from repro.data.attribute import Attribute
 from repro.data.dataset import Dataset
 from repro.errors import DataError
@@ -89,8 +90,13 @@ def load(fp: TextIO, relation: str = "csv",
 def loads(text: str, relation: str = "csv",
           class_attribute: str | None = None,
           has_header: bool = True) -> Dataset:
-    """Read CSV from a string."""
-    return load(io.StringIO(text), relation, class_attribute, has_header)
+    """Read CSV from a string (memoised by content digest)."""
+    return cache.memo_parse(
+        "csv", text,
+        lambda: load(io.StringIO(text), relation, class_attribute,
+                     has_header),
+        relation=relation, class_attribute=class_attribute,
+        has_header=has_header)
 
 
 def dump(dataset: Dataset, fp: TextIO, header: bool = True) -> None:

@@ -15,13 +15,13 @@ from repro.ws.service import operation
 class AssociationService:
     """General association-rule mining service."""
 
-    @operation
+    @operation(cacheable=True)
     def getAssociators(self) -> list:  # noqa: N802
         """List available association-rule learners."""
         return [{"name": e.name, "description": e.description}
                 for e in catalogue.entries() if e.kind == "associator"]
 
-    @operation
+    @operation(cacheable=True)
     def getOptions(self, associator: str) -> list:  # noqa: N802
         """Required and optional properties of one associator."""
         try:

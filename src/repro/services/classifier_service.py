@@ -54,7 +54,7 @@ class ClassifierService:
         self._lock = threading.Lock()
 
     # -- the paper's three operations ---------------------------------------
-    @operation
+    @operation(cacheable=True)
     def getClassifiers(self) -> list:  # noqa: N802 (paper-facing name)
         """List the available classifiers, grouped by family, as the
         ClassifierSelector tool expects (name, family, description)."""
@@ -62,7 +62,7 @@ class ClassifierService:
                  "description": e.description}
                 for e in catalogue.entries() if e.kind == "classifier"]
 
-    @operation
+    @operation(cacheable=True)
     def getOptions(self, classifier: str) -> list:  # noqa: N802
         """Required and optional properties of one classifier."""
         try:

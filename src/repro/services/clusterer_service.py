@@ -53,13 +53,13 @@ class CobwebService:
 class ClustererService:
     """General clusterer wrapper (getClusterers / getOptions / cluster)."""
 
-    @operation
+    @operation(cacheable=True)
     def getClusterers(self) -> list:  # noqa: N802
         """List available clusterers (name, description)."""
         return [{"name": e.name, "description": e.description}
                 for e in catalogue.entries() if e.kind == "clusterer"]
 
-    @operation
+    @operation(cacheable=True)
     def getOptions(self, clusterer: str) -> list:  # noqa: N802
         """Required and optional properties of one clusterer."""
         try:

@@ -56,18 +56,18 @@ class DataService:
         return f"repo:{name}"
 
     # -- conversion (§4.3 data-set manipulation tools) ----------------------
-    @operation
+    @operation(cacheable=True)
     def convert(self, document: str, source: str, target: str) -> str:
         """Convert a dataset document between registered formats
         (csv ↔ arff)."""
         return converters.convert(document, source, target)
 
-    @operation
+    @operation(cacheable=True)
     def listConversions(self) -> list:  # noqa: N802
         """All registered (source, target) conversion pairs."""
         return [list(pair) for pair in converters.available()]
 
-    @operation
+    @operation(cacheable=True)
     def summarise(self, dataset: str) -> dict:
         """Figure-3 style dataset statistics."""
         ds = arff.loads(dataset)
@@ -87,7 +87,7 @@ class DataService:
             "text": summary.format_figure3(s),
         }
 
-    @operation
+    @operation(cacheable=True)
     def validate(self, dataset: str) -> dict:
         """Parse-check an ARFF document; returns shape info or faults."""
         ds = arff.loads(dataset)

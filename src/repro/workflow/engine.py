@@ -101,8 +101,20 @@ class WorkflowEngine:
         # shares its trace id, giving the §3 monitor one coherent tree
         with get_tracer().span(f"workflow:{graph.name}") as wf_span:
             wf_span.set_attribute("tasks", len(graph.tasks))
-            with deadline_scope(deadline_s, self.clock) as deadline:
-                return self._run(graph, inputs, wf_span, deadline)
+            # how many document bytes the data-plane fast path kept off
+            # the wire during this run (by-reference re-sends)
+            saved_counter = get_metrics().counter("ws.payload.bytes_saved")
+            saved_before = saved_counter.value
+            try:
+                with deadline_scope(deadline_s, self.clock) as deadline:
+                    return self._run(graph, inputs, wf_span, deadline)
+            finally:
+                saved = saved_counter.value - saved_before
+                wf_span.set_attribute("payload_bytes_saved", int(saved))
+                if saved > 0:
+                    get_metrics().counter(
+                        "workflow.run.bytes_saved",
+                        graph=graph.name).inc(saved)
 
     def _run(self, graph: TaskGraph,
              inputs: dict[tuple[str, int], Any] | None,

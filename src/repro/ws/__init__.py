@@ -11,6 +11,9 @@ from repro.ws.service import OperationInfo, ServiceDefinition, operation
 from repro.ws.container import LIFECYCLES, ServiceContainer, ServiceStats
 from repro.ws.httpd import SoapHttpServer
 from repro.ws.client import HttpTransport, ServiceProxy, fetch_url
+from repro.ws import payload
+from repro.ws.payload import (PayloadMissError, PayloadRef, PayloadStore,
+                              get_payload_store)
 from repro.ws.registry import RegistryEntry, RegistryService, UDDIRegistry
 from repro.ws.transport import (LAN, WAN, FailingTransport,
                                 InProcessTransport, NetworkModel,
@@ -30,5 +33,7 @@ __all__ = [
     "FailingTransport", "NetworkModel", "LAN", "WAN",
     "Deadline", "deadline_scope", "current_deadline", "apply_deadline",
     "DEADLINE_FAULTCODE", "CircuitBreaker",
+    "payload", "PayloadRef", "PayloadStore", "PayloadMissError",
+    "get_payload_store",
     "wsdl",
 ]

@@ -13,21 +13,31 @@ import time
 from typing import Any
 from urllib.parse import urlparse
 
+from repro.data import cache as datacache
 from repro.errors import DeadlineExceeded, TransportError, WsdlError
 from repro.obs import get_metrics, get_tracer
-from repro.ws import soap, wsdl
+from repro.ws import payload, soap, wsdl
 from repro.ws.breaker import CircuitBreaker
 from repro.ws.deadline import current_deadline
 from repro.ws.soap import SoapRequest, SoapResponse
 from repro.ws.transport import (Transport, apply_deadline,
+                                payload_fallback,
                                 record_transport_metrics,
                                 stamp_trace_context)
 
 
 class HttpTransport(Transport):
-    """SOAP POST over a persistent HTTP connection."""
+    """SOAP POST over a persistent HTTP connection.
 
-    def __init__(self, endpoint: str, timeout: float = 30.0):
+    Bodies above :data:`repro.ws.payload.COMPRESS_MIN_BYTES` go out
+    gzip-compressed (``Content-Encoding: gzip``), and every request
+    advertises ``Accept-Encoding: gzip`` so a compressing server can
+    answer in kind; a peer that ignores both stays fully interoperable.
+    Pass ``compress=False`` to negotiate identity encoding only.
+    """
+
+    def __init__(self, endpoint: str, timeout: float = 30.0,
+                 compress: bool = True):
         self.endpoint = endpoint
         parsed = urlparse(endpoint)
         if parsed.scheme != "http" or not parsed.hostname:
@@ -37,8 +47,10 @@ class HttpTransport(Transport):
         self._path = parsed.path or "/"
         self._timeout = timeout
         self._conn: http.client.HTTPConnection | None = None
+        self.compress = compress
         self.bytes_sent = 0
         self.bytes_received = 0
+        self._peer = payload.PeerState()
 
     def _connection(self) -> http.client.HTTPConnection:
         if self._conn is None:
@@ -53,45 +65,61 @@ class HttpTransport(Transport):
                                {"endpoint": self.endpoint}) as span:
             stamp_trace_context(request, span)
             apply_deadline(request)
-            wire = soap.encode_request(request)
-            self.bytes_sent += len(wire)
-            try:
-                conn = self._connection()
-                # never wait on the socket longer than the call's
-                # remaining budget allows
-                effective = self._timeout
-                if request.deadline_s is not None:
-                    effective = min(effective, max(request.deadline_s,
-                                                   1e-3))
-                conn.timeout = effective
-                if conn.sock is not None:
-                    conn.sock.settimeout(effective)
-                conn.request("POST", self._path, body=wire, headers={
-                    "Content-Type": "text/xml; charset=utf-8",
-                    "SOAPAction": f'"{request.operation}"',
-                })
-                http_response = conn.getresponse()
-                body = http_response.read()
-            except (OSError, http.client.HTTPException) as exc:
-                self.close()
-                get_metrics().counter("ws.transport.errors",
-                                      transport="http").inc()
-                if isinstance(exc, TimeoutError) and \
-                        request.deadline_s is not None and \
-                        request.deadline_s < self._timeout:
-                    raise DeadlineExceeded(
-                        f"{self.endpoint} did not answer within the "
-                        f"remaining {request.deadline_s:.3f}s budget"
-                    ) from exc
-                raise TransportError(
-                    f"cannot reach {self.endpoint}: {exc}") from exc
-            self.bytes_received += len(body)
-            span.set_attribute("bytes_sent", len(wire))
-            span.set_attribute("bytes_received", len(body))
-            span.set_attribute("http_status", http_response.status)
-            record_transport_metrics("http", time.perf_counter() - start,
-                                     len(wire), len(body))
-            return soap.decode_response(body)  # raises SoapFault on faults
+            return payload_fallback(
+                lambda outbound: self._exchange(outbound, span, start),
+                request, self._peer)
+
+    def _exchange(self, request: SoapRequest, span,
+                  start: float) -> SoapResponse:
+        encoded = soap.encode_request(request)
+        headers = {
+            "Content-Type": "text/xml; charset=utf-8",
+            "SOAPAction": f'"{request.operation}"',
+        }
+        wire = encoded
+        if self.compress:
+            headers["Accept-Encoding"] = "gzip"
+            wire, encoding = payload.maybe_compress(encoded)
+            if encoding:
+                headers["Content-Encoding"] = encoding
+        self.bytes_sent += len(wire)
+        try:
+            conn = self._connection()
+            # never wait on the socket longer than the call's
+            # remaining budget allows
+            effective = self._timeout
+            if request.deadline_s is not None:
+                effective = min(effective, max(request.deadline_s,
+                                               1e-3))
+            conn.timeout = effective
+            if conn.sock is not None:
+                conn.sock.settimeout(effective)
+            conn.request("POST", self._path, body=wire, headers=headers)
+            http_response = conn.getresponse()
+            body = http_response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            self.close()
+            get_metrics().counter("ws.transport.errors",
+                                  transport="http").inc()
+            if isinstance(exc, TimeoutError) and \
+                    request.deadline_s is not None and \
+                    request.deadline_s < self._timeout:
+                raise DeadlineExceeded(
+                    f"{self.endpoint} did not answer within the "
+                    f"remaining {request.deadline_s:.3f}s budget"
+                ) from exc
+            raise TransportError(
+                f"cannot reach {self.endpoint}: {exc}") from exc
+        self.bytes_received += len(body)
+        span.set_attribute("bytes_sent", len(wire))
+        span.set_attribute("bytes_received", len(body))
+        span.set_attribute("payload_refs", len(payload.refs_in(request)))
+        span.set_attribute("http_status", http_response.status)
+        record_transport_metrics("http", time.perf_counter() - start,
+                                 len(wire), len(body))
+        body = payload.decompress(
+            body, http_response.getheader("Content-Encoding"))
+        return soap.decode_response(body)  # raises SoapFault on faults
 
     def close(self) -> None:
         """Release underlying resources."""
@@ -123,6 +151,18 @@ def fetch_url(url: str, timeout: float = 30.0) -> str:
     return body.decode("utf-8")
 
 
+#: Parsed WSDL descriptions keyed by the URL they were fetched from.
+#: Re-importing a toolbox touches every service's ``?wsdl`` repeatedly;
+#: the documents are immutable per deployment, so one fetch+parse per
+#: endpoint is enough.
+_WSDL_CACHE = datacache.LruCache(64)
+
+
+def reset_wsdl_cache() -> None:
+    """Drop all cached WSDL descriptions (test isolation)."""
+    _WSDL_CACHE.clear()
+
+
 class ServiceProxy:
     """Dynamic operation proxy over any :class:`Transport`.
 
@@ -145,8 +185,21 @@ class ServiceProxy:
     def from_wsdl_url(cls, url: str,
                       breaker: CircuitBreaker | None = None
                       ) -> "ServiceProxy":
-        """Build a proxy by fetching and parsing a ``?wsdl`` URL."""
-        description = wsdl.parse(fetch_url(url))
+        """Build a proxy by fetching and parsing a ``?wsdl`` URL.
+
+        Descriptions are cached per URL (bounded LRU), so re-importing
+        a toolbox costs one HTTP round-trip per service, not per call.
+        """
+        description = None
+        if datacache.enabled():
+            description = _WSDL_CACHE.get(url)
+        if description is not None:
+            get_metrics().counter("ws.wsdl.cache.hits").inc()
+        else:
+            get_metrics().counter("ws.wsdl.cache.misses").inc()
+            description = wsdl.parse(fetch_url(url))
+            if datacache.enabled():
+                _WSDL_CACHE.put(url, description)
         if not description.address:
             raise WsdlError(f"WSDL at {url} carries no endpoint address")
         return cls(description, HttpTransport(description.address),

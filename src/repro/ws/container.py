@@ -25,6 +25,9 @@ reports.
 
 from __future__ import annotations
 
+import copy
+import hashlib
+import json
 import pickle
 import tempfile
 import threading
@@ -33,6 +36,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.data import cache as datacache
 from repro.errors import DeadlineExceeded, ServiceError
 from repro.obs import SpanContext, get_metrics, get_tracer
 from repro.ws.deadline import deadline_scope
@@ -42,6 +46,26 @@ from repro.ws.soap import (DEADLINE_FAULTCODE, SoapFault, SoapRequest,
 
 LIFECYCLES = ("harness", "serialize")
 
+#: Idempotent results kept process-wide (LRU beyond this).
+RESULT_CACHE_ENTRIES = 256
+
+#: Process-global idempotent-result cache.  ``cacheable=True`` declares
+#: an operation *pure* — its result is a function of its arguments — so
+#: results are shareable across every container hosting the same
+#: implementation class (the class is part of the key).
+_result_cache = datacache.LruCache(RESULT_CACHE_ENTRIES)
+
+
+def reset_result_cache() -> None:
+    """Drop all cached operation results (test isolation)."""
+    _result_cache.clear()
+
+
+def _params_digest(params: dict[str, Any]) -> str:
+    """Order-independent content digest of one call's arguments."""
+    canonical = json.dumps(params, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
 
 @dataclass
 class ServiceStats:
@@ -49,6 +73,7 @@ class ServiceStats:
 
     invocations: int = 0
     faults: int = 0
+    cache_hits: int = 0
     serialize_seconds: float = 0.0
     serialized_bytes: int = 0
     dispatch_seconds: float = 0.0
@@ -58,6 +83,7 @@ class ServiceStats:
         return {
             "invocations": self.invocations,
             "faults": self.faults,
+            "cache_hits": self.cache_hits,
             "serialize_seconds": self.serialize_seconds,
             "serialized_bytes": self.serialized_bytes,
             "dispatch_seconds": self.dispatch_seconds,
@@ -169,8 +195,30 @@ class ServiceContainer:
 
     def _dispatch_locked(self, dep: _Deployment,
                          request: SoapRequest) -> SoapResponse:
+        metrics = get_metrics()
         with dep.lock:
             dep.stats.invocations += 1
+            info = dep.definition.operations.get(request.operation)
+            cache_key = None
+            if info is not None and info.cacheable and \
+                    datacache.enabled():
+                cache_key = (dep.definition.cls, request.operation,
+                             _params_digest(request.params))
+                hit = _result_cache.get(cache_key)
+                if hit is not None:
+                    result, approx_bytes = hit
+                    dep.stats.cache_hits += 1
+                    metrics.counter("ws.cache.result.hits",
+                                    service=request.service).inc()
+                    metrics.counter("ws.cache.result.bytes_saved",
+                                    service=request.service
+                                    ).inc(approx_bytes)
+                    # deep-copied: callers own their result objects
+                    return SoapResponse(service=request.service,
+                                        operation=request.operation,
+                                        result=copy.deepcopy(result))
+                metrics.counter("ws.cache.result.misses",
+                                service=request.service).inc()
             instance = self._acquire(dep)
             start = time.perf_counter()
             try:
@@ -201,6 +249,12 @@ class ServiceContainer:
                     service=request.service,
                     operation=request.operation).observe(elapsed)
                 self._release(dep, instance)
+            if cache_key is not None:
+                # estimate the dispatch cost a future hit avoids by the
+                # canonical size of the answer
+                approx_bytes = len(json.dumps(result, default=repr))
+                _result_cache.put(
+                    cache_key, (copy.deepcopy(result), approx_bytes))
         return SoapResponse(service=request.service,
                             operation=request.operation, result=result)
 

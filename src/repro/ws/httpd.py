@@ -19,10 +19,12 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlparse
 
-from repro.errors import DeadlineExceeded, ServiceError
+from repro.errors import DeadlineExceeded, ServiceError, TransportError
 from repro.obs import SpanContext, get_metrics, get_tracer
+from repro.ws import payload as wspayload
 from repro.ws import soap, wsdl
 from repro.ws.container import ServiceContainer
+from repro.ws.payload import PayloadMissError
 from repro.ws.soap import DEADLINE_FAULTCODE, SoapFault
 
 
@@ -30,14 +32,22 @@ class _Handler(BaseHTTPRequestHandler):
     server_version = "ReproSOAP/1.0"
     container: ServiceContainer  # injected by the server factory
     base_url: str
+    compress: bool = True  # gzip responses for gzip-accepting clients
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # keep test output clean; stats live on the container
 
     def _send(self, status: int, body: bytes,
-              content_type: str = "text/xml; charset=utf-8") -> None:
+              content_type: str = "text/xml; charset=utf-8",
+              allow_gzip: bool = False) -> None:
+        encoding = None
+        if allow_gzip and self.compress and "gzip" in \
+                (self.headers.get("Accept-Encoding") or "").lower():
+            body, encoding = wspayload.maybe_compress(body)
         self.send_response(status)
         self.send_header("Content-Type", content_type)
+        if encoding:
+            self.send_header("Content-Encoding", encoding)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -73,12 +83,19 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(404, b"not found", "text/plain")
             return
         length = int(self.headers.get("Content-Length", "0"))
-        payload = self.rfile.read(length)
+        raw = self.rfile.read(length)
         start = time.perf_counter()
         status = 200
         tracer = get_tracer()
         try:
-            request = soap.decode_request(payload)
+            try:
+                raw = wspayload.decompress(
+                    raw, self.headers.get("Content-Encoding"))
+            except TransportError as exc:
+                self._send(400, str(exc).encode(), "text/plain")
+                status = 400
+                return
+            request = soap.decode_request(raw)
             request.service = name  # the URL wins over the envelope
             if request.deadline_s is not None and request.deadline_s <= 0:
                 # budget already spent: reject before dispatch so a
@@ -94,13 +111,19 @@ class _Handler(BaseHTTPRequestHandler):
                                  request.parent_span_id) \
                 if request.trace_id else None
             with tracer.span(f"http:POST /services/{name}",
-                             {"request_bytes": len(payload)},
+                             {"request_bytes": len(raw)},
                              parent=parent) as span:
                 response = self.container.invoke(request)
                 body = soap.encode_response(response)
                 span.set_attribute("response_bytes", len(body))
                 span.set_attribute("http_status", status)
-            self._send(200, body)
+            self._send(200, body, allow_gzip=True)
+        except PayloadMissError as exc:
+            # the client referenced a blob this process does not hold:
+            # answer with the dedicated fault so it resends inline
+            status = 500
+            self._send(500, soap.encode_fault(SoapFault(
+                wspayload.MISS_FAULTCODE, str(exc), detail=exc.digest)))
         except SoapFault as fault:
             status = 500
             self._send(500, soap.encode_fault(fault))
@@ -123,13 +146,15 @@ class _Handler(BaseHTTPRequestHandler):
 class SoapHttpServer:
     """A threaded SOAP-over-HTTP host bound to 127.0.0.1."""
 
-    def __init__(self, container: ServiceContainer, port: int = 0):
+    def __init__(self, container: ServiceContainer, port: int = 0,
+                 compress: bool = True):
         handler = type("BoundHandler", (_Handler,), {})
         self._httpd = ThreadingHTTPServer(("127.0.0.1", port), handler)
         self.port = self._httpd.server_address[1]
         self.base_url = f"http://127.0.0.1:{self.port}"
         handler.container = container
         handler.base_url = self.base_url
+        handler.compress = compress
         self.container = container
         self._thread: threading.Thread | None = None
 

@@ -1,0 +1,372 @@
+"""Content-addressed payload store and by-reference SOAP transfer.
+
+The paper's §4.5 measurements put most remote-invocation overhead in
+*data movement*: every call ships the full ARFF document, and a typical
+workflow ships the same document many times (train here, cross-validate
+there, summarise somewhere else).  The Grid-DDM literature's answer is
+to move **references** instead of data; this module is that answer for
+our SOAP data plane:
+
+* :class:`PayloadStore` — a bounded, content-addressed blob store
+  (SHA-256 digest → bytes) shared process-wide by clients and
+  containers.
+* ``externalize`` — before a send, large ``str``/``bytes`` parameters
+  whose digest the peer is known to hold are replaced by a
+  :class:`PayloadRef`; the SOAP layer encodes it as a tiny
+  ``<param xsi:type="repro:payloadRef" digest=... size=... kind=.../>``
+  element.  Unknown payloads travel inline once and are *absorbed* into
+  the receiving store (see ``absorb_params``), so the next send can go
+  by reference.
+* ``resolve`` — the receiving side turns a ref back into the full
+  value, verifying the content digest.  A digest the store does not
+  hold raises :class:`PayloadMissError` (a transient
+  :class:`~repro.errors.TransportError`): transports fall back to a
+  transparent full-payload resend, and retry policies treat a corrupt
+  ref exactly like any other delivery failure.
+* gzip helpers — SOAP bodies above :data:`COMPRESS_MIN_BYTES` travel
+  gzip-compressed when the peer negotiates ``Content-Encoding``;
+  :func:`simulated_wire_size` lets :class:`~repro.ws.transport
+  .SimulatedTransport` bill post-compression bytes honestly.
+
+Counters (``repro metrics``): ``ws.payload.ref_sends`` /
+``inline_sends`` / ``bytes_saved`` / ``absorbed`` / ``miss`` /
+``integrity_failures`` and ``ws.compress.*``.
+
+Disable the whole fast path with ``repro run --no-payload-cache`` or
+``FAEHIM_NO_FASTPATH=1``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gzip
+import hashlib
+import os
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.data.cache import LruCache
+from repro.errors import TransportError
+from repro.obs import get_metrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ws.soap import SoapRequest
+
+#: Parameters below this many bytes stay inline (refs would not pay).
+MIN_REF_BYTES = 1024
+
+#: SOAP bodies above this size are gzip-compressed on negotiating
+#: transports (and billed compressed by the simulated network).
+COMPRESS_MIN_BYTES = 2048
+
+#: Bounds of the process-global payload store.
+STORE_MAX_ENTRIES = 256
+STORE_MAX_BYTES = 64 * 1024 * 1024
+
+#: SOAP fault code signalling "peer does not hold that digest".
+MISS_FAULTCODE = "repro:PayloadMiss"
+
+_HEX = set("0123456789abcdef")
+
+
+class PayloadMissError(TransportError):
+    """A payload reference could not be resolved locally.
+
+    Transient by design: the sender falls back to an inline resend, and
+    the retry machinery treats it like any delivery failure (a corrupt
+    ref injected by chaos lands here too).
+    """
+
+    def __init__(self, digest: str, message: str | None = None):
+        self.digest = digest
+        super().__init__(
+            message or f"payload {digest[:12]}... not in local store")
+
+
+@dataclass(frozen=True)
+class PayloadRef:
+    """A by-reference stand-in for one large parameter value."""
+
+    digest: str
+    size: int
+    kind: str = "str"  # "str" | "bytes"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("str", "bytes"):
+            raise TransportError(f"bad payload kind {self.kind!r}")
+
+
+def digest_bytes(data: bytes) -> str:
+    """SHA-256 hex digest of *data*."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def payload_digest_ok(digest: str) -> bool:
+    """True when *digest* is a well-formed SHA-256 hex string."""
+    return len(digest) == 64 and set(digest) <= _HEX
+
+
+def _miss(digest: str, message: str | None = None) -> PayloadMissError:
+    """Count and build (not raise) one unresolvable-reference miss."""
+    get_metrics().counter("ws.payload.miss").inc()
+    return PayloadMissError(digest, message)
+
+
+class PayloadStore:
+    """Thread-safe content-addressed blob store with LRU bounds."""
+
+    def __init__(self, max_entries: int = STORE_MAX_ENTRIES,
+                 max_bytes: int = STORE_MAX_BYTES):
+        self._cache = LruCache(max_entries, max_bytes)
+
+    def put(self, data: bytes) -> str:
+        """Store *data*; returns its digest (idempotent)."""
+        digest = digest_bytes(data)
+        self._cache.put(digest, data, weight=len(data))
+        return digest
+
+    def get(self, digest: str) -> bytes | None:
+        """The bytes stored under *digest*, verified, or ``None``.
+
+        Verification guards the by-reference contract: a blob that no
+        longer hashes to its key (memory corruption, a tampered store)
+        must never be silently substituted for the caller's data.
+        """
+        data = self._cache.get(digest)
+        if data is None:
+            return None
+        if digest_bytes(data) != digest:
+            get_metrics().counter("ws.payload.integrity_failures").inc()
+            raise TransportError(
+                f"payload digest mismatch for {digest[:12]}... "
+                f"(stored content does not hash to its key)")
+        return data
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._cache
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes currently held."""
+        return self._cache.total_bytes
+
+    def clear(self) -> None:
+        """Drop every blob."""
+        self._cache.clear()
+
+
+_enabled = os.environ.get("FAEHIM_NO_FASTPATH", "") not in ("1", "true")
+_store = PayloadStore()
+
+
+def set_enabled(on: bool) -> None:
+    """Globally enable/disable by-reference transfer + wire compression."""
+    global _enabled
+    _enabled = bool(on)
+
+
+def enabled() -> bool:
+    """True when the payload fast path is active."""
+    return _enabled
+
+
+def get_payload_store() -> PayloadStore:
+    """The process-global content-addressed store."""
+    return _store
+
+
+def reset_payload_store() -> None:
+    """Empty the global store (test isolation)."""
+    _store.clear()
+
+
+class PeerState:
+    """Which payload digests one transport's peer is believed to hold."""
+
+    def __init__(self) -> None:
+        self._known: set[str] = set()
+        self._lock = threading.Lock()
+
+    def knows(self, digest: str) -> bool:
+        """True when the peer is believed to hold *digest*."""
+        with self._lock:
+            return digest in self._known
+
+    def learn(self, digest: str) -> None:
+        """Record that the peer now holds *digest*."""
+        with self._lock:
+            self._known.add(digest)
+
+    def clear(self) -> None:
+        """Forget everything (after a miss: the peer lost its store)."""
+        with self._lock:
+            self._known.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._known)
+
+
+def _as_bytes(value: str | bytes) -> bytes:
+    if isinstance(value, str):
+        return value.encode("utf-8", "surrogatepass")
+    return value
+
+
+def _from_bytes(data: bytes, kind: str) -> str | bytes:
+    if kind == "str":
+        return data.decode("utf-8", "surrogatepass")
+    return data
+
+
+def externalize(request: "SoapRequest", peer: PeerState,
+                min_bytes: int = MIN_REF_BYTES) -> "SoapRequest":
+    """Return a copy of *request* with large params sent by reference.
+
+    A large ``str``/``bytes`` parameter whose digest *peer* already
+    holds becomes a :class:`PayloadRef`; an unknown one stays inline
+    (so the receiving side can absorb it) and the digest is recorded as
+    known for the next send.  Parameters that are already refs are kept
+    when the peer knows them and resolved back to inline values when it
+    does not (raising :class:`PayloadMissError` if the blob is gone
+    locally too).  With the fast path disabled the request passes
+    through untouched (refs still get internalized, so a disabled
+    receiver never sees one).
+    """
+    metrics = get_metrics()
+    new_params = {}
+    changed = False
+    for name, value in request.params.items():
+        if isinstance(value, PayloadRef):
+            if _enabled and peer.knows(value.digest):
+                new_params[name] = value
+            else:
+                data = _store.get(value.digest)
+                if data is None:
+                    raise _miss(value.digest)
+                new_params[name] = _from_bytes(data, value.kind)
+                changed = True
+            continue
+        if not _enabled or not isinstance(value, (str, bytes)) or \
+                len(value) < min_bytes:
+            new_params[name] = value
+            continue
+        data = _as_bytes(value)
+        digest = _store.put(data)
+        if peer.knows(digest):
+            ref = PayloadRef(
+                digest, len(data),
+                "bytes" if isinstance(value, bytes) else "str")
+            new_params[name] = ref
+            changed = True
+            metrics.counter("ws.payload.ref_sends").inc()
+            metrics.counter("ws.payload.bytes_saved").inc(len(data))
+        else:
+            peer.learn(digest)
+            new_params[name] = value
+            metrics.counter("ws.payload.inline_sends").inc()
+    if not changed:
+        return request
+    return dataclasses.replace(request, params=new_params)
+
+
+def internalize(request: "SoapRequest") -> "SoapRequest":
+    """Resolve every :class:`PayloadRef` in *request* back to its value
+    (the transparent full-payload fallback after a peer miss)."""
+    if not any(isinstance(v, PayloadRef)
+               for v in request.params.values()):
+        return request
+    new_params = {}
+    for name, value in request.params.items():
+        if isinstance(value, PayloadRef):
+            data = _store.get(value.digest)
+            if data is None:
+                raise _miss(value.digest)
+            value = _from_bytes(data, value.kind)
+        new_params[name] = value
+    return dataclasses.replace(request, params=new_params)
+
+
+def resolve(digest: str, kind: str) -> str | bytes:
+    """Receiving side: a ref element back to its full value.
+
+    Unknown digests (including chaos-corrupted ones) raise
+    :class:`PayloadMissError`; the transport layer converts that into
+    the ``repro:PayloadMiss`` fault / an inline resend.
+    """
+    if not payload_digest_ok(digest):
+        raise _miss(digest or "(empty)",
+                    f"malformed payload digest {digest!r}")
+    data = _store.get(digest)
+    if data is None:
+        raise _miss(digest)
+    get_metrics().counter("ws.payload.ref_hits").inc()
+    return _from_bytes(data, kind)
+
+
+def absorb_params(params: dict, min_bytes: int = MIN_REF_BYTES) -> int:
+    """Receiving side: store large inline values so future sends of the
+    same content can travel by reference.  Returns the blob count."""
+    if not _enabled:
+        return 0
+    absorbed = 0
+    for value in params.values():
+        if isinstance(value, (str, bytes)) and len(value) >= min_bytes:
+            _store.put(_as_bytes(value))
+            absorbed += 1
+    if absorbed:
+        get_metrics().counter("ws.payload.absorbed").inc(absorbed)
+    return absorbed
+
+
+def refs_in(request: "SoapRequest") -> list[PayloadRef]:
+    """Every :class:`PayloadRef` among the request's parameters."""
+    return [v for v in request.params.values()
+            if isinstance(v, PayloadRef)]
+
+
+# -- wire compression ---------------------------------------------------------
+
+def maybe_compress(body: bytes,
+                   min_bytes: int = COMPRESS_MIN_BYTES
+                   ) -> tuple[bytes, str | None]:
+    """gzip *body* when it is large enough to pay; returns
+    ``(wire_bytes, content_encoding_or_None)``."""
+    if not _enabled or len(body) < min_bytes:
+        return body, None
+    compressed = gzip.compress(body, compresslevel=1)
+    if len(compressed) >= len(body):
+        return body, None
+    metrics = get_metrics()
+    metrics.counter("ws.compress.messages").inc()
+    metrics.counter("ws.compress.bytes_in").inc(len(body))
+    metrics.counter("ws.compress.bytes_out").inc(len(compressed))
+    return compressed, "gzip"
+
+
+def decompress(body: bytes, content_encoding: str | None) -> bytes:
+    """Undo :func:`maybe_compress` per the Content-Encoding header."""
+    if not content_encoding or content_encoding.lower() == "identity":
+        return body
+    if content_encoding.lower() != "gzip":
+        raise TransportError(
+            f"unsupported Content-Encoding {content_encoding!r}")
+    try:
+        return gzip.decompress(body)
+    except OSError as exc:
+        raise TransportError(f"corrupt gzip body: {exc}") from exc
+
+
+def simulated_wire_size(body: bytes) -> int:
+    """Bytes this SOAP body occupies on a compressing link.
+
+    :class:`~repro.ws.transport.SimulatedTransport` bills this size so
+    the network model reflects the real data plane (post-compression,
+    ref-sized envelopes) instead of the uncompressed document.
+    """
+    wire, _ = maybe_compress(body)
+    return len(wire)

@@ -24,11 +24,18 @@ _TYPE_NAMES = {str: "xsd:string", int: "xsd:int", float: "xsd:double",
                dict: "repro:json", list: "repro:json", Any: "repro:json"}
 
 
-def operation(fn: Callable | None = None, *, doc: str | None = None):
-    """Mark a method as a Web Service operation."""
+def operation(fn: Callable | None = None, *, doc: str | None = None,
+              cacheable: bool = False):
+    """Mark a method as a Web Service operation.
+
+    ``cacheable=True`` declares the operation *pure* (its result depends
+    only on its arguments), letting the container answer repeat
+    invocations from its idempotent-result cache.
+    """
     def mark(f: Callable) -> Callable:
         f._ws_operation = True           # type: ignore[attr-defined]
         f._ws_doc = doc or (f.__doc__ or "").strip()  # type: ignore
+        f._ws_cacheable = cacheable      # type: ignore[attr-defined]
         return f
     return mark(fn) if fn is not None else mark
 
@@ -42,6 +49,7 @@ class OperationInfo:
     params: tuple[tuple[str, str], ...]   # (name, xsd type)
     returns: str
     required: tuple[str, ...]             # params with no default
+    cacheable: bool = False               # pure: result-cache eligible
 
 
 @dataclass
@@ -83,7 +91,8 @@ class ServiceDefinition:
                 doc=getattr(member, "_ws_doc", ""),
                 params=tuple(params),
                 returns=returns,
-                required=tuple(required))
+                required=tuple(required),
+                cacheable=getattr(member, "_ws_cacheable", False))
         if not ops:
             raise ServiceError(
                 f"{service_cls.__name__} declares no @operation methods")

@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import DeadlineExceeded, ServiceError
+from repro.ws import payload
+from repro.ws.payload import PayloadMissError, PayloadRef
 
 #: Fault code carried by a SOAP fault caused by an expired time budget;
 #: :func:`decode_response` resurfaces it as :class:`DeadlineExceeded`.
@@ -63,7 +65,14 @@ def _encode_value(parent: ET.Element, name: str, value: Any) -> None:
     el = ET.SubElement(parent, name)
     type_attr = _qname(XSI_NS, "type")
     import numbers
-    if value is None:
+    if isinstance(value, PayloadRef):
+        # by-reference transfer (see repro.ws.payload): the receiving
+        # side resolves the digest against its local payload store
+        el.set(type_attr, "repro:payloadRef")
+        el.set("digest", value.digest)
+        el.set("size", str(value.size))
+        el.set("kind", value.kind)
+    elif value is None:
         el.set(_qname(XSI_NS, "nil"), "true")
     elif isinstance(value, bool):
         el.set(type_attr, "xsd:boolean")
@@ -114,6 +123,9 @@ def _decode_value(el: ET.Element) -> Any:
         return base64.b64decode(text).decode("utf-8", "surrogatepass")
     if type_attr.endswith("json"):
         return json.loads(text) if text else None
+    if type_attr.endswith("payloadRef"):
+        return payload.resolve(el.get("digest", ""),
+                               el.get("kind", "str"))
     return text
 
 
@@ -196,6 +208,9 @@ def decode_request(document: bytes) -> SoapRequest:
     service = op.get("service", "")
     params = {child.tag.rsplit("}", 1)[-1]: _decode_value(child)
               for child in op}
+    # remember large inline payloads so the peer's next send of the
+    # same content can travel as a <repro:payloadRef> element
+    payload.absorb_params(params)
     trace_id, parent_span_id = _decode_trace_header(envelope)
     return SoapRequest(service=service, operation=local, params=params,
                        trace_id=trace_id, parent_span_id=parent_span_id,
@@ -284,6 +299,10 @@ def decode_response(document: bytes) -> SoapResponse:
             # resurface as the dedicated (non-retriable) exception so
             # clients do not burn retries on an already-spent budget
             raise DeadlineExceeded(string)
+        if code == payload.MISS_FAULTCODE:
+            # the peer does not hold a referenced payload: transports
+            # catch this and fall back to a full inline resend
+            raise PayloadMissError(detail, string)
         raise SoapFault(code, string, detail)
     if not local.endswith("Response"):
         raise ServiceError(f"unexpected response element {local!r}")

@@ -22,9 +22,10 @@ from dataclasses import dataclass, field
 
 from repro.errors import TransportError
 from repro.obs import get_metrics, get_tracer
-from repro.ws import soap
+from repro.ws import payload, soap
 from repro.ws.container import ServiceContainer
 from repro.ws.deadline import current_deadline
+from repro.ws.payload import PayloadMissError
 from repro.ws.soap import SoapFault, SoapRequest, SoapResponse
 
 
@@ -80,6 +81,24 @@ def record_transport_metrics(transport: str, seconds: float,
                     transport=transport).inc(bytes_received)
 
 
+def payload_fallback(send_once, request: SoapRequest,
+                     peer: payload.PeerState) -> SoapResponse:
+    """Externalize + send, with the transparent full-payload fallback.
+
+    First attempt goes out with by-reference params for everything the
+    peer is believed to hold.  A :class:`PayloadMissError` (the peer
+    lost — or never had — a referenced blob, or a ref was corrupted in
+    flight) clears the peer record and resends the original request
+    fully inline, so callers never observe the miss.
+    """
+    try:
+        return send_once(payload.externalize(request, peer))
+    except PayloadMissError:
+        get_metrics().counter("ws.payload.fallbacks").inc()
+        peer.clear()
+        return send_once(payload.internalize(request))
+
+
 class InProcessTransport(Transport):
     """Serialise through SOAP but dispatch into a local container."""
 
@@ -87,6 +106,7 @@ class InProcessTransport(Transport):
         self.container = container
         self.bytes_sent = 0
         self.bytes_received = 0
+        self._peer = payload.PeerState()
 
     def send(self, request: SoapRequest) -> SoapResponse:
         """Deliver one SOAP request; returns the SOAP response."""
@@ -94,21 +114,28 @@ class InProcessTransport(Transport):
         with get_tracer().span("send:inprocess") as span:
             stamp_trace_context(request, span)
             apply_deadline(request)
-            wire = soap.encode_request(request)
-            self.bytes_sent += len(wire)
-            decoded = soap.decode_request(wire)
-            try:
-                response = self.container.invoke(decoded)
-                wire_out = soap.encode_response(response)
-            except SoapFault as fault:
-                wire_out = soap.encode_fault(fault)
-            self.bytes_received += len(wire_out)
-            span.set_attribute("bytes_sent", len(wire))
-            span.set_attribute("bytes_received", len(wire_out))
-            record_transport_metrics(
-                "inprocess", time.perf_counter() - start,
-                len(wire), len(wire_out))
-            return soap.decode_response(wire_out)
+            return payload_fallback(
+                lambda outbound: self._exchange(outbound, span, start),
+                request, self._peer)
+
+    def _exchange(self, request: SoapRequest, span,
+                  start: float) -> SoapResponse:
+        wire = soap.encode_request(request)
+        self.bytes_sent += len(wire)
+        decoded = soap.decode_request(wire)  # resolves payload refs
+        try:
+            response = self.container.invoke(decoded)
+            wire_out = soap.encode_response(response)
+        except SoapFault as fault:
+            wire_out = soap.encode_fault(fault)
+        self.bytes_received += len(wire_out)
+        span.set_attribute("bytes_sent", len(wire))
+        span.set_attribute("bytes_received", len(wire_out))
+        span.set_attribute("payload_refs", len(payload.refs_in(request)))
+        record_transport_metrics(
+            "inprocess", time.perf_counter() - start,
+            len(wire), len(wire_out))
+        return soap.decode_response(wire_out)
 
 
 @dataclass
@@ -124,8 +151,21 @@ class NetworkModel:
     bandwidth_bps: float = 1e9 / 8  # 1 Gb/s in bytes per second
 
     def transfer_time(self, n_bytes: int) -> float:
-        """Seconds to move *n_bytes* over this network path."""
+        """Seconds to move *n_bytes* over this network path.
+
+        Callers must bill the bytes that actually cross the wire:
+        :class:`SimulatedTransport` charges post-compression envelope
+        sizes (see :func:`repro.ws.payload.simulated_wire_size`), so
+        ref-sized and gzip-shrunk messages cost what they would on the
+        paper's testbed, not their uncompressed document size.
+        """
         return self.latency_s + n_bytes / self.bandwidth_bps
+
+    def wire_cost(self, wire: bytes) -> tuple[int, float]:
+        """(billed bytes, seconds) for one encoded SOAP message,
+        honouring link-level compression of large bodies."""
+        n_bytes = payload.simulated_wire_size(wire)
+        return n_bytes, self.transfer_time(n_bytes)
 
 
 #: A slow wide-area path (50 ms RTT, 10 Mb/s) for the streaming ablation.
@@ -150,13 +190,18 @@ class SimulatedTransport(Transport):
     messages: int = 0
     bytes_on_wire: int = 0
 
-    def _charge(self, n_bytes: int) -> None:
-        cost = self.model.transfer_time(n_bytes)
+    def __post_init__(self) -> None:
+        self._peer = payload.PeerState()
+
+    def _charge(self, wire: bytes) -> int:
+        """Bill one message; returns the post-compression billed bytes."""
+        n_bytes, cost = self.model.wire_cost(wire)
         self.virtual_seconds += cost
         self.bytes_on_wire += n_bytes
         self.messages += 1
         if self.real_sleep:
             time.sleep(cost)
+        return n_bytes
 
     def send(self, request: SoapRequest) -> SoapResponse:
         """Deliver one SOAP request; returns the SOAP response."""
@@ -166,17 +211,26 @@ class SimulatedTransport(Transport):
         with get_tracer().span("send:simulated") as span:
             stamp_trace_context(request, span)
             apply_deadline(request)
-            wire = soap.encode_request(request)
+            # replace repeat payloads with refs *before* billing, so the
+            # modelled network sees the bytes the data plane really ships
             try:
-                self._charge(len(wire))
+                outbound = payload.externalize(request, self._peer)
+            except PayloadMissError:
+                get_metrics().counter("ws.payload.fallbacks").inc()
+                self._peer.clear()
+                outbound = payload.internalize(request)
+            wire = soap.encode_request(outbound)
+            sent_bytes = 0
+            try:
+                sent_bytes = self._charge(wire)
                 try:
-                    response = self.inner.send(request)
+                    response = self.inner.send(outbound)
                     wire_out = soap.encode_response(response)
                 except SoapFault as fault:
                     wire_out = soap.encode_fault(fault)
-                    self._charge(len(wire_out))
+                    self._charge(wire_out)
                     raise
-                self._charge(len(wire_out))
+                self._charge(wire_out)
                 return response
             finally:
                 # the paper-model network cost this message pair incurred
@@ -184,10 +238,12 @@ class SimulatedTransport(Transport):
                 wire_bytes = self.bytes_on_wire - bytes_before
                 span.set_attribute("charge_seconds", round(charged, 6))
                 span.set_attribute("wire_bytes", wire_bytes)
+                span.set_attribute("payload_refs",
+                                   len(payload.refs_in(outbound)))
                 span.set_attribute("latency_s", self.model.latency_s)
                 record_transport_metrics(
                     "simulated", time.perf_counter() - start,
-                    len(wire), wire_bytes - len(wire))
+                    sent_bytes, max(0, wire_bytes - sent_bytes))
                 get_metrics().counter(
                     "ws.transport.simulated_cost_seconds").inc(charged)
 

@@ -8,16 +8,26 @@ from repro.data import synthetic
 @pytest.fixture(autouse=True)
 def _reset_observability():
     """Keep the suite order-independent: every test starts and ends with
-    an empty global metrics registry, a disabled, empty tracer, and a
-    disarmed chaos controller."""
+    an empty global metrics registry, a disabled, empty tracer, a
+    disarmed chaos controller, and empty data-plane caches."""
     from repro import chaos, obs
-    obs.reset_metrics()
-    obs.reset_tracing()
-    chaos.uninstall()
+    from repro.data import cache as datacache
+    from repro.ws import client, container, payload
+
+    def reset():
+        obs.reset_metrics()
+        obs.reset_tracing()
+        chaos.uninstall()
+        payload.set_enabled(True)
+        payload.reset_payload_store()
+        datacache.set_enabled(True)
+        datacache.reset_parse_cache()
+        client.reset_wsdl_cache()
+        container.reset_result_cache()
+
+    reset()
     yield
-    obs.reset_metrics()
-    obs.reset_tracing()
-    chaos.uninstall()
+    reset()
 
 
 @pytest.fixture(scope="session")

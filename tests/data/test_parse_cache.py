@@ -1,0 +1,136 @@
+"""The content-keyed parse memo and the LRU cache underneath it."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.data import arff, cache, csvio
+from repro.obs import get_metrics
+
+PROP = settings(max_examples=40, deadline=None, derandomize=True)
+
+HEADER = ("@relation weather\n"
+          "@attribute outlook {sunny,overcast,rainy}\n"
+          "@attribute temperature numeric\n"
+          "@attribute play {yes,no}\n"
+          "@data\n")
+# enough rows to clear MIN_MEMO_BYTES
+ROWS = "".join(f"sunny,{60 + i % 30},{'yes' if i % 2 else 'no'}\n"
+               for i in range(40))
+DOC = HEADER + ROWS
+
+
+def hits(kind):
+    return get_metrics().counter("ws.cache.parse.hits", kind=kind).value
+
+
+def misses(kind):
+    return get_metrics().counter("ws.cache.parse.misses",
+                                 kind=kind).value
+
+
+class TestLruCache:
+    def test_entry_bound(self):
+        lru = cache.LruCache(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.put("c", 3)
+        assert len(lru) == 2
+        assert lru.get("a") is None
+        assert lru.get("b") == 2 and lru.get("c") == 3
+
+    def test_get_refreshes_recency(self):
+        lru = cache.LruCache(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.get("a")          # "b" is now the eviction candidate
+        lru.put("c", 3)
+        assert "a" in lru and "c" in lru and "b" not in lru
+
+    def test_byte_bound(self):
+        lru = cache.LruCache(10, max_bytes=100)
+        for i in range(5):
+            lru.put(i, "v", weight=40)
+        assert lru.total_bytes <= 100
+        assert 4 in lru and 0 not in lru
+
+    def test_byte_bound_keeps_at_least_one_entry(self):
+        lru = cache.LruCache(10, max_bytes=10)
+        lru.put("huge", "v", weight=500)
+        assert "huge" in lru  # oversized singletons are not thrashed
+
+    def test_replace_updates_weight(self):
+        lru = cache.LruCache(10, max_bytes=100)
+        lru.put("a", "v", weight=80)
+        lru.put("a", "v2", weight=10)
+        assert lru.total_bytes == 10
+
+
+class TestMemoParse:
+    def test_second_parse_is_a_hit(self):
+        first = arff.loads(DOC)
+        second = arff.loads(DOC)
+        assert misses("arff") == 1
+        assert hits("arff") == 1
+        assert first is not second
+        assert len(first) == len(second)
+
+    def test_options_are_part_of_the_key(self):
+        arff.loads(DOC)
+        arff.loads(DOC, class_attribute="play")
+        assert misses("arff") == 2
+        assert hits("arff") == 0
+
+    def test_mutating_a_hit_does_not_poison_the_cache(self):
+        first = arff.loads(DOC)
+        first.set_class("play")
+        first.add(first[0].copy())
+        again = arff.loads(DOC)
+        assert not again.has_class
+        assert len(again) == len(first) - 1
+
+    def test_small_documents_bypass_the_memo(self):
+        tiny = ("@relation t\n@attribute a numeric\n@data\n1\n")
+        assert len(tiny) < cache.MIN_MEMO_BYTES
+        arff.loads(tiny)
+        arff.loads(tiny)
+        assert hits("arff") == 0 and misses("arff") == 0
+
+    def test_disabled_bypasses_the_memo(self):
+        cache.set_enabled(False)
+        arff.loads(DOC)
+        arff.loads(DOC)
+        assert hits("arff") == 0 and misses("arff") == 0
+        assert cache.parse_cache_len() == 0
+
+    def test_bytes_saved_counter(self):
+        arff.loads(DOC)
+        arff.loads(DOC)
+        saved = get_metrics().counter("ws.cache.parse.bytes_saved",
+                                      kind="arff").value
+        assert saved == len(DOC)
+
+    def test_csv_memo(self):
+        doc = "a,b\n" + "".join(f"{i},{i * 2}\n" for i in range(100))
+        csvio.loads(doc)
+        csvio.loads(doc)
+        assert hits("csv") == 1
+
+    @PROP
+    @given(st.lists(
+        st.tuples(st.sampled_from(["sunny", "overcast", "rainy"]),
+                  st.integers(min_value=-50, max_value=150),
+                  st.sampled_from(["yes", "no"])),
+        min_size=20, max_size=60))
+    def test_cached_equals_uncached(self, rows):
+        """Property: a memo hit is indistinguishable from a re-parse."""
+        cache.reset_parse_cache()
+        doc = HEADER + "".join(f"{o},{t},{p}\n" for o, t, p in rows)
+        first = arff.loads(doc, class_attribute="play")
+        cache.set_enabled(False)
+        try:
+            uncached = arff.loads(doc, class_attribute="play")
+        finally:
+            cache.set_enabled(True)
+        cached = arff.loads(doc, class_attribute="play")
+        for other in (uncached, cached):
+            assert arff.dumps(other) == arff.dumps(first)
+            assert other.class_attribute == first.class_attribute
