@@ -27,7 +27,7 @@ from repro.chaos.controller import ChaosController
 from repro.chaos.plan import (DEFAULT_BLACKHOLE_S, ChaosPlan,
                               ChaosSpecError, FaultRule, parse_chaos_spec,
                               parse_duration)
-from repro.chaos.transport import ChaosTransport
+from repro.chaos.transport import ChaosInterceptor, ChaosTransport
 
 #: Environment hooks: a spec in FAEHIM_CHAOS arms the harness globally.
 CHAOS_ENV_VAR = "FAEHIM_CHAOS"
@@ -69,6 +69,7 @@ def maybe_install_from_env() -> ChaosController | None:
 
 __all__ = [
     "ChaosController", "ChaosPlan", "ChaosSpecError", "ChaosTransport",
+    "ChaosInterceptor",
     "FaultRule", "parse_chaos_spec", "parse_duration",
     "DEFAULT_BLACKHOLE_S", "CHAOS_ENV_VAR", "CHAOS_SEED_ENV_VAR",
     "install", "active", "uninstall", "maybe_install_from_env",

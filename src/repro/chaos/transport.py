@@ -1,12 +1,24 @@
-"""ChaosTransport: fault injection around any :class:`Transport`.
+"""Chaos fault injection as a chain-installable interceptor.
 
-Wraps an inner transport and consults a
+:class:`ChaosInterceptor` consults a
 :class:`~repro.chaos.controller.ChaosController` on every send, so the
 same seeded fault plan can hit an in-process container, the simulated
 network, or a real HTTP connection — whatever the test or drill targets.
 Response corruption mangles the *actual* encoded envelope and re-decodes
 it, so the SOAP layer's malformed-document handling is exercised for
 real rather than simulated with a synthetic exception.
+
+Install it either by wrapping a transport in :class:`ChaosTransport`
+(the pre-refactor shape, still the convenient one for composition like
+``SimulatedTransport(ChaosTransport(inner, controller))``) or by
+splicing the interceptor into any chain, e.g.::
+
+    transport.interceptors = pipeline.chain_insert_after(
+        transport.interceptors, "payload",
+        ChaosInterceptor(controller, "Data"))
+
+Both forms consume the seeded per-target RNG identically, so a fault
+plan replays the same either way.
 """
 
 from __future__ import annotations
@@ -16,6 +28,7 @@ import dataclasses
 from repro.chaos.controller import ChaosController
 from repro.ws import payload, soap
 from repro.ws.payload import PayloadRef
+from repro.ws.pipeline import CallContext, ClientInterceptor
 from repro.ws.soap import SoapRequest, SoapResponse
 from repro.ws.transport import Transport
 
@@ -26,17 +39,17 @@ def _mangle_digest(digest: str) -> str:
     return first + digest[1:]
 
 
-class ChaosTransport(Transport):
-    """Inject plan-driven faults ahead of (and behind) an inner send."""
+class ChaosInterceptor(ClientInterceptor):
+    """Inject plan-driven faults ahead of (and behind) the send below."""
 
-    def __init__(self, inner: Transport, controller: ChaosController,
+    name = "chaos"
+
+    def __init__(self, controller: ChaosController,
                  endpoint: str = "endpoint"):
-        self.inner = inner
         self.controller = controller
         self.endpoint = endpoint
 
-    def send(self, request: SoapRequest) -> SoapResponse:
-        """Deliver one SOAP request; returns the SOAP response."""
+    def intercept(self, request, ctx, proceed):
         self.controller.perturb(self.endpoint)
         # corrupt a by-reference parameter in flight: the receiver sees
         # a digest its store cannot hold, raising PayloadMissError (a
@@ -51,14 +64,38 @@ class ChaosTransport(Transport):
                     value, digest=_mangle_digest(value.digest))
                 if isinstance(value, PayloadRef) else value
                 for name, value in request.params.items()})
-            return self.inner.send(request)
-        response = self.inner.send(request)
+            return proceed(request)
+        response = proceed(request)
         if self.controller.should_corrupt(self.endpoint):
             # truncate the real envelope so the decoder sees genuinely
             # malformed bytes (raises ServiceError, a transient fault)
             wire = soap.encode_response(response)
             return soap.decode_response(wire[:max(1, len(wire) - 16)])
         return response
+
+
+class ChaosTransport(Transport):
+    """The interceptor in transport clothing: wrap any inner transport."""
+
+    def __init__(self, inner: Transport, controller: ChaosController,
+                 endpoint: str = "endpoint"):
+        self.inner = inner
+        self.interceptor = ChaosInterceptor(controller, endpoint)
+
+    @property
+    def controller(self) -> ChaosController:
+        return self.interceptor.controller
+
+    @property
+    def endpoint(self) -> str:
+        return self.interceptor.endpoint
+
+    def send(self, request: SoapRequest) -> SoapResponse:
+        """Deliver one SOAP request; returns the SOAP response."""
+        ctx = CallContext(kind="chaos", endpoint=self.interceptor.endpoint,
+                          service=request.service,
+                          operation=request.operation)
+        return self.interceptor.intercept(request, ctx, self.inner.send)
 
     def close(self) -> None:
         self.inner.close()

@@ -121,8 +121,8 @@ def _cmd_algorithms(args) -> int:
 
 def _cmd_run(args) -> int:
     from repro import chaos, obs
-    from repro.workflow import (RetryPolicy, WorkflowEngine,
-                                default_toolbox, xmlio)
+    from repro.workflow import (ChaosMiddleware, RetryPolicy,
+                                WorkflowEngine, default_toolbox, xmlio)
     obs.maybe_enable_tracing_from_env()
     if args.trace:
         obs.enable_tracing()
@@ -138,10 +138,16 @@ def _cmd_run(args) -> int:
                         default_toolbox())
     retries = args.retries if args.retries is not None else \
         (5 if controller is not None else 0)
+    # the CLI wires the per-task chain explicitly (rather than letting
+    # the engine derive it from the armed controller), mirroring how
+    # the SOAP transports receive their interceptor chains
+    middleware = [ChaosMiddleware(controller)] \
+        if controller is not None else []
     engine = WorkflowEngine(
         retry_policy=RetryPolicy(max_retries=retries) if retries else
         None,
-        allow_partial=args.allow_partial or controller is not None)
+        allow_partial=args.allow_partial or controller is not None,
+        middleware=middleware)
     result = engine.run(graph, deadline_s=args.deadline)
     for sink in graph.sinks():
         for idx in range(sink.num_outputs):

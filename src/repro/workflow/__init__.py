@@ -5,7 +5,8 @@ migration, service monitoring and the signal-processing toolbox."""
 
 from repro.workflow.model import (Cable, FunctionTool, GroupTool, Port,
                                   Task, TaskGraph, Tool, make_tool)
-from repro.workflow.engine import RunResult, WorkflowEngine
+from repro.workflow.engine import (ChaosMiddleware, RunResult,
+                                   TaskMiddleware, WorkflowEngine)
 from repro.workflow.toolbox import ToolBox, default_toolbox
 from repro.workflow.monitor import EventBus, ProgressMonitor, TaskEvent
 from repro.workflow.faults import ReplicatedServiceTool, RetryPolicy
@@ -16,7 +17,7 @@ from repro.workflow import builtin_tools, dax, patterns, signal_tools, xmlio
 __all__ = [
     "Tool", "FunctionTool", "GroupTool", "Task", "TaskGraph", "Cable",
     "Port", "make_tool",
-    "WorkflowEngine", "RunResult",
+    "WorkflowEngine", "RunResult", "TaskMiddleware", "ChaosMiddleware",
     "ToolBox", "default_toolbox",
     "EventBus", "TaskEvent", "ProgressMonitor",
     "RetryPolicy", "ReplicatedServiceTool",

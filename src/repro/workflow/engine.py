@@ -26,6 +26,12 @@ complete the picture:
   :class:`~repro.chaos.ChaosController` is armed, every task *attempt*
   is perturbed through it (inside the retry loop), turning any workflow
   into a seeded chaos drill.
+
+Per-task concerns compose as :class:`TaskMiddleware` — the engine-level
+sibling of the SOAP stack's :mod:`repro.ws.pipeline` chains.  Each
+middleware wraps the task's attempt runner; the default stack is derived
+from the armed chaos controller (:class:`ChaosMiddleware`), and an
+explicit ``middleware=[...]`` (as :mod:`repro.cli` wires) replaces it.
 """
 
 from __future__ import annotations
@@ -77,18 +83,54 @@ class RunResult:
         return self.finished_at - self.started_at
 
 
+class TaskMiddleware:
+    """One engine-level chain step wrapping a task's attempt runner.
+
+    :meth:`wrap` receives the task and the runner below it (ultimately
+    ``task.tool.run``) and returns a runner with the same
+    ``(inputs, parameters) -> outputs`` signature.  The composed runner
+    is handed to the retry policy, so every *attempt* passes through
+    the whole middleware stack independently.
+    """
+
+    name = "middleware"
+
+    def wrap(self, task: Task, runner):
+        """Return a (possibly wrapped) attempt runner for *task*."""
+        return runner
+
+
+class ChaosMiddleware(TaskMiddleware):
+    """Perturb every task attempt through a chaos controller."""
+
+    name = "chaos"
+
+    def __init__(self, controller):
+        self.controller = controller
+
+    def wrap(self, task: Task, runner):
+        def perturbed(ins, params):
+            self.controller.perturb(f"task:{task.name}")
+            return runner(ins, params)
+        return perturbed
+
+
 class WorkflowEngine:
     """Threaded dataflow enactor."""
 
     def __init__(self, max_workers: int = 8,
                  events: EventBus | None = None,
                  retry_policy=None, allow_partial: bool = False,
-                 clock: Clock = SYSTEM_CLOCK):
+                 clock: Clock = SYSTEM_CLOCK,
+                 middleware: list[TaskMiddleware] | None = None):
         self.max_workers = max_workers
         self.events = events or EventBus()
         self.retry_policy = retry_policy
         self.allow_partial = allow_partial
         self.clock = clock
+        # None = derive per run from the armed chaos controller;
+        # an explicit list (even []) replaces that default
+        self.middleware = middleware
 
     def run(self, graph: TaskGraph,
             inputs: dict[tuple[str, int], Any] | None = None,
@@ -145,7 +187,11 @@ class WorkflowEngine:
         errors: list[Exception] = []
         done = threading.Event()
         executor = ThreadPoolExecutor(max_workers=self.max_workers)
-        controller = chaos.active()
+        middleware = self.middleware
+        if middleware is None:
+            controller = chaos.active()
+            middleware = [ChaosMiddleware(controller)] \
+                if controller is not None else []
 
         def gather_inputs(task: Task) -> list[Any]:
             row: list[Any] = [None] * task.num_inputs
@@ -229,10 +275,12 @@ class WorkflowEngine:
                     ins = gather_inputs(task)
                     params = task.effective_parameters()
                     runner = None
-                    if controller is not None:
-                        def runner(i, p, _t=task):
-                            controller.perturb(f"task:{_t.name}")
+                    if middleware:
+                        def base(i, p, _t=task):
                             return _t.tool.run(i, p)
+                        runner = base
+                        for step in reversed(middleware):
+                            runner = step.wrap(task, runner)
                     if self.retry_policy is not None:
                         outs = self.retry_policy.run_task(
                             task, ins, params, runner=runner)
@@ -263,6 +311,10 @@ class WorkflowEngine:
                         ready.append(graph.task(cable.target))
                 finished = settled_count() == len(graph.tasks)
             for nxt in ready:
+                # a fatal failure elsewhere has already settled the run:
+                # stop scheduling new work instead of racing the shutdown
+                if done.is_set():
+                    break
                 executor.submit(execute, nxt)
             if finished:
                 done.set()

@@ -15,10 +15,18 @@ from repro.ws import payload
 from repro.ws.payload import (PayloadMissError, PayloadRef, PayloadStore,
                               get_payload_store)
 from repro.ws.registry import RegistryEntry, RegistryService, UDDIRegistry
-from repro.ws.transport import (LAN, WAN, FailingTransport,
-                                InProcessTransport, NetworkModel,
-                                SimulatedTransport, Transport,
-                                apply_deadline)
+from repro.ws.transport import (LAN, WAN, ChainedTransport,
+                                FailingTransport, InProcessTransport,
+                                NetworkModel, SimulatedTransport,
+                                Transport, apply_deadline)
+from repro.ws import pipeline
+from repro.ws.pipeline import (CallContext, ClientInterceptor,
+                               DispatchContext, ServerHandler,
+                               chain_insert_after, chain_insert_before,
+                               chain_names, chain_without,
+                               default_proxy_interceptors,
+                               default_server_handlers,
+                               default_transport_interceptors)
 from repro.ws import wsdl
 
 __all__ = [
@@ -29,8 +37,14 @@ __all__ = [
     "ServiceContainer", "ServiceStats", "LIFECYCLES",
     "SoapHttpServer", "ServiceProxy", "HttpTransport", "fetch_url",
     "UDDIRegistry", "RegistryService", "RegistryEntry",
-    "Transport", "InProcessTransport", "SimulatedTransport",
-    "FailingTransport", "NetworkModel", "LAN", "WAN",
+    "Transport", "ChainedTransport", "InProcessTransport",
+    "SimulatedTransport", "FailingTransport", "NetworkModel", "LAN",
+    "WAN",
+    "pipeline", "ClientInterceptor", "ServerHandler", "CallContext",
+    "DispatchContext", "chain_names", "chain_without",
+    "chain_insert_before", "chain_insert_after",
+    "default_transport_interceptors", "default_proxy_interceptors",
+    "default_server_handlers",
     "Deadline", "deadline_scope", "current_deadline", "apply_deadline",
     "DEADLINE_FAULTCODE", "CircuitBreaker",
     "payload", "PayloadRef", "PayloadStore", "PayloadMissError",

@@ -1,131 +1,30 @@
-"""Client-side service access: HTTP transport and dynamic proxies.
+"""Client-side service access: dynamic proxies over any transport.
 
 :class:`ServiceProxy` is the client half of the paper's WSDL import: given a
 WSDL document (or a ``?wsdl`` URL) it exposes each operation as a Python
 method, validating parameter names before anything goes on the wire — the
 same early feedback the Triana tools give.
+
+A call runs the proxy's :mod:`repro.ws.pipeline` interceptor chain
+(deadline → breaker → trace → metrics by default, see
+:func:`repro.ws.pipeline.default_proxy_interceptors`) into
+``transport.send``; pass ``interceptors=`` to install a custom chain.
+:class:`~repro.ws.transport.HttpTransport` itself lives in
+:mod:`repro.ws.transport` and is re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
 import http.client
-import time
 from typing import Any
 from urllib.parse import urlparse
 
 from repro.data import cache as datacache
-from repro.errors import DeadlineExceeded, TransportError, WsdlError
-from repro.obs import get_metrics, get_tracer
-from repro.ws import payload, soap, wsdl
-from repro.ws.breaker import CircuitBreaker
-from repro.ws.deadline import current_deadline
-from repro.ws.soap import SoapRequest, SoapResponse
-from repro.ws.transport import (Transport, apply_deadline,
-                                payload_fallback,
-                                record_transport_metrics,
-                                stamp_trace_context)
-
-
-class HttpTransport(Transport):
-    """SOAP POST over a persistent HTTP connection.
-
-    Bodies above :data:`repro.ws.payload.COMPRESS_MIN_BYTES` go out
-    gzip-compressed (``Content-Encoding: gzip``), and every request
-    advertises ``Accept-Encoding: gzip`` so a compressing server can
-    answer in kind; a peer that ignores both stays fully interoperable.
-    Pass ``compress=False`` to negotiate identity encoding only.
-    """
-
-    def __init__(self, endpoint: str, timeout: float = 30.0,
-                 compress: bool = True):
-        self.endpoint = endpoint
-        parsed = urlparse(endpoint)
-        if parsed.scheme != "http" or not parsed.hostname:
-            raise TransportError(f"unsupported endpoint {endpoint!r}")
-        self._host = parsed.hostname
-        self._port = parsed.port or 80
-        self._path = parsed.path or "/"
-        self._timeout = timeout
-        self._conn: http.client.HTTPConnection | None = None
-        self.compress = compress
-        self.bytes_sent = 0
-        self.bytes_received = 0
-        self._peer = payload.PeerState()
-
-    def _connection(self) -> http.client.HTTPConnection:
-        if self._conn is None:
-            self._conn = http.client.HTTPConnection(
-                self._host, self._port, timeout=self._timeout)
-        return self._conn
-
-    def send(self, request: SoapRequest) -> SoapResponse:
-        """Deliver one SOAP request; returns the SOAP response."""
-        start = time.perf_counter()
-        with get_tracer().span("send:http",
-                               {"endpoint": self.endpoint}) as span:
-            stamp_trace_context(request, span)
-            apply_deadline(request)
-            return payload_fallback(
-                lambda outbound: self._exchange(outbound, span, start),
-                request, self._peer)
-
-    def _exchange(self, request: SoapRequest, span,
-                  start: float) -> SoapResponse:
-        encoded = soap.encode_request(request)
-        headers = {
-            "Content-Type": "text/xml; charset=utf-8",
-            "SOAPAction": f'"{request.operation}"',
-        }
-        wire = encoded
-        if self.compress:
-            headers["Accept-Encoding"] = "gzip"
-            wire, encoding = payload.maybe_compress(encoded)
-            if encoding:
-                headers["Content-Encoding"] = encoding
-        self.bytes_sent += len(wire)
-        try:
-            conn = self._connection()
-            # never wait on the socket longer than the call's
-            # remaining budget allows
-            effective = self._timeout
-            if request.deadline_s is not None:
-                effective = min(effective, max(request.deadline_s,
-                                               1e-3))
-            conn.timeout = effective
-            if conn.sock is not None:
-                conn.sock.settimeout(effective)
-            conn.request("POST", self._path, body=wire, headers=headers)
-            http_response = conn.getresponse()
-            body = http_response.read()
-        except (OSError, http.client.HTTPException) as exc:
-            self.close()
-            get_metrics().counter("ws.transport.errors",
-                                  transport="http").inc()
-            if isinstance(exc, TimeoutError) and \
-                    request.deadline_s is not None and \
-                    request.deadline_s < self._timeout:
-                raise DeadlineExceeded(
-                    f"{self.endpoint} did not answer within the "
-                    f"remaining {request.deadline_s:.3f}s budget"
-                ) from exc
-            raise TransportError(
-                f"cannot reach {self.endpoint}: {exc}") from exc
-        self.bytes_received += len(body)
-        span.set_attribute("bytes_sent", len(wire))
-        span.set_attribute("bytes_received", len(body))
-        span.set_attribute("payload_refs", len(payload.refs_in(request)))
-        span.set_attribute("http_status", http_response.status)
-        record_transport_metrics("http", time.perf_counter() - start,
-                                 len(wire), len(body))
-        body = payload.decompress(
-            body, http_response.getheader("Content-Encoding"))
-        return soap.decode_response(body)  # raises SoapFault on faults
-
-    def close(self) -> None:
-        """Release underlying resources."""
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+from repro.errors import TransportError, WsdlError
+from repro.obs import get_metrics
+from repro.ws import pipeline, wsdl
+from repro.ws.soap import SoapRequest
+from repro.ws.transport import HttpTransport, Transport  # noqa: F401
 
 
 def fetch_url(url: str, timeout: float = 30.0) -> str:
@@ -172,19 +71,21 @@ class ServiceProxy:
     presumed dead, instead of paying a full transport timeout per call.
     Only delivery failures (:class:`TransportError`/``OSError``) count
     against the breaker — a SOAP fault proves the endpoint is alive.
+    The breaker rides in the chain's ``breaker`` step
+    (:class:`~repro.ws.pipeline.BreakerGate`).
     """
 
     def __init__(self, description: wsdl.WsdlDescription,
                  transport: Transport,
-                 breaker: CircuitBreaker | None = None):
+                 breaker=None, interceptors=None):
         self.description = description
         self.transport = transport
         self.breaker = breaker
+        self.interceptors = list(interceptors) if interceptors is not None \
+            else pipeline.default_proxy_interceptors(breaker)
 
     @classmethod
-    def from_wsdl_url(cls, url: str,
-                      breaker: CircuitBreaker | None = None
-                      ) -> "ServiceProxy":
+    def from_wsdl_url(cls, url: str, breaker=None) -> "ServiceProxy":
         """Build a proxy by fetching and parsing a ``?wsdl`` URL.
 
         Descriptions are cached per URL (bounded LRU), so re-importing
@@ -207,10 +108,10 @@ class ServiceProxy:
 
     @classmethod
     def from_wsdl_text(cls, document: str, transport: Transport,
-                       breaker: CircuitBreaker | None = None
-                       ) -> "ServiceProxy":
+                       breaker=None, interceptors=None) -> "ServiceProxy":
         """Build a proxy from WSDL text with an explicit transport."""
-        return cls(wsdl.parse(document), transport, breaker=breaker)
+        return cls(wsdl.parse(document), transport, breaker=breaker,
+                   interceptors=interceptors)
 
     def operations(self) -> list[str]:
         """Sorted operation names offered by the service."""
@@ -236,42 +137,11 @@ class ServiceProxy:
                 f"{missing}")
         service = self.description.service
         request = SoapRequest(service, operation, params)
-        deadline = current_deadline()
-        if deadline is not None:
-            # fail fast before building any wire bytes
-            deadline.check(f"{service}.{operation}")
-            request.deadline_s = deadline.remaining()
-        if self.breaker is not None:
-            self.breaker.ensure_closed(f"{service}.{operation}")
-        start = time.perf_counter()
-        with get_tracer().span(f"soap:{service}.{operation}") as span:
-            # client-side injection: the proxy's span becomes the parent
-            # of every server-side span for this invocation
-            stamp_trace_context(request, span)
-            try:
-                result = self.transport.send(request).result
-            except (TransportError, OSError):
-                if self.breaker is not None:
-                    self.breaker.record_failure()
-                raise
-            except DeadlineExceeded:
-                raise  # a spent budget says nothing about endpoint health
-            except Exception:
-                # the endpoint answered (a fault is still an answer)
-                if self.breaker is not None:
-                    self.breaker.record_success()
-                raise
-            else:
-                if self.breaker is not None:
-                    self.breaker.record_success()
-                return result
-            finally:
-                elapsed = time.perf_counter() - start
-                metrics = get_metrics()
-                metrics.counter("ws.client.calls", service=service,
-                                operation=operation).inc()
-                metrics.histogram("ws.client.seconds", service=service,
-                                  operation=operation).observe(elapsed)
+        ctx = pipeline.CallContext(kind="client", service=service,
+                                   operation=operation)
+        response = pipeline.run_chain(self.interceptors, request, ctx,
+                                      self.transport.send)
+        return response.result
 
     def __getattr__(self, name: str):
         if name.startswith("_") or name not in \

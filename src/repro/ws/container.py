@@ -21,13 +21,17 @@ The paper's key performance observation:
 Both lifecycles are observable through per-service :class:`ServiceStats`
 (invocation counts, serialisation time, bytes), which the PERF-4.5 bench
 reports.
+
+Dispatch itself is a :mod:`repro.ws.pipeline` handler chain (trace join,
+deployment resolution, deadline re-anchoring, invocation stats, result
+cache, lifecycle acquire/release, fault mapping — see
+:func:`repro.ws.pipeline.default_server_handlers`); :meth:`invoke` just
+runs the chain into the actual method dispatch.  Pass ``handlers=`` to
+install a custom chain.
 """
 
 from __future__ import annotations
 
-import copy
-import hashlib
-import json
 import pickle
 import tempfile
 import threading
@@ -36,35 +40,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
-from repro.data import cache as datacache
-from repro.errors import DeadlineExceeded, ServiceError
-from repro.obs import SpanContext, get_metrics, get_tracer
-from repro.ws.deadline import deadline_scope
+from repro.errors import ServiceError
+from repro.ws import pipeline
+from repro.ws.pipeline import (RESULT_CACHE_ENTRIES,  # noqa: F401
+                               DispatchContext, _params_digest,
+                               _result_cache, reset_result_cache)
 from repro.ws.service import ServiceDefinition
-from repro.ws.soap import (DEADLINE_FAULTCODE, SoapFault, SoapRequest,
-                           SoapResponse)
+from repro.ws.soap import SoapFault, SoapRequest, SoapResponse
 
 LIFECYCLES = ("harness", "serialize")
-
-#: Idempotent results kept process-wide (LRU beyond this).
-RESULT_CACHE_ENTRIES = 256
-
-#: Process-global idempotent-result cache.  ``cacheable=True`` declares
-#: an operation *pure* — its result is a function of its arguments — so
-#: results are shareable across every container hosting the same
-#: implementation class (the class is part of the key).
-_result_cache = datacache.LruCache(RESULT_CACHE_ENTRIES)
-
-
-def reset_result_cache() -> None:
-    """Drop all cached operation results (test isolation)."""
-    _result_cache.clear()
-
-
-def _params_digest(params: dict[str, Any]) -> str:
-    """Order-independent content digest of one call's arguments."""
-    canonical = json.dumps(params, sort_keys=True, default=repr)
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -98,19 +82,24 @@ class _Deployment:
     stats: ServiceStats = field(default_factory=ServiceStats)
     instance: Any = None
     state_path: Path | None = None
-    lock: threading.Lock = field(default_factory=threading.Lock)
+    # re-entrant: the serialize lifecycle holds it across the dispatch
+    # while inner handlers (stats, faults) briefly take it again
+    lock: threading.RLock = field(default_factory=threading.RLock)
 
 
 class ServiceContainer:
     """Hosts service deployments and dispatches SOAP requests to them."""
 
     def __init__(self, name: str = "container",
-                 state_dir: str | Path | None = None):
+                 state_dir: str | Path | None = None,
+                 handlers=None):
         self.name = name
         self._deployments: dict[str, _Deployment] = {}
         self._state_dir = Path(state_dir) if state_dir else \
             Path(tempfile.mkdtemp(prefix="repro-ws-"))
         self._state_dir.mkdir(parents=True, exist_ok=True)
+        self.handlers = list(handlers) if handlers is not None \
+            else pipeline.default_server_handlers()
 
     # -- deployment ---------------------------------------------------------
     def deploy(self, service_cls: type, name: str | None = None,
@@ -166,102 +155,20 @@ class ServiceContainer:
 
     # -- invocation ----------------------------------------------------------
     def invoke(self, request: SoapRequest) -> SoapResponse:
-        """Dispatch one request through the deployment's lifecycle."""
-        tracer = get_tracer()
-        # server-side span: join the client's trace when the request
-        # carries a <repro:TraceContext> header and no local span (an
-        # HTTP handler or in-process transport span) is already active
-        parent = tracer.current_span()
-        if parent is None and request.trace_id:
-            parent = SpanContext(request.trace_id, request.parent_span_id)
-        name = f"dispatch:{request.service}.{request.operation}"
-        with tracer.span(name, {"container": self.name},
-                         parent=parent) as span:
-            dep = self._deployment(request.service)
-            span.set_attribute("lifecycle", dep.lifecycle)
-            # re-anchor the caller's remaining budget on this host's
-            # clock; every call the service itself makes inherits it
-            with deadline_scope(request.deadline_s) as deadline:
-                if deadline is not None and deadline.expired:
-                    self._count_fault(request)
-                    get_metrics().counter(
-                        "ws.server.deadline_rejections",
-                        service=request.service).inc()
-                    raise SoapFault(
-                        DEADLINE_FAULTCODE,
-                        f"time budget exhausted before dispatching "
-                        f"{request.service}.{request.operation}")
-                return self._dispatch_locked(dep, request)
+        """Dispatch one request through the handler chain."""
+        ctx = DispatchContext(container=self)
+        return pipeline.run_chain(
+            self.handlers, request, ctx,
+            lambda req: self._dispatch(req, ctx))
 
-    def _dispatch_locked(self, dep: _Deployment,
-                         request: SoapRequest) -> SoapResponse:
-        metrics = get_metrics()
-        with dep.lock:
-            dep.stats.invocations += 1
-            info = dep.definition.operations.get(request.operation)
-            cache_key = None
-            if info is not None and info.cacheable and \
-                    datacache.enabled():
-                cache_key = (dep.definition.cls, request.operation,
-                             _params_digest(request.params))
-                hit = _result_cache.get(cache_key)
-                if hit is not None:
-                    result, approx_bytes = hit
-                    dep.stats.cache_hits += 1
-                    metrics.counter("ws.cache.result.hits",
-                                    service=request.service).inc()
-                    metrics.counter("ws.cache.result.bytes_saved",
-                                    service=request.service
-                                    ).inc(approx_bytes)
-                    # deep-copied: callers own their result objects
-                    return SoapResponse(service=request.service,
-                                        operation=request.operation,
-                                        result=copy.deepcopy(result))
-                metrics.counter("ws.cache.result.misses",
-                                service=request.service).inc()
-            instance = self._acquire(dep)
-            start = time.perf_counter()
-            try:
-                result = dep.definition.dispatch(
-                    instance, request.operation, request.params)
-            except SoapFault:
-                dep.stats.faults += 1
-                self._count_fault(request)
-                raise
-            except DeadlineExceeded as exc:
-                # a nested call ran out of budget mid-dispatch; surface
-                # it under the dedicated fault code so the caller's
-                # client resurfaces DeadlineExceeded, not a retriable
-                # server fault
-                dep.stats.faults += 1
-                self._count_fault(request)
-                raise SoapFault(DEADLINE_FAULTCODE, str(exc)) from exc
-            except Exception as exc:
-                dep.stats.faults += 1
-                self._count_fault(request)
-                raise SoapFault("soapenv:Server", str(exc),
-                                detail=type(exc).__name__) from exc
-            finally:
-                elapsed = time.perf_counter() - start
-                dep.stats.dispatch_seconds += elapsed
-                get_metrics().histogram(
-                    "ws.server.dispatch.seconds",
-                    service=request.service,
-                    operation=request.operation).observe(elapsed)
-                self._release(dep, instance)
-            if cache_key is not None:
-                # estimate the dispatch cost a future hit avoids by the
-                # canonical size of the answer
-                approx_bytes = len(json.dumps(result, default=repr))
-                _result_cache.put(
-                    cache_key, (copy.deepcopy(result), approx_bytes))
+    def _dispatch(self, request: SoapRequest,
+                  ctx: DispatchContext) -> SoapResponse:
+        """The chain terminal: the actual operation dispatch."""
+        dep = ctx.deployment
+        result = dep.definition.dispatch(
+            ctx.properties["instance"], request.operation, request.params)
         return SoapResponse(service=request.service,
                             operation=request.operation, result=result)
-
-    @staticmethod
-    def _count_fault(request: SoapRequest) -> None:
-        get_metrics().counter("ws.server.faults", service=request.service,
-                              operation=request.operation).inc()
 
     def call(self, service: str, operation: str, **params: Any) -> Any:
         """Convenience in-process invocation."""

@@ -10,40 +10,40 @@
 Addresses follow the paper's convention of one endpoint per service, so the
 workflow engine can show "a URL specifying the location of the WSDL document"
 for each imported tool.
+
+The handler here is pure HTTP mechanics (routing, header parsing, byte
+I/O); everything between "POST body arrived" and "bytes to answer with"
+— decompression, envelope decode, deadline shedding, tracing, fault
+mapping, response compression, metrics — lives in
+:class:`repro.ws.pipeline.HttpGateway`, keeping this module free of
+policy imports (enforced by ``tools/layering_lint.py``).
 """
 
 from __future__ import annotations
 
 import threading
-import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlparse
 
-from repro.errors import DeadlineExceeded, ServiceError, TransportError
-from repro.obs import SpanContext, get_metrics, get_tracer
-from repro.ws import payload as wspayload
-from repro.ws import soap, wsdl
+from repro.errors import ServiceError
+from repro.ws import wsdl
 from repro.ws.container import ServiceContainer
-from repro.ws.payload import PayloadMissError
-from repro.ws.soap import DEADLINE_FAULTCODE, SoapFault
+from repro.ws.pipeline import HttpGateway
+from repro.ws.soap import SoapFault
 
 
 class _Handler(BaseHTTPRequestHandler):
     server_version = "ReproSOAP/1.0"
     container: ServiceContainer  # injected by the server factory
+    gateway: HttpGateway         # injected by the server factory
     base_url: str
-    compress: bool = True  # gzip responses for gzip-accepting clients
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # keep test output clean; stats live on the container
 
     def _send(self, status: int, body: bytes,
               content_type: str = "text/xml; charset=utf-8",
-              allow_gzip: bool = False) -> None:
-        encoding = None
-        if allow_gzip and self.compress and "gzip" in \
-                (self.headers.get("Accept-Encoding") or "").lower():
-            body, encoding = wspayload.maybe_compress(body)
+              encoding: str | None = None) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         if encoding:
@@ -84,63 +84,11 @@ class _Handler(BaseHTTPRequestHandler):
             return
         length = int(self.headers.get("Content-Length", "0"))
         raw = self.rfile.read(length)
-        start = time.perf_counter()
-        status = 200
-        tracer = get_tracer()
-        try:
-            try:
-                raw = wspayload.decompress(
-                    raw, self.headers.get("Content-Encoding"))
-            except TransportError as exc:
-                self._send(400, str(exc).encode(), "text/plain")
-                status = 400
-                return
-            request = soap.decode_request(raw)
-            request.service = name  # the URL wins over the envelope
-            if request.deadline_s is not None and request.deadline_s <= 0:
-                # budget already spent: reject before dispatch so a
-                # hammered server sheds doomed work at the front door
-                get_metrics().counter("ws.http.deadline_rejections",
-                                      service=name).inc()
-                raise DeadlineExceeded(
-                    f"time budget exhausted before dispatching "
-                    f"POST /services/{name}")
-            # tag the handler span with the trace context the SOAP
-            # header carried, so server-side spans join the client trace
-            parent = SpanContext(request.trace_id,
-                                 request.parent_span_id) \
-                if request.trace_id else None
-            with tracer.span(f"http:POST /services/{name}",
-                             {"request_bytes": len(raw)},
-                             parent=parent) as span:
-                response = self.container.invoke(request)
-                body = soap.encode_response(response)
-                span.set_attribute("response_bytes", len(body))
-                span.set_attribute("http_status", status)
-            self._send(200, body, allow_gzip=True)
-        except PayloadMissError as exc:
-            # the client referenced a blob this process does not hold:
-            # answer with the dedicated fault so it resends inline
-            status = 500
-            self._send(500, soap.encode_fault(SoapFault(
-                wspayload.MISS_FAULTCODE, str(exc), detail=exc.digest)))
-        except SoapFault as fault:
-            status = 500
-            self._send(500, soap.encode_fault(fault))
-        except DeadlineExceeded as exc:
-            status = 500
-            self._send(500, soap.encode_fault(
-                SoapFault(DEADLINE_FAULTCODE, str(exc))))
-        except ServiceError as exc:
-            status = 500
-            self._send(500, soap.encode_fault(
-                SoapFault("soapenv:Server", str(exc))))
-        finally:
-            metrics = get_metrics()
-            metrics.counter("ws.http.requests", service=name,
-                            status=status).inc()
-            metrics.histogram("ws.http.seconds", service=name).observe(
-                time.perf_counter() - start)
+        status, body, content_type, encoding = self.gateway.post(
+            name, raw,
+            content_encoding=self.headers.get("Content-Encoding"),
+            accept_encoding=self.headers.get("Accept-Encoding"))
+        self._send(status, body, content_type, encoding)
 
 
 class SoapHttpServer:
@@ -153,8 +101,8 @@ class SoapHttpServer:
         self.port = self._httpd.server_address[1]
         self.base_url = f"http://127.0.0.1:{self.port}"
         handler.container = container
+        handler.gateway = HttpGateway(container, compress=compress)
         handler.base_url = self.base_url
-        handler.compress = compress
         self.container = container
         self._thread: threading.Thread | None = None
 

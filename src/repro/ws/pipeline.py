@@ -1,0 +1,781 @@
+"""Composable interceptor pipelines — the Axis handler-chain analogue.
+
+The paper's services run under Tomcat/Axis, where every message passes
+through configurable *handler chains* before and after the actual
+transport/dispatch.  This module is our equivalent: the cross-cutting
+concerns that used to live inline in ``HttpTransport.send``,
+``ServiceProxy.call`` and ``ServiceContainer.invoke`` are each one named
+:class:`ClientInterceptor` / :class:`ServerHandler`, composed into
+ordered chains around a *terminal* (the pure byte mover or the actual
+method dispatch).
+
+Every step sees the :class:`~repro.ws.soap.SoapRequest`, a per-call
+context, and a ``proceed(request)`` continuation for the rest of the
+chain — so a step may observe, rewrite, short-circuit (return without
+calling ``proceed``), or wrap the call in ``try``/``finally``.
+
+Default orders (outermost first; names are stable API):
+
+* client proxy   (``ServiceProxy.call``):
+  ``deadline → breaker → trace → metrics → transport.send``
+* client transport (any :class:`~repro.ws.transport.ChainedTransport`):
+  ``trace → metrics → deadline → [gzip] → payload → _exchange``
+* server container (``ServiceContainer.invoke``):
+  ``trace → resolve → deadline → stats → cache → lifecycle → faults
+  → dispatch``
+
+Byte movers stay free of policy imports (no :mod:`repro.obs`, no
+breaker, no chaos — enforced by ``tools/layering_lint.py``): they report
+wire telemetry through :meth:`CallContext.note` (picked up by the trace
+step) and the :attr:`CallContext.on_wire` /
+:attr:`CallContext.on_transport_error` / :attr:`CallContext.emit_counter`
+callbacks (installed by the metrics step), so a chain without those
+steps simply records nothing.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.data import cache as datacache
+from repro.errors import (DeadlineExceeded, ServiceError, TransportError)
+from repro.obs import SpanContext, get_metrics, get_tracer
+from repro.ws import payload, soap
+from repro.ws.deadline import current_deadline, deadline_scope
+from repro.ws.payload import PayloadMissError
+from repro.ws.soap import (DEADLINE_FAULTCODE, SoapFault, SoapRequest,
+                           SoapResponse)
+
+Proceed = Callable[[SoapRequest], SoapResponse]
+
+
+def _noop_on_wire(bytes_sent: int, bytes_received: int) -> None:
+    pass
+
+
+def _noop_on_transport_error() -> None:
+    pass
+
+
+def _noop_emit_counter(name: str, amount: float = 1.0) -> None:
+    pass
+
+
+@dataclass
+class CallContext:
+    """Per-call state shared along one client chain.
+
+    ``notes`` is the telemetry side channel from the byte mover to the
+    trace step (copied onto the ``send:*`` span when the chain has one);
+    the three callbacks are installed by :class:`TransportMetrics` and
+    default to no-ops, so movers can report without importing any
+    metrics machinery.
+    """
+
+    kind: str                      # "http" | "inprocess" | "simulated" | …
+    endpoint: str = ""
+    service: str = ""
+    operation: str = ""
+    properties: dict[str, Any] = field(default_factory=dict)
+    notes: dict[str, Any] = field(default_factory=dict)
+    on_wire: Callable[[int, int], None] = _noop_on_wire
+    on_transport_error: Callable[[], None] = _noop_on_transport_error
+    emit_counter: Callable[..., None] = _noop_emit_counter
+
+    def note(self, key: str, value: Any) -> None:
+        """Record one span attribute for the chain's trace step."""
+        self.notes[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read one chain property (e.g. the gzip step's flag)."""
+        return self.properties.get(key, default)
+
+
+@dataclass
+class DispatchContext:
+    """Per-call state shared along one server (container) chain."""
+
+    container: Any                 # the owning ServiceContainer
+    deployment: Any = None         # set by ResolveDeployment
+    span: Any = None               # set by DispatchTrace
+    properties: dict[str, Any] = field(default_factory=dict)
+
+
+class ClientInterceptor:
+    """One client-side chain step; subclass and override :meth:`intercept`.
+
+    ``name`` identifies the step for :func:`chain_names` /
+    :func:`chain_without` / :func:`chain_insert_before` composition.
+    """
+
+    name = "interceptor"
+
+    def intercept(self, request: SoapRequest, ctx: CallContext,
+                  proceed: Proceed) -> SoapResponse:
+        """Handle one call; delegate to the rest of the chain via
+        ``proceed(request)`` (or short-circuit by not calling it)."""
+        return proceed(request)
+
+    def __call__(self, request: SoapRequest, ctx: Any,
+                 proceed: Proceed) -> SoapResponse:
+        return self.intercept(request, ctx, proceed)
+
+
+class ServerHandler:
+    """One server-side chain step; subclass and override :meth:`handle`."""
+
+    name = "handler"
+
+    def handle(self, request: SoapRequest, ctx: DispatchContext,
+               proceed: Proceed) -> SoapResponse:
+        """Handle one dispatch; delegate to the rest of the chain via
+        ``proceed(request)`` (or short-circuit by not calling it)."""
+        return proceed(request)
+
+    def __call__(self, request: SoapRequest, ctx: Any,
+                 proceed: Proceed) -> SoapResponse:
+        return self.handle(request, ctx, proceed)
+
+
+def run_chain(steps, request: SoapRequest, ctx: Any,
+              terminal: Proceed) -> SoapResponse:
+    """Thread *request* through *steps* (outermost first) into *terminal*.
+
+    Each step receives the continuation of everything after it; a step
+    that never calls ``proceed`` short-circuits the rest of the chain.
+    """
+    def at(index: int, req: SoapRequest) -> SoapResponse:
+        if index == len(steps):
+            return terminal(req)
+        return steps[index](req, ctx, lambda r: at(index + 1, r))
+    return at(0, request)
+
+
+# -- chain composition helpers ---------------------------------------------
+
+def chain_names(steps) -> list[str]:
+    """The stable step names of a chain, outermost first."""
+    return [step.name for step in steps]
+
+
+def _position(steps, name: str) -> int:
+    for index, step in enumerate(steps):
+        if step.name == name:
+            return index
+    raise ValueError(f"chain has no step named {name!r}; "
+                     f"present: {chain_names(steps)}")
+
+
+def chain_without(steps, name: str) -> list:
+    """A copy of *steps* with every step named *name* removed."""
+    return [step for step in steps if step.name != name]
+
+
+def chain_insert_before(steps, name: str, step) -> list:
+    """A copy of *steps* with *step* inserted before the step *name*."""
+    out = list(steps)
+    out.insert(_position(out, name), step)
+    return out
+
+
+def chain_insert_after(steps, name: str, step) -> list:
+    """A copy of *steps* with *step* inserted after the step *name*."""
+    out = list(steps)
+    out.insert(_position(out, name) + 1, step)
+    return out
+
+
+# -- shared helpers (formerly in repro.ws.transport) ------------------------
+
+def stamp_trace_context(request: SoapRequest, span) -> None:
+    """Inject *span*'s trace context into an unstamped request.
+
+    A request already carrying a trace id keeps it (the outermost hop —
+    usually the client proxy — wins), so wrapped transports don't
+    overwrite the caller's context.
+    """
+    if span.recording and not request.trace_id:
+        request.trace_id = span.trace_id
+        request.parent_span_id = span.span_id
+
+
+def apply_deadline(request: SoapRequest) -> None:
+    """Enforce + propagate the ambient deadline on an outgoing request.
+
+    Fails fast (:class:`~repro.errors.DeadlineExceeded`) when the budget
+    is already spent, and stamps the remaining seconds onto an unstamped
+    request so every hop below this one inherits the (shrinking) budget.
+    An explicit ``deadline_s`` set by the caller wins.
+    """
+    deadline = current_deadline()
+    if deadline is None:
+        return
+    deadline.check(f"send {request.service}.{request.operation}")
+    if request.deadline_s is None:
+        request.deadline_s = deadline.remaining()
+
+
+def record_transport_metrics(transport: str, seconds: float,
+                             bytes_sent: int, bytes_received: int) -> None:
+    """File one send's latency + byte counts under the global registry."""
+    metrics = get_metrics()
+    metrics.histogram("ws.transport.seconds",
+                      transport=transport).observe(seconds)
+    metrics.counter("ws.transport.messages", transport=transport).inc()
+    metrics.counter("ws.transport.bytes_sent",
+                    transport=transport).inc(bytes_sent)
+    metrics.counter("ws.transport.bytes_received",
+                    transport=transport).inc(bytes_received)
+
+
+def payload_fallback(send_once, request: SoapRequest,
+                     peer: payload.PeerState) -> SoapResponse:
+    """Externalize + send, with the transparent full-payload fallback.
+
+    First attempt goes out with by-reference params for everything the
+    peer is believed to hold.  A :class:`PayloadMissError` (the peer
+    lost — or never had — a referenced blob, or a ref was corrupted in
+    flight) clears the peer record and resends the original request
+    fully inline, so callers never observe the miss.
+    """
+    try:
+        return send_once(payload.externalize(request, peer))
+    except PayloadMissError:
+        get_metrics().counter("ws.payload.fallbacks").inc()
+        peer.clear()
+        return send_once(payload.internalize(request))
+
+
+# -- client transport interceptors ------------------------------------------
+
+class TransportTrace(ClientInterceptor):
+    """Open the ``send:<kind>`` span and stamp the trace context.
+
+    The byte mover's :meth:`CallContext.note` entries become span
+    attributes when the send finishes (successfully or not), mirroring
+    the attribute sets the pre-chain transports recorded inline.
+    """
+
+    name = "trace"
+
+    def intercept(self, request, ctx, proceed):
+        attrs = {"endpoint": ctx.endpoint} if ctx.endpoint else None
+        with get_tracer().span(f"send:{ctx.kind}", attrs) as span:
+            stamp_trace_context(request, span)
+            try:
+                return proceed(request)
+            finally:
+                for key, value in ctx.notes.items():
+                    span.set_attribute(key, value)
+
+
+class TransportMetrics(ClientInterceptor):
+    """Install the metric callbacks the byte mover reports through.
+
+    The mover decides *when* a message pair counts (e.g. the simulated
+    transport files its cost even for fault responses, HTTP only once
+    the body was read) by invoking ``ctx.on_wire`` at exactly that
+    point — this step only decides *where* the numbers go.
+    """
+
+    name = "metrics"
+
+    def intercept(self, request, ctx, proceed):
+        start = time.perf_counter()
+        metrics = get_metrics()
+
+        def on_wire(bytes_sent: int, bytes_received: int) -> None:
+            record_transport_metrics(ctx.kind,
+                                     time.perf_counter() - start,
+                                     bytes_sent, bytes_received)
+
+        def on_transport_error() -> None:
+            metrics.counter("ws.transport.errors",
+                            transport=ctx.kind).inc()
+
+        def emit_counter(name: str, amount: float = 1.0) -> None:
+            metrics.counter(name).inc(amount)
+
+        ctx.on_wire = on_wire
+        ctx.on_transport_error = on_transport_error
+        ctx.emit_counter = emit_counter
+        return proceed(request)
+
+
+class DeadlineBudget(ClientInterceptor):
+    """Fail fast on a spent budget; stamp the remainder on the request."""
+
+    name = "deadline"
+
+    def intercept(self, request, ctx, proceed):
+        apply_deadline(request)
+        return proceed(request)
+
+
+class GzipNegotiation(ClientInterceptor):
+    """Advertise/request gzip content coding (HTTP transports only).
+
+    The mover honours ``ctx.properties["accept_gzip"]``; without this
+    step in the chain it defaults to identity encoding.
+    """
+
+    name = "gzip"
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+
+    def intercept(self, request, ctx, proceed):
+        ctx.properties["accept_gzip"] = self.enabled
+        return proceed(request)
+
+
+class PayloadRefs(ClientInterceptor):
+    """Substitute by-reference params for payloads the peer already holds.
+
+    Owns the per-connection :class:`~repro.ws.payload.PeerState`.  With
+    ``resend_on_miss=True`` (HTTP / in-process) a miss raised anywhere
+    below — including from the far side of the wire — clears the peer
+    record and transparently resends fully inline.  With ``False`` (the
+    simulated transport) only a miss during externalisation is healed;
+    a miss surfacing from the inner transport propagates, matching the
+    modelled network's pre-chain semantics.
+    """
+
+    name = "payload"
+
+    def __init__(self, resend_on_miss: bool = True):
+        self.peer = payload.PeerState()
+        self.resend_on_miss = resend_on_miss
+
+    def intercept(self, request, ctx, proceed):
+        if self.resend_on_miss:
+            return payload_fallback(proceed, request, self.peer)
+        try:
+            outbound = payload.externalize(request, self.peer)
+        except PayloadMissError:
+            get_metrics().counter("ws.payload.fallbacks").inc()
+            self.peer.clear()
+            outbound = payload.internalize(request)
+        return proceed(outbound)
+
+
+def default_transport_interceptors(*, compress: bool | None = None,
+                                   resend_on_miss: bool = True
+                                   ) -> list[ClientInterceptor]:
+    """The standard transport chain: trace → metrics → deadline
+    → [gzip] → payload.  ``compress`` adds the gzip step (HTTP);
+    ``resend_on_miss=False`` selects the simulated transport's
+    externalize-only miss fallback."""
+    steps: list[ClientInterceptor] = [TransportTrace(), TransportMetrics(),
+                                      DeadlineBudget()]
+    if compress is not None:
+        steps.append(GzipNegotiation(compress))
+    steps.append(PayloadRefs(resend_on_miss=resend_on_miss))
+    return steps
+
+
+# -- client proxy interceptors ----------------------------------------------
+
+class ProxyDeadline(ClientInterceptor):
+    """Fail fast before building any wire bytes; stamp the budget."""
+
+    name = "deadline"
+
+    def intercept(self, request, ctx, proceed):
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check(f"{ctx.service}.{ctx.operation}")
+            request.deadline_s = deadline.remaining()
+        return proceed(request)
+
+
+class BreakerGate(ClientInterceptor):
+    """Per-endpoint circuit breaking around the rest of the chain.
+
+    Only delivery failures (:class:`TransportError` / ``OSError``)
+    count against the breaker — a SOAP fault proves the endpoint is
+    alive, and a spent budget says nothing about endpoint health.
+    With no breaker configured the gate is a no-op.
+    """
+
+    name = "breaker"
+
+    def __init__(self, breaker=None):
+        self.breaker = breaker
+
+    def intercept(self, request, ctx, proceed):
+        if self.breaker is None:
+            return proceed(request)
+        self.breaker.ensure_closed(f"{ctx.service}.{ctx.operation}")
+        try:
+            response = proceed(request)
+        except (TransportError, OSError):
+            self.breaker.record_failure()
+            raise
+        except DeadlineExceeded:
+            raise
+        except Exception:
+            # the endpoint answered (a fault is still an answer)
+            self.breaker.record_success()
+            raise
+        self.breaker.record_success()
+        return response
+
+
+class CallTrace(ClientInterceptor):
+    """Open the client-side ``soap:<service>.<op>`` span.
+
+    Client-side injection: this span becomes the parent of every
+    server-side span for the invocation.
+    """
+
+    name = "trace"
+
+    def intercept(self, request, ctx, proceed):
+        with get_tracer().span(
+                f"soap:{ctx.service}.{ctx.operation}") as span:
+            stamp_trace_context(request, span)
+            return proceed(request)
+
+
+class CallMetrics(ClientInterceptor):
+    """Per-call count + latency, filed whether the call succeeds or not."""
+
+    name = "metrics"
+
+    def intercept(self, request, ctx, proceed):
+        start = time.perf_counter()
+        try:
+            return proceed(request)
+        finally:
+            elapsed = time.perf_counter() - start
+            metrics = get_metrics()
+            metrics.counter("ws.client.calls", service=ctx.service,
+                            operation=ctx.operation).inc()
+            metrics.histogram("ws.client.seconds", service=ctx.service,
+                              operation=ctx.operation).observe(elapsed)
+
+
+def default_proxy_interceptors(breaker=None) -> list[ClientInterceptor]:
+    """The standard proxy chain: deadline → breaker → trace → metrics.
+
+    Order is behavioural API: a spent deadline or an open breaker fails
+    the call before any span or metric is recorded.
+    """
+    return [ProxyDeadline(), BreakerGate(breaker), CallTrace(),
+            CallMetrics()]
+
+
+# -- server (container) handlers --------------------------------------------
+
+#: Idempotent results kept process-wide (LRU beyond this).
+RESULT_CACHE_ENTRIES = 256
+
+#: Process-global idempotent-result cache.  ``cacheable=True`` declares
+#: an operation *pure* — its result is a function of its arguments — so
+#: results are shareable across every container hosting the same
+#: implementation class (the class is part of the key).
+_result_cache = datacache.LruCache(RESULT_CACHE_ENTRIES)
+
+
+def reset_result_cache() -> None:
+    """Drop all cached operation results (test isolation)."""
+    _result_cache.clear()
+
+
+def _params_digest(params: dict[str, Any]) -> str:
+    """Order-independent content digest of one call's arguments."""
+    canonical = json.dumps(params, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _count_server_fault(request: SoapRequest) -> None:
+    get_metrics().counter("ws.server.faults", service=request.service,
+                          operation=request.operation).inc()
+
+
+class DispatchTrace(ServerHandler):
+    """Open the ``dispatch:`` span, joining the client's trace.
+
+    The request's ``<repro:TraceContext>`` header parents this span when
+    no local span (an HTTP handler or in-process transport span) is
+    already active.
+    """
+
+    name = "trace"
+
+    def handle(self, request, ctx, proceed):
+        tracer = get_tracer()
+        parent = tracer.current_span()
+        if parent is None and request.trace_id:
+            parent = SpanContext(request.trace_id, request.parent_span_id)
+        name = f"dispatch:{request.service}.{request.operation}"
+        with tracer.span(name, {"container": ctx.container.name},
+                         parent=parent) as span:
+            ctx.span = span
+            return proceed(request)
+
+
+class ResolveDeployment(ServerHandler):
+    """Bind the request's service name to a live deployment (or fault)."""
+
+    name = "resolve"
+
+    def handle(self, request, ctx, proceed):
+        ctx.deployment = ctx.container._deployment(request.service)
+        if ctx.span is not None:
+            ctx.span.set_attribute("lifecycle", ctx.deployment.lifecycle)
+        return proceed(request)
+
+
+class DeadlineAnchor(ServerHandler):
+    """Re-anchor the caller's remaining budget on this host's clock.
+
+    Every call the service itself makes inherits the scope; a budget
+    already spent is rejected before any lifecycle work happens.
+    """
+
+    name = "deadline"
+
+    def handle(self, request, ctx, proceed):
+        with deadline_scope(request.deadline_s) as deadline:
+            if deadline is not None and deadline.expired:
+                _count_server_fault(request)
+                get_metrics().counter(
+                    "ws.server.deadline_rejections",
+                    service=request.service).inc()
+                raise SoapFault(
+                    DEADLINE_FAULTCODE,
+                    f"time budget exhausted before dispatching "
+                    f"{request.service}.{request.operation}")
+            return proceed(request)
+
+
+class InvocationStats(ServerHandler):
+    """Count the invocation (cache hits and faults included)."""
+
+    name = "stats"
+
+    def handle(self, request, ctx, proceed):
+        dep = ctx.deployment
+        with dep.lock:
+            dep.stats.invocations += 1
+        return proceed(request)
+
+
+class ResultCache(ServerHandler):
+    """Answer repeat invocations of ``cacheable`` operations from cache.
+
+    A hit short-circuits the rest of the chain (no lifecycle work, no
+    dispatch); results are deep-copied both ways so callers own their
+    objects.
+    """
+
+    name = "cache"
+
+    def handle(self, request, ctx, proceed):
+        dep = ctx.deployment
+        info = dep.definition.operations.get(request.operation)
+        cache_key = None
+        if info is not None and info.cacheable and datacache.enabled():
+            metrics = get_metrics()
+            cache_key = (dep.definition.cls, request.operation,
+                         _params_digest(request.params))
+            hit = _result_cache.get(cache_key)
+            if hit is not None:
+                result, approx_bytes = hit
+                with dep.lock:
+                    dep.stats.cache_hits += 1
+                metrics.counter("ws.cache.result.hits",
+                                service=request.service).inc()
+                metrics.counter("ws.cache.result.bytes_saved",
+                                service=request.service).inc(approx_bytes)
+                return SoapResponse(service=request.service,
+                                    operation=request.operation,
+                                    result=copy.deepcopy(result))
+            metrics.counter("ws.cache.result.misses",
+                            service=request.service).inc()
+        response = proceed(request)
+        if cache_key is not None:
+            # estimate the dispatch cost a future hit avoids by the
+            # canonical size of the answer
+            approx_bytes = len(json.dumps(response.result, default=repr))
+            _result_cache.put(
+                cache_key, (copy.deepcopy(response.result), approx_bytes))
+        return response
+
+
+class Lifecycle(ServerHandler):
+    """Acquire/release the instance per the deployment's §4.5 lifecycle.
+
+    * ``harness`` — the deployment lock guards only instance creation
+      and stats mutation; dispatches run concurrently (one in-memory
+      instance serves parallel callers).
+    * ``serialize`` — the lock is held across the whole
+      unpickle → dispatch → pickle round-trip: the state file *is* the
+      serialisation point this 2005-era lifecycle models, so calls stay
+      one-at-a-time by design.
+    """
+
+    name = "lifecycle"
+
+    def handle(self, request, ctx, proceed):
+        dep = ctx.deployment
+        if dep.lifecycle == "serialize":
+            with dep.lock:
+                return self._cycle(dep, request, ctx, proceed)
+        return self._cycle(dep, request, ctx, proceed)
+
+    def _cycle(self, dep, request, ctx, proceed):
+        container = ctx.container
+        with dep.lock:  # re-entrant: already held in serialize lifecycle
+            instance = container._acquire(dep)
+        ctx.properties["instance"] = instance
+        start = time.perf_counter()
+        try:
+            return proceed(request)
+        finally:
+            elapsed = time.perf_counter() - start
+            with dep.lock:
+                dep.stats.dispatch_seconds += elapsed
+            get_metrics().histogram(
+                "ws.server.dispatch.seconds",
+                service=request.service,
+                operation=request.operation).observe(elapsed)
+            container._release(dep, instance)
+
+
+class FaultMapper(ServerHandler):
+    """Map dispatch exceptions onto SOAP faults and count them.
+
+    A nested call that ran out of budget mid-dispatch surfaces under
+    the dedicated deadline fault code so the caller's client resurfaces
+    :class:`DeadlineExceeded`, not a retriable server fault.
+    """
+
+    name = "faults"
+
+    def handle(self, request, ctx, proceed):
+        try:
+            return proceed(request)
+        except SoapFault:
+            self._record(request, ctx)
+            raise
+        except DeadlineExceeded as exc:
+            self._record(request, ctx)
+            raise SoapFault(DEADLINE_FAULTCODE, str(exc)) from exc
+        except Exception as exc:
+            self._record(request, ctx)
+            raise SoapFault("soapenv:Server", str(exc),
+                            detail=type(exc).__name__) from exc
+
+    @staticmethod
+    def _record(request, ctx) -> None:
+        dep = ctx.deployment
+        with dep.lock:
+            dep.stats.faults += 1
+        _count_server_fault(request)
+
+
+def default_server_handlers() -> list[ServerHandler]:
+    """The standard container chain: trace → resolve → deadline → stats
+    → cache → lifecycle → faults.
+
+    Order is behavioural API: a deadline rejection counts no
+    invocation, a cache hit does no lifecycle work, and instance
+    acquisition failures propagate unmapped (they are host errors, not
+    operation faults)."""
+    return [DispatchTrace(), ResolveDeployment(), DeadlineAnchor(),
+            InvocationStats(), ResultCache(), Lifecycle(), FaultMapper()]
+
+
+# -- server HTTP gateway -----------------------------------------------------
+
+class HttpGateway:
+    """The policy half of SOAP-over-HTTP hosting.
+
+    Everything between "bytes arrived on a POST" and "bytes to answer
+    with" lives here — decompression, envelope decode, front-door
+    deadline shedding, the ``http:POST`` span, fault mapping, response
+    compression and the ``ws.http.*`` metrics — leaving
+    :mod:`repro.ws.httpd` as pure HTTP mechanics.
+    """
+
+    def __init__(self, container, compress: bool = True):
+        self.container = container
+        self.compress = compress
+
+    def post(self, name: str, raw: bytes,
+             content_encoding: str | None = None,
+             accept_encoding: str | None = None
+             ) -> tuple[int, bytes, str, str | None]:
+        """Serve one ``POST /services/<name>`` body.
+
+        Returns ``(status, body, content_type, response_encoding)``.
+        """
+        start = time.perf_counter()
+        status = 200
+        content_type = "text/xml; charset=utf-8"
+        try:
+            try:
+                raw = payload.decompress(raw, content_encoding)
+            except TransportError as exc:
+                status = 400
+                return 400, str(exc).encode(), "text/plain", None
+            request = soap.decode_request(raw)
+            request.service = name  # the URL wins over the envelope
+            if request.deadline_s is not None and request.deadline_s <= 0:
+                # budget already spent: reject before dispatch so a
+                # hammered server sheds doomed work at the front door
+                get_metrics().counter("ws.http.deadline_rejections",
+                                      service=name).inc()
+                raise DeadlineExceeded(
+                    f"time budget exhausted before dispatching "
+                    f"POST /services/{name}")
+            # tag the handler span with the trace context the SOAP
+            # header carried, so server-side spans join the client trace
+            parent = SpanContext(request.trace_id,
+                                 request.parent_span_id) \
+                if request.trace_id else None
+            with get_tracer().span(f"http:POST /services/{name}",
+                                   {"request_bytes": len(raw)},
+                                   parent=parent) as span:
+                response = self.container.invoke(request)
+                body = soap.encode_response(response)
+                span.set_attribute("response_bytes", len(body))
+                span.set_attribute("http_status", status)
+            encoding = None
+            if self.compress and "gzip" in (accept_encoding or "").lower():
+                body, encoding = payload.maybe_compress(body)
+            return 200, body, content_type, encoding
+        except PayloadMissError as exc:
+            # the client referenced a blob this process does not hold:
+            # answer with the dedicated fault so it resends inline
+            status = 500
+            return 500, soap.encode_fault(SoapFault(
+                payload.MISS_FAULTCODE, str(exc),
+                detail=exc.digest)), content_type, None
+        except SoapFault as fault:
+            status = 500
+            return 500, soap.encode_fault(fault), content_type, None
+        except DeadlineExceeded as exc:
+            status = 500
+            return 500, soap.encode_fault(
+                SoapFault(DEADLINE_FAULTCODE,
+                          str(exc))), content_type, None
+        except ServiceError as exc:
+            status = 500
+            return 500, soap.encode_fault(
+                SoapFault("soapenv:Server",
+                          str(exc))), content_type, None
+        finally:
+            metrics = get_metrics()
+            metrics.counter("ws.http.requests", service=name,
+                            status=status).inc()
+            metrics.histogram("ws.http.seconds", service=name).observe(
+                time.perf_counter() - start)

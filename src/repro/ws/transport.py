@@ -1,6 +1,6 @@
 """Transports: how SOAP bytes travel between client and service.
 
-Three implementations, all sharing one interface (:class:`Transport`):
+Three byte movers, all sharing one interface (:class:`Transport`):
 
 * :class:`InProcessTransport` — straight into a local
   :class:`~repro.ws.container.ServiceContainer` (still paying the SOAP
@@ -13,19 +13,29 @@ Three implementations, all sharing one interface (:class:`Transport`):
   an accumulated *virtual clock*.  This is the substitution for the paper's
   1 Gb/s testbed network: distribution effects are functions of message
   count and payload size, which the model captures explicitly.
+
+Since the handler-chain refactor these classes are *pure* byte movers:
+each implements only :meth:`ChainedTransport._exchange` (sockets,
+container dispatch, cost modelling), while the cross-cutting concerns —
+trace spans, metrics, deadline budgeting, payload-ref substitution,
+gzip negotiation — run as a :mod:`repro.ws.pipeline` interceptor chain
+around it.  Movers report telemetry only through the per-call
+:class:`~repro.ws.pipeline.CallContext`; this module must not import
+:mod:`repro.obs`, :mod:`repro.ws.breaker` or :mod:`repro.chaos`
+(enforced by ``tools/layering_lint.py``).
 """
 
 from __future__ import annotations
 
+import http.client
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from urllib.parse import urlparse
 
-from repro.errors import TransportError
-from repro.obs import get_metrics, get_tracer
-from repro.ws import payload, soap
+from repro.errors import DeadlineExceeded, TransportError
+from repro.ws import payload, pipeline, soap
 from repro.ws.container import ServiceContainer
-from repro.ws.deadline import current_deadline
-from repro.ws.payload import PayloadMissError
+from repro.ws.pipeline import CallContext
 from repro.ws.soap import SoapFault, SoapRequest, SoapResponse
 
 
@@ -40,86 +50,66 @@ class Transport:
         """Release any underlying resources (default: none)."""
 
 
-def stamp_trace_context(request: SoapRequest, span) -> None:
-    """Inject *span*'s trace context into an unstamped request.
+class ChainedTransport(Transport):
+    """A transport whose :meth:`send` runs an interceptor chain around a
+    pure byte-moving :meth:`_exchange`.
 
-    A request already carrying a trace id keeps it (the outermost hop —
-    usually the client proxy — wins), so wrapped transports don't
-    overwrite the caller's context.
+    Pass ``interceptors`` to replace the default chain (see
+    :func:`repro.ws.pipeline.default_transport_interceptors`); the list
+    is consulted live, so tests may also mutate
+    :attr:`interceptors` between calls.
     """
-    if span.recording and not request.trace_id:
-        request.trace_id = span.trace_id
-        request.parent_span_id = span.span_id
 
+    kind = "chained"
 
-def apply_deadline(request: SoapRequest) -> None:
-    """Enforce + propagate the ambient deadline on an outgoing request.
+    def __init__(self, interceptors=None):
+        self.interceptors = list(interceptors) if interceptors is not None \
+            else self.default_interceptors()
 
-    Fails fast (:class:`~repro.errors.DeadlineExceeded`) when the budget
-    is already spent, and stamps the remaining seconds onto an unstamped
-    request so every hop below this one inherits the (shrinking) budget.
-    An explicit ``deadline_s`` set by the caller wins.
-    """
-    deadline = current_deadline()
-    if deadline is None:
-        return
-    deadline.check(f"send {request.service}.{request.operation}")
-    if request.deadline_s is None:
-        request.deadline_s = deadline.remaining()
+    def default_interceptors(self):
+        """The chain installed when no explicit one is passed."""
+        return pipeline.default_transport_interceptors()
 
-
-def record_transport_metrics(transport: str, seconds: float,
-                             bytes_sent: int, bytes_received: int) -> None:
-    """File one send's latency + byte counts under the global registry."""
-    metrics = get_metrics()
-    metrics.histogram("ws.transport.seconds",
-                      transport=transport).observe(seconds)
-    metrics.counter("ws.transport.messages", transport=transport).inc()
-    metrics.counter("ws.transport.bytes_sent",
-                    transport=transport).inc(bytes_sent)
-    metrics.counter("ws.transport.bytes_received",
-                    transport=transport).inc(bytes_received)
-
-
-def payload_fallback(send_once, request: SoapRequest,
-                     peer: payload.PeerState) -> SoapResponse:
-    """Externalize + send, with the transparent full-payload fallback.
-
-    First attempt goes out with by-reference params for everything the
-    peer is believed to hold.  A :class:`PayloadMissError` (the peer
-    lost — or never had — a referenced blob, or a ref was corrupted in
-    flight) clears the peer record and resends the original request
-    fully inline, so callers never observe the miss.
-    """
-    try:
-        return send_once(payload.externalize(request, peer))
-    except PayloadMissError:
-        get_metrics().counter("ws.payload.fallbacks").inc()
-        peer.clear()
-        return send_once(payload.internalize(request))
-
-
-class InProcessTransport(Transport):
-    """Serialise through SOAP but dispatch into a local container."""
-
-    def __init__(self, container: ServiceContainer):
-        self.container = container
-        self.bytes_sent = 0
-        self.bytes_received = 0
-        self._peer = payload.PeerState()
+    def endpoint_label(self) -> str:
+        """Endpoint attribute for the chain's ``send:*`` span ("" = none)."""
+        return ""
 
     def send(self, request: SoapRequest) -> SoapResponse:
         """Deliver one SOAP request; returns the SOAP response."""
-        start = time.perf_counter()
-        with get_tracer().span("send:inprocess") as span:
-            stamp_trace_context(request, span)
-            apply_deadline(request)
-            return payload_fallback(
-                lambda outbound: self._exchange(outbound, span, start),
-                request, self._peer)
+        ctx = CallContext(kind=self.kind, endpoint=self.endpoint_label(),
+                          service=request.service,
+                          operation=request.operation)
+        return pipeline.run_chain(
+            self.interceptors, request, ctx,
+            lambda outbound: self._exchange(outbound, ctx))
 
-    def _exchange(self, request: SoapRequest, span,
-                  start: float) -> SoapResponse:
+    def _context_of(self, ctx) -> CallContext:
+        """Normalise *ctx* for direct ``_exchange`` calls (tests poke the
+        mover with legacy ``(request, span, start)`` arguments); a real
+        per-call context from :meth:`send` passes through unchanged."""
+        if isinstance(ctx, CallContext):
+            return ctx
+        return CallContext(kind=self.kind, endpoint=self.endpoint_label())
+
+    def _exchange(self, request: SoapRequest, ctx: CallContext = None,
+                  *_legacy) -> SoapResponse:
+        raise NotImplementedError
+
+
+class InProcessTransport(ChainedTransport):
+    """Serialise through SOAP but dispatch into a local container."""
+
+    kind = "inprocess"
+
+    def __init__(self, container: ServiceContainer, interceptors=None):
+        super().__init__(interceptors)
+        self.container = container
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def _exchange(self, request: SoapRequest, ctx: CallContext = None,
+                  *_legacy) -> SoapResponse:
+        ctx = self._context_of(ctx)
         wire = soap.encode_request(request)
         self.bytes_sent += len(wire)
         decoded = soap.decode_request(wire)  # resolves payload refs
@@ -129,13 +119,113 @@ class InProcessTransport(Transport):
         except SoapFault as fault:
             wire_out = soap.encode_fault(fault)
         self.bytes_received += len(wire_out)
-        span.set_attribute("bytes_sent", len(wire))
-        span.set_attribute("bytes_received", len(wire_out))
-        span.set_attribute("payload_refs", len(payload.refs_in(request)))
-        record_transport_metrics(
-            "inprocess", time.perf_counter() - start,
-            len(wire), len(wire_out))
+        ctx.note("bytes_sent", len(wire))
+        ctx.note("bytes_received", len(wire_out))
+        ctx.note("payload_refs", len(payload.refs_in(request)))
+        ctx.on_wire(len(wire), len(wire_out))
         return soap.decode_response(wire_out)
+
+
+class HttpTransport(ChainedTransport):
+    """SOAP POST over a persistent HTTP connection.
+
+    Bodies above :data:`repro.ws.payload.COMPRESS_MIN_BYTES` go out
+    gzip-compressed (``Content-Encoding: gzip``), and every request
+    advertises ``Accept-Encoding: gzip`` so a compressing server can
+    answer in kind; a peer that ignores both stays fully interoperable.
+    Pass ``compress=False`` to negotiate identity encoding only (the
+    flag feeds the chain's gzip step).
+    """
+
+    kind = "http"
+
+    def __init__(self, endpoint: str, timeout: float = 30.0,
+                 compress: bool = True, interceptors=None):
+        self.endpoint = endpoint
+        parsed = urlparse(endpoint)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise TransportError(f"unsupported endpoint {endpoint!r}")
+        self._host = parsed.hostname
+        self._port = parsed.port or 80
+        self._path = parsed.path or "/"
+        self._timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+        self.compress = compress
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        super().__init__(interceptors)
+
+    def default_interceptors(self):
+        """The standard HTTP chain, with the gzip negotiation step."""
+        return pipeline.default_transport_interceptors(
+            compress=self.compress)
+
+    def endpoint_label(self) -> str:
+        """This transport's URL, tagged on its ``send:http`` spans."""
+        return self.endpoint
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout)
+        return self._conn
+
+    def _exchange(self, request: SoapRequest, ctx: CallContext = None,
+                  *_legacy) -> SoapResponse:
+        ctx = self._context_of(ctx)
+        encoded = soap.encode_request(request)
+        headers = {
+            "Content-Type": "text/xml; charset=utf-8",
+            "SOAPAction": f'"{request.operation}"',
+        }
+        wire = encoded
+        if ctx.get("accept_gzip"):
+            headers["Accept-Encoding"] = "gzip"
+            wire, encoding = payload.maybe_compress(encoded)
+            if encoding:
+                headers["Content-Encoding"] = encoding
+        self.bytes_sent += len(wire)
+        try:
+            conn = self._connection()
+            # never wait on the socket longer than the call's
+            # remaining budget allows
+            effective = self._timeout
+            if request.deadline_s is not None:
+                effective = min(effective, max(request.deadline_s,
+                                               1e-3))
+            conn.timeout = effective
+            if conn.sock is not None:
+                conn.sock.settimeout(effective)
+            conn.request("POST", self._path, body=wire, headers=headers)
+            http_response = conn.getresponse()
+            body = http_response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            self.close()
+            ctx.on_transport_error()
+            if isinstance(exc, TimeoutError) and \
+                    request.deadline_s is not None and \
+                    request.deadline_s < self._timeout:
+                raise DeadlineExceeded(
+                    f"{self.endpoint} did not answer within the "
+                    f"remaining {request.deadline_s:.3f}s budget"
+                ) from exc
+            raise TransportError(
+                f"cannot reach {self.endpoint}: {exc}") from exc
+        self.bytes_received += len(body)
+        ctx.note("bytes_sent", len(wire))
+        ctx.note("bytes_received", len(body))
+        ctx.note("payload_refs", len(payload.refs_in(request)))
+        ctx.note("http_status", http_response.status)
+        ctx.on_wire(len(wire), len(body))
+        body = payload.decompress(
+            body, http_response.getheader("Content-Encoding"))
+        return soap.decode_response(body)  # raises SoapFault on faults
+
+    def close(self) -> None:
+        """Release underlying resources."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
 
 
 @dataclass
@@ -174,8 +264,7 @@ WAN = NetworkModel(latency_s=0.050, bandwidth_bps=10e6 / 8)
 LAN = NetworkModel(latency_s=0.001, bandwidth_bps=1e9 / 8)
 
 
-@dataclass
-class SimulatedTransport(Transport):
+class SimulatedTransport(ChainedTransport):
     """Charge a :class:`NetworkModel` cost around an inner transport.
 
     With ``real_sleep=True`` the cost is spent in ``time.sleep`` (so
@@ -183,15 +272,27 @@ class SimulatedTransport(Transport):
     :attr:`virtual_seconds`, which deterministic tests read.
     """
 
-    inner: Transport
-    model: NetworkModel = field(default_factory=NetworkModel)
-    real_sleep: bool = False
-    virtual_seconds: float = 0.0
-    messages: int = 0
-    bytes_on_wire: int = 0
+    kind = "simulated"
 
-    def __post_init__(self) -> None:
-        self._peer = payload.PeerState()
+    def __init__(self, inner: Transport,
+                 model: NetworkModel | None = None,
+                 real_sleep: bool = False, interceptors=None):
+        self.inner = inner
+        self.model = model if model is not None else NetworkModel()
+        self.real_sleep = real_sleep
+        self.virtual_seconds = 0.0
+        self.messages = 0
+        self.bytes_on_wire = 0
+        super().__init__(interceptors)
+
+    def default_interceptors(self):
+        """The standard chain with the externalize-only miss fallback."""
+        # the modelled network bills what the data plane really ships:
+        # payload refs are substituted *before* costing, and a miss
+        # surfacing from the inner transport propagates (only a miss
+        # during externalisation is healed locally)
+        return pipeline.default_transport_interceptors(
+            resend_on_miss=False)
 
     def _charge(self, wire: bytes) -> int:
         """Bill one message; returns the post-compression billed bytes."""
@@ -203,49 +304,35 @@ class SimulatedTransport(Transport):
             time.sleep(cost)
         return n_bytes
 
-    def send(self, request: SoapRequest) -> SoapResponse:
-        """Deliver one SOAP request; returns the SOAP response."""
-        start = time.perf_counter()
+    def _exchange(self, request: SoapRequest, ctx: CallContext = None,
+                  *_legacy) -> SoapResponse:
+        ctx = self._context_of(ctx)
         cost_before = self.virtual_seconds
         bytes_before = self.bytes_on_wire
-        with get_tracer().span("send:simulated") as span:
-            stamp_trace_context(request, span)
-            apply_deadline(request)
-            # replace repeat payloads with refs *before* billing, so the
-            # modelled network sees the bytes the data plane really ships
+        wire = soap.encode_request(request)
+        sent_bytes = 0
+        try:
+            sent_bytes = self._charge(wire)
             try:
-                outbound = payload.externalize(request, self._peer)
-            except PayloadMissError:
-                get_metrics().counter("ws.payload.fallbacks").inc()
-                self._peer.clear()
-                outbound = payload.internalize(request)
-            wire = soap.encode_request(outbound)
-            sent_bytes = 0
-            try:
-                sent_bytes = self._charge(wire)
-                try:
-                    response = self.inner.send(outbound)
-                    wire_out = soap.encode_response(response)
-                except SoapFault as fault:
-                    wire_out = soap.encode_fault(fault)
-                    self._charge(wire_out)
-                    raise
+                response = self.inner.send(request)
+                wire_out = soap.encode_response(response)
+            except SoapFault as fault:
+                wire_out = soap.encode_fault(fault)
                 self._charge(wire_out)
-                return response
-            finally:
-                # the paper-model network cost this message pair incurred
-                charged = self.virtual_seconds - cost_before
-                wire_bytes = self.bytes_on_wire - bytes_before
-                span.set_attribute("charge_seconds", round(charged, 6))
-                span.set_attribute("wire_bytes", wire_bytes)
-                span.set_attribute("payload_refs",
-                                   len(payload.refs_in(outbound)))
-                span.set_attribute("latency_s", self.model.latency_s)
-                record_transport_metrics(
-                    "simulated", time.perf_counter() - start,
-                    sent_bytes, max(0, wire_bytes - sent_bytes))
-                get_metrics().counter(
-                    "ws.transport.simulated_cost_seconds").inc(charged)
+                raise
+            self._charge(wire_out)
+            return response
+        finally:
+            # the paper-model network cost this message pair incurred
+            charged = self.virtual_seconds - cost_before
+            wire_bytes = self.bytes_on_wire - bytes_before
+            ctx.note("charge_seconds", round(charged, 6))
+            ctx.note("wire_bytes", wire_bytes)
+            ctx.note("payload_refs", len(payload.refs_in(request)))
+            ctx.note("latency_s", self.model.latency_s)
+            ctx.on_wire(sent_bytes, max(0, wire_bytes - sent_bytes))
+            ctx.emit_counter("ws.transport.simulated_cost_seconds",
+                             charged)
 
     def close(self) -> None:
         self.inner.close()
@@ -273,3 +360,10 @@ class FailingTransport(Transport):
 
     def close(self) -> None:
         self.inner.close()
+
+
+# Backwards-compatible re-exports: these helpers lived here before the
+# handler-chain refactor moved them into the policy layer.
+from repro.ws.pipeline import (apply_deadline, payload_fallback,  # noqa: E402,F401
+                               record_transport_metrics,
+                               stamp_trace_context)

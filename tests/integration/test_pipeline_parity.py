@@ -1,0 +1,160 @@
+"""Golden-trace parity: the interceptor-pipeline refactor must not move
+a single observable.
+
+A fixed four-call breast-cancer workflow (validate → summarise → convert
+→ J48 classify, mixing a plain in-process transport with a simulated
+network + circuit breaker) is run under tracing, and its *canonical span
+tree* plus its *entire counter set* (and histogram sample counts) are
+compared against a golden snapshot recorded before the handler-chain
+refactor.  Trace ids, span ids and wall-clock durations are excluded —
+everything else must be byte-for-byte identical, proving the chains
+re-express the old inline concerns rather than re-implementing them.
+
+Regenerate the golden file (only when an *intentional* behaviour change
+lands) with::
+
+    FAEHIM_WRITE_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/integration/test_pipeline_parity.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro import obs
+from repro.data import arff, synthetic
+from repro.services import DataService, J48Service
+from repro.ws import (CircuitBreaker, InProcessTransport, ServiceContainer,
+                      ServiceProxy, SimulatedTransport, wsdl)
+from repro.workflow import TaskGraph, WorkflowEngine
+from repro.workflow.model import FunctionTool
+from repro.workflow.wsimport import WebServiceTool, import_wsdl_text
+
+GOLDEN = Path(__file__).parent / "golden_pipeline_trace.json"
+
+
+def _deterministic_ids():
+    """Replace the tracer's random id generator with a counter, so the
+    trace-context bytes on the wire (and therefore gzip sizes) are
+    identical run to run."""
+    from repro.obs import trace as trace_mod
+    counter = iter(range(1, 1 << 30))
+
+    def fake_new_id(n_hex: int = 16) -> str:
+        return format(next(counter), "x").rjust(n_hex, "0")
+
+    original = trace_mod.new_id
+    trace_mod.new_id = fake_new_id
+    return lambda: setattr(trace_mod, "new_id", original)
+
+
+def build_and_run():
+    """The fixed 4-call workflow; returns the RunResult."""
+    obs.enable_tracing()
+    container = ServiceContainer("parity")
+    data_def = container.deploy(DataService, "Data")
+    j48_def = container.deploy(J48Service, "J48")
+
+    data_tools = {t.name: t for t in import_wsdl_text(
+        wsdl.generate(data_def, "inproc://Data"),
+        InProcessTransport(container))}
+    j48_proxy = ServiceProxy.from_wsdl_text(
+        wsdl.generate(j48_def, "sim://J48"),
+        SimulatedTransport(InProcessTransport(container)),
+        breaker=CircuitBreaker("sim://J48"))
+    classify_tool = WebServiceTool(j48_proxy, "classify")
+
+    graph = TaskGraph("pipeline-parity")
+    src = graph.add(FunctionTool(
+        "Dataset", lambda: arff.dumps(synthetic.breast_cancer()),
+        [], ["dataset"]))
+    validate = graph.add(data_tools["Data.validate"])
+    summarise = graph.add(data_tools["Data.summarise"])
+    convert = graph.add(data_tools["Data.convert"],
+                        source="arff", target="csv")
+    classify = graph.add(classify_tool, attribute="Class")
+    for sink in (validate, summarise, convert, classify):
+        graph.connect(src, sink, target_index=0)
+
+    # one worker => deterministic task order => deterministic payload
+    # inline/ref sequences and cache hit/miss sequences
+    engine = WorkflowEngine(max_workers=1)
+    result = engine.run(graph)
+    assert "node-caps" in result.output(classify)
+    assert result.output(validate)["num_instances"] == 286
+    return result
+
+
+def canonical_span_tree(spans):
+    """Nested [name, [children...]] lists, children sorted, ids erased."""
+    by_id = {s.span_id: s for s in spans}
+    children: dict[str, list] = {}
+    roots = []
+    for span in spans:
+        if span.parent_id and span.parent_id in by_id:
+            children.setdefault(span.parent_id, []).append(span)
+        else:
+            roots.append(span)
+
+    def node(span):
+        kids = sorted((node(c) for c in children.get(span.span_id, [])),
+                      key=json.dumps)
+        return [span.name, kids]
+
+    return sorted((node(r) for r in roots), key=json.dumps)
+
+
+def canonical_metrics():
+    """Every counter value + histogram sample count (no timings)."""
+    snap = obs.get_metrics().snapshot()
+    counters = {name: round(value, 6)
+                for name, value in snap["counters"].items()}
+    histogram_counts = {name: summary["count"]
+                        for name, summary in snap["histograms"].items()}
+    return {"counters": counters, "histogram_counts": histogram_counts}
+
+
+def test_golden_trace_parity():
+    restore = _deterministic_ids()
+    try:
+        build_and_run()
+    finally:
+        restore()
+    observed = {
+        "span_tree": canonical_span_tree(
+            obs.get_tracer().collector.spans()),
+        "metrics": canonical_metrics(),
+    }
+    if os.environ.get("FAEHIM_WRITE_GOLDEN") == "1":
+        GOLDEN.write_text(json.dumps(observed, indent=2, sort_keys=True)
+                          + "\n")
+    golden = json.loads(GOLDEN.read_text())
+    assert observed["span_tree"] == golden["span_tree"]
+    assert observed["metrics"]["counters"] == \
+        golden["metrics"]["counters"]
+    assert observed["metrics"]["histogram_counts"] == \
+        golden["metrics"]["histogram_counts"]
+
+
+def test_parity_run_is_self_deterministic():
+    """Two runs in one process (fresh registries) agree with each other —
+    the golden comparison above is meaningful, not flaky."""
+    def once():
+        from repro.data import cache as datacache
+        from repro.ws import container as wscontainer
+        from repro.ws import payload
+        obs.reset_metrics()
+        obs.reset_tracing()
+        payload.reset_payload_store()
+        datacache.reset_parse_cache()
+        wscontainer.reset_result_cache()
+        obs.enable_tracing()
+        restore = _deterministic_ids()
+        try:
+            build_and_run()
+        finally:
+            restore()
+        return (canonical_span_tree(obs.get_tracer().collector.spans()),
+                canonical_metrics())
+
+    assert once() == once()

@@ -52,6 +52,19 @@ def test_lint_job_compiles_and_ruffs(workflow):
     text = steps_text(workflow["jobs"]["lint"])
     assert "compileall" in text
     assert "ruff check" in text
+    assert "python tools/layering_lint.py" in text
+
+
+def test_layering_lint_passes():
+    """The CI layering gate must hold on the tree as checked in."""
+    import importlib.util
+
+    script = Path(__file__).resolve().parents[1] / "tools" \
+        / "layering_lint.py"
+    spec = importlib.util.spec_from_file_location("layering_lint", script)
+    lint = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(lint)
+    assert lint.main() == 0
 
 
 def test_bench_smoke_uploads_artifact(workflow):

@@ -1,0 +1,58 @@
+"""Regression: a fatal task failure stops scheduling new work.
+
+A fatal failure (no ``allow_partial``, or an expired deadline) settles
+the run by setting the engine's ``done`` event.  A sibling task already
+on the pool may still finish afterwards — but its downstream tasks must
+*not* be submitted once the run has settled, otherwise the enactor races
+its own shutdown and runs tasks of a workflow it is about to raise for.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import EnactmentError
+from repro.workflow import FunctionTool, TaskGraph, WorkflowEngine
+
+
+class TestFatalStopsScheduling:
+    def test_no_submissions_after_fatal_failure(self):
+        ran: list[str] = []
+        record_lock = threading.Lock()
+
+        def mark(name, value=0):
+            def fn(x=0):
+                with record_lock:
+                    ran.append(name)
+                return value
+            return fn
+
+        def boom(x=0):
+            with record_lock:
+                ran.append("fail")
+            raise RuntimeError("deliberate fatal failure")
+
+        g = TaskGraph("fatal-stop")
+        src = g.add(FunctionTool("Src", mark("src", 1), [], ["out"]),
+                    name="src")
+        # connected first, so the single worker executes it first
+        failing = g.add(FunctionTool("Fail", boom, ["x"], ["out"]),
+                        name="failing")
+        ok = g.add(FunctionTool("Ok", mark("ok", 2), ["x"], ["out"]),
+                   name="ok")
+        down = g.add(FunctionTool("Down", mark("down", 3), ["x"], ["out"]),
+                     name="down")
+        g.connect(src, failing)
+        g.connect(src, ok)
+        g.connect(ok, down)
+
+        # one worker makes the order deterministic: src → failing (fatal,
+        # settles the run) → ok (already queued, allowed to finish) → and
+        # then "down" becomes ready but must never be submitted
+        engine = WorkflowEngine(max_workers=1)
+        with pytest.raises(EnactmentError):
+            engine.run(g)
+        assert "fail" in ran and "ok" in ran
+        assert "down" not in ran, (
+            "engine submitted a downstream task after a fatal failure "
+            "had already settled the run")

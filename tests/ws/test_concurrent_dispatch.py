@@ -1,0 +1,104 @@
+"""Concurrency regression tests for the harness lifecycle.
+
+The paper's harness keeps one algorithm instance in memory precisely so
+repeated invocations are cheap; serialising every dispatch behind the
+deployment lock would throw that away.  The :class:`~repro.ws.pipeline.
+Lifecycle` handler therefore locks only instance creation and stats
+mutation for ``harness`` deployments — dispatches run concurrently.
+The ``serialize`` lifecycle intentionally stays one-at-a-time (the
+state file is the serialisation point it models).
+"""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.ws.container import ServiceContainer
+from repro.ws.service import operation
+
+CALLS = 8
+WORKERS = 4
+SLEEP_S = 0.05
+
+
+class SlowService:
+    """Op that sleeps, and records how many calls overlap in time."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self.max_in_flight = 0
+
+    @operation
+    def work(self, n: int) -> int:
+        """Sleep a fixed interval and echo *n*."""
+        with self._lock:
+            self._in_flight += 1
+            self.max_in_flight = max(self.max_in_flight, self._in_flight)
+        try:
+            time.sleep(SLEEP_S)
+            return n
+        finally:
+            with self._lock:
+                self._in_flight -= 1
+
+
+class PicklableSlowService:
+    """Lock-free variant the serialize lifecycle can round-trip to disk."""
+
+    @operation
+    def work(self, n: int) -> int:
+        """Sleep a fixed interval and echo *n*."""
+        time.sleep(SLEEP_S)
+        return n
+
+
+def _run_calls(container, parallel: bool) -> float:
+    start = time.perf_counter()
+    if parallel:
+        with ThreadPoolExecutor(max_workers=WORKERS) as pool:
+            results = list(pool.map(
+                lambda n: container.call("Slow", "work", n=n),
+                range(CALLS)))
+    else:
+        results = [container.call("Slow", "work", n=n)
+                   for n in range(CALLS)]
+    assert sorted(results) == list(range(CALLS))
+    return time.perf_counter() - start
+
+
+class TestHarnessConcurrency:
+    def test_harness_dispatches_overlap(self, tmp_path):
+        """Parallel callers genuinely share the in-memory instance."""
+        c = ServiceContainer(state_dir=tmp_path)
+        c.deploy(SlowService, "Slow", lifecycle="harness")
+        _run_calls(c, parallel=True)
+        dep = c._deployment("Slow")
+        assert dep.instance.max_in_flight > 1
+        assert dep.stats.invocations == CALLS
+
+    def test_harness_throughput_beats_serial(self, tmp_path):
+        """4 workers on a sleepy op must beat serial by well over 1.5x.
+
+        With dispatch outside the deployment lock the parallel run takes
+        ~CALLS/WORKERS sleeps vs CALLS sleeps serially (ideal 4x); the
+        1.5x gate leaves headroom for scheduler noise while still failing
+        hard if the lock ever re-covers the dispatch.
+        """
+        c = ServiceContainer(state_dir=tmp_path)
+        c.deploy(SlowService, "Slow", lifecycle="harness")
+        serial = _run_calls(c, parallel=False)
+        parallel = _run_calls(c, parallel=True)
+        assert parallel < serial / 1.5, (
+            f"parallel {parallel:.3f}s vs serial {serial:.3f}s — "
+            "harness dispatches are serialised again")
+
+    def test_serialize_lifecycle_stays_serial(self, tmp_path):
+        """The 2005-era lifecycle still runs calls one at a time."""
+        c = ServiceContainer(state_dir=tmp_path)
+        c.deploy(PicklableSlowService, "Slow", lifecycle="serialize")
+        _run_calls(c, parallel=True)
+        # each call unpickles a fresh instance, so overlap is only
+        # observable through the stats: every call must round-trip state
+        assert c.stats("Slow").invocations == CALLS
+        assert c.stats("Slow").serialized_bytes > 0

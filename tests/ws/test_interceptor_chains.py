@@ -1,0 +1,179 @@
+"""Interceptor chain contracts: ordering, composition, and removal.
+
+The chains are this stack's analogue of Axis handler chains, so their
+shape is part of the API: the default orders are stable and documented,
+user-supplied steps compose at declared positions, and splicing a step
+out (e.g. the chaos interceptor) restores the unwrapped behaviour —
+byte-for-byte on the wire.
+"""
+
+from repro.chaos import ChaosController, ChaosInterceptor
+from repro.ws import soap
+from repro.ws.container import ServiceContainer
+from repro.ws.pipeline import (ClientInterceptor, chain_insert_after,
+                               chain_insert_before, chain_names,
+                               chain_without, default_proxy_interceptors,
+                               default_server_handlers,
+                               default_transport_interceptors)
+from repro.ws.service import operation
+from repro.ws.soap import SoapFault
+from repro.ws.transport import InProcessTransport
+from repro.ws.client import ServiceProxy
+from repro.ws import wsdl
+
+import pytest
+
+
+class Echo:
+    """Minimal service for chain plumbing tests."""
+
+    @operation
+    def shout(self, text: str) -> str:
+        """Upper-case *text*."""
+        return text.upper()
+
+
+def _stack(tmp_path):
+    container = ServiceContainer(state_dir=tmp_path)
+    definition = container.deploy(Echo, "Echo")
+    transport = InProcessTransport(container)
+    proxy = ServiceProxy.from_wsdl_text(
+        wsdl.generate(definition, "inproc://Echo"), transport)
+    return container, transport, proxy
+
+
+class TestDefaultOrders:
+    """The documented chain orders are load-bearing — pin them."""
+
+    def test_transport_chain_order(self):
+        assert chain_names(default_transport_interceptors()) == \
+            ["trace", "metrics", "deadline", "payload"]
+
+    def test_transport_chain_order_with_gzip(self):
+        assert chain_names(default_transport_interceptors(compress=True)) \
+            == ["trace", "metrics", "deadline", "gzip", "payload"]
+
+    def test_proxy_chain_order(self):
+        assert chain_names(default_proxy_interceptors()) == \
+            ["deadline", "breaker", "trace", "metrics"]
+
+    def test_server_chain_order(self):
+        assert chain_names(default_server_handlers()) == \
+            ["trace", "resolve", "deadline", "stats", "cache",
+             "lifecycle", "faults"]
+
+    def test_insert_helpers_place_steps(self):
+        class Probe(ClientInterceptor):
+            name = "probe"
+
+        chain = default_transport_interceptors()
+        before = chain_insert_before(chain, "deadline", Probe())
+        after = chain_insert_after(chain, "deadline", Probe())
+        assert chain_names(before) == \
+            ["trace", "metrics", "probe", "deadline", "payload"]
+        assert chain_names(after) == \
+            ["trace", "metrics", "deadline", "probe", "payload"]
+        # originals untouched: the helpers return copies
+        assert chain_names(chain) == \
+            ["trace", "metrics", "deadline", "payload"]
+
+    def test_insert_unknown_step_lists_names(self):
+        with pytest.raises(ValueError, match="trace"):
+            chain_insert_before(default_transport_interceptors(),
+                                "nope", ClientInterceptor())
+
+
+class TestUserInterceptors:
+    def test_user_step_observes_and_wraps_a_call(self, tmp_path):
+        """A user interceptor sees the request and can rewrite the
+        response — the Axis "custom handler" use case."""
+        seen: list[str] = []
+
+        class Decorate(ClientInterceptor):
+            name = "decorate"
+
+            def intercept(self, request, ctx, proceed):
+                seen.append(f"{request.service}.{request.operation}")
+                response = proceed(request)
+                response.result = f"<<{response.result}>>"
+                return response
+
+        _, transport, proxy = _stack(tmp_path)
+        proxy.interceptors = chain_insert_before(
+            proxy.interceptors, "trace", Decorate())
+        assert proxy.call("shout", text="hi") == "<<HI>>"
+        assert seen == ["Echo.shout"]
+
+    def test_user_step_can_short_circuit(self, tmp_path):
+        """Not calling ``proceed`` vetoes the call entirely."""
+        class Veto(ClientInterceptor):
+            name = "veto"
+
+            def intercept(self, request, ctx, proceed):
+                raise SoapFault("soapenv:Client", "vetoed by policy")
+
+        _, _, proxy = _stack(tmp_path)
+        proxy.interceptors = [Veto()] + proxy.interceptors
+        with pytest.raises(SoapFault, match="vetoed"):
+            proxy.call("shout", text="hi")
+
+
+class _WireTap(ClientInterceptor):
+    """Records the exact envelopes crossing its position in the chain."""
+
+    name = "wiretap"
+
+    def __init__(self):
+        self.requests: list[bytes] = []
+        self.responses: list[bytes] = []
+
+    def intercept(self, request, ctx, proceed):
+        self.requests.append(soap.encode_request(request))
+        response = proceed(request)
+        self.responses.append(soap.encode_response(response))
+        return response
+
+
+class TestChaosSplicing:
+    """ChaosInterceptor is just a chain step: splice in, splice out."""
+
+    def _traffic(self, tmp_path, with_chaos: bool):
+        _, transport, proxy = _stack(tmp_path)
+        if with_chaos:
+            controller = ChaosController("corrupt=1", seed=0)
+            transport.interceptors = chain_insert_after(
+                transport.interceptors, "payload",
+                ChaosInterceptor(controller, "Echo"))
+        tap = _WireTap()
+        # innermost: sees exactly what reaches (and leaves) the mover
+        transport.interceptors = transport.interceptors + [tap]
+        outcome: list[str] = []
+        for text in ("alpha", "beta"):
+            try:
+                outcome.append(proxy.call("shout", text=text))
+            except Exception as exc:  # corrupted envelopes decode-fail
+                outcome.append(type(exc).__name__)
+        return tap, outcome
+
+    def test_removing_chaos_restores_byte_identical_traffic(self, tmp_path):
+        baseline, clean_outcome = self._traffic(tmp_path, with_chaos=False)
+        assert clean_outcome == ["ALPHA", "BETA"]
+
+        chaotic, chaotic_outcome = self._traffic(tmp_path, with_chaos=True)
+        assert chaotic_outcome != clean_outcome
+
+        # now build the chaotic chain again and splice the step back out
+        _, transport, proxy = _stack(tmp_path)
+        controller = ChaosController("corrupt=1", seed=0)
+        transport.interceptors = chain_insert_after(
+            transport.interceptors, "payload",
+            ChaosInterceptor(controller, "Echo"))
+        transport.interceptors = chain_without(
+            transport.interceptors, "chaos")
+        tap = _WireTap()
+        transport.interceptors = transport.interceptors + [tap]
+        healed = [proxy.call("shout", text=t) for t in ("alpha", "beta")]
+
+        assert healed == clean_outcome
+        assert tap.requests == baseline.requests
+        assert tap.responses == baseline.responses

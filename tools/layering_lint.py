@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Layering lint: the byte movers must stay free of cross-cutting imports.
+
+The handler-chain refactor moved every cross-cutting concern (tracing,
+metrics, circuit breaking, chaos injection) out of the transports and
+into :mod:`repro.ws.pipeline` chain steps.  This script keeps it that
+way: it parses the named modules with :mod:`ast` and fails if any of
+them imports a forbidden layer — at module level, inside a function, or
+via ``from x import y``.
+
+Run from the repo root (CI does)::
+
+    python tools/layering_lint.py
+
+Exit status 0 = clean, 1 = violations (listed on stderr).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+#: module path → import prefixes it must not touch.  The movers
+#: (`transport`, `httpd`) may not observe, break circuits, or inject
+#: chaos — those concerns live in chain steps only; the client keeps a
+#: narrow obs exception for its WSDL-fetch cache counters.
+RULES: dict[str, tuple[str, ...]] = {
+    "src/repro/ws/transport.py": ("repro.obs", "repro.ws.breaker",
+                                  "repro.chaos"),
+    "src/repro/ws/httpd.py": ("repro.ws.breaker", "repro.chaos"),
+    "src/repro/ws/client.py": ("repro.ws.breaker", "repro.chaos"),
+    "src/repro/ws/container.py": ("repro.ws.breaker", "repro.chaos"),
+}
+
+
+def imported_names(tree: ast.AST):
+    """Yield ``(lineno, module_name)`` for every import in *tree*."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is not None and node.level == 0:
+                yield node.lineno, node.module
+
+
+def check(path: str, forbidden: tuple[str, ...]) -> list[str]:
+    """Violation messages for one module."""
+    source = (REPO / path).read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=path)
+    problems = []
+    for lineno, name in imported_names(tree):
+        for banned in forbidden:
+            if name == banned or name.startswith(banned + "."):
+                problems.append(
+                    f"{path}:{lineno}: imports {name!r} "
+                    f"(layer {banned!r} is forbidden here)")
+    return problems
+
+
+def main() -> int:
+    failures: list[str] = []
+    for path, forbidden in sorted(RULES.items()):
+        if not (REPO / path).exists():
+            failures.append(f"{path}: module missing (lint rules stale?)")
+            continue
+        failures.extend(check(path, forbidden))
+    if failures:
+        print("layering violations:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    count = len(RULES)
+    print(f"layering lint: {count} modules clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
