@@ -1,0 +1,99 @@
+"""PERF-BATCH — the batched invocation plane, measured.
+
+Scores 1 000 instances against a J48 service over a simulated LAN two
+ways: sequentially (one wire exchange per row, the pre-batching shape)
+and batched (one ``classifyBatch`` exchange for the lot).  The plain
+CI gate asserts the headline claims: batching must cut wire exchanges
+by at least 5x and the modelled network time by at least 2x.
+
+Run: PYTHONPATH=src python -m pytest benchmarks/test_bench_batching.py
+     --benchmark-json=BENCH_batching.json
+"""
+
+import pytest
+
+from repro.data import arff, synthetic
+from repro.services import J48Service
+from repro.ws import (InProcessTransport, LAN, ServiceContainer,
+                      ServiceProxy, SimulatedTransport, wsdl)
+
+N_INSTANCES = 1000
+
+
+@pytest.fixture(scope="module")
+def dataset_arff():
+    return arff.dumps(synthetic.numeric_two_class(n=N_INSTANCES, seed=3))
+
+
+def make_stack():
+    """A J48 replica behind a simulated LAN; returns (proxy, transport)."""
+    container = ServiceContainer()
+    definition = container.deploy(J48Service, "J48")
+    transport = SimulatedTransport(InProcessTransport(container), LAN)
+    proxy = ServiceProxy.from_wsdl_text(
+        wsdl.generate(definition, "sim://J48"), transport)
+    return proxy, transport
+
+
+def score_sequential(proxy, document: str, n: int) -> list:
+    """One wire exchange per row — the pre-batching invocation shape.
+    The service's last-model cache keeps the compute constant, so the
+    cost measured here is the invocation plane itself."""
+    labels = []
+    for row in range(n):
+        out = proxy.call("classifyBatch", dataset=document,
+                         attribute="class", rows=[row])
+        labels.append(out["labels"][0])
+    return labels
+
+
+def score_batched(proxy, document: str) -> list:
+    """The whole dataset in one ``classifyBatch`` exchange."""
+    return proxy.call("classifyBatch", dataset=document,
+                      attribute="class")["labels"]
+
+
+def test_batching_wire_gate(dataset_arff):
+    """CI gate (plain assertions, no timing): batching must cut wire
+    exchanges by >= 5x and modelled network time by >= 2x."""
+    seq_proxy, seq_transport = make_stack()
+    seq_labels = score_sequential(seq_proxy, dataset_arff, N_INSTANCES)
+
+    batch_proxy, batch_transport = make_stack()
+    batch_labels = score_batched(batch_proxy, dataset_arff)
+
+    assert batch_labels == seq_labels
+    assert seq_transport.messages >= 5 * batch_transport.messages, (
+        f"batching saved too few wire exchanges: "
+        f"{seq_transport.messages} sequential vs "
+        f"{batch_transport.messages} batched")
+    assert seq_transport.virtual_seconds >= \
+        2 * batch_transport.virtual_seconds, (
+            f"batching saved too little modelled time: "
+            f"{seq_transport.virtual_seconds:.4f}s sequential vs "
+            f"{batch_transport.virtual_seconds:.4f}s batched")
+
+
+def test_bench_score_sequential(benchmark, dataset_arff):
+    proxy, transport = make_stack()
+    # one timed round: 1 000 wire exchanges is the point, not noise
+    labels = benchmark.pedantic(
+        score_sequential, args=(proxy, dataset_arff, N_INSTANCES),
+        rounds=1, iterations=1)
+    assert len(labels) == N_INSTANCES
+    benchmark.extra_info["path"] = "sequential"
+    benchmark.extra_info["wire_messages"] = transport.messages
+    benchmark.extra_info["modelled_seconds"] = round(
+        transport.virtual_seconds, 6)
+
+
+def test_bench_score_batched(benchmark, dataset_arff):
+    proxy, transport = make_stack()
+    labels = benchmark.pedantic(
+        score_batched, args=(proxy, dataset_arff),
+        rounds=3, iterations=1)
+    assert len(labels) == N_INSTANCES
+    benchmark.extra_info["path"] = "batched"
+    benchmark.extra_info["wire_messages"] = transport.messages
+    benchmark.extra_info["modelled_seconds"] = round(
+        transport.virtual_seconds, 6)

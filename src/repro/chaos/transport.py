@@ -39,8 +39,33 @@ def _mangle_digest(digest: str) -> str:
     return first + digest[1:]
 
 
+def _mangle_ref_params(params: dict) -> dict:
+    return {name: dataclasses.replace(
+        value, digest=_mangle_digest(value.digest))
+        if isinstance(value, PayloadRef) else value
+        for name, value in params.items()}
+
+
+def _corrupt_refs(request: SoapRequest) -> SoapRequest:
+    """Mangle every ref digest, including those in multicall items."""
+    if soap.is_multicall(request):
+        calls = [dataclasses.replace(sub,
+                                     params=_mangle_ref_params(sub.params))
+                 for sub in soap.calls_of(request)]
+        return dataclasses.replace(request, params={"calls": calls})
+    return dataclasses.replace(request,
+                               params=_mangle_ref_params(request.params))
+
+
 class ChaosInterceptor(ClientInterceptor):
-    """Inject plan-driven faults ahead of (and behind) the send below."""
+    """Inject plan-driven faults ahead of (and behind) the send below.
+
+    A multicall batch is one wire exchange, so it consumes exactly the
+    dice a single send would (one perturbation, at most one corruption
+    roll) — fixed-seed drills stay deterministic across batch-size
+    changes, and a corrupted batch counts as one fault event, not one
+    per sub-call.
+    """
 
     name = "chaos"
 
@@ -59,12 +84,7 @@ class ChaosInterceptor(ClientInterceptor):
         # traffic keep their exact fault sequences.
         if payload.refs_in(request) and \
                 self.controller.should_corrupt(self.endpoint):
-            request = dataclasses.replace(request, params={
-                name: dataclasses.replace(
-                    value, digest=_mangle_digest(value.digest))
-                if isinstance(value, PayloadRef) else value
-                for name, value in request.params.items()})
-            return proceed(request)
+            return proceed(_corrupt_refs(request))
         response = proceed(request)
         if self.controller.should_corrupt(self.endpoint):
             # truncate the real envelope so the decoder sees genuinely

@@ -131,6 +131,9 @@ def _cmd_run(args) -> int:
         from repro.ws import payload
         payload.set_enabled(False)
         datacache.set_enabled(False)
+    if args.batch_size:
+        from repro.ws import scatter
+        scatter.set_default_chunk(args.batch_size)
     controller = chaos.maybe_install_from_env()
     if args.chaos:
         controller = chaos.install(args.chaos, seed=args.seed)
@@ -329,6 +332,11 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="allow_partial",
                    help="complete degraded instead of aborting when a "
                         "task permanently fails")
+    p.add_argument("--batch-size", type=int, default=None,
+                   dest="batch_size", metavar="N",
+                   help="initial scatter-gather chunk size for bulk-"
+                        "scoring tools (adaptive per endpoint "
+                        "afterwards; default 64)")
     p.add_argument("--no-payload-cache", action="store_true",
                    dest="no_payload_cache",
                    help="disable the data-plane fast path (by-reference "

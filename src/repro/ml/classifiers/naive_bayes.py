@@ -126,6 +126,41 @@ class NaiveBayesUpdateable(IncrementalClassifier):
         probs = np.exp(log_probs)
         return probs / probs.sum()
 
+    def _distribution_many(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_distribution`: one numpy pass over a
+        ``(n, m)`` value matrix (NaN = missing), same estimator maths
+        attribute by attribute as the scalar path."""
+        header = self.header
+        n = rows.shape[0]
+        log_probs = np.tile(
+            np.log(self._class_counts / self._class_counts.sum()),
+            (n, 1))
+        for idx, est in enumerate(self._estimators):
+            if est is None:
+                continue
+            col = rows[:, idx]
+            present = ~np.isnan(col)
+            if not present.any():
+                continue
+            if header.attribute(idx).is_nominal:
+                # (classes, values) probability table, indexed per row
+                table = np.vstack([e.counts / e.counts.sum()  # type: ignore
+                                   for e in est])
+                probs = table[:, col[present].astype(int)].T
+            else:
+                stds = np.array([e.std for e in est])  # type: ignore
+                means = np.array([e.mean for e in est])  # type: ignore
+                weights = np.array([e.weight for e in est])  # type: ignore
+                z = (col[present, None] - means[None, :]) / stds[None, :]
+                probs = np.exp(-0.5 * z * z) / (stds *
+                                                math.sqrt(2 * math.pi))
+                # a class never observed must not outscore observed ones
+                probs = np.where(weights > 0, probs, 1e-9)
+            log_probs[present] += np.log(np.maximum(probs, 1e-300))
+        log_probs -= log_probs.max(axis=1, keepdims=True)
+        probs = np.exp(log_probs)
+        return probs / probs.sum(axis=1, keepdims=True)
+
     def model_text(self) -> str:
         header = self.header
         lines = ["Naive Bayes model", ""]

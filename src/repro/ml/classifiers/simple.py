@@ -32,6 +32,9 @@ class ZeroR(Classifier):
     def _distribution(self, instance: Instance) -> np.ndarray:
         return self._dist.copy()
 
+    def _distribution_many(self, rows: np.ndarray) -> np.ndarray:
+        return np.tile(self._dist, (rows.shape[0], 1))
+
     def model_text(self) -> str:
         label = self.header.class_attribute.values[int(np.argmax(self._dist))]
         return f"ZeroR predicts class value: {label}"

@@ -272,6 +272,44 @@ def learning_curve(make_classifier, dataset: Dataset,
     return out
 
 
+def bulk_score(classifier: "Classifier", dataset: Dataset,
+               rows: list | None = None) -> dict:
+    """Score many rows of *dataset* in one vectorized pass.
+
+    *rows* is an ordered list of row indices (``None`` = every row).
+    Returns a JSON-shaped dict: ``labels`` and ``distributions`` hold
+    one entry per requested row in input order (``None`` where the row
+    was unscorable), ``errors`` lists ``[position, message]`` pairs for
+    the bad positions, and ``scored`` counts the rows actually scored —
+    so per-item fault positions survive the trip through a batched
+    service operation exactly as a sequence of single calls would
+    report them.
+    """
+    requested = list(range(dataset.num_instances)) if rows is None \
+        else [int(r) for r in rows]
+    n = dataset.num_instances
+    valid_positions, valid_rows, errors = [], [], []
+    for position, row in enumerate(requested):
+        if 0 <= row < n:
+            valid_positions.append(position)
+            valid_rows.append(row)
+        else:
+            errors.append([position,
+                           f"row index {row} out of range for "
+                           f"{n} instance(s)"])
+    labels_out: list = [None] * len(requested)
+    dists_out: list = [None] * len(requested)
+    if valid_rows:
+        dists = classifier.distribution_many(dataset, valid_rows)
+        values = classifier.header.class_attribute.values
+        picks = np.argmax(dists, axis=1)
+        for position, dist, pick in zip(valid_positions, dists, picks):
+            labels_out[position] = values[int(pick)]
+            dists_out[position] = [float(p) for p in dist]
+    return {"labels": labels_out, "distributions": dists_out,
+            "errors": errors, "scored": len(valid_rows)}
+
+
 def cross_validate(make_classifier, dataset: Dataset, k: int = 10,
                    seed: int = 1) -> EvaluationResult:
     """Stratified k-fold cross-validation.

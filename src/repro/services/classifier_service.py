@@ -28,6 +28,7 @@ from repro.data import arff, stream
 from repro.errors import DataError
 from repro.ml import catalogue, evaluation
 from repro.ml.base import CLASSIFIERS, IncrementalClassifier
+from repro.obs import get_metrics
 from repro.ws.service import operation
 
 
@@ -43,6 +44,15 @@ def _load(dataset_arff: str, attribute: str):
     ds = arff.loads(dataset_arff)
     ds.set_class(attribute)
     return ds
+
+
+def _note_batch(service: str, size: int) -> None:
+    """File the batch-plane metrics for one vectorized scoring call."""
+    metrics = get_metrics()
+    metrics.histogram("ws.batch.size", service=service).observe(size)
+    if size > 1:
+        metrics.counter("ws.batch.calls_saved",
+                        service=service).inc(size - 1)
 
 
 class ClassifierService:
@@ -147,6 +157,39 @@ class ClassifierService:
             "accuracy": result.accuracy if result.total else None,
             "tested": result.total,
         }
+
+    # -- bulk scoring (Grid WEKA's "labelling of test data", batched) -------
+    @operation
+    def classifyBatch(self, classifier: str, dataset: str,  # noqa: N802
+                      attribute: str, rows: list = None,
+                      train: str = None, options: dict = None) -> dict:
+        """Score many rows of one ARFF document in a single vectorized
+        pass.  *rows* lists the row indices to score (``None`` = all);
+        the model trains on *train* when given, else on *dataset*
+        itself.  Per-row problems land in ``errors`` as
+        ``[position, message]`` pairs without failing the batch."""
+        test_ds = _load(dataset, attribute)
+        model_ds = _load(train, attribute) if train else test_ds
+        clf = _build(classifier, options)
+        clf.fit(model_ds)
+        out = evaluation.bulk_score(clf, test_ds, rows)
+        _note_batch("Classifier",
+                    len(rows) if rows is not None
+                    else test_ds.num_instances)
+        out["classifier"] = classifier
+        return out
+
+    @operation
+    def distributionBatch(self, classifier: str, dataset: str,  # noqa: N802
+                          attribute: str, rows: list = None,
+                          train: str = None, options: dict = None) -> dict:
+        """Like :meth:`classifyBatch` but returning only the per-class
+        probability distributions (one vector per requested row)."""
+        out = self.classifyBatch(classifier, dataset, attribute,
+                                 rows=rows, train=train, options=options)
+        return {"distributions": out["distributions"],
+                "errors": out["errors"], "scored": out["scored"],
+                "classifier": classifier}
 
     # -- streaming (§1: remote data streams) ----------------------------------
     @operation

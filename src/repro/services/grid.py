@@ -17,17 +17,16 @@ requirement applied to grid jobs).
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.data import arff
 from repro.data.dataset import Dataset
-from repro.errors import ServiceError, TransportError, WorkflowError
+from repro.errors import WorkflowError
 from repro.ml.evaluation import EvaluationResult, stratified_folds
 from repro.obs import (get_metrics, get_tracer,
                        maybe_enable_tracing_from_env)
-from repro.ws.deadline import current_deadline
+from repro.ws.scatter import ScatterGather, ScatterReport
 
 
 @dataclass
@@ -71,8 +70,10 @@ def distributed_cross_validate(proxies: Sequence, dataset: Dataset,
 
     Each proxy must expose the general Classifier service's ``predict``
     operation (train on the fold's training split, label its test split).
-    Folds are processed by a pool of worker threads, one per proxy; a fold
-    whose worker fails is re-queued for the remaining workers.
+    Folds are scattered across the proxies one per dispatch (a fold is
+    already a coarse work unit) by :class:`~repro.ws.scatter
+    .ScatterGather`, which also supplies the migration semantics: a fold
+    whose endpoint fails is re-queued for the survivors.
     """
     maybe_enable_tracing_from_env()  # opt-in FAEHIM_TRACE=1 hook
     if not proxies:
@@ -93,110 +94,51 @@ def distributed_cross_validate(proxies: Sequence, dataset: Dataset,
         test = dataset.subset(sorted(fold))
         jobs.append((fold_no, arff.dumps(train), arff.dumps(test), test))
 
-    queue = list(jobs)
-    queue_lock = threading.Lock()
-    merge_lock = threading.Lock()
-    outcomes: list[FoldOutcome] = []
-    dead_workers: set[int] = set()
-    errors: list[Exception] = []
     tracer = get_tracer()
-    grid_span = None  # rebound to the root span once dispatch begins
-    # captured here because worker threads don't inherit contextvars;
-    # an expired budget stops workers taking new folds, and the
-    # post-join check below fails the run fast instead of re-dispatching
-    deadline = current_deadline()
+    with tracer.span("grid:cross_validate",
+                     {"classifier": classifier, "k": k,
+                      "endpoints": len(proxies)}) as root_span:
+        grid_span = root_span if root_span.recording else None
 
-    def dispatch_fold(proxy, worker_id: int, fold_no: int,
-                      train_doc: str, test_doc: str) -> dict:
-        # worker threads don't inherit the caller's contextvars, so the
-        # per-fold span is parented on the grid root span explicitly
-        with tracer.span(f"grid:fold{fold_no}",
-                         {"worker": worker_id, "fold": fold_no},
-                         parent=grid_span):
-            out = proxy.call("predict", classifier=classifier,
-                             train=train_doc, test=test_doc,
-                             attribute=attribute, options=options or {})
-        get_metrics().counter("grid.folds", worker=worker_id).inc()
-        return out
+        def dispatch(worker_id: int, chunk_items: list,
+                     indices: list[int]) -> list[dict]:
+            out = []
+            for fold_no, train_doc, test_doc, _test_ds in chunk_items:
+                # worker threads don't inherit the caller's contextvars,
+                # so the per-fold span is parented on the grid root
+                # span explicitly
+                with tracer.span(f"grid:fold{fold_no}",
+                                 {"worker": worker_id, "fold": fold_no},
+                                 parent=grid_span):
+                    out.append(proxies[worker_id].call(
+                        "predict", classifier=classifier,
+                        train=train_doc, test=test_doc,
+                        attribute=attribute, options=options or {}))
+                get_metrics().counter("grid.folds",
+                                      worker=worker_id).inc()
+            return out
 
-    def worker(worker_id: int) -> None:
-        proxy = proxies[worker_id]
-        while True:
-            if deadline is not None and deadline.expired:
-                return  # stop taking folds; the join-side check raises
-            with queue_lock:
-                if not queue:
-                    return
-                job = queue.pop(0)
-            fold_no, train_doc, test_doc, test_ds = job
-            try:
-                out = dispatch_fold(proxy, worker_id, fold_no,
-                                    train_doc, test_doc)
-            except (TransportError, ServiceError, OSError) as exc:
-                with queue_lock:
-                    queue.append(job)  # migrate the fold
-                    dead_workers.add(worker_id)
-                    alive = len(proxies) - len(dead_workers)
-                with merge_lock:
-                    outcomes.append(FoldOutcome(fold_no, worker_id,
-                                                migrated=True,
-                                                completed=False))
-                    if alive == 0:
-                        errors.append(exc)
-                return  # this worker is done for
+        sg = ScatterGather(len(proxies), chunk=1, max_chunk=1,
+                           name="grid")
+        report = sg.run(jobs, dispatch)
+
+        outcomes: list[FoldOutcome] = []
+        for d in report.dispatches:
+            for position in d.indices:
+                outcomes.append(FoldOutcome(
+                    jobs[position][0], d.endpoint, attempts=d.attempts,
+                    migrated=d.migrated or not d.completed,
+                    completed=d.completed))
+        for (fold_no, _train, _test, test_ds), out in zip(jobs,
+                                                          report.results):
             fold_result = EvaluationResult(labels)
-            predicted = out["labels"]
-            for inst, label in zip(test_ds, predicted):
+            for inst, label in zip(test_ds, out["labels"]):
                 if inst.class_is_missing(test_ds):
                     continue
                 actual = int(inst.class_value(test_ds))
                 fold_result.record(
                     actual, list(labels).index(label), inst.weight)
-            with merge_lock:
-                total.merge(fold_result)
-                outcomes.append(FoldOutcome(fold_no, worker_id))
-
-    with tracer.span("grid:cross_validate",
-                     {"classifier": classifier, "k": k,
-                      "endpoints": len(proxies)}) as root_span:
-        if root_span.recording:
-            grid_span = root_span
-        threads = [threading.Thread(target=worker, args=(i,),
-                                    name=f"grid-worker-{i}")
-                   for i in range(len(proxies))]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        if queue and deadline is not None:
-            deadline.check("grid cross-validation")
-        if queue and errors:
-            raise WorkflowError(
-                f"{len(queue)} fold(s) undispatchable: all endpoints "
-                f"died ({errors[0]!r})")
-        if queue:
-            # some folds migrated but workers exited; run them on any
-            # survivor
-            survivors = [i for i in range(len(proxies))
-                         if i not in dead_workers]
-            if not survivors:
-                raise WorkflowError("all grid endpoints failed")
-            for job in list(queue):
-                queue.remove(job)
-                fold_no, train_doc, test_doc, test_ds = job
-                proxy = proxies[survivors[0]]
-                out = dispatch_fold(proxy, survivors[0], fold_no,
-                                    train_doc, test_doc)
-                fold_result = EvaluationResult(labels)
-                for inst, label in zip(test_ds, out["labels"]):
-                    if inst.class_is_missing(test_ds):
-                        continue
-                    fold_result.record(int(inst.class_value(test_ds)),
-                                       list(labels).index(label),
-                                       inst.weight)
-                total.merge(fold_result)
-                outcomes.append(FoldOutcome(fold_no, survivors[0],
-                                            attempts=2, migrated=True))
+            total.merge(fold_result)
         root_span.set_attribute("migrations",
                                 sum(1 for o in outcomes if o.migrated))
         return GridRunReport(result=total, outcomes=outcomes)
@@ -221,3 +163,57 @@ def remote_label(proxy, train: Dataset, unlabelled: Dataset,
                      train=arff.dumps(train),
                      test=arff.dumps(unlabelled), attribute=attribute)
     return out["labels"]
+
+
+@dataclass
+class BulkScoreReport:
+    """Labels in input order + the scatter-gather execution trace."""
+
+    labels: list
+    report: ScatterReport
+
+    @property
+    def rebalances(self) -> int:
+        return self.report.rebalances
+
+
+def _as_arff(data) -> str:
+    return arff.dumps(data) if isinstance(data, Dataset) else data
+
+
+def scatter_score(proxies: Sequence, train, test,
+                  classifier: str = "J48",
+                  attribute: str | None = None,
+                  options: dict | None = None,
+                  chunk: int | None = None) -> BulkScoreReport:
+    """Grid WEKA's bulk 'labelling of test data', scattered.
+
+    Trains *classifier* once per replica (each caches its model) and
+    scores *test*'s rows via chunked ``classifyBatch`` calls split
+    across *proxies* by :class:`~repro.ws.scatter.ScatterGather` —
+    adaptive chunk sizes, input-order merge, migration of failed chunks
+    to surviving replicas.  *train*/*test* may be
+    :class:`~repro.data.dataset.Dataset` objects or ARFF text.
+    """
+    if not proxies:
+        raise WorkflowError("need at least one Classifier endpoint")
+    train_ds = train if isinstance(train, Dataset) else arff.loads(train)
+    attribute = attribute or (
+        train_ds.class_attribute.name if train_ds.has_class
+        else train_ds.attributes[-1].name)
+    train_doc = _as_arff(train)
+    test_doc = _as_arff(test)
+    n_rows = (test.num_instances if isinstance(test, Dataset)
+              else arff.loads(test).num_instances)
+
+    def dispatch(endpoint: int, chunk_rows: list[int],
+                 _indices: list[int]) -> list:
+        out = proxies[endpoint].call(
+            "classifyBatch", classifier=classifier, dataset=test_doc,
+            attribute=attribute, rows=list(chunk_rows), train=train_doc,
+            options=options or {})
+        return out["labels"]
+
+    sg = ScatterGather(len(proxies), chunk=chunk, name="bulk-score")
+    report = sg.run(list(range(n_rows)), dispatch)
+    return BulkScoreReport(labels=report.results, report=report)

@@ -17,7 +17,9 @@ reproduce the paper's performance comparison (the PERF-4.5 bench).
 from __future__ import annotations
 
 from repro.data import arff
+from repro.ml import evaluation
 from repro.ml.classifiers import J48
+from repro.services.classifier_service import _note_batch
 from repro.ws.service import operation
 
 
@@ -64,3 +66,29 @@ class J48Service:
                     options: dict = None) -> str:
         """Apply J48; returns the tree as Graphviz dot text."""
         return self._fit(dataset, attribute, options).to_dot()
+
+    # -- bulk scoring (batched; rides the _last_model cache) ----------------
+    @operation
+    def classifyBatch(self, dataset: str, attribute: str,  # noqa: N802
+                      rows: list = None, train: str = None,
+                      options: dict = None) -> dict:
+        """Score many rows of *dataset* with one J48 model (trained on
+        *train* when given, else on *dataset*); see the general
+        Classifier service's ``classifyBatch`` for the result shape."""
+        model = self._fit(train if train else dataset, attribute, options)
+        test_ds = arff.loads(dataset)
+        test_ds.set_class(attribute)
+        out = evaluation.bulk_score(model, test_ds, rows)
+        _note_batch("J48", len(rows) if rows is not None
+                    else test_ds.num_instances)
+        return out
+
+    @operation
+    def distributionBatch(self, dataset: str, attribute: str,  # noqa: N802
+                          rows: list = None, train: str = None,
+                          options: dict = None) -> dict:
+        """Per-class probability vectors for many rows in one pass."""
+        out = self.classifyBatch(dataset, attribute, rows=rows,
+                                 train=train, options=options)
+        return {"distributions": out["distributions"],
+                "errors": out["errors"], "scored": out["scored"]}

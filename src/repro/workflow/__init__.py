@@ -10,6 +10,7 @@ from repro.workflow.engine import (ChaosMiddleware, RunResult,
 from repro.workflow.toolbox import ToolBox, default_toolbox
 from repro.workflow.monitor import EventBus, ProgressMonitor, TaskEvent
 from repro.workflow.faults import ReplicatedServiceTool, RetryPolicy
+from repro.workflow.bulk import BulkScoreTool
 from repro.workflow.wsimport import (WebServiceTool, import_wsdl_text,
                                      import_wsdl_url)
 from repro.workflow import builtin_tools, dax, patterns, signal_tools, xmlio
@@ -20,7 +21,7 @@ __all__ = [
     "WorkflowEngine", "RunResult", "TaskMiddleware", "ChaosMiddleware",
     "ToolBox", "default_toolbox",
     "EventBus", "TaskEvent", "ProgressMonitor",
-    "RetryPolicy", "ReplicatedServiceTool",
+    "RetryPolicy", "ReplicatedServiceTool", "BulkScoreTool",
     "WebServiceTool", "import_wsdl_url", "import_wsdl_text",
     "builtin_tools", "signal_tools", "patterns", "xmlio", "dax",
 ]

@@ -1,0 +1,59 @@
+"""Bulk scoring as a workflow tool (the batched invocation plane's
+workflow-layer adopter).
+
+:class:`BulkScoreTool` labels a test set by scattering chunked
+``classifyBatch`` calls across a pool of replica Classifier endpoints —
+Grid WEKA's "labelling of test data using a previously built
+classifier" expressed as a toolbox tool, the same way
+:class:`~repro.workflow.faults.ReplicatedServiceTool` expresses
+single-call failover.  Chunk migration off dead replicas comes from
+:class:`~repro.ws.scatter.ScatterGather` (see
+:func:`repro.services.grid.scatter_score`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.services import grid
+from repro.workflow.model import Tool
+
+
+class BulkScoreTool(Tool):
+    """Scatter-gather a test set's rows across replica endpoints.
+
+    Inputs: ``train`` and ``test`` (ARFF text).  Output: the predicted
+    label per test row, in input order.  Parameters (defaults settable
+    at construction): ``classifier``, ``attribute`` ("" = the training
+    set's class attribute), ``options`` and ``chunk`` (initial scatter
+    chunk size; ``None`` = the process default, see
+    :func:`repro.ws.scatter.set_default_chunk`).
+    """
+
+    def __init__(self, name: str, proxies: Sequence[Any],
+                 classifier: str = "J48", attribute: str = "",
+                 folder: str = "WebServices", doc: str = "",
+                 chunk: int | None = None,
+                 options: dict | None = None):
+        super().__init__(
+            name, inputs=["train", "test"], outputs=["labels"],
+            folder=folder,
+            doc=doc or (f"Bulk-score a test set with {classifier} "
+                        f"scattered across {len(proxies)} replica(s)."),
+            parameters={"classifier": classifier, "attribute": attribute,
+                        "chunk": chunk, "options": dict(options or {})})
+        self.proxies = list(proxies)
+        #: execution trace of the last run (chunk dispatches, migrations)
+        self.last_report: grid.BulkScoreReport | None = None
+
+    def run(self, inputs: list[Any], parameters: dict[str, Any]
+            ) -> list[Any]:
+        train, test = inputs
+        report = grid.scatter_score(
+            self.proxies, train, test,
+            classifier=parameters.get("classifier", "J48"),
+            attribute=parameters.get("attribute") or None,
+            options=parameters.get("options") or {},
+            chunk=parameters.get("chunk"))
+        self.last_report = report
+        return [report.labels]

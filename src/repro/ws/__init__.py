@@ -2,9 +2,11 @@
 container with the §4.5 lifecycles, HTTP hosting, client proxies, the UDDI
 registry and transport models."""
 
-from repro.ws.soap import (DEADLINE_FAULTCODE, SoapFault, SoapRequest,
-                           SoapResponse, decode_request, decode_response,
-                           encode_fault, encode_request, encode_response)
+from repro.ws.soap import (DEADLINE_FAULTCODE, MULTICALL_OP, CallOutcome,
+                           SoapFault, SoapRequest, SoapResponse, SubCall,
+                           decode_request, decode_response, encode_fault,
+                           encode_request, encode_response,
+                           multicall_request)
 from repro.ws.deadline import Deadline, current_deadline, deadline_scope
 from repro.ws.breaker import CircuitBreaker
 from repro.ws.service import OperationInfo, ServiceDefinition, operation
@@ -28,11 +30,16 @@ from repro.ws.pipeline import (CallContext, ClientInterceptor,
                                default_server_handlers,
                                default_transport_interceptors)
 from repro.ws import wsdl
+from repro.ws.scatter import (ChunkDispatch, ScatterGather, ScatterReport,
+                              default_chunk, set_default_chunk)
 
 __all__ = [
     "SoapRequest", "SoapResponse", "SoapFault",
     "encode_request", "decode_request", "encode_response",
     "decode_response", "encode_fault",
+    "MULTICALL_OP", "SubCall", "CallOutcome", "multicall_request",
+    "ScatterGather", "ScatterReport", "ChunkDispatch",
+    "default_chunk", "set_default_chunk",
     "operation", "ServiceDefinition", "OperationInfo",
     "ServiceContainer", "ServiceStats", "LIFECYCLES",
     "SoapHttpServer", "ServiceProxy", "HttpTransport", "fetch_url",

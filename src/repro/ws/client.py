@@ -20,10 +20,10 @@ from typing import Any
 from urllib.parse import urlparse
 
 from repro.data import cache as datacache
-from repro.errors import TransportError, WsdlError
+from repro.errors import ServiceError, TransportError, WsdlError
 from repro.obs import get_metrics
-from repro.ws import pipeline, wsdl
-from repro.ws.soap import SoapRequest
+from repro.ws import pipeline, soap, wsdl
+from repro.ws.soap import CallOutcome, SoapRequest, SubCall
 from repro.ws.transport import HttpTransport, Transport  # noqa: F401
 
 
@@ -117,8 +117,8 @@ class ServiceProxy:
         """Sorted operation names offered by the service."""
         return sorted(self.description.operations)
 
-    def call(self, operation: str, **params: Any) -> Any:
-        """Invoke *operation*; parameter names are checked against WSDL."""
+    def _validate(self, operation: str, params: dict[str, Any]) -> None:
+        """WSDL early feedback: reject unknown ops/params before the wire."""
         info = self.description.operations.get(operation)
         if info is None:
             raise WsdlError(
@@ -135,6 +135,10 @@ class ServiceProxy:
             raise WsdlError(
                 f"operation {operation!r} missing required parameter(s) "
                 f"{missing}")
+
+    def call(self, operation: str, **params: Any) -> Any:
+        """Invoke *operation*; parameter names are checked against WSDL."""
+        self._validate(operation, params)
         service = self.description.service
         request = SoapRequest(service, operation, params)
         ctx = pipeline.CallContext(kind="client", service=service,
@@ -142,6 +146,51 @@ class ServiceProxy:
         response = pipeline.run_chain(self.interceptors, request, ctx,
                                       self.transport.send)
         return response.result
+
+    def call_many(self, calls, *,
+                  raise_on_fault: bool = False) -> list[Any]:
+        """Invoke many operations in one wire exchange (SOAP multicall).
+
+        *calls* is an ordered iterable of ``(operation, params)`` pairs
+        or :class:`~repro.ws.soap.SubCall` items against this service
+        (mixed operations allowed); each is validated against the WSDL
+        exactly like :meth:`call`.  The batch travels through the normal
+        proxy and transport interceptor chains as a single request, so
+        deadlines, breaker state, tracing, gzip and payload-refs apply
+        to it as a unit.
+
+        Returns one :class:`~repro.ws.soap.CallOutcome` per sub-call, in
+        input order — per-item faults are carried, not raised.  With
+        ``raise_on_fault=True`` the outcomes are unwrapped into plain
+        results and the first per-item fault raises instead.
+        """
+        subcalls: list[SubCall] = []
+        for item in calls:
+            if isinstance(item, SubCall):
+                operation, params = item.operation, item.params
+            else:
+                operation, params = item
+            self._validate(operation, dict(params))
+            subcalls.append(SubCall(operation, dict(params)))
+        if not subcalls:
+            return []
+        service = self.description.service
+        request = soap.multicall_request(service, subcalls)
+        ctx = pipeline.CallContext(kind="client", service=service,
+                                   operation=soap.MULTICALL_OP)
+        response = pipeline.run_chain(self.interceptors, request, ctx,
+                                      self.transport.send)
+        outcomes = response.result
+        if not isinstance(outcomes, list) or not all(
+                isinstance(o, CallOutcome) for o in outcomes) or \
+                len(outcomes) != len(subcalls):
+            got = len(outcomes) if isinstance(outcomes, list) else "no"
+            raise ServiceError(
+                f"multicall answered {got} item(s) for "
+                f"{len(subcalls)} sub-call(s)")
+        if raise_on_fault:
+            return [outcome.unwrap() for outcome in outcomes]
+        return outcomes
 
     def __getattr__(self, name: str):
         if name.startswith("_") or name not in \

@@ -34,6 +34,11 @@ from repro.ws.soap import SoapFault
 
 class _Handler(BaseHTTPRequestHandler):
     server_version = "ReproSOAP/1.0"
+    # HTTP/1.1 keep-alive: clients pool one connection across exchanges
+    # (every response carries Content-Length, so pipelined framing is
+    # unambiguous).  The client side heals pooled connections the server
+    # has since dropped — see HttpTransport's stale-retry.
+    protocol_version = "HTTP/1.1"
     container: ServiceContainer  # injected by the server factory
     gateway: HttpGateway         # injected by the server factory
     base_url: str

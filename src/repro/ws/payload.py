@@ -223,6 +223,23 @@ def _from_bytes(data: bytes, kind: str) -> str | bytes:
     return data
 
 
+def _multicall_calls(request: "SoapRequest"):
+    """The sub-call list when *request* is a multicall, else ``None``.
+
+    Imported lazily: this module is imported by :mod:`repro.ws.soap`
+    itself, so the soap names are only touched at call time (when the
+    package is fully loaded), never at import time.
+    """
+    from repro.ws import soap
+    if request.operation != soap.MULTICALL_OP:
+        return None
+    calls = request.params.get("calls")
+    if isinstance(calls, list) and all(
+            isinstance(item, soap.SubCall) for item in calls):
+        return calls
+    return None
+
+
 def externalize(request: "SoapRequest", peer: PeerState,
                 min_bytes: int = MIN_REF_BYTES) -> "SoapRequest":
     """Return a copy of *request* with large params sent by reference.
@@ -235,12 +252,35 @@ def externalize(request: "SoapRequest", peer: PeerState,
     does not (raising :class:`PayloadMissError` if the blob is gone
     locally too).  With the fast path disabled the request passes
     through untouched (refs still get internalized, so a disabled
-    receiver never sees one).
+    receiver never sees one).  Multicall requests are handled per
+    sub-call, so a batch repeating one large ARFF ships it inline once
+    and by reference for every later item.
     """
+    calls = _multicall_calls(request)
+    if calls is not None:
+        new_calls, changed = [], False
+        for sub in calls:
+            new_params, sub_changed = _externalize_params(
+                sub.params, peer, min_bytes)
+            new_calls.append(dataclasses.replace(sub, params=new_params)
+                             if sub_changed else sub)
+            changed = changed or sub_changed
+        if not changed:
+            return request
+        return dataclasses.replace(request, params={"calls": new_calls})
+    new_params, changed = _externalize_params(request.params, peer,
+                                              min_bytes)
+    if not changed:
+        return request
+    return dataclasses.replace(request, params=new_params)
+
+
+def _externalize_params(params: dict, peer: PeerState,
+                        min_bytes: int) -> tuple[dict, bool]:
     metrics = get_metrics()
     new_params = {}
     changed = False
-    for name, value in request.params.items():
+    for name, value in params.items():
         if isinstance(value, PayloadRef):
             if _enabled and peer.knows(value.digest):
                 new_params[name] = value
@@ -269,26 +309,36 @@ def externalize(request: "SoapRequest", peer: PeerState,
             peer.learn(digest)
             new_params[name] = value
             metrics.counter("ws.payload.inline_sends").inc()
-    if not changed:
-        return request
-    return dataclasses.replace(request, params=new_params)
+    return new_params, changed
 
 
 def internalize(request: "SoapRequest") -> "SoapRequest":
     """Resolve every :class:`PayloadRef` in *request* back to its value
     (the transparent full-payload fallback after a peer miss)."""
+    calls = _multicall_calls(request)
+    if calls is not None:
+        if not refs_in(request):
+            return request
+        new_calls = [dataclasses.replace(
+            sub, params=_internalize_params(sub.params)) for sub in calls]
+        return dataclasses.replace(request, params={"calls": new_calls})
     if not any(isinstance(v, PayloadRef)
                for v in request.params.values()):
         return request
+    return dataclasses.replace(request,
+                               params=_internalize_params(request.params))
+
+
+def _internalize_params(params: dict) -> dict:
     new_params = {}
-    for name, value in request.params.items():
+    for name, value in params.items():
         if isinstance(value, PayloadRef):
             data = _store.get(value.digest)
             if data is None:
                 raise _miss(value.digest)
             value = _from_bytes(data, value.kind)
         new_params[name] = value
-    return dataclasses.replace(request, params=new_params)
+    return new_params
 
 
 def resolve(digest: str, kind: str) -> str | bytes:
@@ -324,7 +374,12 @@ def absorb_params(params: dict, min_bytes: int = MIN_REF_BYTES) -> int:
 
 
 def refs_in(request: "SoapRequest") -> list[PayloadRef]:
-    """Every :class:`PayloadRef` among the request's parameters."""
+    """Every :class:`PayloadRef` among the request's parameters
+    (including those nested inside multicall sub-calls)."""
+    calls = _multicall_calls(request)
+    if calls is not None:
+        return [v for sub in calls for v in sub.params.values()
+                if isinstance(v, PayloadRef)]
     return [v for v in request.params.values()
             if isinstance(v, PayloadRef)]
 

@@ -439,6 +439,9 @@ class CallTrace(ClientInterceptor):
     def intercept(self, request, ctx, proceed):
         with get_tracer().span(
                 f"soap:{ctx.service}.{ctx.operation}") as span:
+            batch = soap.batch_size_of(request)
+            if batch is not None:
+                span.set_attribute("batch_size", batch)
             stamp_trace_context(request, span)
             return proceed(request)
 
@@ -554,6 +557,59 @@ class DeadlineAnchor(ServerHandler):
                     f"time budget exhausted before dispatching "
                     f"{request.service}.{request.operation}")
             return proceed(request)
+
+
+class MulticallExpand(ServerHandler):
+    """Expand a ``<repro:Multicall>`` batch into per-item dispatches.
+
+    Each sub-call re-enters the rest of the chain (stats → cache →
+    lifecycle → faults → dispatch) as its own single-operation request,
+    so invocation counts, result-cache hits and ``op:`` spans stay
+    item-wise while parse/serialize and the wire exchange happened once
+    for the whole batch.  Per-item faults are captured as
+    :class:`~repro.ws.soap.CallOutcome` items — one bad row cannot fail
+    its siblings — and a budget that expires mid-batch turns the
+    remaining items into deadline faults without touching dispatch.
+    """
+
+    name = "multicall"
+
+    def handle(self, request, ctx, proceed):
+        if not soap.is_multicall(request):
+            return proceed(request)
+        calls = soap.calls_of(request)
+        metrics = get_metrics()
+        metrics.histogram("ws.batch.size",
+                          service=request.service).observe(len(calls))
+        if len(calls) > 1:
+            metrics.counter("ws.batch.calls_saved",
+                            service=request.service).inc(len(calls) - 1)
+        if ctx.span is not None:
+            ctx.span.set_attribute("batch_size", len(calls))
+        deadline = current_deadline()
+        outcomes: list[soap.CallOutcome] = []
+        for index, sub in enumerate(calls):
+            item = SoapRequest(service=request.service,
+                               operation=sub.operation,
+                               params=dict(sub.params),
+                               trace_id=request.trace_id,
+                               parent_span_id=request.parent_span_id)
+            if deadline is not None and deadline.expired:
+                _count_server_fault(item)
+                metrics.counter("ws.server.deadline_rejections",
+                                service=request.service).inc()
+                outcomes.append(soap.CallOutcome(error=SoapFault(
+                    DEADLINE_FAULTCODE,
+                    f"time budget exhausted before multicall item "
+                    f"{index} ({request.service}.{sub.operation})")))
+                continue
+            try:
+                outcomes.append(
+                    soap.CallOutcome(result=proceed(item).result))
+            except SoapFault as fault:
+                outcomes.append(soap.CallOutcome(error=fault))
+        return SoapResponse(service=request.service,
+                            operation=soap.MULTICALL_OP, result=outcomes)
 
 
 class InvocationStats(ServerHandler):
@@ -683,15 +739,17 @@ class FaultMapper(ServerHandler):
 
 
 def default_server_handlers() -> list[ServerHandler]:
-    """The standard container chain: trace → resolve → deadline → stats
-    → cache → lifecycle → faults.
+    """The standard container chain: trace → resolve → deadline →
+    multicall → stats → cache → lifecycle → faults.
 
     Order is behavioural API: a deadline rejection counts no
-    invocation, a cache hit does no lifecycle work, and instance
-    acquisition failures propagate unmapped (they are host errors, not
-    operation faults)."""
+    invocation, multicall expansion happens before stats and the result
+    cache so each sub-call is counted and cached item-wise, a cache hit
+    does no lifecycle work, and instance acquisition failures propagate
+    unmapped (they are host errors, not operation faults)."""
     return [DispatchTrace(), ResolveDeployment(), DeadlineAnchor(),
-            InvocationStats(), ResultCache(), Lifecycle(), FaultMapper()]
+            MulticallExpand(), InvocationStats(), ResultCache(),
+            Lifecycle(), FaultMapper()]
 
 
 # -- server HTTP gateway -----------------------------------------------------

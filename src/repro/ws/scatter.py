@@ -1,0 +1,246 @@
+"""Scatter-gather batch execution across replica endpoints.
+
+Grid WEKA (the paper's §2 related work) distributes bulk workloads —
+"labelling of test data using a previously built classifier" — across
+an ad-hoc pool of machines.  :class:`ScatterGather` is that capability
+for any batched operation: it splits an ordered work list across replica
+endpoints, sizes each endpoint's chunks adaptively (an EWMA of its
+per-item latency aims every dispatch at a fixed time slice, so fast
+replicas take bigger bites), merges results back in input order, and
+migrates the chunks of a failed endpoint to the survivors — the same
+fold-migration semantics :func:`repro.services.grid
+.distributed_cross_validate` has always had, factored out so bulk
+scoring and cross-validation share one engine.
+
+The helper is policy-only: it never touches sockets or envelopes itself
+(the caller's ``dispatch`` callback does, typically via
+``ServiceProxy.call``/``call_many``), and it must stay free of chaos
+imports (enforced by ``tools/layering_lint.py``) — fault injection
+belongs to the transport chains underneath.
+
+Metrics: ``ws.scatter.rebalance`` counts chunk migrations off dead
+endpoints.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import ServiceError, TransportError, WorkflowError
+from repro.obs import get_metrics
+from repro.ws.deadline import current_deadline
+
+#: Process-wide default chunk size (``repro run --batch-size`` sets it).
+DEFAULT_CHUNK = 64
+
+_default_chunk = DEFAULT_CHUNK
+
+#: Failures that mark an endpoint dead and migrate its chunk; the same
+#: set the grid fold-migration path has always used.
+MIGRATE_ERRORS = (TransportError, ServiceError, OSError)
+
+
+def set_default_chunk(size: int) -> None:
+    """Set the process-wide initial chunk size (≥ 1)."""
+    global _default_chunk
+    _default_chunk = max(1, int(size))
+
+
+def default_chunk() -> int:
+    """The process-wide initial chunk size."""
+    return _default_chunk
+
+
+@dataclass
+class ChunkDispatch:
+    """Bookkeeping for one dispatch attempt of one chunk."""
+
+    endpoint: int
+    indices: tuple[int, ...]
+    attempts: int = 1
+    migrated: bool = False
+    completed: bool = True
+    seconds: float = 0.0
+
+
+@dataclass
+class ScatterReport:
+    """Merged results + execution trace of one scatter-gather run."""
+
+    results: list
+    dispatches: list[ChunkDispatch] = field(default_factory=list)
+
+    @property
+    def rebalances(self) -> int:
+        """Chunk attempts that failed and were migrated to survivors."""
+        return sum(1 for d in self.dispatches if not d.completed)
+
+    def endpoint_loads(self) -> dict[int, int]:
+        """Completed items per endpoint (failed attempts excluded)."""
+        loads: dict[int, int] = {}
+        for d in self.dispatches:
+            if d.completed:
+                loads[d.endpoint] = loads.get(d.endpoint, 0) \
+                    + len(d.indices)
+        return loads
+
+
+class _EndpointState:
+    """Adaptive chunk sizing for one endpoint (EWMA of per-item time)."""
+
+    def __init__(self, alpha: float):
+        self.alpha = alpha
+        self.ewma_s: float | None = None
+
+    def observe(self, per_item_s: float) -> None:
+        if self.ewma_s is None:
+            self.ewma_s = per_item_s
+        else:
+            self.ewma_s = (self.alpha * per_item_s
+                           + (1.0 - self.alpha) * self.ewma_s)
+
+
+class ScatterGather:
+    """Split an ordered work list across *n_endpoints* replicas.
+
+    ``run(items, dispatch)`` drives one worker thread per endpoint;
+    each repeatedly takes the next chunk off a shared queue and calls
+    ``dispatch(endpoint, chunk_items, indices)``, which must return one
+    result per item (in chunk order).  A dispatch that raises one of
+    :data:`MIGRATE_ERRORS` kills its endpoint and re-queues the chunk
+    for the survivors.  Chunk sizes start at *chunk* and adapt per
+    endpoint: an EWMA of observed per-item seconds aims each dispatch
+    at *target_chunk_s* of work, clamped to ``[min_chunk, max_chunk]``.
+    An ambient deadline (captured at ``run`` time — worker threads do
+    not inherit contextvars) stops dispatching and fails the run fast.
+    """
+
+    def __init__(self, n_endpoints: int, *, chunk: int | None = None,
+                 min_chunk: int = 1, max_chunk: int = 256,
+                 target_chunk_s: float = 0.25, alpha: float = 0.3,
+                 name: str = "scatter"):
+        if n_endpoints < 1:
+            raise WorkflowError("scatter-gather needs ≥ 1 endpoint")
+        self.n_endpoints = n_endpoints
+        self.chunk = chunk if chunk is not None else default_chunk()
+        self.min_chunk = max(1, min_chunk)
+        self.max_chunk = max(self.min_chunk, max_chunk)
+        self.target_chunk_s = target_chunk_s
+        self.name = name
+        self._states = [_EndpointState(alpha) for _ in range(n_endpoints)]
+
+    def chunk_for(self, endpoint: int) -> int:
+        """Current chunk size for *endpoint* (adaptive after feedback)."""
+        state = self._states[endpoint]
+        if state.ewma_s is None:
+            size = self.chunk
+        elif state.ewma_s <= 0:
+            size = self.max_chunk
+        else:
+            size = int(round(self.target_chunk_s / state.ewma_s))
+        return max(self.min_chunk, min(self.max_chunk, size))
+
+    def run(self, items: Sequence, dispatch: Callable) -> ScatterReport:
+        """Dispatch *items* across the endpoints; merge in input order."""
+        items = list(items)
+        results: list = [None] * len(items)
+        pending = deque(range(len(items)))
+        dead: set[int] = set()
+        errors: list[Exception] = []
+        fatal: list[Exception] = []
+        dispatches: list[ChunkDispatch] = []
+        lock = threading.Lock()
+        deadline = current_deadline()
+
+        def take(endpoint: int) -> list[int]:
+            with lock:
+                if not pending:
+                    return []
+                size = min(self.chunk_for(endpoint), len(pending))
+                return [pending.popleft() for _ in range(size)]
+
+        def attempt(endpoint: int, indices: list[int],
+                    attempts: int) -> None:
+            chunk_items = [items[i] for i in indices]
+            start = time.perf_counter()
+            out = dispatch(endpoint, chunk_items, list(indices))
+            elapsed = time.perf_counter() - start
+            if out is None or len(out) != len(indices):
+                got = len(out) if out is not None else "no"
+                raise WorkflowError(
+                    f"{self.name} dispatch returned {got} result(s) "
+                    f"for {len(indices)} item(s)")
+            with lock:
+                for i, value in zip(indices, out):
+                    results[i] = value
+                self._states[endpoint].observe(
+                    elapsed / max(1, len(indices)))
+                dispatches.append(ChunkDispatch(
+                    endpoint, tuple(indices), attempts=attempts,
+                    migrated=attempts > 1, seconds=elapsed))
+
+        def fail(endpoint: int, indices: list[int],
+                 exc: Exception) -> None:
+            with lock:
+                for i in reversed(indices):
+                    pending.appendleft(i)  # migrate the chunk
+                dead.add(endpoint)
+                errors.append(exc)
+                dispatches.append(ChunkDispatch(
+                    endpoint, tuple(indices), migrated=True,
+                    completed=False))
+            get_metrics().counter("ws.scatter.rebalance").inc()
+
+        def worker(endpoint: int) -> None:
+            while True:
+                if deadline is not None and deadline.expired:
+                    return  # stop taking work; the join-side check raises
+                indices = take(endpoint)
+                if not indices:
+                    return
+                try:
+                    attempt(endpoint, indices, attempts=1)
+                except MIGRATE_ERRORS as exc:
+                    fail(endpoint, indices, exc)
+                    return  # this endpoint is done for
+                except Exception as exc:  # dispatch contract broken
+                    with lock:
+                        fatal.append(exc)
+                        for i in reversed(indices):
+                            pending.appendleft(i)
+                    return
+
+        threads = [threading.Thread(target=worker, args=(i,),
+                                    name=f"{self.name}-worker-{i}")
+                   for i in range(self.n_endpoints)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if fatal:
+            raise fatal[0]
+        if pending and deadline is not None:
+            deadline.check(self.name)
+        if pending:
+            # chunks migrated after every other worker already exited:
+            # drain them on the surviving endpoints, chunk at a time
+            survivors = [i for i in range(self.n_endpoints)
+                         if i not in dead]
+            while pending:
+                if not survivors:
+                    raise WorkflowError(
+                        f"{len(pending)} {self.name} item(s) "
+                        f"undispatchable: all {self.n_endpoints} "
+                        f"endpoint(s) died ({errors[0]!r})")
+                endpoint = survivors[0]
+                indices = take(endpoint)
+                try:
+                    attempt(endpoint, indices, attempts=2)
+                except MIGRATE_ERRORS as exc:
+                    fail(endpoint, indices, exc)
+                    survivors.pop(0)
+        return ScatterReport(results=results, dispatches=dispatches)

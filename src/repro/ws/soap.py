@@ -30,6 +30,12 @@ from repro.ws.payload import PayloadMissError, PayloadRef
 #: :func:`decode_response` resurfaces it as :class:`DeadlineExceeded`.
 DEADLINE_FAULTCODE = "repro:DeadlineExceeded"
 
+#: Reserved operation name for the batched-invocation envelope: one
+#: ``<repro:Multicall>`` body element carries an ordered list of
+#: sub-invocations against the same service (mixed operations allowed),
+#: so one parse/serialize and one wire exchange covers many calls.
+MULTICALL_OP = "Multicall"
+
 ENVELOPE_NS = "http://schemas.xmlsoap.org/soap/envelope/"
 XSD_NS = "http://www.w3.org/2001/XMLSchema"
 XSI_NS = "http://www.w3.org/2001/XMLSchema-instance"
@@ -172,6 +178,75 @@ class SoapResponse:
     result: Any = None
 
 
+@dataclass
+class SubCall:
+    """One item of a multicall batch: an operation plus its parameters."""
+
+    operation: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class CallOutcome:
+    """Per-item outcome of a multicall: a result or a captured fault.
+
+    Item faults are *carried*, not raised — one malformed sub-call must
+    not fail its siblings.  :meth:`unwrap` raises the stored exception
+    for callers that want single-call semantics back.
+    """
+
+    result: Any = None
+    error: Exception | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def fault(self) -> SoapFault | None:
+        return self.error if isinstance(self.error, SoapFault) else None
+
+    def unwrap(self) -> Any:
+        """The result, or raise the stored per-item error."""
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+def multicall_request(service: str, calls: list[SubCall], *,
+                      trace_id: str = "", parent_span_id: str = "",
+                      deadline_s: float | None = None) -> SoapRequest:
+    """Build the batch request; it flows through the ordinary interceptor
+    chains as one :class:`SoapRequest` whose operation is
+    :data:`MULTICALL_OP`, so deadlines, breaker state, tracing, gzip and
+    payload-refs all apply to the batch as a unit."""
+    return SoapRequest(service=service, operation=MULTICALL_OP,
+                       params={"calls": list(calls)}, trace_id=trace_id,
+                       parent_span_id=parent_span_id, deadline_s=deadline_s)
+
+
+def is_multicall(request: SoapRequest) -> bool:
+    """True when *request* is a batched-invocation envelope."""
+    return (request.operation == MULTICALL_OP
+            and isinstance(request.params.get("calls"), list))
+
+
+def calls_of(request: SoapRequest) -> list[SubCall]:
+    """The ordered sub-calls of a multicall request."""
+    calls = request.params.get("calls")
+    if not isinstance(calls, list) or not all(
+            isinstance(item, SubCall) for item in calls):
+        raise ServiceError("multicall request carries no sub-call list")
+    return calls
+
+
+def batch_size_of(request: SoapRequest) -> int | None:
+    """Number of sub-calls if *request* is a multicall, else ``None``."""
+    if not is_multicall(request):
+        return None
+    return len(request.params["calls"])
+
+
 _TRACE_ID_OK = _re.compile(r"^[0-9a-f]{1,64}$")
 
 
@@ -190,6 +265,16 @@ def encode_request(request: SoapRequest) -> bytes:
             dl.set("remainingMs",
                    f"{max(0.0, request.deadline_s) * 1000.0:.3f}")
     body = ET.SubElement(envelope, _qname(ENVELOPE_NS, "Body"))
+    if is_multicall(request):
+        batch = ET.SubElement(body, _qname(REPRO_NS, MULTICALL_OP))
+        batch.set("service", request.service)
+        for sub in calls_of(request):
+            call = ET.SubElement(batch, _qname(REPRO_NS, "Call"))
+            call.set("operation", _check_name(sub.operation, "operation"))
+            for name, value in sub.params.items():
+                _encode_value(call, _check_name(name, "parameter"), value)
+        return ET.tostring(envelope, encoding="utf-8",
+                           xml_declaration=True)
     op = ET.SubElement(body, _qname(
         REPRO_NS, _check_name(request.operation, "operation")))
     op.set("service", request.service)
@@ -206,6 +291,21 @@ def decode_request(document: bytes) -> SoapRequest:
     op = _single_child(body, "request")
     local = op.tag.rsplit("}", 1)[-1]
     service = op.get("service", "")
+    if local == MULTICALL_OP:
+        calls = []
+        for call_el in op:
+            if call_el.tag.rsplit("}", 1)[-1] != "Call":
+                raise ServiceError(
+                    "multicall body may only carry <repro:Call> items")
+            sub_params = {child.tag.rsplit("}", 1)[-1]: _decode_value(child)
+                          for child in call_el}
+            payload.absorb_params(sub_params)
+            calls.append(SubCall(call_el.get("operation", ""), sub_params))
+        trace_id, parent_span_id = _decode_trace_header(envelope)
+        return SoapRequest(service=service, operation=MULTICALL_OP,
+                           params={"calls": calls}, trace_id=trace_id,
+                           parent_span_id=parent_span_id,
+                           deadline_s=_decode_deadline_header(envelope))
     params = {child.tag.rsplit("}", 1)[-1]: _decode_value(child)
               for child in op}
     # remember large inline payloads so the peer's next send of the
@@ -260,6 +360,28 @@ def _decode_deadline_header(envelope: ET.Element) -> float | None:
     return remaining_ms / 1000.0
 
 
+def _fault_fields(error: Exception) -> tuple[str, str, str]:
+    """(faultcode, faultstring, detail) for a per-item multicall fault."""
+    if isinstance(error, SoapFault):
+        return error.faultcode, error.faultstring, error.detail
+    if isinstance(error, DeadlineExceeded):
+        return DEADLINE_FAULTCODE, str(error), ""
+    return "soapenv:Server", str(error) or type(error).__name__, ""
+
+
+def _fault_to_exception(code: str, string: str, detail: str) -> Exception:
+    """Map fault fields back to the exception a single call would raise."""
+    if code == DEADLINE_FAULTCODE:
+        # the dedicated (non-retriable) exception so clients do not
+        # burn retries on an already-spent budget
+        return DeadlineExceeded(string)
+    if code == payload.MISS_FAULTCODE:
+        # the peer does not hold a referenced payload: transports
+        # catch this and fall back to a full inline resend
+        return PayloadMissError(detail, string)
+    return SoapFault(code, string, detail)
+
+
 def encode_response(response: SoapResponse) -> bytes:
     """Serialise a SoapResponse as an envelope."""
     envelope = ET.Element(_qname(ENVELOPE_NS, "Envelope"))
@@ -267,6 +389,24 @@ def encode_response(response: SoapResponse) -> bytes:
     op = ET.SubElement(body,
                        _qname(REPRO_NS, f"{response.operation}Response"))
     op.set("service", response.service)
+    if response.operation == MULTICALL_OP:
+        outcomes = response.result or []
+        if not all(isinstance(o, CallOutcome) for o in outcomes):
+            raise ServiceError(
+                "multicall response result must be CallOutcome items")
+        for outcome in outcomes:
+            if outcome.ok:
+                item = ET.SubElement(op, _qname(REPRO_NS, "Result"))
+                _encode_value(item, "return", outcome.result)
+            else:
+                item = ET.SubElement(op, _qname(REPRO_NS, "Fault"))
+                code, string, detail = _fault_fields(outcome.error)
+                ET.SubElement(item, "faultcode").text = code
+                ET.SubElement(item, "faultstring").text = string
+                if detail:
+                    ET.SubElement(item, "detail").text = detail
+        return ET.tostring(envelope, encoding="utf-8",
+                           xml_declaration=True)
     _encode_value(op, "return", response.result)
     return ET.tostring(envelope, encoding="utf-8", xml_declaration=True)
 
@@ -295,17 +435,28 @@ def decode_response(document: bytes) -> SoapResponse:
         code = child.findtext("faultcode", "soapenv:Server")
         string = child.findtext("faultstring", "unknown fault")
         detail = child.findtext("detail", "") or ""
-        if code == DEADLINE_FAULTCODE:
-            # resurface as the dedicated (non-retriable) exception so
-            # clients do not burn retries on an already-spent budget
-            raise DeadlineExceeded(string)
-        if code == payload.MISS_FAULTCODE:
-            # the peer does not hold a referenced payload: transports
-            # catch this and fall back to a full inline resend
-            raise PayloadMissError(detail, string)
-        raise SoapFault(code, string, detail)
+        raise _fault_to_exception(code, string, detail)
     if not local.endswith("Response"):
         raise ServiceError(f"unexpected response element {local!r}")
+    if local == f"{MULTICALL_OP}Response":
+        outcomes: list[CallOutcome] = []
+        for item in child:
+            kind = item.tag.rsplit("}", 1)[-1]
+            if kind == "Result":
+                result_el = item.find("return")
+                outcomes.append(CallOutcome(
+                    result=_decode_value(result_el)
+                    if result_el is not None else None))
+            elif kind == "Fault":
+                outcomes.append(CallOutcome(error=_fault_to_exception(
+                    item.findtext("faultcode", "soapenv:Server"),
+                    item.findtext("faultstring", "unknown fault"),
+                    item.findtext("detail", "") or "")))
+            else:
+                raise ServiceError(
+                    f"unexpected multicall item element {kind!r}")
+        return SoapResponse(service=child.get("service", ""),
+                            operation=MULTICALL_OP, result=outcomes)
     result_el = child.find("return")
     result = _decode_value(result_el) if result_el is not None else None
     return SoapResponse(service=child.get("service", ""),

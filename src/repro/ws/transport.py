@@ -164,11 +164,43 @@ class HttpTransport(ChainedTransport):
         """This transport's URL, tagged on its ``send:http`` spans."""
         return self.endpoint
 
+    #: The pooled keep-alive connection was closed by the server between
+    #: exchanges; a fresh connection deserves one silent retry.
+    _STALE_ERRORS = (http.client.RemoteDisconnected,
+                     http.client.BadStatusLine)
+
     def _connection(self) -> http.client.HTTPConnection:
         if self._conn is None:
             self._conn = http.client.HTTPConnection(
                 self._host, self._port, timeout=self._timeout)
         return self._conn
+
+    def _post(self, request: SoapRequest, wire: bytes, headers: dict):
+        conn = self._connection()
+        # never wait on the socket longer than the call's
+        # remaining budget allows
+        effective = self._timeout
+        if request.deadline_s is not None:
+            effective = min(effective, max(request.deadline_s, 1e-3))
+        conn.timeout = effective
+        if conn.sock is not None:
+            conn.sock.settimeout(effective)
+        conn.request("POST", self._path, body=wire, headers=headers)
+        http_response = conn.getresponse()
+        return http_response, http_response.read()
+
+    def _raise_unreachable(self, exc: Exception, request: SoapRequest,
+                           ctx: CallContext) -> None:
+        ctx.on_transport_error()
+        if isinstance(exc, TimeoutError) and \
+                request.deadline_s is not None and \
+                request.deadline_s < self._timeout:
+            raise DeadlineExceeded(
+                f"{self.endpoint} did not answer within the "
+                f"remaining {request.deadline_s:.3f}s budget"
+            ) from exc
+        raise TransportError(
+            f"cannot reach {self.endpoint}: {exc}") from exc
 
     def _exchange(self, request: SoapRequest, ctx: CallContext = None,
                   *_legacy) -> SoapResponse:
@@ -185,32 +217,27 @@ class HttpTransport(ChainedTransport):
             if encoding:
                 headers["Content-Encoding"] = encoding
         self.bytes_sent += len(wire)
+        reused = self._conn is not None and self._conn.sock is not None
         try:
-            conn = self._connection()
-            # never wait on the socket longer than the call's
-            # remaining budget allows
-            effective = self._timeout
-            if request.deadline_s is not None:
-                effective = min(effective, max(request.deadline_s,
-                                               1e-3))
-            conn.timeout = effective
-            if conn.sock is not None:
-                conn.sock.settimeout(effective)
-            conn.request("POST", self._path, body=wire, headers=headers)
-            http_response = conn.getresponse()
-            body = http_response.read()
+            http_response, body = self._post(request, wire, headers)
+        except self._STALE_ERRORS as exc:
+            self.close()
+            if not reused:
+                self._raise_unreachable(exc, request, ctx)
+            # a keep-alive connection pooled from an earlier exchange
+            # went stale under us; that says nothing about endpoint
+            # health, so retry once on a fresh connection instead of
+            # surfacing a failure to the retry/breaker layers
+            ctx.note("stale_retry", True)
+            ctx.emit_counter("ws.transport.stale_retries")
+            try:
+                http_response, body = self._post(request, wire, headers)
+            except (OSError, http.client.HTTPException) as retry_exc:
+                self.close()
+                self._raise_unreachable(retry_exc, request, ctx)
         except (OSError, http.client.HTTPException) as exc:
             self.close()
-            ctx.on_transport_error()
-            if isinstance(exc, TimeoutError) and \
-                    request.deadline_s is not None and \
-                    request.deadline_s < self._timeout:
-                raise DeadlineExceeded(
-                    f"{self.endpoint} did not answer within the "
-                    f"remaining {request.deadline_s:.3f}s budget"
-                ) from exc
-            raise TransportError(
-                f"cannot reach {self.endpoint}: {exc}") from exc
+            self._raise_unreachable(exc, request, ctx)
         self.bytes_received += len(body)
         ctx.note("bytes_sent", len(wire))
         ctx.note("bytes_received", len(body))

@@ -1,0 +1,86 @@
+"""Chaos × batching: a multicall is ONE wire exchange, so it consumes
+exactly the dice a single send would.
+
+Fixed-seed drills are regression tests; if batching changed how many
+RNG draws a wire exchange makes, every recorded drill outcome would
+shift the moment a workflow adopted ``call_many``.  Pinned here with
+the PR-2 drill plan (``drop=0.3,delay=50ms``, seed 7): the injection
+sequence depends only on the number of wire exchanges, never on batch
+sizes — and a corrupted batch is one fault event, not one per sub-call.
+"""
+
+import pytest
+
+from repro.chaos import ChaosController, ChaosInterceptor
+from repro.errors import ServiceError, TransportError
+from repro.ws import wsdl
+from repro.ws.client import ServiceProxy
+from repro.ws.container import ServiceContainer
+from repro.ws.pipeline import chain_insert_after
+from repro.ws.service import operation
+from repro.ws.transport import InProcessTransport
+
+DRILL_SPEC = "drop=0.3,delay=50ms"  # the PR-2 chaos drill plan
+DRILL_SEED = 7
+
+
+class Echo:
+    """Minimal service for chaos dice accounting."""
+
+    @operation
+    def shout(self, text: str) -> str:
+        """Upper-case *text*."""
+        return text.upper()
+
+
+def _chaotic_proxy(tmp_path, spec: str, seed: int):
+    container = ServiceContainer(state_dir=tmp_path)
+    definition = container.deploy(Echo, "Echo")
+    transport = InProcessTransport(container)
+    controller = ChaosController(spec, seed=seed)
+    transport.interceptors = chain_insert_after(
+        transport.interceptors, "payload",
+        ChaosInterceptor(controller, "Echo"))
+    proxy = ServiceProxy.from_wsdl_text(
+        wsdl.generate(definition, "inproc://Echo"), transport)
+    return proxy, controller
+
+
+class TestOneDiePerWireExchange:
+    def test_drill_sequence_is_batch_size_invariant(self, tmp_path):
+        """Six wire exchanges inject the same drill faults whether each
+        carries one call or a batch of three."""
+        def run(batched: bool):
+            proxy, controller = _chaotic_proxy(
+                tmp_path / ("b" if batched else "s"),
+                DRILL_SPEC, DRILL_SEED)
+            for exchange in range(6):
+                try:
+                    if batched:
+                        proxy.call_many([
+                            ("shout", {"text": f"x{exchange}-{i}"})
+                            for i in range(3)])
+                    else:
+                        proxy.call("shout", text=f"x{exchange}")
+                except TransportError:
+                    pass  # a dropped exchange; the dice were consumed
+            return controller.injections()
+
+        single = run(batched=False)
+        batch = run(batched=True)
+        assert single == batch
+        assert single  # seed 7 does inject within six exchanges
+
+    def test_dropped_batch_is_one_fault_event(self, tmp_path):
+        proxy, controller = _chaotic_proxy(tmp_path, "drop=1", 0)
+        with pytest.raises(TransportError, match="dropped"):
+            proxy.call_many([("shout", {"text": str(i)})
+                             for i in range(5)])
+        assert controller.injections() == [("Echo", "drop")]
+
+    def test_corrupted_batch_is_one_fault_event(self, tmp_path):
+        proxy, controller = _chaotic_proxy(tmp_path, "corrupt=1", 0)
+        with pytest.raises(ServiceError):
+            proxy.call_many([("shout", {"text": str(i)})
+                             for i in range(4)])
+        assert controller.injections() == [("Echo", "corrupt")]

@@ -1,0 +1,146 @@
+"""Vectorized bulk scoring parity: one numpy pass over many rows must
+answer exactly like the scalar per-instance path, for every registered
+classifier — and per-item faults must keep their positions through a
+batch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import synthetic
+from repro.errors import NotFittedError
+from repro.ml import evaluation
+from repro.ml.base import CLASSIFIERS
+from repro.ml.classifiers import NaiveBayes, ZeroR
+from repro.services.classifier_service import ClassifierService
+
+
+@pytest.fixture(scope="module")
+def fitted_models(request):
+    """One fitted instance per registered classifier (weather data)."""
+    ds = synthetic.weather_nominal()
+    models = {}
+    for name in CLASSIFIERS.names():
+        clf = CLASSIFIERS.create(name)
+        clf.fit(ds)
+        models[name] = clf
+    return ds, models
+
+
+class TestVectorizedParity:
+    @pytest.mark.parametrize("name", sorted(CLASSIFIERS.names()))
+    def test_every_registered_classifier_matches_scalar_path(
+            self, name, fitted_models):
+        ds, models = fitted_models
+        clf = models[name]
+        batch = clf.distribution_many(ds)
+        scalar = np.vstack([clf.distribution(inst) for inst in ds])
+        assert batch.shape == scalar.shape
+        assert np.allclose(batch, scalar, atol=1e-9), name
+        assert clf.predict_many(ds) == clf.predict(ds)
+
+    def test_vectorized_hook_agrees_with_loop_fallback(self, weather):
+        """NaiveBayes has a true vectorized path; forcing the loop
+        fallback must not change a single probability."""
+        clf = NaiveBayes().fit(weather)
+        hooked = clf.distribution_many(weather)
+        hook = clf._distribution_many
+        try:
+            clf._distribution_many = None  # disable: loop fallback
+            looped = clf.distribution_many(weather)
+        finally:
+            clf._distribution_many = hook
+        assert np.allclose(hooked, looped, atol=1e-12)
+
+    def test_indices_subset_in_order(self, weather):
+        clf = NaiveBayes().fit(weather)
+        rows = [5, 0, 9, 0]
+        batch = clf.distribution_many(weather, rows)
+        for out, row in zip(batch, rows):
+            assert np.allclose(out, clf.distribution(weather[row]))
+
+    def test_missing_values_survive_vectorization(self):
+        ds = synthetic.weather_nominal()
+        ds.instances[2].set_value(0, float("nan"))
+        ds.instances[7].set_value(1, float("nan"))
+        clf = NaiveBayes().fit(ds)
+        batch = clf.distribution_many(ds)
+        scalar = np.vstack([clf.distribution(inst) for inst in ds])
+        assert np.allclose(batch, scalar, atol=1e-9)
+
+    def test_empty_batch(self, weather):
+        clf = ZeroR().fit(weather)
+        out = clf.distribution_many(weather, [])
+        assert out.shape == (0, len(weather.class_attribute.values))
+
+    def test_unfitted_raises(self, weather):
+        with pytest.raises(NotFittedError):
+            ZeroR().distribution_many(weather)
+
+
+class TestBulkScore:
+    def test_error_positions_survive_batching(self, weather):
+        clf = NaiveBayes().fit(weather)
+        out = evaluation.bulk_score(clf, weather, [0, 99, 3, -1, 5])
+        assert out["scored"] == 3
+        assert [e[0] for e in out["errors"]] == [1, 3]
+        assert out["labels"][1] is None and out["labels"][3] is None
+        assert out["distributions"][1] is None
+        good = [out["labels"][i] for i in (0, 2, 4)]
+        assert good == [clf.predict_label(weather[r]) for r in (0, 3, 5)]
+
+    def test_all_rows_by_default(self, weather):
+        clf = ZeroR().fit(weather)
+        out = evaluation.bulk_score(clf, weather)
+        assert out["scored"] == weather.num_instances
+        assert out["errors"] == []
+
+
+ROWS = st.lists(st.integers(min_value=-3, max_value=25),
+                min_size=0, max_size=12)
+
+
+@given(name=st.sampled_from(sorted(CLASSIFIERS.names())), rows=ROWS)
+@settings(max_examples=40, deadline=None)
+def test_batch_equals_singles_property(name, rows, fitted_models):
+    """For every registered classifier: a batch answers exactly like the
+    equivalent sequence of single calls, per-item faults included."""
+    ds, models = fitted_models
+    clf = models[name]
+    out = evaluation.bulk_score(clf, ds, rows)
+    n = ds.num_instances
+    bad = [pos for pos, r in enumerate(rows) if not 0 <= r < n]
+    assert [e[0] for e in out["errors"]] == bad
+    assert out["scored"] == len(rows) - len(bad)
+    for pos, row in enumerate(rows):
+        if pos in bad:
+            assert out["labels"][pos] is None
+            assert out["distributions"][pos] is None
+        else:
+            assert out["labels"][pos] == clf.predict_label(ds[row])
+            assert np.allclose(out["distributions"][pos],
+                               clf.distribution(ds[row]), atol=1e-9)
+
+
+class TestServiceBatchOps:
+    def test_classify_batch_matches_predict(self, weather):
+        from repro.data import arff
+        doc = arff.dumps(weather)
+        service = ClassifierService()
+        batch = service.classifyBatch("NaiveBayes", doc, "play")
+        single = service.predict("NaiveBayes", doc, doc, "play")
+        assert batch["labels"] == single["labels"]
+        assert batch["errors"] == []
+        assert batch["classifier"] == "NaiveBayes"
+
+    def test_distribution_batch_projects(self, weather):
+        from repro.data import arff
+        doc = arff.dumps(weather)
+        service = ClassifierService()
+        out = service.distributionBatch("ZeroR", doc, "play",
+                                        rows=[0, 50, 1])
+        assert len(out["distributions"]) == 3
+        assert out["distributions"][1] is None
+        assert [e[0] for e in out["errors"]] == [1]
+        assert out["scored"] == 2
+        assert "labels" not in out

@@ -1,0 +1,97 @@
+"""Scatter-gathered bulk scoring: :func:`repro.services.grid
+.scatter_score` and the workflow-layer :class:`BulkScoreTool`."""
+
+import pytest
+
+from repro.data import arff
+from repro.errors import WorkflowError
+from repro.ml.classifiers import NaiveBayes
+from repro.services import ClassifierService
+from repro.services.grid import scatter_score
+from repro.ws import (InProcessTransport, ServiceContainer, ServiceProxy,
+                      wsdl)
+from repro.ws.service import ServiceDefinition
+from repro.ws.transport import FailingTransport
+from repro.workflow import BulkScoreTool, TaskGraph, WorkflowEngine
+from repro.workflow.model import FunctionTool
+
+
+def make_endpoints(n: int, dead: int = 0):
+    """In-process Classifier replicas; the first *dead* never answer."""
+    definition = ServiceDefinition.from_class(ClassifierService,
+                                              "Classifier")
+    document = wsdl.generate(definition, "inproc://Classifier")
+    proxies = []
+    for i in range(n):
+        container = ServiceContainer()
+        container.deploy(ClassifierService, "Classifier")
+        transport = InProcessTransport(container)
+        if i < dead:
+            transport = FailingTransport(transport, failures=10 ** 9)
+        proxies.append(ServiceProxy.from_wsdl_text(document, transport))
+    return proxies
+
+
+class TestScatterScore:
+    def test_labels_match_a_local_model(self, breast_cancer):
+        train, test = breast_cancer.split(0.7, 2)
+        report = scatter_score(make_endpoints(2), train, test,
+                               classifier="NaiveBayes", chunk=16)
+        local = NaiveBayes().fit(train)
+        assert report.labels == [local.predict_label(inst)
+                                 for inst in test]
+        assert report.rebalances == 0
+        loads = report.report.endpoint_loads()
+        assert sum(loads.values()) == len(test)
+
+    def test_dead_replica_chunks_migrate(self, breast_cancer):
+        train, test = breast_cancer.split(0.7, 2)
+        report = scatter_score(make_endpoints(3, dead=1), train, test,
+                               classifier="ZeroR", chunk=8)
+        assert len(report.labels) == len(test)
+        assert None not in report.labels
+        assert report.rebalances >= 1
+        assert 0 not in report.report.endpoint_loads()
+
+    def test_all_replicas_dead(self, breast_cancer):
+        train, test = breast_cancer.split(0.7, 2)
+        with pytest.raises(WorkflowError):
+            scatter_score(make_endpoints(2, dead=2), train, test,
+                          classifier="ZeroR")
+
+    def test_accepts_arff_text(self, weather):
+        doc = arff.dumps(weather)
+        report = scatter_score(make_endpoints(1), doc, doc,
+                               classifier="ZeroR", attribute="play")
+        assert len(report.labels) == weather.num_instances
+
+    def test_no_endpoints(self, weather):
+        with pytest.raises(WorkflowError):
+            scatter_score([], weather, weather)
+
+
+class TestBulkScoreTool:
+    def test_runs_in_a_workflow(self, breast_cancer):
+        train, test = breast_cancer.split(0.7, 2)
+        tool = BulkScoreTool("BulkScore", make_endpoints(2),
+                             classifier="NaiveBayes", chunk=32)
+        graph = TaskGraph("bulk")
+        src_train = graph.add(FunctionTool(
+            "Train", lambda: arff.dumps(train), [], ["arff"]))
+        src_test = graph.add(FunctionTool(
+            "Test", lambda: arff.dumps(test), [], ["arff"]))
+        score = graph.add(tool)
+        graph.connect(src_train, score, target_index=0)
+        graph.connect(src_test, score, target_index=1)
+        result = WorkflowEngine().run(graph)
+        labels = result.output(score)
+        local = NaiveBayes().fit(train)
+        assert labels == [local.predict_label(inst) for inst in test]
+        assert tool.last_report is not None
+        assert tool.last_report.rebalances == 0
+
+    def test_tool_shape(self):
+        tool = BulkScoreTool("BulkScore", make_endpoints(1))
+        assert tool.inputs == ["train", "test"]
+        assert tool.outputs == ["labels"]
+        assert tool.parameters["classifier"] == "J48"

@@ -78,6 +78,19 @@ def test_bench_smoke_uploads_artifact(workflow):
     assert upload["with"]["if-no-files-found"] == "error"
 
 
+def test_bench_smoke_runs_the_batching_gate(workflow):
+    """PERF-BATCH: the batching benchmark runs in CI (its in-test gates
+    enforce >= 5x fewer wire exchanges and >= 2x lower modelled time)
+    and its JSON lands in the uploaded artifact."""
+    job = workflow["jobs"]["bench-smoke"]
+    text = steps_text(job)
+    assert "benchmarks/test_bench_batching.py" in text
+    assert "--benchmark-json=BENCH_batching.json" in text
+    upload = next(step for step in job["steps"]
+                  if "upload-artifact" in step.get("uses", ""))
+    assert "BENCH_batching.json" in upload["with"]["path"]
+
+
 def test_chaos_job_is_seeded_and_uploads_snapshot(workflow):
     job = workflow["jobs"]["chaos"]
     text = steps_text(job)

@@ -37,7 +37,8 @@ class TestWsImport:
         tools = import_wsdl_url(hosted_toolbox.wsdl_url("J48"), box)
         names = {t.name for t in tools}
         assert names == {"J48.classify", "J48.classifyGraph",
-                         "J48.classifyDot"}
+                         "J48.classifyDot", "J48.classifyBatch",
+                         "J48.distributionBatch"}
         assert all(t.is_web_service for t in tools)
         assert all(t.name in box for t in tools)
 

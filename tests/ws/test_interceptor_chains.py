@@ -59,8 +59,8 @@ class TestDefaultOrders:
 
     def test_server_chain_order(self):
         assert chain_names(default_server_handlers()) == \
-            ["trace", "resolve", "deadline", "stats", "cache",
-             "lifecycle", "faults"]
+            ["trace", "resolve", "deadline", "multicall", "stats",
+             "cache", "lifecycle", "faults"]
 
     def test_insert_helpers_place_steps(self):
         class Probe(ClientInterceptor):

@@ -1,0 +1,249 @@
+"""The batched invocation plane: ``<repro:Multicall>`` envelopes,
+``ServiceProxy.call_many``, the server-side ``multicall`` expansion
+step, and the batch-plane observables.
+
+The contract under test: a batch is ONE wire exchange (one envelope
+each way, one transport span, one client-chain traversal) while every
+per-item observable — invocation counts, result-cache hits, ``op:``
+spans, faults — stays item-wise, exactly as if the items had been sent
+one by one.
+"""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.errors import DeadlineExceeded, ServiceError, WsdlError
+from repro.ws import soap, wsdl
+from repro.ws.client import ServiceProxy
+from repro.ws.container import ServiceContainer
+from repro.ws.deadline import deadline_scope
+from repro.ws.service import operation
+from repro.ws.soap import (DEADLINE_FAULTCODE, MULTICALL_OP, CallOutcome,
+                           SoapFault, SoapResponse, SubCall)
+from repro.ws.transport import InProcessTransport
+
+
+class Echo:
+    """Mixed-operation service for batching tests."""
+
+    def __init__(self):
+        self.computed = 0
+
+    @operation
+    def shout(self, text: str) -> str:
+        """Upper-case *text*."""
+        self.computed += 1
+        return text.upper()
+
+    @operation
+    def add(self, a: int, b: int) -> int:
+        """Sum of *a* and *b*."""
+        self.computed += 1
+        return a + b
+
+    @operation(cacheable=True)
+    def square(self, n: int) -> int:
+        """Square of *n* (pure: result-cache eligible)."""
+        self.computed += 1
+        return n * n
+
+    @operation
+    def boom(self, reason: str) -> str:
+        """Always faults."""
+        raise ServiceError(f"boom: {reason}")
+
+    @operation
+    def nap(self, seconds: float) -> str:
+        """Sleep, then answer."""
+        time.sleep(seconds)
+        return "rested"
+
+
+@pytest.fixture
+def stack(tmp_path):
+    container = ServiceContainer(state_dir=tmp_path)
+    echo = Echo()
+    definition = container.deploy(Echo, "Echo", factory=lambda: echo)
+    transport = InProcessTransport(container)
+    proxy = ServiceProxy.from_wsdl_text(
+        wsdl.generate(definition, "inproc://Echo"), transport)
+    return container, echo, proxy
+
+
+class TestWireProtocol:
+    """Multicall envelopes round-trip through the SOAP codec."""
+
+    def test_request_roundtrip_mixed_operations(self):
+        request = soap.multicall_request("Echo", [
+            SubCall("shout", {"text": "hi"}),
+            SubCall("add", {"a": 2, "b": 3}),
+        ])
+        back = soap.decode_request(soap.encode_request(request))
+        assert soap.is_multicall(back)
+        assert back.service == "Echo"
+        assert soap.calls_of(back) == [
+            SubCall("shout", {"text": "hi"}),
+            SubCall("add", {"a": 2, "b": 3}),
+        ]
+
+    def test_batch_size_of(self):
+        request = soap.multicall_request(
+            "Echo", [SubCall("shout", {"text": "x"})] * 3)
+        assert soap.batch_size_of(request) == 3
+        plain = soap.SoapRequest("Echo", "shout", {"text": "x"})
+        assert soap.batch_size_of(plain) is None
+
+    def test_response_roundtrip_with_per_item_fault(self):
+        response = SoapResponse("Echo", MULTICALL_OP, [
+            CallOutcome(result={"labels": ["yes"]}),
+            CallOutcome(error=SoapFault("soapenv:Server", "bad row",
+                                        detail="row 7")),
+            CallOutcome(result=42),
+        ])
+        back = soap.decode_response(soap.encode_response(response))
+        outcomes = back.result
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[0].result == {"labels": ["yes"]}
+        assert outcomes[2].result == 42
+        fault = outcomes[1].fault
+        assert isinstance(fault, SoapFault)
+        assert (fault.faultcode, fault.faultstring, fault.detail) == \
+            ("soapenv:Server", "bad row", "row 7")
+
+    def test_deadline_fault_resurfaces_typed(self):
+        response = SoapResponse("Echo", MULTICALL_OP, [
+            CallOutcome(error=SoapFault(DEADLINE_FAULTCODE, "too late")),
+        ])
+        back = soap.decode_response(soap.encode_response(response))
+        with pytest.raises(DeadlineExceeded, match="too late"):
+            back.result[0].unwrap()
+
+    def test_decode_rejects_foreign_children(self):
+        request = soap.multicall_request(
+            "Echo", [SubCall("shout", {"text": "x"})])
+        wire = soap.encode_request(request).replace(
+            b"repro:Call", b"repro:Smuggle")
+        with pytest.raises(ServiceError):
+            soap.decode_request(wire)
+
+    def test_calls_of_rejects_non_batches(self):
+        plain = soap.SoapRequest("Echo", MULTICALL_OP, {"calls": "nope"})
+        with pytest.raises(ServiceError):
+            soap.calls_of(plain)
+
+
+class TestCallMany:
+    def test_mixed_operations_answer_in_input_order(self, stack):
+        _, echo, proxy = stack
+        outcomes = proxy.call_many([
+            ("add", {"a": 1, "b": 2}),
+            ("shout", {"text": "batch"}),
+            SubCall("add", {"a": 10, "b": 20}),
+        ])
+        assert [o.unwrap() for o in outcomes] == [3, "BATCH", 30]
+        assert echo.computed == 3
+
+    def test_per_item_fault_does_not_fail_siblings(self, stack):
+        _, _, proxy = stack
+        outcomes = proxy.call_many([
+            ("shout", {"text": "ok"}),
+            ("boom", {"reason": "item 1"}),
+            ("shout", {"text": "fine"}),
+        ])
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[0].result == "OK"
+        assert outcomes[2].result == "FINE"
+        assert "item 1" in outcomes[1].fault.faultstring
+
+    def test_raise_on_fault_unwraps(self, stack):
+        _, _, proxy = stack
+        results = proxy.call_many(
+            [("add", {"a": 1, "b": 1}), ("add", {"a": 2, "b": 2})],
+            raise_on_fault=True)
+        assert results == [2, 4]
+        with pytest.raises(SoapFault, match="boom"):
+            proxy.call_many([("shout", {"text": "x"}),
+                             ("boom", {"reason": "y"})],
+                            raise_on_fault=True)
+
+    def test_empty_batch_never_touches_the_wire(self, stack):
+        _, echo, proxy = stack
+        assert proxy.call_many([]) == []
+        assert echo.computed == 0
+
+    def test_wsdl_validation_applies_per_item(self, stack):
+        _, echo, proxy = stack
+        with pytest.raises(WsdlError, match="no operation"):
+            proxy.call_many([("shout", {"text": "x"}),
+                             ("nonsuch", {})])
+        with pytest.raises(WsdlError, match="unknown parameter"):
+            proxy.call_many([("shout", {"text": "x", "volume": 11})])
+        assert echo.computed == 0  # rejected before the wire
+
+    def test_item_wise_invocation_stats_and_cache(self, stack):
+        container, echo, proxy = stack
+        proxy.call_many([("square", {"n": 4}),
+                         ("square", {"n": 4}),
+                         ("shout", {"text": "x"})])
+        # three item-wise invocations billed, one answered from cache
+        stats = container.stats("Echo")
+        assert stats.invocations == 3
+        assert stats.cache_hits == 1
+        assert echo.computed == 2
+        assert obs.get_metrics().counter("ws.cache.result.hits",
+                                         service="Echo").value == 1
+
+    def test_batch_metrics(self, stack):
+        _, _, proxy = stack
+        proxy.call_many([("add", {"a": i, "b": i}) for i in range(5)])
+        metrics = obs.get_metrics()
+        assert metrics.counter("ws.batch.calls_saved",
+                               service="Echo").value == 4
+        snap = metrics.snapshot()
+        sizes = {name: summary for name, summary
+                 in snap["histograms"].items()
+                 if name.startswith("ws.batch.size")}
+        assert sizes, snap["histograms"].keys()
+        (summary,) = sizes.values()
+        assert summary["count"] == 1
+
+    def test_deadline_expiring_mid_batch_faults_the_tail(self, stack):
+        container, _, _ = stack
+        request = soap.multicall_request("Echo", [
+            SubCall("nap", {"seconds": 0.08}),
+            SubCall("shout", {"text": "late"}),
+            SubCall("shout", {"text": "later"}),
+        ])
+        with deadline_scope(0.04):
+            outcomes = container.invoke(request).result
+        assert outcomes[0].ok  # already dispatched when time ran out
+        for late in outcomes[1:]:
+            assert not late.ok
+            assert late.fault.faultcode == DEADLINE_FAULTCODE
+
+
+class TestBatchTracing:
+    """One transport span per batch; per-item server spans."""
+
+    def test_span_tree_shape(self, stack):
+        _, _, proxy = stack
+        obs.enable_tracing()
+        proxy.call_many([("shout", {"text": "a"}),
+                         ("add", {"a": 1, "b": 1})])
+        spans = obs.get_tracer().collector.spans()
+        names = [s.name for s in spans]
+        assert names.count("send:inprocess") == 1
+        assert names.count(f"soap:Echo.{MULTICALL_OP}") == 1
+        assert names.count(f"dispatch:Echo.{MULTICALL_OP}") == 1
+        assert names.count("op:Echo.shout") == 1
+        assert names.count("op:Echo.add") == 1
+        soap_span = next(s for s in spans
+                         if s.name == f"soap:Echo.{MULTICALL_OP}")
+        assert soap_span.attributes["batch_size"] == 2
+        # the per-item spans nest under the single batch dispatch
+        dispatch = next(s for s in spans
+                        if s.name == f"dispatch:Echo.{MULTICALL_OP}")
+        for op_span in (s for s in spans if s.name.startswith("op:")):
+            assert op_span.parent_id == dispatch.span_id

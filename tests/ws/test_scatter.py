@@ -1,0 +1,160 @@
+"""Scatter-gather contracts: input-order merge, adaptive chunk sizing,
+migration off dead endpoints, and deadline behaviour."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.errors import (DeadlineExceeded, TransportError, WorkflowError)
+from repro.ws.deadline import deadline_scope
+from repro.ws.scatter import (DEFAULT_CHUNK, ScatterGather, default_chunk,
+                              set_default_chunk)
+
+
+@pytest.fixture
+def restore_default_chunk():
+    yield
+    set_default_chunk(DEFAULT_CHUNK)
+
+
+class TestMergeOrder:
+    def test_results_come_back_in_input_order(self):
+        sg = ScatterGather(3, chunk=4)
+        items = list(range(100))
+
+        def dispatch(endpoint, chunk_items, indices):
+            return [item * 10 for item in chunk_items]
+
+        report = sg.run(items, dispatch)
+        assert report.results == [i * 10 for i in items]
+        assert report.rebalances == 0
+        # every item accounted for exactly once across the dispatches
+        dispatched = sorted(i for d in report.dispatches
+                            for i in d.indices)
+        assert dispatched == items
+
+    def test_endpoint_loads_sum_to_the_item_count(self):
+        sg = ScatterGather(4, chunk=7)
+        report = sg.run(list(range(50)),
+                        lambda e, chunk, idx: list(chunk))
+        assert sum(report.endpoint_loads().values()) == 50
+
+    def test_empty_input(self):
+        sg = ScatterGather(2)
+        report = sg.run([], lambda e, chunk, idx: list(chunk))
+        assert report.results == []
+        assert report.dispatches == []
+
+
+class TestAdaptiveChunks:
+    def test_chunk_grows_for_fast_endpoints_and_shrinks_for_slow(self):
+        sg = ScatterGather(2, chunk=8, min_chunk=2, max_chunk=64,
+                           target_chunk_s=1.0)
+        assert sg.chunk_for(0) == 8  # no feedback yet: the initial size
+        sg._states[0].observe(0.01)   # fast: 100 items/s
+        sg._states[1].observe(0.5)    # slow: 2 items/s
+        assert sg.chunk_for(0) == 64  # 1.0/0.01 = 100, clamped to max
+        assert sg.chunk_for(1) == 2   # 1.0/0.5 = 2, at the floor
+
+    def test_ewma_smooths_observations(self):
+        sg = ScatterGather(1, target_chunk_s=1.0, alpha=0.5,
+                           min_chunk=1, max_chunk=10_000)
+        sg._states[0].observe(0.1)
+        sg._states[0].observe(0.3)   # EWMA: 0.5*0.3 + 0.5*0.1 = 0.2
+        assert sg.chunk_for(0) == 5  # round(1.0 / 0.2)
+
+    def test_run_feeds_the_ewma(self):
+        sg = ScatterGather(1, chunk=5)
+        sg.run(list(range(10)), lambda e, chunk, idx: list(chunk))
+        assert sg._states[0].ewma_s is not None
+
+    def test_default_chunk_is_process_configurable(
+            self, restore_default_chunk):
+        assert default_chunk() == DEFAULT_CHUNK
+        set_default_chunk(17)
+        assert default_chunk() == 17
+        assert ScatterGather(1).chunk == 17
+        set_default_chunk(0)     # clamped to the floor
+        assert default_chunk() == 1
+
+
+class TestMigration:
+    def test_failed_endpoints_chunks_migrate_to_survivors(self):
+        sg = ScatterGather(2, chunk=3)
+        items = list(range(12))
+
+        def dispatch(endpoint, chunk_items, indices):
+            if endpoint == 0:
+                raise TransportError("endpoint 0 is gone")
+            return [item + 100 for item in chunk_items]
+
+        report = sg.run(items, dispatch)
+        assert report.results == [i + 100 for i in items]
+        assert report.rebalances >= 1
+        loads = report.endpoint_loads()
+        assert loads.get(0, 0) == 0
+        assert loads[1] == 12
+        failed = [d for d in report.dispatches if not d.completed]
+        assert failed and all(d.endpoint == 0 and d.migrated
+                              for d in failed)
+
+    def test_rebalance_metric_counts_migrations(self):
+        sg = ScatterGather(2, chunk=2)
+
+        def dispatch(endpoint, chunk_items, indices):
+            if endpoint == 0:
+                raise TransportError("dead")
+            return list(chunk_items)
+
+        report = sg.run(list(range(8)), dispatch)
+        assert obs.get_metrics().counter("ws.scatter.rebalance").value \
+            == report.rebalances >= 1
+
+    def test_all_endpoints_dead_raises_workflow_error(self):
+        sg = ScatterGather(3, chunk=2, name="doomed")
+
+        def dispatch(endpoint, chunk_items, indices):
+            raise TransportError(f"endpoint {endpoint} unreachable")
+
+        with pytest.raises(WorkflowError, match="doomed.*endpoint"):
+            sg.run(list(range(10)), dispatch)
+
+    def test_late_failure_salvaged_by_survivor(self):
+        """An endpoint that dies after the others finished: its chunk is
+        drained by a survivor in the post-join salvage pass."""
+        sg = ScatterGather(2, chunk=2)
+        gate = threading.Event()
+
+        def dispatch(endpoint, chunk_items, indices):
+            if endpoint == 0:
+                gate.wait(5)  # die only after endpoint 1 drained
+                raise TransportError("slow death")
+            if not indices or indices[0] + len(indices) >= 8:
+                gate.set()
+            return list(chunk_items)
+
+        report = sg.run(list(range(8)), dispatch)
+        assert report.results == list(range(8))
+        salvaged = [d for d in report.dispatches
+                    if d.completed and d.attempts > 1]
+        assert all(d.endpoint == 1 for d in salvaged)
+
+
+class TestContracts:
+    def test_wrong_result_count_is_a_contract_violation(self):
+        sg = ScatterGather(2, chunk=4, name="short")
+        with pytest.raises(WorkflowError, match="result"):
+            sg.run(list(range(8)),
+                   lambda e, chunk, idx: list(chunk)[:-1])
+
+    def test_expired_deadline_stops_the_run(self):
+        sg = ScatterGather(2, chunk=1, name="timed")
+        with deadline_scope(0.000001):
+            with pytest.raises(DeadlineExceeded):
+                sg.run(list(range(4)),
+                       lambda e, chunk, idx: list(chunk))
+
+    def test_needs_at_least_one_endpoint(self):
+        with pytest.raises(WorkflowError):
+            ScatterGather(0)

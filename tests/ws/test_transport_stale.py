@@ -1,0 +1,123 @@
+"""Stale keep-alive recovery in :class:`HttpTransport`.
+
+A server may close a pooled keep-alive connection between exchanges
+(idle timeout, restart).  The next POST on the stale socket fails with
+``RemoteDisconnected``/``BadStatusLine`` even though the endpoint is
+healthy — that deserves one silent retry on a fresh connection, not a
+:class:`TransportError` fed to the breaker.  A fresh connection that
+fails the same way keeps failing loudly: that *is* endpoint health.
+"""
+
+import http.client
+
+import pytest
+
+from repro import obs
+from repro.errors import TransportError
+from repro.ws.client import HttpTransport
+from repro.ws.container import ServiceContainer
+from repro.ws.httpd import SoapHttpServer
+from repro.ws.service import operation
+from repro.ws.soap import SoapRequest
+
+
+class Greeter:
+    """Greets people."""
+
+    @operation
+    def greet(self, name: str) -> str:
+        """Compose a greeting."""
+        return f"hello {name}"
+
+
+@pytest.fixture
+def server():
+    container = ServiceContainer()
+    container.deploy(Greeter, "Greeter")
+    with SoapHttpServer(container) as srv:
+        yield srv
+
+
+def _flaky_post(transport, fail_times: int):
+    """Wrap ``transport._post`` to raise RemoteDisconnected *fail_times*
+    times before delegating to the real implementation."""
+    real_post = transport._post
+    state = {"calls": 0}
+
+    def post(request, wire, headers):
+        state["calls"] += 1
+        if state["calls"] <= fail_times:
+            raise http.client.RemoteDisconnected(
+                "Remote end closed connection without response")
+        return real_post(request, wire, headers)
+
+    transport._post = post
+    return state
+
+
+class TestStaleKeepAlive:
+    def test_pooled_connection_gone_stale_retries_once(self, server):
+        transport = HttpTransport(server.endpoint("Greeter"))
+        request = SoapRequest("Greeter", "greet", {"name": "ada"})
+        assert transport.send(request).result == "hello ada"  # pools conn
+        assert transport._conn is not None and \
+            transport._conn.sock is not None
+
+        state = _flaky_post(transport, fail_times=1)
+        response = transport.send(
+            SoapRequest("Greeter", "greet", {"name": "bob"}))
+        assert response.result == "hello bob"
+        assert state["calls"] == 2  # stale attempt + fresh retry
+        assert obs.get_metrics().counter(
+            "ws.transport.stale_retries").value == 1
+        # the endpoint was never marked unhealthy
+        assert obs.get_metrics().counter(
+            "ws.transport.errors", transport="http").value == 0
+        transport.close()
+
+    def test_fresh_connection_disconnect_is_a_real_failure(self, server):
+        transport = HttpTransport(server.endpoint("Greeter"))
+        state = _flaky_post(transport, fail_times=1)
+        with pytest.raises(TransportError):
+            transport.send(SoapRequest("Greeter", "greet",
+                                       {"name": "ada"}))
+        assert state["calls"] == 1  # nothing was pooled: no retry
+        assert obs.get_metrics().counter(
+            "ws.transport.stale_retries").value == 0
+        transport.close()
+
+    def test_retry_failing_too_surfaces_transport_error(self, server):
+        transport = HttpTransport(server.endpoint("Greeter"))
+        request = SoapRequest("Greeter", "greet", {"name": "ada"})
+        transport.send(request)  # pool a healthy connection
+
+        state = _flaky_post(transport, fail_times=2)
+        with pytest.raises(TransportError):
+            transport.send(SoapRequest("Greeter", "greet",
+                                       {"name": "bob"}))
+        assert state["calls"] == 2  # one retry, not a loop
+        assert transport._conn is None  # closed for the next caller
+        transport.close()
+
+    def test_server_restart_between_exchanges(self, server):
+        """End to end: the server restarting under a pooled connection
+        looks like a stale keep-alive and is healed by the retry."""
+        container = ServiceContainer()
+        container.deploy(Greeter, "Greeter")
+        srv = SoapHttpServer(container)
+        srv.start()
+        try:
+            transport = HttpTransport(srv.endpoint("Greeter"))
+            first = transport.send(
+                SoapRequest("Greeter", "greet", {"name": "ada"}))
+            assert first.result == "hello ada"
+            port = srv.port
+            srv.stop()
+            srv = SoapHttpServer(container, port=port)
+            srv.start()
+            second = transport.send(
+                SoapRequest("Greeter", "greet", {"name": "bob"}))
+            assert second.result == "hello bob"
+            transport.close()
+        finally:
+            srv.stop()

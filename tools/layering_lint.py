@@ -30,10 +30,14 @@ SRC = REPO / "src"
 #: narrow obs exception for its WSDL-fetch cache counters.
 RULES: dict[str, tuple[str, ...]] = {
     "src/repro/ws/transport.py": ("repro.obs", "repro.ws.breaker",
-                                  "repro.chaos"),
-    "src/repro/ws/httpd.py": ("repro.ws.breaker", "repro.chaos"),
+                                  "repro.chaos", "repro.ws.scatter"),
+    "src/repro/ws/httpd.py": ("repro.ws.breaker", "repro.chaos",
+                              "repro.ws.scatter"),
     "src/repro/ws/client.py": ("repro.ws.breaker", "repro.chaos"),
     "src/repro/ws/container.py": ("repro.ws.breaker", "repro.chaos"),
+    # scatter-gather is batching *policy*: it may meter itself via obs
+    # but never injects faults (chaos lives in the transport chains)
+    "src/repro/ws/scatter.py": ("repro.chaos",),
 }
 
 
