@@ -18,6 +18,8 @@ service catalogue:
   ``--deadline`` bounds the run end to end)
 * ``trace``       — render the span-tree timeline of a traced run
 * ``metrics``     — render per-operation counters and latency quantiles
+* ``loadgen``     — closed-loop load test against a SOAP endpoint
+  (emits the ``BENCH_serving.json`` report schema)
 """
 
 from __future__ import annotations
@@ -249,6 +251,29 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_loadgen(args) -> int:
+    import json
+
+    from repro.ws import loadgen
+    params = {}
+    for item in args.param or []:
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise ReproError(
+                f"--param wants key=value, got {item!r}")
+        params[key] = value
+    report = loadgen.run(
+        args.endpoint, args.operation, params,
+        concurrency=args.concurrency, duration_s=args.duration,
+        warmup_s=args.warmup, priority_levels=args.priority_levels,
+        seed=args.seed, timeout_s=args.timeout)
+    payload = report.as_dict()
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -357,6 +382,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the metrics snapshot as JSON")
     p.set_defaults(fn=_cmd_metrics)
+
+    p = sub.add_parser("loadgen",
+                       help="closed-loop load test of a SOAP endpoint")
+    p.add_argument("endpoint",
+                   help="service URL, e.g. "
+                        "http://127.0.0.1:8334/services/Classifier")
+    p.add_argument("operation", help="operation name to invoke")
+    p.add_argument("--param", action="append", metavar="KEY=VALUE",
+                   help="operation parameter (repeatable)")
+    p.add_argument("--concurrency", type=int, default=64,
+                   help="closed-loop clients to run (default 64)")
+    p.add_argument("--duration", type=float, default=5.0,
+                   help="measured seconds after warmup (default 5)")
+    p.add_argument("--warmup", type=float, default=1.0,
+                   help="seconds excluded from the report (default 1)")
+    p.add_argument("--priority-levels", type=int, default=1,
+                   dest="priority_levels",
+                   help="spread clients over N priorities to exercise "
+                        "the admission queue's shed ordering")
+    p.add_argument("--seed", type=int, default=0,
+                   help="backoff-jitter RNG seed (default 0)")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-call transport timeout seconds")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write the JSON report to PATH "
+                        "(e.g. BENCH_serving.json)")
+    p.set_defaults(fn=_cmd_loadgen)
     return parser
 
 

@@ -59,6 +59,24 @@ class DeadlineExceeded(ReproError):
     """
 
 
+class OverloadedError(ReproError):
+    """The callee shed this call under admission control.
+
+    Carried across the wire as a ``repro:Overloaded`` SOAP fault (see
+    :mod:`repro.ws.admission`).  Deliberately *not* a
+    :class:`ServiceError`: the default transient-error retry set must
+    not hammer a server that just said it is saturated, and circuit
+    breakers must not count a shed as endpoint death — an overloaded
+    endpoint *answered*, cheaply and on purpose.  Callers back off
+    instead (``retry_after_s`` is the server's hint, if it gave one).
+    """
+
+    def __init__(self, message: str = "overloaded",
+                 retry_after_s: float | None = None):
+        self.retry_after_s = retry_after_s
+        super().__init__(message)
+
+
 class WsdlError(ServiceError):
     """A WSDL document was malformed or inconsistent."""
 

@@ -2,16 +2,22 @@
 container with the §4.5 lifecycles, HTTP hosting, client proxies, the UDDI
 registry and transport models."""
 
-from repro.ws.soap import (DEADLINE_FAULTCODE, MULTICALL_OP, CallOutcome,
-                           SoapFault, SoapRequest, SoapResponse, SubCall,
+from repro.ws.soap import (DEADLINE_FAULTCODE, MULTICALL_OP,
+                           OVERLOAD_FAULTCODE, CallOutcome, SoapFault,
+                           SoapRequest, SoapResponse, SubCall,
                            decode_request, decode_response, encode_fault,
                            encode_request, encode_response,
                            multicall_request)
 from repro.ws.deadline import Deadline, current_deadline, deadline_scope
 from repro.ws.breaker import CircuitBreaker
+from repro.ws.admission import (AdmissionController, AdmissionHandler,
+                                Ticket, TokenBucket)
 from repro.ws.service import OperationInfo, ServiceDefinition, operation
 from repro.ws.container import LIFECYCLES, ServiceContainer, ServiceStats
 from repro.ws.httpd import SoapHttpServer
+from repro.ws.aserve import AsyncSoapHttpServer
+from repro.ws import loadgen
+from repro.ws.loadgen import LoadReport
 from repro.ws.client import HttpTransport, ServiceProxy, fetch_url
 from repro.ws import payload
 from repro.ws.payload import (PayloadMissError, PayloadRef, PayloadStore,
@@ -42,7 +48,10 @@ __all__ = [
     "default_chunk", "set_default_chunk",
     "operation", "ServiceDefinition", "OperationInfo",
     "ServiceContainer", "ServiceStats", "LIFECYCLES",
-    "SoapHttpServer", "ServiceProxy", "HttpTransport", "fetch_url",
+    "SoapHttpServer", "AsyncSoapHttpServer", "ServiceProxy",
+    "HttpTransport", "fetch_url",
+    "AdmissionController", "AdmissionHandler", "Ticket", "TokenBucket",
+    "OVERLOAD_FAULTCODE", "loadgen", "LoadReport",
     "UDDIRegistry", "RegistryService", "RegistryEntry",
     "Transport", "ChainedTransport", "InProcessTransport",
     "SimulatedTransport", "FailingTransport", "NetworkModel", "LAN",

@@ -1,0 +1,296 @@
+"""Asyncio SOAP-over-HTTP serving plane with front-door admission.
+
+:class:`AsyncSoapHttpServer` hosts the same
+:class:`~repro.ws.container.ServiceContainer` endpoints as the threaded
+:class:`~repro.ws.httpd.SoapHttpServer` — ``POST /services/<name>``,
+``GET /services/<name>?wsdl``, ``GET /services`` — but accepts on one
+event loop and offloads dispatch to a *bounded* worker pool, so
+thousands of mostly-idle keep-alive connections cost coroutines, not
+threads.
+
+The load-shedding story is the point.  When an
+:class:`~repro.ws.admission.AdmissionController` is attached, every
+POST is admitted **at the front door, before the body is parsed**: the
+caller's identity and rank ride in the ``X-Repro-Principal`` /
+``X-Repro-Priority`` HTTP headers (mirrors of the ``<repro:Caller>``
+SOAP header, stamped by :class:`~repro.ws.client.ServiceProxy`), so a
+shed costs one header scan and a tiny canned 503 — no XML decode, no
+worker thread, no lifecycle work.  Admitted calls hold their admission
+ticket across the worker-pool dispatch, so ``max_concurrent`` bounds
+real work, not just queue entries.  The 503 answer carries the
+``repro:Overloaded`` fault envelope plus a ``Retry-After`` header, and
+clients resurface it as :class:`~repro.errors.OverloadedError`.
+
+Attach admission *either* here (front door — recommended for this
+server) or on the container (the ``admission`` chain step, which also
+guards sync servers); attaching both would double-charge every call.
+
+Everything HTTP-mechanical below the admission decision is delegated
+to :class:`~repro.ws.pipeline.HttpGateway`, exactly like the threaded
+server, so both serving planes answer byte-identical envelopes.  This
+module is the *policy* plane: it may import admission and obs, but
+never circuit breakers or chaos (``tools/layering_lint.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from urllib.parse import urlparse
+
+from repro.errors import OverloadedError, ServiceError
+from repro.obs import get_metrics
+from repro.ws import soap, wsdl
+from repro.ws.admission import DEFAULT_RETRY_HINT_S, AdmissionController
+from repro.ws.container import ServiceContainer
+from repro.ws.pipeline import HttpGateway
+from repro.ws.soap import SoapFault
+
+#: Reading a request head (request line + headers) is bounded so a
+#: misbehaving client cannot balloon the loop's memory.
+_MAX_HEADER_BYTES = 32 * 1024
+
+_TEXT = "text/plain; charset=utf-8"
+_XML = "text/xml; charset=utf-8"
+
+
+class AsyncSoapHttpServer:
+    """An event-loop SOAP host bound to 127.0.0.1.
+
+    Runs its own loop on a background thread so sync callers use it
+    exactly like :class:`~repro.ws.httpd.SoapHttpServer`::
+
+        with AsyncSoapHttpServer(container, admission=ctl) as srv:
+            proxy = ServiceProxy.from_wsdl_url(srv.wsdl_url("Cls"))
+
+    Async callers inside the loop can instead await
+    :meth:`serve_forever` directly.
+
+    ``max_workers`` bounds the dispatch pool (default: the admission
+    controller's ``max_concurrent``, else 8) — the knob that keeps
+    CPU-bound ML operations from starving the accept loop.
+    """
+
+    def __init__(self, container: ServiceContainer, port: int = 0,
+                 compress: bool = True,
+                 admission: AdmissionController | None = None,
+                 max_workers: int | None = None):
+        self.container = container
+        self.gateway = HttpGateway(container, compress=compress)
+        self.admission = admission
+        if max_workers is None:
+            max_workers = admission.max_concurrent if admission else 8
+        self.max_workers = max_workers
+        self.port = port
+        self.base_url = ""
+        self._requested_port = port
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._executor: ThreadPoolExecutor | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "AsyncSoapHttpServer":
+        """Serve on a fresh event loop in a background thread."""
+        self._thread = threading.Thread(
+            target=self._run, daemon=True,
+            name=f"soap-aserve-{self._requested_port}")
+        self._thread.start()
+        self._started.wait(timeout=10)
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self.serve_forever())
+        except BaseException as exc:  # surface bind errors to start()
+            self._startup_error = exc
+            self._started.set()
+
+    async def serve_forever(self) -> None:
+        """Accept until :meth:`stop` (or task cancellation)."""
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_workers,
+            thread_name_prefix="aserve-dispatch")
+        server = await asyncio.start_server(
+            self._serve_connection, "127.0.0.1", self._requested_port)
+        self.port = server.sockets[0].getsockname()[1]
+        self.base_url = f"http://127.0.0.1:{self.port}"
+        self._started.set()
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            self._executor.shutdown(wait=False)
+
+    def stop(self) -> None:
+        """Shut down the loop thread and release resources."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+
+    def endpoint(self, service: str) -> str:
+        """The SOAP endpoint URL of *service*."""
+        return f"{self.base_url}/services/{service}"
+
+    def wsdl_url(self, service: str) -> str:
+        """The WSDL URL of *service*."""
+        return f"{self.endpoint(service)}?wsdl"
+
+    def __enter__(self) -> "AsyncSoapHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        get_metrics().counter("ws.aserve.connections").inc()
+        try:
+            while True:
+                head = await self._read_head(reader)
+                if head is None:
+                    return
+                method, target, headers = head
+                length = int(headers.get("content-length", "0"))
+                body = await reader.readexactly(length) if length else b""
+                keep_alive = headers.get("connection", "").lower() != "close"
+                status, resp_body, content_type, encoding, extra = \
+                    await self._handle(method, target, headers, body)
+                await self._write_response(
+                    writer, status, resp_body, content_type, encoding,
+                    extra, keep_alive)
+                if not keep_alive:
+                    return
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                BrokenPipeError, asyncio.LimitOverrunError):
+            pass  # client went away mid-exchange; nothing to answer
+        finally:
+            writer.close()
+
+    async def _read_head(self, reader: asyncio.StreamReader):
+        """``(method, target, lowercased headers)``, or ``None`` on EOF."""
+        try:
+            request_line = await reader.readline()
+        except ValueError:
+            return None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, target = parts[0], parts[1]
+        headers: dict[str, str] = {}
+        total = len(request_line)
+        while True:
+            line = await reader.readline()
+            total += len(line)
+            if total > _MAX_HEADER_BYTES:
+                return None
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method, target, headers
+
+    async def _write_response(self, writer: asyncio.StreamWriter,
+                              status: int, body: bytes, content_type: str,
+                              encoding: str | None, extra: dict,
+                              keep_alive: bool) -> None:
+        reason = {200: "OK", 404: "Not Found", 405: "Method Not Allowed",
+                  500: "Internal Server Error",
+                  503: "Service Unavailable"}.get(status, "OK")
+        lines = [f"HTTP/1.1 {status} {reason}",
+                 f"Content-Type: {content_type}",
+                 f"Content-Length: {len(body)}"]
+        if encoding:
+            lines.append(f"Content-Encoding: {encoding}")
+        lines.extend(f"{name}: {value}" for name, value in extra.items())
+        if not keep_alive:
+            lines.append("Connection: close")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)
+        await writer.drain()
+
+    # -- request handling ----------------------------------------------------
+
+    def _service_name(self, path: str) -> str | None:
+        parts = [p for p in path.split("/") if p]
+        if len(parts) == 2 and parts[0] == "services":
+            return parts[1]
+        return None
+
+    async def _handle(self, method: str, target: str, headers: dict,
+                      body: bytes):
+        """Route one request; returns
+        ``(status, body, content_type, encoding, extra_headers)``."""
+        parsed = urlparse(target)
+        if method == "GET":
+            return self._handle_get(parsed)
+        if method != "POST":
+            return 405, b"method not allowed", _TEXT, None, {}
+        name = self._service_name(parsed.path)
+        if name is None:
+            return 404, b"not found", _TEXT, None, {}
+        return await self._handle_post(name, headers, body)
+
+    def _handle_get(self, parsed):
+        if parsed.path.rstrip("/") == "/services":
+            body = "\n".join(self.container.services()).encode()
+            return 200, body, _TEXT, None, {}
+        name = self._service_name(parsed.path)
+        if name is None or "wsdl" not in parsed.query.lower():
+            return 404, b"not found", _TEXT, None, {}
+        try:
+            definition = self.container.definition(name)
+        except (ServiceError, SoapFault):
+            return 404, f"no service {name!r}".encode(), _TEXT, None, {}
+        address = f"{self.base_url}/services/{name}"
+        return 200, wsdl.generate(definition, address).encode(), _XML, \
+            None, {}
+
+    async def _handle_post(self, name: str, headers: dict, body: bytes):
+        ticket = None
+        if self.admission is not None:
+            principal = headers.get("x-repro-principal", "")
+            try:
+                priority = int(headers.get("x-repro-priority", "0"))
+            except ValueError:
+                priority = 0
+            try:
+                ticket = await self.admission.admit_async(
+                    principal=principal, priority=priority)
+            except OverloadedError as exc:
+                return self._shed_response(name, exc)
+        try:
+            post = functools.partial(
+                self.gateway.post, name, body,
+                content_encoding=headers.get("content-encoding"),
+                accept_encoding=headers.get("accept-encoding"))
+            status, resp_body, content_type, encoding = \
+                await self._loop.run_in_executor(self._executor, post)
+        finally:
+            if ticket is not None:
+                ticket.release()
+        return status, resp_body, content_type, encoding, {}
+
+    def _shed_response(self, name: str, exc: OverloadedError):
+        """The cheap 503: a canned fault envelope, no XML was parsed."""
+        retry_after = exc.retry_after_s or DEFAULT_RETRY_HINT_S
+        metrics = get_metrics()
+        metrics.counter("ws.http.requests", service=name,
+                        status=503).inc()
+        body = soap.encode_fault(soap.fault_for(exc))
+        return 503, body, _XML, None, \
+            {"Retry-After": f"{retry_after:.3f}"}

@@ -112,6 +112,11 @@ class CircuitBreaker:
     def record_success(self) -> None:
         """Note a successful call: closes the circuit."""
         with self._lock:
+            # one verdict per logical call — the transport's stale
+            # retry happens *below* the breaker gate, so a healed
+            # keep-alive never double-counts here
+            get_metrics().counter("ws.breaker.successes",
+                                  endpoint=self.endpoint).inc()
             self._consecutive_failures = 0
             self._probes_in_flight = 0
             self._transition(CLOSED)
@@ -119,6 +124,8 @@ class CircuitBreaker:
     def record_failure(self) -> None:
         """Note a failed call: may trip (or re-open) the circuit."""
         with self._lock:
+            get_metrics().counter("ws.breaker.failures",
+                                  endpoint=self.endpoint).inc()
             self._consecutive_failures += 1
             if self._state == HALF_OPEN or \
                     self._consecutive_failures >= self.failure_threshold:

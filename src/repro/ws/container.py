@@ -32,6 +32,7 @@ install a custom chain.
 
 from __future__ import annotations
 
+import asyncio
 import pickle
 import tempfile
 import threading
@@ -42,6 +43,7 @@ from typing import Any, Callable
 
 from repro.errors import ServiceError
 from repro.ws import pipeline
+from repro.ws.admission import AdmissionController, AdmissionHandler
 from repro.ws.pipeline import (RESULT_CACHE_ENTRIES,  # noqa: F401
                                DispatchContext, _params_digest,
                                _result_cache, reset_result_cache)
@@ -92,7 +94,8 @@ class ServiceContainer:
 
     def __init__(self, name: str = "container",
                  state_dir: str | Path | None = None,
-                 handlers=None):
+                 handlers=None,
+                 admission: AdmissionController | None = None):
         self.name = name
         self._deployments: dict[str, _Deployment] = {}
         self._state_dir = Path(state_dir) if state_dir else \
@@ -100,6 +103,14 @@ class ServiceContainer:
         self._state_dir.mkdir(parents=True, exist_ok=True)
         self.handlers = list(handlers) if handlers is not None \
             else pipeline.default_server_handlers()
+        self.admission = admission
+        if admission is not None:
+            # right after the deadline anchor: a spent budget is
+            # rejected before it costs an admission token, and a shed
+            # happens before multicall expansion / stats / lifecycle
+            # spend anything on the call
+            self.handlers = pipeline.chain_insert_after(
+                self.handlers, "deadline", AdmissionHandler(admission))
 
     # -- deployment ---------------------------------------------------------
     def deploy(self, service_cls: type, name: str | None = None,
@@ -169,6 +180,20 @@ class ServiceContainer:
             ctx.properties["instance"], request.operation, request.params)
         return SoapResponse(service=request.service,
                             operation=request.operation, result=result)
+
+    async def invoke_async(self, request: SoapRequest) -> SoapResponse:
+        """Dispatch one request without blocking the event loop.
+
+        The sync handler chain runs unchanged on a worker thread
+        (``asyncio.to_thread`` carries the ambient contextvars, so
+        deadline scopes and trace context propagate); CPU-bound ML
+        dispatches therefore never stall the serving loop.  Admission
+        control still applies — the chain's ``admission`` step runs on
+        the worker — but async front doors should prefer shedding via
+        :meth:`~repro.ws.admission.AdmissionController.admit_async`
+        before paying for the offload.
+        """
+        return await asyncio.to_thread(self.invoke, request)
 
     def call(self, service: str, operation: str, **params: Any) -> Any:
         """Convenience in-process invocation."""

@@ -1,0 +1,183 @@
+"""Closed-loop load generation against a SOAP endpoint.
+
+A *closed-loop* client waits for each response before offering its next
+request, so offered load self-adjusts to what the server actually
+sustains — the honest way to measure saturation (an open-loop generator
+measures its own queue).  :func:`run` drives ``concurrency`` such
+clients from one event loop over ``duration_s`` seconds, separating
+three outcomes per call:
+
+* **served** — a real answer; its latency feeds the p50/p95/p99.
+* **shed** — the server answered ``repro:Overloaded``; the client backs
+  off for the server's ``Retry-After`` hint (± seeded jitter) before
+  re-offering.  Shed *latency* is tracked separately: the whole point
+  of front-door admission is that a rejection costs a fraction of a
+  served call.
+* **error** — transport failures and deadline misses.
+
+Results come back as a :class:`LoadReport`, JSON-ready for
+``BENCH_serving.json`` (the ``serving-load`` CI gate) via
+:meth:`LoadReport.as_dict`.  The driver is ``repro loadgen`` on the CLI
+or ``benchmarks/test_bench_serving.py`` under pytest.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from urllib.parse import urlparse
+
+from repro.errors import OverloadedError, ReproError
+from repro.ws.admission import DEFAULT_RETRY_HINT_S
+from repro.ws.soap import SoapRequest
+from repro.ws.transport import HttpTransport
+
+__all__ = ["LoadReport", "run"]
+
+
+def _percentile(sorted_values: list[float], p: float) -> float:
+    """Nearest-rank percentile of pre-sorted data (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(p / 100.0 * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+@dataclass
+class LoadReport:
+    """What a closed-loop run measured (post-warmup window only)."""
+
+    concurrency: int
+    duration_s: float
+    served: int = 0
+    shed: int = 0
+    errors: int = 0
+    served_latencies_ms: list[float] = field(default_factory=list)
+    shed_latencies_ms: list[float] = field(default_factory=list)
+
+    @property
+    def offered(self) -> int:
+        """Calls that completed with any outcome in the window."""
+        return self.served + self.shed + self.errors
+
+    @property
+    def served_rps(self) -> float:
+        """Sustained successful answers per second."""
+        return self.served / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered calls the server shed."""
+        return self.shed / self.offered if self.offered else 0.0
+
+    def served_percentile_ms(self, p: float) -> float:
+        """Latency percentile (milliseconds) of served calls."""
+        return _percentile(sorted(self.served_latencies_ms), p)
+
+    def shed_percentile_ms(self, p: float) -> float:
+        """Latency percentile (milliseconds) of shed calls."""
+        return _percentile(sorted(self.shed_latencies_ms), p)
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (the ``BENCH_serving.json`` schema)."""
+        return {
+            "concurrency": self.concurrency,
+            "duration_s": round(self.duration_s, 3),
+            "offered": self.offered,
+            "served": self.served,
+            "shed": self.shed,
+            "errors": self.errors,
+            "served_rps": round(self.served_rps, 2),
+            "shed_rate": round(self.shed_rate, 4),
+            "latency_ms": {
+                "p50": round(self.served_percentile_ms(50), 3),
+                "p95": round(self.served_percentile_ms(95), 3),
+                "p99": round(self.served_percentile_ms(99), 3),
+            },
+            "shed_latency_ms": {
+                "p50": round(self.shed_percentile_ms(50), 3),
+                "p99": round(self.shed_percentile_ms(99), 3),
+            },
+        }
+
+
+async def _client_loop(index: int, endpoint: str, service: str,
+                       operation: str, params: dict,
+                       principal: str, priority: int,
+                       deadline: float, warmup_until: float,
+                       report: LoadReport, rng: random.Random,
+                       timeout_s: float) -> None:
+    """One closed-loop client: request, await, repeat until *deadline*."""
+    transport = HttpTransport(endpoint, timeout=timeout_s, compress=False)
+    try:
+        while time.perf_counter() < deadline:
+            request = SoapRequest(service, operation, dict(params),
+                                  principal=principal, priority=priority)
+            start = time.perf_counter()
+            try:
+                await transport.send_async(request)
+            except OverloadedError as exc:
+                elapsed = time.perf_counter() - start
+                if start >= warmup_until:
+                    report.shed += 1
+                    report.shed_latencies_ms.append(elapsed * 1000.0)
+                hint = exc.retry_after_s or DEFAULT_RETRY_HINT_S
+                # jittered backoff keeps 1k shed clients from
+                # re-offering in one synchronized wave
+                await asyncio.sleep(hint * (0.5 + rng.random()))
+                continue
+            except (ReproError, OSError):
+                if start >= warmup_until:
+                    report.errors += 1
+                await asyncio.sleep(0.01 * (1 + rng.random()))
+                continue
+            elapsed = time.perf_counter() - start
+            if start >= warmup_until:
+                report.served += 1
+                report.served_latencies_ms.append(elapsed * 1000.0)
+    finally:
+        transport.close()
+
+
+async def _run_async(endpoint: str, service: str, operation: str,
+                     params: dict, concurrency: int, duration_s: float,
+                     warmup_s: float, priority_levels: int, seed: int,
+                     timeout_s: float) -> LoadReport:
+    report = LoadReport(concurrency=concurrency, duration_s=duration_s)
+    rng = random.Random(seed)
+    start = time.perf_counter()
+    warmup_until = start + warmup_s
+    deadline = warmup_until + duration_s
+    clients = []
+    for index in range(concurrency):
+        priority = index % priority_levels if priority_levels > 1 else 0
+        clients.append(_client_loop(
+            index, endpoint, service, operation, params,
+            principal=f"client-{index % 16}", priority=priority,
+            deadline=deadline, warmup_until=warmup_until, report=report,
+            rng=random.Random(rng.random()), timeout_s=timeout_s))
+    await asyncio.gather(*clients)
+    return report
+
+
+def run(endpoint: str, operation: str, params: dict | None = None, *,
+        concurrency: int = 64, duration_s: float = 5.0,
+        warmup_s: float = 1.0, priority_levels: int = 1, seed: int = 0,
+        timeout_s: float = 30.0) -> LoadReport:
+    """Drive *endpoint* with closed-loop clients; returns the report.
+
+    *endpoint* is a ``…/services/<Name>`` URL (the service name is
+    taken from the path).  ``priority_levels > 1`` spreads clients
+    round-robin over priorities ``0..levels-1``, exercising the
+    priority queue's shed ordering.  The run lasts ``warmup_s +
+    duration_s``; only calls started after the warmup are counted.
+    """
+    service = [p for p in urlparse(endpoint).path.split("/") if p][-1]
+    return asyncio.run(_run_async(
+        endpoint, service, operation, dict(params or {}),
+        concurrency=concurrency, duration_s=duration_s,
+        warmup_s=warmup_s, priority_levels=priority_levels, seed=seed,
+        timeout_s=timeout_s))

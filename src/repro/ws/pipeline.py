@@ -21,8 +21,16 @@ Default orders (outermost first; names are stable API):
 * client transport (any :class:`~repro.ws.transport.ChainedTransport`):
   ``trace → metrics → deadline → [gzip] → payload → _exchange``
 * server container (``ServiceContainer.invoke``):
-  ``trace → resolve → deadline → stats → cache → lifecycle → faults
-  → dispatch``
+  ``trace → resolve → deadline → multicall → stats → cache →
+  lifecycle → faults → dispatch`` (``ServiceContainer(admission=...)``
+  splices the ``admission`` load-shedding step in after ``deadline``)
+
+Every step also runs from an event loop (:func:`run_chain_async`):
+steps that define ``intercept_async`` / ``handle_async`` are awaited
+natively, and plain sync steps are bridged through a worker thread
+whose ``proceed`` re-enters the loop — so custom sync interceptors
+keep working, unchanged, under the async serving plane
+(:mod:`repro.ws.aserve`).
 
 Byte movers stay free of policy imports (no :mod:`repro.obs`, no
 breaker, no chaos — enforced by ``tools/layering_lint.py``): they report
@@ -35,15 +43,19 @@ steps simply records nothing.
 
 from __future__ import annotations
 
+import asyncio
+import concurrent.futures
+import contextvars
 import copy
 import hashlib
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Awaitable, Callable
 
 from repro.data import cache as datacache
-from repro.errors import (DeadlineExceeded, ServiceError, TransportError)
+from repro.errors import (DeadlineExceeded, OverloadedError, ServiceError,
+                          TransportError)
 from repro.obs import SpanContext, get_metrics, get_tracer
 from repro.ws import payload, soap
 from repro.ws.deadline import current_deadline, deadline_scope
@@ -52,6 +64,7 @@ from repro.ws.soap import (DEADLINE_FAULTCODE, SoapFault, SoapRequest,
                            SoapResponse)
 
 Proceed = Callable[[SoapRequest], SoapResponse]
+AsyncProceed = Callable[[SoapRequest], Awaitable[SoapResponse]]
 
 
 def _noop_on_wire(bytes_sent: int, bytes_received: int) -> None:
@@ -111,6 +124,11 @@ class ClientInterceptor:
 
     ``name`` identifies the step for :func:`chain_names` /
     :func:`chain_without` / :func:`chain_insert_before` composition.
+    Steps that are safe to await natively additionally override
+    :meth:`intercept_async`; the base implementation bridges the sync
+    :meth:`intercept` through a worker thread (see
+    :func:`run_sync_step_async`), so any third-party sync-only step —
+    chaos injection included — keeps working on the async plane.
     """
 
     name = "interceptor"
@@ -120,6 +138,12 @@ class ClientInterceptor:
         """Handle one call; delegate to the rest of the chain via
         ``proceed(request)`` (or short-circuit by not calling it)."""
         return proceed(request)
+
+    async def intercept_async(self, request: SoapRequest, ctx: CallContext,
+                              proceed: AsyncProceed) -> SoapResponse:
+        """Async mirror of :meth:`intercept` (default: thread bridge)."""
+        return await run_sync_step_async(self.intercept, request, ctx,
+                                         proceed)
 
     def __call__(self, request: SoapRequest, ctx: Any,
                  proceed: Proceed) -> SoapResponse:
@@ -136,6 +160,11 @@ class ServerHandler:
         """Handle one dispatch; delegate to the rest of the chain via
         ``proceed(request)`` (or short-circuit by not calling it)."""
         return proceed(request)
+
+    async def handle_async(self, request: SoapRequest, ctx: DispatchContext,
+                           proceed: AsyncProceed) -> SoapResponse:
+        """Async mirror of :meth:`handle` (default: thread bridge)."""
+        return await run_sync_step_async(self.handle, request, ctx, proceed)
 
     def __call__(self, request: SoapRequest, ctx: Any,
                  proceed: Proceed) -> SoapResponse:
@@ -154,6 +183,69 @@ def run_chain(steps, request: SoapRequest, ctx: Any,
             return terminal(req)
         return steps[index](req, ctx, lambda r: at(index + 1, r))
     return at(0, request)
+
+
+async def run_sync_step_async(call, request: SoapRequest, ctx: Any,
+                              proceed: AsyncProceed) -> SoapResponse:
+    """Run one sync-only chain step inside an async chain.
+
+    The step executes on a worker thread (its sleeps and blocking work
+    leave the event loop free); the ``proceed`` continuation it is
+    handed marshals back into the running loop and blocks the worker —
+    not the loop — until the rest of the chain answers.  The loop-side
+    continuation runs under the worker's :mod:`contextvars` snapshot,
+    so ambient state (deadline scope, trace context) survives the
+    double hop.
+    """
+    loop = asyncio.get_running_loop()
+
+    def sync_proceed(req: SoapRequest) -> SoapResponse:
+        snapshot = contextvars.copy_context()
+        done: concurrent.futures.Future = concurrent.futures.Future()
+
+        def start() -> None:
+            task = snapshot.run(asyncio.ensure_future, proceed(req))
+
+            def relay(finished: asyncio.Task) -> None:
+                if finished.cancelled():
+                    done.cancel()
+                elif finished.exception() is not None:
+                    done.set_exception(finished.exception())
+                else:
+                    done.set_result(finished.result())
+
+            task.add_done_callback(relay)
+
+        loop.call_soon_threadsafe(start)
+        return done.result()
+
+    return await asyncio.to_thread(call, request, ctx, sync_proceed)
+
+
+async def run_chain_async(steps, request: SoapRequest, ctx: Any,
+                          terminal: AsyncProceed) -> SoapResponse:
+    """Async twin of :func:`run_chain` with identical semantics.
+
+    Steps exposing ``intercept_async`` / ``handle_async`` are awaited
+    natively on the event loop; a bare sync callable is bridged through
+    :func:`run_sync_step_async` so mixed chains (e.g. with a sync-only
+    chaos step) behave exactly like their sync counterparts.
+    """
+    async def at(index: int, req: SoapRequest) -> SoapResponse:
+        if index == len(steps):
+            return await terminal(req)
+        step = steps[index]
+
+        async def proceed(r: SoapRequest,
+                          _next: int = index + 1) -> SoapResponse:
+            return await at(_next, r)
+
+        runner = getattr(step, "intercept_async", None) \
+            or getattr(step, "handle_async", None)
+        if runner is not None:
+            return await runner(req, ctx, proceed)
+        return await run_sync_step_async(step, req, ctx, proceed)
+    return await at(0, request)
 
 
 # -- chain composition helpers ---------------------------------------------
@@ -273,6 +365,18 @@ class TransportTrace(ClientInterceptor):
                 for key, value in ctx.notes.items():
                     span.set_attribute(key, value)
 
+    async def intercept_async(self, request, ctx, proceed):
+        # spans live in contextvars, which are task-local: safe to open
+        # directly on the event loop
+        attrs = {"endpoint": ctx.endpoint} if ctx.endpoint else None
+        with get_tracer().span(f"send:{ctx.kind}", attrs) as span:
+            stamp_trace_context(request, span)
+            try:
+                return await proceed(request)
+            finally:
+                for key, value in ctx.notes.items():
+                    span.set_attribute(key, value)
+
 
 class TransportMetrics(ClientInterceptor):
     """Install the metric callbacks the byte mover reports through.
@@ -285,7 +389,8 @@ class TransportMetrics(ClientInterceptor):
 
     name = "metrics"
 
-    def intercept(self, request, ctx, proceed):
+    @staticmethod
+    def _install(ctx) -> None:
         start = time.perf_counter()
         metrics = get_metrics()
 
@@ -304,7 +409,14 @@ class TransportMetrics(ClientInterceptor):
         ctx.on_wire = on_wire
         ctx.on_transport_error = on_transport_error
         ctx.emit_counter = emit_counter
+
+    def intercept(self, request, ctx, proceed):
+        self._install(ctx)
         return proceed(request)
+
+    async def intercept_async(self, request, ctx, proceed):
+        self._install(ctx)
+        return await proceed(request)
 
 
 class DeadlineBudget(ClientInterceptor):
@@ -315,6 +427,10 @@ class DeadlineBudget(ClientInterceptor):
     def intercept(self, request, ctx, proceed):
         apply_deadline(request)
         return proceed(request)
+
+    async def intercept_async(self, request, ctx, proceed):
+        apply_deadline(request)
+        return await proceed(request)
 
 
 class GzipNegotiation(ClientInterceptor):
@@ -332,6 +448,10 @@ class GzipNegotiation(ClientInterceptor):
     def intercept(self, request, ctx, proceed):
         ctx.properties["accept_gzip"] = self.enabled
         return proceed(request)
+
+    async def intercept_async(self, request, ctx, proceed):
+        ctx.properties["accept_gzip"] = self.enabled
+        return await proceed(request)
 
 
 class PayloadRefs(ClientInterceptor):
@@ -363,6 +483,23 @@ class PayloadRefs(ClientInterceptor):
             outbound = payload.internalize(request)
         return proceed(outbound)
 
+    async def intercept_async(self, request, ctx, proceed):
+        if self.resend_on_miss:
+            try:
+                return await proceed(payload.externalize(request,
+                                                         self.peer))
+            except PayloadMissError:
+                get_metrics().counter("ws.payload.fallbacks").inc()
+                self.peer.clear()
+                return await proceed(payload.internalize(request))
+        try:
+            outbound = payload.externalize(request, self.peer)
+        except PayloadMissError:
+            get_metrics().counter("ws.payload.fallbacks").inc()
+            self.peer.clear()
+            outbound = payload.internalize(request)
+        return await proceed(outbound)
+
 
 def default_transport_interceptors(*, compress: bool | None = None,
                                    resend_on_miss: bool = True
@@ -387,11 +524,19 @@ class ProxyDeadline(ClientInterceptor):
     name = "deadline"
 
     def intercept(self, request, ctx, proceed):
+        self._stamp(request, ctx)
+        return proceed(request)
+
+    async def intercept_async(self, request, ctx, proceed):
+        self._stamp(request, ctx)
+        return await proceed(request)
+
+    @staticmethod
+    def _stamp(request, ctx) -> None:
         deadline = current_deadline()
         if deadline is not None:
             deadline.check(f"{ctx.service}.{ctx.operation}")
             request.deadline_s = deadline.remaining()
-        return proceed(request)
 
 
 class BreakerGate(ClientInterceptor):
@@ -420,7 +565,25 @@ class BreakerGate(ClientInterceptor):
         except DeadlineExceeded:
             raise
         except Exception:
-            # the endpoint answered (a fault is still an answer)
+            # the endpoint answered (a fault is still an answer — an
+            # admission shed included: an overloaded endpoint is alive)
+            self.breaker.record_success()
+            raise
+        self.breaker.record_success()
+        return response
+
+    async def intercept_async(self, request, ctx, proceed):
+        if self.breaker is None:
+            return await proceed(request)
+        self.breaker.ensure_closed(f"{ctx.service}.{ctx.operation}")
+        try:
+            response = await proceed(request)
+        except (TransportError, OSError):
+            self.breaker.record_failure()
+            raise
+        except DeadlineExceeded:
+            raise
+        except Exception:
             self.breaker.record_success()
             raise
         self.breaker.record_success()
@@ -445,6 +608,15 @@ class CallTrace(ClientInterceptor):
             stamp_trace_context(request, span)
             return proceed(request)
 
+    async def intercept_async(self, request, ctx, proceed):
+        with get_tracer().span(
+                f"soap:{ctx.service}.{ctx.operation}") as span:
+            batch = soap.batch_size_of(request)
+            if batch is not None:
+                span.set_attribute("batch_size", batch)
+            stamp_trace_context(request, span)
+            return await proceed(request)
+
 
 class CallMetrics(ClientInterceptor):
     """Per-call count + latency, filed whether the call succeeds or not."""
@@ -456,12 +628,22 @@ class CallMetrics(ClientInterceptor):
         try:
             return proceed(request)
         finally:
-            elapsed = time.perf_counter() - start
-            metrics = get_metrics()
-            metrics.counter("ws.client.calls", service=ctx.service,
-                            operation=ctx.operation).inc()
-            metrics.histogram("ws.client.seconds", service=ctx.service,
-                              operation=ctx.operation).observe(elapsed)
+            self._file(ctx, time.perf_counter() - start)
+
+    async def intercept_async(self, request, ctx, proceed):
+        start = time.perf_counter()
+        try:
+            return await proceed(request)
+        finally:
+            self._file(ctx, time.perf_counter() - start)
+
+    @staticmethod
+    def _file(ctx, elapsed: float) -> None:
+        metrics = get_metrics()
+        metrics.counter("ws.client.calls", service=ctx.service,
+                        operation=ctx.operation).inc()
+        metrics.histogram("ws.client.seconds", service=ctx.service,
+                          operation=ctx.operation).observe(elapsed)
 
 
 def default_proxy_interceptors(breaker=None) -> list[ClientInterceptor]:
@@ -821,6 +1003,12 @@ class HttpGateway:
         except SoapFault as fault:
             status = 500
             return 500, soap.encode_fault(fault), content_type, None
+        except OverloadedError as exc:
+            # admission control shed the call: answer 503 with the
+            # dedicated fault so clients back off instead of retrying
+            status = 503
+            return 503, soap.encode_fault(
+                soap.fault_for(exc)), content_type, None
         except DeadlineExceeded as exc:
             status = 500
             return 500, soap.encode_fault(

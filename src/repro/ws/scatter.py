@@ -18,8 +18,16 @@ The helper is policy-only: it never touches sockets or envelopes itself
 imports (enforced by ``tools/layering_lint.py``) — fault injection
 belongs to the transport chains underneath.
 
+Overloaded replicas are *backpressure*, not death: a dispatch that
+raises :class:`~repro.errors.OverloadedError` (the server's admission
+control shed the chunk) re-queues its chunk, halves the endpoint's
+next bite, and backs off for the server's ``Retry-After`` hint before
+taking more work — the shed propagates through the scatter plane as a
+slowdown instead of a migration.  Only ``max_overloads`` *consecutive*
+sheds from one endpoint demote it to the failure path.
+
 Metrics: ``ws.scatter.rebalance`` counts chunk migrations off dead
-endpoints.
+endpoints; ``ws.scatter.backpressure`` counts overload backoffs.
 """
 
 from __future__ import annotations
@@ -30,8 +38,11 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.errors import ServiceError, TransportError, WorkflowError
+from repro.clock import SYSTEM_CLOCK, Clock
+from repro.errors import (OverloadedError, ServiceError, TransportError,
+                          WorkflowError)
 from repro.obs import get_metrics
+from repro.ws.admission import DEFAULT_RETRY_HINT_S
 from repro.ws.deadline import current_deadline
 
 #: Process-wide default chunk size (``repro run --batch-size`` sets it).
@@ -95,6 +106,7 @@ class _EndpointState:
     def __init__(self, alpha: float):
         self.alpha = alpha
         self.ewma_s: float | None = None
+        self.consecutive_overloads = 0
 
     def observe(self, per_item_s: float) -> None:
         if self.ewma_s is None:
@@ -122,6 +134,7 @@ class ScatterGather:
     def __init__(self, n_endpoints: int, *, chunk: int | None = None,
                  min_chunk: int = 1, max_chunk: int = 256,
                  target_chunk_s: float = 0.25, alpha: float = 0.3,
+                 max_overloads: int = 8, clock: Clock = SYSTEM_CLOCK,
                  name: str = "scatter"):
         if n_endpoints < 1:
             raise WorkflowError("scatter-gather needs ≥ 1 endpoint")
@@ -130,8 +143,31 @@ class ScatterGather:
         self.min_chunk = max(1, min_chunk)
         self.max_chunk = max(self.min_chunk, max_chunk)
         self.target_chunk_s = target_chunk_s
+        #: Consecutive sheds tolerated per endpoint before it is
+        #: treated like a failed replica (its chunk migrates).
+        self.max_overloads = max_overloads
+        #: Injectable so backoff behaviour is testable without sleeping.
+        self.clock = clock
         self.name = name
         self._states = [_EndpointState(alpha) for _ in range(n_endpoints)]
+
+    def _note_overload(self, endpoint: int) -> int:
+        """Record one shed (caller holds the run lock); halve the bite.
+
+        Returns the endpoint's consecutive-overload count.  The EWMA is
+        inflated instead of zeroed so the next successful dispatch
+        re-converges smoothly from the smaller chunk.
+        """
+        state = self._states[endpoint]
+        state.consecutive_overloads += 1
+        if state.ewma_s is None:
+            # no latency signal yet: seed the EWMA so the next bite is
+            # half the configured chunk
+            half = max(self.min_chunk, self.chunk // 2)
+            state.ewma_s = self.target_chunk_s / half
+        else:
+            state.ewma_s *= 2.0
+        return state.consecutive_overloads
 
     def chunk_for(self, endpoint: int) -> int:
         """Current chunk size for *endpoint* (adaptive after feedback)."""
@@ -179,6 +215,7 @@ class ScatterGather:
                     results[i] = value
                 self._states[endpoint].observe(
                     elapsed / max(1, len(indices)))
+                self._states[endpoint].consecutive_overloads = 0
                 dispatches.append(ChunkDispatch(
                     endpoint, tuple(indices), attempts=attempts,
                     migrated=attempts > 1, seconds=elapsed))
@@ -195,6 +232,31 @@ class ScatterGather:
                     completed=False))
             get_metrics().counter("ws.scatter.rebalance").inc()
 
+        def backpressure(endpoint: int, indices: list[int],
+                         exc: OverloadedError) -> bool:
+            """Absorb one shed; ``False`` once patience is exhausted.
+
+            The chunk goes back on the queue either way — an overloaded
+            replica never loses work, it just gets smaller bites after
+            a backoff.
+            """
+            with lock:
+                for i in reversed(indices):
+                    pending.appendleft(i)
+                overloads = self._note_overload(endpoint)
+            get_metrics().counter("ws.scatter.backpressure").inc()
+            if overloads > self.max_overloads:
+                with lock:
+                    dead.add(endpoint)
+                    errors.append(exc)
+                    dispatches.append(ChunkDispatch(
+                        endpoint, tuple(indices), migrated=True,
+                        completed=False))
+                get_metrics().counter("ws.scatter.rebalance").inc()
+                return False
+            self.clock.sleep(exc.retry_after_s or DEFAULT_RETRY_HINT_S)
+            return True
+
         def worker(endpoint: int) -> None:
             while True:
                 if deadline is not None and deadline.expired:
@@ -204,6 +266,9 @@ class ScatterGather:
                     return
                 try:
                     attempt(endpoint, indices, attempts=1)
+                except OverloadedError as exc:
+                    if not backpressure(endpoint, indices, exc):
+                        return  # saturated beyond patience: migrate
                 except MIGRATE_ERRORS as exc:
                     fail(endpoint, indices, exc)
                     return  # this endpoint is done for
@@ -240,6 +305,9 @@ class ScatterGather:
                 indices = take(endpoint)
                 try:
                     attempt(endpoint, indices, attempts=2)
+                except OverloadedError as exc:
+                    if not backpressure(endpoint, indices, exc):
+                        survivors.pop(0)
                 except MIGRATE_ERRORS as exc:
                     fail(endpoint, indices, exc)
                     survivors.pop(0)

@@ -22,13 +22,19 @@ import xml.etree.ElementTree as ET
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import DeadlineExceeded, ServiceError
+from repro.errors import DeadlineExceeded, OverloadedError, ServiceError
 from repro.ws import payload
 from repro.ws.payload import PayloadMissError, PayloadRef
 
 #: Fault code carried by a SOAP fault caused by an expired time budget;
 #: :func:`decode_response` resurfaces it as :class:`DeadlineExceeded`.
 DEADLINE_FAULTCODE = "repro:DeadlineExceeded"
+
+#: Fault code for a call shed by admission control before dispatch;
+#: :func:`decode_response` resurfaces it as
+#: :class:`~repro.errors.OverloadedError` (with the server's
+#: retry-after hint, when given, carried in the fault detail).
+OVERLOAD_FAULTCODE = "repro:Overloaded"
 
 #: Reserved operation name for the batched-invocation envelope: one
 #: ``<repro:Multicall>`` body element carries an ordered list of
@@ -167,6 +173,14 @@ class SoapRequest:
     trace_id: str = ""
     parent_span_id: str = ""
     deadline_s: float | None = None
+    #: Admission identity/weight (see :mod:`repro.ws.admission`): when
+    #: set they travel in a ``<repro:Caller>`` header so per-principal
+    #: rate limits and priority shedding apply across hops.  The HTTP
+    #: transports mirror them into ``X-Repro-Principal`` /
+    #: ``X-Repro-Priority`` headers so a front door can shed without
+    #: parsing XML.
+    principal: str = ""
+    priority: int = 0
 
 
 @dataclass
@@ -215,14 +229,18 @@ class CallOutcome:
 
 def multicall_request(service: str, calls: list[SubCall], *,
                       trace_id: str = "", parent_span_id: str = "",
-                      deadline_s: float | None = None) -> SoapRequest:
+                      deadline_s: float | None = None,
+                      principal: str = "", priority: int = 0
+                      ) -> SoapRequest:
     """Build the batch request; it flows through the ordinary interceptor
     chains as one :class:`SoapRequest` whose operation is
-    :data:`MULTICALL_OP`, so deadlines, breaker state, tracing, gzip and
-    payload-refs all apply to the batch as a unit."""
+    :data:`MULTICALL_OP`, so deadlines, breaker state, tracing, gzip,
+    payload-refs and admission control all apply to the batch as a
+    unit."""
     return SoapRequest(service=service, operation=MULTICALL_OP,
                        params={"calls": list(calls)}, trace_id=trace_id,
-                       parent_span_id=parent_span_id, deadline_s=deadline_s)
+                       parent_span_id=parent_span_id, deadline_s=deadline_s,
+                       principal=principal, priority=priority)
 
 
 def is_multicall(request: SoapRequest) -> bool:
@@ -253,7 +271,8 @@ _TRACE_ID_OK = _re.compile(r"^[0-9a-f]{1,64}$")
 def encode_request(request: SoapRequest) -> bytes:
     """Serialise a SoapRequest as an envelope."""
     envelope = ET.Element(_qname(ENVELOPE_NS, "Envelope"))
-    if request.trace_id or request.deadline_s is not None:
+    if request.trace_id or request.deadline_s is not None \
+            or request.principal or request.priority:
         header = ET.SubElement(envelope, _qname(ENVELOPE_NS, "Header"))
         if request.trace_id:
             ctx = ET.SubElement(header, _qname(REPRO_NS, "TraceContext"))
@@ -264,6 +283,12 @@ def encode_request(request: SoapRequest) -> bytes:
             dl = ET.SubElement(header, _qname(REPRO_NS, "Deadline"))
             dl.set("remainingMs",
                    f"{max(0.0, request.deadline_s) * 1000.0:.3f}")
+        if request.principal or request.priority:
+            caller = ET.SubElement(header, _qname(REPRO_NS, "Caller"))
+            if request.principal:
+                caller.set("principal", request.principal)
+            if request.priority:
+                caller.set("priority", str(int(request.priority)))
     body = ET.SubElement(envelope, _qname(ENVELOPE_NS, "Body"))
     if is_multicall(request):
         batch = ET.SubElement(body, _qname(REPRO_NS, MULTICALL_OP))
@@ -302,19 +327,23 @@ def decode_request(document: bytes) -> SoapRequest:
             payload.absorb_params(sub_params)
             calls.append(SubCall(call_el.get("operation", ""), sub_params))
         trace_id, parent_span_id = _decode_trace_header(envelope)
+        principal, priority = _decode_caller_header(envelope)
         return SoapRequest(service=service, operation=MULTICALL_OP,
                            params={"calls": calls}, trace_id=trace_id,
                            parent_span_id=parent_span_id,
-                           deadline_s=_decode_deadline_header(envelope))
+                           deadline_s=_decode_deadline_header(envelope),
+                           principal=principal, priority=priority)
     params = {child.tag.rsplit("}", 1)[-1]: _decode_value(child)
               for child in op}
     # remember large inline payloads so the peer's next send of the
     # same content can travel as a <repro:payloadRef> element
     payload.absorb_params(params)
     trace_id, parent_span_id = _decode_trace_header(envelope)
+    principal, priority = _decode_caller_header(envelope)
     return SoapRequest(service=service, operation=local, params=params,
                        trace_id=trace_id, parent_span_id=parent_span_id,
-                       deadline_s=_decode_deadline_header(envelope))
+                       deadline_s=_decode_deadline_header(envelope),
+                       principal=principal, priority=priority)
 
 
 def _decode_trace_header(envelope: ET.Element) -> tuple[str, str]:
@@ -360,13 +389,51 @@ def _decode_deadline_header(envelope: ET.Element) -> float | None:
     return remaining_ms / 1000.0
 
 
+def _decode_caller_header(envelope: ET.Element) -> tuple[str, int]:
+    """Extract (principal, priority) from the envelope header.
+
+    Like the trace context, caller identity is advisory: a malformed
+    priority is dropped (treated as 0) rather than faulted.
+    """
+    header = envelope.find(_qname(ENVELOPE_NS, "Header"))
+    if header is None:
+        return "", 0
+    caller = header.find(_qname(REPRO_NS, "Caller"))
+    if caller is None:
+        return "", 0
+    principal = caller.get("principal", "")
+    try:
+        priority = int(caller.get("priority", "0"))
+    except ValueError:
+        priority = 0
+    return principal, priority
+
+
 def _fault_fields(error: Exception) -> tuple[str, str, str]:
     """(faultcode, faultstring, detail) for a per-item multicall fault."""
     if isinstance(error, SoapFault):
         return error.faultcode, error.faultstring, error.detail
     if isinstance(error, DeadlineExceeded):
         return DEADLINE_FAULTCODE, str(error), ""
+    if isinstance(error, OverloadedError):
+        detail = "" if error.retry_after_s is None \
+            else f"{error.retry_after_s:.3f}"
+        return OVERLOAD_FAULTCODE, str(error), detail
     return "soapenv:Server", str(error) or type(error).__name__, ""
+
+
+def fault_for(error: Exception) -> SoapFault:
+    """The :class:`SoapFault` a server answers with for *error*.
+
+    Maps the dedicated non-retriable exceptions (deadline expiry,
+    admission sheds) onto their reserved fault codes so
+    :func:`decode_response` resurfaces the same exception type
+    client-side; anything else becomes a generic server fault.
+    """
+    if isinstance(error, SoapFault):
+        return error
+    code, string, detail = _fault_fields(error)
+    return SoapFault(code, string, detail)
 
 
 def _fault_to_exception(code: str, string: str, detail: str) -> Exception:
@@ -375,6 +442,14 @@ def _fault_to_exception(code: str, string: str, detail: str) -> Exception:
         # the dedicated (non-retriable) exception so clients do not
         # burn retries on an already-spent budget
         return DeadlineExceeded(string)
+    if code == OVERLOAD_FAULTCODE:
+        # the dedicated back-off exception: not a ServiceError, so the
+        # transient-retry set and circuit breakers leave it alone
+        try:
+            retry_after = float(detail)
+        except ValueError:
+            retry_after = None
+        return OverloadedError(string, retry_after_s=retry_after)
     if code == payload.MISS_FAULTCODE:
         # the peer does not hold a referenced payload: transports
         # catch this and fall back to a full inline resend

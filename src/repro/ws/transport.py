@@ -27,12 +27,14 @@ around it.  Movers report telemetry only through the per-call
 
 from __future__ import annotations
 
+import asyncio
 import http.client
+import threading
 import time
 from dataclasses import dataclass
 from urllib.parse import urlparse
 
-from repro.errors import DeadlineExceeded, TransportError
+from repro.errors import DeadlineExceeded, OverloadedError, TransportError
 from repro.ws import payload, pipeline, soap
 from repro.ws.container import ServiceContainer
 from repro.ws.pipeline import CallContext
@@ -45,6 +47,16 @@ class Transport:
     def send(self, request: SoapRequest) -> SoapResponse:
         """Deliver one SOAP request; returns the SOAP response."""
         raise NotImplementedError
+
+    async def send_async(self, request: SoapRequest) -> SoapResponse:
+        """Deliver one SOAP request from an event loop.
+
+        Default: run the sync :meth:`send` on a worker thread, so any
+        transport is awaitable; :class:`ChainedTransport` overrides
+        this with a chain-running version and :class:`HttpTransport`
+        moves bytes natively on asyncio streams.
+        """
+        return await asyncio.to_thread(self.send, request)
 
     def close(self) -> None:
         """Release any underlying resources (default: none)."""
@@ -83,6 +95,29 @@ class ChainedTransport(Transport):
             self.interceptors, request, ctx,
             lambda outbound: self._exchange(outbound, ctx))
 
+    async def send_async(self, request: SoapRequest) -> SoapResponse:
+        """Deliver one SOAP request from an event loop.
+
+        The same interceptor chain runs (async mirrors where steps
+        provide them, thread-bridged otherwise) into
+        :meth:`_exchange_async`, so sync and async callers get
+        identical policy and telemetry.
+        """
+        ctx = CallContext(kind=self.kind, endpoint=self.endpoint_label(),
+                          service=request.service,
+                          operation=request.operation)
+
+        async def terminal(outbound: SoapRequest) -> SoapResponse:
+            return await self._exchange_async(outbound, ctx)
+
+        return await pipeline.run_chain_async(
+            self.interceptors, request, ctx, terminal)
+
+    async def _exchange_async(self, request: SoapRequest,
+                              ctx: CallContext = None) -> SoapResponse:
+        """Async byte move; default runs :meth:`_exchange` off-loop."""
+        return await asyncio.to_thread(self._exchange, request, ctx)
+
     def _context_of(self, ctx) -> CallContext:
         """Normalise *ctx* for direct ``_exchange`` calls (tests poke the
         mover with legacy ``(request, span, start)`` arguments); a real
@@ -118,6 +153,10 @@ class InProcessTransport(ChainedTransport):
             wire_out = soap.encode_response(response)
         except SoapFault as fault:
             wire_out = soap.encode_fault(fault)
+        except OverloadedError as exc:
+            # same wire behaviour as the HTTP gateways: a shed becomes
+            # the dedicated fault, decoded back into OverloadedError
+            wire_out = soap.encode_fault(soap.fault_for(exc))
         self.bytes_received += len(wire_out)
         ctx.note("bytes_sent", len(wire))
         ctx.note("bytes_received", len(wire_out))
@@ -149,7 +188,14 @@ class HttpTransport(ChainedTransport):
         self._port = parsed.port or 80
         self._path = parsed.path or "/"
         self._timeout = timeout
-        self._conn: http.client.HTTPConnection | None = None
+        # keep-alive pool: each logical call checks a connection out for
+        # exclusive use and returns it after a clean exchange, so
+        # concurrent callers never interleave request/response pairs on
+        # one socket (and never misattribute another call's staleness)
+        self._pool: list[http.client.HTTPConnection] = []
+        self._pool_lock = threading.Lock()
+        self._apool: list[tuple[asyncio.StreamReader,
+                                asyncio.StreamWriter]] = []
         self.compress = compress
         self.bytes_sent = 0
         self.bytes_received = 0
@@ -169,19 +215,33 @@ class HttpTransport(ChainedTransport):
     _STALE_ERRORS = (http.client.RemoteDisconnected,
                      http.client.BadStatusLine)
 
-    def _connection(self) -> http.client.HTTPConnection:
-        if self._conn is None:
-            self._conn = http.client.HTTPConnection(
-                self._host, self._port, timeout=self._timeout)
-        return self._conn
+    def _checkout(self) -> tuple[http.client.HTTPConnection, bool]:
+        """An exclusive connection for one logical call.
 
-    def _post(self, request: SoapRequest, wire: bytes, headers: dict):
-        conn = self._connection()
-        # never wait on the socket longer than the call's
-        # remaining budget allows
+        Returns ``(conn, reused)``: a pooled keep-alive connection when
+        one is idle (``reused=True`` — eligible for the one stale
+        retry), a fresh one otherwise.
+        """
+        with self._pool_lock:
+            if self._pool:
+                return self._pool.pop(), True
+        return http.client.HTTPConnection(
+            self._host, self._port, timeout=self._timeout), False
+
+    def _checkin(self, conn: http.client.HTTPConnection) -> None:
+        with self._pool_lock:
+            self._pool.append(conn)
+
+    def _deadline_timeout(self, request: SoapRequest) -> float:
+        """Never wait on a socket longer than the remaining budget."""
         effective = self._timeout
         if request.deadline_s is not None:
             effective = min(effective, max(request.deadline_s, 1e-3))
+        return effective
+
+    def _post(self, conn: http.client.HTTPConnection,
+              request: SoapRequest, wire: bytes, headers: dict):
+        effective = self._deadline_timeout(request)
         conn.timeout = effective
         if conn.sock is not None:
             conn.sock.settimeout(effective)
@@ -202,57 +262,199 @@ class HttpTransport(ChainedTransport):
         raise TransportError(
             f"cannot reach {self.endpoint}: {exc}") from exc
 
-    def _exchange(self, request: SoapRequest, ctx: CallContext = None,
-                  *_legacy) -> SoapResponse:
-        ctx = self._context_of(ctx)
+    def _prepare(self, request: SoapRequest,
+                 ctx: CallContext) -> tuple[bytes, dict]:
+        """Encode one request to ``(wire, headers)``."""
         encoded = soap.encode_request(request)
         headers = {
             "Content-Type": "text/xml; charset=utf-8",
             "SOAPAction": f'"{request.operation}"',
         }
+        if request.principal:
+            # mirrored out of the envelope so admission front doors can
+            # identify the caller without an XML parse
+            headers["X-Repro-Principal"] = request.principal
+        if request.priority:
+            headers["X-Repro-Priority"] = str(request.priority)
         wire = encoded
         if ctx.get("accept_gzip"):
             headers["Accept-Encoding"] = "gzip"
             wire, encoding = payload.maybe_compress(encoded)
             if encoding:
                 headers["Content-Encoding"] = encoding
+        return wire, headers
+
+    def _finish(self, request: SoapRequest, ctx: CallContext, wire: bytes,
+                body: bytes, status: int,
+                content_encoding: str | None) -> SoapResponse:
+        """Account for + decode one completed exchange."""
+        self.bytes_received += len(body)
+        ctx.note("bytes_sent", len(wire))
+        ctx.note("bytes_received", len(body))
+        ctx.note("payload_refs", len(payload.refs_in(request)))
+        ctx.note("http_status", status)
+        ctx.on_wire(len(wire), len(body))
+        body = payload.decompress(body, content_encoding)
+        return soap.decode_response(body)  # raises SoapFault on faults
+
+    def _exchange(self, request: SoapRequest, ctx: CallContext = None,
+                  *_legacy) -> SoapResponse:
+        ctx = self._context_of(ctx)
+        wire, headers = self._prepare(request, ctx)
         self.bytes_sent += len(wire)
-        reused = self._conn is not None and self._conn.sock is not None
+        conn, reused = self._checkout()
         try:
-            http_response, body = self._post(request, wire, headers)
+            http_response, body = self._post(conn, request, wire, headers)
         except self._STALE_ERRORS as exc:
-            self.close()
+            conn.close()
             if not reused:
                 self._raise_unreachable(exc, request, ctx)
             # a keep-alive connection pooled from an earlier exchange
             # went stale under us; that says nothing about endpoint
             # health, so retry once on a fresh connection instead of
-            # surfacing a failure to the retry/breaker layers
+            # surfacing a failure to the retry/breaker layers.  The
+            # retry connection is this call's own — concurrent callers
+            # hold their own checkouts, so exactly one retry happens
+            # per logical call and the breaker sees at most one verdict
+            conn, reused = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout), False
             ctx.note("stale_retry", True)
             ctx.emit_counter("ws.transport.stale_retries")
             try:
-                http_response, body = self._post(request, wire, headers)
+                http_response, body = self._post(conn, request, wire,
+                                                 headers)
             except (OSError, http.client.HTTPException) as retry_exc:
-                self.close()
+                conn.close()
                 self._raise_unreachable(retry_exc, request, ctx)
         except (OSError, http.client.HTTPException) as exc:
-            self.close()
+            conn.close()
             self._raise_unreachable(exc, request, ctx)
-        self.bytes_received += len(body)
-        ctx.note("bytes_sent", len(wire))
-        ctx.note("bytes_received", len(body))
-        ctx.note("payload_refs", len(payload.refs_in(request)))
-        ctx.note("http_status", http_response.status)
-        ctx.on_wire(len(wire), len(body))
-        body = payload.decompress(
-            body, http_response.getheader("Content-Encoding"))
-        return soap.decode_response(body)  # raises SoapFault on faults
+        self._checkin(conn)
+        return self._finish(request, ctx, wire, body, http_response.status,
+                            http_response.getheader("Content-Encoding"))
+
+    # -- native asyncio exchange --------------------------------------------
+
+    _ASYNC_STALE_ERRORS = (ConnectionResetError, BrokenPipeError,
+                           asyncio.IncompleteReadError)
+
+    def _checkout_async(self) -> tuple[tuple[asyncio.StreamReader,
+                                             asyncio.StreamWriter] | None,
+                                       bool]:
+        """A pooled stream pair, or ``(None, False)`` to dial fresh.
+
+        Only ever called on the owning event loop, so the bare list
+        needs no lock.
+        """
+        if self._apool:
+            return self._apool.pop(), True
+        return None, False
+
+    async def _dial(self) -> tuple[asyncio.StreamReader,
+                                   asyncio.StreamWriter]:
+        return await asyncio.open_connection(self._host, self._port)
+
+    async def _post_async(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter,
+                          wire: bytes, headers: dict
+                          ) -> tuple[int, dict, bytes]:
+        """One raw HTTP/1.1 POST over asyncio streams.
+
+        Returns ``(status, lowercased headers, body)``.  An empty read
+        on the status line surfaces as ``IncompleteReadError`` — the
+        stale-connection signal, same as the sync path's
+        ``RemoteDisconnected``.
+        """
+        lines = [f"POST {self._path} HTTP/1.1",
+                 f"Host: {self._host}:{self._port}",
+                 f"Content-Length: {len(wire)}"]
+        lines.extend(f"{name}: {value}" for name, value in headers.items())
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        writer.write(wire)
+        await writer.drain()
+
+        status_line = await reader.readuntil(b"\r\n")
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise TransportError(
+                f"malformed status line from {self.endpoint}: "
+                f"{status_line!r}")
+        status = int(parts[1])
+        response_headers: dict[str, str] = {}
+        while True:
+            line = (await reader.readuntil(b"\r\n")).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            response_headers[name.strip().lower()] = value.strip()
+        length = response_headers.get("content-length")
+        if length is None:
+            raise TransportError(
+                f"{self.endpoint} answered without Content-Length")
+        body = await reader.readexactly(int(length))
+        return status, response_headers, body
+
+    async def _exchange_async(self, request: SoapRequest,
+                              ctx: CallContext = None) -> SoapResponse:
+        """The sync exchange's semantics on asyncio streams.
+
+        Same keep-alive pooling (per-loop), same single stale retry for
+        pooled connections, same deadline-bounded socket wait — but no
+        thread is held while the server works.
+        """
+        ctx = self._context_of(ctx)
+        wire, headers = self._prepare(request, ctx)
+        self.bytes_sent += len(wire)
+        effective = self._deadline_timeout(request)
+
+        async def attempt(pair, reused):
+            if pair is None:
+                pair = await self._dial()
+            try:
+                result = await asyncio.wait_for(
+                    self._post_async(pair[0], pair[1], wire, headers),
+                    timeout=effective)
+            except BaseException:
+                pair[1].close()
+                raise
+            return pair, result
+
+        pair, reused = self._checkout_async()
+        try:
+            try:
+                pair, (status, response_headers, body) = \
+                    await attempt(pair, reused)
+            except self._ASYNC_STALE_ERRORS as exc:
+                if not reused:
+                    self._raise_unreachable(exc, request, ctx)
+                ctx.note("stale_retry", True)
+                ctx.emit_counter("ws.transport.stale_retries")
+                try:
+                    pair, (status, response_headers, body) = \
+                        await attempt(None, False)
+                except (OSError, asyncio.IncompleteReadError) as retry_exc:
+                    self._raise_unreachable(retry_exc, request, ctx)
+        except asyncio.TimeoutError as exc:
+            self._raise_unreachable(TimeoutError(str(exc) or "timed out"),
+                                    request, ctx)
+        except (OSError, asyncio.IncompleteReadError) as exc:
+            self._raise_unreachable(exc, request, ctx)
+        self._apool.append(pair)
+        return self._finish(request, ctx, wire, body, status,
+                            response_headers.get("content-encoding"))
 
     def close(self) -> None:
         """Release underlying resources."""
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, []
+        for conn in pool:
+            conn.close()
+        apool, self._apool = self._apool, []
+        for _, writer in apool:
+            try:
+                writer.close()
+            except RuntimeError:
+                pass  # owning event loop already closed; socket dies with it
 
 
 @dataclass

@@ -30,7 +30,32 @@ def test_parses_and_triggers(workflow):
 
 def test_expected_jobs_present(workflow):
     assert set(workflow["jobs"]) == {"test", "lint", "chaos",
-                                     "bench-smoke"}
+                                     "bench-smoke", "serving-load"}
+
+
+def test_concurrency_cancels_superseded_runs(workflow):
+    """Pushing again must cancel the now-stale in-flight run."""
+    group = workflow["concurrency"]
+    assert group["cancel-in-progress"] is True
+    assert "github.ref" in group["group"]
+
+
+def test_every_job_is_time_bounded(workflow):
+    """A hung event loop or load test must fail the job, not wedge the
+    runner for the 6-hour GitHub default."""
+    for name, job in workflow["jobs"].items():
+        assert isinstance(job.get("timeout-minutes"), int), \
+            f"job {name!r} has no timeout-minutes"
+
+
+def test_every_job_caches_pip(workflow):
+    for name, job in workflow["jobs"].items():
+        setup = next(step for step in job["steps"]
+                     if "setup-python" in step.get("uses", ""))
+        assert setup["with"].get("cache") == "pip", \
+            f"job {name!r} does not cache pip"
+        assert setup["with"].get("cache-dependency-path") == \
+            "pyproject.toml"
 
 
 def test_matrix_covers_supported_pythons(workflow):
@@ -55,8 +80,7 @@ def test_lint_job_compiles_and_ruffs(workflow):
     assert "python tools/layering_lint.py" in text
 
 
-def test_layering_lint_passes():
-    """The CI layering gate must hold on the tree as checked in."""
+def _load_layering_lint():
     import importlib.util
 
     script = Path(__file__).resolve().parents[1] / "tools" \
@@ -64,7 +88,31 @@ def test_layering_lint_passes():
     spec = importlib.util.spec_from_file_location("layering_lint", script)
     lint = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(lint)
-    assert lint.main() == 0
+    return lint
+
+
+def test_layering_lint_passes():
+    """The CI layering gate must hold on the tree as checked in."""
+    assert _load_layering_lint().main() == 0
+
+
+def test_layering_rules_cover_the_admission_plane():
+    """Admission must stay byte-mover-free, and the movers admission-free.
+
+    The controller is attachable to every serving plane precisely
+    because it never imports one; conversely the transports/httpd must
+    not reach up into policy.  Pin the rule set so a future refactor
+    cannot silently drop the firewall.
+    """
+    rules = _load_layering_lint().RULES
+    admission = rules["src/repro/ws/admission.py"]
+    for banned in ("repro.ws.transport", "repro.ws.httpd",
+                   "repro.ws.aserve", "repro.ws.client", "repro.chaos"):
+        assert banned in admission
+    assert "repro.ws.admission" in rules["src/repro/ws/transport.py"]
+    assert "repro.ws.admission" in rules["src/repro/ws/httpd.py"]
+    aserve = rules["src/repro/ws/aserve.py"]
+    assert "repro.chaos" in aserve and "repro.ws.breaker" in aserve
 
 
 def test_bench_smoke_uploads_artifact(workflow):
@@ -104,6 +152,21 @@ def test_chaos_job_is_seeded_and_uploads_snapshot(workflow):
     upload = next(step for step in job["steps"]
                   if "upload-artifact" in step.get("uses", ""))
     assert upload["with"]["name"] == "chaos-metrics"
+    assert upload["with"]["if-no-files-found"] == "error"
+
+
+def test_serving_load_job_gates_and_uploads_the_report(workflow):
+    """PERF-SERVING: the closed-loop saturation bench runs in CI (its
+    in-test gates enforce the sustained req/s floor, the p99 ceiling
+    and the cheap-shed bound at 1k concurrent clients) and its JSON
+    report is published as an artifact."""
+    job = workflow["jobs"]["serving-load"]
+    text = steps_text(job)
+    assert "benchmarks/test_bench_serving.py" in text
+    upload = next(step for step in job["steps"]
+                  if "upload-artifact" in step.get("uses", ""))
+    assert upload["with"]["name"] == "serving-load"
+    assert "BENCH_serving.json" in upload["with"]["path"]
     assert upload["with"]["if-no-files-found"] == "error"
 
 

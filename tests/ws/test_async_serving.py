@@ -1,0 +1,226 @@
+"""The asyncio serving plane: same envelopes as the threaded server,
+front-door admission on HTTP headers, cheap 503 sheds with Retry-After,
+keep-alive connections, and the bounded dispatch pool."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.errors import OverloadedError
+from repro.ws import soap, wsdl
+from repro.ws.admission import AdmissionController
+from repro.ws.aserve import AsyncSoapHttpServer
+from repro.ws.client import HttpTransport, ServiceProxy, fetch_url
+from repro.ws.container import ServiceContainer
+from repro.ws.httpd import SoapHttpServer
+from repro.ws.service import operation
+from repro.ws.soap import SoapFault, SoapRequest
+
+
+class Greeter:
+    """Greets people."""
+
+    @operation
+    def greet(self, name: str, excited: bool = False) -> str:
+        """Compose a greeting."""
+        return f"hello {name}" + ("!" if excited else "")
+
+
+class Sleeper:
+    """Holds its worker for a moment (concurrency probe)."""
+
+    @operation
+    def nap(self, seconds: float = 0.05) -> str:
+        """Sleep then answer."""
+        time.sleep(float(seconds))
+        return "rested"
+
+
+def make_container() -> ServiceContainer:
+    container = ServiceContainer()
+    container.deploy(Greeter, "Greeter")
+    container.deploy(Sleeper, "Sleeper")
+    return container
+
+
+@pytest.fixture(scope="module")
+def server():
+    with AsyncSoapHttpServer(make_container()) as srv:
+        yield srv
+
+
+class TestServesLikeTheThreadedPlane:
+    def test_wsdl_and_index(self, server):
+        text = fetch_url(server.wsdl_url("Greeter"))
+        assert "Greeter" in text and "greet" in text
+        index = fetch_url(server.base_url + "/services")
+        assert set(index.splitlines()) == {"Greeter", "Sleeper"}
+
+    def test_sync_proxy_roundtrip(self, server):
+        proxy = ServiceProxy.from_wsdl_url(server.wsdl_url("Greeter"))
+        assert proxy.greet(name="ada", excited=True) == "hello ada!"
+        proxy.close()
+
+    def test_async_client_roundtrip(self, server):
+        document = fetch_url(server.wsdl_url("Greeter"))
+        transport = HttpTransport(server.endpoint("Greeter"))
+        proxy = ServiceProxy.from_wsdl_text(document, transport)
+
+        async def drive():
+            return await asyncio.gather(*[
+                proxy.call_async("greet", name=f"n{i}")
+                for i in range(8)])
+
+        assert asyncio.run(drive()) == [f"hello n{i}" for i in range(8)]
+        proxy.close()
+
+    def test_envelopes_match_the_threaded_server_byte_for_byte(self):
+        """Both planes share HttpGateway, so the same POST must come
+        back with the identical envelope over the real wire."""
+        import http.client
+        request = soap.encode_request(
+            SoapRequest("Greeter", "greet", {"name": "ada"}))
+        bodies = []
+        for server_cls in (SoapHttpServer, AsyncSoapHttpServer):
+            with server_cls(make_container(), compress=False) as srv:
+                conn = http.client.HTTPConnection("127.0.0.1", srv.port,
+                                                  timeout=10)
+                conn.request("POST", "/services/Greeter", request,
+                             {"Content-Type": "text/xml"})
+                response = conn.getresponse()
+                assert response.status == 200
+                bodies.append(response.read())
+                conn.close()
+        assert bodies[0] == bodies[1]
+        assert soap.decode_response(
+            bodies[0].decode()).result == "hello ada"
+
+    def test_fault_still_propagates(self, server):
+        transport = HttpTransport(server.endpoint("Greeter"))
+        with pytest.raises(SoapFault):
+            transport.send(SoapRequest("Greeter", "nope", {}))
+        transport.close()
+
+    def test_unknown_paths_404(self, server):
+        from repro.errors import TransportError
+        with pytest.raises(TransportError):
+            fetch_url(server.base_url + "/elsewhere")
+
+    def test_keep_alive_reuses_one_connection(self, server):
+        transport = HttpTransport(server.endpoint("Greeter"))
+        for i in range(3):
+            transport.send(SoapRequest("Greeter", "greet",
+                                       {"name": f"n{i}"}))
+        # all three answers came over the single pooled connection
+        assert len(transport._pool) == 1
+        transport.close()
+
+
+class TestFrontDoorAdmission:
+    def test_sheds_answer_503_with_retry_after(self):
+        ctl = AdmissionController(max_concurrent=1, max_queue=0)
+        with AsyncSoapHttpServer(make_container(), admission=ctl) as srv:
+            blocker = ctl.admit()   # consume the only slot externally
+            transport = HttpTransport(srv.endpoint("Greeter"))
+            with pytest.raises(OverloadedError) as exc:
+                transport.send(SoapRequest("Greeter", "greet",
+                                           {"name": "x"}))
+            assert exc.value.retry_after_s is not None
+            assert exc.value.retry_after_s > 0
+            transport.close()
+            blocker.release()
+            metrics = obs.get_metrics()
+            assert metrics.counter("ws.http.requests", service="Greeter",
+                                   status=503).value == 1
+
+    def test_priority_headers_reach_the_controller(self):
+        """A high-priority caller outranks queued low-priority ones
+        purely via the X-Repro-* headers — no XML decode needed."""
+        ctl = AdmissionController(max_concurrent=1, max_queue=2,
+                                  queue_timeout_s=5.0)
+        with AsyncSoapHttpServer(make_container(), admission=ctl,
+                                 max_workers=4) as srv:
+            document = fetch_url(srv.wsdl_url("Sleeper"))
+            order = []
+            lock = threading.Lock()
+
+            def call(priority, label):
+                transport = HttpTransport(srv.endpoint("Sleeper"))
+                proxy = ServiceProxy.from_wsdl_text(document, transport)
+                proxy.priority = priority
+                proxy.principal = label
+                try:
+                    proxy.call("nap", seconds=0.1)
+                    with lock:
+                        order.append(label)
+                finally:
+                    proxy.close()
+
+            threads = [threading.Thread(target=call, args=args)
+                       for args in [(0, "first"), (0, "low"),
+                                    (9, "high")]]
+            threads[0].start()
+            while ctl.inflight == 0:
+                time.sleep(0.001)
+            threads[1].start()
+            while ctl.queued < 1:
+                time.sleep(0.001)
+            threads[2].start()
+            for t in threads:
+                t.join(10)
+            assert order[0] == "first"
+            assert order[1] == "high"     # outran the earlier low call
+
+    def test_admitted_calls_hold_the_slot_across_dispatch(self):
+        """max_concurrent bounds real running work: with one slot, two
+        overlapping naps serialize instead of overlapping."""
+        ctl = AdmissionController(max_concurrent=1, max_queue=4,
+                                  queue_timeout_s=5.0)
+        with AsyncSoapHttpServer(make_container(), admission=ctl,
+                                 max_workers=4) as srv:
+            starts = []
+
+            def call():
+                transport = HttpTransport(srv.endpoint("Sleeper"))
+                starts.append(time.perf_counter())
+                transport.send(SoapRequest("Sleeper", "nap",
+                                           {"seconds": 0.1}))
+                transport.close()
+
+            threads = [threading.Thread(target=call) for _ in range(2)]
+            start = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(10)
+            # two 0.1s naps through a 1-wide gate take >= 0.2s
+            assert time.perf_counter() - start >= 0.2
+
+    def test_shed_cost_is_a_fraction_of_a_served_call(self):
+        """The point of the front door: rejection must not pay for
+        dispatch.  Compare a shed round-trip to a served nap."""
+        ctl = AdmissionController(max_concurrent=1, max_queue=0)
+        with AsyncSoapHttpServer(make_container(), admission=ctl) as srv:
+            transport = HttpTransport(srv.endpoint("Sleeper"))
+            start = time.perf_counter()
+            transport.send(SoapRequest("Sleeper", "nap",
+                                       {"seconds": 0.1}))
+            served_s = time.perf_counter() - start
+            blocker = ctl.admit()
+            start = time.perf_counter()
+            with pytest.raises(OverloadedError):
+                transport.send(SoapRequest("Sleeper", "nap",
+                                           {"seconds": 0.1}))
+            shed_s = time.perf_counter() - start
+            blocker.release()
+            transport.close()
+            assert shed_s < served_s / 2
+
+    def test_default_worker_pool_tracks_max_concurrent(self):
+        ctl = AdmissionController(max_concurrent=3)
+        server = AsyncSoapHttpServer(make_container(), admission=ctl)
+        assert server.max_workers == 3
+        assert AsyncSoapHttpServer(make_container()).max_workers == 8

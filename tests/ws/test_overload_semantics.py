@@ -1,0 +1,176 @@
+"""What an overload *means* end to end: the ``repro:Overloaded`` fault
+round-trips every wire, retry policies back off instead of re-offering,
+circuit breakers treat sheds as proof of life, and chaos delays compose
+deterministically with admission buckets on a shared fake clock."""
+
+import pytest
+
+from repro import obs
+from repro.chaos.controller import ChaosController
+from repro.clock import FakeClock
+from repro.errors import OverloadedError, TransportError
+from repro.workflow.faults import TRANSIENT_ERRORS, RetryPolicy
+from repro.workflow.model import Task, make_tool
+from repro.ws import soap
+from repro.ws.admission import AdmissionController
+from repro.ws.breaker import CircuitBreaker
+from repro.ws.client import HttpTransport, ServiceProxy, fetch_url
+from repro.ws.container import ServiceContainer
+from repro.ws.httpd import SoapHttpServer
+from repro.ws.service import operation
+from repro.ws.soap import SoapRequest
+from repro.ws.transport import InProcessTransport
+
+
+class Greeter:
+    """Greets people."""
+
+    @operation
+    def greet(self, name: str) -> str:
+        """Compose a greeting."""
+        return f"hello {name}"
+
+
+def saturated_container() -> tuple[ServiceContainer, AdmissionController]:
+    """A container whose admission chain step sheds every call."""
+    ctl = AdmissionController(max_concurrent=1, max_queue=0)
+    container = ServiceContainer(admission=ctl)
+    container.deploy(Greeter, "Greeter")
+    ctl.admit()   # hold the only slot forever: everything sheds
+    return container, ctl
+
+
+class TestFaultOnTheWire:
+    def test_fault_encodes_and_decodes_symmetrically(self):
+        fault = soap.fault_for(OverloadedError("busy", retry_after_s=0.25))
+        assert fault.faultcode == soap.OVERLOAD_FAULTCODE
+        wire = soap.encode_fault(fault)
+        with pytest.raises(OverloadedError) as exc:
+            soap.decode_response(wire)
+        assert exc.value.retry_after_s == pytest.approx(0.25)
+
+    def test_shed_round_trips_in_process(self):
+        container, _ = saturated_container()
+        transport = InProcessTransport(container)
+        with pytest.raises(OverloadedError) as exc:
+            transport.send(SoapRequest("Greeter", "greet", {"name": "x"}))
+        assert exc.value.retry_after_s is not None
+
+    def test_shed_round_trips_over_http(self):
+        """The sync serving plane: the admission chain step sheds, the
+        gateway encodes ``repro:Overloaded``, the client decodes it."""
+        container, ctl = saturated_container()
+        with SoapHttpServer(container) as server:
+            transport = HttpTransport(server.endpoint("Greeter"))
+            with pytest.raises(OverloadedError) as exc:
+                transport.send(SoapRequest("Greeter", "greet",
+                                           {"name": "x"}))
+            assert exc.value.retry_after_s is not None
+            transport.close()
+
+
+class TestRetrySemantics:
+    def test_overloaded_is_not_transient(self):
+        assert not issubclass(OverloadedError, TRANSIENT_ERRORS)
+
+    def test_retry_policy_does_not_reoffer_a_shed(self):
+        tool = make_tool("t", ["x"], ["y"], lambda x: [x])
+        task = Task("t1", tool)
+        attempts = []
+
+        def runner(inputs, parameters):
+            attempts.append(1)
+            raise OverloadedError("shed", retry_after_s=0.1)
+
+        policy = RetryPolicy(max_retries=5)
+        with pytest.raises(OverloadedError):
+            policy.run_task(task, [1], {}, runner=runner)
+        # exactly one offer: re-offering into an overloaded server is
+        # how brownouts become outages
+        assert attempts == [1]
+        assert obs.get_metrics().counter("workflow.retries",
+                                         task="t1").value == 0
+
+    def test_transport_errors_still_retry(self):
+        tool = make_tool("t", ["x"], ["y"], lambda x: [x])
+        task = Task("t2", tool)
+        attempts = []
+
+        def runner(inputs, parameters):
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransportError("flaky")
+            return [inputs[0]]
+
+        assert RetryPolicy(max_retries=5).run_task(
+            task, [1], {}, runner=runner) == [1]
+        assert len(attempts) == 3
+
+
+class TestBreakerSemantics:
+    def test_sheds_do_not_trip_the_breaker(self):
+        """A shed is an *answer* — the endpoint is alive, just busy.
+        Tripping on it would turn recoverable brownouts into failover
+        storms."""
+        container, _ = saturated_container()
+        breaker = CircuitBreaker(endpoint="inproc://Greeter",
+                                 failure_threshold=2)
+        with SoapHttpServer(container) as server:
+            document = fetch_url(server.wsdl_url("Greeter"))
+            proxy = ServiceProxy.from_wsdl_text(
+                document, InProcessTransport(container), breaker=breaker)
+            for _ in range(6):   # 3x the failure threshold
+                with pytest.raises(OverloadedError):
+                    proxy.call("greet", name="x")
+        assert breaker.state == "closed"
+        metrics = obs.get_metrics()
+        assert metrics.counter("ws.breaker.failures",
+                               endpoint="inproc://Greeter").value == 0
+        assert metrics.counter("ws.breaker.successes",
+                               endpoint="inproc://Greeter").value == 6
+
+
+class TestChaosComposition:
+    """Chaos delays and admission buckets share one fake clock, so
+    their interplay is exactly reproducible: the injected latency *is*
+    the pacing that refills the bucket."""
+
+    @staticmethod
+    def _drive(seed: int, spec: str, calls: int = 30) -> list[str]:
+        clock = FakeClock()
+        chaos = ChaosController(spec, seed=seed, clock=clock)
+        ctl = AdmissionController(max_concurrent=8, max_queue=0,
+                                  rate=25.0, burst=1.0, clock=clock)
+        outcomes = []
+        for _ in range(calls):
+            try:
+                chaos.perturb("ws:Greeter.greet")
+            except TransportError:
+                outcomes.append("dropped")
+                continue
+            try:
+                ctl.admit(principal="c").release()
+                outcomes.append("served")
+            except OverloadedError:
+                outcomes.append("shed")
+        return outcomes
+
+    def test_same_seed_same_interleaving(self):
+        first = self._drive(seed=7, spec="delay=20ms~40ms,drop=0.2")
+        second = self._drive(seed=7, spec="delay=20ms~40ms,drop=0.2")
+        assert first == second
+        # the mix is genuinely mixed: every outcome class occurred
+        assert {"served", "shed", "dropped"} <= set(first)
+
+    def test_different_seed_different_interleaving(self):
+        baseline = self._drive(seed=7, spec="delay=20ms~40ms,drop=0.2")
+        assert self._drive(seed=8, spec="delay=20ms~40ms,drop=0.2") \
+            != baseline
+
+    def test_enough_injected_delay_eliminates_sheds(self):
+        """50ms of injected latency at a 25/s bucket means every call
+        arrives with a token accrued: chaos *pacing* heals admission."""
+        outcomes = self._drive(seed=3, spec="delay=50ms")
+        assert "shed" not in outcomes
+        fast = self._drive(seed=3, spec="delay=10ms")
+        assert "shed" in fast

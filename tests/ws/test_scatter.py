@@ -141,6 +141,83 @@ class TestMigration:
         assert all(d.endpoint == 1 for d in salvaged)
 
 
+class TestBackpressure:
+    """Overloaded replicas slow down instead of dying: sheds requeue
+    the chunk, halve the bite, and back off on the injectable clock."""
+
+    def test_shed_chunks_are_retried_on_the_same_endpoint(self):
+        from repro.clock import FakeClock
+        from repro.errors import OverloadedError
+        clock = FakeClock()
+        sg = ScatterGather(1, chunk=4, clock=clock, max_overloads=8)
+        sheds = [2]   # shed the first two dispatches, then recover
+
+        def dispatch(endpoint, chunk_items, indices):
+            if sheds[0]:
+                sheds[0] -= 1
+                raise OverloadedError("busy", retry_after_s=0.2)
+            return list(chunk_items)
+
+        report = sg.run(list(range(20)), dispatch)
+        assert report.results == list(range(20))
+        # no migration happened: the only endpoint kept all the work
+        assert report.endpoint_loads() == {0: 20}
+        assert report.rebalances == 0
+        # each shed backed off for the server's hint on the fake clock
+        assert clock.sleeps == [0.2, 0.2]
+        assert obs.get_metrics().counter(
+            "ws.scatter.backpressure").value == 2
+
+    def test_shed_halves_the_next_bite(self):
+        from repro.clock import FakeClock
+        from repro.errors import OverloadedError
+        clock = FakeClock()
+        sg = ScatterGather(1, chunk=8, min_chunk=1, clock=clock)
+        assert sg.chunk_for(0) == 8
+        sg._note_overload(0)
+        assert sg.chunk_for(0) == 4     # seeded at half the start size
+        sg._note_overload(0)
+        assert sg.chunk_for(0) == 2     # EWMA doubles → bite halves
+
+    def test_persistent_saturation_migrates_to_survivors(self):
+        from repro.clock import FakeClock
+        from repro.errors import OverloadedError
+        clock = FakeClock()
+        sg = ScatterGather(2, chunk=4, clock=clock, max_overloads=2)
+
+        def dispatch(endpoint, chunk_items, indices):
+            if endpoint == 0:   # saturated beyond patience, forever
+                raise OverloadedError("busy", retry_after_s=0.1)
+            return list(chunk_items)
+
+        report = sg.run(list(range(16)), dispatch)
+        assert report.results == list(range(16))
+        loads = report.endpoint_loads()
+        assert loads.get(0, 0) == 0 and loads[1] == 16
+        assert report.rebalances == 1
+        assert obs.get_metrics().counter(
+            "ws.scatter.rebalance").value == 1
+
+    def test_success_resets_the_patience_counter(self):
+        from repro.clock import FakeClock
+        from repro.errors import OverloadedError
+        clock = FakeClock()
+        sg = ScatterGather(1, chunk=2, clock=clock, max_overloads=2)
+        pattern = iter([True, False, True, False, True, False,
+                        False, False, False, False])
+
+        def dispatch(endpoint, chunk_items, indices):
+            # alternate shed/serve: never two consecutive sheds, so
+            # patience (max_overloads=2) must never run out
+            if next(pattern, False):
+                raise OverloadedError("busy", retry_after_s=0.05)
+            return list(chunk_items)
+
+        report = sg.run(list(range(8)), dispatch)
+        assert report.results == list(range(8))
+        assert report.rebalances == 0
+
+
 class TestContracts:
     def test_wrong_result_count_is_a_contract_violation(self):
         sg = ScatterGather(2, chunk=4, name="short")

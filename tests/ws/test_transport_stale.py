@@ -6,15 +6,23 @@ A server may close a pooled keep-alive connection between exchanges
 healthy — that deserves one silent retry on a fresh connection, not a
 :class:`TransportError` fed to the breaker.  A fresh connection that
 fails the same way keeps failing loudly: that *is* endpoint health.
+
+Connections live in a checkout/checkin pool so concurrent callers each
+own their socket for the duration of one logical call: no interleaved
+request/response pairs, at most one stale retry per call, and no
+spuriously double-counted breaker verdicts under a racing client pool.
 """
 
 import http.client
+import threading
 
 import pytest
 
 from repro import obs
 from repro.errors import TransportError
-from repro.ws.client import HttpTransport
+from repro.ws import wsdl
+from repro.ws.breaker import CircuitBreaker
+from repro.ws.client import HttpTransport, ServiceProxy
 from repro.ws.container import ServiceContainer
 from repro.ws.httpd import SoapHttpServer
 from repro.ws.service import operation
@@ -43,13 +51,16 @@ def _flaky_post(transport, fail_times: int):
     times before delegating to the real implementation."""
     real_post = transport._post
     state = {"calls": 0}
+    lock = threading.Lock()
 
-    def post(request, wire, headers):
-        state["calls"] += 1
-        if state["calls"] <= fail_times:
+    def post(conn, request, wire, headers):
+        with lock:
+            state["calls"] += 1
+            fail = state["calls"] <= fail_times
+        if fail:
             raise http.client.RemoteDisconnected(
                 "Remote end closed connection without response")
-        return real_post(request, wire, headers)
+        return real_post(conn, request, wire, headers)
 
     transport._post = post
     return state
@@ -60,8 +71,7 @@ class TestStaleKeepAlive:
         transport = HttpTransport(server.endpoint("Greeter"))
         request = SoapRequest("Greeter", "greet", {"name": "ada"})
         assert transport.send(request).result == "hello ada"  # pools conn
-        assert transport._conn is not None and \
-            transport._conn.sock is not None
+        assert len(transport._pool) == 1
 
         state = _flaky_post(transport, fail_times=1)
         response = transport.send(
@@ -96,7 +106,7 @@ class TestStaleKeepAlive:
             transport.send(SoapRequest("Greeter", "greet",
                                        {"name": "bob"}))
         assert state["calls"] == 2  # one retry, not a loop
-        assert transport._conn is None  # closed for the next caller
+        assert transport._pool == []  # nothing broken was pooled
         transport.close()
 
     def test_server_restart_between_exchanges(self, server):
@@ -121,3 +131,113 @@ class TestStaleKeepAlive:
             transport.close()
         finally:
             srv.stop()
+
+
+class TestConcurrentClients:
+    """The regression the pool exists for: racing callers sharing one
+    transport must not interleave exchanges, mistake each other's fresh
+    connections for pooled ones, or feed phantom verdicts to a breaker."""
+
+    N_THREADS = 8
+    CALLS_PER_THREAD = 10
+
+    def test_racing_client_pool_no_spurious_breaker_counts(self, server):
+        transport = HttpTransport(server.endpoint("Greeter"))
+        breaker = CircuitBreaker(endpoint=server.endpoint("Greeter"),
+                                 failure_threshold=2)
+        document = wsdl.generate(server.container.definition("Greeter"),
+                                 server.endpoint("Greeter"))
+        proxy = ServiceProxy.from_wsdl_text(document, transport,
+                                            breaker=breaker)
+        errors: list[BaseException] = []
+
+        def caller(tag: int) -> None:
+            try:
+                for i in range(self.CALLS_PER_THREAD):
+                    result = proxy.call("greet", name=f"t{tag}-{i}")
+                    assert result == f"hello t{tag}-{i}"
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=caller, args=(tag,))
+                   for tag in range(self.N_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        total = self.N_THREADS * self.CALLS_PER_THREAD
+        metrics = obs.get_metrics()
+        # every logical call produced exactly one breaker verdict —
+        # successes only, no delivery failures, and the breaker stayed
+        # closed throughout
+        assert breaker.state == "closed"
+        endpoint = server.endpoint("Greeter")
+        assert metrics.counter("ws.breaker.successes",
+                               endpoint=endpoint).value == total
+        assert metrics.counter("ws.breaker.failures",
+                               endpoint=endpoint).value == 0
+        assert metrics.counter(
+            "ws.transport.errors", transport="http").value == 0
+        # the pool never grew beyond the number of concurrent callers
+        assert len(transport._pool) <= self.N_THREADS
+        transport.close()
+
+    def test_stale_retry_under_race_is_per_call(self, server):
+        """Two callers racing over a pool of stale connections each get
+        their own single retry; neither observes the other's."""
+        transport = HttpTransport(server.endpoint("Greeter"))
+        # pool two healthy keep-alive connections
+        first = transport.send(
+            SoapRequest("Greeter", "greet", {"name": "a"}))
+        conn_extra, _ = transport._checkout()
+        second = transport.send(
+            SoapRequest("Greeter", "greet", {"name": "b"}))
+        transport._checkin(conn_extra)
+        assert first.result == "hello a" and second.result == "hello b"
+        assert len(transport._pool) == 2
+
+        # fail each caller's *first* post (their pooled, "stale"
+        # connection) — a global fail-counter would race: one caller
+        # could absorb both failures and exhaust its single retry
+        real_post = transport._post
+        local = threading.local()
+        state = {"calls": 0}
+        lock = threading.Lock()
+
+        def post(conn, request, wire, headers):
+            with lock:
+                state["calls"] += 1
+            if not getattr(local, "failed", False):
+                local.failed = True
+                raise http.client.RemoteDisconnected(
+                    "Remote end closed connection without response")
+            return real_post(conn, request, wire, headers)
+
+        transport._post = post
+        results: list[str] = []
+        errors: list[BaseException] = []
+
+        def caller(name: str) -> None:
+            try:
+                results.append(transport.send(
+                    SoapRequest("Greeter", "greet",
+                                {"name": name})).result)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=caller, args=(n,))
+                   for n in ("x", "y")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        assert sorted(results) == ["hello x", "hello y"]
+        # four posts: each call burned one stale attempt + one retry
+        assert state["calls"] == 4
+        assert obs.get_metrics().counter(
+            "ws.transport.stale_retries").value == 2
+        assert obs.get_metrics().counter(
+            "ws.transport.errors", transport="http").value == 0
+        transport.close()

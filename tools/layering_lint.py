@@ -30,14 +30,25 @@ SRC = REPO / "src"
 #: narrow obs exception for its WSDL-fetch cache counters.
 RULES: dict[str, tuple[str, ...]] = {
     "src/repro/ws/transport.py": ("repro.obs", "repro.ws.breaker",
-                                  "repro.chaos", "repro.ws.scatter"),
+                                  "repro.chaos", "repro.ws.scatter",
+                                  "repro.ws.admission"),
     "src/repro/ws/httpd.py": ("repro.ws.breaker", "repro.chaos",
-                              "repro.ws.scatter"),
+                              "repro.ws.scatter", "repro.ws.admission"),
     "src/repro/ws/client.py": ("repro.ws.breaker", "repro.chaos"),
     "src/repro/ws/container.py": ("repro.ws.breaker", "repro.chaos"),
     # scatter-gather is batching *policy*: it may meter itself via obs
     # but never injects faults (chaos lives in the transport chains)
     "src/repro/ws/scatter.py": ("repro.chaos",),
+    # admission is pure traffic policy: buckets, queue, tickets.  It
+    # decides, it never moves bytes — no transports, no servers, no
+    # clients, no chaos.  That keeps it attachable to every serving
+    # plane (threaded httpd, asyncio aserve, in-process) unchanged.
+    "src/repro/ws/admission.py": ("repro.ws.transport",
+                                  "repro.ws.httpd", "repro.ws.aserve",
+                                  "repro.ws.client", "repro.chaos"),
+    # the async front door sheds *before* decoding and below any
+    # client-side resilience: breakers and chaos stay out of it
+    "src/repro/ws/aserve.py": ("repro.chaos", "repro.ws.breaker"),
 }
 
 
