@@ -20,6 +20,9 @@ service catalogue:
 * ``metrics``     — render per-operation counters and latency quantiles
 * ``loadgen``     — closed-loop load test against a SOAP endpoint
   (emits the ``BENCH_serving.json`` report schema)
+* ``experiment``  — run a declarative {datasets × classifiers ×
+  options × seeds} grid with per-cell checkpointing; re-running with
+  the same store resumes exactly where a crash left off
 """
 
 from __future__ import annotations
@@ -274,6 +277,41 @@ def _cmd_loadgen(args) -> int:
     return 0
 
 
+def _cmd_experiment(args) -> int:
+    from repro import chaos, obs
+    from repro.experiment import render_markdown, run_grid
+    from repro.experiment import loads as load_spec
+    obs.maybe_enable_tracing_from_env()
+    if args.trace:
+        obs.enable_tracing()
+    spec = load_spec(Path(args.spec).read_text())
+    store_path = Path(args.store) if args.store else \
+        Path(args.spec).with_suffix(".results.jsonl")
+    if args.fresh and store_path.exists():
+        store_path.unlink()
+    controller = chaos.maybe_install_from_env()
+    if args.chaos:
+        controller = chaos.install(args.chaos, seed=args.seed)
+    report = run_grid(spec, store_path, replicas=args.replicas,
+                      chaos_controller=controller,
+                      cells_per_dispatch=args.cells_per_dispatch)
+    print(f"experiment: {spec.name}")
+    print(f"store: {store_path}")
+    print(report.summary_line())
+    markdown = render_markdown(spec.name, report.results)
+    if args.report_out:
+        Path(args.report_out).write_text(markdown)
+        print(f"report written to {args.report_out}")
+    else:
+        print()
+        print(markdown, end="")
+    if obs.tracing_enabled():
+        path = obs.write_snapshot(args.trace_out)
+        print(f"(trace snapshot written to {path}; inspect with "
+              f"'repro trace' / 'repro metrics')")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -409,6 +447,45 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the JSON report to PATH "
                         "(e.g. BENCH_serving.json)")
     p.set_defaults(fn=_cmd_loadgen)
+
+    p = sub.add_parser("experiment",
+                       help="run a declarative experiment grid with "
+                            "checkpoint/resume")
+    p.add_argument("spec", help="experiment spec file (.json or .xml)")
+    p.add_argument("--store", default=None, metavar="PATH",
+                   help="results store JSONL (default: "
+                        "<spec>.results.jsonl); completed cells found "
+                        "in an existing store are skipped — re-running "
+                        "after a crash resumes the grid")
+    p.add_argument("--fresh", action="store_true",
+                   help="discard an existing store and run the whole "
+                        "grid again")
+    p.add_argument("--replicas", type=int, default=2,
+                   help="in-process Classifier replicas to scatter "
+                        "cells across (default 2)")
+    p.add_argument("--chaos", default=None, metavar="SPEC",
+                   help="arm the chaos harness against the replicas, "
+                        "e.g. 'replica-0:error=1;*:delay=5ms' (also: "
+                        "FAEHIM_CHAOS)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="chaos RNG seed (default 0)")
+    p.add_argument("--cells-per-dispatch", type=int, default=1,
+                   dest="cells_per_dispatch", metavar="N",
+                   help="cells per scatter dispatch (also the maximum "
+                        "— one checkpoint covers one dispatch; "
+                        "default 1 for exactly-once resume)")
+    p.add_argument("--trace", action="store_true",
+                   help="record spans and write a trace snapshot "
+                        "(also: FAEHIM_TRACE=1)")
+    p.add_argument("--trace-out", default=".faehim-trace.json",
+                   dest="trace_out", metavar="PATH",
+                   help="trace snapshot path (default: "
+                        ".faehim-trace.json)")
+    p.add_argument("--report-out", default=None, dest="report_out",
+                   metavar="PATH",
+                   help="write the markdown report to PATH instead of "
+                        "stdout")
+    p.set_defaults(fn=_cmd_experiment)
     return parser
 
 

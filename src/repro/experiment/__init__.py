@@ -1,0 +1,42 @@
+"""FlexDM-style declarative experiment grids with checkpoint/resume.
+
+The paper composes mining services into single workflows; this package
+is the *scale* story on top of them (ROADMAP item 3, grounded in
+PAPERS.md FlexDM): a declarative {datasets × classifiers × options ×
+seeds} spec expands into a deterministic job grid whose cells execute
+over the PR-5 scatter-gather plane, checkpoint into an append-only
+fsync'd JSONL store as each chunk completes, and resume exactly where
+a crash — SIGKILL included — left off.
+
+* :mod:`repro.experiment.spec` — the JSON/XML spec grammar.
+* :mod:`repro.experiment.expand` — spec → cells with content-digest IDs.
+* :mod:`repro.experiment.store` — the crash-safe results store.
+* :mod:`repro.experiment.runner` — scatter execution + resume.
+* :mod:`repro.experiment.report` — leaderboards, paired comparisons,
+  markdown rendering.
+
+Metrics ride the PR-1 spine under ``repro.experiment.*``:
+``cells.total`` / ``cells.resumed`` / ``cells.executed`` /
+``cells.failed`` and ``store.appends`` / ``store.replayed`` /
+``store.dropped{reason}``.
+"""
+
+from repro.experiment.expand import Cell, canonical_json, expand
+from repro.experiment.report import (config_label, leaderboards,
+                                     paired_comparisons, render_markdown)
+from repro.experiment.runner import (RunReport, load_dataset,
+                                     make_replicas, run_grid)
+from repro.experiment.spec import (ClassifierSpec, DatasetSpec,
+                                   ExperimentSpec, SpecError, dumps_json,
+                                   dumps_xml, load_json, load_xml, loads)
+from repro.experiment.store import ResultStore, StoreError
+
+__all__ = [
+    "Cell", "canonical_json", "expand",
+    "config_label", "leaderboards", "paired_comparisons",
+    "render_markdown",
+    "RunReport", "load_dataset", "make_replicas", "run_grid",
+    "ClassifierSpec", "DatasetSpec", "ExperimentSpec", "SpecError",
+    "dumps_json", "dumps_xml", "load_json", "load_xml", "loads",
+    "ResultStore", "StoreError",
+]

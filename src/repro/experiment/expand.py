@@ -1,0 +1,105 @@
+"""Deterministic grid expansion: spec → ordered list of cells.
+
+A *cell* is one {dataset × classifier × options × seed} job.  Its
+identity is a content digest of the cell's parameters — not its
+position in the grid — so IDs survive spec reordering, added axes, and
+the JSON↔XML round trip, which is what makes the checkpoint store's
+"skip what's already done" resume exact rather than positional.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+
+from repro.experiment.spec import ExperimentSpec
+
+#: Hex digits of SHA-256 kept as the cell ID; 16 (64 bits) keeps
+#: collision odds negligible at any plausible grid size.
+CELL_ID_HEX = 16
+
+
+def canonical_json(value) -> str:
+    """The canonical serialisation cell digests are computed over:
+    sorted keys, no whitespace, no NaN."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid job, identified by a digest of its parameters."""
+
+    dataset: str
+    source: str
+    class_attribute: str | None
+    classifier: str
+    options: tuple[tuple[str, object], ...]  # name-sorted pairs
+    seed: int
+    folds: int
+
+    def params(self) -> dict:
+        """The digest-covered parameter record (also stored with each
+        checkpointed result so reports need only the store)."""
+        return {
+            "dataset": self.dataset,
+            "source": self.source,
+            "class_attribute": self.class_attribute,
+            "classifier": self.classifier,
+            "options": dict(self.options),
+            "seed": self.seed,
+            "folds": self.folds,
+        }
+
+    @property
+    def cell_id(self) -> str:
+        digest = hashlib.sha256(
+            canonical_json(self.params()).encode("utf-8")).hexdigest()
+        return digest[:CELL_ID_HEX]
+
+    @property
+    def config(self) -> str:
+        """Human-readable classifier configuration label."""
+        if not self.options:
+            return self.classifier
+        opts = ",".join(f"{k}={v}" for k, v in self.options)
+        return f"{self.classifier}({opts})"
+
+
+def expand(spec: ExperimentSpec) -> list[Cell]:
+    """Expand *spec* into its cell grid, in canonical order.
+
+    Order is datasets → classifiers → option cross-product (axes
+    sorted by option name, values in listed order) → seeds.  The order
+    only affects scheduling; identity is the content digest, so two
+    specs describing the same grid in different orders checkpoint and
+    resume each other's stores.
+    """
+    cells: list[Cell] = []
+    for ds in spec.datasets:
+        for clf in spec.classifiers:
+            axes = clf.option_axes()
+            names = [name for name, _ in axes]
+            value_grids = [values for _, values in axes]
+            for combo in itertools.product(*value_grids):
+                options = tuple(zip(names, combo))
+                for seed in spec.seeds:
+                    cells.append(Cell(
+                        dataset=ds.name, source=ds.source,
+                        class_attribute=ds.class_attribute,
+                        classifier=clf.name, options=options,
+                        seed=seed, folds=spec.folds))
+    ids = [c.cell_id for c in cells]
+    if len(set(ids)) != len(ids):
+        seen: set[str] = set()
+        for cell, cid in zip(cells, ids):
+            if cid in seen:
+                from repro.experiment.spec import SpecError
+                raise SpecError(
+                    f"duplicate grid cell {cell.config} on "
+                    f"{cell.dataset} (seed {cell.seed}) — the spec "
+                    f"lists the same configuration twice")
+            seen.add(cid)
+    return cells

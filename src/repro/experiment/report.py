@@ -1,0 +1,166 @@
+"""Aggregation + reporting: turn a results store into a readable report.
+
+The grid's output is thousands of per-cell accuracies; what the
+experimenter wants is FlexDM's deliverable — per-dataset leaderboards,
+paired win/loss comparisons between configurations, and a summary —
+rendered as markdown.  Everything here is a pure function of the
+result records (each record carries its cell's parameters, so the
+store alone suffices) and every ordering and float format is fixed, so
+the same results always render byte-identical markdown: the golden
+regression test and the chaos-resume drill both diff the bytes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+def config_label(params: dict) -> str:
+    """Canonical classifier-configuration label for one cell's params."""
+    options = params.get("options") or {}
+    if not options:
+        return params["classifier"]
+    opts = ",".join(f"{k}={options[k]}" for k in sorted(options))
+    return f"{params['classifier']}({opts})"
+
+
+@dataclass
+class ConfigSummary:
+    """One configuration's aggregate on one dataset."""
+
+    config: str
+    accuracies: list[float] = field(default_factory=list)
+    errors: int = 0
+
+    @property
+    def n(self) -> int:
+        return len(self.accuracies)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.accuracies) / self.n if self.n else 0.0
+
+    @property
+    def std(self) -> float:
+        if self.n < 2:
+            return 0.0
+        m = self.mean
+        return math.sqrt(sum((a - m) ** 2 for a in self.accuracies)
+                         / (self.n - 1))
+
+
+def leaderboards(records: dict[str, dict]
+                 ) -> dict[str, list[ConfigSummary]]:
+    """Per-dataset leaderboards: configs ranked by mean accuracy.
+
+    Ties break alphabetically by config label so rendering is
+    deterministic.
+    """
+    by_dataset: dict[str, dict[str, ConfigSummary]] = {}
+    for record in records.values():
+        params = record.get("params") or {}
+        result = record.get("result") or {}
+        dataset = params.get("dataset", "?")
+        label = config_label(params)
+        summary = by_dataset.setdefault(dataset, {}).setdefault(
+            label, ConfigSummary(config=label))
+        if result.get("status") == "ok" and \
+                result.get("accuracy") is not None:
+            summary.accuracies.append(float(result["accuracy"]))
+        else:
+            summary.errors += 1
+    return {
+        dataset: sorted(summaries.values(),
+                        key=lambda s: (-s.mean, s.config))
+        for dataset, summaries in sorted(by_dataset.items())
+    }
+
+
+def paired_comparisons(records: dict[str, dict]
+                       ) -> dict[str, list[tuple[str, str, int, int, int]]]:
+    """Per-dataset paired win/loss/tie counts between configurations.
+
+    Two configurations are compared seed-by-seed (a matched pair is
+    the same dataset and seed), so the comparison controls for the
+    fold draw.  Returns ``dataset → [(config_a, config_b, wins_a,
+    wins_b, ties), ...]`` with ``config_a < config_b`` alphabetically.
+    """
+    # (dataset, config) -> {seed: accuracy}
+    by_key: dict[tuple[str, str], dict[int, float]] = {}
+    for record in records.values():
+        params = record.get("params") or {}
+        result = record.get("result") or {}
+        if result.get("status") != "ok" or \
+                result.get("accuracy") is None:
+            continue
+        key = (params.get("dataset", "?"), config_label(params))
+        by_key.setdefault(key, {})[int(params.get("seed", 0))] = \
+            float(result["accuracy"])
+
+    datasets = sorted({dataset for dataset, _ in by_key})
+    out: dict[str, list[tuple[str, str, int, int, int]]] = {}
+    for dataset in datasets:
+        configs = sorted(cfg for ds, cfg in by_key if ds == dataset)
+        rows = []
+        for i, a in enumerate(configs):
+            for b in configs[i + 1:]:
+                accs_a = by_key[(dataset, a)]
+                accs_b = by_key[(dataset, b)]
+                wins_a = wins_b = ties = 0
+                for seed in sorted(set(accs_a) & set(accs_b)):
+                    if accs_a[seed] > accs_b[seed]:
+                        wins_a += 1
+                    elif accs_b[seed] > accs_a[seed]:
+                        wins_b += 1
+                    else:
+                        ties += 1
+                rows.append((a, b, wins_a, wins_b, ties))
+        out[dataset] = rows
+    return out
+
+
+def render_markdown(spec_name: str, records: dict[str, dict]) -> str:
+    """The full experiment report as deterministic markdown."""
+    lines = [f"# Experiment report: {spec_name}", ""]
+    ok = sum(1 for r in records.values()
+             if (r.get("result") or {}).get("status") == "ok")
+    failed = len(records) - ok
+    lines.append(f"{len(records)} cell(s): {ok} ok, {failed} failed.")
+    lines.append("")
+
+    boards = leaderboards(records)
+    pairs = paired_comparisons(records)
+    for dataset, summaries in boards.items():
+        lines.append(f"## Dataset: {dataset}")
+        lines.append("")
+        lines.append("| rank | configuration | mean acc | std | runs "
+                     "| errors |")
+        lines.append("|---:|---|---:|---:|---:|---:|")
+        for rank, s in enumerate(summaries, start=1):
+            lines.append(
+                f"| {rank} | {s.config} | {s.mean:.4f} | "
+                f"{s.std:.4f} | {s.n} | {s.errors} |")
+        lines.append("")
+        rows = pairs.get(dataset, [])
+        if rows:
+            lines.append("### Paired comparisons (win/loss/tie by seed)")
+            lines.append("")
+            lines.append("| A | B | A wins | B wins | ties |")
+            lines.append("|---|---|---:|---:|---:|")
+            for a, b, wins_a, wins_b, ties in rows:
+                lines.append(f"| {a} | {b} | {wins_a} | {wins_b} | "
+                             f"{ties} |")
+            lines.append("")
+
+    failures = sorted(
+        (record["cell"], (record.get("result") or {}).get("error", ""))
+        for record in records.values()
+        if (record.get("result") or {}).get("status") == "error")
+    if failures:
+        lines.append("## Failed cells")
+        lines.append("")
+        for cell_id, error in failures:
+            lines.append(f"- `{cell_id}`: {error}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,143 @@
+"""Append-only JSONL results store: the grid's crash-safe checkpoint.
+
+Every completed cell becomes one JSON line, written whole and
+``fsync``'d before the runner takes more work — after a SIGKILL the
+file holds every result the process durably finished, plus at most one
+torn final line.  Replay is therefore *tolerant by contract*:
+
+* a truncated final record (torn write at the kill point) is dropped;
+* a garbage line anywhere (corruption, editor accident) is skipped;
+* a duplicate cell record (two runs raced, or a cell re-ran after its
+  first record was torn) resolves last-write-wins.
+
+Each tolerated anomaly increments
+``repro.experiment.store.dropped{reason=...}`` and logs a warning, so
+"the store self-healed" is observable, never silent.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.obs import get_metrics
+
+log = logging.getLogger(__name__)
+
+
+class StoreError(ReproError):
+    """The results store could not be opened or written."""
+
+
+class ResultStore:
+    """One experiment's append-only JSONL checkpoint file.
+
+    ``append`` writes a complete line (single ``write`` call, flush,
+    ``os.fsync``) so a record is either durably whole or recognisably
+    torn; ``replay`` reads the survivors back as ``cell_id → record``.
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = True):
+        self.path = Path(path)
+        self.fsync = fsync
+        self._fh = None
+
+    # -- writing -----------------------------------------------------------
+    def _handle(self):
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def append(self, record: dict) -> None:
+        """Durably append one result record (a dict with a ``cell`` id)."""
+        if "cell" not in record:
+            raise StoreError("a result record needs a 'cell' id")
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        fh = self._handle()
+        fh.write(line)
+        fh.flush()
+        if self.fsync:
+            os.fsync(fh.fileno())
+        get_metrics().counter("repro.experiment.store.appends").inc()
+
+    def close(self) -> None:
+        """Close the append handle (reopened lazily on the next append)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- replay ------------------------------------------------------------
+    def replay(self) -> dict[str, dict]:
+        """Read the store back; returns ``cell_id → record``.
+
+        Tolerates a torn final line, garbage lines, and duplicate cell
+        records (last-write-wins), counting each drop under
+        ``repro.experiment.store.dropped{reason=...}``.
+        """
+        if not self.path.exists():
+            return {}
+        metrics = get_metrics()
+        records: dict[str, dict] = {}
+        raw_lines = self.path.read_text(encoding="utf-8").splitlines()
+        last = len(raw_lines) - 1
+        for lineno, line in enumerate(raw_lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                reason = "truncated" if lineno == last else "garbage"
+                metrics.counter("repro.experiment.store.dropped",
+                                reason=reason).inc()
+                log.warning("results store %s line %d dropped (%s)",
+                            self.path, lineno + 1, reason)
+                continue
+            if not isinstance(record, dict) or "cell" not in record:
+                metrics.counter("repro.experiment.store.dropped",
+                                reason="garbage").inc()
+                log.warning("results store %s line %d dropped (no "
+                            "cell id)", self.path, lineno + 1)
+                continue
+            cell = str(record["cell"])
+            if cell in records:
+                metrics.counter("repro.experiment.store.dropped",
+                                reason="duplicate").inc()
+                log.warning("results store %s line %d supersedes an "
+                            "earlier record for cell %s "
+                            "(last-write-wins)",
+                            self.path, lineno + 1, cell)
+            records[cell] = record
+            metrics.counter("repro.experiment.store.replayed").inc()
+        return records
+
+    def raw_record_counts(self) -> dict[str, int]:
+        """Complete records per cell id, duplicates included.
+
+        The chaos-resume drill's per-cell execution counter: every
+        durably completed execution left exactly one whole line, so a
+        cell whose count exceeds one was executed (and checkpointed)
+        more than once.
+        """
+        counts: dict[str, int] = {}
+        if not self.path.exists():
+            return counts
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and "cell" in record:
+                cell = str(record["cell"])
+                counts[cell] = counts.get(cell, 0) + 1
+        return counts

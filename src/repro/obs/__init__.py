@@ -9,6 +9,13 @@ workflow engine share:
   p50/p95/p99, the global registry.
 * :mod:`repro.obs.render` — the ``repro trace``/``repro metrics`` tree and
   table renderers plus JSON snapshot IO.
+
+Metric-family naming convention: dotted, layer-prefixed series —
+``ws.*`` for the SOAP stack (``ws.scatter.rebalance``,
+``ws.admission.*``), ``workflow.*`` for the engine, ``grid.*`` for
+distributed cross-validation, and ``repro.experiment.*`` for the
+experiment grid runner (``cells.total/resumed/executed/failed``,
+``store.appends/replayed/dropped{reason}``).
 """
 
 from repro.obs.metrics import (Counter, Histogram, MetricsRegistry,

@@ -126,12 +126,18 @@ class ClassifierService:
     @operation
     def crossValidate(self, classifier: str, dataset: str,  # noqa: N802
                       attribute: str, folds: int = 10,
-                      options: dict = None) -> dict:
-        """Stratified k-fold cross-validation accuracy report."""
+                      options: dict = None, seed: int = 1) -> dict:
+        """Stratified k-fold cross-validation accuracy report.
+
+        *seed* shuffles the fold assignment, so an experiment grid can
+        repeat the same configuration over several fold draws (the
+        FlexDM seeds axis); the default reproduces the historical
+        folds.
+        """
         ds = _load(dataset, attribute)
         result = evaluation.cross_validate(
             lambda: _build(classifier, options), ds,
-            k=min(folds, ds.num_instances))
+            k=min(folds, ds.num_instances), seed=seed)
         return {
             "classifier": classifier,
             "folds": folds,

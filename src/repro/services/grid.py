@@ -64,8 +64,8 @@ def distributed_cross_validate(proxies: Sequence, dataset: Dataset,
                                classifier: str = "J48",
                                attribute: str | None = None,
                                k: int = 10, seed: int = 1,
-                               options: dict | None = None
-                               ) -> GridRunReport:
+                               options: dict | None = None,
+                               on_progress=None) -> GridRunReport:
     """Cross-validate *classifier* with folds dispatched across *proxies*.
 
     Each proxy must expose the general Classifier service's ``predict``
@@ -74,6 +74,12 @@ def distributed_cross_validate(proxies: Sequence, dataset: Dataset,
     already a coarse work unit) by :class:`~repro.ws.scatter
     .ScatterGather`, which also supplies the migration semantics: a fold
     whose endpoint fails is re-queued for the survivors.
+
+    *on_progress*, when given, is called as ``on_progress(worker,
+    fold_numbers, outputs)`` each time a worker finishes a dispatch —
+    before the scatter plane hands out more folds — so callers (the
+    experiment checkpoint store, a progress bar) can record partial
+    completion instead of waiting for the whole run.
     """
     maybe_enable_tracing_from_env()  # opt-in FAEHIM_TRACE=1 hook
     if not proxies:
@@ -118,9 +124,15 @@ def distributed_cross_validate(proxies: Sequence, dataset: Dataset,
                                       worker=worker_id).inc()
             return out
 
+        on_chunk = None
+        if on_progress is not None:
+            def on_chunk(worker_id, indices, outs):
+                on_progress(worker_id,
+                            [jobs[i][0] for i in indices], outs)
+
         sg = ScatterGather(len(proxies), chunk=1, max_chunk=1,
                            name="grid")
-        report = sg.run(jobs, dispatch)
+        report = sg.run(jobs, dispatch, on_chunk=on_chunk)
 
         outcomes: list[FoldOutcome] = []
         for d in report.dispatches:
@@ -185,7 +197,8 @@ def scatter_score(proxies: Sequence, train, test,
                   classifier: str = "J48",
                   attribute: str | None = None,
                   options: dict | None = None,
-                  chunk: int | None = None) -> BulkScoreReport:
+                  chunk: int | None = None,
+                  on_progress=None) -> BulkScoreReport:
     """Grid WEKA's bulk 'labelling of test data', scattered.
 
     Trains *classifier* once per replica (each caches its model) and
@@ -194,6 +207,9 @@ def scatter_score(proxies: Sequence, train, test,
     adaptive chunk sizes, input-order merge, migration of failed chunks
     to surviving replicas.  *train*/*test* may be
     :class:`~repro.data.dataset.Dataset` objects or ARFF text.
+    *on_progress* is forwarded to :meth:`ScatterGather.run` as its
+    per-chunk completion callback: ``on_progress(endpoint,
+    row_indices, labels)`` fires as each chunk of rows lands.
     """
     if not proxies:
         raise WorkflowError("need at least one Classifier endpoint")
@@ -215,5 +231,6 @@ def scatter_score(proxies: Sequence, train, test,
         return out["labels"]
 
     sg = ScatterGather(len(proxies), chunk=chunk, name="bulk-score")
-    report = sg.run(list(range(n_rows)), dispatch)
+    report = sg.run(list(range(n_rows)), dispatch,
+                    on_chunk=on_progress)
     return BulkScoreReport(labels=report.results, report=report)

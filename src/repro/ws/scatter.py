@@ -55,6 +55,16 @@ _default_chunk = DEFAULT_CHUNK
 MIGRATE_ERRORS = (TransportError, ServiceError, OSError)
 
 
+class _CheckpointFailed(Exception):
+    """Internal sentinel: the ``on_chunk`` callback raised.
+
+    The original exception is already queued on the run's ``fatal``
+    list; this wrapper only exists so the worker's migrate/backpressure
+    handlers cannot mistake a checkpoint failure (which may well be an
+    :class:`OSError`) for an endpoint death.
+    """
+
+
 def set_default_chunk(size: int) -> None:
     """Set the process-wide initial chunk size (≥ 1)."""
     global _default_chunk
@@ -180,8 +190,20 @@ class ScatterGather:
             size = int(round(self.target_chunk_s / state.ewma_s))
         return max(self.min_chunk, min(self.max_chunk, size))
 
-    def run(self, items: Sequence, dispatch: Callable) -> ScatterReport:
-        """Dispatch *items* across the endpoints; merge in input order."""
+    def run(self, items: Sequence, dispatch: Callable,
+            on_chunk: Callable | None = None) -> ScatterReport:
+        """Dispatch *items* across the endpoints; merge in input order.
+
+        *on_chunk*, when given, is called as ``on_chunk(endpoint,
+        indices, results)`` immediately after each chunk completes —
+        while other endpoints are still executing — so callers can
+        persist partial progress (the experiment runner checkpoints
+        every completed cell here).  Calls are serialised under the
+        run lock in completion order; an exception raised by the
+        callback is fatal to the whole run, and the chunk it covered
+        is *not* recorded as completed — a checkpoint that did not
+        happen is never mistaken for one that did.
+        """
         items = list(items)
         results: list = [None] * len(items)
         pending = deque(range(len(items)))
@@ -211,6 +233,18 @@ class ScatterGather:
                     f"{self.name} dispatch returned {got} result(s) "
                     f"for {len(indices)} item(s)")
             with lock:
+                if on_chunk is not None:
+                    # before the chunk is recorded: a callback failure
+                    # (e.g. the checkpoint store's disk is gone) must
+                    # leave the chunk un-done so the caller's failure
+                    # path re-queues it
+                    try:
+                        on_chunk(endpoint, list(indices), list(out))
+                    except Exception as exc:
+                        fatal.append(exc)
+                        for i in reversed(indices):
+                            pending.appendleft(i)
+                        raise _CheckpointFailed() from exc
                 for i, value in zip(indices, out):
                     results[i] = value
                 self._states[endpoint].observe(
@@ -266,6 +300,8 @@ class ScatterGather:
                     return
                 try:
                     attempt(endpoint, indices, attempts=1)
+                except _CheckpointFailed:
+                    return  # original exception already on `fatal`
                 except OverloadedError as exc:
                     if not backpressure(endpoint, indices, exc):
                         return  # saturated beyond patience: migrate
@@ -305,6 +341,8 @@ class ScatterGather:
                 indices = take(endpoint)
                 try:
                     attempt(endpoint, indices, attempts=2)
+                except _CheckpointFailed:
+                    raise fatal[0]
                 except OverloadedError as exc:
                     if not backpressure(endpoint, indices, exc):
                         survivors.pop(0)

@@ -1,0 +1,121 @@
+"""Report layer: deterministic aggregation + the golden regression.
+
+The golden test runs a fixed 2-dataset x 3-classifier grid end-to-end
+and diffs the rendered markdown byte-for-byte against the committed
+fixture ``golden_report.md`` — any drift in expansion order, fold
+seeding, aggregation, or formatting shows up as a one-line diff here
+before it silently changes every experimenter's numbers.
+"""
+
+import json
+from pathlib import Path
+
+from repro.experiment.report import (config_label, leaderboards,
+                                     paired_comparisons, render_markdown)
+from repro.experiment.runner import run_grid
+from repro.experiment.spec import load_json
+
+GOLDEN = Path(__file__).with_name("golden_report.md")
+
+#: The fixed grid behind the golden fixture.  Regenerate with
+#:   PYTHONPATH=src python -m tests.experiment.test_report
+GOLDEN_SPEC = {
+    "name": "golden",
+    "folds": 3,
+    "seeds": [1, 2],
+    "datasets": [
+        {"name": "weather", "source": "synthetic:weather_nominal"},
+        {"name": "blobs",
+         "source": "synthetic:numeric_two_class?n=60&seed=9"},
+    ],
+    "classifiers": ["ZeroR", "OneR", "NaiveBayes"],
+}
+
+
+def record(cell, dataset, config, seed, accuracy, status="ok"):
+    params = {"dataset": dataset, "classifier": config, "seed": seed}
+    result = {"status": status}
+    if status == "ok":
+        result["accuracy"] = accuracy
+    else:
+        result["error"] = "ServiceError: boom"
+    return {"cell": cell, "params": params, "result": result}
+
+
+class TestAggregation:
+    def test_config_label_is_canonical(self):
+        assert config_label({"classifier": "J48"}) == "J48"
+        assert config_label({"classifier": "J48",
+                             "options": {"b": 2, "a": 1}}) \
+            == "J48(a=1,b=2)"
+
+    def test_leaderboard_ranks_by_mean_then_name(self):
+        records = {
+            "1": record("1", "d", "A", 1, 0.8),
+            "2": record("2", "d", "A", 2, 0.6),
+            "3": record("3", "d", "B", 1, 0.7),
+            "4": record("4", "d", "B", 2, 0.7),
+            "5": record("5", "d", "C", 1, 0.7),
+            "6": record("6", "d", "C", 2, 0.7),
+        }
+        [board] = leaderboards(records).values()
+        assert [s.config for s in board] == ["A", "B", "C"]
+        assert board[0].mean == 0.7 and board[1].mean == 0.7
+
+    def test_error_records_count_as_errors_not_runs(self):
+        records = {
+            "1": record("1", "d", "A", 1, 0.8),
+            "2": record("2", "d", "A", 2, None, status="error"),
+        }
+        [board] = leaderboards(records).values()
+        assert board[0].n == 1 and board[0].errors == 1
+
+    def test_paired_comparison_matches_by_seed(self):
+        records = {
+            "1": record("1", "d", "A", 1, 0.9),
+            "2": record("2", "d", "A", 2, 0.5),
+            "3": record("3", "d", "B", 1, 0.6),
+            "4": record("4", "d", "B", 2, 0.5),
+        }
+        [(a, b, wins_a, wins_b, ties)] = paired_comparisons(records)["d"]
+        assert (a, b) == ("A", "B")
+        assert (wins_a, wins_b, ties) == (1, 0, 1)
+
+    def test_failed_cells_listed_in_report(self):
+        records = {"1": record("1", "d", "A", 1, None, status="error")}
+        text = render_markdown("x", records)
+        assert "## Failed cells" in text
+        assert "ServiceError: boom" in text
+
+
+class TestGoldenReport:
+    def run_golden(self, tmp_path):
+        spec = load_json(json.dumps(GOLDEN_SPEC))
+        result = run_grid(spec, tmp_path / "golden.jsonl", replicas=2)
+        assert not result.failed
+        return render_markdown(spec.name, result.results)
+
+    def test_report_matches_the_committed_fixture(self, tmp_path):
+        rendered = self.run_golden(tmp_path)
+        assert GOLDEN.exists(), \
+            "golden_report.md missing — regenerate (see module docstring)"
+        assert rendered == GOLDEN.read_text()
+
+    def test_rendering_is_a_pure_function_of_records(self, tmp_path):
+        spec = load_json(json.dumps(GOLDEN_SPEC))
+        result = run_grid(spec, tmp_path / "g.jsonl", replicas=1)
+        once = render_markdown(spec.name, result.results)
+        again = render_markdown(spec.name, result.results)
+        assert once == again
+
+
+def _regenerate():
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        text = TestGoldenReport().run_golden(Path(tmp))
+    GOLDEN.write_text(text)
+    print(f"wrote {GOLDEN} ({len(text)} bytes)")
+
+
+if __name__ == "__main__":
+    _regenerate()

@@ -1,0 +1,201 @@
+"""The chaos-resume drill: SIGKILL a grid mid-run, resume, prove
+exactly-once.
+
+This is the PR's acceptance harness, run as a real subprocess drill:
+
+1. launch ``repro experiment`` under a seeded chaos plan (replica-0
+   hard-fails every send, everything is delayed so the kill window is
+   wide);
+2. wait until the checkpoint store holds a few fsync'd records, then
+   ``SIGKILL`` the process — no atexit, no flush, the worst case;
+3. resume with the identical command line and let it finish;
+4. assert no checkpointed cell was re-executed (the store holds exactly
+   one complete record per cell), and that the store contents and the
+   rendered report are byte-identical to an uninterrupted control run.
+
+When ``EXPERIMENT_ARTIFACT_DIR`` is set (the CI job sets it), the final
+store and report are copied there for artifact upload.
+"""
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiment.expand import expand
+from repro.experiment.spec import load_json
+from repro.experiment.store import ResultStore
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: Seeded fault plan: replica-0 is dead on arrival (every dispatch to
+#: it migrates), and every surviving call is slowed so the run is long
+#: enough to kill mid-flight.
+CHAOS_SPEC = "replica-0:error=1;*:delay=30ms"
+
+DRILL_SPEC = {
+    "name": "resume-drill",
+    "folds": 3,
+    "seeds": [1, 2, 3, 4],
+    "datasets": [
+        {"name": "weather", "source": "synthetic:weather_nominal"},
+    ],
+    "classifiers": ["ZeroR", "OneR", "NaiveBayes"],
+}
+
+
+def drill_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    env["PYTHONHASHSEED"] = "0"
+    env.pop("REPRO_CHAOS", None)  # the drill passes --chaos explicitly
+    return env
+
+
+def experiment_cmd(spec_path, store_path, report_path=None, chaos=None):
+    cmd = [sys.executable, "-m", "repro", "experiment", str(spec_path),
+           "--store", str(store_path), "--replicas", "2"]
+    if chaos:
+        cmd += ["--chaos", chaos, "--seed", "7"]
+    if report_path is not None:
+        cmd += ["--report-out", str(report_path)]
+    return cmd
+
+
+def complete_records(store_path):
+    """Cells with a complete (parseable) record in the store right now."""
+    if not store_path.exists():
+        return set()
+    cells = set()
+    for line in store_path.read_text().splitlines():
+        try:
+            cells.add(json.loads(line)["cell"])
+        except (ValueError, KeyError):
+            continue  # torn or in-flight line
+    return cells
+
+
+def wait_for_records(store_path, n, proc, timeout_s=60.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        found = complete_records(store_path)
+        if len(found) >= n:
+            return found
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"drill process exited early (rc={proc.returncode}) "
+                f"with only {len(found)} record(s):\n"
+                f"{proc.stdout.read()}")
+        time.sleep(0.01)
+    raise AssertionError(f"store never reached {n} records")
+
+
+def export_artifacts(*paths):
+    artifact_dir = os.environ.get("EXPERIMENT_ARTIFACT_DIR")
+    if not artifact_dir:
+        return
+    out = Path(artifact_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    for path in paths:
+        shutil.copy2(path, out / path.name)
+
+
+@pytest.fixture
+def drill_dir(tmp_path):
+    spec_path = tmp_path / "drill.json"
+    spec_path.write_text(json.dumps(DRILL_SPEC))
+    return tmp_path, spec_path
+
+
+class TestChaosResumeDrill:
+    def test_sigkill_mid_grid_resumes_exactly_once(self, drill_dir):
+        tmp_path, spec_path = drill_dir
+        store_path = tmp_path / "drill.results.jsonl"
+        report_path = tmp_path / "drill.report.md"
+        cells = expand(load_json(spec_path.read_text()))
+
+        # --- control: the same grid, uninterrupted, fresh store ------
+        control_store = tmp_path / "control.results.jsonl"
+        control_report = tmp_path / "control.report.md"
+        control = subprocess.run(
+            experiment_cmd(spec_path, control_store, control_report,
+                           chaos=CHAOS_SPEC),
+            env=drill_env(), capture_output=True, text=True, timeout=120)
+        assert control.returncode == 0, control.stderr
+
+        # --- phase 1: run under chaos, SIGKILL mid-grid --------------
+        proc = subprocess.Popen(
+            experiment_cmd(spec_path, store_path, report_path,
+                           chaos=CHAOS_SPEC),
+            env=drill_env(), stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True)
+        try:
+            wait_for_records(store_path, 3, proc)
+        finally:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL, \
+            "drill finished before the kill landed — widen the delay"
+
+        checkpointed = complete_records(store_path)
+        assert checkpointed, "kill landed before any checkpoint"
+        assert len(checkpointed) < len(cells), \
+            "kill landed after the grid finished — widen the delay"
+
+        # --- phase 2: resume with the identical command --------------
+        resume = subprocess.run(
+            experiment_cmd(spec_path, store_path, report_path,
+                           chaos=CHAOS_SPEC),
+            env=drill_env(), capture_output=True, text=True, timeout=120)
+        assert resume.returncode == 0, resume.stderr
+
+        # the resume skipped every checkpointed cell and ran the rest
+        summary = [line for line in resume.stdout.splitlines()
+                   if line.startswith("cells:")][0]
+        assert f"{len(checkpointed)} resumed" in summary
+        assert f"{len(cells) - len(checkpointed)} executed" in summary
+
+        # --- the exactly-once ledger ---------------------------------
+        store = ResultStore(store_path)
+        counts = store.raw_record_counts()
+        assert counts == {c.cell_id: 1 for c in cells}, \
+            "a cell ran twice (or never) across kill + resume"
+
+        # --- byte-identical to the uninterrupted control -------------
+        assert store.replay() == ResultStore(control_store).replay()
+        assert report_path.read_bytes() == control_report.read_bytes()
+
+        export_artifacts(store_path, report_path)
+
+    def test_double_kill_still_converges(self, drill_dir):
+        """Two kills at different depths: resume is idempotent, not a
+        one-shot recovery trick."""
+        tmp_path, spec_path = drill_dir
+        store_path = tmp_path / "drill.results.jsonl"
+        cells = expand(load_json(spec_path.read_text()))
+
+        for target in (2, 6):
+            proc = subprocess.Popen(
+                experiment_cmd(spec_path, store_path, chaos=CHAOS_SPEC),
+                env=drill_env(), stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT, text=True)
+            try:
+                wait_for_records(store_path, target, proc)
+            finally:
+                if proc.poll() is None:
+                    proc.send_signal(signal.SIGKILL)
+                proc.wait(timeout=30)
+
+        final = subprocess.run(
+            experiment_cmd(spec_path, store_path, chaos=CHAOS_SPEC),
+            env=drill_env(), capture_output=True, text=True, timeout=120)
+        assert final.returncode == 0, final.stderr
+        counts = ResultStore(store_path).raw_record_counts()
+        assert counts == {c.cell_id: 1 for c in cells}

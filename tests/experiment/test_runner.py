@@ -1,0 +1,211 @@
+"""Runner contracts: resume skips, checkpoints are chunk-granular,
+endpoint death loses no completed cells, app faults complete as error
+records, and admission sheds are absorbed as backpressure."""
+
+import json
+
+import pytest
+
+from repro.errors import TransportError, WorkflowError
+from repro.experiment.expand import expand
+from repro.experiment.runner import (load_dataset, make_replicas,
+                                     run_grid)
+from repro.experiment.spec import SpecError, load_json
+from repro.experiment.store import ResultStore
+from repro.obs import get_metrics
+from repro.services.classifier_service import ClassifierService
+from repro.ws import wsdl
+from repro.ws.admission import AdmissionController
+from repro.ws.client import ServiceProxy
+from repro.ws.container import ServiceContainer
+from repro.ws.service import ServiceDefinition
+from repro.ws.transport import InProcessTransport
+
+
+def small_spec(classifiers=("ZeroR", "OneR"), seeds=(1, 2)):
+    return load_json(json.dumps({
+        "name": "runner-test", "folds": 3, "seeds": list(seeds),
+        "datasets": [{"name": "weather",
+                      "source": "synthetic:weather_nominal"}],
+        "classifiers": list(classifiers),
+    }))
+
+
+class DiesAfter:
+    """Transport wrapper: healthy for *n* sends, then a dead endpoint."""
+
+    def __init__(self, inner, n):
+        self.inner = inner
+        self.remaining = n
+
+    def send(self, request):
+        if self.remaining <= 0:
+            raise TransportError("endpoint died mid-scatter")
+        self.remaining -= 1
+        return self.inner.send(request)
+
+    def close(self):
+        self.inner.close()
+
+
+def classifier_proxies(n, dies_after=None):
+    definition = ServiceDefinition.from_class(ClassifierService,
+                                              "Classifier")
+    document = wsdl.generate(definition, "inproc://Classifier")
+    proxies = []
+    for i in range(n):
+        container = ServiceContainer(f"test-replica-{i}")
+        container.deploy(ClassifierService, "Classifier")
+        transport = InProcessTransport(container)
+        if dies_after is not None and dies_after[i] is not None:
+            transport = DiesAfter(transport, dies_after[i])
+        proxies.append(ServiceProxy.from_wsdl_text(document, transport))
+    return proxies
+
+
+class TestRunAndResume:
+    def test_full_run_then_noop_resume(self, tmp_path):
+        spec = small_spec()
+        store = tmp_path / "r.jsonl"
+        first = run_grid(spec, store, replicas=2)
+        assert first.total == 4
+        assert sorted(first.executed) == \
+            sorted(c.cell_id for c in expand(spec))
+        again = run_grid(spec, store, replicas=2)
+        assert again.executed == []
+        assert sorted(again.skipped) == sorted(first.executed)
+        assert again.results.keys() == first.results.keys()
+
+    def test_partial_store_resumes_the_remainder(self, tmp_path):
+        spec = small_spec()
+        cells = expand(spec)
+        store_path = tmp_path / "r.jsonl"
+        # checkpoint the first two cells by hand, as a killed run would
+        full = run_grid(spec, tmp_path / "full.jsonl", replicas=1)
+        with ResultStore(store_path) as store:
+            for cell in cells[:2]:
+                store.append(full.results[cell.cell_id])
+        resumed = run_grid(spec, store_path, replicas=2)
+        assert sorted(resumed.skipped) == \
+            sorted(c.cell_id for c in cells[:2])
+        assert sorted(resumed.executed) == \
+            sorted(c.cell_id for c in cells[2:])
+        # the merged results agree with the uninterrupted run exactly
+        assert resumed.results == full.results
+        assert get_metrics().counter(
+            "repro.experiment.cells.resumed").value == 2
+
+    def test_results_identical_across_replica_counts(self, tmp_path):
+        spec = small_spec(classifiers=("ZeroR", "NaiveBayes", "OneR"))
+        one = run_grid(spec, tmp_path / "one.jsonl", replicas=1)
+        three = run_grid(spec, tmp_path / "three.jsonl", replicas=3)
+        assert one.results == three.results
+
+
+class TestChunkGranularCheckpoints:
+    def test_endpoint_death_mid_scatter_loses_no_completed_cells(
+            self, tmp_path):
+        """The PR's scatter fix: cells checkpointed by the dying
+        replica before its death must survive — only in-flight work
+        migrates, nothing completed is re-run or lost."""
+        spec = small_spec(classifiers=("ZeroR", "OneR", "NaiveBayes"),
+                          seeds=(1, 2, 3))
+        cells = expand(spec)
+        # replica 1 dies after 3 successful sends; replica 0 is healthy
+        proxies = classifier_proxies(2, dies_after=[None, 3])
+        store_path = tmp_path / "r.jsonl"
+        report = run_grid(spec, store_path, proxies=proxies)
+        # every cell completed exactly once despite the mid-run death
+        assert sorted(report.executed) == \
+            sorted(c.cell_id for c in cells)
+        counts = ResultStore(store_path).raw_record_counts()
+        assert counts == {c.cell_id: 1 for c in cells}
+        # and the store replays to a complete grid
+        assert set(ResultStore(store_path).replay()) == \
+            {c.cell_id for c in cells}
+
+    def test_store_grows_during_the_run_not_after(self, tmp_path):
+        """Checkpoints land per chunk: with cells_per_dispatch=1 the
+        store must hold a record for every cell the moment the run
+        returns, written incrementally (one fsync'd line each)."""
+        spec = small_spec()
+        store_path = tmp_path / "r.jsonl"
+        report = run_grid(spec, store_path, replicas=2)
+        lines = store_path.read_text().splitlines()
+        assert len(lines) == report.total
+        assert all(json.loads(line)["cell"] for line in lines)
+
+
+class TestApplicationFaults:
+    def test_bad_option_completes_as_error_record(self, tmp_path):
+        spec = load_json(json.dumps({
+            "name": "faulty", "folds": 3, "seeds": [1],
+            "datasets": [{"name": "weather",
+                          "source": "synthetic:weather_nominal"}],
+            "classifiers": ["ZeroR",
+                            {"name": "J48",
+                             "options": {"no_such_option": [1]}}],
+        }))
+        store_path = tmp_path / "r.jsonl"
+        report = run_grid(spec, store_path, replicas=2)
+        assert len(report.failed) == 1
+        [(cell_id, message)] = report.failed.items()
+        assert "no_such_option" in message
+        # the error is checkpointed: a resume does not retry it
+        again = run_grid(spec, store_path, replicas=2)
+        assert again.executed == []
+        assert cell_id in again.failed
+
+    def test_all_replicas_dead_raises_and_keeps_progress(self, tmp_path):
+        spec = small_spec(seeds=(1, 2, 3))
+        proxies = classifier_proxies(2, dies_after=[2, 2])
+        store_path = tmp_path / "r.jsonl"
+        with pytest.raises(WorkflowError):
+            run_grid(spec, store_path, proxies=proxies)
+        # the four completed cells survived for the next resume
+        completed = set(ResultStore(store_path).replay())
+        assert len(completed) == 4
+        resumed = run_grid(spec, store_path, replicas=1)
+        assert len(resumed.executed) == spec_total(spec) - 4
+        assert sorted(resumed.skipped) == sorted(completed)
+
+
+def spec_total(spec):
+    return len(expand(spec))
+
+
+class TestAdmissionBackpressure:
+    def test_sheds_are_absorbed_not_lost(self, tmp_path):
+        """PR-6 admission on every replica: a tight concurrency gate
+        sheds chunks, the scatter plane backs off and re-queues, and
+        the grid still completes every cell exactly once."""
+        admission = AdmissionController(max_concurrent=1, max_queue=0,
+                                        retry_hint_s=0.01)
+        proxies = make_replicas(3, admission=admission)
+        spec = small_spec(classifiers=("ZeroR", "OneR"), seeds=(1, 2))
+        report = run_grid(spec, tmp_path / "r.jsonl", proxies=proxies)
+        assert len(report.executed) == report.total
+        counts = ResultStore(tmp_path / "r.jsonl").raw_record_counts()
+        assert set(counts.values()) == {1}
+
+
+class TestLoadDataset:
+    def test_synthetic_with_arguments(self):
+        ds = load_dataset("synthetic:numeric_two_class?n=40&seed=3")
+        assert ds.num_instances == 40
+
+    def test_unknown_generator(self):
+        with pytest.raises(SpecError):
+            load_dataset("synthetic:not_a_generator")
+
+    def test_bad_argument_syntax(self):
+        with pytest.raises(SpecError):
+            load_dataset("synthetic:weather_nominal?oops")
+
+    def test_file_source(self, tmp_path, weather):
+        from repro.data import arff
+        path = tmp_path / "weather.arff"
+        path.write_text(arff.dumps(weather))
+        ds = load_dataset(str(path), class_attribute="play")
+        assert ds.num_instances == weather.num_instances
+        assert ds.class_attribute.name == "play"

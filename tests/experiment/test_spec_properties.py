@@ -1,0 +1,117 @@
+"""Property tests: spec expansion is deterministic and format-neutral.
+
+Cell IDs are content digests of a cell's parameters, so they must be
+
+* *deterministic* — two expansions of one spec agree exactly;
+* *unique* — a grid never contains two cells with one ID;
+* *stable under key reordering* — a JSON spec re-serialised with its
+  object keys in any order expands to the same IDs;
+* *format-neutral* — the same grid written as JSON and as XML expands
+  to identical IDs, so a FlexDM-style XML spec and its JSON port share
+  one checkpoint store.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiment.expand import expand
+from repro.experiment.spec import (dumps_json, dumps_xml, load_json,
+                                   load_xml)
+
+# alphabetic only: XML attributes are untyped, so a string that *looks*
+# numeric ("2") legitimately coerces to the number on the XML path
+names = st.text(alphabet="abcdefghij", min_size=1, max_size=6)
+option_values = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.booleans(),
+    names,
+    st.floats(min_value=0.001, max_value=100.0,
+              allow_nan=False, allow_infinity=False),
+)
+
+
+@st.composite
+def specs(draw):
+    """A random spec as its JSON document (dict) form."""
+    n_datasets = draw(st.integers(min_value=1, max_value=3))
+    datasets = [{"name": f"ds{i}-{draw(names)}",
+                 "source": f"synthetic:gen_{draw(names)}"}
+                for i in range(n_datasets)]
+    n_classifiers = draw(st.integers(min_value=1, max_value=3))
+    classifiers = []
+    for i in range(n_classifiers):
+        options = draw(st.dictionaries(
+            names,
+            st.lists(option_values, min_size=1, max_size=3,
+                     unique_by=lambda v: (type(v).__name__, v)),
+            max_size=3))
+        classifiers.append({"name": f"clf{i}-{draw(names)}",
+                            "options": options})
+    seeds = draw(st.lists(st.integers(min_value=0, max_value=10 ** 6),
+                          min_size=1, max_size=4, unique=True))
+    return {
+        "name": draw(names),
+        "folds": draw(st.integers(min_value=2, max_value=20)),
+        "seeds": seeds,
+        "datasets": datasets,
+        "classifiers": classifiers,
+    }
+
+
+def ids_of(spec):
+    return [cell.cell_id for cell in expand(spec)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs())
+def test_expansion_is_deterministic(doc):
+    spec = load_json(json.dumps(doc))
+    first, second = expand(spec), expand(spec)
+    assert [c.cell_id for c in first] == [c.cell_id for c in second]
+    assert first == second
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs())
+def test_cell_ids_are_unique(doc):
+    ids = ids_of(load_json(json.dumps(doc)))
+    assert len(set(ids)) == len(ids)
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs())
+def test_ids_stable_under_json_key_reordering(doc):
+    plain = load_json(json.dumps(doc))
+    # re-serialise with every object's keys sorted (and the reverse):
+    # same document, different key order on disk
+    sorted_keys = load_json(json.dumps(doc, sort_keys=True))
+    reversed_doc = {k: doc[k] for k in reversed(list(doc))}
+    reversed_keys = load_json(json.dumps(reversed_doc))
+    assert ids_of(plain) == ids_of(sorted_keys)
+    assert set(ids_of(plain)) == set(ids_of(reversed_keys))
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs())
+def test_json_and_xml_specs_expand_to_identical_ids(doc):
+    spec = load_json(json.dumps(doc))
+    via_json = load_json(dumps_json(spec))
+    via_xml = load_xml(dumps_xml(spec))
+    assert ids_of(via_json) == ids_of(via_xml)
+    assert ids_of(via_json) == ids_of(spec)
+
+
+@settings(max_examples=30, deadline=None)
+@given(specs())
+def test_cell_params_round_trip_the_store_record(doc):
+    """A cell reconstructed from its stored params digest matches —
+    the store alone is enough to re-identify every cell."""
+    import hashlib
+
+    from repro.experiment.expand import CELL_ID_HEX, canonical_json
+    for cell in expand(load_json(json.dumps(doc))):
+        digest = hashlib.sha256(
+            canonical_json(cell.params()).encode()).hexdigest()
+        assert cell.cell_id == digest[:CELL_ID_HEX]

@@ -1,0 +1,135 @@
+"""Results-store corruption tolerance: the replay contract.
+
+A SIGKILL mid-append leaves a torn final line; a disk hiccup or editor
+accident leaves garbage; a cell re-run after a torn record leaves a
+duplicate.  Replay must tolerate all three — skip-and-warn, with
+last-write-wins for duplicates — and account for every drop in the
+``repro.experiment.store.dropped`` counter so nothing is silently
+discarded.
+"""
+
+import json
+
+import pytest
+
+from repro.experiment.store import ResultStore, StoreError
+from repro.obs import get_metrics
+
+
+def record(cell, value):
+    return {"cell": cell, "params": {"dataset": "d"},
+            "result": {"status": "ok", "accuracy": value}}
+
+
+def write_store(path, records):
+    with ResultStore(path) as store:
+        for r in records:
+            store.append(r)
+    return ResultStore(path)
+
+
+def dropped(reason):
+    return get_metrics().counter("repro.experiment.store.dropped",
+                                 reason=reason).value
+
+
+class TestAppend:
+    def test_round_trip(self, tmp_path):
+        store = write_store(tmp_path / "r.jsonl",
+                            [record("a", 0.5), record("b", 0.75)])
+        replayed = store.replay()
+        assert set(replayed) == {"a", "b"}
+        assert replayed["b"]["result"]["accuracy"] == 0.75
+
+    def test_each_record_is_one_line(self, tmp_path):
+        store = write_store(tmp_path / "r.jsonl",
+                            [record("a", 0.5), record("b", 0.6)])
+        lines = store.path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["cell"] in ("a", "b")
+                   for line in lines)
+
+    def test_record_without_cell_id_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            ResultStore(tmp_path / "r.jsonl").append({"result": {}})
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        assert ResultStore(tmp_path / "nope.jsonl").replay() == {}
+
+
+class TestTruncatedFinalRecord:
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        store = write_store(tmp_path / "r.jsonl",
+                            [record("a", 0.5), record("b", 0.6)])
+        text = store.path.read_text()
+        # tear the last record mid-JSON, as a kill mid-write would
+        store.path.write_text(text[:-20])
+        replayed = store.replay()
+        assert set(replayed) == {"a"}
+        assert dropped("truncated") == 1
+        assert dropped("garbage") == 0
+
+    def test_intact_records_survive_the_tear(self, tmp_path):
+        store = write_store(tmp_path / "r.jsonl",
+                            [record(f"c{i}", i / 10) for i in range(5)])
+        store.path.write_text(store.path.read_text()[:-7])
+        replayed = store.replay()
+        assert set(replayed) == {"c0", "c1", "c2", "c3"}
+
+
+class TestGarbageLine:
+    def test_garbage_line_mid_file_is_skipped(self, tmp_path):
+        store = write_store(tmp_path / "r.jsonl", [record("a", 0.5)])
+        with open(store.path, "a") as fh:
+            fh.write("!!! not json !!!\n")
+        with ResultStore(store.path) as again:
+            again.append(record("b", 0.6))
+        replayed = ResultStore(store.path).replay()
+        assert set(replayed) == {"a", "b"}
+        assert dropped("garbage") == 1
+
+    def test_json_line_without_cell_is_garbage(self, tmp_path):
+        store = write_store(tmp_path / "r.jsonl", [record("a", 0.5)])
+        with open(store.path, "a") as fh:
+            fh.write(json.dumps({"result": "lost"}) + "\n")
+            fh.write(json.dumps(record("b", 0.9)) + "\n")
+        replayed = ResultStore(store.path).replay()
+        assert set(replayed) == {"a", "b"}
+        assert dropped("garbage") == 1
+
+    def test_blank_lines_are_not_counted_as_drops(self, tmp_path):
+        store = write_store(tmp_path / "r.jsonl", [record("a", 0.5)])
+        with open(store.path, "a") as fh:
+            fh.write("\n\n")
+        assert set(ResultStore(store.path).replay()) == {"a"}
+        assert dropped("garbage") == 0
+        assert dropped("truncated") == 0
+
+
+class TestDuplicateRecords:
+    def test_last_write_wins(self, tmp_path):
+        store = write_store(tmp_path / "r.jsonl",
+                            [record("a", 0.5), record("a", 0.9)])
+        replayed = store.replay()
+        assert replayed["a"]["result"]["accuracy"] == 0.9
+        assert dropped("duplicate") == 1
+
+    def test_raw_record_counts_expose_duplicates(self, tmp_path):
+        store = write_store(
+            tmp_path / "r.jsonl",
+            [record("a", 0.5), record("b", 0.6), record("a", 0.7)])
+        assert store.raw_record_counts() == {"a": 2, "b": 1}
+
+
+class TestMetrics:
+    def test_replay_counts_survivors(self, tmp_path):
+        store = write_store(tmp_path / "r.jsonl",
+                            [record("a", 0.5), record("b", 0.6)])
+        store.replay()
+        assert get_metrics().counter(
+            "repro.experiment.store.replayed").value == 2
+
+    def test_appends_counted(self, tmp_path):
+        write_store(tmp_path / "r.jsonl", [record("a", 0.5)])
+        assert get_metrics().counter(
+            "repro.experiment.store.appends").value == 1

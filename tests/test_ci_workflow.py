@@ -30,7 +30,8 @@ def test_parses_and_triggers(workflow):
 
 def test_expected_jobs_present(workflow):
     assert set(workflow["jobs"]) == {"test", "lint", "chaos",
-                                     "bench-smoke", "serving-load"}
+                                     "bench-smoke", "serving-load",
+                                     "experiment-resume"}
 
 
 def test_concurrency_cancels_superseded_runs(workflow):
@@ -167,6 +168,26 @@ def test_serving_load_job_gates_and_uploads_the_report(workflow):
                   if "upload-artifact" in step.get("uses", ""))
     assert upload["with"]["name"] == "serving-load"
     assert "BENCH_serving.json" in upload["with"]["path"]
+    assert upload["with"]["if-no-files-found"] == "error"
+
+
+def test_experiment_resume_job_drills_and_uploads_the_store(workflow):
+    """The chaos-resume drill is a CI gate: the experiment suite
+    (including the subprocess SIGKILL drill) runs hash-seeded, and the
+    drill's final checkpoint store + report are published as the
+    run's evidence artifact."""
+    job = workflow["jobs"]["experiment-resume"]
+    text = steps_text(job)
+    assert "tests/experiment" in text
+    drill = next(step for step in job["steps"]
+                 if "tests/experiment" in step.get("run", ""))
+    assert drill["env"]["PYTHONHASHSEED"] == "0"
+    assert drill["env"]["EXPERIMENT_ARTIFACT_DIR"] == \
+        "experiment-artifacts"
+    upload = next(step for step in job["steps"]
+                  if "upload-artifact" in step.get("uses", ""))
+    assert upload["with"]["name"] == "experiment-resume-drill"
+    assert "experiment-artifacts" in upload["with"]["path"]
     assert upload["with"]["if-no-files-found"] == "error"
 
 

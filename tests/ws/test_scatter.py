@@ -235,3 +235,63 @@ class TestContracts:
     def test_needs_at_least_one_endpoint(self):
         with pytest.raises(WorkflowError):
             ScatterGather(0)
+
+
+class TestOnChunk:
+    """Per-chunk completion callbacks: the checkpoint hook the
+    experiment runner builds its crash safety on."""
+
+    def test_callback_sees_every_item_exactly_once(self):
+        sg = ScatterGather(3, chunk=4)
+        seen = []
+
+        def on_chunk(endpoint, indices, results):
+            seen.append((endpoint, list(indices), list(results)))
+
+        report = sg.run(list(range(25)),
+                        lambda e, chunk, idx: [i * 2 for i in chunk],
+                        on_chunk=on_chunk)
+        flat = sorted(i for _, indices, _ in seen for i in indices)
+        assert flat == list(range(25))
+        for _, indices, results in seen:
+            assert results == [i * 2 for i in indices]
+        assert len(seen) == len(report.dispatches)
+
+    def test_callback_fires_per_chunk_not_per_run(self):
+        sg = ScatterGather(1, chunk=2, min_chunk=2, max_chunk=2)
+        calls = []
+        sg.run(list(range(6)), lambda e, chunk, idx: list(chunk),
+               on_chunk=lambda e, idx, out: calls.append(idx))
+        assert len(calls) == 3
+        assert all(len(idx) == 2 for idx in calls)
+
+    def test_failed_chunks_never_reach_the_callback(self):
+        """Endpoint death mid-run: only genuinely completed chunks are
+        reported, and migrated work appears exactly once — from the
+        survivor that actually finished it."""
+        sg = ScatterGather(2, chunk=2)
+        seen = []
+
+        def dispatch(endpoint, chunk_items, indices):
+            if endpoint == 0:
+                raise TransportError("endpoint 0 died mid-scatter")
+            return list(chunk_items)
+
+        sg.run(list(range(10)), dispatch,
+               on_chunk=lambda e, idx, out: seen.append((e, idx)))
+        assert all(endpoint == 1 for endpoint, _ in seen)
+        flat = sorted(i for _, idx in seen for i in idx)
+        assert flat == list(range(10))
+
+    def test_callback_failure_is_fatal_and_chunk_not_recorded(self):
+        """A checkpoint that cannot be written must not be papered
+        over: the run dies, and the chunk whose callback failed is not
+        marked completed."""
+        sg = ScatterGather(1, chunk=2, name="ckpt")
+
+        def on_chunk(endpoint, indices, results):
+            raise OSError("disk full")
+
+        with pytest.raises(OSError, match="disk full"):
+            sg.run(list(range(4)), lambda e, chunk, idx: list(chunk),
+                   on_chunk=on_chunk)
