@@ -1,0 +1,105 @@
+"""PERF-COLUMNAR — the columnar zero-copy data plane, measured.
+
+A/B of the two wire + scoring shapes on a realistically sized numeric
+dataset:
+
+* **old plane** — ARFF text on the wire, row-objects materialised on
+  parse, one scalar tree descent per instance;
+* **new plane** — binary columnar frame on the wire, typed column
+  blocks on decode, one vectorised descent over the whole matrix.
+
+The plain CI gates assert the headline claims: the columnar plane must
+cut end-to-end parse+score time by at least 5x and wire bytes by at
+least 2x.  (Wire bytes only win once real data amortises the frame
+header — tiny toy relations are header-dominated, which is why this
+bench uses thousands of rows.)
+
+Run: PYTHONPATH=src python -m pytest benchmarks/test_bench_columnar.py
+     --benchmark-json=BENCH_columnar.json
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import arff, codec, synthetic
+from repro.ml.classifiers import J48
+
+N_ROWS = 3000
+N_FEATURES = 8
+
+
+@pytest.fixture(scope="module")
+def plane():
+    """Dataset, both wire encodings, and a fitted model shared by all
+    benchmarks in this module."""
+    ds = synthetic.numeric_two_class(N_ROWS, N_FEATURES, seed=7)
+    return {
+        "dataset": ds,
+        "arff": arff.dumps(ds),
+        "frame": codec.encode(ds),
+        "model": J48().fit(ds),
+    }
+
+
+def old_plane(document: str, model: J48) -> np.ndarray:
+    """ARFF text -> row objects -> scalar per-instance descent."""
+    ds = arff.loads(document)
+    return np.vstack([model.distribution(inst) for inst in ds])
+
+
+def new_plane(frame: bytes, model: J48) -> np.ndarray:
+    """Columnar frame -> typed blocks -> one vectorised descent."""
+    ds = codec.decode(frame)
+    return model.distribution_many(ds)
+
+
+def _seconds(fn, *args) -> float:
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
+def test_columnar_gate(plane):
+    """CI gate: >= 5x end-to-end and >= 2x wire bytes, same answers."""
+    arff_bytes = len(plane["arff"].encode("utf-8"))
+    frame_bytes = len(plane["frame"])
+    assert arff_bytes >= 2 * frame_bytes, (
+        f"columnar frame saved too few wire bytes: "
+        f"{arff_bytes} ARFF vs {frame_bytes} columnar")
+
+    old = _seconds(old_plane, plane["arff"], plane["model"])
+    new = _seconds(new_plane, plane["frame"], plane["model"])
+    assert old >= 5 * new, (
+        f"columnar plane saved too little end-to-end time: "
+        f"{old:.4f}s old vs {new:.4f}s new ({old / new:.1f}x)")
+
+    assert np.allclose(old_plane(plane["arff"], plane["model"]),
+                       new_plane(plane["frame"], plane["model"]))
+
+
+def test_bench_old_plane(benchmark, plane):
+    out = benchmark.pedantic(
+        old_plane, args=(plane["arff"], plane["model"]),
+        rounds=1, iterations=1)
+    assert out.shape[0] == N_ROWS
+    benchmark.extra_info["path"] = "arff+scalar"
+    benchmark.extra_info["wire_bytes"] = len(plane["arff"].encode("utf-8"))
+
+
+def test_bench_new_plane(benchmark, plane):
+    out = benchmark.pedantic(
+        new_plane, args=(plane["frame"], plane["model"]),
+        rounds=3, iterations=1)
+    assert out.shape[0] == N_ROWS
+    benchmark.extra_info["path"] = "columnar+vectorised"
+    benchmark.extra_info["wire_bytes"] = len(plane["frame"])
+
+
+def test_bench_codec_decode(benchmark, plane):
+    """Decode alone: the mmap-friendly frame against the ARFF parser."""
+    ds = benchmark.pedantic(
+        codec.decode, args=(plane["frame"],), rounds=5, iterations=1)
+    assert ds.num_instances == N_ROWS
+    benchmark.extra_info["path"] = "decode-only"

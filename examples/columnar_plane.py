@@ -1,0 +1,91 @@
+"""Columnar data plane demo: binary frames + zero-copy views + kernels.
+
+Walks the three layers of the columnar plane on a 3,000-row numeric
+dataset:
+
+1. **wire** — the same dataset as ARFF text and as a binary columnar
+   frame (``repro.data.codec``), with the frame's preamble and header
+   decoded by hand to show there is no magic;
+2. **memory** — ``to_matrix()`` and fold slicing are views, not copies,
+   proven with ``np.shares_memory``;
+3. **compute** — scalar per-row J48 descent vs the vectorised
+   ``distribution_many`` kernel over the same block, timed, with the
+   answers asserted identical.
+
+Run:  python examples/columnar_plane.py
+"""
+
+import json
+import struct
+import time
+
+import numpy as np
+
+from repro.data import arff, codec, dataio, synthetic
+from repro.ml.classifiers import J48
+
+N_ROWS, N_FEATURES = 3000, 8
+
+
+def show_wire(ds) -> None:
+    text = arff.dumps(ds)
+    frame = codec.encode(ds)
+    print(f"{'ARFF text':>18}  {len(text.encode('utf-8')):>9,} bytes")
+    print(f"{'columnar frame':>18}  {len(frame):>9,} bytes  "
+          f"({len(text.encode('utf-8')) / len(frame):.2f}x smaller)\n")
+
+    magic, version, flags, header_len = struct.unpack_from("<4sBBI", frame)
+    header = json.loads(frame[10:10 + header_len])
+    print(f"frame preamble: magic={magic!r} version={version} "
+          f"flags={flags:#04x} header={header_len} bytes")
+    col = header["columns"][0]
+    print(f"first column:   {col['name']!r} kind={col['kind']} "
+          f"dtype={col['dtype']}")
+    print(f"row count:      {header['n_rows']:,}\n")
+
+    # every parse entry point sniffs the magic, so both encodings land
+    # on the same Dataset
+    assert dataio.parse_dataset(frame).num_instances == \
+        dataio.parse_dataset(text).num_instances
+
+
+def show_views(ds) -> None:
+    matrix = ds.to_matrix()
+    print(f"to_matrix() zero-copy:      "
+          f"{np.shares_memory(matrix, ds._store._values)}")
+    fold = ds.view(slice(1000, 2000))
+    print(f"contiguous fold is a view:  "
+          f"{np.shares_memory(fold.to_matrix(), matrix)}")
+    gather = ds.view([7, 2900, 41])
+    print(f"gather view tracks base:    "
+          f"{gather.to_matrix()[0, 0] == matrix[7, 0]}\n")
+
+
+def show_kernels(ds) -> None:
+    clf = J48().fit(ds)
+
+    start = time.perf_counter()
+    scalar = np.vstack([clf.distribution(inst) for inst in ds])
+    scalar_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch = clf.distribution_many(ds)
+    batch_s = time.perf_counter() - start
+
+    assert np.allclose(scalar, batch)
+    print(f"{'scalar J48 descent':>22}  {scalar_s * 1000:>8.1f} ms")
+    print(f"{'vectorised descent':>22}  {batch_s * 1000:>8.2f} ms  "
+          f"({scalar_s / batch_s:.1f}x faster, same answers)")
+
+
+def main() -> None:
+    ds = synthetic.numeric_two_class(N_ROWS, N_FEATURES, seed=7)
+    print(f"dataset: {ds.num_instances:,} rows x "
+          f"{ds.num_attributes} attributes\n")
+    show_wire(ds)
+    show_views(ds)
+    show_kernels(ds)
+
+
+if __name__ == "__main__":
+    main()

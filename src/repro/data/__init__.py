@@ -1,20 +1,25 @@
-"""Dataset layer: attributes, instances, datasets, ARFF/CSV IO, converters,
-summary statistics, synthetic generators and instance streaming.
+"""Dataset layer: attributes, instances, datasets, the columnar store,
+ARFF/CSV/binary-frame IO, converters, summary statistics, synthetic
+generators and instance streaming.
 
 Public surface::
 
-    from repro.data import Attribute, Instance, Dataset, arff, csvio
+    from repro.data import Attribute, Instance, Dataset, DatasetView
+    from repro.data import ColumnStore, arff, codec, csvio, dataio
     from repro.data import converters, summary, synthetic, stream
 """
 
 from repro.data.attribute import (Attribute, MISSING, NOMINAL, NUMERIC,
                                   STRING, is_missing)
-from repro.data.dataset import Dataset
+from repro.data.columns import ColumnStore
+from repro.data.dataset import Dataset, DatasetView
 from repro.data.instance import Instance
-from repro.data import arff, converters, csvio, stream, summary, synthetic
+from repro.data import (arff, codec, converters, csvio, dataio, stream,
+                        summary, synthetic)
 
 __all__ = [
-    "Attribute", "Instance", "Dataset",
+    "Attribute", "Instance", "Dataset", "DatasetView", "ColumnStore",
     "MISSING", "NOMINAL", "NUMERIC", "STRING", "is_missing",
-    "arff", "csvio", "converters", "stream", "summary", "synthetic",
+    "arff", "codec", "csvio", "converters", "dataio", "stream", "summary",
+    "synthetic",
 ]

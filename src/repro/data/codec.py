@@ -1,0 +1,305 @@
+"""Compact binary wire codec for datasets.
+
+This is the columnar alternative to ARFF text on the wire: a versioned
+frame holding the schema as a small JSON header plus one raw
+little-endian buffer per column.  It exists for the same reason DAME's
+DMPlugin interchange moves typed arrays between mining services — bulk
+data dominates composition traffic, and text encoding pays a parse and
+a size tax on every hop.
+
+Frame layout (all integers little-endian)::
+
+    offset  size      field
+    0       4         magic  b"RCF1"
+    4       1         format version (currently 1)
+    5       1         flags  (bit 0: per-row weights buffer present)
+    6       4         u32    header JSON length H
+    10      H         UTF-8 JSON header (compact, sorted keys)
+    10+H    ...       column buffers, in attribute order
+    ...     8*n_rows  optional f8 weights buffer (iff flags bit 0)
+
+The JSON header is ``{"class_index", "columns", "n_rows", "relation"}``
+where each column descriptor carries ``name``, ``kind``, its value table
+(nominal/string only), the buffer ``dtype`` and a ``missing`` flag.
+Column buffers:
+
+* numeric — ``n_rows`` f8 cells, NaN encodes missing inline;
+* nominal/string — ``n_rows`` value-table indices in the smallest
+  unsigned dtype that fits the table (u1/u2/u4), followed by a
+  ``ceil(n_rows/8)`` LSB-first missing bitmask *only when* the column
+  has missing cells (missing cells store index 0).
+
+Encoding is byte-deterministic: equal datasets produce equal frames.
+Decoding validates magic, version, flags, header shape, value-table
+index ranges and the exact frame length — a truncated or trailing-junk
+frame raises :class:`~repro.errors.DataError`, never over-reads.
+
+This module deliberately knows nothing about transports, observability
+or resilience — it maps ``bytes`` to :class:`~repro.data.Dataset` and
+back (the layering lint enforces that).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.attribute import Attribute, NOMINAL, NUMERIC, STRING
+from repro.data.dataset import Dataset
+from repro.errors import DataError
+
+#: First bytes of every columnar frame ("Repro Columnar Frame v1" family).
+MAGIC = b"RCF1"
+#: Current frame format version.
+VERSION = 1
+
+_FLAG_WEIGHTS = 0x01
+_KNOWN_FLAGS = _FLAG_WEIGHTS
+_PREAMBLE = struct.Struct("<4sBBI")
+#: Hard cap on the JSON header, far above any plausible schema.
+_MAX_HEADER = 64 * 1024 * 1024
+
+
+def is_columnar(doc: bytes | bytearray | memoryview | str) -> bool:
+    """True when *doc* starts with the columnar frame magic."""
+    if isinstance(doc, str):
+        return False
+    return bytes(memoryview(doc)[:4]) == MAGIC
+
+
+def _index_dtype(n_values: int) -> str:
+    if n_values <= 0xFF:
+        return "u1"
+    if n_values <= 0xFFFF:
+        return "u2"
+    if n_values <= 0xFFFF_FFFF:
+        return "u4"
+    raise DataError("value table too large for the columnar codec")
+
+
+def _pack_bitmask(mask: np.ndarray) -> bytes:
+    return np.packbits(mask.astype(np.uint8), bitorder="little").tobytes()
+
+
+def _bitmask_size(n_rows: int) -> int:
+    return (n_rows + 7) // 8
+
+
+def encode(dataset: Dataset) -> bytes:
+    """Serialise *dataset* into one columnar frame (deterministic)."""
+    matrix = dataset.to_matrix()
+    weights = dataset.weights()
+    n_rows = int(matrix.shape[0])
+    has_weights = bool(n_rows) and bool(np.any(weights != 1.0))
+
+    columns: list[dict[str, object]] = []
+    buffers: list[bytes] = []
+    for j, attr in enumerate(dataset.attributes):
+        col = matrix[:, j]
+        missing = np.isnan(col)
+        has_missing = bool(missing.any())
+        desc: dict[str, object] = {
+            "name": attr.name,
+            "kind": attr.kind,
+            "missing": has_missing,
+        }
+        if attr.is_numeric:
+            desc["dtype"] = "f8"
+            buffers.append(np.ascontiguousarray(col, dtype="<f8").tobytes())
+        else:
+            desc["values"] = list(attr.values)
+            dtype = _index_dtype(max(attr.num_values, 1))
+            desc["dtype"] = dtype
+            idx = np.where(missing, 0.0, col).astype("<" + dtype)
+            buffers.append(idx.tobytes())
+            if has_missing:
+                buffers.append(_pack_bitmask(missing))
+        columns.append(desc)
+
+    header = {
+        "class_index": dataset._class_index,
+        "columns": columns,
+        "n_rows": n_rows,
+        "relation": dataset.relation,
+    }
+    header_bytes = json.dumps(
+        header, sort_keys=True, separators=(",", ":"),
+        ensure_ascii=False).encode("utf-8")
+
+    flags = _FLAG_WEIGHTS if has_weights else 0
+    parts = [_PREAMBLE.pack(MAGIC, VERSION, flags, len(header_bytes)),
+             header_bytes]
+    parts.extend(buffers)
+    if has_weights:
+        parts.append(np.ascontiguousarray(weights, dtype="<f8").tobytes())
+    return b"".join(parts)
+
+
+def _require(condition: bool, why: str) -> None:
+    if not condition:
+        raise DataError(f"bad columnar frame: {why}")
+
+
+def _header_int(header: dict, key: str) -> int:
+    value = header.get(key)
+    _require(isinstance(value, int) and not isinstance(value, bool)
+             and value >= 0, f"header {key!r} must be a non-negative int")
+    return int(value)
+
+
+def decode(frame: bytes | bytearray | memoryview | np.ndarray) -> Dataset:
+    """Parse one columnar frame back into a :class:`Dataset`.
+
+    Accepts any C-contiguous byte buffer (``bytes``, ``memoryview``,
+    ``np.memmap``) and never reads past its end: every length is
+    validated before use and the frame must be *exactly* consumed.
+    """
+    buf = memoryview(frame).cast("B") if not isinstance(frame, memoryview) \
+        else frame.cast("B")
+    total = buf.nbytes
+    _require(total >= _PREAMBLE.size, "truncated preamble")
+    magic, version, flags, header_len = _PREAMBLE.unpack_from(buf, 0)
+    _require(magic == MAGIC, "wrong magic")
+    _require(version == VERSION, f"unsupported version {version}")
+    _require(flags & ~_KNOWN_FLAGS == 0, f"unknown flags 0x{flags:02x}")
+    _require(header_len <= _MAX_HEADER, "header length implausibly large")
+    offset = _PREAMBLE.size
+    _require(offset + header_len <= total, "truncated header")
+    try:
+        header = json.loads(bytes(buf[offset:offset + header_len]))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise DataError(f"bad columnar frame: header is not valid JSON "
+                        f"({exc})") from None
+    offset += header_len
+    _require(isinstance(header, dict), "header must be a JSON object")
+
+    n_rows = _header_int(header, "n_rows")
+    relation = header.get("relation")
+    _require(isinstance(relation, str), "relation must be a string")
+    class_index = header.get("class_index")
+    _require(class_index is None
+             or (isinstance(class_index, int)
+                 and not isinstance(class_index, bool)),
+             "class_index must be an int or null")
+    columns = header.get("columns")
+    _require(isinstance(columns, list) and columns,
+             "columns must be a non-empty list")
+
+    attributes: list[Attribute] = []
+    cells: list[np.ndarray] = []
+    for desc in columns:
+        _require(isinstance(desc, dict), "column descriptor must be object")
+        name = desc.get("name")
+        kind = desc.get("kind")
+        dtype = desc.get("dtype")
+        has_missing = desc.get("missing")
+        _require(isinstance(name, str), "column name must be a string")
+        _require(kind in (NUMERIC, NOMINAL, STRING),
+                 f"unknown column kind {kind!r}")
+        _require(isinstance(has_missing, bool),
+                 "column 'missing' must be a bool")
+        if kind == NUMERIC:
+            _require(dtype == "f8", f"numeric column dtype {dtype!r}")
+            size = 8 * n_rows
+            _require(offset + size <= total,
+                     f"truncated buffer for column {name!r}")
+            col = np.frombuffer(buf[offset:offset + size],
+                                dtype="<f8").astype(float)
+            offset += size
+            try:
+                attributes.append(Attribute(name, NUMERIC))
+            except DataError as exc:
+                raise DataError(f"bad columnar frame: {exc}") from None
+        else:
+            values = desc.get("values")
+            _require(isinstance(values, list)
+                     and all(isinstance(v, str) for v in values),
+                     f"column {name!r} needs a string value table")
+            _require(dtype in ("u1", "u2", "u4"),
+                     f"symbolic column dtype {dtype!r}")
+            itemsize = {"u1": 1, "u2": 2, "u4": 4}[dtype]
+            size = itemsize * n_rows
+            _require(offset + size <= total,
+                     f"truncated buffer for column {name!r}")
+            idx = np.frombuffer(buf[offset:offset + size],
+                                dtype="<" + dtype).astype(float)
+            offset += size
+            if has_missing:
+                msize = _bitmask_size(n_rows)
+                _require(offset + msize <= total,
+                         f"truncated missing mask for column {name!r}")
+                bits = np.unpackbits(
+                    np.frombuffer(buf[offset:offset + msize],
+                                  dtype=np.uint8),
+                    bitorder="little")[:n_rows].astype(bool)
+                offset += msize
+                idx[bits] = np.nan
+            present = idx[~np.isnan(idx)]
+            _require(not present.size
+                     or present.max() < max(len(values), 1),
+                     f"column {name!r} has out-of-table indices")
+            _require(len(values) > 0 or not present.size,
+                     f"column {name!r} has cells but an empty value table")
+            try:
+                attributes.append(Attribute(name, kind, list(values)))
+            except DataError as exc:
+                raise DataError(f"bad columnar frame: {exc}") from None
+            col = idx
+        cells.append(col)
+
+    weights = None
+    if flags & _FLAG_WEIGHTS:
+        size = 8 * n_rows
+        _require(offset + size <= total, "truncated weights buffer")
+        weights = np.frombuffer(buf[offset:offset + size],
+                                dtype="<f8").astype(float)
+        _require(bool(np.all(np.isfinite(weights) & (weights >= 0))),
+                 "weights must be finite and non-negative")
+        offset += size
+    _require(offset == total,
+             f"{total - offset} trailing bytes after frame")
+
+    try:
+        out = Dataset(relation, attributes)
+    except DataError as exc:
+        raise DataError(f"bad columnar frame: {exc}") from None
+    if class_index is not None:
+        _require(-len(attributes) <= class_index < len(attributes),
+                 f"class_index {class_index} out of range")
+        out.class_index = class_index
+    if n_rows:
+        out._bulk_extend(np.column_stack(cells), weights)
+    return out
+
+
+def dump_binary(dataset: Dataset, path: str) -> None:
+    """Write *dataset* to *path* as one columnar frame."""
+    with open(path, "wb") as fh:
+        fh.write(encode(dataset))
+
+
+def load_binary(path: str) -> Dataset:
+    """Load a columnar frame from disk through a read-only memory map —
+    pages stream in lazily as columns are decoded, so peak memory stays
+    near one dataset rather than file + dataset."""
+    try:
+        mapped = np.memmap(path, dtype=np.uint8, mode="r")
+    except (OSError, ValueError) as exc:
+        raise DataError(f"cannot map {path!r}: {exc}") from None
+    try:
+        return decode(mapped)
+    finally:
+        del mapped
+
+
+def wire_size(dataset: Dataset) -> int:
+    """Size in bytes of *dataset*'s columnar frame (via the version-keyed
+    frame cache, so repeated asks don't re-encode)."""
+    return len(dataset.to_frame())
+
+
+__all__ = ["MAGIC", "VERSION", "encode", "decode", "is_columnar",
+           "dump_binary", "load_binary", "wire_size"]

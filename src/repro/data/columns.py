@@ -1,0 +1,164 @@
+"""Typed column-block storage backing :class:`~repro.data.Dataset`.
+
+A :class:`ColumnStore` owns one contiguous ``(capacity, n_attributes)``
+float64 block plus a parallel weight vector.  Cells follow the WEKA
+encoding the rest of the toolkit speaks: numeric cells are plain values,
+nominal/string cells hold value-table indices, and ``NaN`` marks a
+missing cell regardless of kind.
+
+Why one float64 block instead of per-kind typed arrays?  Every consumer
+of bulk data in this library — the vectorised classifier kernels, the
+distance metrics, the filters — wants the WEKA ``(n, m)`` float matrix,
+and a row-major block hands out *both* zero-copy column views
+(``block[:, j]``) and zero-copy contiguous row slices (``block[a:b]``).
+Per-kind typed buffers exist where they pay off: on the wire (see
+:mod:`repro.data.codec`, which packs nominal columns into the smallest
+unsigned dtype that fits the value table).
+
+The store is append-mostly with amortised doubling growth.  Reallocation
+never invalidates logical rows: :class:`~repro.data.Instance` objects
+attached to a store address their row *by index* and re-derive the view
+on every access, so a grown (reallocated) block is transparent to them.
+A monotonically increasing :attr:`version` stamps every mutation —
+anything that caches derived state (gathered fold matrices, encoded wire
+frames) keys its cache on it, which is what makes a stale ``to_matrix``
+view structurally impossible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+
+#: Initial row capacity of a fresh store.
+_INITIAL_CAPACITY = 8
+
+
+class ColumnStore:
+    """Row-major float64 block + weights with amortised growth.
+
+    All mutation goes through :meth:`append` / :meth:`remove` /
+    :meth:`set_cell` / :meth:`set_weight`; each bumps :attr:`version`
+    (cell writes too — a write-through row view cannot be observed as
+    stale, but *gathered* copies keyed on the version can).
+    """
+
+    __slots__ = ("_values", "_weights", "_n", "version")
+
+    def __init__(self, n_attributes: int):
+        if n_attributes < 1:
+            raise DataError("a column store needs at least one attribute")
+        self._values = np.empty((_INITIAL_CAPACITY, n_attributes))
+        self._weights = np.ones(_INITIAL_CAPACITY)
+        self._n = 0
+        self.version = 0
+
+    # -- shape ---------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return self._n
+
+    @property
+    def n_attributes(self) -> int:
+        return int(self._values.shape[1])
+
+    def __len__(self) -> int:
+        return self._n
+
+    # -- zero-copy views -----------------------------------------------------
+    @property
+    def matrix(self) -> np.ndarray:
+        """Live ``(n_rows, n_attributes)`` view of the block (zero-copy)."""
+        return self._values[:self._n]
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Live weight vector view (zero-copy)."""
+        return self._weights[:self._n]
+
+    def row(self, index: int) -> np.ndarray:
+        """Zero-copy view of one row."""
+        if not 0 <= index < self._n:
+            raise DataError(f"row {index} out of range ({self._n} rows)")
+        return self._values[index]
+
+    def column(self, index: int) -> np.ndarray:
+        """Zero-copy view of one column."""
+        return self._values[:self._n, index]
+
+    # -- mutation ------------------------------------------------------------
+    def _grow_to(self, capacity: int) -> None:
+        new_cap = max(int(self._values.shape[0]) * 2, capacity,
+                      _INITIAL_CAPACITY)
+        values = np.empty((new_cap, self.n_attributes))
+        weights = np.ones(new_cap)
+        values[:self._n] = self._values[:self._n]
+        weights[:self._n] = self._weights[:self._n]
+        self._values = values
+        self._weights = weights
+
+    def append(self, values: np.ndarray, weight: float = 1.0) -> int:
+        """Copy one row in; returns its row index."""
+        arr = np.asarray(values, dtype=float)
+        if arr.ndim != 1 or arr.shape[0] != self.n_attributes:
+            raise DataError(
+                f"row has shape {arr.shape}, store holds "
+                f"{self.n_attributes} attributes")
+        if self._n == self._values.shape[0]:
+            self._grow_to(self._n + 1)
+        self._values[self._n] = arr
+        self._weights[self._n] = weight
+        self._n += 1
+        self.version += 1
+        return self._n - 1
+
+    def extend_matrix(self, matrix: np.ndarray,
+                      weights: np.ndarray | None = None) -> int:
+        """Bulk-append ``(k, m)`` rows in one copy; returns the first new
+        row index."""
+        mat = np.asarray(matrix, dtype=float)
+        if mat.ndim != 2 or mat.shape[1] != self.n_attributes:
+            raise DataError(
+                f"matrix has shape {mat.shape}, store holds "
+                f"{self.n_attributes} attributes")
+        k = mat.shape[0]
+        if self._n + k > self._values.shape[0]:
+            self._grow_to(self._n + k)
+        start = self._n
+        self._values[start:start + k] = mat
+        if weights is not None:
+            self._weights[start:start + k] = np.asarray(weights,
+                                                        dtype=float)
+        else:
+            self._weights[start:start + k] = 1.0
+        self._n += k
+        self.version += 1
+        return start
+
+    def remove(self, index: int) -> None:
+        """Delete one row, shifting later rows up."""
+        if not 0 <= index < self._n:
+            raise DataError(f"row {index} out of range ({self._n} rows)")
+        self._values[index:self._n - 1] = self._values[index + 1:self._n]
+        self._weights[index:self._n - 1] = self._weights[index + 1:self._n]
+        self._n -= 1
+        self.version += 1
+
+    def set_cell(self, row: int, col: int, value: float) -> None:
+        """Write one cell (write-through for attached instances)."""
+        if not 0 <= row < self._n:
+            raise DataError(f"row {row} out of range ({self._n} rows)")
+        self._values[row, col] = value
+        self.version += 1
+
+    def set_weight(self, row: int, weight: float) -> None:
+        """Write one row weight."""
+        if not 0 <= row < self._n:
+            raise DataError(f"row {row} out of range ({self._n} rows)")
+        self._weights[row] = weight
+        self.version += 1
+
+    def __repr__(self) -> str:
+        return (f"ColumnStore({self._n} x {self.n_attributes}, "
+                f"version={self.version})")

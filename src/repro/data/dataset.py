@@ -2,11 +2,18 @@
 
 A :class:`Dataset` is a relation name, an ordered attribute list, a class
 attribute designation and a sequence of :class:`~repro.data.Instance` rows.
-It is the unit every paper service consumes and produces (as ARFF text), and
-the unit the ML library trains on.
+It is the unit every paper service consumes and produces, and the unit the
+ML library trains on.
 
-For vectorised algorithms the dataset exposes :meth:`to_matrix`, a cached
-``(n_instances, n_attributes)`` float matrix with ``NaN`` for missing cells.
+Since the columnar refactor the rows live in a
+:class:`~repro.data.columns.ColumnStore` — one contiguous float64 block —
+and :meth:`to_matrix` is a **zero-copy view** of it, re-derived on every
+call so it can never be stale: instances attached to the store write
+through, and structural mutations (add/remove) are visible the next time
+the view is taken.  :meth:`view` slices the dataset without copying rows
+(:class:`DatasetView`); contiguous slices even share memory with the
+parent block, which is what lets cross-validation folds, scatter chunks
+and the experiment runner ship views instead of row copies.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from typing import Callable, Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.data.attribute import Attribute
+from repro.data.columns import ColumnStore
 from repro.data.instance import Instance
 from repro.errors import DataError
 
@@ -34,9 +42,12 @@ class Dataset:
             raise DataError(f"duplicate attribute names in {relation!r}")
         self.relation = str(relation)
         self._attributes: list[Attribute] = list(attributes)
-        self._instances: list[Instance] = []
+        self._store = ColumnStore(len(self._attributes))
+        # parallel to the store's rows; ``None`` slots are materialised
+        # into attached Instance objects on first access
+        self._instances: list[Instance | None] = []
         self._class_index: int | None = None
-        self._matrix: np.ndarray | None = None
+        self._frame_cache: tuple[int, bytes] | None = None
         if class_index is not None:
             self.class_index = class_index
         for inst in instances or ():
@@ -99,30 +110,58 @@ class Dataset:
 
     # -- rows -------------------------------------------------------------------
     @property
+    def data_version(self) -> int:
+        """Monotonic mutation stamp of the backing store — anything that
+        caches derived state (gathered views, wire frames) keys on it."""
+        return self._store.version
+
+    def _instance_at(self, index: int) -> Instance:
+        inst = self._instances[index]
+        if inst is None:
+            inst = Instance._attached(self._store, index)
+            self._instances[index] = inst
+        return inst
+
+    @property
     def instances(self) -> tuple[Instance, ...]:
-        return tuple(self._instances)
+        return tuple(self)
 
     def __len__(self) -> int:
-        return len(self._instances)
+        return self._store.n_rows
 
     @property
     def num_instances(self) -> int:
-        return len(self._instances)
+        return len(self)
 
     def __iter__(self) -> Iterator[Instance]:
-        return iter(self._instances)
+        for i in range(len(self)):
+            yield self._instance_at(i)
 
     def __getitem__(self, index: int) -> Instance:
-        return self._instances[index]
+        n = len(self)
+        index = int(index)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(f"row {index} out of range ({n} rows)")
+        return self._instance_at(index)
 
     def add(self, instance: Instance) -> None:
-        """Append a row; its arity must match the schema."""
+        """Append a row; its arity must match the schema.
+
+        The instance becomes an attached view of this dataset's store
+        (its cell writes flow through).  An instance already owned by a
+        dataset is copied in instead, leaving the original untouched.
+        """
         if len(instance) != self.num_attributes:
             raise DataError(
                 f"instance has {len(instance)} cells, schema has "
                 f"{self.num_attributes} attributes")
+        if instance.is_attached:
+            instance = instance.copy()
+        row = self._store.append(instance.values, instance.weight)
+        instance._attach(self._store, row)
         self._instances.append(instance)
-        self._matrix = None
 
     def add_row(self, raw: Sequence[object], weight: float = 1.0) -> None:
         """Append a row of *external* values, encoding each cell."""
@@ -138,23 +177,49 @@ class Dataset:
         for inst in rows:
             self.add(inst)
 
+    def remove(self, index: int) -> Instance:
+        """Delete one row; returns it as a detached instance."""
+        n = len(self)
+        index = int(index)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise DataError(f"row {index} out of range ({n} rows)")
+        inst = self._instance_at(index)
+        self._instances.pop(index)
+        inst._detach()  # snapshot cells before the store shifts rows
+        self._store.remove(index)
+        for later in self._instances[index:]:
+            if later is not None:
+                later._row -= 1
+        return inst
+
+    def _bulk_extend(self, matrix: np.ndarray,
+                     weights: np.ndarray | None = None) -> None:
+        """Append ``(k, m)`` encoded rows in one store copy (no per-row
+        Instance objects are materialised until accessed)."""
+        mat = np.asarray(matrix, dtype=float)
+        if mat.shape[0] == 0:
+            return
+        self._store.extend_matrix(mat, weights)
+        self._instances.extend([None] * mat.shape[0])
+
     # -- bulk views ----------------------------------------------------------
     def to_matrix(self) -> np.ndarray:
-        """Cached ``(n, m)`` float matrix of encoded cells (NaN = missing)."""
-        if self._matrix is None:
-            if self._instances:
-                self._matrix = np.vstack(
-                    [inst.values for inst in self._instances])
-            else:
-                self._matrix = np.empty((0, self.num_attributes))
-        return self._matrix
+        """Zero-copy ``(n, m)`` float view of the store (NaN = missing).
+
+        Re-derived per call, so it always reflects the current rows; a
+        view taken *before* a structural mutation is a snapshot, exactly
+        like any numpy view across a reallocation.
+        """
+        return self._store.matrix
 
     def weights(self) -> np.ndarray:
-        """Vector of instance weights."""
-        return np.array([inst.weight for inst in self._instances])
+        """Zero-copy vector of instance weights (live store view)."""
+        return self._store.weights
 
     def column(self, key: int | str) -> np.ndarray:
-        """One encoded column as a float vector."""
+        """One encoded column as a float vector (zero-copy view)."""
         idx = self.attribute_index(key) if isinstance(key, str) else key
         return self.to_matrix()[:, idx]
 
@@ -165,11 +230,29 @@ class Dataset:
     def class_counts(self) -> np.ndarray:
         """Weighted per-class counts (ignores missing-class rows)."""
         counts = np.zeros(self.num_classes)
-        for inst in self._instances:
-            c = inst.value(self.class_index)
-            if not math.isnan(c):
-                counts[int(c)] += inst.weight
+        y = self.class_values()
+        keep = ~np.isnan(y)
+        if keep.any():
+            np.add.at(counts, y[keep].astype(int), self.weights()[keep])
         return counts
+
+    def view(self, rows: Sequence[int] | slice | np.ndarray
+             ) -> "DatasetView":
+        """A zero-copy row selection of this dataset (see
+        :class:`DatasetView`)."""
+        return DatasetView(self, rows)
+
+    def to_frame(self) -> bytes:
+        """This dataset as a binary columnar wire frame (see
+        :mod:`repro.data.codec`), memoised against :attr:`data_version`
+        so repeat sends of an unchanged dataset encode once."""
+        from repro.data import codec
+        version = self.data_version
+        cached = self._frame_cache
+        if cached is None or cached[0] != version:
+            cached = (version, codec.encode(self))
+            self._frame_cache = cached
+        return cached[1]
 
     # -- structural operations --------------------------------------------------
     def copy_header(self, relation: str | None = None) -> "Dataset":
@@ -182,21 +265,22 @@ class Dataset:
     def copy(self) -> "Dataset":
         """Deep copy of schema and rows."""
         out = self.copy_header()
-        out.extend(inst.copy() for inst in self._instances)
+        out._bulk_extend(self.to_matrix(), self.weights())
         return out
 
     def subset(self, indices: Sequence[int]) -> "Dataset":
-        """New dataset with the selected rows (copies)."""
+        """New dataset with the selected rows (copies); prefer
+        :meth:`view` when the rows only need to be *read*."""
+        idx = np.asarray(list(indices), dtype=np.intp)
         out = self.copy_header()
-        out.extend(self._instances[i].copy() for i in indices)
+        if idx.size:
+            out._bulk_extend(self.to_matrix()[idx], self.weights()[idx])
         return out
 
     def filter_rows(self, predicate: Callable[[Instance], bool]) -> "Dataset":
         """New dataset with the rows for which *predicate* holds."""
-        out = self.copy_header()
-        out.extend(inst.copy() for inst in self._instances
-                   if predicate(inst))
-        return out
+        keep = [i for i, inst in enumerate(self) if predicate(inst)]
+        return self.subset(keep)
 
     def select_attributes(self, indices: Sequence[int]) -> "Dataset":
         """Project onto the attribute *indices* (class index remapped)."""
@@ -205,8 +289,8 @@ class Dataset:
         out = Dataset(self.relation, attrs)
         if self._class_index is not None and self._class_index in idx:
             out._class_index = idx.index(self._class_index)
-        for inst in self._instances:
-            out.add(Instance(inst.values[idx].copy(), inst.weight))
+        if len(self):
+            out._bulk_extend(self.to_matrix()[:, idx], self.weights())
         return out
 
     def shuffled(self, rng: np.random.Generator | int | None = None
@@ -214,7 +298,7 @@ class Dataset:
         """Row-shuffled copy using *rng* (Generator, seed, or fresh)."""
         gen = (rng if isinstance(rng, np.random.Generator)
                else np.random.default_rng(rng))
-        order = gen.permutation(len(self._instances))
+        order = gen.permutation(len(self))
         return self.subset(list(order))
 
     def split(self, train_fraction: float,
@@ -226,10 +310,8 @@ class Dataset:
         shuffled = self.shuffled(rng)
         cut = int(round(train_fraction * len(shuffled)))
         cut = min(max(cut, 1), len(shuffled) - 1) if len(shuffled) >= 2 else cut
-        train = self.copy_header()
-        test = self.copy_header()
-        train.extend(shuffled[i].copy() for i in range(cut))
-        test.extend(shuffled[i].copy() for i in range(cut, len(shuffled)))
+        train = shuffled.subset(range(cut))
+        test = shuffled.subset(range(cut, len(shuffled)))
         return train, test
 
     def merge(self, other: "Dataset") -> "Dataset":
@@ -238,13 +320,13 @@ class Dataset:
                 [a.name for a in other._attributes]:
             raise DataError("cannot merge datasets with different schemas")
         out = self.copy()
-        out.extend(inst.copy() for inst in other)
+        out._bulk_extend(other.to_matrix(), other.weights())
         return out
 
     # -- statistics -----------------------------------------------------------
     def num_missing(self) -> int:
         """Total missing cells across all rows."""
-        if not self._instances:
+        if not len(self):
             return 0
         return int(np.isnan(self.to_matrix()).sum())
 
@@ -266,3 +348,135 @@ class Dataset:
                if self._class_index is not None else None)
         return (f"Dataset({self.relation!r}, {self.num_instances} x "
                 f"{self.num_attributes}, class={cls!r})")
+
+
+class DatasetView(Dataset):
+    """A read-only row selection of a base dataset, without row copies.
+
+    A view shares the base's attribute objects and column store.  A
+    *contiguous* selection (a step-1 slice, or an index array that
+    happens to be consecutive) yields matrix/weight views that share
+    memory with the base block outright; an arbitrary index selection
+    gathers lazily, memoising the gathered matrix against the base's
+    :attr:`~Dataset.data_version` so it can never serve stale cells.
+
+    Structural mutation (``add``/``remove``/``extend``) is refused —
+    mutate the base, or materialise a copy via :meth:`Dataset.subset` /
+    :meth:`Dataset.copy`.  The class designation is per-view, so a fold
+    view can re-target its class without touching the base.
+    """
+
+    def __init__(self, base: Dataset,
+                 rows: Sequence[int] | slice | np.ndarray):
+        # deliberately no super().__init__: a view owns no store
+        self.relation = base.relation
+        self._attributes = base._attributes
+        self._class_index = base._class_index
+        self._base = base
+        self._frame_cache = None
+        n = base.num_instances
+        if isinstance(rows, slice):
+            start, stop, step = rows.indices(n)
+            if step == 1:
+                stop = max(stop, start)
+                self._slice: slice | None = slice(start, stop)
+                self._rows = np.arange(start, stop, dtype=np.intp)
+                return
+            rows = np.arange(start, stop, step, dtype=np.intp)
+        arr = np.asarray(list(rows) if not isinstance(rows, np.ndarray)
+                         else rows, dtype=np.intp).copy()
+        if arr.ndim != 1:
+            raise DataError("view rows must be a 1-D selection")
+        arr[arr < 0] += n
+        if arr.size and (arr.min() < 0 or arr.max() >= n):
+            raise DataError(f"view row out of range for {n} rows")
+        # a consecutive run is secretly a slice: keep the zero-copy path
+        if arr.size and np.array_equal(
+                arr, np.arange(arr[0], arr[0] + arr.size)):
+            self._slice = slice(int(arr[0]), int(arr[0]) + arr.size)
+        else:
+            self._slice = None
+        self._rows = arr
+        self._gather: tuple[int, np.ndarray, np.ndarray] | None = None
+
+    # -- selection introspection ---------------------------------------------
+    @property
+    def base(self) -> Dataset:
+        """The dataset this view selects from."""
+        return self._base
+
+    @property
+    def row_indices(self) -> np.ndarray:
+        """Base-row index per view row (in view order)."""
+        return self._rows
+
+    @property
+    def base_matrix(self) -> np.ndarray:
+        """The base dataset's full zero-copy matrix (pair with
+        :attr:`row_indices` to defer the gather to the consumer)."""
+        return self._base.to_matrix()
+
+    @property
+    def is_contiguous(self) -> bool:
+        """True when the selection is a memory-sharing slice."""
+        return self._slice is not None
+
+    # -- overridden row plumbing ---------------------------------------------
+    @property
+    def data_version(self) -> int:
+        return self._base.data_version
+
+    def __len__(self) -> int:
+        return int(self._rows.shape[0])
+
+    def __iter__(self) -> Iterator[Instance]:
+        for row in self._rows:
+            yield self._base[int(row)]
+
+    def __getitem__(self, index: int) -> Instance:
+        return self._base[int(self._rows[int(index)])]
+
+    def _instance_at(self, index: int) -> Instance:
+        return self[index]
+
+    def to_matrix(self) -> np.ndarray:
+        if self._slice is not None:
+            return self._base.to_matrix()[self._slice]
+        version = self._base.data_version
+        cached = self._gather
+        if cached is None or cached[0] != version:
+            base_matrix = self._base.to_matrix()
+            cached = (version, base_matrix[self._rows],
+                      self._base.weights()[self._rows])
+            self._gather = cached
+        return cached[1]
+
+    def weights(self) -> np.ndarray:
+        if self._slice is not None:
+            return self._base.weights()[self._slice]
+        self.to_matrix()  # refresh the gather cache
+        assert self._gather is not None
+        return self._gather[2]
+
+    # -- mutation is a base-dataset affair ------------------------------------
+    def _refuse(self) -> None:
+        raise DataError(
+            "dataset views are read-only; mutate the base dataset or "
+            "materialise a copy with .subset()/.copy()")
+
+    def add(self, instance: Instance) -> None:
+        self._refuse()
+
+    def add_row(self, raw: Sequence[object], weight: float = 1.0) -> None:
+        self._refuse()
+
+    def extend(self, rows: Iterable[Instance]) -> None:
+        self._refuse()
+
+    def remove(self, index: int) -> Instance:
+        self._refuse()
+
+    def __repr__(self) -> str:
+        kind = "slice" if self._slice is not None else "gather"
+        return (f"DatasetView({self.relation!r}, {len(self)} of "
+                f"{self._base.num_instances} rows, {kind})")

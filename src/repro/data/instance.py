@@ -1,8 +1,20 @@
 """A single data row.
 
-An :class:`Instance` owns a dense float vector (one cell per attribute, with
+An :class:`Instance` is a dense float vector (one cell per attribute, with
 ``NaN`` encoding a missing value) plus a weight, matching the WEKA instance
 model the paper's Web Services exchange in ARFF form.
+
+Since the columnar refactor an instance lives in one of two modes:
+
+* **detached** — it owns its own cell array (freshly constructed rows,
+  copies, rows removed from a dataset);
+* **attached** — it is a *view* into the row of a
+  :class:`~repro.data.columns.ColumnStore` it was added to.  Cell reads
+  and writes go straight through to the store block, so the dataset's
+  ``to_matrix()`` view and the instance can never disagree.
+
+Attachment is managed by :class:`~repro.data.Dataset`; the mode is
+invisible to callers — the public API is identical in both.
 """
 
 from __future__ import annotations
@@ -16,6 +28,7 @@ from repro.data.attribute import is_missing
 from repro.errors import DataError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.data.columns import ColumnStore
     from repro.data.dataset import Dataset
 
 
@@ -28,49 +41,106 @@ class Instance:
     ``Instances`` holds the header.
     """
 
-    __slots__ = ("_values", "weight")
+    __slots__ = ("_own_values", "_weight", "_store", "_row")
 
     def __init__(self, values: Sequence[float] | np.ndarray,
                  weight: float = 1.0):
         arr = np.asarray(values, dtype=float)
         if arr.ndim != 1:
             raise DataError(f"instance values must be 1-D, got {arr.ndim}-D")
-        self._values = arr
+        self._own_values = arr
         if weight < 0:
             raise DataError(f"instance weight must be >= 0, got {weight}")
-        self.weight = float(weight)
+        self._weight = float(weight)
+        self._store: "ColumnStore | None" = None
+        self._row = -1
+
+    # -- store attachment (Dataset-internal) --------------------------------
+    @classmethod
+    def _attached(cls, store: "ColumnStore", row: int) -> "Instance":
+        """Materialise an instance that is *born* attached — used by
+        ``Dataset`` for rows that were bulk-loaded straight into the
+        store and never had a Python-object form."""
+        inst = object.__new__(cls)
+        inst._own_values = None  # type: ignore[assignment]
+        inst._weight = 1.0
+        inst._store = store
+        inst._row = row
+        return inst
+
+    def _attach(self, store: "ColumnStore", row: int) -> None:
+        """Become a view of *store* row *row* (called by ``Dataset.add``)."""
+        self._store = store
+        self._row = row
+        self._own_values = None  # type: ignore[assignment]
+
+    def _detach(self) -> None:
+        """Take ownership of a private copy of the cells (row removal)."""
+        if self._store is not None:
+            self._own_values = self._store.row(self._row).copy()
+            self._weight = float(self._store.weights[self._row])
+            self._store = None
+            self._row = -1
+
+    @property
+    def is_attached(self) -> bool:
+        """True when this row is backed by a dataset's column store."""
+        return self._store is not None
 
     # -- cell access --------------------------------------------------------
     @property
     def values(self) -> np.ndarray:
-        """The raw encoded cell vector (shared, do not mutate in place)."""
-        return self._values
+        """The raw encoded cell vector (a live store view when attached;
+        shared either way — use :meth:`set_value` to mutate)."""
+        if self._store is not None:
+            return self._store.row(self._row)
+        return self._own_values
 
     def value(self, index: int) -> float:
         """Raw encoded cell at *index* (NaN when missing)."""
-        return float(self._values[index])
+        return float(self.values[index])
 
     def set_value(self, index: int, value: float) -> None:
-        """Set the encoded cell at *index*."""
-        self._values[index] = value
+        """Set the encoded cell at *index* (writes through to the owning
+        store when attached, so matrix views stay coherent)."""
+        if self._store is not None:
+            self._store.set_cell(self._row, int(index), float(value))
+        else:
+            self._own_values[index] = value
+
+    @property
+    def weight(self) -> float:
+        """This row's instance weight."""
+        if self._store is not None:
+            return float(self._store.weights[self._row])
+        return self._weight
+
+    @weight.setter
+    def weight(self, value: float) -> None:
+        if value < 0:
+            raise DataError(f"instance weight must be >= 0, got {value}")
+        if self._store is not None:
+            self._store.set_weight(self._row, float(value))
+        else:
+            self._weight = float(value)
 
     def is_missing(self, index: int) -> bool:
         """True when the cell at *index* is missing."""
-        return bool(math.isnan(self._values[index]))
+        return bool(math.isnan(self.values[index]))
 
     def num_missing(self) -> int:
         """Number of missing cells in this row."""
-        return int(np.isnan(self._values).sum())
+        return int(np.isnan(self.values).sum())
 
     def __len__(self) -> int:
-        return int(self._values.shape[0])
+        return int(self.values.shape[0])
 
     def __iter__(self) -> Iterator[float]:
-        return iter(float(v) for v in self._values)
+        return iter(float(v) for v in self.values)
 
     def copy(self) -> "Instance":
-        """Deep copy."""
-        return Instance(self._values.copy(), self.weight)
+        """Deep copy (always detached)."""
+        return Instance(self.values.copy(), self.weight)
 
     # -- schema-aware helpers ------------------------------------------------
     def decoded(self, dataset: "Dataset") -> list[object]:
@@ -78,7 +148,7 @@ class Instance:
         if len(dataset.attributes) != len(self):
             raise DataError("instance arity does not match dataset schema")
         return [attr.decode(cell)
-                for attr, cell in zip(dataset.attributes, self._values)]
+                for attr, cell in zip(dataset.attributes, self.values)]
 
     def class_value(self, dataset: "Dataset") -> float:
         """Raw encoded class cell per *dataset*'s class index."""
@@ -94,7 +164,7 @@ class Instance:
             return NotImplemented
         if self.weight != other.weight:
             return False
-        a, b = self._values, other._values
+        a, b = self.values, other.values
         if a.shape != b.shape:
             return False
         both_nan = np.isnan(a) & np.isnan(b)
@@ -102,6 +172,6 @@ class Instance:
 
     def __repr__(self) -> str:
         cells = ",".join("?" if is_missing(v) else f"{v:g}"
-                         for v in self._values)
+                         for v in self.values)
         w = "" if self.weight == 1.0 else f", weight={self.weight:g}"
         return f"Instance([{cells}]{w})"

@@ -41,6 +41,7 @@ from repro.experiment.expand import Cell, expand
 from repro.experiment.spec import ExperimentSpec, SpecError
 from repro.experiment.store import ResultStore
 from repro.obs import get_metrics, get_tracer
+from repro.services import grid
 from repro.services.classifier_service import ClassifierService
 from repro.ws import wsdl
 from repro.ws.client import ServiceProxy
@@ -231,12 +232,15 @@ def _run_cells(spec: ExperimentSpec, todo: list[Cell],
                proxies: list[ServiceProxy], store: ResultStore,
                report: RunReport, root_span, *,
                cells_per_dispatch: int) -> None:
-    # materialise + serialise each dataset exactly once
-    datasets: dict[str, tuple[str, str]] = {}
+    # materialise each dataset exactly once; serialisation is deferred
+    # to dispatch time so each replica gets the richest codec it speaks
+    # (binary columnar frame vs ARFF text), memoised per format
+    datasets: dict[str, tuple[Dataset, str]] = {}
     for ds_spec in spec.datasets:
         ds = load_dataset(ds_spec.source, ds_spec.class_attribute)
         attribute = ds_spec.class_attribute or ds.class_attribute.name
-        datasets[ds_spec.name] = (arff.dumps(ds), attribute)
+        datasets[ds_spec.name] = (ds, attribute)
+    doc_memo: dict = {}
 
     metrics = get_metrics()
     tracer = get_tracer()
@@ -246,7 +250,9 @@ def _run_cells(spec: ExperimentSpec, todo: list[Cell],
                  indices: list[int]) -> list[dict]:
         out = []
         for cell in chunk_cells:
-            dataset_doc, attribute = datasets[cell.dataset]
+            ds, attribute = datasets[cell.dataset]
+            dataset_doc = grid._negotiated_doc(ds, proxies[endpoint],
+                                               doc_memo)
             # worker threads don't inherit contextvars: parent the
             # per-cell span on the run's root span explicitly
             with tracer.span("experiment:cell",

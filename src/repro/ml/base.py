@@ -118,19 +118,25 @@ class Classifier(_Configurable):
         """
         if self._header is None:
             raise NotFittedError(f"{type(self).__name__} is not fitted")
-        if indices is None:
-            instances = list(dataset)
-        else:
-            instances = [dataset[int(i)] for i in indices]
         n_classes = self.header.num_classes
-        if not instances:
-            return np.empty((0, n_classes))
         hook = getattr(self, "_distribution_many", None)
         if hook is not None:
-            matrix = np.vstack([np.asarray(inst.values, dtype=float)
-                                for inst in instances])
+            # the columnar store hands the full matrix out zero-copy;
+            # an index selection is one numpy gather, never a row loop
+            matrix = dataset.to_matrix()
+            if indices is not None:
+                matrix = matrix[np.fromiter((int(i) for i in indices),
+                                            dtype=np.intp)]
+            if matrix.shape[0] == 0:
+                return np.empty((0, n_classes))
             raw = np.asarray(hook(matrix), dtype=float)
         else:
+            if indices is None:
+                instances = list(dataset)
+            else:
+                instances = [dataset[int(i)] for i in indices]
+            if not instances:
+                return np.empty((0, n_classes))
             raw = np.vstack([np.asarray(self._distribution(inst),
                                         dtype=float)
                              for inst in instances])
@@ -238,7 +244,34 @@ class Clusterer(_Configurable):
 
     def assign(self, dataset: Dataset) -> list[int]:
         """Cluster index per row of *dataset*."""
-        return [self.cluster_instance(inst) for inst in dataset]
+        return self.assign_many(dataset)
+
+    def assign_many(self, dataset: Dataset,
+                    indices: Iterable[int] | None = None) -> list[int]:
+        """Cluster index for many rows of *dataset* in input order.
+
+        Mirrors :meth:`Classifier.distribution_many`: clusterers that
+        provide a ``_cluster_many(matrix)`` hook (one numpy pass over a
+        ``(n, m)`` value matrix) run vectorised against the dataset's
+        zero-copy column block; the rest fall back to the per-row
+        :meth:`_cluster` loop.
+        """
+        if self._header is None:
+            raise NotFittedError(f"{type(self).__name__} is not fitted")
+        hook = getattr(self, "_cluster_many", None)
+        if hook is not None:
+            matrix = dataset.to_matrix()
+            if indices is not None:
+                matrix = matrix[np.fromiter((int(i) for i in indices),
+                                            dtype=np.intp)]
+            if matrix.shape[0] == 0:
+                return []
+            return [int(c) for c in np.asarray(hook(matrix))]
+        if indices is None:
+            instances = list(dataset)
+        else:
+            instances = [dataset[int(i)] for i in indices]
+        return [self.cluster_instance(inst) for inst in instances]
 
     def model_text(self) -> str:
         """Human-readable model body."""

@@ -65,16 +65,33 @@ class FeatureEncoder:
                     out[offset + int(value)] = 1.0
         return out
 
+    def encode_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`encode_instance` over a ``(n, m)`` raw value
+        matrix: one column pass per attribute, no per-row Python work."""
+        if not self._fitted:
+            raise DataError("FeatureEncoder is not fitted")
+        mat = np.asarray(matrix, dtype=float)
+        out = np.zeros((mat.shape[0], self.width))
+        for idx, offset in self.offsets.items():
+            attr = self.attrs[idx]
+            col = mat[:, idx]
+            if attr.is_numeric:
+                filled = np.where(np.isnan(col), self.numeric_mean[idx],
+                                  col)
+                out[:, offset] = (filled - self.numeric_mean[idx]) \
+                    / self.numeric_std[idx]
+            else:
+                known = np.where(~np.isnan(col))[0]
+                out[known, offset + col[known].astype(int)] = 1.0
+        return out
+
     def encode_dataset(self, dataset: Dataset
                        ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return ``(X, y, sample_weights)`` dropping missing-class rows."""
-        xs, ys, ws = [], [], []
-        for inst in dataset:
-            if inst.is_missing(self.class_index):
-                continue
-            xs.append(self.encode_instance(inst))
-            ys.append(int(inst.value(self.class_index)))
-            ws.append(inst.weight)
-        if not xs:
+        matrix = dataset.to_matrix()
+        y = matrix[:, self.class_index]
+        keep = ~np.isnan(y)
+        if not keep.any():
             raise DataError("no labelled instances to encode")
-        return np.vstack(xs), np.array(ys), np.array(ws)
+        X = self.encode_matrix(matrix[keep])
+        return X, y[keep].astype(int), dataset.weights()[keep].astype(float)

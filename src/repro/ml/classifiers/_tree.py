@@ -140,12 +140,81 @@ def distribute(node: TreeNode, instance: Instance,
             else node.children[1]
         return distribute(child, instance, n_classes)
     idx = int(value)
-    if idx >= len(node.children):
+    if not 0 <= idx < len(node.children):
         total = node.total_weight
         if total <= 0:
             return np.full(n_classes, 1.0 / n_classes)
         return node.class_counts / total
     return distribute(node.children[idx], instance, n_classes)
+
+
+def _node_distribution(node: TreeNode, n_classes: int) -> np.ndarray:
+    total = node.total_weight
+    if total <= 0:
+        return np.full(n_classes, 1.0 / n_classes)
+    return node.class_counts / total
+
+
+def _distributions_for(node: TreeNode, matrix: np.ndarray,
+                       rows: np.ndarray, n_classes: int) -> np.ndarray:
+    """Batched descent: distributions for ``matrix[rows]`` under *node*.
+
+    Each tree node partitions its row subset with one vectorised mask
+    instead of the scalar path's per-row Python descent; semantics match
+    :func:`distribute` cell for cell (missing values fan out over the
+    children weighted by training mass, out-of-table nominal indices
+    stop at the node's own distribution).
+    """
+    res = np.empty((rows.size, n_classes))
+    if node.is_leaf:
+        res[:] = _node_distribution(node, n_classes)
+        return res
+    vals = matrix[rows, node.attribute]
+    miss = np.isnan(vals)
+    if miss.any():
+        weights = np.array([max(c.total_weight, 0.0)
+                            for c in node.children])
+        if weights.sum() <= 0:
+            weights = np.ones(len(node.children))
+        weights = weights / weights.sum()
+        acc = np.zeros((int(miss.sum()), n_classes))
+        for w, child in zip(weights, node.children):
+            acc += w * _distributions_for(child, matrix, rows[miss],
+                                          n_classes)
+        res[miss] = acc
+    present = ~miss
+    if present.any():
+        pvals = vals[present]
+        prows = rows[present]
+        sub = np.empty((prows.size, n_classes))
+        if node.threshold is not None:
+            left = pvals <= node.threshold
+            if left.any():
+                sub[left] = _distributions_for(
+                    node.children[0], matrix, prows[left], n_classes)
+            if not left.all():
+                sub[~left] = _distributions_for(
+                    node.children[1], matrix, prows[~left], n_classes)
+        else:
+            idx = pvals.astype(int)
+            known = (idx >= 0) & (idx < len(node.children))
+            if not known.all():
+                sub[~known] = _node_distribution(node, n_classes)
+            for j, child in enumerate(node.children):
+                branch = known & (idx == j)
+                if branch.any():
+                    sub[branch] = _distributions_for(
+                        child, matrix, prows[branch], n_classes)
+        res[present] = sub
+    return res
+
+
+def distribute_many(node: TreeNode, matrix: np.ndarray,
+                    n_classes: int) -> np.ndarray:
+    """Vectorised :func:`distribute` over every row of *matrix*."""
+    mat = np.asarray(matrix, dtype=float)
+    rows = np.arange(mat.shape[0], dtype=np.intp)
+    return _distributions_for(node, mat, rows, n_classes)
 
 
 def _branch_label(node: TreeNode, branch: int, header: Dataset) -> str:

@@ -99,6 +99,38 @@ class IBk(IncrementalClassifier):
             out[self._labels[int(idx)]] += vote
         return out
 
+    def _distribution_many(self, matrix: np.ndarray) -> np.ndarray:
+        """Matrix kernel: one ``(n_queries, n_stored)`` distance table
+        per attribute instead of a stored-matrix rebuild per query."""
+        if not self._rows:
+            raise DataError("IBk has no stored instances")
+        stored = self._normalise(np.vstack(self._rows))
+        queries = self._normalise(np.asarray(matrix, dtype=float))
+        d2 = np.zeros((queries.shape[0], stored.shape[0]))
+        for j in range(stored.shape[1]):
+            if not (self._numeric[j] or self._nominal[j]):
+                continue
+            col = stored[:, j][None, :]
+            q = queries[:, j][:, None]
+            if self._numeric[j]:
+                d = np.abs(q - col)
+            else:
+                d = (q != col).astype(float)
+            d = np.where(np.isnan(col) | np.isnan(q), 1.0, d)
+            d2 += d * d
+        dists = np.sqrt(d2)
+        k = min(self.opt("k"), dists.shape[1])
+        nearest = np.argsort(dists, axis=1, kind="stable")[:, :k]
+        labels = np.asarray(self._labels)
+        votes = np.asarray(self._weights)[nearest]
+        if self.opt("distance_weighting"):
+            votes = votes / (np.take_along_axis(dists, nearest, axis=1)
+                             + 1e-6)
+        out = np.zeros((queries.shape[0], self.header.num_classes))
+        row_ids = np.repeat(np.arange(queries.shape[0]), k)
+        np.add.at(out, (row_ids, labels[nearest].ravel()), votes.ravel())
+        return out
+
     def model_text(self) -> str:
         return (f"IB{self.opt('k')} instance-based classifier\n"
                 f"Stored instances: {len(self._rows)}")

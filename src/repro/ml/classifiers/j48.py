@@ -28,7 +28,8 @@ from repro.data.dataset import Dataset
 from repro.data.instance import Instance
 from repro.errors import DataError
 from repro.ml.base import CLASSIFIERS, Classifier
-from repro.ml.classifiers._tree import (TreeNode, distribute, entropy,
+from repro.ml.classifiers._tree import (TreeNode, distribute,
+                                        distribute_many, entropy,
                                         graph_to_dot, info_gain, render_text,
                                         split_info, tree_graph)
 from repro.ml.options import BOOL, FLOAT, INT, OptionSpec
@@ -334,6 +335,11 @@ class J48(Classifier):
     def _distribution(self, instance: Instance) -> np.ndarray:
         assert self.root is not None
         return distribute(self.root, instance, self.header.num_classes)
+
+    def _distribution_many(self, matrix: np.ndarray) -> np.ndarray:
+        assert self.root is not None
+        return distribute_many(self.root, matrix,
+                               self.header.num_classes)
 
     # ------------------------------------------------------------- reporting
     def model_text(self) -> str:

@@ -78,6 +78,11 @@ class Logistic(Classifier):
         xb = np.concatenate([x, [1.0]])
         return _softmax((xb @ self._W)[None, :])[0]
 
+    def _distribution_many(self, matrix: np.ndarray) -> np.ndarray:
+        X = self._encoder.encode_matrix(matrix)
+        Xb = np.hstack([X, np.ones((X.shape[0], 1))])
+        return _softmax(Xb @ self._W)
+
     def model_text(self) -> str:
         lines = ["Multinomial logistic regression",
                  f"Features: {self._W.shape[0] - 1}   "

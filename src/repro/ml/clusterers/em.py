@@ -136,6 +136,10 @@ class EM(Clusterer):
         x = instance.values[self._active][None, :]
         return int(self._log_density(x)[0].argmax())
 
+    def _cluster_many(self, matrix: np.ndarray) -> np.ndarray:
+        X = np.asarray(matrix, dtype=float)[:, self._active]
+        return self._log_density(X).argmax(axis=1)
+
     def log_likelihood(self, dataset: Dataset) -> float:
         """Total log-likelihood of *dataset* under the fitted mixture."""
         X = dataset.to_matrix()[:, self._active]

@@ -82,6 +82,10 @@ class SimpleKMeans(Clusterer):
         row = self._metric.normalise(instance.values[None, :])
         return int(self._metric.pairwise_to(row, self._centres)[0].argmin())
 
+    def _cluster_many(self, matrix: np.ndarray) -> np.ndarray:
+        rows = self._metric.normalise(np.asarray(matrix, dtype=float))
+        return self._metric.pairwise_to(rows, self._centres).argmin(axis=1)
+
     def model_text(self) -> str:
         """Human-readable model body."""
         sizes = np.bincount(self._assignment, minlength=self.n_clusters)
@@ -125,6 +129,10 @@ class FarthestFirst(Clusterer):
     def _cluster(self, instance: Instance) -> int:
         row = self._metric.normalise(instance.values[None, :])
         return int(self._metric.pairwise_to(row, self._centres)[0].argmin())
+
+    def _cluster_many(self, matrix: np.ndarray) -> np.ndarray:
+        rows = self._metric.normalise(np.asarray(matrix, dtype=float))
+        return self._metric.pairwise_to(rows, self._centres).argmin(axis=1)
 
     def model_text(self) -> str:
         """Human-readable model body."""

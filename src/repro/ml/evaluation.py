@@ -137,15 +137,28 @@ class EvaluationResult:
 
 def evaluate(classifier: "Classifier", test: Dataset) -> EvaluationResult:
     """Evaluate a *fitted* classifier on *test* (rows with missing class are
-    skipped, mirroring WEKA)."""
+    skipped, mirroring WEKA).
+
+    Scoring runs through :meth:`Classifier.distribution_many`, so models
+    with a vectorised kernel evaluate the whole test set in one matrix
+    pass; the confusion matrix is accumulated with one weighted
+    scatter-add instead of a per-row tally.
+    """
     labels = classifier.header.class_attribute.values
     result = EvaluationResult(labels)
-    for inst in test:
-        if inst.class_is_missing(test):
-            continue
-        actual = int(inst.class_value(test))
-        predicted = classifier.predict_instance(inst)
-        result.record(actual, predicted, inst.weight)
+    if test.num_instances == 0:
+        return result
+    y = test.class_values()
+    keep = np.where(~np.isnan(y))[0]
+    if not keep.size:
+        return result
+    dists = classifier.distribution_many(test, keep)
+    predicted = np.argmax(dists, axis=1)
+    actual = y[keep].astype(int)
+    weights = test.weights()[keep]
+    np.add.at(result.confusion, (actual, predicted), weights)
+    result.total += float(weights.sum())
+    result.correct += float(weights[actual == predicted].sum())
     return result
 
 
@@ -326,8 +339,10 @@ def cross_validate(make_classifier, dataset: Dataset, k: int = 10,
         train_idx = sorted(all_indices - set(fold))
         if not train_idx or not fold:
             continue
-        train = dataset.subset(train_idx)
-        test = dataset.subset(sorted(fold))
+        # folds are zero-copy views of the dataset's column store —
+        # no rows are duplicated to train or score a fold
+        train = dataset.view(train_idx)
+        test = dataset.view(sorted(fold))
         clf = make_classifier()
         clf.fit(train)
         total.merge(evaluate(clf, test))

@@ -8,7 +8,7 @@ to make use of previous experience to select the appropriate tool".
 
 from __future__ import annotations
 
-from repro.data import arff
+from repro.data import arff, dataio
 from repro.ml.advisor import (ExperienceStore, advise_text, characterise,
                               recommend)
 from repro.ws.service import operation
@@ -23,14 +23,14 @@ class AdvisorService:
     @operation
     def characterise(self, dataset: str, attribute: str) -> dict:
         """Meta-features of an ARFF dataset."""
-        ds = arff.loads(dataset, attribute)
+        ds = dataio.parse_dataset(dataset, attribute)
         return characterise(ds).as_dict()
 
     @operation
     def recommend(self, dataset: str, attribute: str,
                   top: int = 5) -> list:
         """Ranked algorithm recommendations with reasons."""
-        ds = arff.loads(dataset, attribute)
+        ds = dataio.parse_dataset(dataset, attribute)
         return [{"algorithm": r.algorithm, "score": r.score,
                  "reasons": list(r.reasons)}
                 for r in recommend(ds, top=top, experience=self.store)]
@@ -38,13 +38,13 @@ class AdvisorService:
     @operation
     def adviseText(self, dataset: str, attribute: str) -> str:  # noqa: N802
         """The full human-readable advice report."""
-        ds = arff.loads(dataset, attribute)
+        ds = dataio.parse_dataset(dataset, attribute)
         return advise_text(ds, self.store)
 
     @operation
     def recordExperience(self, dataset: str, attribute: str,  # noqa: N802
                          algorithm: str, score: float) -> int:
         """Record a past outcome; returns the store size."""
-        ds = arff.loads(dataset, attribute)
+        ds = dataio.parse_dataset(dataset, attribute)
         self.store.record(ds, algorithm, score, relation=ds.relation)
         return len(self.store)

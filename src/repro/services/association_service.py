@@ -6,7 +6,7 @@ Same wrapper pattern as the Classifier/Clusterer services:
 
 from __future__ import annotations
 
-from repro.data import arff
+from repro.data import arff, dataio
 from repro.ml import catalogue
 from repro.ml.base import ASSOCIATORS
 from repro.ws.service import operation
@@ -44,7 +44,7 @@ class AssociationService:
                   options: dict = None) -> dict:
         """Mine rules from a nominal ARFF dataset; returns the rule list
         both as text and as structured records."""
-        ds = arff.loads(dataset)
+        ds = dataio.parse_dataset(dataset)
         try:
             learner = catalogue.create(associator, options or {})
         except Exception:

@@ -8,7 +8,7 @@ service" (§5.3).
 
 from __future__ import annotations
 
-from repro.data import arff
+from repro.data import arff, dataio
 from repro.ml.attrsel import approaches, rank_attributes, select_attributes
 from repro.ws.service import operation
 
@@ -28,7 +28,7 @@ class AttributeSelectionService:
                approach: str = "GeneticSearch+CfsSubset") -> dict:
         """Run one approach; returns the selected attribute names and the
         projected dataset as ARFF."""
-        ds = arff.loads(dataset)
+        ds = dataio.parse_dataset(dataset)
         ds.set_class(attribute)
         names, projected = select_attributes(ds, approach)
         return {
@@ -41,7 +41,7 @@ class AttributeSelectionService:
     def rank(self, dataset: str, attribute: str,
              measure: str = "InfoGain") -> list:
         """All attributes ranked by a single-attribute measure."""
-        ds = arff.loads(dataset)
+        ds = dataio.parse_dataset(dataset)
         ds.set_class(attribute)
         return [[name, score] for name, score in
                 rank_attributes(ds, measure)]

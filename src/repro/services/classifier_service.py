@@ -24,7 +24,7 @@ import itertools
 import threading
 from typing import Any
 
-from repro.data import arff, stream
+from repro.data import arff, dataio, stream
 from repro.errors import DataError
 from repro.ml import catalogue, evaluation
 from repro.ml.base import CLASSIFIERS, IncrementalClassifier
@@ -41,7 +41,7 @@ def _build(classifier: str, options: dict | None):
 
 
 def _load(dataset_arff: str, attribute: str):
-    ds = arff.loads(dataset_arff)
+    ds = dataio.parse_dataset(dataset_arff)
     ds.set_class(attribute)
     return ds
 

@@ -8,7 +8,7 @@ Classifier Web Service.
 
 from __future__ import annotations
 
-from repro.data import arff
+from repro.data import arff, dataio
 from repro.errors import DataError
 from repro.ml import catalogue
 from repro.ml.base import CLUSTERERS
@@ -17,7 +17,7 @@ from repro.ws.service import operation
 
 
 def _load(dataset_arff: str):
-    return arff.loads(dataset_arff)
+    return dataio.parse_dataset(dataset_arff)
 
 
 def _build(clusterer: str, options: dict | None):

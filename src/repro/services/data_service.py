@@ -12,7 +12,7 @@ from __future__ import annotations
 import itertools
 import threading
 
-from repro.data import arff, converters, stream, summary
+from repro.data import arff, converters, dataio, stream, summary
 from repro.errors import DataError
 from repro.ws.client import fetch_url
 from repro.ws.service import operation
@@ -50,7 +50,7 @@ class DataService:
     def publishDataset(self, name: str, dataset: str) -> str:  # noqa: N802
         """Register an ARFF dataset under ``repo:<name>`` (the stand-in for
         the UCI repository the paper reads)."""
-        arff.loads(dataset)  # validate before accepting
+        dataio.parse_dataset(dataset)  # validate before accepting
         with self._lock:
             self._repository[name] = dataset
         return f"repo:{name}"
@@ -70,7 +70,7 @@ class DataService:
     @operation(cacheable=True)
     def summarise(self, dataset: str) -> dict:
         """Figure-3 style dataset statistics."""
-        ds = arff.loads(dataset)
+        ds = dataio.parse_dataset(dataset)
         s = summary.summarise(ds)
         return {
             "relation": s.relation,
@@ -90,7 +90,7 @@ class DataService:
     @operation(cacheable=True)
     def validate(self, dataset: str) -> dict:
         """Parse-check an ARFF document; returns shape info or faults."""
-        ds = arff.loads(dataset)
+        ds = dataio.parse_dataset(dataset)
         return {"relation": ds.relation,
                 "num_instances": ds.num_instances,
                 "num_attributes": ds.num_attributes,
@@ -102,7 +102,7 @@ class DataService:
                    chunk_size: int = 50) -> dict:
         """Prepare a dataset for chunked streaming; returns the stream id,
         its ARFF header and the number of chunks."""
-        ds = arff.loads(dataset)
+        ds = dataio.parse_dataset(dataset)
         header, chunks = stream.replay(ds, chunk_size)
         with self._lock:
             sid = f"dstream-{next(self._counter)}"

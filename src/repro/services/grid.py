@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.data import arff
+from repro.data import arff, dataio
 from repro.data.dataset import Dataset
 from repro.errors import WorkflowError
 from repro.ml.evaluation import EvaluationResult, stratified_folds
@@ -90,15 +90,18 @@ def distributed_cross_validate(proxies: Sequence, dataset: Dataset,
     total = EvaluationResult(labels)
     all_indices = set(range(dataset.num_instances))
 
-    # pre-serialise every fold's train/test pair once
-    jobs: list[tuple[int, str, str, Dataset]] = []
+    # fold splits are zero-copy views of the dataset's column store;
+    # serialisation happens per dispatch through the negotiated-codec
+    # memo, so each fold is encoded at most once per wire format
+    memo: dict = {}
+    jobs: list[tuple[int, Dataset, Dataset, Dataset]] = []
     for fold_no, fold in enumerate(folds):
         train_idx = sorted(all_indices - set(fold))
         if not train_idx or not fold:
             continue
-        train = dataset.subset(train_idx)
-        test = dataset.subset(sorted(fold))
-        jobs.append((fold_no, arff.dumps(train), arff.dumps(test), test))
+        train = dataset.view(train_idx)
+        test = dataset.view(sorted(fold))
+        jobs.append((fold_no, train, test, test))
 
     tracer = get_tracer()
     with tracer.span("grid:cross_validate",
@@ -109,7 +112,11 @@ def distributed_cross_validate(proxies: Sequence, dataset: Dataset,
         def dispatch(worker_id: int, chunk_items: list,
                      indices: list[int]) -> list[dict]:
             out = []
-            for fold_no, train_doc, test_doc, _test_ds in chunk_items:
+            for fold_no, train_ds, test_ds, _ in chunk_items:
+                train_doc = _negotiated_doc(train_ds, proxies[worker_id],
+                                            memo)
+                test_doc = _negotiated_doc(test_ds, proxies[worker_id],
+                                           memo)
                 # worker threads don't inherit the caller's contextvars,
                 # so the per-fold span is parented on the grid root
                 # span explicitly
@@ -162,8 +169,8 @@ def remote_build(proxy, dataset: Dataset, classifier: str = "J48",
     """Grid WEKA's 'building a classifier on a remote machine'."""
     attribute = attribute or dataset.class_attribute.name
     return proxy.call("classifyInstance", classifier=classifier,
-                      dataset=arff.dumps(dataset), attribute=attribute,
-                      options=options or {})
+                      dataset=_negotiated_doc(dataset, proxy, {}),
+                      attribute=attribute, options=options or {})
 
 
 def remote_label(proxy, train: Dataset, unlabelled: Dataset,
@@ -171,9 +178,11 @@ def remote_label(proxy, train: Dataset, unlabelled: Dataset,
                  attribute: str | None = None) -> list[str]:
     """Grid WEKA's 'labelling of test data'."""
     attribute = attribute or train.class_attribute.name
+    memo: dict = {}
     out = proxy.call("predict", classifier=classifier,
-                     train=arff.dumps(train),
-                     test=arff.dumps(unlabelled), attribute=attribute)
+                     train=_negotiated_doc(train, proxy, memo),
+                     test=_negotiated_doc(unlabelled, proxy, memo),
+                     attribute=attribute)
     return out["labels"]
 
 
@@ -191,6 +200,25 @@ class BulkScoreReport:
 
 def _as_arff(data) -> str:
     return arff.dumps(data) if isinstance(data, Dataset) else data
+
+
+def _negotiated_doc(data, proxy, memo: dict):
+    """Encode a dataset for *proxy* in the richest codec it speaks.
+
+    Returns *data* unchanged when it is already wire text/bytes.  The
+    per-run *memo* (keyed on dataset identity + chosen codec) plus the
+    dataset's own version-keyed frame cache mean a fold fanned out to N
+    replicas is encoded once per format, not N times.
+    """
+    if not isinstance(data, Dataset):
+        return data
+    binary = proxy.speaks(dataio.COLUMNAR)
+    key = (id(data), binary)
+    doc = memo.get(key)
+    if doc is None:
+        doc = dataio.to_wire(data, binary)
+        memo[key] = doc
+    return doc
 
 
 def scatter_score(proxies: Sequence, train, test,
@@ -213,20 +241,22 @@ def scatter_score(proxies: Sequence, train, test,
     """
     if not proxies:
         raise WorkflowError("need at least one Classifier endpoint")
-    train_ds = train if isinstance(train, Dataset) else arff.loads(train)
+    train_ds = (train if isinstance(train, Dataset)
+                else dataio.parse_dataset(train))
     attribute = attribute or (
         train_ds.class_attribute.name if train_ds.has_class
         else train_ds.attributes[-1].name)
-    train_doc = _as_arff(train)
-    test_doc = _as_arff(test)
     n_rows = (test.num_instances if isinstance(test, Dataset)
-              else arff.loads(test).num_instances)
+              else dataio.parse_dataset(test).num_instances)
+    memo: dict = {}
 
     def dispatch(endpoint: int, chunk_rows: list[int],
                  _indices: list[int]) -> list:
         out = proxies[endpoint].call(
-            "classifyBatch", classifier=classifier, dataset=test_doc,
-            attribute=attribute, rows=list(chunk_rows), train=train_doc,
+            "classifyBatch", classifier=classifier,
+            dataset=_negotiated_doc(test, proxies[endpoint], memo),
+            attribute=attribute, rows=list(chunk_rows),
+            train=_negotiated_doc(train, proxies[endpoint], memo),
             options=options or {})
         return out["labels"]
 

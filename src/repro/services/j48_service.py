@@ -16,7 +16,7 @@ reproduce the paper's performance comparison (the PERF-4.5 bench).
 
 from __future__ import annotations
 
-from repro.data import arff
+from repro.data import arff, dataio
 from repro.ml import evaluation
 from repro.ml.classifiers import J48
 from repro.services.classifier_service import _note_batch
@@ -36,7 +36,7 @@ class J48Service:
                tuple(sorted((options or {}).items())))
         if self._last_model is not None and key == self._last_key:
             return self._last_model  # interactive sessions hit this cache
-        ds = arff.loads(dataset)
+        ds = dataio.parse_dataset(dataset)
         ds.set_class(attribute)
         model = J48(**(options or {}))
         model.fit(ds)
@@ -76,7 +76,7 @@ class J48Service:
         *train* when given, else on *dataset*); see the general
         Classifier service's ``classifyBatch`` for the result shape."""
         model = self._fit(train if train else dataset, attribute, options)
-        test_ds = arff.loads(dataset)
+        test_ds = dataio.parse_dataset(dataset)
         test_ds.set_class(attribute)
         out = evaluation.bulk_score(model, test_ds, rows)
         _note_batch("J48", len(rows) if rows is not None

@@ -14,7 +14,7 @@ import itertools
 import threading
 from dataclasses import dataclass, field
 
-from repro.data import arff
+from repro.data import arff, dataio
 from repro.data.dataset import Dataset
 from repro.errors import DataError
 from repro.ml import catalogue, evaluation
@@ -66,7 +66,7 @@ class SessionService:
                    dataset: str) -> dict:
         """Store an ARFF dataset under *name* inside the session."""
         state = self._session(session)
-        ds = arff.loads(dataset)
+        ds = dataio.parse_dataset(dataset)
         state.datasets[name] = ds
         return {"name": name, "num_instances": ds.num_instances,
                 "num_attributes": ds.num_attributes}

@@ -213,6 +213,7 @@ class AsyncSoapHttpServer:
                   503: "Service Unavailable"}.get(status, "OK")
         lines = [f"HTTP/1.1 {status} {reason}",
                  f"Content-Type: {content_type}",
+                 "X-Repro-Codecs: columnar",
                  f"Content-Length: {len(body)}"]
         if encoding:
             lines.append(f"Content-Encoding: {encoding}")

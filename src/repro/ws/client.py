@@ -149,6 +149,15 @@ class ServiceProxy:
                            principal=self.principal,
                            priority=self.priority)
 
+    def speaks(self, codec: str) -> bool:
+        """True when this proxy's peer accepts the named wire codec —
+        callers use it to pick binary columnar frames over ARFF text
+        for dataset-valued parameters (see ``repro.data.dataio``).
+        Duck-typed transports without capability tracking simply keep
+        the universally understood ARFF text path."""
+        probe = getattr(self.transport, "speaks", None)
+        return bool(probe(codec)) if probe is not None else False
+
     def call(self, operation: str, **params: Any) -> Any:
         """Invoke *operation*; parameter names are checked against WSDL."""
         self._validate(operation, params)

@@ -51,6 +51,9 @@ class _Handler(BaseHTTPRequestHandler):
               encoding: str | None = None) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
+        # capability advertisement: clients upgrade dataset arguments
+        # from ARFF text to binary columnar frames once they see this
+        self.send_header("X-Repro-Codecs", "columnar")
         if encoding:
             self.send_header("Content-Encoding", encoding)
         self.send_header("Content-Length", str(len(body)))

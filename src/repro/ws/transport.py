@@ -58,6 +58,18 @@ class Transport:
         """
         return await asyncio.to_thread(self.send, request)
 
+    def speaks(self, codec: str) -> bool:
+        """True when the peer behind this transport is known to accept
+        the named wire codec (e.g. ``"columnar"``).
+
+        The default is conservative (``False`` → callers fall back to
+        ARFF text, which every peer speaks).  :class:`HttpTransport`
+        learns capabilities from the ``X-Repro-Codecs`` response header,
+        so the first call to an un-probed peer ships ARFF and later
+        calls upgrade — un-upgraded peers never see a frame.
+        """
+        return False
+
     def close(self) -> None:
         """Release any underlying resources (default: none)."""
 
@@ -142,6 +154,10 @@ class InProcessTransport(ChainedTransport):
         self.bytes_sent = 0
         self.bytes_received = 0
 
+    def speaks(self, codec: str) -> bool:
+        """Both ends are this process, so every local codec works."""
+        return codec == "columnar"
+
     def _exchange(self, request: SoapRequest, ctx: CallContext = None,
                   *_legacy) -> SoapResponse:
         ctx = self._context_of(ctx)
@@ -199,7 +215,14 @@ class HttpTransport(ChainedTransport):
         self.compress = compress
         self.bytes_sent = 0
         self.bytes_received = 0
+        # wire codecs the peer has advertised via X-Repro-Codecs; grows
+        # monotonically as responses come back (capability discovery)
+        self.peer_codecs: frozenset[str] = frozenset()
         super().__init__(interceptors)
+
+    def speaks(self, codec: str) -> bool:
+        """True once the server has advertised *codec* in a response."""
+        return codec in self.peer_codecs
 
     def default_interceptors(self):
         """The standard HTTP chain, with the gzip negotiation step."""
@@ -269,6 +292,10 @@ class HttpTransport(ChainedTransport):
         headers = {
             "Content-Type": "text/xml; charset=utf-8",
             "SOAPAction": f'"{request.operation}"',
+            # advertise the columnar dataset codec; servers answer with
+            # X-Repro-Codecs and callers check Transport.speaks() before
+            # shipping binary frames instead of ARFF text
+            "Accept": "text/xml, application/x-repro-columnar",
         }
         if request.principal:
             # mirrored out of the envelope so admission front doors can
@@ -286,8 +313,14 @@ class HttpTransport(ChainedTransport):
 
     def _finish(self, request: SoapRequest, ctx: CallContext, wire: bytes,
                 body: bytes, status: int,
-                content_encoding: str | None) -> SoapResponse:
+                content_encoding: str | None,
+                codecs_header: str | None = None) -> SoapResponse:
         """Account for + decode one completed exchange."""
+        if codecs_header:
+            advertised = {token.strip() for token in codecs_header.split(",")
+                          if token.strip()}
+            if not advertised <= self.peer_codecs:
+                self.peer_codecs = self.peer_codecs | frozenset(advertised)
         self.bytes_received += len(body)
         ctx.note("bytes_sent", len(wire))
         ctx.note("bytes_received", len(body))
@@ -331,7 +364,8 @@ class HttpTransport(ChainedTransport):
             self._raise_unreachable(exc, request, ctx)
         self._checkin(conn)
         return self._finish(request, ctx, wire, body, http_response.status,
-                            http_response.getheader("Content-Encoding"))
+                            http_response.getheader("Content-Encoding"),
+                            http_response.getheader("X-Repro-Codecs"))
 
     # -- native asyncio exchange --------------------------------------------
 
@@ -441,7 +475,8 @@ class HttpTransport(ChainedTransport):
             self._raise_unreachable(exc, request, ctx)
         self._apool.append(pair)
         return self._finish(request, ctx, wire, body, status,
-                            response_headers.get("content-encoding"))
+                            response_headers.get("content-encoding"),
+                            response_headers.get("x-repro-codecs"))
 
     def close(self) -> None:
         """Release underlying resources."""
@@ -514,6 +549,10 @@ class SimulatedTransport(ChainedTransport):
         self.bytes_on_wire = 0
         super().__init__(interceptors)
 
+    def speaks(self, codec: str) -> bool:
+        """The modelled network is codec-transparent; ask the peer."""
+        return self.inner.speaks(codec)
+
     def default_interceptors(self):
         """The standard chain with the externalize-only miss fallback."""
         # the modelled network bills what the data plane really ships:
@@ -577,6 +616,10 @@ class FailingTransport(Transport):
         self.inner = inner
         self.remaining_failures = failures
         self.attempts = 0
+
+    def speaks(self, codec: str) -> bool:
+        """Failures don't change what the peer can decode."""
+        return self.inner.speaks(codec)
 
     def send(self, request: SoapRequest) -> SoapResponse:
         """Deliver one SOAP request; returns the SOAP response."""

@@ -1,0 +1,257 @@
+"""Columnar store, attached instances, zero-copy views, and the
+satellite regression: a stale ``to_matrix``/``ColumnStore`` view can
+never be observed, whatever the mutating path."""
+
+import numpy as np
+import pytest
+
+from repro.data import Attribute, ColumnStore, Dataset, DatasetView, Instance
+from repro.data import synthetic
+from repro.errors import DataError
+
+
+def small():
+    ds = Dataset("t", [Attribute.numeric("a"), Attribute.numeric("b"),
+                       Attribute.nominal("c", ["x", "y"])], class_index=2)
+    ds.add_row([1.0, 2.0, "x"])
+    ds.add_row([3.0, 4.0, "y"])
+    ds.add_row([5.0, 6.0, "x"])
+    return ds
+
+
+class TestColumnStore:
+    def test_append_and_views(self):
+        store = ColumnStore(2)
+        assert store.append(np.array([1.0, 2.0])) == 0
+        assert store.append(np.array([3.0, 4.0]), weight=2.0) == 1
+        assert store.matrix.shape == (2, 2)
+        assert store.weights.tolist() == [1.0, 2.0]
+        assert np.shares_memory(store.matrix, store.row(0))
+        assert np.shares_memory(store.matrix, store.column(1))
+
+    def test_growth_preserves_rows_and_versions(self):
+        store = ColumnStore(1)
+        versions = set()
+        for i in range(100):
+            store.append(np.array([float(i)]))
+            versions.add(store.version)
+        assert len(versions) == 100  # every mutation bumps the stamp
+        assert store.matrix[:, 0].tolist() == [float(i) for i in range(100)]
+
+    def test_bad_shapes_raise(self):
+        store = ColumnStore(2)
+        with pytest.raises(DataError):
+            store.append(np.array([1.0]))
+        with pytest.raises(DataError):
+            store.extend_matrix(np.ones((2, 3)))
+        with pytest.raises(DataError):
+            store.remove(0)
+        with pytest.raises(DataError):
+            store.set_cell(0, 0, 1.0)
+
+    def test_remove_shifts_up(self):
+        store = ColumnStore(1)
+        for i in range(4):
+            store.append(np.array([float(i)]), weight=float(i))
+        store.remove(1)
+        assert store.matrix[:, 0].tolist() == [0.0, 2.0, 3.0]
+        assert store.weights.tolist() == [0.0, 2.0, 3.0]
+
+
+class TestNoStaleViews:
+    """Satellite: audit every mutating path against a fresh to_matrix."""
+
+    def test_to_matrix_is_zero_copy(self):
+        ds = small()
+        assert np.shares_memory(ds.to_matrix(), ds._store._values)
+
+    def test_add_instance_visible(self):
+        ds = small()
+        before = ds.to_matrix().copy()
+        ds.add_row([7.0, 8.0, "y"])
+        after = ds.to_matrix()
+        assert after.shape[0] == before.shape[0] + 1
+        assert after[-1, 0] == 7.0
+
+    def test_remove_instance_visible(self):
+        ds = small()
+        removed = ds.remove(1)
+        assert removed.value(0) == 3.0  # detached snapshot of the row
+        assert not removed.is_attached
+        assert ds.to_matrix()[:, 0].tolist() == [1.0, 5.0]
+
+    def test_set_value_write_through(self):
+        ds = small()
+        matrix = ds.to_matrix()
+        ds[0].set_value(0, 42.0)
+        # the live view and a fresh view both see the write immediately
+        assert matrix[0, 0] == 42.0
+        assert ds.to_matrix()[0, 0] == 42.0
+
+    def test_weight_write_through(self):
+        ds = small()
+        weights = ds.weights()
+        ds[1].weight = 3.5
+        assert weights[1] == 3.5
+        assert ds.weights()[1] == 3.5
+
+    def test_remove_keeps_later_instances_aligned(self):
+        ds = small()
+        last = ds[2]
+        ds.remove(0)
+        assert last.value(0) == 5.0  # re-addressed, not stale
+        last.set_value(0, 9.0)
+        assert ds.to_matrix()[1, 0] == 9.0
+
+    def test_class_reassignment_does_not_touch_cells(self):
+        ds = small()
+        matrix = ds.to_matrix()
+        ds.class_index = 0
+        assert np.shares_memory(matrix, ds.to_matrix())
+        assert ds.to_matrix()[0, 0] == 1.0
+
+    def test_filter_and_subset_are_copies(self):
+        ds = small()
+        sub = ds.subset([0, 2])
+        sub[0].set_value(0, 100.0)
+        assert ds.to_matrix()[0, 0] == 1.0  # base unaffected
+        filtered = ds.filter_rows(lambda inst: inst.value(0) > 2)
+        assert filtered.num_instances == 2
+        filtered[0].set_value(1, -1.0)
+        assert ds.to_matrix()[1, 1] == 4.0
+
+    def test_data_version_monotonic_across_all_mutators(self):
+        ds = small()
+        seen = [ds.data_version]
+        ds.add_row([9.0, 9.0, "x"])
+        seen.append(ds.data_version)
+        ds[0].set_value(0, 8.0)
+        seen.append(ds.data_version)
+        ds[0].weight = 2.0
+        seen.append(ds.data_version)
+        ds.remove(3)
+        seen.append(ds.data_version)
+        assert seen == sorted(set(seen))  # strictly increasing
+
+    def test_gather_view_refreshes_after_mutation(self):
+        ds = small()
+        view = ds.view([2, 0])
+        assert view.to_matrix()[:, 0].tolist() == [5.0, 1.0]
+        ds[0].set_value(0, 11.0)  # mutate base AFTER the gather cached
+        assert view.to_matrix()[:, 0].tolist() == [5.0, 11.0]
+        assert view.weights().shape == (2,)
+
+    def test_added_instance_detaches_from_nothing(self):
+        ds = small()
+        loose = Instance([7.0, 7.0, 0.0], weight=2.0)
+        ds.add(loose)
+        assert loose.is_attached
+        assert ds.weights()[-1] == 2.0
+        loose.set_value(0, 70.0)
+        assert ds.to_matrix()[-1, 0] == 70.0
+
+    def test_adding_an_owned_instance_copies(self):
+        a, b = small(), small()
+        inst = a[0]
+        b.add(inst)
+        inst.set_value(0, 99.0)  # still bound to dataset a only
+        assert a.to_matrix()[0, 0] == 99.0
+        assert b.to_matrix()[-1, 0] == 1.0
+
+
+class TestDatasetView:
+    def test_contiguous_slice_shares_memory(self):
+        ds = synthetic.weather_numeric()
+        view = ds.view(slice(2, 9))
+        assert isinstance(view, DatasetView)
+        assert view.is_contiguous
+        assert np.shares_memory(view.to_matrix(), ds.to_matrix())
+        assert np.shares_memory(view.weights(), ds.weights())
+        assert view.num_instances == 7
+
+    def test_consecutive_index_list_promotes_to_slice(self):
+        ds = synthetic.weather_numeric()
+        view = ds.view([3, 4, 5, 6])
+        assert view.is_contiguous
+        assert np.shares_memory(view.to_matrix(), ds.to_matrix())
+
+    def test_gather_view_matches_subset(self):
+        ds = synthetic.weather_numeric()
+        rows = [8, 1, 5]
+        view = ds.view(rows)
+        assert not view.is_contiguous
+        sub = ds.subset(rows)
+        assert np.array_equal(view.to_matrix(), sub.to_matrix(),
+                              equal_nan=True)
+        assert [i.value(0) for i in view] == [i.value(0) for i in sub]
+
+    def test_view_rows_out_of_range(self):
+        ds = small()
+        with pytest.raises(DataError):
+            ds.view([0, 5])
+
+    def test_views_are_read_only(self):
+        ds = small()
+        view = ds.view(slice(0, 2))
+        with pytest.raises(DataError):
+            view.add_row([0.0, 0.0, "x"])
+        with pytest.raises(DataError):
+            view.remove(0)
+        with pytest.raises(DataError):
+            view.add(Instance([1.0, 1.0, 0.0]))
+
+    def test_view_class_override_is_local(self):
+        ds = small()
+        view = ds.view(slice(0, 2))
+        view.class_index = 0
+        assert view.class_index == 0
+        assert ds.class_index == 2
+
+    def test_base_matrix_and_row_indices(self):
+        ds = small()
+        view = ds.view([2, 0])
+        assert np.shares_memory(view.base_matrix, ds.to_matrix())
+        assert view.row_indices.tolist() == [2, 0]
+        assert view.base is ds
+
+    def test_view_copy_materialises(self):
+        ds = small()
+        copy = ds.view([2, 0]).copy()
+        assert type(copy) is Dataset
+        copy.add_row([0.0, 0.0, "y"])  # mutable again
+        assert copy.num_instances == 3
+        assert ds.num_instances == 3
+
+    def test_negative_and_stepped_selections(self):
+        ds = small()
+        assert ds.view([-1])[0].value(0) == 5.0
+        stepped = ds.view(slice(0, 3, 2))
+        assert stepped.to_matrix()[:, 0].tolist() == [1.0, 5.0]
+
+
+class TestFoldSlicingZeroCopy:
+    """Acceptance criterion: fold/chunk slicing ships views, not copies."""
+
+    def test_cross_validate_uses_views(self, monkeypatch):
+        from repro.ml import evaluation
+        from repro.ml.classifiers import ZeroR
+        ds = synthetic.weather_nominal()
+        seen = []
+        original = Dataset.view
+
+        def spy(self, rows):
+            out = original(self, rows)
+            seen.append(out)
+            return out
+
+        monkeypatch.setattr(Dataset, "view", spy)
+        evaluation.cross_validate(ZeroR, ds, k=3)
+        assert len(seen) == 6  # train + test view per fold
+        assert all(isinstance(v, DatasetView) for v in seen)
+        assert all(np.shares_memory(v.base_matrix, ds.to_matrix())
+                   for v in seen)
+
+    def test_contiguous_chunk_of_large_pool_is_a_borrowed_block(self):
+        pool = synthetic.numeric_two_class(200, 6, seed=3)
+        chunk = pool.view(slice(50, 150))
+        assert np.shares_memory(chunk.to_matrix(), pool.to_matrix())

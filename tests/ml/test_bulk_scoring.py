@@ -8,11 +8,17 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.data import synthetic
-from repro.errors import NotFittedError
+from repro.errors import DataError, NotFittedError
 from repro.ml import evaluation
-from repro.ml.base import CLASSIFIERS
+from repro.ml.base import CLASSIFIERS, CLUSTERERS
 from repro.ml.classifiers import NaiveBayes, ZeroR
 from repro.services.classifier_service import ClassifierService
+
+#: Models that ship a true vectorised kernel; the hook must stay wired
+#: (a silently dropped kernel would still pass parity via the fallback).
+VECTORISED_CLASSIFIERS = ("NaiveBayes", "ZeroR", "J48", "REPTree", "IBk",
+                          "Logistic")
+VECTORISED_CLUSTERERS = ("SimpleKMeans", "FarthestFirst", "EM")
 
 
 @pytest.fixture(scope="module")
@@ -24,6 +30,38 @@ def fitted_models(request):
         clf = CLASSIFIERS.create(name)
         clf.fit(ds)
         models[name] = clf
+    return ds, models
+
+
+@pytest.fixture(scope="module")
+def fitted_numeric_models(request):
+    """The full catalogue again on numeric data with missing cells, so
+    numeric tree splits / distance kernels / encoders all take their
+    vectorised paths."""
+    ds = synthetic.weather_numeric()
+    ds[2].set_value(1, float("nan"))
+    ds[5].set_value(2, float("nan"))
+    ds[11].set_value(1, float("nan"))
+    models = {}
+    for name in CLASSIFIERS.names():
+        clf = CLASSIFIERS.create(name)
+        try:
+            clf.fit(ds)
+        except DataError:
+            continue  # nominal-only learners (e.g. ID3) sit this one out
+        models[name] = clf
+    return ds, models
+
+
+@pytest.fixture(scope="module")
+def fitted_clusterers(request):
+    """One fitted instance per registered clusterer (gaussian blobs)."""
+    ds = synthetic.gaussians(n_per_cluster=20)
+    models = {}
+    for name in CLUSTERERS.names():
+        c = CLUSTERERS.create(name)
+        c.fit(ds)
+        models[name] = c
     return ds, models
 
 
@@ -76,6 +114,101 @@ class TestVectorizedParity:
     def test_unfitted_raises(self, weather):
         with pytest.raises(NotFittedError):
             ZeroR().distribution_many(weather)
+
+    @pytest.mark.parametrize("name", sorted(CLASSIFIERS.names()))
+    def test_numeric_data_with_missing_matches_scalar_path(
+            self, name, fitted_numeric_models):
+        """Same parity sweep on numeric attributes with NaN cells: the
+        batched tree descent, distance tables and encoders must handle
+        missing exactly like their scalar twins."""
+        ds, models = fitted_numeric_models
+        if name not in models:
+            pytest.skip(f"{name} does not accept numeric attributes")
+        clf = models[name]
+        batch = clf.distribution_many(ds)
+        scalar = np.vstack([clf.distribution(inst) for inst in ds])
+        assert np.allclose(batch, scalar, atol=1e-9), name
+        assert clf.predict_many(ds) == clf.predict(ds)
+
+
+class TestVectorisedHooks:
+    """The newly vectorised kernels must stay wired in: parity alone
+    cannot tell a fast path from its loop fallback."""
+
+    @pytest.mark.parametrize("name", VECTORISED_CLASSIFIERS)
+    def test_classifier_kernel_present(self, name):
+        assert getattr(CLASSIFIERS.create(name),
+                       "_distribution_many", None) is not None, name
+
+    @pytest.mark.parametrize("name", VECTORISED_CLUSTERERS)
+    def test_clusterer_kernel_present(self, name):
+        assert getattr(CLUSTERERS.create(name),
+                       "_cluster_many", None) is not None, name
+
+    @pytest.mark.parametrize("name", ("J48", "REPTree", "IBk", "Logistic"))
+    def test_new_kernel_agrees_with_loop_fallback(
+            self, name, fitted_numeric_models):
+        """Force the loop fallback on each new kernel: not a single
+        probability may move."""
+        ds, models = fitted_numeric_models
+        clf = models[name]
+        hooked = clf.distribution_many(ds)
+        hook = clf._distribution_many
+        try:
+            clf._distribution_many = None
+            looped = clf.distribution_many(ds)
+        finally:
+            clf._distribution_many = hook
+        assert np.allclose(hooked, looped, atol=1e-9), name
+
+    @pytest.mark.parametrize("name", VECTORISED_CLUSTERERS)
+    def test_cluster_kernel_agrees_with_loop_fallback(
+            self, name, fitted_clusterers):
+        ds, models = fitted_clusterers
+        c = models[name]
+        hooked = c.assign_many(ds)
+        hook = c._cluster_many
+        try:
+            c._cluster_many = None
+            looped = c.assign_many(ds)
+        finally:
+            c._cluster_many = hook
+        assert hooked == looped, name
+
+
+class TestClustererParity:
+    @pytest.mark.parametrize("name", sorted(CLUSTERERS.names()))
+    def test_every_registered_clusterer_matches_scalar_path(
+            self, name, fitted_clusterers):
+        ds, models = fitted_clusterers
+        c = models[name]
+        batch = c.assign_many(ds)
+        scalar = [c.cluster_instance(inst) for inst in ds]
+        assert batch == scalar, name
+        assert c.assign(ds) == scalar
+
+    def test_indices_subset_in_order(self, fitted_clusterers):
+        ds, models = fitted_clusterers
+        c = models["SimpleKMeans"]
+        rows = [7, 0, 13, 0]
+        assert c.assign_many(ds, rows) == \
+            [c.cluster_instance(ds[r]) for r in rows]
+
+    def test_empty_batch(self, fitted_clusterers):
+        ds, models = fitted_clusterers
+        assert models["EM"].assign_many(ds, []) == []
+
+    def test_unfitted_raises(self, fitted_clusterers):
+        ds, _ = fitted_clusterers
+        from repro.ml.clusterers import SimpleKMeans
+        with pytest.raises(NotFittedError):
+            SimpleKMeans().assign_many(ds)
+
+    def test_views_cluster_like_their_subset(self, fitted_clusterers):
+        ds, models = fitted_clusterers
+        c = models["FarthestFirst"]
+        rows = [2, 19, 4]
+        assert c.assign_many(ds.view(rows)) == c.assign_many(ds.subset(rows))
 
 
 class TestBulkScore:

@@ -31,7 +31,8 @@ def test_parses_and_triggers(workflow):
 def test_expected_jobs_present(workflow):
     assert set(workflow["jobs"]) == {"test", "lint", "chaos",
                                      "bench-smoke", "serving-load",
-                                     "experiment-resume"}
+                                     "experiment-resume",
+                                     "columnar-bench"}
 
 
 def test_concurrency_cancels_superseded_runs(workflow):
@@ -114,6 +115,37 @@ def test_layering_rules_cover_the_admission_plane():
     assert "repro.ws.admission" in rules["src/repro/ws/httpd.py"]
     aserve = rules["src/repro/ws/aserve.py"]
     assert "repro.chaos" in aserve and "repro.ws.breaker" in aserve
+
+
+def test_layering_rules_cover_the_columnar_plane():
+    """The codec is a pure data-plane leaf and the vectorised kernels
+    never talk to the wire: pin the new rules so a refactor cannot
+    silently couple the fast paths to serving concerns."""
+    rules = _load_layering_lint().RULES
+    for module in ("src/repro/data/codec.py", "src/repro/data/dataio.py"):
+        for banned in ("repro.obs", "repro.chaos", "repro.ws.breaker",
+                       "repro.ws.admission", "repro.ws"):
+            assert banned in rules[module], (module, banned)
+    for module in ("src/repro/ml/base.py", "src/repro/ml/evaluation.py",
+                   "src/repro/ml/classifiers/j48.py",
+                   "src/repro/ml/classifiers/ibk.py",
+                   "src/repro/ml/clusterers/kmeans.py"):
+        assert "repro.ws" in rules[module], module
+
+
+def test_columnar_bench_job_gates_and_uploads_the_report(workflow):
+    """PERF-COLUMNAR: the columnar data-plane A/B runs in CI (its
+    in-test gates enforce >= 5x end-to-end and >= 2x wire bytes) and
+    its JSON lands as the ``columnar-bench`` artifact."""
+    job = workflow["jobs"]["columnar-bench"]
+    text = steps_text(job)
+    assert "benchmarks/test_bench_columnar.py" in text
+    assert "--benchmark-json=BENCH_columnar.json" in text
+    upload = next(step for step in job["steps"]
+                  if "upload-artifact" in step.get("uses", ""))
+    assert upload["with"]["name"] == "columnar-bench"
+    assert "BENCH_columnar.json" in upload["with"]["path"]
+    assert upload["with"]["if-no-files-found"] == "error"
 
 
 def test_bench_smoke_uploads_artifact(workflow):

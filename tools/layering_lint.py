@@ -49,6 +49,22 @@ RULES: dict[str, tuple[str, ...]] = {
     # the async front door sheds *before* decoding and below any
     # client-side resilience: breakers and chaos stay out of it
     "src/repro/ws/aserve.py": ("repro.chaos", "repro.ws.breaker"),
+    # the binary codec is a pure data-plane leaf: bytes in, typed
+    # column blocks out.  It may not observe, inject faults, break
+    # circuits, shed load — or talk to the wire at all.
+    "src/repro/data/codec.py": ("repro.obs", "repro.chaos",
+                                "repro.ws.breaker",
+                                "repro.ws.admission", "repro.ws"),
+    "src/repro/data/dataio.py": ("repro.obs", "repro.chaos",
+                                 "repro.ws.breaker",
+                                 "repro.ws.admission", "repro.ws"),
+    # the vectorised model kernels score matrices; shipping those
+    # matrices is the services/ws layers' business, never theirs
+    "src/repro/ml/base.py": ("repro.ws", "repro.services"),
+    "src/repro/ml/evaluation.py": ("repro.ws",),
+    "src/repro/ml/classifiers/j48.py": ("repro.ws", "repro.services"),
+    "src/repro/ml/classifiers/ibk.py": ("repro.ws", "repro.services"),
+    "src/repro/ml/clusterers/kmeans.py": ("repro.ws", "repro.services"),
 }
 
 
