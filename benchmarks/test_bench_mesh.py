@@ -1,0 +1,120 @@
+"""PERF-MESH — adaptive routing vs the static baseline, measured.
+
+The skewed-replica scenario from the issue: a 3-worker mesh where one
+worker delays every dispatch by a fixed ``SLOW_MS`` (a cold or distant
+site — the worker degrades *itself*, no chaos harness involved).  The
+same call stream is driven through the gateway twice:
+
+* **static** — round-robin sends every third call into the slow
+  replica, so the delay IS the p99;
+* **adaptive** — the trace-mined policy pays for one probe of the slow
+  replica (unobserved endpoints rank first, exactly once per
+  ``reprobe_after_s``), then routes around it on EWMA cost, so the
+  p99 collapses to the fast replicas' latency.
+
+The CI gate requires adaptive to beat static p99 by ``MIN_SPEEDUP``x;
+the report lands in ``BENCH_mesh.json`` (written directly — no
+pytest-benchmark dependency), which the ``mesh-drill`` CI job uploads.
+
+Run: PYTHONPATH=src python -m pytest benchmarks/test_bench_mesh.py -s
+"""
+
+import json
+import math
+import statistics
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.ws.client import ServiceProxy
+from repro.ws.mesh import ProfileBook, make_policy, start_mesh
+
+WORKERS = 3
+SLOW_WORKER = "w2"
+SLOW_MS = 60.0
+WARMUP_CALLS = 9
+MEASURED_CALLS = 150
+
+#: CI gate: the issue demands >= 1.5x on p99; the measured margin is
+#: ~8-10x (one probe in 150 calls vs every third call delayed), so
+#: runner jitter cannot flake this while a real regression trips it.
+MIN_SPEEDUP = 1.5
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_mesh.json"
+
+
+def percentile(samples_ms: list[float], q: float) -> float:
+    """Nearest-rank percentile (the loadgen plane's convention)."""
+    ordered = sorted(samples_ms)
+    rank = max(0, min(len(ordered) - 1,
+                      math.ceil(q / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+@pytest.fixture(scope="module")
+def skewed_mesh():
+    host = start_mesh(workers=WORKERS, services=["Math"],
+                      policy="static", lease_ttl_s=30.0,
+                      slow_ms={SLOW_WORKER: SLOW_MS})
+    try:
+        yield host
+    finally:
+        host.stop()
+
+
+def drive(host, policy_name: str) -> dict:
+    """Measure one policy over the same gateway call stream."""
+    # fresh policy AND fresh profiles: each contender starts blind, so
+    # adaptive's edge is earned by its probe discipline, not inherited
+    host.router.policy = make_policy(policy_name)
+    host.router.book = ProfileBook(clock=host.router._clock)
+    proxy = ServiceProxy.from_wsdl_url(host.wsdl_url("Math"))
+    for _ in range(WARMUP_CALLS):
+        proxy.call("tabulate", expression="square", lo=0.0, hi=1.0)
+    samples_ms = []
+    for _ in range(MEASURED_CALLS):
+        start = time.perf_counter()
+        proxy.call("tabulate", expression="square", lo=0.0, hi=1.0)
+        samples_ms.append((time.perf_counter() - start) * 1000.0)
+    return {
+        "policy": policy_name,
+        "calls": len(samples_ms),
+        "mean_ms": round(statistics.fmean(samples_ms), 3),
+        "p50_ms": round(percentile(samples_ms, 50), 3),
+        "p99_ms": round(percentile(samples_ms, 99), 3),
+        "max_ms": round(max(samples_ms), 3),
+    }
+
+
+def test_adaptive_beats_static_p99(skewed_mesh):
+    static = drive(skewed_mesh, "static")
+    adaptive = drive(skewed_mesh, "adaptive")
+    speedup = static["p99_ms"] / adaptive["p99_ms"]
+
+    report = {
+        "scenario": {
+            "workers": WORKERS,
+            "slow_worker": SLOW_WORKER,
+            "slow_ms": SLOW_MS,
+            "service": "Math",
+            "operation": "tabulate",
+            "measured_calls": MEASURED_CALLS,
+        },
+        "static": static,
+        "adaptive": adaptive,
+        "p99_speedup": round(speedup, 2),
+        "gate_min_speedup": MIN_SPEEDUP,
+    }
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nPERF-MESH: static p99 {static['p99_ms']:.1f}ms vs "
+          f"adaptive p99 {adaptive['p99_ms']:.1f}ms "
+          f"({speedup:.1f}x; gate {MIN_SPEEDUP}x)")
+
+    # sanity: the skew is real — round-robin pays the slow replica's
+    # delay at p99
+    assert static["p99_ms"] >= SLOW_MS
+    assert speedup >= MIN_SPEEDUP, (
+        f"adaptive routing beat static by only {speedup:.2f}x p99 "
+        f"(static {static['p99_ms']:.1f}ms, adaptive "
+        f"{adaptive['p99_ms']:.1f}ms); gate is {MIN_SPEEDUP}x")

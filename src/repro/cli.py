@@ -23,11 +23,17 @@ service catalogue:
 * ``experiment``  — run a declarative {datasets × classifiers ×
   options × seeds} grid with per-cell checkpointing; re-running with
   the same store resumes exactly where a crash left off
+* ``mesh``        — host the toolbox as a sharded multi-process
+  service mesh (supervised workers, leased registry entries, adaptive
+  replica routing behind one stable gateway)
+* ``registry``    — inspect a hosted service registry's live entries
+  (names, health, lease expiry, categories)
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -312,6 +318,73 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_mesh(args) -> int:
+    import json
+    import threading
+
+    from repro.ws.mesh import start_mesh
+    services = [s for s in args.services.split(",") if s] \
+        if args.services else None
+    slow_ms = {}
+    for item in args.slow or []:
+        wid, sep, value = item.partition("=")
+        if not sep:
+            raise ReproError(f"--slow wants worker=ms, got {item!r}")
+        slow_ms[wid] = float(value)
+    host = start_mesh(workers=args.workers, services=services,
+                      shards=args.shards, policy=args.policy,
+                      port=args.port, lease_ttl_s=args.lease_ttl,
+                      slow_ms=slow_ms)
+    print(f"mesh gateway at {host.base_url} "
+          f"({args.workers} worker(s), shards {args.shards!r}, "
+          f"policy {args.policy!r})")
+    print(f"fleet status: {host.base_url}/mesh/status")
+    print("services:")
+    for name in host.discovery.service_names():
+        print(f"  {host.wsdl_url(name)}")
+    try:
+        threading.Event().wait(args.duration)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if args.status_out:
+            Path(args.status_out).write_text(
+                json.dumps(host.status(), indent=2) + "\n")
+            print(f"status written to {args.status_out}")
+        host.stop()
+    return 0
+
+
+def _cmd_registry(args) -> int:
+    import json
+
+    from repro.ws.client import ServiceProxy
+    url = args.endpoint
+    if "?" not in url:
+        url = f"{url}?wsdl"
+    proxy = ServiceProxy.from_wsdl_url(url)
+    entries = proxy.call("inquire", pattern=args.pattern,
+                         category=args.category or "",
+                         healthy_only=args.healthy_only)
+    if args.json:
+        print(json.dumps(entries, indent=2))
+        return 0
+    if not entries:
+        print("no matching registry entries")
+        return 0
+    for entry in entries:
+        lease = entry.get("lease_ttl_s") or 0.0
+        expiry = (f"expires in {entry['expires_in_s']:.1f}s"
+                  if lease and entry.get("expires_in_s") is not None
+                  else "no lease")
+        print(f"{entry['name']}  [{entry.get('health', 'up')}]  "
+              f"{expiry}")
+        print(f"  wsdl: {entry['wsdl_url']}")
+        if entry.get("categories"):
+            print(f"  categories: {', '.join(entry['categories'])}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -486,6 +559,55 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the markdown report to PATH instead of "
                         "stdout")
     p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser("mesh",
+                       help="host the toolbox as a sharded multi-"
+                            "process service mesh")
+    p.add_argument("--workers", type=int, default=4,
+                   help="worker processes to fork (default 4)")
+    p.add_argument("--shards", default="all", metavar="SPEC",
+                   help="'all' (every worker hosts everything) or "
+                        "'ring:R' (each service on R ring-chosen "
+                        "workers); default 'all'")
+    p.add_argument("--policy", default="adaptive",
+                   choices=("adaptive", "hash", "static"),
+                   help="replica routing policy (default adaptive)")
+    p.add_argument("--services", default=None, metavar="CSV",
+                   help="subset of the catalogue to host "
+                        "(default: all services)")
+    p.add_argument("--port", type=int, default=8335,
+                   help="gateway port (default 8335; 0 = ephemeral)")
+    p.add_argument("--lease-ttl", type=float, default=15.0,
+                   dest="lease_ttl", metavar="S",
+                   help="registry lease TTL per replica (default 15s)")
+    p.add_argument("--slow", action="append", metavar="WORKER=MS",
+                   help="delay every dispatch on one worker, e.g. "
+                        "'w2=50' (skewed-replica benchmarking; "
+                        "repeatable)")
+    p.add_argument("--duration", type=float, default=3600.0,
+                   help="seconds to serve before exiting")
+    p.add_argument("--status-out", default=None, dest="status_out",
+                   metavar="PATH",
+                   help="write the final fleet/profile status JSON "
+                        "to PATH on shutdown")
+    p.set_defaults(fn=_cmd_mesh)
+
+    p = sub.add_parser("registry",
+                       help="inspect a hosted service registry")
+    p.add_argument("--endpoint",
+                   default="http://127.0.0.1:8334/services/Registry",
+                   help="Registry service endpoint (default: the "
+                        "'repro serve' default port)")
+    p.add_argument("--pattern", default="*",
+                   help="glob on entry names (default '*')")
+    p.add_argument("--category", default=None,
+                   help="filter by category, e.g. 'service:Classifier'")
+    p.add_argument("--healthy-only", action="store_true",
+                   dest="healthy_only",
+                   help="hide entries marked down")
+    p.add_argument("--json", action="store_true",
+                   help="emit raw JSON instead of the table")
+    p.set_defaults(fn=_cmd_registry)
     return parser
 
 
@@ -495,6 +617,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) went away mid-print; not an
+        # error.  Point stdout at devnull so the interpreter's shutdown
+        # flush can't raise the same thing again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     except DeadlineExceeded as exc:
         print(f"error: DeadlineExceeded: {exc}", file=sys.stderr)
         return 2

@@ -46,7 +46,7 @@ from repro.services.classifier_service import ClassifierService
 from repro.ws import wsdl
 from repro.ws.client import ServiceProxy
 from repro.ws.container import ServiceContainer
-from repro.ws.scatter import ScatterGather
+from repro.ws.scatter import ScatterGather, resolve_endpoints
 from repro.ws.service import ServiceDefinition
 from repro.ws.transport import InProcessTransport
 
@@ -166,7 +166,10 @@ def run_grid(spec: ExperimentSpec, store: ResultStore | str | Path, *,
     """Run (or resume) *spec*'s grid, checkpointing into *store*.
 
     Completed cells found in the store are skipped; the rest execute
-    over *proxies* (or *replicas* fresh in-process endpoints).  Every
+    over *proxies* (or *replicas* fresh in-process endpoints).
+    *proxies* also accepts a mesh endpoint source — an object with a
+    ``proxies()`` method, e.g. ``MeshHost.source_for("Classifier")`` —
+    resolved to the live replica set when the run starts.  Every
     finished chunk is fsync'd into the store via the scatter plane's
     per-chunk completion callback before more work is taken, so the
     run is resumable after SIGKILL at any point.
@@ -211,6 +214,10 @@ def run_grid(spec: ExperimentSpec, store: ResultStore | str | Path, *,
                 proxies = make_replicas(
                     replicas, chaos_controller=chaos_controller,
                     admission=admission)
+            else:
+                # a static proxy list passes through; a mesh endpoint
+                # source resolves to the currently-live replica set
+                proxies = resolve_endpoints(proxies)
             try:
                 _run_cells(spec, todo, list(proxies), store, report,
                            root_span,

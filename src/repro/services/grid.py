@@ -26,7 +26,8 @@ from repro.errors import WorkflowError
 from repro.ml.evaluation import EvaluationResult, stratified_folds
 from repro.obs import (get_metrics, get_tracer,
                        maybe_enable_tracing_from_env)
-from repro.ws.scatter import ScatterGather, ScatterReport
+from repro.ws.scatter import (ScatterGather, ScatterReport,
+                              resolve_endpoints)
 
 
 @dataclass
@@ -70,6 +71,9 @@ def distributed_cross_validate(proxies: Sequence, dataset: Dataset,
 
     Each proxy must expose the general Classifier service's ``predict``
     operation (train on the fold's training split, label its test split).
+    *proxies* may also be a mesh endpoint source — any object with a
+    ``proxies()`` method (e.g. ``MeshHost.source_for("Classifier")``) —
+    resolved to the currently-live replica set at run start.
     Folds are scattered across the proxies one per dispatch (a fold is
     already a coarse work unit) by :class:`~repro.ws.scatter
     .ScatterGather`, which also supplies the migration semantics: a fold
@@ -82,6 +86,7 @@ def distributed_cross_validate(proxies: Sequence, dataset: Dataset,
     completion instead of waiting for the whole run.
     """
     maybe_enable_tracing_from_env()  # opt-in FAEHIM_TRACE=1 hook
+    proxies = resolve_endpoints(proxies)
     if not proxies:
         raise WorkflowError("need at least one Classifier endpoint")
     attribute = attribute or dataset.class_attribute.name
@@ -231,14 +236,16 @@ def scatter_score(proxies: Sequence, train, test,
 
     Trains *classifier* once per replica (each caches its model) and
     scores *test*'s rows via chunked ``classifyBatch`` calls split
-    across *proxies* by :class:`~repro.ws.scatter.ScatterGather` —
-    adaptive chunk sizes, input-order merge, migration of failed chunks
-    to surviving replicas.  *train*/*test* may be
+    across *proxies* (a proxy sequence or a mesh endpoint source) by
+    :class:`~repro.ws.scatter.ScatterGather` — adaptive chunk sizes,
+    input-order merge, migration of failed chunks to surviving
+    replicas.  *train*/*test* may be
     :class:`~repro.data.dataset.Dataset` objects or ARFF text.
     *on_progress* is forwarded to :meth:`ScatterGather.run` as its
     per-chunk completion callback: ``on_progress(endpoint,
     row_indices, labels)`` fires as each chunk of rows lands.
     """
+    proxies = resolve_endpoints(proxies)
     if not proxies:
         raise WorkflowError("need at least one Classifier endpoint")
     train_ds = (train if isinstance(train, Dataset)

@@ -39,6 +39,11 @@ class _Handler(BaseHTTPRequestHandler):
     # unambiguous).  The client side heals pooled connections the server
     # has since dropped — see HttpTransport's stale-retry.
     protocol_version = "HTTP/1.1"
+    # one coalesced send per response (headers + body), and no Nagle
+    # stall on what remains: an un-buffered two-write response against
+    # a keep-alive connection costs a ~40ms delayed-ACK pause per call
+    wbufsize = -1
+    disable_nagle_algorithm = True
     container: ServiceContainer  # injected by the server factory
     gateway: HttpGateway         # injected by the server factory
     base_url: str

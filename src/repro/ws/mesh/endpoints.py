@@ -1,0 +1,200 @@
+"""Mesh endpoint discovery: the registry as a live replica source.
+
+The mesh publishes every worker replica into the UDDI registry under
+``{service}@{worker_id}`` with a ``service:{name}`` category and the
+service's WSDL ``portType``; a crashed worker's leases expire (or its
+breaker marks it ``down``), so *reading the registry* is all the
+discovery the router and the callers need:
+
+* :class:`RegistryEndpoints` answers "which live replicas implement
+  service X right now?" for the router, and feeds breaker verdicts back
+  as registry health states.
+* :class:`ServiceEndpoints` is the *caller*-facing source: it binds one
+  service name and materialises a :class:`~repro.ws.client.ServiceProxy`
+  per live replica on demand — the shape
+  :func:`repro.ws.scatter.resolve_endpoints` duck-types, so
+  ``ScatterGather``, ``grid.*`` and the experiment runner consume
+  discovery instead of static endpoint lists.
+
+Both work against a local :class:`~repro.ws.registry.UDDIRegistry`
+object or a remote hosted ``Registry`` service (pass its endpoint URL),
+so out-of-process callers discover over SOAP like everything else.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import RegistryError
+from repro.ws.registry import HEALTH_DOWN, UDDIRegistry
+
+#: Category every mesh replica is published under, plus the per-service
+#: ``service:{name}`` tag the inquiry index keys on.
+MESH_CATEGORY = "mesh-worker"
+
+
+def service_category(service: str) -> str:
+    """The registry category tagging replicas of *service*."""
+    return f"service:{service}"
+
+
+def port_type_of(service: str) -> str:
+    """The WSDL portType name of *service* (equivalence key)."""
+    return f"{service}PortType"
+
+
+def endpoint_url_of(wsdl_url: str) -> str:
+    """The SOAP endpoint URL behind a ``...?wsdl`` URL."""
+    return wsdl_url.split("?", 1)[0]
+
+
+@dataclass(frozen=True)
+class MeshEndpoint:
+    """One live replica of a service."""
+
+    name: str       # registry entry name, e.g. "Classifier@w2"
+    service: str    # logical service name
+    url: str        # SOAP endpoint URL
+    wsdl_url: str
+    health: str = "up"
+
+
+def _entry_to_endpoint(service: str, entry) -> MeshEndpoint:
+    """Normalise a RegistryEntry or its dict form into a MeshEndpoint."""
+    if isinstance(entry, dict):
+        name, wsdl_url = entry["name"], entry["wsdl_url"]
+        health = entry.get("health", "up")
+    else:
+        name, wsdl_url = entry.name, entry.wsdl_url
+        health = entry.health
+    return MeshEndpoint(name=name, service=service,
+                        url=endpoint_url_of(wsdl_url),
+                        wsdl_url=wsdl_url, health=health)
+
+
+class RegistryEndpoints:
+    """Live replica discovery over a local or remote registry.
+
+    *registry* is either a :class:`UDDIRegistry` object (the in-process
+    mesh arrangement) or the endpoint URL of a hosted ``Registry``
+    service (``http://host:port/services/Registry``) — inquiry then
+    travels over SOAP.  Health feedback is best-effort and local-only:
+    a remote consumer observes health, it does not vote.
+    """
+
+    def __init__(self, registry: UDDIRegistry | str):
+        self._registry = registry if not isinstance(registry, str) \
+            else None
+        self._registry_url = registry if isinstance(registry, str) \
+            else None
+        self._proxy = None
+        self._proxy_lock = threading.Lock()
+        #: last health verdict sent per entry, so repeated successes
+        #: do not spam the registry with no-op updates
+        self._noted: dict[str, str] = {}
+
+    # -- inquiry ---------------------------------------------------------
+
+    def endpoints(self, service: str) -> list[MeshEndpoint]:
+        """Live, non-``down`` replicas of *service*, name-ordered.
+
+        Replica lookup goes through the category index
+        (``service:{name}``), which by construction equals the
+        same-portType equivalence class — any entry returned here is a
+        valid substitution target for any other.  A registry without
+        mesh replicas falls back to the exact-name entry (the plain
+        hosted-toolbox arrangement), so mesh-aware callers work
+        unchanged against a singleton deployment.
+        """
+        entries = self._inquire(f"{service}@*", service_category(service))
+        if not entries:
+            entries = self._inquire(service, None)
+        return [_entry_to_endpoint(service, e) for e in entries]
+
+    def service_names(self) -> list[str]:
+        """Logical services with at least one live replica."""
+        names: set[str] = set()
+        for entry in self._inquire("*", None):
+            categories = entry["categories"] if isinstance(entry, dict) \
+                else entry.categories
+            for category in categories:
+                if category.startswith("service:"):
+                    names.add(category.split(":", 1)[1])
+        return sorted(names)
+
+    def _inquire(self, pattern: str, category: str | None) -> list:
+        if self._registry is not None:
+            return self._registry.inquire(pattern, category,
+                                          healthy_only=True)
+        return [e for e in self._remote_proxy().call(
+                    "inquire", pattern=pattern, category=category or "",
+                    healthy_only=True)]
+
+    def _remote_proxy(self):
+        with self._proxy_lock:
+            if self._proxy is None:
+                from repro.ws.client import ServiceProxy
+                self._proxy = ServiceProxy.from_wsdl_url(
+                    f"{self._registry_url}?wsdl")
+            return self._proxy
+
+    # -- health feedback -------------------------------------------------
+
+    def note_health(self, name: str, health: str) -> None:
+        """Record a router verdict (breaker open = ``down``) for *name*.
+
+        Best-effort: an entry whose lease already expired is simply
+        gone, and remote registries are observe-only.
+        """
+        if self._registry is None or self._noted.get(name) == health:
+            return
+        self._noted[name] = health
+        try:
+            self._registry.set_health(name, health)
+        except RegistryError:
+            self._noted.pop(name, None)
+
+    def is_down(self, name: str) -> bool:
+        """Was *name* last noted ``down``?"""
+        return self._noted.get(name) == HEALTH_DOWN
+
+    def source_for(self, service: str) -> "ServiceEndpoints":
+        """A caller-facing, proxy-materialising source for *service*."""
+        return ServiceEndpoints(self, service)
+
+
+class ServiceEndpoints:
+    """A mesh-aware endpoint source for the scatter/grid/runner callers.
+
+    ``proxies()`` answers one :class:`~repro.ws.client.ServiceProxy` per
+    *currently live* replica — the duck-typed protocol
+    :func:`repro.ws.scatter.resolve_endpoints` resolves.  Proxies are
+    cached per endpoint URL, so repeated resolution (each grid batch,
+    each scatter run) reuses warm keep-alive transports, and a replica
+    that died and came back on a new port gets a fresh proxy
+    automatically.
+    """
+
+    def __init__(self, discovery: RegistryEndpoints, service: str):
+        self.discovery = discovery
+        self.service = service
+        self._proxies: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def endpoints(self) -> list[MeshEndpoint]:
+        """The service's live replicas right now."""
+        return self.discovery.endpoints(self.service)
+
+    def proxies(self) -> list:
+        """One client proxy per live replica (cached per URL)."""
+        from repro.ws.client import ServiceProxy
+        out = []
+        for endpoint in self.endpoints():
+            with self._lock:
+                proxy = self._proxies.get(endpoint.url)
+                if proxy is None:
+                    proxy = ServiceProxy.from_wsdl_url(endpoint.wsdl_url)
+                    self._proxies[endpoint.url] = proxy
+            out.append(proxy)
+        return out

@@ -1,0 +1,321 @@
+"""The mesh process plane: fork, watch, restart, drain worker processes.
+
+:class:`WorkerSupervisor` owns N child processes, each running
+``python -m repro.ws.mesh.worker`` with its catalogue shard.  The
+contract with the worker is deliberately tiny:
+
+* **Announce.**  A worker binds an ephemeral port and atomically writes
+  a JSON announce file; the supervisor polls for it, then publishes one
+  registry entry per hosted service — ``{service}@{worker_id}`` with a
+  lease — so discovery reflects the worker the moment it serves.
+* **Watchdog.**  A background thread polls child liveness.  A crashed
+  worker's entries are withdrawn immediately (callers stop routing to
+  it without waiting for lease expiry) and the worker is relaunched
+  after an exponential backoff (``backoff_base_s · 2^(n-1)``, capped),
+  so a crash-looping shard cannot fork-bomb the host.
+* **Heartbeat.**  Leases are renewed every ``heartbeat_s`` while the
+  child lives.  If the *supervisor* dies, nobody renews and the fleet
+  ages out of the registry on its own — the lease is the liveness
+  ground truth.
+* **Drain.**  :meth:`stop` sends ``SIGTERM`` (the worker finishes
+  in-flight dispatches and exits), escalating to ``SIGKILL`` only
+  after a grace period, then withdraws the registry entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+from dataclasses import dataclass, field
+
+from repro.clock import SYSTEM_CLOCK, Clock
+from repro.errors import RegistryError
+from repro.obs import get_metrics
+from repro.ws.mesh.endpoints import (MESH_CATEGORY, port_type_of,
+                                     service_category)
+from repro.ws.registry import UDDIRegistry
+
+#: Seconds a SIGTERMed worker gets to drain before SIGKILL.
+DRAIN_GRACE_S = 5.0
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """What one worker should host (``services=None`` = full catalogue)."""
+
+    worker_id: str
+    services: tuple[str, ...] | None = None
+    slow_ms: float = 0.0
+    max_concurrent: int = 8
+    lifecycle: str = "harness"
+
+
+@dataclass
+class WorkerHandle:
+    """One supervised worker's live state."""
+
+    spec: WorkerSpec
+    process: subprocess.Popen | None = None
+    port: int = 0
+    base_url: str = ""
+    services: tuple[str, ...] = ()
+    entry_names: tuple[str, ...] = ()
+    restarts: int = 0
+    restart_at: float | None = None
+    stderr_path: str = ""
+    _extra: dict = field(default_factory=dict)
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid if self.process is not None else None
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot for ``/mesh/status`` and the CLI."""
+        return {"worker_id": self.spec.worker_id, "pid": self.pid,
+                "port": self.port, "base_url": self.base_url,
+                "services": list(self.services),
+                "restarts": self.restarts, "alive": self.alive}
+
+
+class WorkerSupervisor:
+    """Forks the worker fleet and keeps it (and its leases) alive."""
+
+    def __init__(self, specs: list[WorkerSpec], registry: UDDIRegistry,
+                 *, lease_ttl_s: float = 15.0,
+                 heartbeat_s: float | None = None,
+                 backoff_base_s: float = 0.5,
+                 backoff_cap_s: float = 10.0,
+                 spawn_timeout_s: float = 60.0,
+                 poll_interval_s: float = 0.2,
+                 python: str = sys.executable,
+                 clock: Clock = SYSTEM_CLOCK):
+        if not specs:
+            raise ValueError("a mesh needs at least one worker spec")
+        ids = [spec.worker_id for spec in specs]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate worker ids in {ids}")
+        self.registry = registry
+        self.lease_ttl_s = lease_ttl_s
+        self.heartbeat_s = heartbeat_s if heartbeat_s is not None \
+            else max(0.5, lease_ttl_s / 3.0)
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.spawn_timeout_s = spawn_timeout_s
+        self.poll_interval_s = poll_interval_s
+        self.python = python
+        self._clock = clock
+        self.handles = [WorkerHandle(spec=spec) for spec in specs]
+        self._dir = ""
+        self._stopping = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "WorkerSupervisor":
+        """Spawn every worker, publish its endpoints, arm the watchdog."""
+        self._dir = tempfile.mkdtemp(prefix="repro-mesh-")
+        try:
+            for handle in self.handles:
+                self._launch(handle)
+                self._publish(handle)
+        except Exception:
+            self.stop()
+            raise
+        self._thread = threading.Thread(target=self._watch, daemon=True,
+                                        name="mesh-supervisor")
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain the fleet: SIGTERM, grace, SIGKILL, withdraw entries."""
+        self._stopping.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        for handle in self.handles:
+            process = handle.process
+            if process is None or process.poll() is not None:
+                continue
+            process.send_signal(signal.SIGTERM)
+        for handle in self.handles:
+            process = handle.process
+            if process is None:
+                continue
+            try:
+                process.wait(timeout=DRAIN_GRACE_S)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=DRAIN_GRACE_S)
+        for handle in self.handles:
+            self._unpublish(handle)
+        if self._dir:
+            shutil.rmtree(self._dir, ignore_errors=True)
+            self._dir = ""
+
+    def __enter__(self) -> "WorkerSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- introspection ---------------------------------------------------
+
+    def status(self) -> dict:
+        """JSON-ready fleet snapshot (the ``repro mesh`` status file)."""
+        return {"workers": [handle.as_dict() for handle in self.handles],
+                "lease_ttl_s": self.lease_ttl_s,
+                "heartbeat_s": self.heartbeat_s}
+
+    def handle_of(self, worker_id: str) -> WorkerHandle:
+        """The live handle for *worker_id* (KeyError if unknown)."""
+        for handle in self.handles:
+            if handle.spec.worker_id == worker_id:
+                return handle
+        raise KeyError(worker_id)
+
+    # -- spawning --------------------------------------------------------
+
+    def _launch(self, handle: WorkerHandle) -> None:
+        spec = handle.spec
+        announce = os.path.join(self._dir, f"{spec.worker_id}.json")
+        if os.path.exists(announce):
+            os.remove(announce)
+        handle.stderr_path = os.path.join(self._dir,
+                                          f"{spec.worker_id}.err")
+        cmd = [self.python, "-m", "repro.ws.mesh.worker",
+               "--announce", announce,
+               "--services",
+               "all" if spec.services is None else
+               ",".join(spec.services),
+               "--max-concurrent", str(spec.max_concurrent),
+               "--lifecycle", spec.lifecycle]
+        if spec.slow_ms > 0:
+            cmd += ["--slow-ms", str(spec.slow_ms)]
+        with open(handle.stderr_path, "wb") as stderr:
+            handle.process = subprocess.Popen(
+                cmd, stdout=subprocess.DEVNULL, stderr=stderr)
+        record = self._await_announce(handle, announce)
+        handle.port = record["port"]
+        handle.base_url = record["base_url"]
+        handle.services = tuple(record["services"])
+        handle.restart_at = None
+        get_metrics().counter("ws.mesh.worker.spawns",
+                              worker=spec.worker_id).inc()
+
+    def _await_announce(self, handle: WorkerHandle,
+                        announce: str) -> dict:
+        deadline = self._clock.monotonic() + self.spawn_timeout_s
+        process = handle.process
+        while self._clock.monotonic() < deadline:
+            if os.path.exists(announce):
+                try:
+                    with open(announce, encoding="utf-8") as fh:
+                        record = json.load(fh)
+                except (OSError, ValueError):
+                    record = None  # mid-replace; retry
+                if record is not None and record.get("pid") == process.pid:
+                    return record
+            if process.poll() is not None:
+                raise RuntimeError(
+                    f"mesh worker {handle.spec.worker_id!r} exited "
+                    f"with status {process.returncode} before "
+                    f"announcing: {self._stderr_tail(handle)}")
+            self._clock.sleep(0.05)
+        process.kill()
+        raise RuntimeError(
+            f"mesh worker {handle.spec.worker_id!r} did not announce "
+            f"within {self.spawn_timeout_s}s")
+
+    def _stderr_tail(self, handle: WorkerHandle, limit: int = 800) -> str:
+        try:
+            with open(handle.stderr_path, encoding="utf-8",
+                      errors="replace") as fh:
+                return fh.read()[-limit:].strip() or "(no stderr)"
+        except OSError:
+            return "(no stderr)"
+
+    # -- registry --------------------------------------------------------
+
+    def _publish(self, handle: WorkerHandle) -> None:
+        names = []
+        for service in handle.services:
+            name = f"{service}@{handle.spec.worker_id}"
+            self.registry.publish(
+                name, f"{handle.base_url}/services/{service}?wsdl",
+                categories=(MESH_CATEGORY, service_category(service)),
+                description=f"mesh replica on {handle.spec.worker_id}",
+                lease_ttl_s=self.lease_ttl_s,
+                port_type=port_type_of(service))
+            names.append(name)
+        handle.entry_names = tuple(names)
+
+    def _unpublish(self, handle: WorkerHandle) -> None:
+        for name in handle.entry_names:
+            try:
+                self.registry.unpublish(name)
+            except RegistryError:
+                pass  # lease already expired
+        handle.entry_names = ()
+
+    # -- watchdog --------------------------------------------------------
+
+    def _watch(self) -> None:
+        last_heartbeat = self._clock.monotonic()
+        while not self._stopping.wait(self.poll_interval_s):
+            now = self._clock.monotonic()
+            for handle in self.handles:
+                self._tend(handle, now)
+            if now - last_heartbeat >= self.heartbeat_s:
+                last_heartbeat = now
+                self._heartbeat()
+
+    def _tend(self, handle: WorkerHandle, now: float) -> None:
+        if handle.process is not None and handle.process.poll() is None:
+            return
+        if handle.restart_at is None:
+            # freshly noticed crash: withdraw the dead endpoints now so
+            # discovery stops offering them, and arm the backoff
+            get_metrics().counter("ws.mesh.worker.crashes",
+                                  worker=handle.spec.worker_id).inc()
+            self._unpublish(handle)
+            handle.restarts += 1
+            delay = min(self.backoff_cap_s,
+                        self.backoff_base_s *
+                        (2 ** (handle.restarts - 1)))
+            handle.restart_at = now + delay
+            return
+        if now < handle.restart_at:
+            return
+        try:
+            self._launch(handle)
+            self._publish(handle)
+        except RuntimeError:
+            # the relaunch itself failed: back off harder and retry
+            handle.restarts += 1
+            delay = min(self.backoff_cap_s,
+                        self.backoff_base_s *
+                        (2 ** (handle.restarts - 1)))
+            handle.restart_at = self._clock.monotonic() + delay
+
+    def _heartbeat(self) -> None:
+        for handle in self.handles:
+            if not handle.alive:
+                continue
+            for name in handle.entry_names:
+                try:
+                    self.registry.renew(name)
+                except RegistryError:
+                    # lease slipped past its TTL (a long GC pause, a
+                    # loaded host): re-publish rather than vanish
+                    self._publish(handle)
+                    break

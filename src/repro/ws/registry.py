@@ -1,62 +1,172 @@
-"""UDDI-style service registry (publish + inquiry).
+"""UDDI-style service registry (publish + inquiry + live discovery).
 
 The paper publishes its services in a jUDDI registry ("Access to the UDDI
 registry for inquiry is available at ...:8334/juddi/inquiry").  This module
-provides the same two verbs: providers *publish* a service's name, WSDL URL
-and category tags; consumers *inquire* by name pattern and/or category.  The
-registry itself can be deployed as a Web Service
+provides the same two verbs — providers *publish* a service's name, WSDL URL
+and category tags; consumers *inquire* by name pattern and/or category — and
+grows them into *live* discovery for the service mesh
+(:mod:`repro.ws.mesh`):
+
+* **Leases.**  ``publish(..., lease_ttl_s=15)`` registers an entry that
+  expires unless the provider heartbeats it with :meth:`UDDIRegistry.renew`
+  before the TTL runs out.  Expired entries vanish from every inquiry (and
+  :meth:`UDDIRegistry.sweep` reaps them eagerly), so a crashed worker's
+  endpoints age out of discovery on their own.  Omitting the TTL keeps the
+  paper's original immortal-entry behaviour.
+* **Health.**  Entries carry an ``up`` / ``degraded`` / ``down`` health
+  state, fed by the per-endpoint circuit breakers (the mesh router marks an
+  endpoint ``down`` when its breaker opens and ``up`` when it closes);
+  ``inquire(..., healthy_only=True)`` is the router's view.
+* **Equivalence.**  Entries record their WSDL ``port_type``; the category
+  index plus :meth:`UDDIRegistry.find_equivalents` is what lets the router
+  substitute another replica of the same portType when one dies.
+
+All timestamps run on the injectable :mod:`repro.clock`, so lease and TTL
+behaviour is testable on a :class:`~repro.clock.FakeClock` without
+wall-sleeping.  The registry itself can be deployed as a Web Service
 (:class:`RegistryService`), so discovery happens over SOAP like everything
 else.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import fnmatch
 import threading
-import time
 from dataclasses import dataclass, field
 
+from repro.clock import SYSTEM_CLOCK, Clock
 from repro.errors import RegistryError
+from repro.obs import get_metrics
 from repro.ws.service import operation
+
+HEALTH_UP = "up"
+HEALTH_DEGRADED = "degraded"
+HEALTH_DOWN = "down"
+
+_HEALTH_STATES = (HEALTH_UP, HEALTH_DEGRADED, HEALTH_DOWN)
 
 
 @dataclass(frozen=True)
 class RegistryEntry:
-    """One published service."""
+    """One published service.
+
+    ``published_at`` is a :meth:`Clock.monotonic` stamp on the owning
+    registry's clock — lease arithmetic, not wall time.  A ``lease_ttl_s``
+    of ``None`` means the entry never expires (the paper's original
+    semantics); otherwise the entry is live until
+    ``published_at + lease_ttl_s`` and must be renewed to stay visible.
+    """
 
     name: str
     wsdl_url: str
     categories: tuple[str, ...] = ()
     description: str = ""
     published_at: float = 0.0
+    lease_ttl_s: float | None = None
+    health: str = HEALTH_UP
+    port_type: str = ""
 
-    def as_dict(self) -> dict:
-        """Plain-dict form (SOAP/JSON-ready)."""
-        return {"name": self.name, "wsdl_url": self.wsdl_url,
-                "categories": list(self.categories),
-                "description": self.description,
-                "published_at": self.published_at}
+    def expires_at(self) -> float | None:
+        """Clock stamp after which the lease is dead (None = immortal)."""
+        if self.lease_ttl_s is None:
+            return None
+        return self.published_at + self.lease_ttl_s
+
+    def expired(self, now: float) -> bool:
+        """Has the lease run out at clock stamp *now*?"""
+        deadline = self.expires_at()
+        return deadline is not None and now >= deadline
+
+    def as_dict(self, now: float | None = None) -> dict:
+        """Plain-dict form (SOAP/JSON-ready; ``lease_ttl_s=0`` = immortal)."""
+        out = {"name": self.name, "wsdl_url": self.wsdl_url,
+               "categories": list(self.categories),
+               "description": self.description,
+               "published_at": self.published_at,
+               "lease_ttl_s": self.lease_ttl_s or 0.0,
+               "health": self.health,
+               "port_type": self.port_type}
+        if now is not None and self.lease_ttl_s is not None:
+            out["expires_in_s"] = max(0.0, self.expires_at() - now)
+        return out
 
 
 class UDDIRegistry:
-    """Thread-safe in-memory registry."""
+    """Thread-safe in-memory registry with leases and health states."""
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Clock = SYSTEM_CLOCK) -> None:
         self._entries: dict[str, RegistryEntry] = {}
         self._lock = threading.Lock()
+        self._clock = clock
+
+    # -- provider verbs --------------------------------------------------
 
     def publish(self, name: str, wsdl_url: str,
                 categories: tuple[str, ...] | list[str] = (),
-                description: str = "") -> RegistryEntry:
+                description: str = "", *,
+                lease_ttl_s: float | None = None,
+                port_type: str = "",
+                health: str = HEALTH_UP) -> RegistryEntry:
         """Publish (or republish) a service."""
         if not name or not wsdl_url:
             raise RegistryError("publish needs a name and a WSDL URL")
+        if health not in _HEALTH_STATES:
+            raise RegistryError(
+                f"unknown health state {health!r}; "
+                f"expected one of {_HEALTH_STATES}")
+        ttl = float(lease_ttl_s) if lease_ttl_s else None
+        if ttl is not None and ttl <= 0:
+            raise RegistryError("lease_ttl_s must be positive")
         entry = RegistryEntry(name=name, wsdl_url=wsdl_url,
                               categories=tuple(categories),
                               description=description,
-                              published_at=time.time())
+                              published_at=self._clock.monotonic(),
+                              lease_ttl_s=ttl, health=health,
+                              port_type=port_type)
         with self._lock:
             self._entries[name] = entry
+            self._gauge_locked()
+        return entry
+
+    def renew(self, name: str,
+              lease_ttl_s: float | None = None) -> RegistryEntry:
+        """Heartbeat: restart *name*'s lease from now.
+
+        Passing ``lease_ttl_s`` also changes the TTL; otherwise the
+        entry keeps the one it was published with.  Renewing an entry
+        whose lease already ran out fails — the provider must republish.
+        """
+        now = self._clock.monotonic()
+        with self._lock:
+            entry = self._live_locked(name, now)
+            if entry is None:
+                raise RegistryError(
+                    f"service {name!r} is not published (lease expired?)")
+            changes: dict = {"published_at": now}
+            if lease_ttl_s:
+                changes["lease_ttl_s"] = float(lease_ttl_s)
+            entry = dataclasses.replace(entry, **changes)
+            self._entries[name] = entry
+        get_metrics().counter("ws.registry.renewals").inc()
+        return entry
+
+    def set_health(self, name: str, health: str) -> RegistryEntry:
+        """Record a provider/router health verdict for *name*."""
+        if health not in _HEALTH_STATES:
+            raise RegistryError(
+                f"unknown health state {health!r}; "
+                f"expected one of {_HEALTH_STATES}")
+        now = self._clock.monotonic()
+        with self._lock:
+            entry = self._live_locked(name, now)
+            if entry is None:
+                raise RegistryError(
+                    f"service {name!r} is not published (lease expired?)")
+            entry = dataclasses.replace(entry, health=health)
+            self._entries[name] = entry
+        get_metrics().counter("ws.registry.health_changes",
+                              to=health).inc()
         return entry
 
     def unpublish(self, name: str) -> None:
@@ -65,50 +175,137 @@ class UDDIRegistry:
             if name not in self._entries:
                 raise RegistryError(f"service {name!r} is not published")
             del self._entries[name]
+            self._gauge_locked()
+
+    def sweep(self) -> list[str]:
+        """Reap expired leases now; returns the reaped entry names."""
+        now = self._clock.monotonic()
+        with self._lock:
+            dead = sorted(name for name, entry in self._entries.items()
+                          if entry.expired(now))
+            for name in dead:
+                del self._entries[name]
+            if dead:
+                self._gauge_locked()
+        if dead:
+            get_metrics().counter("ws.registry.expirations").inc(len(dead))
+        return dead
+
+    # -- consumer verbs --------------------------------------------------
 
     def inquire(self, pattern: str = "*",
-                category: str | None = None) -> list[RegistryEntry]:
-        """Find services by glob *pattern* and optional *category*."""
+                category: str | None = None,
+                healthy_only: bool = False) -> list[RegistryEntry]:
+        """Find live services by glob *pattern* and optional *category*.
+
+        Expired leases never match (lazy expiry — no sweeper thread is
+        required for correctness).  ``healthy_only`` additionally drops
+        entries whose health is ``down`` — the router's view of the
+        fleet.
+        """
+        now = self._clock.monotonic()
         with self._lock:
-            entries = list(self._entries.values())
+            entries = [e for e in self._entries.values()
+                       if not e.expired(now)]
         out = [e for e in entries if fnmatch.fnmatch(e.name, pattern)]
         if category is not None:
             out = [e for e in out if category in e.categories]
+        if healthy_only:
+            out = [e for e in out if e.health != HEALTH_DOWN]
         return sorted(out, key=lambda e: e.name)
 
     def lookup(self, name: str) -> RegistryEntry:
-        """Exact-name lookup."""
+        """Exact-name lookup of a live entry."""
+        now = self._clock.monotonic()
         with self._lock:
-            entry = self._entries.get(name)
+            entry = self._live_locked(name, now)
         if entry is None:
-            raise RegistryError(f"service {name!r} is not published")
+            raise RegistryError(
+                f"service {name!r} is not published (lease expired?)")
         return entry
 
+    def find_equivalents(self, port_type: str,
+                         healthy_only: bool = True) -> list[RegistryEntry]:
+        """Live entries implementing *port_type* — substitution candidates.
+
+        Equivalence in the WSDL sense: two services sharing a portType
+        answer the same operations, so the router may move a call from a
+        dead replica to any of these.
+        """
+        if not port_type:
+            return []
+        now = self._clock.monotonic()
+        with self._lock:
+            entries = [e for e in self._entries.values()
+                       if not e.expired(now) and e.port_type == port_type]
+        if healthy_only:
+            entries = [e for e in entries if e.health != HEALTH_DOWN]
+        return sorted(entries, key=lambda e: e.name)
+
+    def now(self) -> float:
+        """The registry clock's current stamp (for lease arithmetic)."""
+        return self._clock.monotonic()
+
     def __len__(self) -> int:
-        return len(self._entries)
+        now = self._clock.monotonic()
+        with self._lock:
+            return sum(1 for e in self._entries.values()
+                       if not e.expired(now))
+
+    # -- internals -------------------------------------------------------
+
+    def _live_locked(self, name: str, now: float) -> RegistryEntry | None:
+        entry = self._entries.get(name)
+        if entry is None or entry.expired(now):
+            return None
+        return entry
+
+    def _gauge_locked(self) -> None:
+        get_metrics().gauge("ws.registry.entries").set(len(self._entries))
 
 
 @dataclass
 class RegistryService:
-    """The registry exposed as a Web Service (deployable in a container)."""
+    """The registry exposed as a Web Service (deployable in a container).
+
+    SOAP carries no ``None``, so the lease TTL travels as a float with
+    ``0`` meaning "no lease" on both the publish and renew verbs.
+    """
 
     registry: UDDIRegistry = field(default_factory=UDDIRegistry)
 
     @operation
     def publish(self, name: str, wsdl_url: str, categories: list = None,
-                description: str = "") -> dict:
+                description: str = "", lease_ttl_s: float = 0.0,
+                port_type: str = "") -> dict:
         """Publish a service; returns the stored registry entry."""
-        entry = self.registry.publish(name, wsdl_url,
-                                      tuple(categories or ()), description)
+        entry = self.registry.publish(
+            name, wsdl_url, tuple(categories or ()), description,
+            lease_ttl_s=lease_ttl_s or None, port_type=port_type)
         return entry.as_dict()
 
     @operation
-    def inquire(self, pattern: str = "*", category: str = "") -> list:
+    def inquire(self, pattern: str = "*", category: str = "",
+                healthy_only: bool = False) -> list:
         """Find published services by glob pattern and optional category."""
-        entries = self.registry.inquire(pattern, category or None)
-        return [e.as_dict() for e in entries]
+        entries = self.registry.inquire(pattern, category or None,
+                                        healthy_only=bool(healthy_only))
+        now = self.registry.now()
+        return [e.as_dict(now) for e in entries]
 
     @operation
     def lookup(self, name: str) -> dict:
         """Exact-name lookup; faults if the service is unknown."""
-        return self.registry.lookup(name).as_dict()
+        return self.registry.lookup(name).as_dict(self.registry.now())
+
+    @operation
+    def unpublish(self, name: str) -> dict:
+        """Withdraw a published service; faults if it is unknown."""
+        self.registry.unpublish(name)
+        return {"name": name, "unpublished": True}
+
+    @operation
+    def renew(self, name: str, lease_ttl_s: float = 0.0) -> dict:
+        """Heartbeat a lease; faults if the entry is gone (republish)."""
+        entry = self.registry.renew(name, lease_ttl_s or None)
+        return entry.as_dict(self.registry.now())

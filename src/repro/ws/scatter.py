@@ -76,6 +76,23 @@ def default_chunk() -> int:
     return _default_chunk
 
 
+def resolve_endpoints(endpoints) -> list:
+    """Materialise a caller's endpoint argument into a proxy list.
+
+    Callers historically pass a static sequence of client proxies; the
+    mesh introduced *endpoint sources* — objects exposing ``proxies()``
+    that answer one proxy per currently-live replica (see
+    :meth:`repro.ws.mesh.endpoints.ServiceEndpoints.proxies`).  This
+    duck-typed resolution is what lets ``grid.*``, bulk scoring and the
+    experiment runner consume live discovery without importing the mesh:
+    resolve at run start, and a replica set that changed since the last
+    run is simply picked up on the next resolution.
+    """
+    if hasattr(endpoints, "proxies"):
+        return list(endpoints.proxies())
+    return list(endpoints)
+
+
 @dataclass
 class ChunkDispatch:
     """Bookkeeping for one dispatch attempt of one chunk."""

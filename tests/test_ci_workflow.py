@@ -32,7 +32,7 @@ def test_expected_jobs_present(workflow):
     assert set(workflow["jobs"]) == {"test", "lint", "chaos",
                                      "bench-smoke", "serving-load",
                                      "experiment-resume",
-                                     "columnar-bench"}
+                                     "columnar-bench", "mesh-drill"}
 
 
 def test_concurrency_cancels_superseded_runs(workflow):
@@ -131,6 +131,46 @@ def test_layering_rules_cover_the_columnar_plane():
                    "src/repro/ml/classifiers/ibk.py",
                    "src/repro/ml/clusterers/kmeans.py"):
         assert "repro.ws" in rules[module], module
+
+
+def test_layering_rules_cover_the_mesh_plane():
+    """The mesh is control plane: routing weighs replicas and the
+    supervisor forks workers, but faults are only ever injected by the
+    chaos chain steps inside each worker and model mathematics never
+    reaches routing.  Conversely the byte movers must not reach up
+    into mesh policy.  Pin both directions of the firewall."""
+    rules = _load_layering_lint().RULES
+    for module in ("src/repro/ws/mesh/ring.py",
+                   "src/repro/ws/mesh/profile.py",
+                   "src/repro/ws/mesh/endpoints.py",
+                   "src/repro/ws/mesh/router.py",
+                   "src/repro/ws/mesh/worker.py",
+                   "src/repro/ws/mesh/supervisor.py",
+                   "src/repro/ws/mesh/gateway.py",
+                   "src/repro/ws/mesh/host.py"):
+        for banned in ("repro.chaos", "repro.ml"):
+            assert banned in rules[module], (module, banned)
+    assert "repro.ws.mesh" in rules["src/repro/ws/transport.py"]
+    assert "repro.ws.mesh" in rules["src/repro/ws/httpd.py"]
+
+
+def test_mesh_drill_job_gates_and_uploads_the_report(workflow):
+    """PERF-MESH: the worker-SIGKILL drill and the skewed-replica
+    routing benchmark run in CI (the in-test gates enforce zero
+    client-visible failures and >= 1.5x p99 for adaptive over static)
+    and the JSON report lands as the ``mesh-drill`` artifact."""
+    job = workflow["jobs"]["mesh-drill"]
+    text = steps_text(job)
+    assert "tests/mesh" in text
+    assert "benchmarks/test_bench_mesh.py" in text
+    for step in job["steps"]:
+        if "python -m pytest" in step.get("run", ""):
+            assert step["env"]["PYTHONHASHSEED"] == "0"
+    upload = next(step for step in job["steps"]
+                  if "upload-artifact" in step.get("uses", ""))
+    assert upload["with"]["name"] == "mesh-drill"
+    assert "BENCH_mesh.json" in upload["with"]["path"]
+    assert upload["with"]["if-no-files-found"] == "error"
 
 
 def test_columnar_bench_job_gates_and_uploads_the_report(workflow):

@@ -1,0 +1,132 @@
+"""Registry lifecycle: leases, renewal, sweep, health, SOAP verbs."""
+
+import pytest
+
+from repro.clock import FakeClock
+from repro.errors import RegistryError
+from repro.ws.registry import (HEALTH_DOWN, HEALTH_UP, RegistryService,
+                               UDDIRegistry)
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def registry(clock):
+    return UDDIRegistry(clock=clock)
+
+
+class TestLeases:
+    def test_published_at_uses_injected_clock(self, registry, clock):
+        clock.advance(123.0)
+        entry = registry.publish("Svc", "http://h/s?wsdl")
+        assert entry.published_at == pytest.approx(clock.monotonic())
+
+    def test_unleased_entry_never_expires(self, registry, clock):
+        registry.publish("Svc", "http://h/s?wsdl")
+        clock.advance(10_000.0)
+        assert registry.lookup("Svc").name == "Svc"
+        assert registry.sweep() == []
+
+    def test_leased_entry_expires_after_ttl(self, registry, clock):
+        registry.publish("Svc", "http://h/s?wsdl", lease_ttl_s=10.0)
+        clock.advance(9.9)
+        assert registry.lookup("Svc")
+        clock.advance(0.2)
+        with pytest.raises(RegistryError):
+            registry.lookup("Svc")
+        assert registry.inquire("*") == []
+
+    def test_renew_restarts_the_lease(self, registry, clock):
+        registry.publish("Svc", "http://h/s?wsdl", lease_ttl_s=10.0)
+        for _ in range(5):
+            clock.advance(8.0)
+            registry.renew("Svc")
+        assert registry.lookup("Svc")
+
+    def test_renew_after_expiry_faults(self, registry, clock):
+        registry.publish("Svc", "http://h/s?wsdl", lease_ttl_s=5.0)
+        clock.advance(6.0)
+        with pytest.raises(RegistryError):
+            registry.renew("Svc")
+
+    def test_sweep_reaps_only_expired(self, registry, clock):
+        registry.publish("A", "http://h/a?wsdl", lease_ttl_s=5.0)
+        registry.publish("B", "http://h/b?wsdl", lease_ttl_s=50.0)
+        registry.publish("C", "http://h/c?wsdl")
+        clock.advance(10.0)
+        assert registry.sweep() == ["A"]
+        assert len(registry) == 2
+        assert registry.sweep() == []
+
+    def test_unpublish_withdraws(self, registry):
+        registry.publish("Svc", "http://h/s?wsdl")
+        registry.unpublish("Svc")
+        with pytest.raises(RegistryError):
+            registry.lookup("Svc")
+        with pytest.raises(RegistryError):
+            registry.unpublish("Svc")
+
+    def test_len_counts_only_live(self, registry, clock):
+        registry.publish("A", "http://h/a?wsdl", lease_ttl_s=1.0)
+        registry.publish("B", "http://h/b?wsdl")
+        assert len(registry) == 2
+        clock.advance(2.0)
+        assert len(registry) == 1
+
+
+class TestHealth:
+    def test_healthy_only_hides_down_entries(self, registry):
+        registry.publish("A", "http://h/a?wsdl",
+                         categories=("service:X",))
+        registry.publish("B", "http://h/b?wsdl",
+                         categories=("service:X",))
+        registry.set_health("A", HEALTH_DOWN)
+        names = [e.name for e in registry.inquire(
+            "*", "service:X", healthy_only=True)]
+        assert names == ["B"]
+        assert len(registry.inquire("*", "service:X")) == 2
+
+    def test_health_recovers(self, registry):
+        registry.publish("A", "http://h/a?wsdl")
+        registry.set_health("A", HEALTH_DOWN)
+        registry.set_health("A", HEALTH_UP)
+        assert [e.name for e in registry.inquire(
+            "*", healthy_only=True)] == ["A"]
+
+    def test_find_equivalents_by_port_type(self, registry):
+        registry.publish("Classifier@w1", "http://a/c?wsdl",
+                         port_type="ClassifierPortType")
+        registry.publish("Classifier@w2", "http://b/c?wsdl",
+                         port_type="ClassifierPortType")
+        registry.publish("Math@w1", "http://a/m?wsdl",
+                         port_type="MathPortType")
+        registry.set_health("Classifier@w1", HEALTH_DOWN)
+        names = [e.name for e in
+                 registry.find_equivalents("ClassifierPortType")]
+        assert names == ["Classifier@w2"]
+
+
+class TestRegistryService:
+    def test_soap_surface_round_trips_leases(self, clock):
+        service = RegistryService(UDDIRegistry(clock=clock))
+        entry = service.publish("Svc", "http://h/s?wsdl",
+                                lease_ttl_s=10.0,
+                                port_type="SvcPortType")
+        assert entry["lease_ttl_s"] == 10.0
+        found = service.inquire(pattern="Svc*")
+        assert found[0]["expires_in_s"] == pytest.approx(10.0)
+        clock.advance(8.0)
+        renewed = service.renew("Svc")
+        assert renewed["expires_in_s"] == pytest.approx(10.0)
+        assert service.unpublish("Svc")["unpublished"] is True
+
+    def test_soap_zero_ttl_means_no_lease(self, clock):
+        service = RegistryService(UDDIRegistry(clock=clock))
+        entry = service.publish("Svc", "http://h/s?wsdl",
+                                lease_ttl_s=0.0)
+        assert entry["lease_ttl_s"] == 0.0
+        clock.advance(10_000.0)
+        assert service.lookup("Svc")["name"] == "Svc"

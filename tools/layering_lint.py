@@ -31,9 +31,10 @@ SRC = REPO / "src"
 RULES: dict[str, tuple[str, ...]] = {
     "src/repro/ws/transport.py": ("repro.obs", "repro.ws.breaker",
                                   "repro.chaos", "repro.ws.scatter",
-                                  "repro.ws.admission"),
+                                  "repro.ws.admission", "repro.ws.mesh"),
     "src/repro/ws/httpd.py": ("repro.ws.breaker", "repro.chaos",
-                              "repro.ws.scatter", "repro.ws.admission"),
+                              "repro.ws.scatter", "repro.ws.admission",
+                              "repro.ws.mesh"),
     "src/repro/ws/client.py": ("repro.ws.breaker", "repro.chaos"),
     "src/repro/ws/container.py": ("repro.ws.breaker", "repro.chaos"),
     # scatter-gather is batching *policy*: it may meter itself via obs
@@ -58,6 +59,18 @@ RULES: dict[str, tuple[str, ...]] = {
     "src/repro/data/dataio.py": ("repro.obs", "repro.chaos",
                                  "repro.ws.breaker",
                                  "repro.ws.admission", "repro.ws"),
+    # the mesh is routing/fleet *control* plane: it weighs replicas,
+    # forks workers, fronts the fleet.  Faults are injected by the
+    # chaos chain steps inside each worker, never by the mesh itself,
+    # and model mathematics never leaks up into routing decisions.
+    "src/repro/ws/mesh/ring.py": ("repro.chaos", "repro.ml"),
+    "src/repro/ws/mesh/profile.py": ("repro.chaos", "repro.ml"),
+    "src/repro/ws/mesh/endpoints.py": ("repro.chaos", "repro.ml"),
+    "src/repro/ws/mesh/router.py": ("repro.chaos", "repro.ml"),
+    "src/repro/ws/mesh/worker.py": ("repro.chaos", "repro.ml"),
+    "src/repro/ws/mesh/supervisor.py": ("repro.chaos", "repro.ml"),
+    "src/repro/ws/mesh/gateway.py": ("repro.chaos", "repro.ml"),
+    "src/repro/ws/mesh/host.py": ("repro.chaos", "repro.ml"),
     # the vectorised model kernels score matrices; shipping those
     # matrices is the services/ws layers' business, never theirs
     "src/repro/ml/base.py": ("repro.ws", "repro.services"),
