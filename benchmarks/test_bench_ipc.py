@@ -1,0 +1,168 @@
+"""PERF-IPC — same-host zero-copy IPC vs the classic TCP data plane.
+
+The same batched scoring stream is driven through the mesh gateway
+into one Classifier worker twice — the PR-9 deployment shape, so both
+the client→gateway and gateway→worker hops pay the data plane under
+test:
+
+* **tcp+inline** — a ``transport="tcp"`` mesh with the shared-memory
+  tier disabled; every call ships a *distinct* ~1.3 MB columnar frame
+  inline (base64 in the SOAP body) over both hops, so the classic
+  by-reference cache can never kick in — this is the honest
+  first-contact cost.
+* **uds+shm** — a ``transport="uds"`` mesh: the gateway dials the
+  worker over its Unix socket, and on both hops the frame travels as
+  a named shared-memory segment the consumer maps in place; no socket
+  ever sees the payload bytes.
+
+The CI gate requires uds+shm to halve the p50 (``MIN_SPEEDUP = 2``);
+the report lands in ``BENCH_ipc.json`` (written directly — no
+pytest-benchmark dependency), which the ``ipc-bench`` CI job uploads.
+
+Run: PYTHONPATH=src python -m pytest benchmarks/test_bench_ipc.py -s
+"""
+
+import json
+import math
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data import codec
+from repro.data.attribute import Attribute
+from repro.data.dataset import Dataset
+from repro.ws import payload, shm
+from repro.ws.client import ServiceProxy
+from repro.ws.mesh import start_mesh
+
+pytestmark = pytest.mark.skipif(not shm.supported(),
+                                reason="no POSIX shared memory here")
+
+ROWS = 20_000
+FEATURES = 8
+SCORED_ROWS = 256
+WARMUP_CALLS = 3
+MEASURED_CALLS = 25
+
+#: CI gate: the issue demands >= 2x on p50 with >= 1 MB frames; the
+#: measured margin is far wider (the TCP arm pays base64 + XML parse +
+#: two socket copies of ~1.7 MB per call, the shm arm maps pages), so
+#: runner jitter cannot flake this while a real regression trips it.
+MIN_SPEEDUP = 2.0
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_ipc.json"
+
+_ATTRS = [Attribute.numeric(f"f{j}") for j in range(FEATURES)]
+_ATTRS.append(Attribute.nominal("class", ("neg", "pos")))
+
+
+def frame_for(index: int) -> bytes:
+    """A distinct ~1.3 MB columnar frame per call: fresh random content
+    defeats every content-addressed cache, so both arms pay full
+    first-contact transfer cost on every single call."""
+    rng = np.random.default_rng(1000 + index)
+    ds = Dataset(f"ipc-bench-{index}", _ATTRS)
+    matrix = np.column_stack([
+        rng.normal(size=(ROWS, FEATURES)),
+        rng.integers(0, 2, size=ROWS).astype(float)])
+    ds._bulk_extend(matrix)
+    ds.set_class("class")
+    return codec.encode(ds)
+
+
+def percentile(samples_ms: list[float], q: float) -> float:
+    """Nearest-rank percentile (the loadgen plane's convention)."""
+    ordered = sorted(samples_ms)
+    rank = max(0, min(len(ordered) - 1,
+                      math.ceil(q / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def drive(wsdl_url: str, arm: str, frames: list[bytes]) -> dict:
+    # score a fixed slice of each frame: the response stays small, so
+    # the timed quantity is the *request* data plane — exactly the
+    # tier this PR moved into shared memory
+    rows = list(range(SCORED_ROWS))
+    proxy = ServiceProxy.from_wsdl_url(wsdl_url)
+    try:
+        for i in range(WARMUP_CALLS):
+            proxy.call("classifyBatch", classifier="ZeroR",
+                       dataset=frames[i], attribute="class", rows=rows)
+        samples_ms = []
+        for frame in frames[WARMUP_CALLS:]:
+            start = time.perf_counter()
+            out = proxy.call("classifyBatch", classifier="ZeroR",
+                             dataset=frame, attribute="class",
+                             rows=rows)
+            samples_ms.append((time.perf_counter() - start) * 1000.0)
+            assert len(out["labels"]) == SCORED_ROWS
+            assert out["errors"] == []
+    finally:
+        proxy.close()
+    return {
+        "arm": arm,
+        "calls": len(samples_ms),
+        "frame_bytes": len(frames[WARMUP_CALLS]),
+        "mean_ms": round(statistics.fmean(samples_ms), 3),
+        "p50_ms": round(percentile(samples_ms, 50), 3),
+        "p99_ms": round(percentile(samples_ms, 99), 3),
+        "max_ms": round(max(samples_ms), 3),
+    }
+
+
+def test_uds_shm_halves_p50_over_tcp_inline():
+    frames = [frame_for(i) for i in range(WARMUP_CALLS + MEASURED_CALLS)]
+    assert all(len(f) >= 1024 * 1024 for f in frames)
+
+    # arm 1: a tcp mesh with the shm tier off — the classic inline
+    # data plane on both hops (the gateway runs in this process, so
+    # disabling here covers the client AND gateway chains; the worker
+    # only ever receives inline bytes)
+    payload.set_shm_enabled(False)
+    try:
+        with start_mesh(workers=1, services=["Classifier"],
+                        transport="tcp") as host:
+            tcp = drive(host.wsdl_url("Classifier"), "tcp+inline",
+                        frames)
+    finally:
+        payload.set_shm_enabled(True)
+
+    # arm 2: a uds mesh — gateway dials the worker over its socket,
+    # frames travel by shared-memory segment on both hops
+    with start_mesh(workers=1, services=["Classifier"],
+                    transport="uds") as host:
+        uds = drive(host.wsdl_url("Classifier"), "uds+shm", frames)
+        schemes = host.router.transport_schemes()
+        assert schemes and set(schemes.values()) == {"uds"}, schemes
+    counters = payload.shm_counters()
+    assert counters.get("ws.shm.publishes", 0) >= MEASURED_CALLS, \
+        "the uds arm did not actually publish segments"
+    assert counters.get("ws.shm.publish_failures", 0) == 0
+
+    speedup = tcp["p50_ms"] / uds["p50_ms"]
+    report = {
+        "scenario": {
+            "service": "Classifier",
+            "operation": "classifyBatch",
+            "rows": ROWS,
+            "features": FEATURES,
+            "frame_bytes": tcp["frame_bytes"],
+            "measured_calls": MEASURED_CALLS,
+        },
+        "tcp_inline": tcp,
+        "uds_shm": uds,
+        "p50_speedup": round(speedup, 2),
+        "gate_min_speedup": MIN_SPEEDUP,
+    }
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nPERF-IPC: tcp+inline p50 {tcp['p50_ms']:.1f}ms vs "
+          f"uds+shm p50 {uds['p50_ms']:.1f}ms "
+          f"({speedup:.1f}x; gate {MIN_SPEEDUP}x)")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"uds+shm beat tcp+inline by only {speedup:.2f}x p50 "
+        f"(tcp {tcp['p50_ms']:.1f}ms, uds {uds['p50_ms']:.1f}ms); "
+        f"gate is {MIN_SPEEDUP}x")

@@ -275,7 +275,8 @@ def _cmd_loadgen(args) -> int:
         args.endpoint, args.operation, params,
         concurrency=args.concurrency, duration_s=args.duration,
         warmup_s=args.warmup, priority_levels=args.priority_levels,
-        seed=args.seed, timeout_s=args.timeout)
+        seed=args.seed, timeout_s=args.timeout,
+        transport=args.transport)
     payload = report.as_dict()
     if args.out:
         Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
@@ -334,10 +335,10 @@ def _cmd_mesh(args) -> int:
     host = start_mesh(workers=args.workers, services=services,
                       shards=args.shards, policy=args.policy,
                       port=args.port, lease_ttl_s=args.lease_ttl,
-                      slow_ms=slow_ms)
+                      slow_ms=slow_ms, transport=args.transport)
     print(f"mesh gateway at {host.base_url} "
           f"({args.workers} worker(s), shards {args.shards!r}, "
-          f"policy {args.policy!r})")
+          f"policy {args.policy!r}, transport {args.transport!r})")
     print(f"fleet status: {host.base_url}/mesh/status")
     print("services:")
     for name in host.discovery.service_names():
@@ -516,6 +517,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="backoff-jitter RNG seed (default 0)")
     p.add_argument("--timeout", type=float, default=30.0,
                    help="per-call transport timeout seconds")
+    p.add_argument("--transport", default="auto",
+                   choices=("auto", "tcp", "uds"),
+                   help="assert the endpoint scheme: tcp wants "
+                        "http://, uds wants unix:// (default auto)")
     p.add_argument("--out", default=None, metavar="PATH",
                    help="also write the JSON report to PATH "
                         "(e.g. BENCH_serving.json)")
@@ -584,6 +589,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="delay every dispatch on one worker, e.g. "
                         "'w2=50' (skewed-replica benchmarking; "
                         "repeatable)")
+    p.add_argument("--transport", default="tcp",
+                   choices=("tcp", "uds"),
+                   help="gateway→worker transport: uds adds a Unix "
+                        "socket per worker with shm payload hand-off "
+                        "(default tcp)")
     p.add_argument("--duration", type=float, default=3600.0,
                    help="seconds to serve before exiting")
     p.add_argument("--status-out", default=None, dest="status_out",

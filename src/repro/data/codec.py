@@ -206,8 +206,12 @@ def decode(frame: bytes | bytearray | memoryview | np.ndarray) -> Dataset:
             size = 8 * n_rows
             _require(offset + size <= total,
                      f"truncated buffer for column {name!r}")
-            col = np.frombuffer(buf[offset:offset + size],
-                                dtype="<f8").astype(float)
+            # map, don't copy: on little-endian hosts asarray is a
+            # no-op view straight into the source buffer — which for a
+            # shm-resolved frame is the shared segment itself (the
+            # downstream column_stack materialises the working copy)
+            col = np.asarray(np.frombuffer(buf[offset:offset + size],
+                                           dtype="<f8"), dtype=float)
             offset += size
             try:
                 attributes.append(Attribute(name, NUMERIC))

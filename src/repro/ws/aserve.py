@@ -36,13 +36,14 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from urllib.parse import urlparse
 
 from repro.errors import OverloadedError, ServiceError
 from repro.obs import get_metrics
-from repro.ws import soap, wsdl
+from repro.ws import shm, soap, wsdl
 from repro.ws.admission import DEFAULT_RETRY_HINT_S, AdmissionController
 from repro.ws.container import ServiceContainer
 from repro.ws.pipeline import HttpGateway
@@ -76,7 +77,8 @@ class AsyncSoapHttpServer:
     def __init__(self, container: ServiceContainer, port: int = 0,
                  compress: bool = True,
                  admission: AdmissionController | None = None,
-                 max_workers: int | None = None):
+                 max_workers: int | None = None,
+                 uds_path: str | None = None):
         self.container = container
         self.gateway = HttpGateway(container, compress=compress)
         self.admission = admission
@@ -85,6 +87,7 @@ class AsyncSoapHttpServer:
         self.max_workers = max_workers
         self.port = port
         self.base_url = ""
+        self.uds_path = uds_path or None
         self._requested_port = port
         self._thread: threading.Thread | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -124,12 +127,24 @@ class AsyncSoapHttpServer:
             self._serve_connection, "127.0.0.1", self._requested_port)
         self.port = server.sockets[0].getsockname()[1]
         self.base_url = f"http://127.0.0.1:{self.port}"
+        uds_server = None
+        if self.uds_path:
+            if os.path.exists(self.uds_path):
+                os.unlink(self.uds_path)  # stale socket from a crash
+            uds_server = await asyncio.start_unix_server(
+                self._serve_connection, path=self.uds_path)
         self._started.set()
         try:
             async with server:
-                await self._stop.wait()
+                if uds_server is not None:
+                    async with uds_server:
+                        await self._stop.wait()
+                else:
+                    await self._stop.wait()
         finally:
             self._executor.shutdown(wait=False)
+            if self.uds_path and os.path.exists(self.uds_path):
+                os.unlink(self.uds_path)
 
     def stop(self) -> None:
         """Shut down the loop thread and release resources."""
@@ -141,6 +156,13 @@ class AsyncSoapHttpServer:
     def endpoint(self, service: str) -> str:
         """The SOAP endpoint URL of *service*."""
         return f"{self.base_url}/services/{service}"
+
+    def uds_endpoint(self, service: str) -> str:
+        """The ``unix://`` endpoint URL of *service* (uds_path set)."""
+        if not self.uds_path:
+            raise ServiceError("server has no unix socket listener")
+        from repro.ws.transport import unix_url
+        return unix_url(self.uds_path, f"/services/{service}")
 
     def wsdl_url(self, service: str) -> str:
         """The WSDL URL of *service*."""
@@ -214,6 +236,7 @@ class AsyncSoapHttpServer:
         lines = [f"HTTP/1.1 {status} {reason}",
                  f"Content-Type: {content_type}",
                  "X-Repro-Codecs: columnar",
+                 f"X-Repro-Boot: {shm.boot_id()}",
                  f"Content-Length: {len(body)}"]
         if encoding:
             lines.append(f"Content-Encoding: {encoding}")

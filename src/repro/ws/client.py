@@ -23,19 +23,31 @@ from repro.data import cache as datacache
 from repro.errors import ServiceError, TransportError, WsdlError
 from repro.obs import get_metrics
 from repro.ws import pipeline, soap, wsdl
+from repro.ws import transport as transport_mod
 from repro.ws.soap import CallOutcome, SoapRequest, SubCall
 from repro.ws.transport import HttpTransport, Transport  # noqa: F401
 
 
 def fetch_url(url: str, timeout: float = 30.0) -> str:
-    """GET a small text document (WSDL, service index, data file)."""
+    """GET a small text document (WSDL, service index, data file).
+
+    Speaks ``http://`` and ``unix://`` (percent-encoded socket path as
+    the authority), so WSDL import works over the same-host fast path.
+    """
     parsed = urlparse(url)
-    if parsed.scheme != "http" or not parsed.hostname:
-        raise TransportError(f"unsupported URL {url!r}")
-    try:
+    if parsed.scheme == "unix":
+        socket_path, _ = transport_mod.parse_unix_url(
+            url.split("?", 1)[0])
+        conn = transport_mod._UnixHTTPConnection(socket_path,
+                                                 timeout=timeout)
+        path = parsed.path or "/"
+    elif parsed.scheme == "http" and parsed.hostname:
         conn = http.client.HTTPConnection(
             parsed.hostname, parsed.port or 80, timeout=timeout)
         path = parsed.path or "/"
+    else:
+        raise TransportError(f"unsupported URL {url!r}")
+    try:
         if parsed.query:
             path += "?" + parsed.query
         conn.request("GET", path)
@@ -110,7 +122,11 @@ class ServiceProxy:
                 _WSDL_CACHE.put(url, description)
         if not description.address:
             raise WsdlError(f"WSDL at {url} carries no endpoint address")
-        return cls(description, HttpTransport(description.address),
+        # a WSDL fetched over the Unix fast path advertises its TCP
+        # soap:address; keep the whole conversation on the socket
+        endpoint = url.split("?", 1)[0] \
+            if urlparse(url).scheme == "unix" else description.address
+        return cls(description, transport_mod.transport_for(endpoint),
                    breaker=breaker)
 
     @classmethod

@@ -32,7 +32,7 @@ from urllib.parse import urlparse
 from repro.errors import OverloadedError, ReproError
 from repro.ws.admission import DEFAULT_RETRY_HINT_S
 from repro.ws.soap import SoapRequest
-from repro.ws.transport import HttpTransport
+from repro.ws.transport import transport_for
 
 __all__ = ["LoadReport", "run"]
 
@@ -52,6 +52,7 @@ class LoadReport:
 
     concurrency: int
     duration_s: float
+    transport: str = "http"
     served: int = 0
     shed: int = 0
     errors: int = 0
@@ -86,6 +87,7 @@ class LoadReport:
         return {
             "concurrency": self.concurrency,
             "duration_s": round(self.duration_s, 3),
+            "transport": self.transport,
             "offered": self.offered,
             "served": self.served,
             "shed": self.shed,
@@ -111,7 +113,8 @@ async def _client_loop(index: int, endpoint: str, service: str,
                        report: LoadReport, rng: random.Random,
                        timeout_s: float) -> None:
     """One closed-loop client: request, await, repeat until *deadline*."""
-    transport = HttpTransport(endpoint, timeout=timeout_s, compress=False)
+    transport = transport_for(endpoint, timeout=timeout_s,
+                              compress=False)
     try:
         while time.perf_counter() < deadline:
             request = SoapRequest(service, operation, dict(params),
@@ -145,8 +148,9 @@ async def _client_loop(index: int, endpoint: str, service: str,
 async def _run_async(endpoint: str, service: str, operation: str,
                      params: dict, concurrency: int, duration_s: float,
                      warmup_s: float, priority_levels: int, seed: int,
-                     timeout_s: float) -> LoadReport:
-    report = LoadReport(concurrency=concurrency, duration_s=duration_s)
+                     timeout_s: float, scheme: str) -> LoadReport:
+    report = LoadReport(concurrency=concurrency, duration_s=duration_s,
+                        transport="uds" if scheme == "unix" else "http")
     rng = random.Random(seed)
     start = time.perf_counter()
     warmup_until = start + warmup_s
@@ -166,18 +170,32 @@ async def _run_async(endpoint: str, service: str, operation: str,
 def run(endpoint: str, operation: str, params: dict | None = None, *,
         concurrency: int = 64, duration_s: float = 5.0,
         warmup_s: float = 1.0, priority_levels: int = 1, seed: int = 0,
-        timeout_s: float = 30.0) -> LoadReport:
+        timeout_s: float = 30.0, transport: str = "auto") -> LoadReport:
     """Drive *endpoint* with closed-loop clients; returns the report.
 
-    *endpoint* is a ``…/services/<Name>`` URL (the service name is
-    taken from the path).  ``priority_levels > 1`` spreads clients
-    round-robin over priorities ``0..levels-1``, exercising the
-    priority queue's shed ordering.  The run lasts ``warmup_s +
-    duration_s``; only calls started after the warmup are counted.
+    *endpoint* is a ``…/services/<Name>`` URL — ``http://`` or
+    ``unix://`` — and the service name is taken from the path.
+    *transport* (``auto``/``tcp``/``uds``) asserts the endpoint's
+    scheme matches what the caller meant to measure, so a benchmark
+    arm cannot silently run over the wrong plane.  ``priority_levels >
+    1`` spreads clients round-robin over priorities ``0..levels-1``,
+    exercising the priority queue's shed ordering.  The run lasts
+    ``warmup_s + duration_s``; only calls started after the warmup are
+    counted.
     """
+    scheme = urlparse(endpoint).scheme
+    expected = {"auto": None, "tcp": "http", "uds": "unix"}
+    if transport not in expected:
+        raise ValueError(f"unknown transport {transport!r}; "
+                         f"expected one of {sorted(expected)}")
+    want = expected[transport]
+    if want is not None and scheme != want:
+        raise ValueError(
+            f"--transport {transport} needs a {want}:// endpoint, "
+            f"got {endpoint!r}")
     service = [p for p in urlparse(endpoint).path.split("/") if p][-1]
     return asyncio.run(_run_async(
         endpoint, service, operation, dict(params or {}),
         concurrency=concurrency, duration_s=duration_s,
         warmup_s=warmup_s, priority_levels=priority_levels, seed=seed,
-        timeout_s=timeout_s))
+        timeout_s=timeout_s, scheme=scheme))

@@ -55,9 +55,10 @@ class MeshEndpoint:
 
     name: str       # registry entry name, e.g. "Classifier@w2"
     service: str    # logical service name
-    url: str        # SOAP endpoint URL
+    url: str        # SOAP endpoint URL (stable identity: TCP)
     wsdl_url: str
     health: str = "up"
+    uds_url: str = ""  # same-host fast-path endpoint, "" if none
 
 
 def _entry_to_endpoint(service: str, entry) -> MeshEndpoint:
@@ -65,12 +66,15 @@ def _entry_to_endpoint(service: str, entry) -> MeshEndpoint:
     if isinstance(entry, dict):
         name, wsdl_url = entry["name"], entry["wsdl_url"]
         health = entry.get("health", "up")
+        uds_url = entry.get("uds_url", "")
     else:
         name, wsdl_url = entry.name, entry.wsdl_url
         health = entry.health
+        uds_url = getattr(entry, "uds_url", "")
     return MeshEndpoint(name=name, service=service,
                         url=endpoint_url_of(wsdl_url),
-                        wsdl_url=wsdl_url, health=health)
+                        wsdl_url=wsdl_url, health=health,
+                        uds_url=uds_url)
 
 
 class RegistryEndpoints:

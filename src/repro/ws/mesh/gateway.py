@@ -25,6 +25,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlparse
 
 from repro.errors import TransportError
+from repro.ws import shm
 from repro.ws.client import fetch_url
 from repro.ws.deadline import deadline_scope
 from repro.ws.mesh.endpoints import RegistryEndpoints
@@ -99,6 +100,7 @@ class _MeshHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("X-Repro-Codecs", "columnar")
+        self.send_header("X-Repro-Boot", shm.boot_id())
         if encoding:
             self.send_header("Content-Encoding", encoding)
         self.send_header("Content-Length", str(len(body)))

@@ -12,6 +12,7 @@ the routing profiles from any already-collected trace, and open the
 from __future__ import annotations
 
 from repro.clock import SYSTEM_CLOCK, Clock
+from repro.ws import payload
 from repro.ws.mesh.endpoints import RegistryEndpoints, ServiceEndpoints
 from repro.ws.mesh.gateway import MeshGateway
 from repro.ws.mesh.ring import ConsistentHashRing
@@ -106,7 +107,9 @@ class MeshHost:
                 "supervisor": self.supervisor.status(),
                 "registry": [entry.as_dict(now=now) for entry
                              in self.registry.inquire("*")],
-                "profiles": self.router.book.snapshot()}
+                "profiles": self.router.book.snapshot(),
+                "transports": self.router.transport_schemes(),
+                "shm": payload.shm_counters()}
 
     def stop(self) -> None:
         """Tear down front-to-back: gateway, then fleet and leases."""
@@ -131,11 +134,14 @@ def start_mesh(workers: int = 4, services: list[str] | None = None,
                spawn_timeout_s: float = 60.0,
                compress: bool = True,
                registry: UDDIRegistry | None = None,
+               transport: str = "tcp",
                clock: Clock = SYSTEM_CLOCK) -> MeshHost:
     """Fork a worker fleet and return its running :class:`MeshHost`.
 
     *slow_ms* maps worker ids (``w1``..``wN``) to a fixed per-dispatch
     delay — the skewed-replica knob the PERF-MESH benchmark turns.
+    ``transport="uds"`` adds a Unix-socket listener per worker and
+    routes same-host calls over it (with shm payload hand-off).
     """
     if workers < 1:
         raise ValueError("a mesh needs at least one worker")
@@ -152,7 +158,7 @@ def start_mesh(workers: int = 4, services: list[str] | None = None,
         specs, registry, lease_ttl_s=lease_ttl_s,
         heartbeat_s=heartbeat_s, backoff_base_s=backoff_base_s,
         backoff_cap_s=backoff_cap_s, spawn_timeout_s=spawn_timeout_s,
-        clock=clock)
+        transport=transport, clock=clock)
     supervisor.start()
     try:
         discovery = RegistryEndpoints(registry)

@@ -31,6 +31,7 @@ the deadline/trace/metrics steps like any other chain member.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 
@@ -45,7 +46,8 @@ from repro.ws.mesh.ring import ConsistentHashRing
 from repro.ws.pipeline import ClientInterceptor
 from repro.ws.registry import HEALTH_DOWN, HEALTH_UP
 from repro.ws.soap import SoapFault, SoapRequest, SoapResponse
-from repro.ws.transport import HttpTransport
+from repro.ws.transport import (HttpTransport, parse_unix_url,
+                                transport_for)
 
 #: Waiting this long since an endpoint's last observation makes its
 #: profile *stale*: the adaptive policy re-probes it ahead of ranked
@@ -192,18 +194,44 @@ class MeshRouter:
         self._clock = clock
         self._transports: dict[str, HttpTransport] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
+        #: last dial scheme per stable endpoint URL (``/mesh/status``)
+        self._schemes: dict[str, str] = {}
         self._lock = threading.Lock()
 
     # -- plumbing --------------------------------------------------------
 
-    def _transport(self, url: str) -> HttpTransport:
+    def _dial_url(self, endpoint: MeshEndpoint) -> str:
+        """The URL to actually dial: the Unix socket when it is real.
+
+        An advertised ``uds_url`` is only trusted if its socket path
+        exists on this host — a stale registry entry (or one mirrored
+        from another machine) degrades to TCP instead of failing.
+        """
+        if endpoint.uds_url:
+            try:
+                path, _ = parse_unix_url(endpoint.uds_url)
+            except TransportError:
+                return endpoint.url
+            if os.path.exists(path):
+                return endpoint.uds_url
+        return endpoint.url
+
+    def _transport(self, endpoint: MeshEndpoint) -> HttpTransport:
+        dial = self._dial_url(endpoint)
         with self._lock:
-            transport = self._transports.get(url)
+            transport = self._transports.get(dial)
             if transport is None:
-                transport = HttpTransport(url, timeout=self.timeout_s,
+                transport = transport_for(dial, timeout=self.timeout_s,
                                           compress=self.compress)
-                self._transports[url] = transport
+                self._transports[dial] = transport
+            self._schemes[endpoint.url] = getattr(transport, "kind",
+                                                  "http")
             return transport
+
+    def transport_schemes(self) -> dict[str, str]:
+        """Last-used dial scheme per endpoint URL (``http``/``uds``)."""
+        with self._lock:
+            return dict(self._schemes)
 
     def _breaker(self, url: str) -> CircuitBreaker:
         with self._lock:
@@ -252,7 +280,7 @@ class MeshRouter:
                 # without paying its timeout
                 substituted = True
                 continue
-            transport = self._transport(endpoint.url)
+            transport = self._transport(endpoint)
             start = time.perf_counter()
             try:
                 response = transport.send(request)

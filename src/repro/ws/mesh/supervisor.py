@@ -37,9 +37,11 @@ from dataclasses import dataclass, field
 from repro.clock import SYSTEM_CLOCK, Clock
 from repro.errors import RegistryError
 from repro.obs import get_metrics
+from repro.ws import payload, shm
 from repro.ws.mesh.endpoints import (MESH_CATEGORY, port_type_of,
                                      service_category)
 from repro.ws.registry import UDDIRegistry
+from repro.ws.transport import unix_url
 
 #: Seconds a SIGTERMed worker gets to drain before SIGKILL.
 DRAIN_GRACE_S = 5.0
@@ -69,6 +71,8 @@ class WorkerHandle:
     restarts: int = 0
     restart_at: float | None = None
     stderr_path: str = ""
+    uds_path: str = ""
+    boot_id: str = ""
     _extra: dict = field(default_factory=dict)
 
     @property
@@ -84,7 +88,8 @@ class WorkerHandle:
         return {"worker_id": self.spec.worker_id, "pid": self.pid,
                 "port": self.port, "base_url": self.base_url,
                 "services": list(self.services),
-                "restarts": self.restarts, "alive": self.alive}
+                "restarts": self.restarts, "alive": self.alive,
+                "uds_path": self.uds_path}
 
 
 class WorkerSupervisor:
@@ -98,9 +103,13 @@ class WorkerSupervisor:
                  spawn_timeout_s: float = 60.0,
                  poll_interval_s: float = 0.2,
                  python: str = sys.executable,
+                 transport: str = "tcp",
                  clock: Clock = SYSTEM_CLOCK):
         if not specs:
             raise ValueError("a mesh needs at least one worker spec")
+        if transport not in ("tcp", "uds"):
+            raise ValueError(f"unknown transport {transport!r}; "
+                             f"expected 'tcp' or 'uds'")
         ids = [spec.worker_id for spec in specs]
         if len(set(ids)) != len(ids):
             raise ValueError(f"duplicate worker ids in {ids}")
@@ -113,6 +122,7 @@ class WorkerSupervisor:
         self.spawn_timeout_s = spawn_timeout_s
         self.poll_interval_s = poll_interval_s
         self.python = python
+        self.transport = transport
         self._clock = clock
         self.handles = [WorkerHandle(spec=spec) for spec in specs]
         self._dir = ""
@@ -123,6 +133,9 @@ class WorkerSupervisor:
 
     def start(self) -> "WorkerSupervisor":
         """Spawn every worker, publish its endpoints, arm the watchdog."""
+        # reclaim shm segments orphaned by a previous fleet that died
+        # without draining (the refcounted lifecycle's crash backstop)
+        payload.sweep_shm_orphans()
         self._dir = tempfile.mkdtemp(prefix="repro-mesh-")
         try:
             for handle in self.handles:
@@ -161,6 +174,10 @@ class WorkerSupervisor:
         if self._dir:
             shutil.rmtree(self._dir, ignore_errors=True)
             self._dir = ""
+        # drop this process's owned segments, then sweep anything the
+        # (now dead) workers left mapped in /dev/shm
+        payload.release_shm_segments()
+        payload.sweep_shm_orphans()
 
     def __enter__(self) -> "WorkerSupervisor":
         return self.start()
@@ -174,7 +191,8 @@ class WorkerSupervisor:
         """JSON-ready fleet snapshot (the ``repro mesh`` status file)."""
         return {"workers": [handle.as_dict() for handle in self.handles],
                 "lease_ttl_s": self.lease_ttl_s,
-                "heartbeat_s": self.heartbeat_s}
+                "heartbeat_s": self.heartbeat_s,
+                "transport": self.transport}
 
     def handle_of(self, worker_id: str) -> WorkerHandle:
         """The live handle for *worker_id* (KeyError if unknown)."""
@@ -201,6 +219,9 @@ class WorkerSupervisor:
                "--lifecycle", spec.lifecycle]
         if spec.slow_ms > 0:
             cmd += ["--slow-ms", str(spec.slow_ms)]
+        if self.transport == "uds":
+            cmd += ["--uds",
+                    os.path.join(self._dir, f"{spec.worker_id}.sock")]
         with open(handle.stderr_path, "wb") as stderr:
             handle.process = subprocess.Popen(
                 cmd, stdout=subprocess.DEVNULL, stderr=stderr)
@@ -208,6 +229,8 @@ class WorkerSupervisor:
         handle.port = record["port"]
         handle.base_url = record["base_url"]
         handle.services = tuple(record["services"])
+        handle.uds_path = record.get("uds_path", "")
+        handle.boot_id = record.get("boot_id", "")
         handle.restart_at = None
         get_metrics().counter("ws.mesh.worker.spawns",
                               worker=spec.worker_id).inc()
@@ -248,6 +271,11 @@ class WorkerSupervisor:
 
     def _publish(self, handle: WorkerHandle) -> None:
         names = []
+        # advertise the Unix-socket fast path only when the worker
+        # proved it shares this host's boot id — a registry mirrored
+        # across hosts must not leak unreachable socket paths
+        same_host = bool(handle.uds_path) \
+            and handle.boot_id == shm.boot_id()
         for service in handle.services:
             name = f"{service}@{handle.spec.worker_id}"
             self.registry.publish(
@@ -255,7 +283,10 @@ class WorkerSupervisor:
                 categories=(MESH_CATEGORY, service_category(service)),
                 description=f"mesh replica on {handle.spec.worker_id}",
                 lease_ttl_s=self.lease_ttl_s,
-                port_type=port_type_of(service))
+                port_type=port_type_of(service),
+                uds_url=unix_url(handle.uds_path,
+                                 f"/services/{service}")
+                if same_host else "")
             names.append(name)
         handle.entry_names = tuple(names)
 
@@ -266,6 +297,9 @@ class WorkerSupervisor:
             except RegistryError:
                 pass  # lease already expired
         handle.entry_names = ()
+        # a withdrawn (usually crashed) worker can no longer release
+        # the segments it published — reap them here
+        payload.sweep_shm_orphans()
 
     # -- watchdog --------------------------------------------------------
 

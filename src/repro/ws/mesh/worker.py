@@ -10,8 +10,9 @@ The worker deploys its shard of the algorithm catalogue into a
 :class:`~repro.ws.container.ServiceContainer`, hosts it on an
 :class:`~repro.ws.aserve.AsyncSoapHttpServer` with front-door admission
 (the PR-6 arrangement), then *announces* itself by atomically writing a
-JSON file — ``{"pid", "port", "base_url", "services"}`` — which is how
-the supervisor learns the ephemeral port of a worker it just forked.
+JSON file — ``{"pid", "port", "base_url", "services", "uds_path",
+"boot_id"}`` — which is how the supervisor learns the ephemeral port
+(and optional same-host Unix socket) of a worker it just forked.
 ``SIGTERM`` drains gracefully: stop accepting, finish in-flight
 dispatches, exit 0.
 
@@ -74,8 +75,11 @@ def build_container(services: list[str] | None,
 def announce(path: str, server: AsyncSoapHttpServer,
              services: list[str]) -> None:
     """Atomically publish this worker's coordinates for the supervisor."""
+    from repro.ws import shm
     record = {"pid": os.getpid(), "port": server.port,
-              "base_url": server.base_url, "services": services}
+              "base_url": server.base_url, "services": services,
+              "uds_path": server.uds_path or "",
+              "boot_id": shm.boot_id()}
     fd, staging = tempfile.mkstemp(dir=os.path.dirname(path) or ".",
                                    prefix=".announce-")
     with os.fdopen(fd, "w") as handle:
@@ -111,6 +115,9 @@ def main(argv: list[str] | None = None) -> int:
                         dest="slow_ms",
                         help="fixed per-dispatch delay in ms (skewed-"
                              "replica benchmarking; default 0)")
+    parser.add_argument("--uds", default="", metavar="PATH",
+                        help="also listen on this Unix socket path "
+                             "(same-host zero-copy fast path)")
     args = parser.parse_args(argv)
 
     shard = None if args.services == "all" else \
@@ -123,7 +130,8 @@ def main(argv: list[str] | None = None) -> int:
         admission = AdmissionController(
             max_concurrent=args.max_concurrent)
     server = AsyncSoapHttpServer(container, port=args.port,
-                                 admission=admission).start()
+                                 admission=admission,
+                                 uds_path=args.uds or None).start()
     try:
         announce(args.announce, server, container.services())
 

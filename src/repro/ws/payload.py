@@ -27,13 +27,23 @@ our SOAP data plane:
   gzip-compressed when the peer negotiates ``Content-Encoding``;
   :func:`simulated_wire_size` lets :class:`~repro.ws.transport
   .SimulatedTransport` bill post-compression bytes honestly.
+* the shared-memory tier — for a peer the transport knows to share
+  this host (see :meth:`~repro.ws.transport.Transport.same_host`),
+  large parameters are published once into a :mod:`repro.ws.shm`
+  segment and shipped as ``via="shm"`` refs on the *first* send; the
+  consumer maps — does not copy — the payload.  Every miss (segment
+  evicted, shm unsupported, cross-host peer) falls back to the classic
+  store/inline path transparently.
 
 Counters (``repro metrics``): ``ws.payload.ref_sends`` /
 ``inline_sends`` / ``bytes_saved`` / ``absorbed`` / ``miss`` /
-``integrity_failures`` and ``ws.compress.*``.
+``integrity_failures``, ``ws.compress.*`` and ``ws.shm.publishes`` /
+``publish_failures`` / ``hits`` / ``misses`` / ``bytes_mapped`` /
+``swept``.
 
 Disable the whole fast path with ``repro run --no-payload-cache`` or
-``FAEHIM_NO_FASTPATH=1``.
+``FAEHIM_NO_FASTPATH=1``; disable only the shared-memory tier with
+``FAEHIM_NO_SHM=1`` (or :func:`set_shm_enabled`).
 """
 
 from __future__ import annotations
@@ -49,6 +59,7 @@ from typing import TYPE_CHECKING
 from repro.data.cache import LruCache
 from repro.errors import TransportError
 from repro.obs import get_metrics
+from repro.ws import shm
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.ws.soap import SoapRequest
@@ -86,15 +97,24 @@ class PayloadMissError(TransportError):
 
 @dataclass(frozen=True)
 class PayloadRef:
-    """A by-reference stand-in for one large parameter value."""
+    """A by-reference stand-in for one large parameter value.
+
+    ``via=""`` is the classic contract (resolve from the receiver's
+    content-addressed store); ``via="shm"`` additionally offers the
+    named shared-memory segment for *digest*, which a same-host
+    receiver maps zero-copy before falling back to its store.
+    """
 
     digest: str
     size: int
     kind: str = "str"  # "str" | "bytes"
+    via: str = ""      # "" (store) | "shm" (same-host segment)
 
     def __post_init__(self) -> None:
         if self.kind not in ("str", "bytes"):
             raise TransportError(f"bad payload kind {self.kind!r}")
+        if self.via not in ("", "shm"):
+            raise TransportError(f"bad payload via {self.via!r}")
 
 
 def digest_bytes(data: bytes) -> str:
@@ -160,6 +180,7 @@ class PayloadStore:
 
 
 _enabled = os.environ.get("FAEHIM_NO_FASTPATH", "") not in ("1", "true")
+_shm_enabled = os.environ.get("FAEHIM_NO_SHM", "") not in ("1", "true")
 _store = PayloadStore()
 
 
@@ -174,6 +195,17 @@ def enabled() -> bool:
     return _enabled
 
 
+def set_shm_enabled(on: bool) -> None:
+    """Enable/disable the shared-memory segment tier only."""
+    global _shm_enabled
+    _shm_enabled = bool(on)
+
+
+def shm_enabled() -> bool:
+    """True when same-host sends may use shared-memory segments."""
+    return _shm_enabled and shm.supported()
+
+
 def get_payload_store() -> PayloadStore:
     """The process-global content-addressed store."""
     return _store
@@ -182,6 +214,39 @@ def get_payload_store() -> PayloadStore:
 def reset_payload_store() -> None:
     """Empty the global store (test isolation)."""
     _store.clear()
+
+
+def sweep_shm_orphans() -> int:
+    """Reclaim dead-owner ``repro-shm-*`` segments; returns the count.
+
+    The supervisor's crash hygiene: run at fleet startup and whenever a
+    worker is unpublished, so a SIGKILLed producer's segments never
+    outlive the drill that killed it.
+    """
+    swept = shm.sweep_orphans()
+    if swept:
+        get_metrics().counter("ws.shm.swept").inc(swept)
+    return swept
+
+
+def release_shm_segments() -> int:
+    """Unlink every segment this process published; returns the count."""
+    return shm.get_segment_store().release_owned()
+
+
+def reset_shm_segments() -> None:
+    """Unlink owned segments, drop attached mappings (test isolation)."""
+    shm.reset_segment_store()
+
+
+def shm_counters() -> dict[str, float]:
+    """The current ``ws.shm.*`` counter values (label-aggregated) —
+    the ``/mesh/status`` evidence that the fast path engaged."""
+    values: dict[str, float] = {}
+    for name, _labels, counter in get_metrics().counters():
+        if name.startswith("ws.shm."):
+            values[name] = values.get(name, 0) + counter.value
+    return values
 
 
 class PeerState:
@@ -211,10 +276,23 @@ class PeerState:
             return len(self._known)
 
 
-def _as_bytes(value: str | bytes) -> bytes:
+def _as_bytes(value: str | bytes | memoryview) -> bytes:
     if isinstance(value, str):
         return value.encode("utf-8", "surrogatepass")
+    if isinstance(value, memoryview):
+        return bytes(value)
     return value
+
+
+def _local_bytes(digest: str, via: str = "") -> bytes | None:
+    """The bytes behind one ref, from the store or (via="shm") a mapped
+    segment — the sender-side resolution used to re-inline a ref."""
+    data = _store.get(digest)
+    if data is None and via == "shm":
+        view = shm.get_segment_store().attach(digest)
+        if view is not None:
+            data = bytes(view)
+    return data
 
 
 def _from_bytes(data: bytes, kind: str) -> str | bytes:
@@ -241,27 +319,32 @@ def _multicall_calls(request: "SoapRequest"):
 
 
 def externalize(request: "SoapRequest", peer: PeerState,
-                min_bytes: int = MIN_REF_BYTES) -> "SoapRequest":
+                min_bytes: int = MIN_REF_BYTES, *,
+                same_host: bool = False) -> "SoapRequest":
     """Return a copy of *request* with large params sent by reference.
 
     A large ``str``/``bytes`` parameter whose digest *peer* already
     holds becomes a :class:`PayloadRef`; an unknown one stays inline
     (so the receiving side can absorb it) and the digest is recorded as
-    known for the next send.  Parameters that are already refs are kept
-    when the peer knows them and resolved back to inline values when it
-    does not (raising :class:`PayloadMissError` if the blob is gone
-    locally too).  With the fast path disabled the request passes
-    through untouched (refs still get internalized, so a disabled
-    receiver never sees one).  Multicall requests are handled per
-    sub-call, so a batch repeating one large ARFF ships it inline once
-    and by reference for every later item.
+    known for the next send.  With ``same_host=True`` (the transport
+    proved the peer shares this kernel) the value is instead published
+    into a shared-memory segment and sent as a ``via="shm"`` ref on the
+    *first* send already — any same-host process can map the segment,
+    so there is nothing to absorb.  Parameters that are already refs
+    are kept when the peer knows them and resolved back to inline
+    values when it does not (raising :class:`PayloadMissError` if the
+    blob is gone locally too).  With the fast path disabled the request
+    passes through untouched (refs still get internalized, so a
+    disabled receiver never sees one).  Multicall requests are handled
+    per sub-call, so a batch repeating one large ARFF ships it inline
+    once and by reference for every later item.
     """
     calls = _multicall_calls(request)
     if calls is not None:
         new_calls, changed = [], False
         for sub in calls:
             new_params, sub_changed = _externalize_params(
-                sub.params, peer, min_bytes)
+                sub.params, peer, min_bytes, same_host)
             new_calls.append(dataclasses.replace(sub, params=new_params)
                              if sub_changed else sub)
             changed = changed or sub_changed
@@ -269,15 +352,16 @@ def externalize(request: "SoapRequest", peer: PeerState,
             return request
         return dataclasses.replace(request, params={"calls": new_calls})
     new_params, changed = _externalize_params(request.params, peer,
-                                              min_bytes)
+                                              min_bytes, same_host)
     if not changed:
         return request
     return dataclasses.replace(request, params=new_params)
 
 
-def _externalize_params(params: dict, peer: PeerState,
-                        min_bytes: int) -> tuple[dict, bool]:
+def _externalize_params(params: dict, peer: PeerState, min_bytes: int,
+                        same_host: bool = False) -> tuple[dict, bool]:
     metrics = get_metrics()
+    use_shm = same_host and _enabled and _shm_enabled and shm.supported()
     new_params = {}
     changed = False
     for name, value in params.items():
@@ -285,23 +369,36 @@ def _externalize_params(params: dict, peer: PeerState,
             if _enabled and peer.knows(value.digest):
                 new_params[name] = value
             else:
-                data = _store.get(value.digest)
+                data = _local_bytes(value.digest, value.via)
                 if data is None:
                     raise _miss(value.digest)
                 new_params[name] = _from_bytes(data, value.kind)
                 changed = True
             continue
-        if not _enabled or not isinstance(value, (str, bytes)) or \
+        if not _enabled or \
+                not isinstance(value, (str, bytes, memoryview)) or \
                 len(value) < min_bytes:
             new_params[name] = value
             continue
         data = _as_bytes(value)
         digest = _store.put(data)
+        kind = "str" if isinstance(value, str) else "bytes"
+        if use_shm and shm.get_segment_store().publish(digest, data):
+            # same-host: the segment itself is the transfer, so even a
+            # first send goes by reference (a miss on the far side
+            # falls back through the classic inline resend)
+            peer.learn(digest)
+            new_params[name] = PayloadRef(digest, len(data), kind,
+                                          via="shm")
+            changed = True
+            metrics.counter("ws.shm.publishes").inc()
+            metrics.counter("ws.payload.ref_sends").inc()
+            metrics.counter("ws.payload.bytes_saved").inc(len(data))
+            continue
+        if use_shm:
+            metrics.counter("ws.shm.publish_failures").inc()
         if peer.knows(digest):
-            ref = PayloadRef(
-                digest, len(data),
-                "bytes" if isinstance(value, bytes) else "str")
-            new_params[name] = ref
+            new_params[name] = PayloadRef(digest, len(data), kind)
             changed = True
             metrics.counter("ws.payload.ref_sends").inc()
             metrics.counter("ws.payload.bytes_saved").inc(len(data))
@@ -333,7 +430,7 @@ def _internalize_params(params: dict) -> dict:
     new_params = {}
     for name, value in params.items():
         if isinstance(value, PayloadRef):
-            data = _store.get(value.digest)
+            data = _local_bytes(value.digest, value.via)
             if data is None:
                 raise _miss(value.digest)
             value = _from_bytes(data, value.kind)
@@ -341,16 +438,33 @@ def _internalize_params(params: dict) -> dict:
     return new_params
 
 
-def resolve(digest: str, kind: str) -> str | bytes:
+def resolve(digest: str, kind: str,
+            via: str = "") -> str | bytes | memoryview:
     """Receiving side: a ref element back to its full value.
 
-    Unknown digests (including chaos-corrupted ones) raise
-    :class:`PayloadMissError`; the transport layer converts that into
-    the ``repro:PayloadMiss`` fault / an inline resend.
+    A ``via="shm"`` ref is answered from the named shared-memory
+    segment when it maps and verifies — ``kind="bytes"`` payloads come
+    back as a read-only :class:`memoryview` **into the shared pages**
+    (zero-copy; the columnar codec decodes straight from it) — falling
+    back to the local store otherwise.  Unknown digests (including
+    chaos-corrupted ones) raise :class:`PayloadMissError`; the
+    transport layer converts that into the ``repro:PayloadMiss`` fault
+    / an inline resend.
     """
     if not payload_digest_ok(digest):
         raise _miss(digest or "(empty)",
                     f"malformed payload digest {digest!r}")
+    if via == "shm":
+        metrics = get_metrics()
+        view = shm.get_segment_store().attach(digest) \
+            if _shm_enabled else None
+        if view is not None:
+            metrics.counter("ws.shm.hits").inc()
+            metrics.counter("ws.shm.bytes_mapped").inc(len(view))
+            if kind == "str":
+                return bytes(view).decode("utf-8", "surrogatepass")
+            return view
+        metrics.counter("ws.shm.misses").inc()
     data = _store.get(digest)
     if data is None:
         raise _miss(digest)

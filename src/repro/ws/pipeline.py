@@ -326,17 +326,21 @@ def record_transport_metrics(transport: str, seconds: float,
 
 
 def payload_fallback(send_once, request: SoapRequest,
-                     peer: payload.PeerState) -> SoapResponse:
+                     peer: payload.PeerState,
+                     same_host: bool = False) -> SoapResponse:
     """Externalize + send, with the transparent full-payload fallback.
 
     First attempt goes out with by-reference params for everything the
-    peer is believed to hold.  A :class:`PayloadMissError` (the peer
-    lost — or never had — a referenced blob, or a ref was corrupted in
-    flight) clears the peer record and resends the original request
-    fully inline, so callers never observe the miss.
+    peer is believed to hold (with *same_host* peers additionally
+    offered shared-memory segment refs for first-time payloads).  A
+    :class:`PayloadMissError` (the peer lost — or never had — a
+    referenced blob, or a ref was corrupted in flight) clears the peer
+    record and resends the original request fully inline, so callers
+    never observe the miss.
     """
     try:
-        return send_once(payload.externalize(request, peer))
+        return send_once(payload.externalize(request, peer,
+                                             same_host=same_host))
     except PayloadMissError:
         get_metrics().counter("ws.payload.fallbacks").inc()
         peer.clear()
@@ -473,10 +477,13 @@ class PayloadRefs(ClientInterceptor):
         self.resend_on_miss = resend_on_miss
 
     def intercept(self, request, ctx, proceed):
+        same_host = bool(ctx.get("same_host"))
         if self.resend_on_miss:
-            return payload_fallback(proceed, request, self.peer)
+            return payload_fallback(proceed, request, self.peer,
+                                    same_host=same_host)
         try:
-            outbound = payload.externalize(request, self.peer)
+            outbound = payload.externalize(request, self.peer,
+                                           same_host=same_host)
         except PayloadMissError:
             get_metrics().counter("ws.payload.fallbacks").inc()
             self.peer.clear()
@@ -484,16 +491,18 @@ class PayloadRefs(ClientInterceptor):
         return proceed(outbound)
 
     async def intercept_async(self, request, ctx, proceed):
+        same_host = bool(ctx.get("same_host"))
         if self.resend_on_miss:
             try:
-                return await proceed(payload.externalize(request,
-                                                         self.peer))
+                return await proceed(payload.externalize(
+                    request, self.peer, same_host=same_host))
             except PayloadMissError:
                 get_metrics().counter("ws.payload.fallbacks").inc()
                 self.peer.clear()
                 return await proceed(payload.internalize(request))
         try:
-            outbound = payload.externalize(request, self.peer)
+            outbound = payload.externalize(request, self.peer,
+                                           same_host=same_host)
         except PayloadMissError:
             get_metrics().counter("ws.payload.fallbacks").inc()
             self.peer.clear()

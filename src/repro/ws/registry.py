@@ -66,6 +66,9 @@ class RegistryEntry:
     lease_ttl_s: float | None = None
     health: str = HEALTH_UP
     port_type: str = ""
+    #: optional same-host fast-path endpoint (``unix://`` URL); only
+    #: meaningful to consumers sharing the provider's boot id
+    uds_url: str = ""
 
     def expires_at(self) -> float | None:
         """Clock stamp after which the lease is dead (None = immortal)."""
@@ -86,7 +89,8 @@ class RegistryEntry:
                "published_at": self.published_at,
                "lease_ttl_s": self.lease_ttl_s or 0.0,
                "health": self.health,
-               "port_type": self.port_type}
+               "port_type": self.port_type,
+               "uds_url": self.uds_url}
         if now is not None and self.lease_ttl_s is not None:
             out["expires_in_s"] = max(0.0, self.expires_at() - now)
         return out
@@ -107,7 +111,8 @@ class UDDIRegistry:
                 description: str = "", *,
                 lease_ttl_s: float | None = None,
                 port_type: str = "",
-                health: str = HEALTH_UP) -> RegistryEntry:
+                health: str = HEALTH_UP,
+                uds_url: str = "") -> RegistryEntry:
         """Publish (or republish) a service."""
         if not name or not wsdl_url:
             raise RegistryError("publish needs a name and a WSDL URL")
@@ -123,7 +128,7 @@ class UDDIRegistry:
                               description=description,
                               published_at=self._clock.monotonic(),
                               lease_ttl_s=ttl, health=health,
-                              port_type=port_type)
+                              port_type=port_type, uds_url=uds_url)
         with self._lock:
             self._entries[name] = entry
             self._gauge_locked()
@@ -277,11 +282,12 @@ class RegistryService:
     @operation
     def publish(self, name: str, wsdl_url: str, categories: list = None,
                 description: str = "", lease_ttl_s: float = 0.0,
-                port_type: str = "") -> dict:
+                port_type: str = "", uds_url: str = "") -> dict:
         """Publish a service; returns the stored registry entry."""
         entry = self.registry.publish(
             name, wsdl_url, tuple(categories or ()), description,
-            lease_ttl_s=lease_ttl_s or None, port_type=port_type)
+            lease_ttl_s=lease_ttl_s or None, port_type=port_type,
+            uds_url=uds_url)
         return entry.as_dict()
 
     @operation

@@ -79,11 +79,14 @@ def _encode_value(parent: ET.Element, name: str, value: Any) -> None:
     import numbers
     if isinstance(value, PayloadRef):
         # by-reference transfer (see repro.ws.payload): the receiving
-        # side resolves the digest against its local payload store
+        # side resolves the digest against its local payload store, or
+        # maps the named shared-memory segment when via="shm"
         el.set(type_attr, "repro:payloadRef")
         el.set("digest", value.digest)
         el.set("size", str(value.size))
         el.set("kind", value.kind)
+        if value.via:
+            el.set("via", value.via)
     elif value is None:
         el.set(_qname(XSI_NS, "nil"), "true")
     elif isinstance(value, bool):
@@ -106,7 +109,9 @@ def _encode_value(parent: ET.Element, name: str, value: Any) -> None:
         else:
             el.set(type_attr, "xsd:string")
             el.text = value
-    elif isinstance(value, bytes):
+    elif isinstance(value, (bytes, memoryview)):
+        # memoryview: a shm-mapped payload being re-encoded (e.g. a
+        # relay hop) — b64encode reads any buffer without copying first
         el.set(type_attr, "xsd:base64Binary")
         el.text = base64.b64encode(value).decode("ascii")
     elif isinstance(value, (dict, list, tuple)):
@@ -137,7 +142,8 @@ def _decode_value(el: ET.Element) -> Any:
         return json.loads(text) if text else None
     if type_attr.endswith("payloadRef"):
         return payload.resolve(el.get("digest", ""),
-                               el.get("kind", "str"))
+                               el.get("kind", "str"),
+                               el.get("via", ""))
     return text
 
 

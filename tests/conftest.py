@@ -20,6 +20,8 @@ def _reset_observability():
         chaos.uninstall()
         payload.set_enabled(True)
         payload.reset_payload_store()
+        payload.set_shm_enabled(True)
+        payload.reset_shm_segments()
         datacache.set_enabled(True)
         datacache.reset_parse_cache()
         client.reset_wsdl_cache()

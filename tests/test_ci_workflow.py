@@ -32,7 +32,8 @@ def test_expected_jobs_present(workflow):
     assert set(workflow["jobs"]) == {"test", "lint", "chaos",
                                      "bench-smoke", "serving-load",
                                      "experiment-resume",
-                                     "columnar-bench", "mesh-drill"}
+                                     "columnar-bench", "mesh-drill",
+                                     "ipc-bench"}
 
 
 def test_concurrency_cancels_superseded_runs(workflow):
@@ -152,6 +153,38 @@ def test_layering_rules_cover_the_mesh_plane():
             assert banned in rules[module], (module, banned)
     assert "repro.ws.mesh" in rules["src/repro/ws/transport.py"]
     assert "repro.ws.mesh" in rules["src/repro/ws/httpd.py"]
+
+
+def test_layering_rules_cover_the_ipc_plane():
+    """The shared-memory segment store is a pure same-host byte pool:
+    it maps and verifies segments, nothing else.  Its counters are
+    emitted by the payload layer above it, and it must never observe,
+    inject faults, dial a transport or reach into mesh policy.  Pin
+    the rule so a refactor cannot silently couple the zero-copy tier
+    to serving concerns."""
+    rules = _load_layering_lint().RULES
+    shm_rules = rules["src/repro/ws/shm.py"]
+    for banned in ("repro.obs", "repro.chaos", "repro.ws.breaker",
+                   "repro.ws.mesh", "repro.ws.transport",
+                   "repro.ws.admission"):
+        assert banned in shm_rules, banned
+
+
+def test_ipc_bench_job_gates_and_uploads_the_report(workflow):
+    """PERF-IPC: the same-host A/B (uds+shm vs tcp+inline) runs in CI
+    (its in-test gate enforces >= 2x p50 with >= 1 MB columnar frames)
+    and the JSON report lands as the ``ipc-bench`` artifact."""
+    job = workflow["jobs"]["ipc-bench"]
+    text = steps_text(job)
+    assert "benchmarks/test_bench_ipc.py" in text
+    for step in job["steps"]:
+        if "python -m pytest" in step.get("run", ""):
+            assert step["env"]["PYTHONHASHSEED"] == "0"
+    upload = next(step for step in job["steps"]
+                  if "upload-artifact" in step.get("uses", ""))
+    assert upload["with"]["name"] == "ipc-bench"
+    assert "BENCH_ipc.json" in upload["with"]["path"]
+    assert upload["with"]["if-no-files-found"] == "error"
 
 
 def test_mesh_drill_job_gates_and_uploads_the_report(workflow):

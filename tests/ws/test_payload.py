@@ -167,6 +167,10 @@ class TestRefRoundTrip:
         assert counter_value("ws.payload.ref_hits") == 1
 
     def test_http_round_trip(self):
+        # pin the classic store-ref path: with the shm tier on, a
+        # localhost HTTP peer negotiates same-host via X-Repro-Boot and
+        # repeat sends ship via="shm" refs instead (tests/ws/test_shm_payload.py)
+        payload.set_shm_enabled(False)
         container = ServiceContainer()
         container.deploy(Echo, "Echo")
         with SoapHttpServer(container) as server:

@@ -36,6 +36,14 @@ RULES: dict[str, tuple[str, ...]] = {
                               "repro.ws.scatter", "repro.ws.admission",
                               "repro.ws.mesh"),
     "src/repro/ws/client.py": ("repro.ws.breaker", "repro.chaos"),
+    # the shared-memory segment store is a pure same-host byte pool:
+    # it maps and verifies segments, nothing else.  Counters for its
+    # hits/misses are emitted by the payload layer above it, and it
+    # may never dial a transport or reach into the mesh.
+    "src/repro/ws/shm.py": ("repro.obs", "repro.chaos",
+                            "repro.ws.breaker", "repro.ws.mesh",
+                            "repro.ws.transport",
+                            "repro.ws.admission"),
     "src/repro/ws/container.py": ("repro.ws.breaker", "repro.chaos"),
     # scatter-gather is batching *policy*: it may meter itself via obs
     # but never injects faults (chaos lives in the transport chains)
